@@ -1,0 +1,77 @@
+//! Ablation B: how much does the affected-comment pruning (Steps 1–5 of the paper's
+//! incremental Q2 algorithm) actually save, compared to re-scoring every comment after
+//! each changeset?
+//!
+//! Three measurements per scale factor and changeset replay:
+//! * `affected_detection_only` — just the affected-set computation (the `NewFriends`
+//!   incidence trick),
+//! * `rescore_affected` — detection + re-scoring only the affected comments (the
+//!   paper's algorithm),
+//! * `rescore_all` — re-scoring every comment (no pruning; what the batch variant
+//!   effectively does for the scoring phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::generate_scale_factor;
+use ttc_social_media::q2::{affected_comments, comment_score};
+use ttc_social_media::{apply_changeset, SocialGraph};
+
+fn bench_affected_set(c: &mut Criterion) {
+    for &sf in &[1u64, 4, 16] {
+        let workload = generate_scale_factor(sf);
+
+        // Pre-apply the changesets once, recording (graph state, delta) pairs so the
+        // benchmark bodies only measure detection / scoring.
+        let mut graph = SocialGraph::from_network(&workload.initial);
+        let mut steps = Vec::new();
+        for changeset in &workload.changesets {
+            let delta = apply_changeset(&mut graph, changeset);
+            steps.push((graph.clone(), delta));
+        }
+
+        let mut group = c.benchmark_group(format!("ablation_affected_set/sf{sf}"));
+        group.sample_size(10);
+
+        group.bench_with_input(
+            BenchmarkId::new("affected_detection_only", sf),
+            &sf,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for (g, delta) in &steps {
+                        total += affected_comments(g, delta, false).len();
+                    }
+                    total
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("rescore_affected", sf), &sf, |b, _| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (g, delta) in &steps {
+                    for comment in affected_comments(g, delta, false) {
+                        total += comment_score(g, comment);
+                    }
+                }
+                total
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("rescore_all", sf), &sf, |b, _| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (g, _) in &steps {
+                    for comment in 0..g.comment_count() {
+                        total += comment_score(g, comment);
+                    }
+                }
+                total
+            })
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_affected_set);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation C (the paper's future-work item 1): how the matrix storage format affects
+//! update ingestion. Compares three ways of applying a stream of single-edge inserts:
+//!
+//! * `csr_insert_tuples` — batch-merging each changeset into the CSR structure (what
+//!   the solution's `apply_changeset` does),
+//! * `csr_set_element` — naive per-element CSR insertion (shifts the tail arrays),
+//! * `dynamic_matrix` — the updatable [`graphblas::DynamicMatrix`] format with
+//!   per-row delta buffers and periodic compaction (a CPU-side stand-in for
+//!   faimGraph / Hornet).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas::ops_traits::First;
+use graphblas::{DynamicMatrix, Matrix};
+
+/// Deterministic pseudo-random edge stream.
+fn edge_stream(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..count).map(|_| (next() % n, next() % n)).collect()
+}
+
+fn base_matrix(n: usize) -> Matrix<u64> {
+    let tuples: Vec<(usize, usize, u64)> = edge_stream(n, 4 * n, 3)
+        .into_iter()
+        .map(|(r, c)| (r, c, 1))
+        .collect();
+    Matrix::from_tuples(n, n, &tuples, First::new()).expect("indices in range")
+}
+
+fn bench_update_ingestion(c: &mut Criterion) {
+    for &n in &[2_000usize, 10_000] {
+        let base = base_matrix(n);
+        let updates = edge_stream(n, 2_000, 17);
+        let mut group = c.benchmark_group(format!("ablation_dynamic_matrix/n{n}"));
+        group.sample_size(10);
+
+        group.bench_with_input(BenchmarkId::new("csr_insert_tuples", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                // batches of ~100 inserts, like the case study's changesets
+                for chunk in updates.chunks(100) {
+                    let tuples: Vec<(usize, usize, u64)> =
+                        chunk.iter().map(|&(r, c)| (r, c, 1)).collect();
+                    m.insert_tuples(&tuples, First::new()).unwrap();
+                }
+                m.nvals()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("csr_set_element", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                for &(r, c) in &updates {
+                    m.set(r, c, 1).unwrap();
+                }
+                m.nvals()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("dynamic_matrix", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = DynamicMatrix::from_matrix(base.clone());
+                for &(r, c) in &updates {
+                    m.set(r, c, 1).unwrap();
+                    m.maybe_compact();
+                }
+                m.nvals()
+            })
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_update_ingestion);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation A (the paper's future-work item 2): Q2 incremental maintenance with the
+//! affected-comments + FastSV re-scoring of the paper vs. a fully incremental
+//! connected-components backend (union–find per comment, O(1) score reads).
+//!
+//! The interesting quantity is the update-and-reevaluation time; initial evaluation is
+//! also reported because the incremental-CC variant pays a higher setup cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::generate_scale_factor;
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::Solution;
+use ttc_social_media::{GraphBlasIncremental, GraphBlasIncrementalCc};
+
+fn bench_ablation(c: &mut Criterion) {
+    for &sf in &[1u64, 4, 16] {
+        let workload = generate_scale_factor(sf);
+
+        let mut group = c.benchmark_group(format!("ablation_incremental_cc/sf{sf}"));
+        group.sample_size(10);
+
+        group.bench_with_input(
+            BenchmarkId::new("fastsv_recompute/update", sf),
+            &sf,
+            |b, _| {
+                b.iter(|| {
+                    let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+                    solution.load_and_initial(&workload.initial);
+                    let mut last = String::new();
+                    for changeset in &workload.changesets {
+                        last = solution.update_and_reevaluate(changeset);
+                    }
+                    last
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_cc/update", sf),
+            &sf,
+            |b, _| {
+                b.iter(|| {
+                    let mut solution = GraphBlasIncrementalCc::new();
+                    solution.load_and_initial(&workload.initial);
+                    let mut last = String::new();
+                    for changeset in &workload.changesets {
+                        last = solution.update_and_reevaluate(changeset);
+                    }
+                    last
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("fastsv_recompute/initial", sf),
+            &sf,
+            |b, _| {
+                b.iter(|| {
+                    let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+                    solution.load_and_initial(&workload.initial)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_cc/initial", sf),
+            &sf,
+            |b, _| {
+                b.iter(|| {
+                    let mut solution = GraphBlasIncrementalCc::new();
+                    solution.load_and_initial(&workload.initial)
+                })
+            },
+        );
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the GraphBLAS substrate kernels (not a figure of the paper, but
+//! the foundation its performance rests on): serial vs rayon-parallel `mxm`, `mxv` and
+//! row reduction, plus `select` and `transpose`, on synthetic sparse matrices shaped
+//! like the case study's (rectangular, ~4 non-zeros per row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas::ops::{
+    mxm, mxm_par, mxv, mxv_par, reduce_matrix_rows, reduce_matrix_rows_par, select_matrix,
+};
+use graphblas::ops_traits::{First, ValueGt};
+use graphblas::semiring::stock;
+use graphblas::{Matrix, Vector};
+
+/// Deterministic pseudo-random sparse matrix with ~`nnz_per_row` entries per row.
+fn synthetic_matrix(nrows: usize, ncols: usize, nnz_per_row: usize, seed: u64) -> Matrix<u64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut tuples = Vec::with_capacity(nrows * nnz_per_row);
+    for r in 0..nrows {
+        for _ in 0..nnz_per_row {
+            tuples.push((r, next() % ncols, 1u64 + (next() % 7) as u64));
+        }
+    }
+    Matrix::from_tuples(nrows, ncols, &tuples, First::new()).expect("indices in range")
+}
+
+fn synthetic_vector(size: usize, nnz: usize, seed: u64) -> Vector<u64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let tuples: Vec<(usize, u64)> = (0..nnz).map(|_| (next() % size, 1)).collect();
+    Vector::from_tuples(size, &tuples, First::new()).expect("indices in range")
+}
+
+fn bench_mxv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxv");
+    group.sample_size(20);
+    for &n in &[2_000usize, 20_000] {
+        let a = synthetic_matrix(n, n, 4, 7);
+        let u = synthetic_vector(n, n / 2, 11);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| mxv(&a, &u, stock::plus_times::<u64>()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| mxv_par(&a, &u, stock::plus_times::<u64>()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxm");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let a = synthetic_matrix(n, n, 4, 13);
+        let b_mat = synthetic_matrix(n, n, 4, 17);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| mxm(&a, &b_mat, stock::plus_times::<u64>()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| mxm_par(&a, &b_mat, stock::plus_times::<u64>()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_and_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_select_transpose");
+    group.sample_size(20);
+    let n = 50_000;
+    let a = synthetic_matrix(n, n, 4, 23);
+    group.bench_function("reduce_rows/serial", |b| {
+        b.iter(|| reduce_matrix_rows(&a, graphblas::monoid::stock::plus::<u64>()))
+    });
+    group.bench_function("reduce_rows/parallel", |b| {
+        b.iter(|| reduce_matrix_rows_par(&a, graphblas::monoid::stock::plus::<u64>()))
+    });
+    group.bench_function("select_value_gt", |b| {
+        b.iter(|| select_matrix(&a, ValueGt::new(3u64)))
+    });
+    group.bench_function("transpose", |b| b.iter(|| a.transpose()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mxv, bench_mxm, bench_reduce_and_select);
+criterion_main!(benches);

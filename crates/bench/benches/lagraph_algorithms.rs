@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the LAGraph-style algorithm layer on the synthetic friendship
+//! graph (not a figure of the paper; quantifies the cost of the algorithm building
+//! blocks the Q2 pipeline is assembled from, plus the extended algorithm set).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::generate_scale_factor;
+use graphblas::ops_traits::First;
+use graphblas::Matrix;
+use lagraph::{
+    bfs_levels, connected_components, kcore_decomposition, label_propagation, pagerank,
+    sssp_hops, triangle_count, LabelPropagationOptions, PageRankOptions, UnionFind,
+};
+
+/// Build the symmetric friendship adjacency matrix of a workload's initial network,
+/// plus the raw edge list re-indexed to dense vertex ids.
+fn friendship_matrix(scale_factor: u64) -> (Matrix<u64>, Vec<(usize, usize)>) {
+    let workload = generate_scale_factor(scale_factor);
+    let network = &workload.initial;
+    let user_index: HashMap<u64, usize> = network
+        .users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.id, i))
+        .collect();
+    let n = network.users.len();
+    let mut edges = Vec::with_capacity(network.friendships.len());
+    let mut tuples = Vec::with_capacity(network.friendships.len() * 2);
+    for &(a, b) in &network.friendships {
+        let (ia, ib) = (user_index[&a], user_index[&b]);
+        edges.push((ia, ib));
+        tuples.push((ia, ib, 1u64));
+        tuples.push((ib, ia, 1u64));
+    }
+    (
+        Matrix::from_tuples(n, n, &tuples, First::new()).expect("indices in range"),
+        edges,
+    )
+}
+
+fn bench_connected_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lagraph/connected_components");
+    group.sample_size(10);
+    for &sf in &[1u64, 4] {
+        let (friends, edges) = friendship_matrix(sf);
+        group.bench_with_input(BenchmarkId::new("fastsv", sf), &sf, |b, _| {
+            b.iter(|| connected_components(&friends).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("unionfind", sf), &sf, |b, _| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(friends.nrows());
+                for &(a, bb) in &edges {
+                    uf.union(a, bb);
+                }
+                uf.component_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lagraph/algorithms");
+    group.sample_size(10);
+    for &sf in &[1u64, 4] {
+        let (friends, _) = friendship_matrix(sf);
+        group.bench_with_input(BenchmarkId::new("pagerank", sf), &sf, |b, _| {
+            b.iter(|| pagerank(&friends, PageRankOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("triangle_count", sf), &sf, |b, _| {
+            b.iter(|| triangle_count(&friends).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", sf), &sf, |b, _| {
+            b.iter(|| bfs_levels(&friends, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sssp_hops", sf), &sf, |b, _| {
+            b.iter(|| sssp_hops(&friends, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("kcore", sf), &sf, |b, _| {
+            b.iter(|| kcore_decomposition(&friends).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("label_propagation", sf), &sf, |b, _| {
+            b.iter(|| label_propagation(&friends, LabelPropagationOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connected_components, bench_algorithm_suite);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark for Q2 (Figure 5, right column): the load-and-initial-evaluation
+//! and update-and-reevaluation phases of every tool variant, on small scale factors
+//! (the full sweep is produced by the `figure5` binary).
+
+use bench::{build_solution, run_in_pool, FIGURE5_VARIANTS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::generate_scale_factor;
+use ttc_social_media::model::Query;
+
+fn bench_q2_phases(c: &mut Criterion) {
+    for &sf in &[1u64, 4] {
+        let workload = generate_scale_factor(sf);
+
+        let mut group = c.benchmark_group(format!("q2/sf{sf}/load_and_initial"));
+        group.sample_size(10);
+        for &variant in FIGURE5_VARIANTS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.label()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        run_in_pool(variant.thread_count(), || {
+                            let mut solution = build_solution(variant, Query::Q2);
+                            solution.load_and_initial(&workload.initial)
+                        })
+                    })
+                },
+            );
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("q2/sf{sf}/update_and_reevaluation"));
+        group.sample_size(10);
+        for &variant in FIGURE5_VARIANTS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.label()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        run_in_pool(variant.thread_count(), || {
+                            let mut solution = build_solution(variant, Query::Q2);
+                            solution.load_and_initial(&workload.initial);
+                            let mut last = String::new();
+                            for changeset in &workload.changesets {
+                                last = solution.update_and_reevaluate(changeset);
+                            }
+                            last
+                        })
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_q2_phases);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerate Table II of the paper: the number of nodes, edges and inserted elements
+//! of the benchmark graph at every scale factor, for the synthetic workloads this
+//! repository generates, next to the values the paper reports.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2 -- [--max-sf 1024]
+//! ```
+
+use datagen::{generate_scale_factor, PAPER_TABLE2};
+
+fn main() {
+    let max_sf: u64 = {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut max = 64;
+        let mut i = 0;
+        while i < argv.len() {
+            if argv[i] == "--max-sf" {
+                i += 1;
+                max = argv[i].parse().expect("--max-sf expects an integer");
+            }
+            i += 1;
+        }
+        max
+    };
+
+    println!("Table II reproduction — graph sizes w.r.t. the scale factor");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
+        "sf", "#nodes", "(paper)", "#edges", "(paper)", "#inserts", "(paper)"
+    );
+    println!("{}", "-".repeat(88));
+
+    let mut sf = 1u64;
+    while sf <= max_sf {
+        let workload = generate_scale_factor(sf);
+        let nodes = workload.initial.node_count();
+        let edges = workload.initial.edge_count();
+        let inserts = workload.total_inserted_elements();
+
+        let paper = PAPER_TABLE2.iter().find(|row| row.0 == sf);
+        let (paper_nodes, paper_edges, paper_inserts) = match paper {
+            Some(&(_, n, e, i)) => (n.to_string(), e.to_string(), i.to_string()),
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+
+        println!(
+            "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
+            sf, nodes, paper_nodes, edges, paper_edges, inserts, paper_inserts
+        );
+        sf *= 2;
+    }
+}

@@ -1,0 +1,102 @@
+//! Phase timing: the benchmark protocol of the TTC 2018 framework.
+
+use std::time::Instant;
+
+use datagen::Workload;
+use ttc_social_media::model::Query;
+
+use crate::registry::{build_solution, run_in_pool, ToolVariant};
+
+/// Wall-clock timings of the two benchmark phases, in seconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Load the initial model and run the first evaluation.
+    pub load_and_initial_secs: f64,
+    /// Apply every changeset, re-evaluating the query after each.
+    pub update_and_reevaluation_secs: f64,
+}
+
+/// Geometric mean of a slice of positive values (the aggregation the paper uses over
+/// its 5 runs). Returns 0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Measure one tool variant on one workload and query: runs the two phases `runs`
+/// times and reports the geometric mean of each phase.
+///
+/// The variant's kernels execute inside a rayon pool sized by
+/// [`ToolVariant::thread_count`], reproducing the single- vs 8-thread series of
+/// Figure 5.
+pub fn measure_workload(
+    variant: ToolVariant,
+    query: Query,
+    workload: &Workload,
+    runs: usize,
+) -> PhaseTimings {
+    let runs = runs.max(1);
+    let mut load_times = Vec::with_capacity(runs);
+    let mut update_times = Vec::with_capacity(runs);
+
+    run_in_pool(variant.thread_count(), || {
+        for _ in 0..runs {
+            let mut solution = build_solution(variant, query);
+
+            let start = Instant::now();
+            let initial_result = solution.load_and_initial(&workload.initial);
+            load_times.push(start.elapsed().as_secs_f64());
+            // keep the result alive so the work cannot be optimised away
+            assert!(initial_result.len() < usize::MAX);
+
+            let start = Instant::now();
+            for changeset in &workload.changesets {
+                let result = solution.update_and_reevaluate(changeset);
+                assert!(result.len() < usize::MAX);
+            }
+            update_times.push(start.elapsed().as_secs_f64());
+        }
+    });
+
+    PhaseTimings {
+        load_and_initial_secs: geometric_mean(&load_times),
+        update_and_reevaluation_secs: geometric_mean(&update_times),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-12);
+        // robust to zeros (clamped to the smallest positive float)
+        assert!(geometric_mean(&[0.0, 1.0]) >= 0.0);
+    }
+
+    #[test]
+    fn measure_produces_positive_timings_and_is_correct() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(303));
+        let timings = measure_workload(ToolVariant::GraphBlasIncremental, Query::Q1, &workload, 2);
+        assert!(timings.load_and_initial_secs > 0.0);
+        assert!(timings.update_and_reevaluation_secs > 0.0);
+    }
+
+    #[test]
+    fn parallel_variant_measurement_runs_inside_a_pool() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(305));
+        let timings = measure_workload(
+            ToolVariant::GraphBlasBatchParallel,
+            Query::Q2,
+            &workload,
+            1,
+        );
+        assert!(timings.load_and_initial_secs > 0.0);
+    }
+}

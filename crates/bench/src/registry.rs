@@ -1,0 +1,164 @@
+//! The registry of tool variants evaluated in the paper's Figure 5, plus thread-pool
+//! control for the multi-threaded series.
+
+use nmf_baseline::{NmfBatch, NmfIncremental};
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::Solution;
+use ttc_social_media::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc};
+
+/// One tool variant (a line of Figure 5).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ToolVariant {
+    /// GraphBLAS full recomputation, serial kernels.
+    GraphBlasBatch,
+    /// GraphBLAS incremental maintenance, serial kernels.
+    GraphBlasIncremental,
+    /// GraphBLAS full recomputation with rayon kernels (run it inside an 8-thread
+    /// pool to reproduce the paper's "8 threads" series).
+    GraphBlasBatchParallel,
+    /// GraphBLAS incremental maintenance with rayon kernels.
+    GraphBlasIncrementalParallel,
+    /// GraphBLAS incremental maintenance with the future-work incremental connected
+    /// components backend (Q2 only; falls back to the FastSV variant for Q1).
+    GraphBlasIncrementalCc,
+    /// Reference baseline, full recomputation.
+    NmfBatch,
+    /// Reference baseline, dependency-record propagation.
+    NmfIncremental,
+}
+
+impl ToolVariant {
+    /// Display label matching the legend of Figure 5.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ToolVariant::GraphBlasBatch => "GraphBLAS Batch",
+            ToolVariant::GraphBlasIncremental => "GraphBLAS Incremental",
+            ToolVariant::GraphBlasBatchParallel => "GraphBLAS Batch (8 threads)",
+            ToolVariant::GraphBlasIncrementalParallel => "GraphBLAS Incremental (8 threads)",
+            ToolVariant::GraphBlasIncrementalCc => "GraphBLAS Incremental (incremental CC)",
+            ToolVariant::NmfBatch => "NMF Batch",
+            ToolVariant::NmfIncremental => "NMF Incremental",
+        }
+    }
+
+    /// Whether this variant runs its kernels on the rayon pool.
+    pub fn is_parallel(&self) -> bool {
+        matches!(
+            self,
+            ToolVariant::GraphBlasBatchParallel | ToolVariant::GraphBlasIncrementalParallel
+        )
+    }
+
+    /// Number of worker threads this variant should be measured with (the paper uses
+    /// 8 threads for the parallel series and 1 otherwise).
+    pub fn thread_count(&self) -> usize {
+        if self.is_parallel() {
+            8
+        } else {
+            1
+        }
+    }
+}
+
+/// The six tool variants plotted in Figure 5 of the paper.
+pub const FIGURE5_VARIANTS: &[ToolVariant] = &[
+    ToolVariant::GraphBlasBatch,
+    ToolVariant::GraphBlasIncremental,
+    ToolVariant::GraphBlasBatchParallel,
+    ToolVariant::GraphBlasIncrementalParallel,
+    ToolVariant::NmfBatch,
+    ToolVariant::NmfIncremental,
+];
+
+/// All variants known to the harness (Figure 5 plus the future-work ablation).
+pub const ALL_VARIANTS: &[ToolVariant] = &[
+    ToolVariant::GraphBlasBatch,
+    ToolVariant::GraphBlasIncremental,
+    ToolVariant::GraphBlasBatchParallel,
+    ToolVariant::GraphBlasIncrementalParallel,
+    ToolVariant::GraphBlasIncrementalCc,
+    ToolVariant::NmfBatch,
+    ToolVariant::NmfIncremental,
+];
+
+/// Instantiate a fresh solution object for a variant and query.
+pub fn build_solution(variant: ToolVariant, query: Query) -> Box<dyn Solution> {
+    match variant {
+        ToolVariant::GraphBlasBatch => Box::new(GraphBlasBatch::new(query, false)),
+        ToolVariant::GraphBlasIncremental => Box::new(GraphBlasIncremental::new(query, false)),
+        ToolVariant::GraphBlasBatchParallel => Box::new(GraphBlasBatch::new(query, true)),
+        ToolVariant::GraphBlasIncrementalParallel => {
+            Box::new(GraphBlasIncremental::new(query, true))
+        }
+        ToolVariant::GraphBlasIncrementalCc => match query {
+            Query::Q2 => Box::new(GraphBlasIncrementalCc::new()),
+            Query::Q1 => Box::new(GraphBlasIncremental::new(query, false)),
+        },
+        ToolVariant::NmfBatch => Box::new(NmfBatch::new(query)),
+        ToolVariant::NmfIncremental => Box::new(NmfIncremental::new(query)),
+    }
+}
+
+/// Run `f` inside a rayon thread pool of `threads` workers (the paper measures the
+/// parallel variants with 8 threads and the serial ones effectively with 1).
+pub fn run_in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure5_legend() {
+        assert_eq!(ToolVariant::GraphBlasBatch.label(), "GraphBLAS Batch");
+        assert_eq!(
+            ToolVariant::GraphBlasIncrementalParallel.label(),
+            "GraphBLAS Incremental (8 threads)"
+        );
+        assert_eq!(ToolVariant::NmfIncremental.label(), "NMF Incremental");
+        assert_eq!(FIGURE5_VARIANTS.len(), 6);
+        assert_eq!(ALL_VARIANTS.len(), 7);
+    }
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(ToolVariant::GraphBlasBatch.thread_count(), 1);
+        assert_eq!(ToolVariant::GraphBlasBatchParallel.thread_count(), 8);
+        assert!(ToolVariant::GraphBlasIncrementalParallel.is_parallel());
+        assert!(!ToolVariant::NmfBatch.is_parallel());
+    }
+
+    #[test]
+    fn build_solution_produces_every_variant_for_both_queries() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(301));
+        let mut reference: Option<Vec<String>> = None;
+        for &query in &[Query::Q1, Query::Q2] {
+            for &variant in ALL_VARIANTS {
+                let mut solution = build_solution(variant, query);
+                let results =
+                    ttc_social_media::solution::run_solution(solution.as_mut(), &workload);
+                assert_eq!(results.len(), workload.changesets.len() + 1);
+                if query == Query::Q1 {
+                    if variant == ToolVariant::GraphBlasBatch {
+                        reference = Some(results);
+                    } else if let Some(reference) = &reference {
+                        assert_eq!(&results, reference, "variant {variant:?} disagrees");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_in_pool_controls_thread_count() {
+        let threads = run_in_pool(3, rayon::current_num_threads);
+        assert_eq!(threads, 3);
+        let one = run_in_pool(1, rayon::current_num_threads);
+        assert_eq!(one, 1);
+    }
+}

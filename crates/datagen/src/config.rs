@@ -1,0 +1,166 @@
+//! Scale-factor calibration.
+//!
+//! The paper benchmarks graphs whose sizes follow powers of two (Table II). The
+//! original data was produced by the LDBC Datagen; offline we synthesise graphs whose
+//! node / edge / insert counts track the same table. The constants below were fitted
+//! to Table II: at scale factor `sf` the generated network has roughly `840·sf` nodes
+//! and `2250·sf` edges, and the update phase inserts 45–132 elements regardless of the
+//! graph size (as in the paper, where updates are small).
+
+use serde::{Deserialize, Serialize};
+
+/// Table II of the paper: `(scale factor, #nodes, #edges, #inserts)` as reported.
+pub const PAPER_TABLE2: &[(u64, u64, u64, u64)] = &[
+    (1, 1274, 2533, 67),
+    (2, 2071, 4207, 120),
+    (4, 4350, 9118, 132),
+    (8, 7530, 18_000, 104),
+    (16, 15_000, 35_000, 110),
+    (32, 30_000, 71_000, 117),
+    (64, 58_000, 143_000, 68),
+    (128, 115_000, 287_000, 86),
+    (256, 225_000, 568_000, 45),
+    (512, 443_000, 1_100_000, 112),
+    (1024, 859_000, 2_300_000, 74),
+];
+
+/// Configuration of a synthetic workload for one scale factor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Scale factor (powers of two in the paper, any positive integer here).
+    pub scale_factor: u64,
+    /// Number of users in the initial network.
+    pub users: usize,
+    /// Number of posts in the initial network.
+    pub posts: usize,
+    /// Number of comments in the initial network.
+    pub comments: usize,
+    /// Number of undirected friendship pairs in the initial network.
+    pub friendships: usize,
+    /// Number of likes edges in the initial network.
+    pub likes: usize,
+    /// Number of changesets in the update phase.
+    pub changesets: usize,
+    /// Total number of inserted elements across all changesets.
+    pub total_inserts: usize,
+    /// Zipf-like skew of the popularity distributions (larger = more skewed).
+    pub skew: f64,
+    /// RNG seed; the same seed always produces the same workload.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Calibrated configuration for a scale factor, tracking the paper's Table II.
+    pub fn for_scale_factor(scale_factor: u64) -> Self {
+        let sf = scale_factor.max(1) as usize;
+        // Node mix roughly follows the LDBC proportions used by the case study:
+        // many comments, fewer users, fewest posts.
+        let users = 220 * sf + 260;
+        let posts = 70 * sf + 60;
+        let comments = 550 * sf + 100;
+        // Edges: each comment already contributes 2 edges (parent + rootPost).
+        let friendships = 560 * sf + 50;
+        let likes = 580 * sf + 50;
+        // Updates are small and roughly constant in size (Table II: 45..132);
+        // derive a deterministic value in that range from the scale factor.
+        let total_inserts = 45 + ((scale_factor.wrapping_mul(37) + 11) % 88) as usize;
+        GeneratorConfig {
+            scale_factor,
+            users,
+            posts,
+            comments,
+            friendships,
+            likes,
+            changesets: 10,
+            total_inserts,
+            skew: 0.9,
+            seed: 0x7_7C20_18 ^ scale_factor,
+        }
+    }
+
+    /// A very small configuration for unit tests and examples (~tens of elements).
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            scale_factor: 0,
+            users: 12,
+            posts: 4,
+            comments: 24,
+            friendships: 14,
+            likes: 30,
+            changesets: 3,
+            total_inserts: 18,
+            skew: 0.9,
+            seed,
+        }
+    }
+
+    /// Expected number of nodes of the generated initial network.
+    pub fn expected_nodes(&self) -> usize {
+        self.users + self.posts + self.comments
+    }
+
+    /// Expected number of edges of the generated initial network.
+    pub fn expected_edges(&self) -> usize {
+        2 * self.comments + self.friendships + self.likes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_one_tracks_table2() {
+        let cfg = GeneratorConfig::for_scale_factor(1);
+        let (_, nodes, edges, _) = PAPER_TABLE2[0];
+        let n = cfg.expected_nodes() as f64;
+        let e = cfg.expected_edges() as f64;
+        assert!((n - nodes as f64).abs() / (nodes as f64) < 0.15, "nodes {n} vs {nodes}");
+        assert!((e - edges as f64).abs() / (edges as f64) < 0.15, "edges {e} vs {edges}");
+    }
+
+    #[test]
+    fn scale_factor_1024_tracks_table2() {
+        let cfg = GeneratorConfig::for_scale_factor(1024);
+        let (_, nodes, edges, _) = PAPER_TABLE2[10];
+        let n = cfg.expected_nodes() as f64;
+        let e = cfg.expected_edges() as f64;
+        assert!((n - nodes as f64).abs() / (nodes as f64) < 0.15, "nodes {n} vs {nodes}");
+        assert!((e - edges as f64).abs() / (edges as f64) < 0.15, "edges {e} vs {edges}");
+    }
+
+    #[test]
+    fn inserts_stay_in_paper_range() {
+        for sf in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let cfg = GeneratorConfig::for_scale_factor(sf);
+            assert!(
+                (45..=132).contains(&cfg.total_inserts),
+                "sf={sf} inserts={}",
+                cfg.total_inserts
+            );
+        }
+    }
+
+    #[test]
+    fn doubling_scale_factor_roughly_doubles_size() {
+        let a = GeneratorConfig::for_scale_factor(64);
+        let b = GeneratorConfig::for_scale_factor(128);
+        let ratio = b.expected_nodes() as f64 / a.expected_nodes() as f64;
+        assert!(ratio > 1.8 && ratio < 2.2);
+    }
+
+    #[test]
+    fn configs_are_deterministic() {
+        assert_eq!(
+            GeneratorConfig::for_scale_factor(8),
+            GeneratorConfig::for_scale_factor(8)
+        );
+    }
+
+    #[test]
+    fn tiny_config_is_small() {
+        let cfg = GeneratorConfig::tiny(1);
+        assert!(cfg.expected_nodes() < 100);
+        assert!(cfg.changesets >= 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! Synthetic workload generation.
+//!
+//! Produces an initial [`SocialNetwork`] plus a sequence of insertion [`ChangeSet`]s
+//! whose sizes follow the calibration in [`crate::config`]. All randomness flows from
+//! the seed in the configuration, so a given configuration always produces the same
+//! workload — which is essential for comparing the batch, incremental and baseline
+//! solutions on identical inputs.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::GeneratorConfig;
+use crate::model::{
+    ChangeOperation, ChangeSet, Comment, ElementId, Post, SocialNetwork, User, Workload,
+};
+use crate::sampler::{sample_distinct_pair, ZipfSampler};
+
+/// Generate a complete workload (initial network + changesets) for a configuration.
+pub fn generate_workload(config: &GeneratorConfig) -> Workload {
+    let mut generator = Generator::new(config.clone());
+    let initial = generator.generate_initial();
+    let changesets = generator.generate_changesets(&initial);
+    Workload {
+        initial,
+        changesets,
+    }
+}
+
+/// Convenience wrapper: workload for a paper scale factor.
+pub fn generate_scale_factor(scale_factor: u64) -> Workload {
+    generate_workload(&GeneratorConfig::for_scale_factor(scale_factor))
+}
+
+struct Generator {
+    config: GeneratorConfig,
+    rng: ChaCha8Rng,
+    next_id: ElementId,
+    next_timestamp: u64,
+}
+
+impl Generator {
+    fn new(config: GeneratorConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        Generator {
+            config,
+            rng,
+            next_id: 1,
+            next_timestamp: 1_000,
+        }
+    }
+
+    fn fresh_id(&mut self) -> ElementId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn fresh_timestamp(&mut self) -> u64 {
+        let ts = self.next_timestamp;
+        self.next_timestamp += self.rng.gen_range(1..5);
+        ts
+    }
+
+    fn generate_initial(&mut self) -> SocialNetwork {
+        let mut network = SocialNetwork::default();
+
+        // Users.
+        for i in 0..self.config.users {
+            let id = self.fresh_id();
+            network.users.push(User {
+                id,
+                name: format!("user-{i}"),
+            });
+        }
+        let user_ids: Vec<ElementId> = network.users.iter().map(|u| u.id).collect();
+        let user_popularity = ZipfSampler::new(user_ids.len().max(1), self.config.skew);
+
+        // Posts, authored by popularity-weighted users.
+        for _ in 0..self.config.posts {
+            let id = self.fresh_id();
+            let timestamp = self.fresh_timestamp();
+            let author = user_ids[user_popularity.sample(&mut self.rng)];
+            network.posts.push(Post {
+                id,
+                timestamp,
+                author,
+            });
+        }
+        let post_ids: Vec<ElementId> = network.posts.iter().map(|p| p.id).collect();
+        let post_popularity = ZipfSampler::new(post_ids.len().max(1), self.config.skew);
+
+        // Comments: each picks a root post (popularity weighted); its parent is the
+        // post itself or an earlier comment of the same post, forming a tree.
+        let mut comments_per_post: Vec<Vec<ElementId>> = vec![Vec::new(); post_ids.len()];
+        for _ in 0..self.config.comments {
+            let id = self.fresh_id();
+            let timestamp = self.fresh_timestamp();
+            let author = user_ids[user_popularity.sample(&mut self.rng)];
+            let post_rank = post_popularity.sample(&mut self.rng);
+            let root_post = post_ids[post_rank];
+            let parent = if comments_per_post[post_rank].is_empty() || self.rng.gen_bool(0.4) {
+                root_post
+            } else {
+                *comments_per_post[post_rank]
+                    .choose(&mut self.rng)
+                    .expect("non-empty checked above")
+            };
+            comments_per_post[post_rank].push(id);
+            network.comments.push(Comment {
+                id,
+                timestamp,
+                author,
+                parent,
+                root_post,
+            });
+        }
+        let comment_ids: Vec<ElementId> = network.comments.iter().map(|c| c.id).collect();
+        let comment_popularity = ZipfSampler::new(comment_ids.len().max(1), self.config.skew);
+
+        // Friendships: popularity-weighted endpoints, deduplicated, no self loops.
+        // The target is capped by the number of distinct pairs and the sampling loop is
+        // bounded by an attempt budget, so saturated (tiny) configurations terminate.
+        let mut friend_set: std::collections::HashSet<(ElementId, ElementId)> =
+            std::collections::HashSet::new();
+        let max_pairs = user_ids.len().saturating_mul(user_ids.len().saturating_sub(1)) / 2;
+        let friend_target = self.config.friendships.min(max_pairs);
+        let mut friend_attempts = 0usize;
+        while friend_set.len() < friend_target
+            && user_ids.len() >= 2
+            && friend_attempts < 50 * friend_target.max(1)
+        {
+            friend_attempts += 1;
+            if let Some((a, b)) = sample_distinct_pair(&user_popularity, &mut self.rng) {
+                let (ua, ub) = (user_ids[a], user_ids[b]);
+                let key = (ua.min(ub), ua.max(ub));
+                friend_set.insert(key);
+            }
+        }
+        network.friendships = friend_set.into_iter().collect();
+        network.friendships.sort_unstable();
+
+        // Likes: popularity-weighted user likes popularity-weighted comment, dedup.
+        let mut like_set: std::collections::HashSet<(ElementId, ElementId)> =
+            std::collections::HashSet::new();
+        let like_target = self
+            .config
+            .likes
+            .min(user_ids.len() * comment_ids.len().max(1));
+        let mut attempts = 0usize;
+        while like_set.len() < like_target && attempts < 50 * like_target.max(1) {
+            attempts += 1;
+            if comment_ids.is_empty() {
+                break;
+            }
+            let user = user_ids[user_popularity.sample(&mut self.rng)];
+            let comment = comment_ids[comment_popularity.sample(&mut self.rng)];
+            like_set.insert((user, comment));
+        }
+        network.likes = like_set.into_iter().collect();
+        network.likes.sort_unstable();
+
+        network
+    }
+
+    fn generate_changesets(&mut self, initial: &SocialNetwork) -> Vec<ChangeSet> {
+        let user_ids: Vec<ElementId> = initial.users.iter().map(|u| u.id).collect();
+        let post_ids: Vec<ElementId> = initial.posts.iter().map(|p| p.id).collect();
+        let mut comment_ids: Vec<ElementId> = initial.comments.iter().map(|c| c.id).collect();
+        let mut root_of: std::collections::HashMap<ElementId, ElementId> = initial
+            .comments
+            .iter()
+            .map(|c| (c.id, c.root_post))
+            .collect();
+        let mut existing_friendships: std::collections::HashSet<(ElementId, ElementId)> = initial
+            .friendships
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let mut existing_likes: std::collections::HashSet<(ElementId, ElementId)> =
+            initial.likes.iter().copied().collect();
+
+        let user_popularity = ZipfSampler::new(user_ids.len().max(1), self.config.skew);
+
+        let mut changesets = Vec::with_capacity(self.config.changesets);
+        let per_changeset =
+            (self.config.total_inserts / self.config.changesets.max(1)).max(1);
+        let mut remaining = self.config.total_inserts;
+
+        for _ in 0..self.config.changesets {
+            let mut operations = Vec::new();
+            let mut inserted = 0usize;
+            let budget = per_changeset.min(remaining.max(1));
+
+            // Bounded so a saturated graph (all likes / friendships already present)
+            // cannot spin forever when the dice keep landing on duplicate edges.
+            let mut rolls = 0usize;
+            while inserted < budget && rolls < 100 * budget.max(1) {
+                rolls += 1;
+                let roll: f64 = self.rng.gen();
+                if roll < 0.35 && !comment_ids.is_empty() {
+                    // New comment replying to an existing submission (+ a like on it),
+                    // mirroring the paper's running example.
+                    let id = self.fresh_id();
+                    let timestamp = self.fresh_timestamp();
+                    let author = user_ids[user_popularity.sample(&mut self.rng)];
+                    let parent = *comment_ids.choose(&mut self.rng).expect("non-empty");
+                    let root_post = root_of.get(&parent).copied().unwrap_or_else(|| {
+                        *post_ids.first().expect("at least one post exists")
+                    });
+                    let comment = Comment {
+                        id,
+                        timestamp,
+                        author,
+                        parent,
+                        root_post,
+                    };
+                    root_of.insert(id, root_post);
+                    comment_ids.push(id);
+                    operations.push(ChangeOperation::AddComment { comment });
+                    inserted += 3;
+                    // usually a like arrives with the new comment
+                    if self.rng.gen_bool(0.7) {
+                        let liker = user_ids[user_popularity.sample(&mut self.rng)];
+                        if existing_likes.insert((liker, id)) {
+                            operations.push(ChangeOperation::AddLike {
+                                user: liker,
+                                comment: id,
+                            });
+                            inserted += 1;
+                        }
+                    }
+                } else if roll < 0.70 && !comment_ids.is_empty() {
+                    // New like on an existing comment.
+                    let user = user_ids[user_popularity.sample(&mut self.rng)];
+                    let comment = *comment_ids.choose(&mut self.rng).expect("non-empty");
+                    if existing_likes.insert((user, comment)) {
+                        operations.push(ChangeOperation::AddLike { user, comment });
+                        inserted += 1;
+                    }
+                } else if user_ids.len() >= 2 {
+                    // New friendship.
+                    if let Some((a, b)) = sample_distinct_pair(&user_popularity, &mut self.rng) {
+                        let (ua, ub) = (user_ids[a], user_ids[b]);
+                        let key = (ua.min(ub), ua.max(ub));
+                        if existing_friendships.insert(key) {
+                            operations.push(ChangeOperation::AddFriendship { a: ua, b: ub });
+                            inserted += 1;
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+
+            remaining = remaining.saturating_sub(inserted);
+            changesets.push(ChangeSet { operations });
+        }
+        changesets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_has_requested_shape() {
+        let cfg = GeneratorConfig::tiny(1);
+        let workload = generate_workload(&cfg);
+        assert_eq!(workload.initial.users.len(), cfg.users);
+        assert_eq!(workload.initial.posts.len(), cfg.posts);
+        assert_eq!(workload.initial.comments.len(), cfg.comments);
+        assert_eq!(workload.changesets.len(), cfg.changesets);
+        assert!(workload.total_inserted_elements() > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = GeneratorConfig::tiny(99);
+        assert_eq!(generate_workload(&cfg), generate_workload(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_workload(&GeneratorConfig::tiny(1));
+        let b = generate_workload(&GeneratorConfig::tiny(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn comment_trees_are_well_formed() {
+        let workload = generate_workload(&GeneratorConfig::tiny(5));
+        let network = &workload.initial;
+        let post_ids: std::collections::HashSet<_> = network.posts.iter().map(|p| p.id).collect();
+        let comment_by_id: std::collections::HashMap<_, _> =
+            network.comments.iter().map(|c| (c.id, c)).collect();
+        for c in &network.comments {
+            assert!(post_ids.contains(&c.root_post), "rootPost must be a post");
+            // the parent is either the root post or another comment with the same root
+            if c.parent != c.root_post {
+                let parent = comment_by_id
+                    .get(&c.parent)
+                    .expect("parent comment must exist");
+                assert_eq!(parent.root_post, c.root_post);
+                assert!(parent.id < c.id, "parents are created before children");
+            }
+        }
+    }
+
+    #[test]
+    fn friendships_have_no_self_loops_or_duplicates() {
+        let workload = generate_workload(&GeneratorConfig::tiny(7));
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &workload.initial.friendships {
+            assert_ne!(a, b);
+            assert!(seen.insert((a.min(b), a.max(b))), "duplicate friendship");
+        }
+    }
+
+    #[test]
+    fn likes_reference_existing_users_and_comments() {
+        let workload = generate_workload(&GeneratorConfig::tiny(9));
+        let network = &workload.initial;
+        let user_ids: std::collections::HashSet<_> = network.users.iter().map(|u| u.id).collect();
+        let comment_ids: std::collections::HashSet<_> =
+            network.comments.iter().map(|c| c.id).collect();
+        for &(u, c) in &network.likes {
+            assert!(user_ids.contains(&u));
+            assert!(comment_ids.contains(&c));
+        }
+    }
+
+    #[test]
+    fn changeset_references_stay_valid_when_applied_in_order() {
+        let workload = generate_workload(&GeneratorConfig::tiny(11));
+        let mut network = workload.initial.clone();
+        for cs in &workload.changesets {
+            for op in &cs.operations {
+                match op {
+                    ChangeOperation::AddComment { comment } => {
+                        let known_submission = network.posts.iter().any(|p| p.id == comment.parent)
+                            || network.comments.iter().any(|c| c.id == comment.parent);
+                        assert!(known_submission, "parent must already exist");
+                    }
+                    ChangeOperation::AddLike { comment, .. } => {
+                        // may be a comment added earlier in this same changeset
+                        let known = network.comments.iter().any(|c| c.id == *comment)
+                            || cs.operations.iter().any(|o| matches!(o, ChangeOperation::AddComment { comment: c } if c.id == *comment));
+                        assert!(known, "liked comment must exist");
+                    }
+                    _ => {}
+                }
+            }
+            crate::model::apply_changeset(&mut network, cs);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_the_whole_workload() {
+        let workload = generate_workload(&GeneratorConfig::tiny(13));
+        let mut ids = std::collections::HashSet::new();
+        let network = workload.final_network();
+        for u in &network.users {
+            assert!(ids.insert(u.id));
+        }
+        for p in &network.posts {
+            assert!(ids.insert(p.id));
+        }
+        for c in &network.comments {
+            assert!(ids.insert(c.id));
+        }
+    }
+
+    #[test]
+    fn scale_factor_counts_track_table2_within_tolerance() {
+        // Use the smallest paper scale factor to keep the test fast.
+        let workload = generate_scale_factor(1);
+        let nodes = workload.initial.node_count() as f64;
+        let edges = workload.initial.edge_count() as f64;
+        assert!((nodes - 1274.0).abs() / 1274.0 < 0.15, "nodes = {nodes}");
+        assert!((edges - 2533.0).abs() / 2533.0 < 0.20, "edges = {edges}");
+        let inserts = workload.total_inserted_elements();
+        assert!(inserts >= 40 && inserts <= 140, "inserts = {inserts}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Data model of the TTC 2018 "Social Media" case study.
+//!
+//! The schema follows Fig. 1 of the paper (itself based on the LDBC Social Network
+//! Benchmark): `User`s author `Submission`s; a submission is either a `Post` (the root
+//! of a discussion) or a `Comment` attached to a parent submission and carrying a
+//! direct pointer to its root post. Users `like` comments and form undirected
+//! `friends` relations.
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of any model element (user, post, comment).
+pub type ElementId = u64;
+
+/// A registered user.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Unique id of the user.
+    pub id: ElementId,
+    /// Display name (synthetic).
+    pub name: String,
+}
+
+/// A post: the root submission of a discussion tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Unique id of the post.
+    pub id: ElementId,
+    /// Creation timestamp (monotone in id for the synthetic data).
+    pub timestamp: u64,
+    /// Id of the authoring user.
+    pub author: ElementId,
+}
+
+/// A comment, attached to a parent submission (post or comment) within the tree rooted
+/// at `root_post`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Comment {
+    /// Unique id of the comment.
+    pub id: ElementId,
+    /// Creation timestamp (monotone in id for the synthetic data).
+    pub timestamp: u64,
+    /// Id of the authoring user.
+    pub author: ElementId,
+    /// Id of the parent submission (a post or another comment).
+    pub parent: ElementId,
+    /// Direct pointer to the root post of the discussion tree (the `rootPost` edge).
+    pub root_post: ElementId,
+}
+
+/// The initial social network: the input of the "load and initial evaluation" phase.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SocialNetwork {
+    /// All users.
+    pub users: Vec<User>,
+    /// All posts.
+    pub posts: Vec<Post>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+    /// Undirected friendship pairs `(a, b)` with `a != b` (stored once per pair).
+    pub friendships: Vec<(ElementId, ElementId)>,
+    /// `likes` edges `(user, comment)`.
+    pub likes: Vec<(ElementId, ElementId)>,
+}
+
+impl SocialNetwork {
+    /// Total number of nodes (users + posts + comments), as counted by Table II.
+    pub fn node_count(&self) -> usize {
+        self.users.len() + self.posts.len() + self.comments.len()
+    }
+
+    /// Total number of edges, as counted by Table II: submission (`commented` /
+    /// `submissions`) edges, `rootPost` edges, `likes` edges and `friends` pairs.
+    pub fn edge_count(&self) -> usize {
+        // each comment contributes one parent edge and one rootPost edge
+        2 * self.comments.len() + self.likes.len() + self.friendships.len()
+    }
+
+    /// Largest element id present in the network (0 if empty).
+    pub fn max_id(&self) -> ElementId {
+        let mut max = 0;
+        for u in &self.users {
+            max = max.max(u.id);
+        }
+        for p in &self.posts {
+            max = max.max(p.id);
+        }
+        for c in &self.comments {
+            max = max.max(c.id);
+        }
+        max
+    }
+}
+
+/// A single insertion operation, as replayed during the "update and reevaluation"
+/// phase. The TTC 2018 workload contains only insertions (no deletions).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeOperation {
+    /// Register a new user.
+    AddUser {
+        /// The new user.
+        user: User,
+    },
+    /// Create a new post.
+    AddPost {
+        /// The new post.
+        post: Post,
+    },
+    /// Create a new comment (including its `parent` and `rootPost` edges).
+    AddComment {
+        /// The new comment.
+        comment: Comment,
+    },
+    /// Create a new undirected friendship.
+    AddFriendship {
+        /// One endpoint.
+        a: ElementId,
+        /// The other endpoint.
+        b: ElementId,
+    },
+    /// A user likes a comment.
+    AddLike {
+        /// The liking user.
+        user: ElementId,
+        /// The liked comment.
+        comment: ElementId,
+    },
+}
+
+impl ChangeOperation {
+    /// Number of inserted model elements (nodes + edges) this operation represents,
+    /// using the counting convention of the case study (a new comment counts as the
+    /// node plus its two outgoing edges).
+    pub fn inserted_elements(&self) -> usize {
+        match self {
+            ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => 1,
+            ChangeOperation::AddComment { .. } => 3,
+            ChangeOperation::AddFriendship { .. } | ChangeOperation::AddLike { .. } => 1,
+        }
+    }
+}
+
+/// A batch of insertions applied atomically between two query re-evaluations.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChangeSet {
+    /// The operations, in application order.
+    pub operations: Vec<ChangeOperation>,
+}
+
+impl ChangeSet {
+    /// Number of inserted model elements in this changeset.
+    pub fn inserted_elements(&self) -> usize {
+        self.operations.iter().map(|o| o.inserted_elements()).sum()
+    }
+
+    /// Whether the changeset contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+}
+
+/// A full benchmark workload: the initial network plus the sequence of changesets.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The initial social network.
+    pub initial: SocialNetwork,
+    /// The changesets, applied one at a time with a query re-evaluation after each.
+    pub changesets: Vec<ChangeSet>,
+}
+
+impl Workload {
+    /// Total number of inserted elements across all changesets (the `#inserts` column
+    /// of Table II).
+    pub fn total_inserted_elements(&self) -> usize {
+        self.changesets
+            .iter()
+            .map(ChangeSet::inserted_elements)
+            .sum()
+    }
+
+    /// Apply every changeset to a copy of the initial network and return the final
+    /// network (used by tests to cross-check incremental results).
+    pub fn final_network(&self) -> SocialNetwork {
+        let mut network = self.initial.clone();
+        for changeset in &self.changesets {
+            apply_changeset(&mut network, changeset);
+        }
+        network
+    }
+}
+
+/// Apply a changeset to an in-memory network (the "model repository" view of the
+/// update). The GraphBLAS solution applies the same changes to its matrices instead.
+pub fn apply_changeset(network: &mut SocialNetwork, changeset: &ChangeSet) {
+    for op in &changeset.operations {
+        match op {
+            ChangeOperation::AddUser { user } => network.users.push(user.clone()),
+            ChangeOperation::AddPost { post } => network.posts.push(post.clone()),
+            ChangeOperation::AddComment { comment } => network.comments.push(comment.clone()),
+            ChangeOperation::AddFriendship { a, b } => network.friendships.push((*a, *b)),
+            ChangeOperation::AddLike { user, comment } => network.likes.push((*user, *comment)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_network() -> SocialNetwork {
+        SocialNetwork {
+            users: vec![
+                User {
+                    id: 1,
+                    name: "u1".into(),
+                },
+                User {
+                    id: 2,
+                    name: "u2".into(),
+                },
+            ],
+            posts: vec![Post {
+                id: 10,
+                timestamp: 100,
+                author: 1,
+            }],
+            comments: vec![Comment {
+                id: 11,
+                timestamp: 101,
+                author: 2,
+                parent: 10,
+                root_post: 10,
+            }],
+            friendships: vec![(1, 2)],
+            likes: vec![(1, 11)],
+        }
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = tiny_network();
+        assert_eq!(n.node_count(), 4);
+        // comment: parent + rootPost = 2, like = 1, friendship = 1
+        assert_eq!(n.edge_count(), 4);
+        assert_eq!(n.max_id(), 11);
+    }
+
+    #[test]
+    fn changeset_element_counting() {
+        let cs = ChangeSet {
+            operations: vec![
+                ChangeOperation::AddComment {
+                    comment: Comment {
+                        id: 12,
+                        timestamp: 102,
+                        author: 1,
+                        parent: 11,
+                        root_post: 10,
+                    },
+                },
+                ChangeOperation::AddLike {
+                    user: 2,
+                    comment: 12,
+                },
+                ChangeOperation::AddFriendship { a: 1, b: 2 },
+            ],
+        };
+        assert_eq!(cs.inserted_elements(), 5);
+        assert!(!cs.is_empty());
+        assert!(ChangeSet::default().is_empty());
+    }
+
+    #[test]
+    fn apply_changeset_extends_network() {
+        let mut n = tiny_network();
+        let cs = ChangeSet {
+            operations: vec![
+                ChangeOperation::AddUser {
+                    user: User {
+                        id: 3,
+                        name: "u3".into(),
+                    },
+                },
+                ChangeOperation::AddLike {
+                    user: 3,
+                    comment: 11,
+                },
+            ],
+        };
+        apply_changeset(&mut n, &cs);
+        assert_eq!(n.users.len(), 3);
+        assert_eq!(n.likes.len(), 2);
+    }
+
+    #[test]
+    fn workload_final_network_accumulates_all_changesets() {
+        let workload = Workload {
+            initial: tiny_network(),
+            changesets: vec![
+                ChangeSet {
+                    operations: vec![ChangeOperation::AddFriendship { a: 2, b: 1 }],
+                },
+                ChangeSet {
+                    operations: vec![ChangeOperation::AddPost {
+                        post: Post {
+                            id: 20,
+                            timestamp: 200,
+                            author: 2,
+                        },
+                    }],
+                },
+            ],
+        };
+        let final_net = workload.final_network();
+        assert_eq!(final_net.friendships.len(), 2);
+        assert_eq!(final_net.posts.len(), 2);
+        assert_eq!(workload.total_inserted_elements(), 2);
+    }
+
+    #[test]
+    fn empty_network_counts() {
+        let n = SocialNetwork::default();
+        assert_eq!(n.node_count(), 0);
+        assert_eq!(n.edge_count(), 0);
+        assert_eq!(n.max_id(), 0);
+    }
+}

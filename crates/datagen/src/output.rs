@@ -1,0 +1,289 @@
+//! Text serialisation of networks and changesets.
+//!
+//! The original TTC 2018 benchmark distributes its models as pipe-separated CSV files
+//! (one file per element kind) and its updates as change sequences. We mirror that
+//! format so the loader in `ttc-social-media` exercises a realistic parsing path, and
+//! so workloads can be dumped to disk and inspected.
+
+use crate::model::{
+    ChangeOperation, ChangeSet, Comment, ElementId, Post, SocialNetwork, User, Workload,
+};
+
+/// The CSV rendering of an initial network (one string per file of the original
+/// benchmark layout).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkCsv {
+    /// `id|name` per line.
+    pub users: String,
+    /// `id|timestamp|author` per line.
+    pub posts: String,
+    /// `id|timestamp|author|parent|rootPost` per line.
+    pub comments: String,
+    /// `user1|user2` per line (one line per undirected pair).
+    pub friends: String,
+    /// `user|comment` per line.
+    pub likes: String,
+}
+
+/// Render a network in the pipe-separated CSV layout.
+pub fn network_to_csv(network: &SocialNetwork) -> NetworkCsv {
+    let mut out = NetworkCsv::default();
+    for u in &network.users {
+        out.users.push_str(&format!("{}|{}\n", u.id, u.name));
+    }
+    for p in &network.posts {
+        out.posts
+            .push_str(&format!("{}|{}|{}\n", p.id, p.timestamp, p.author));
+    }
+    for c in &network.comments {
+        out.comments.push_str(&format!(
+            "{}|{}|{}|{}|{}\n",
+            c.id, c.timestamp, c.author, c.parent, c.root_post
+        ));
+    }
+    for &(a, b) in &network.friendships {
+        out.friends.push_str(&format!("{a}|{b}\n"));
+    }
+    for &(u, c) in &network.likes {
+        out.likes.push_str(&format!("{u}|{c}\n"));
+    }
+    out
+}
+
+/// Parse a network from the pipe-separated CSV layout produced by [`network_to_csv`].
+pub fn network_from_csv(csv: &NetworkCsv) -> Result<SocialNetwork, String> {
+    let mut network = SocialNetwork::default();
+    for (line_no, line) in non_empty_lines(&csv.users) {
+        let fields = split(line, 2, "users", line_no)?;
+        network.users.push(User {
+            id: parse_id(fields[0], "users", line_no)?,
+            name: fields[1].to_string(),
+        });
+    }
+    for (line_no, line) in non_empty_lines(&csv.posts) {
+        let fields = split(line, 3, "posts", line_no)?;
+        network.posts.push(Post {
+            id: parse_id(fields[0], "posts", line_no)?,
+            timestamp: parse_id(fields[1], "posts", line_no)?,
+            author: parse_id(fields[2], "posts", line_no)?,
+        });
+    }
+    for (line_no, line) in non_empty_lines(&csv.comments) {
+        let fields = split(line, 5, "comments", line_no)?;
+        network.comments.push(Comment {
+            id: parse_id(fields[0], "comments", line_no)?,
+            timestamp: parse_id(fields[1], "comments", line_no)?,
+            author: parse_id(fields[2], "comments", line_no)?,
+            parent: parse_id(fields[3], "comments", line_no)?,
+            root_post: parse_id(fields[4], "comments", line_no)?,
+        });
+    }
+    for (line_no, line) in non_empty_lines(&csv.friends) {
+        let fields = split(line, 2, "friends", line_no)?;
+        network.friendships.push((
+            parse_id(fields[0], "friends", line_no)?,
+            parse_id(fields[1], "friends", line_no)?,
+        ));
+    }
+    for (line_no, line) in non_empty_lines(&csv.likes) {
+        let fields = split(line, 2, "likes", line_no)?;
+        network.likes.push((
+            parse_id(fields[0], "likes", line_no)?,
+            parse_id(fields[1], "likes", line_no)?,
+        ));
+    }
+    Ok(network)
+}
+
+/// Render a changeset as one line per operation.
+///
+/// Operation lines are `U|id|name`, `P|id|ts|author`, `C|id|ts|author|parent|root`,
+/// `F|a|b`, `L|user|comment` — the same information content as the original change
+/// sequences.
+pub fn changeset_to_csv(changeset: &ChangeSet) -> String {
+    let mut out = String::new();
+    for op in &changeset.operations {
+        match op {
+            ChangeOperation::AddUser { user } => {
+                out.push_str(&format!("U|{}|{}\n", user.id, user.name));
+            }
+            ChangeOperation::AddPost { post } => {
+                out.push_str(&format!("P|{}|{}|{}\n", post.id, post.timestamp, post.author));
+            }
+            ChangeOperation::AddComment { comment } => {
+                out.push_str(&format!(
+                    "C|{}|{}|{}|{}|{}\n",
+                    comment.id, comment.timestamp, comment.author, comment.parent, comment.root_post
+                ));
+            }
+            ChangeOperation::AddFriendship { a, b } => {
+                out.push_str(&format!("F|{a}|{b}\n"));
+            }
+            ChangeOperation::AddLike { user, comment } => {
+                out.push_str(&format!("L|{user}|{comment}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parse a changeset produced by [`changeset_to_csv`].
+pub fn changeset_from_csv(text: &str) -> Result<ChangeSet, String> {
+    let mut operations = Vec::new();
+    for (line_no, line) in non_empty_lines(text) {
+        let fields: Vec<&str> = line.split('|').collect();
+        let kind = fields.first().copied().unwrap_or("");
+        let op = match kind {
+            "U" => {
+                require_fields(&fields, 3, "changeset", line_no)?;
+                ChangeOperation::AddUser {
+                    user: User {
+                        id: parse_id(fields[1], "changeset", line_no)?,
+                        name: fields[2].to_string(),
+                    },
+                }
+            }
+            "P" => {
+                require_fields(&fields, 4, "changeset", line_no)?;
+                ChangeOperation::AddPost {
+                    post: Post {
+                        id: parse_id(fields[1], "changeset", line_no)?,
+                        timestamp: parse_id(fields[2], "changeset", line_no)?,
+                        author: parse_id(fields[3], "changeset", line_no)?,
+                    },
+                }
+            }
+            "C" => {
+                require_fields(&fields, 6, "changeset", line_no)?;
+                ChangeOperation::AddComment {
+                    comment: Comment {
+                        id: parse_id(fields[1], "changeset", line_no)?,
+                        timestamp: parse_id(fields[2], "changeset", line_no)?,
+                        author: parse_id(fields[3], "changeset", line_no)?,
+                        parent: parse_id(fields[4], "changeset", line_no)?,
+                        root_post: parse_id(fields[5], "changeset", line_no)?,
+                    },
+                }
+            }
+            "F" => {
+                require_fields(&fields, 3, "changeset", line_no)?;
+                ChangeOperation::AddFriendship {
+                    a: parse_id(fields[1], "changeset", line_no)?,
+                    b: parse_id(fields[2], "changeset", line_no)?,
+                }
+            }
+            "L" => {
+                require_fields(&fields, 3, "changeset", line_no)?;
+                ChangeOperation::AddLike {
+                    user: parse_id(fields[1], "changeset", line_no)?,
+                    comment: parse_id(fields[2], "changeset", line_no)?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "changeset line {line_no}: unknown operation kind {other:?}"
+                ))
+            }
+        };
+        operations.push(op);
+    }
+    Ok(ChangeSet { operations })
+}
+
+/// Round-trip an entire workload through the CSV representation (used by tests).
+pub fn workload_roundtrip(workload: &Workload) -> Result<Workload, String> {
+    let initial = network_from_csv(&network_to_csv(&workload.initial))?;
+    let mut changesets = Vec::with_capacity(workload.changesets.len());
+    for cs in &workload.changesets {
+        changesets.push(changeset_from_csv(&changeset_to_csv(cs))?);
+    }
+    Ok(Workload {
+        initial,
+        changesets,
+    })
+}
+
+fn non_empty_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+}
+
+fn split<'a>(
+    line: &'a str,
+    expected: usize,
+    file: &str,
+    line_no: usize,
+) -> Result<Vec<&'a str>, String> {
+    let fields: Vec<&str> = line.split('|').collect();
+    require_fields(&fields, expected, file, line_no)?;
+    Ok(fields)
+}
+
+fn require_fields(fields: &[&str], expected: usize, file: &str, line_no: usize) -> Result<(), String> {
+    if fields.len() != expected {
+        return Err(format!(
+            "{file} line {line_no}: expected {expected} fields, found {}",
+            fields.len()
+        ));
+    }
+    Ok(())
+}
+
+fn parse_id(text: &str, file: &str, line_no: usize) -> Result<ElementId, String> {
+    text.parse::<ElementId>()
+        .map_err(|e| format!("{file} line {line_no}: invalid id {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate_workload;
+
+    #[test]
+    fn network_roundtrip() {
+        let workload = generate_workload(&GeneratorConfig::tiny(3));
+        let csv = network_to_csv(&workload.initial);
+        let parsed = network_from_csv(&csv).unwrap();
+        assert_eq!(parsed, workload.initial);
+    }
+
+    #[test]
+    fn changeset_roundtrip() {
+        let workload = generate_workload(&GeneratorConfig::tiny(4));
+        for cs in &workload.changesets {
+            let text = changeset_to_csv(cs);
+            let parsed = changeset_from_csv(&text).unwrap();
+            assert_eq!(&parsed, cs);
+        }
+    }
+
+    #[test]
+    fn full_workload_roundtrip() {
+        let workload = generate_workload(&GeneratorConfig::tiny(5));
+        assert_eq!(workload_roundtrip(&workload).unwrap(), workload);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_context() {
+        let mut csv = NetworkCsv::default();
+        csv.users = "1|alice\nnot-a-number|bob\n".to_string();
+        let err = network_from_csv(&csv).unwrap_err();
+        assert!(err.contains("users"));
+        assert!(err.contains("line 2"));
+
+        let err = changeset_from_csv("X|1|2\n").unwrap_err();
+        assert!(err.contains("unknown operation"));
+
+        let err = changeset_from_csv("F|1\n").unwrap_err();
+        assert!(err.contains("expected 3 fields"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let cs = changeset_from_csv("\n\nF|1|2\n\n").unwrap();
+        assert_eq!(cs.operations.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Skewed ("Facebook-like") discrete distributions.
+//!
+//! The LDBC Datagen used by the original benchmark produces power-law-ish degree and
+//! popularity distributions. We approximate this with a Zipf-like sampler: item `k`
+//! (0-based rank) is drawn with probability proportional to `1 / (k + 1)^s`, sampled
+//! in `O(log n)` by binary search over the precomputed cumulative weights.
+
+use rand::Rng;
+
+/// A Zipf-like sampler over the ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` ranks with skew exponent `s` (`s = 0` is uniform,
+    /// larger values concentrate the mass on the first ranks).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no ranks (never true: construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Draw a pair of distinct ranks (used for friendship endpoints). Returns `None` if
+/// the sampler has fewer than two ranks.
+pub fn sample_distinct_pair<R: Rng + ?Sized>(
+    sampler: &ZipfSampler,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    if sampler.len() < 2 {
+        return None;
+    }
+    let a = sampler.sample(rng);
+    for _ in 0..64 {
+        let b = sampler.sample(rng);
+        if b != a {
+            return Some((a, b));
+        }
+    }
+    // Extremely skewed distributions may keep returning the same rank; fall back to a
+    // uniform second endpoint to guarantee progress.
+    let mut b = rng.gen_range(0..sampler.len());
+    if b == a {
+        b = (b + 1) % sampler.len();
+    }
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let sampler = ZipfSampler::new(50, 0.9);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 50);
+        }
+        assert_eq!(sampler.len(), 50);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(
+            head > 5 * tail,
+            "head {head} should dominate tail {tail} under skew"
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn distinct_pair_never_returns_equal_ranks() {
+        let sampler = ZipfSampler::new(5, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..500 {
+            let (a, b) = sample_distinct_pair(&sampler, &mut rng).unwrap();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn distinct_pair_requires_two_ranks() {
+        let sampler = ZipfSampler::new(1, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        assert!(sample_distinct_pair(&sampler, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sampler_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let sampler = ZipfSampler::new(30, 0.9);
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let seq_a: Vec<usize> = (0..100).map(|_| sampler.sample(&mut a)).collect();
+        let seq_b: Vec<usize> = (0..100).map(|_| sampler.sample(&mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

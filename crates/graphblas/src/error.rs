@@ -1,0 +1,125 @@
+//! Error type used throughout the GraphBLAS crate.
+//!
+//! The variants loosely follow the error conditions defined by the GraphBLAS C API
+//! (`GrB_DIMENSION_MISMATCH`, `GrB_INDEX_OUT_OF_BOUNDS`, ...), but are idiomatic Rust
+//! enums carrying enough context to debug a failing operation.
+
+use std::fmt;
+
+use crate::types::Index;
+
+/// Errors returned by GraphBLAS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The dimensions of the operands do not conform
+    /// (e.g. multiplying an `m×k` matrix with a vector of size `k' != k`).
+    DimensionMismatch {
+        /// Human readable description of which operation failed.
+        context: &'static str,
+        /// Dimension expected by the operation.
+        expected: Index,
+        /// Dimension actually supplied.
+        actual: Index,
+    },
+    /// A row or column index is outside the dimensions of the container.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Index,
+        /// The dimension bound that was violated.
+        bound: Index,
+        /// Human readable description of which operation failed.
+        context: &'static str,
+    },
+    /// An attempt was made to shrink a container below its populated area without
+    /// permitting truncation.
+    InvalidResize {
+        /// Requested new dimension.
+        requested: Index,
+        /// Current dimension.
+        current: Index,
+    },
+    /// Generic invalid-value error (e.g. unsorted input where sorted input is required).
+    InvalidValue(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            Error::IndexOutOfBounds {
+                index,
+                bound,
+                context,
+            } => write!(
+                f,
+                "index {index} out of bounds (dimension {bound}) in {context}"
+            ),
+            Error::InvalidResize { requested, current } => write!(
+                f,
+                "invalid resize: requested {requested}, current dimension {current}"
+            ),
+            Error::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used by every fallible GraphBLAS operation.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = Error::DimensionMismatch {
+            context: "mxv",
+            expected: 4,
+            actual: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("mxv"));
+        assert!(s.contains('4'));
+        assert!(s.contains('5'));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = Error::IndexOutOfBounds {
+            index: 10,
+            bound: 3,
+            context: "set_element",
+        };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn display_invalid_resize() {
+        let e = Error::InvalidResize {
+            requested: 1,
+            current: 5,
+        };
+        assert!(e.to_string().contains("resize"));
+    }
+
+    #[test]
+    fn display_invalid_value() {
+        let e = Error::InvalidValue("boom".to_string());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,72 @@
+//! # graphblas — a from-scratch GraphBLAS-style sparse linear algebra library
+//!
+//! This crate re-implements, in safe Rust, the subset of the [GraphBLAS] standard used
+//! by the paper *"An incremental GraphBLAS solution for the 2018 TTC Social Media case
+//! study"* (Elekes & Szárnyas, GrAPL @ IPDPS 2020). The original solution was built on
+//! SuiteSparse:GraphBLAS; since no equivalent Rust implementation is available offline,
+//! the sparse kernels are hand-rolled here (see `DESIGN.md` at the repository root).
+//!
+//! The public surface mirrors the paper's Table I:
+//!
+//! | GraphBLAS method    | here |
+//! |---------------------|------|
+//! | `GrB_mxm`           | [`ops::mxm`], [`ops::mxm_par`], [`ops::mxm_masked`] |
+//! | `GrB_vxm`           | [`ops::vxm`], [`ops::vxm_masked`] |
+//! | `GrB_mxv`           | [`ops::mxv`], [`ops::mxv_par`], [`ops::mxv_masked`] |
+//! | `GrB_eWiseAdd`      | [`ops::ewise_add_vector`], [`ops::ewise_add_matrix`] |
+//! | `GrB_eWiseMult`     | [`ops::ewise_mult_vector`], [`ops::ewise_mult_matrix`] |
+//! | `GrB_extract`       | [`ops::extract_subvector`], [`ops::extract_submatrix`] |
+//! | `GrB_apply`         | [`ops::apply_vector`], [`ops::apply_matrix`] |
+//! | `GxB_select`        | [`ops::select_vector`], [`ops::select_matrix`] |
+//! | `GrB_reduce`        | [`ops::reduce_matrix_rows`], [`ops::reduce_matrix_cols`], [`ops::reduce_matrix_scalar`], [`ops::reduce_vector_scalar`] |
+//! | `GrB_assign`        | [`ops::assign_vector_masked`], [`ops::assign_scalar_vector_masked`] |
+//! | `GrB_transpose`     | [`Matrix::transpose`] |
+//! | `GrB_build`         | [`Matrix::from_tuples`], [`Vector::from_tuples`] |
+//! | `GrB_extractTuples` | [`Matrix::extract_tuples`], [`Vector::extract_tuples`] |
+//!
+//! Masks (`C⟨M⟩ = ...`) are modelled by [`VectorMask`] / [`MatrixMask`], semirings by
+//! [`semiring::Semiring`] with the stock constructions in [`semiring::stock`].
+//!
+//! ## Example
+//!
+//! Compute the Q1-style "likes per post" aggregation: a `posts × comments` pattern
+//! matrix times a per-comment like-count vector over the `(+, second)` semiring.
+//!
+//! ```
+//! use graphblas::{Matrix, Vector, ops, semiring, ops_traits::First};
+//!
+//! // RootPost: post 0 has comments 0 and 1; post 1 has comment 2.
+//! let root_post: Matrix<bool> = Matrix::from_edges(2, 3, &[(0, 0), (0, 1), (1, 2)]).unwrap();
+//! // likesCount: comment 0 has 2 likes, comment 1 has 3 likes.
+//! let likes_count = Vector::from_tuples(3, &[(0, 2u64), (1, 3)], First::new()).unwrap();
+//!
+//! let likes_per_post = ops::mxv(&root_post, &likes_count, semiring::stock::plus_second()).unwrap();
+//! assert_eq!(likes_per_post.get(0), Some(5));
+//! assert_eq!(likes_per_post.get(1), None); // comment 2 has no likes
+//! ```
+//!
+//! [GraphBLAS]: https://graphblas.org
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod mask;
+pub mod matrix;
+pub mod monoid;
+pub mod ops;
+pub mod ops_traits;
+pub mod scalar;
+pub mod semiring;
+pub mod types;
+pub mod vector;
+
+pub use error::{Error, Result};
+pub use mask::{MaskKind, MatrixMask, VectorMask};
+pub use matrix::{DynamicMatrix, Matrix, MatrixBuilder};
+pub use monoid::Monoid;
+pub use ops_traits::{BinaryOp, IndexUnaryOp, UnaryOp};
+pub use scalar::{MaskValue, Ring, Scalar};
+pub use semiring::{Semiring, SemiringOps};
+pub use types::{Index, IndexSelection};
+pub use vector::Vector;

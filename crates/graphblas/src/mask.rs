@@ -1,0 +1,214 @@
+//! Masks (`C⟨M⟩ = ...`): restrict where an operation may write its result.
+//!
+//! GraphBLAS distinguishes *structural* masks (a position is allowed if the mask
+//! stores any element there) from *value* masks (the stored element must additionally
+//! be truthy), and both can be *complemented*. The paper's Q1 incremental algorithm
+//! uses a value mask in `∆scores⟨scores⁺⟩ ← scores′` to output only the changed scores.
+
+use crate::matrix::Matrix;
+use crate::scalar::MaskValue;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// How the stored elements of the mask are interpreted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MaskKind {
+    /// A position is allowed if the mask stores an element there.
+    Structural,
+    /// A position is allowed if the mask stores a truthy element there.
+    Value,
+}
+
+/// A mask over vector positions.
+#[derive(Copy, Clone, Debug)]
+pub struct VectorMask<'a, M: MaskValue> {
+    mask: &'a Vector<M>,
+    kind: MaskKind,
+    complemented: bool,
+}
+
+impl<'a, M: MaskValue> VectorMask<'a, M> {
+    /// Structural mask: positions where `mask` stores any element.
+    pub fn structural(mask: &'a Vector<M>) -> Self {
+        VectorMask {
+            mask,
+            kind: MaskKind::Structural,
+            complemented: false,
+        }
+    }
+
+    /// Value mask: positions where `mask` stores a truthy element.
+    pub fn value(mask: &'a Vector<M>) -> Self {
+        VectorMask {
+            mask,
+            kind: MaskKind::Value,
+            complemented: false,
+        }
+    }
+
+    /// Complement the mask (`GrB_DESC_C`).
+    pub fn complement(mut self) -> Self {
+        self.complemented = !self.complemented;
+        self
+    }
+
+    /// The dimension of the underlying mask vector.
+    pub fn size(&self) -> Index {
+        self.mask.size()
+    }
+
+    /// Whether writing to position `i` is allowed.
+    #[inline]
+    pub fn allows(&self, i: Index) -> bool {
+        let present = match self.kind {
+            MaskKind::Structural => self.mask.contains(i),
+            MaskKind::Value => self.mask.get(i).map(MaskValue::is_truthy).unwrap_or(false),
+        };
+        present != self.complemented
+    }
+
+    /// Iterate the positions explicitly allowed by a *non-complemented* mask.
+    ///
+    /// For complemented masks the allowed set is the complement of the stored
+    /// positions and cannot be enumerated cheaply; callers should fall back to
+    /// [`VectorMask::allows`] per position (the kernels do this automatically).
+    pub fn allowed_positions(&self) -> Option<Vec<Index>> {
+        if self.complemented {
+            return None;
+        }
+        let positions = match self.kind {
+            MaskKind::Structural => self.mask.indices().to_vec(),
+            MaskKind::Value => self
+                .mask
+                .iter()
+                .filter(|&(_, v)| v.is_truthy())
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        Some(positions)
+    }
+}
+
+/// A mask over matrix positions.
+#[derive(Copy, Clone, Debug)]
+pub struct MatrixMask<'a, M: MaskValue> {
+    mask: &'a Matrix<M>,
+    kind: MaskKind,
+    complemented: bool,
+}
+
+impl<'a, M: MaskValue> MatrixMask<'a, M> {
+    /// Structural mask: positions where `mask` stores any element.
+    pub fn structural(mask: &'a Matrix<M>) -> Self {
+        MatrixMask {
+            mask,
+            kind: MaskKind::Structural,
+            complemented: false,
+        }
+    }
+
+    /// Value mask: positions where `mask` stores a truthy element.
+    pub fn value(mask: &'a Matrix<M>) -> Self {
+        MatrixMask {
+            mask,
+            kind: MaskKind::Value,
+            complemented: false,
+        }
+    }
+
+    /// Complement the mask (`GrB_DESC_C`).
+    pub fn complement(mut self) -> Self {
+        self.complemented = !self.complemented;
+        self
+    }
+
+    /// Number of rows of the underlying mask matrix.
+    pub fn nrows(&self) -> Index {
+        self.mask.nrows()
+    }
+
+    /// Number of columns of the underlying mask matrix.
+    pub fn ncols(&self) -> Index {
+        self.mask.ncols()
+    }
+
+    /// Whether writing to position `(i, j)` is allowed.
+    #[inline]
+    pub fn allows(&self, i: Index, j: Index) -> bool {
+        let present = match self.kind {
+            MaskKind::Structural => self.mask.get(i, j).is_some(),
+            MaskKind::Value => self
+                .mask
+                .get(i, j)
+                .map(MaskValue::is_truthy)
+                .unwrap_or(false),
+        };
+        present != self.complemented
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    fn mask_vec() -> Vector<u8> {
+        Vector::from_tuples(6, &[(1, 1u8), (3, 0), (5, 2)], Plus::new()).unwrap()
+    }
+
+    #[test]
+    fn structural_vector_mask() {
+        let v = mask_vec();
+        let m = VectorMask::structural(&v);
+        assert!(m.allows(1));
+        assert!(m.allows(3)); // stored, even though value is 0
+        assert!(m.allows(5));
+        assert!(!m.allows(0));
+        assert_eq!(m.size(), 6);
+        assert_eq!(m.allowed_positions(), Some(vec![1, 3, 5]));
+    }
+
+    #[test]
+    fn value_vector_mask() {
+        let v = mask_vec();
+        let m = VectorMask::value(&v);
+        assert!(m.allows(1));
+        assert!(!m.allows(3)); // stored but falsy
+        assert!(m.allows(5));
+        assert!(!m.allows(0));
+        assert_eq!(m.allowed_positions(), Some(vec![1, 5]));
+    }
+
+    #[test]
+    fn complemented_vector_mask() {
+        let v = mask_vec();
+        let m = VectorMask::value(&v).complement();
+        assert!(!m.allows(1));
+        assert!(m.allows(3));
+        assert!(m.allows(0));
+        assert_eq!(m.allowed_positions(), None);
+        // double complement cancels
+        let m2 = m.complement();
+        assert!(m2.allows(1));
+    }
+
+    #[test]
+    fn matrix_masks() {
+        let mat = Matrix::from_tuples(3, 3, &[(0, 1, 1u8), (2, 2, 0)], Plus::new()).unwrap();
+        let structural = MatrixMask::structural(&mat);
+        assert!(structural.allows(0, 1));
+        assert!(structural.allows(2, 2));
+        assert!(!structural.allows(1, 1));
+        assert_eq!(structural.nrows(), 3);
+        assert_eq!(structural.ncols(), 3);
+
+        let value = MatrixMask::value(&mat);
+        assert!(value.allows(0, 1));
+        assert!(!value.allows(2, 2));
+
+        let comp = MatrixMask::value(&mat).complement();
+        assert!(!comp.allows(0, 1));
+        assert!(comp.allows(1, 1));
+        assert!(comp.allows(2, 2));
+    }
+}

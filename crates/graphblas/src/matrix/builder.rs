@@ -1,0 +1,192 @@
+//! Construction of CSR matrices from coordinate tuples (`GrB_Matrix_build`).
+
+use crate::error::{Error, Result};
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+use super::Matrix;
+
+/// Build a CSR matrix from unsorted coordinate tuples, combining duplicates with `dup`.
+pub(super) fn from_tuples<T, Op>(
+    nrows: Index,
+    ncols: Index,
+    tuples: &[(Index, Index, T)],
+    dup: Op,
+) -> Result<Matrix<T>>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, Output = T>,
+{
+    for &(r, c, _) in tuples {
+        if r >= nrows {
+            return Err(Error::IndexOutOfBounds {
+                index: r,
+                bound: nrows,
+                context: "Matrix::from_tuples (row)",
+            });
+        }
+        if c >= ncols {
+            return Err(Error::IndexOutOfBounds {
+                index: c,
+                bound: ncols,
+                context: "Matrix::from_tuples (col)",
+            });
+        }
+    }
+
+    let mut sorted: Vec<(Index, Index, T)> = tuples.to_vec();
+    sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    let mut col_idx = Vec::with_capacity(sorted.len());
+    let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+    row_ptr.push(0);
+
+    let mut current_row = 0;
+    for (r, c, v) in sorted {
+        while current_row < r {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        // After the row advance, `row_ptr[current_row]` is the start of the row being
+        // filled; a duplicate coordinate means the previous tuple had the same column
+        // within this same row.
+        let row_start = row_ptr[current_row];
+        if col_idx.len() > row_start && *col_idx.last().expect("non-empty") == c {
+            let slot = values.last_mut().expect("values parallel to col_idx");
+            *slot = dup.apply(*slot, v);
+            continue;
+        }
+        col_idx.push(c);
+        values.push(v);
+    }
+    while current_row < nrows {
+        row_ptr.push(col_idx.len());
+        current_row += 1;
+    }
+
+    Ok(Matrix::from_csr_parts(
+        nrows, ncols, row_ptr, col_idx, values,
+    ))
+}
+
+/// An incremental builder that accumulates tuples and produces a [`Matrix`].
+///
+/// Useful when the number of tuples is not known up front (e.g. while parsing input
+/// files): `push` is O(1) amortised and `build` performs a single sort + merge.
+#[derive(Clone, Debug)]
+pub struct MatrixBuilder<T> {
+    nrows: Index,
+    ncols: Index,
+    tuples: Vec<(Index, Index, T)>,
+}
+
+impl<T: Scalar> MatrixBuilder<T> {
+    /// Create a builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        MatrixBuilder {
+            nrows,
+            ncols,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create a builder with pre-allocated capacity for `capacity` tuples.
+    pub fn with_capacity(nrows: Index, ncols: Index, capacity: usize) -> Self {
+        MatrixBuilder {
+            nrows,
+            ncols,
+            tuples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Queue a tuple for insertion. Bounds are checked at [`MatrixBuilder::build`] time.
+    pub fn push(&mut self, row: Index, col: Index, value: T) {
+        self.tuples.push((row, col, value));
+    }
+
+    /// Number of queued tuples (duplicates not yet combined).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no tuples have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Grow the target dimensions (useful when ids are discovered while parsing).
+    pub fn grow_to(&mut self, nrows: Index, ncols: Index) {
+        self.nrows = self.nrows.max(nrows);
+        self.ncols = self.ncols.max(ncols);
+    }
+
+    /// Build the matrix, combining duplicate coordinates with `dup`.
+    pub fn build<Op>(self, dup: Op) -> Result<Matrix<T>>
+    where
+        Op: BinaryOp<T, T, Output = T>,
+    {
+        from_tuples(self.nrows, self.ncols, &self.tuples, dup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Plus, Second};
+
+    #[test]
+    fn builder_accumulates_and_builds() {
+        let mut b = MatrixBuilder::with_capacity(3, 3, 4);
+        assert!(b.is_empty());
+        b.push(0, 0, 1u64);
+        b.push(2, 1, 5);
+        b.push(0, 0, 2);
+        assert_eq!(b.len(), 3);
+        let m = b.build(Plus::new()).unwrap();
+        assert_eq!(m.get(0, 0), Some(3));
+        assert_eq!(m.get(2, 1), Some(5));
+        assert_eq!(m.nvals(), 2);
+    }
+
+    #[test]
+    fn builder_grow_to_expands_dimensions() {
+        let mut b = MatrixBuilder::new(1, 1);
+        b.push(4, 2, 1u8);
+        b.grow_to(5, 3);
+        let m = b.build(Second::new()).unwrap();
+        assert_eq!(m.nrows(), 5);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.get(4, 2), Some(1));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_bounds_at_build() {
+        let mut b = MatrixBuilder::new(2, 2);
+        b.push(5, 0, 1u8);
+        assert!(b.build(Plus::new()).is_err());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_matrix() {
+        let b: MatrixBuilder<u64> = MatrixBuilder::new(4, 7);
+        let m = b.build(Plus::new()).unwrap();
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 7);
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn duplicates_across_rows_are_not_merged_together() {
+        let m = from_tuples(
+            3,
+            3,
+            &[(0, 1, 1u64), (1, 1, 2), (0, 1, 4)],
+            Plus::new(),
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 1), Some(5));
+        assert_eq!(m.get(1, 1), Some(2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Dense conversions, intended for tests, debugging and small examples.
+
+use crate::error::Result;
+use crate::ops_traits::BinaryFn;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+use super::Matrix;
+
+impl<T: Scalar> Matrix<T> {
+    /// Render the matrix as a dense row-major `Vec<Vec<T>>`, filling missing positions
+    /// with `fill`. Only use on small matrices (tests / examples).
+    pub fn to_dense(&self, fill: T) -> Vec<Vec<T>> {
+        let mut out = vec![vec![fill; self.ncols()]; self.nrows()];
+        for (r, c, v) in self.iter() {
+            out[r][c] = v;
+        }
+        out
+    }
+
+    /// Build a sparse matrix from a dense row-major representation, storing every
+    /// element that differs from `zero`.
+    pub fn from_dense(rows: &[Vec<T>], zero: T) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut tuples = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != zero {
+                    tuples.push((r as Index, c as Index, v));
+                }
+            }
+        }
+        Matrix::from_tuples(nrows, ncols, &tuples, BinaryFn::new(|_a: T, b: T| b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![vec![0u64, 2, 0], vec![1, 0, 3]];
+        let m = Matrix::from_dense(&dense, 0).unwrap();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nvals(), 3);
+        assert_eq!(m.to_dense(0), dense);
+    }
+
+    #[test]
+    fn from_dense_empty() {
+        let m: Matrix<u64> = Matrix::from_dense(&[], 0).unwrap();
+        assert_eq!(m.nrows(), 0);
+        assert_eq!(m.ncols(), 0);
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn from_dense_ragged_rows_use_max_width() {
+        let dense = vec![vec![1u8], vec![0, 2, 3]];
+        let m = Matrix::from_dense(&dense, 0).unwrap();
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.get(1, 2), Some(3));
+        assert_eq!(m.get(0, 0), Some(1));
+    }
+}

@@ -1,0 +1,314 @@
+//! An updatable ("dynamic") sparse matrix representation.
+//!
+//! The paper's future-work item (1) proposes switching to updatable compressed
+//! formats such as faimGraph or Hornet, which keep per-row slack so that edge
+//! insertions do not require rebuilding the whole CSR structure. [`DynamicMatrix`] is
+//! a CPU-side equivalent of that idea: a frozen CSR *base* plus a per-row *delta*
+//! buffer of recent insertions. Point insertions are `O(log d)` in the row's delta
+//! size, reads merge base and delta on the fly, and [`DynamicMatrix::compact`] folds
+//! the deltas back into a fresh CSR when they grow past a threshold (amortising the
+//! rebuild the way Hornet's block reallocation does).
+//!
+//! The `ablation_dynamic_matrix` bench compares changeset application through this
+//! format against the plain CSR [`Matrix::insert_tuples`] path used by the solution.
+
+use crate::error::Result;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+use super::Matrix;
+
+/// A sparse matrix optimised for interleaved reads and single-element insertions.
+#[derive(Clone, Debug)]
+pub struct DynamicMatrix<T> {
+    base: Matrix<T>,
+    /// Per-row sorted `(col, value)` buffers holding insertions newer than `base`.
+    delta: Vec<Vec<(Index, T)>>,
+    delta_nvals: usize,
+    /// When the delta holds more than this fraction of the base entries, `compact`
+    /// rebuilds the base (checked by [`DynamicMatrix::maybe_compact`]).
+    compaction_ratio: f64,
+}
+
+impl<T: Scalar> DynamicMatrix<T> {
+    /// Create an empty dynamic matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        DynamicMatrix::from_matrix(Matrix::new(nrows, ncols))
+    }
+
+    /// Wrap an existing CSR matrix as the frozen base.
+    pub fn from_matrix(base: Matrix<T>) -> Self {
+        let nrows = base.nrows();
+        DynamicMatrix {
+            base,
+            delta: vec![Vec::new(); nrows],
+            delta_nvals: 0,
+            compaction_ratio: 0.25,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.base.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.base.ncols()
+    }
+
+    /// Number of stored elements (base + delta).
+    pub fn nvals(&self) -> usize {
+        self.base.nvals() + self.delta_nvals
+    }
+
+    /// Number of elements currently waiting in the delta buffers.
+    pub fn pending_delta(&self) -> usize {
+        self.delta_nvals
+    }
+
+    /// Look up an element, preferring the freshest value.
+    pub fn get(&self, row: Index, col: Index) -> Option<T> {
+        if row >= self.nrows() {
+            return None;
+        }
+        if let Ok(pos) = self.delta[row].binary_search_by_key(&col, |&(c, _)| c) {
+            return Some(self.delta[row][pos].1);
+        }
+        self.base.get(row, col)
+    }
+
+    /// Insert or overwrite an element without touching the CSR base.
+    pub fn set(&mut self, row: Index, col: Index, value: T) -> Result<()> {
+        if row >= self.nrows() || col >= self.ncols() {
+            return Err(crate::Error::IndexOutOfBounds {
+                index: if row >= self.nrows() { row } else { col },
+                bound: if row >= self.nrows() {
+                    self.nrows()
+                } else {
+                    self.ncols()
+                },
+                context: "DynamicMatrix::set",
+            });
+        }
+        match self.delta[row].binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(pos) => self.delta[row][pos].1 = value,
+            Err(pos) => {
+                self.delta[row].insert(pos, (col, value));
+                if self.base.get(row, col).is_none() {
+                    self.delta_nvals += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Accumulate into an element with `op` (reads the freshest value first).
+    pub fn accumulate<Op>(&mut self, row: Index, col: Index, value: T, op: Op) -> Result<()>
+    where
+        Op: BinaryOp<T, T, Output = T>,
+    {
+        let combined = match self.get(row, col) {
+            Some(existing) => op.apply(existing, value),
+            None => value,
+        };
+        self.set(row, col, combined)
+    }
+
+    /// Grow the dimensions (the case-study workload only ever grows).
+    pub fn resize(&mut self, nrows: Index, ncols: Index) {
+        self.base.resize(nrows, ncols);
+        self.delta.resize(nrows, Vec::new());
+    }
+
+    /// Iterate all `(row, col, value)` tuples, delta entries overriding base entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.nrows()).flat_map(move |r| self.row_merged(r).into_iter().map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Merged (base + delta) contents of one row, sorted by column.
+    pub fn row_merged(&self, row: Index) -> Vec<(Index, T)> {
+        let (base_cols, base_vals) = self.base.row(row);
+        let delta = &self.delta[row];
+        let mut out = Vec::with_capacity(base_cols.len() + delta.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base_cols.len() || j < delta.len() {
+            if j >= delta.len() || (i < base_cols.len() && base_cols[i] < delta[j].0) {
+                out.push((base_cols[i], base_vals[i]));
+                i += 1;
+            } else if i >= base_cols.len() || delta[j].0 < base_cols[i] {
+                out.push(delta[j]);
+                j += 1;
+            } else {
+                // same column: the delta value is newer
+                out.push(delta[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Fold the delta buffers into a fresh CSR base.
+    pub fn compact(&mut self) {
+        if self.delta_nvals == 0 && self.delta.iter().all(Vec::is_empty) {
+            return;
+        }
+        let nrows = self.nrows();
+        let ncols = self.ncols();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.nvals());
+        let mut values = Vec::with_capacity(self.nvals());
+        row_ptr.push(0);
+        for r in 0..nrows {
+            for (c, v) in self.row_merged(r) {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        self.base = Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values);
+        for row in &mut self.delta {
+            row.clear();
+        }
+        self.delta_nvals = 0;
+    }
+
+    /// Compact only if the delta has grown past the configured fraction of the base.
+    /// Returns `true` if a compaction happened.
+    pub fn maybe_compact(&mut self) -> bool {
+        let threshold = (self.base.nvals() as f64 * self.compaction_ratio).max(64.0);
+        if self.delta_nvals as f64 > threshold {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Materialise the current contents as a plain CSR [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut copy = self.clone();
+        copy.compact();
+        copy.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    #[test]
+    fn starts_equal_to_wrapped_matrix() {
+        let base = Matrix::from_tuples(3, 3, &[(0, 1, 5u64), (2, 0, 7)], Plus::new()).unwrap();
+        let dynamic = DynamicMatrix::from_matrix(base.clone());
+        assert_eq!(dynamic.nrows(), 3);
+        assert_eq!(dynamic.nvals(), 2);
+        assert_eq!(dynamic.get(0, 1), Some(5));
+        assert_eq!(dynamic.get(1, 1), None);
+        assert_eq!(dynamic.to_matrix(), base);
+    }
+
+    #[test]
+    fn set_goes_to_delta_and_reads_merge() {
+        let base = Matrix::from_tuples(2, 4, &[(0, 0, 1u64), (0, 2, 3)], Plus::new()).unwrap();
+        let mut dynamic = DynamicMatrix::from_matrix(base);
+        dynamic.set(0, 1, 2).unwrap();
+        dynamic.set(1, 3, 9).unwrap();
+        assert_eq!(dynamic.pending_delta(), 2);
+        assert_eq!(dynamic.nvals(), 4);
+        assert_eq!(dynamic.get(0, 1), Some(2));
+        assert_eq!(
+            dynamic.row_merged(0),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
+        // overwrite of a base entry does not change nvals
+        dynamic.set(0, 0, 100).unwrap();
+        assert_eq!(dynamic.nvals(), 4);
+        assert_eq!(dynamic.get(0, 0), Some(100));
+    }
+
+    #[test]
+    fn accumulate_combines_base_and_delta_values() {
+        let base = Matrix::from_tuples(1, 2, &[(0, 0, 10u64)], Plus::new()).unwrap();
+        let mut dynamic = DynamicMatrix::from_matrix(base);
+        dynamic.accumulate(0, 0, 5, Plus::new()).unwrap();
+        dynamic.accumulate(0, 1, 7, Plus::new()).unwrap();
+        dynamic.accumulate(0, 1, 3, Plus::new()).unwrap();
+        assert_eq!(dynamic.get(0, 0), Some(15));
+        assert_eq!(dynamic.get(0, 1), Some(10));
+    }
+
+    #[test]
+    fn compact_folds_delta_into_base() {
+        let mut dynamic: DynamicMatrix<u64> = DynamicMatrix::new(3, 3);
+        for i in 0..3 {
+            dynamic.set(i, i, i as u64 + 1).unwrap();
+        }
+        assert_eq!(dynamic.pending_delta(), 3);
+        dynamic.compact();
+        assert_eq!(dynamic.pending_delta(), 0);
+        assert_eq!(dynamic.nvals(), 3);
+        assert_eq!(dynamic.get(1, 1), Some(2));
+        // compacting twice is a no-op
+        dynamic.compact();
+        assert_eq!(dynamic.nvals(), 3);
+    }
+
+    #[test]
+    fn maybe_compact_uses_threshold() {
+        let base = Matrix::from_tuples(2, 200, &[(0, 0, 1u64)], Plus::new()).unwrap();
+        let mut dynamic = DynamicMatrix::from_matrix(base);
+        for c in 1..50 {
+            dynamic.set(0, c, c as u64).unwrap();
+        }
+        // 49 pending < max(0.25 * 1, 64) -> no compaction yet
+        assert!(!dynamic.maybe_compact());
+        for c in 50..120 {
+            dynamic.set(1, c, c as u64).unwrap();
+        }
+        assert!(dynamic.maybe_compact());
+        assert_eq!(dynamic.pending_delta(), 0);
+        assert_eq!(dynamic.nvals(), 120);
+    }
+
+    #[test]
+    fn equivalent_to_csr_insert_tuples() {
+        // the dynamic path and the CSR merge path must produce the same matrix
+        let base_tuples: Vec<(usize, usize, u64)> =
+            vec![(0, 0, 1), (1, 2, 3), (2, 1, 4), (3, 3, 9)];
+        let extra: Vec<(usize, usize, u64)> = vec![(0, 3, 2), (1, 2, 5), (3, 0, 7), (2, 2, 8)];
+
+        let mut csr = Matrix::from_tuples(4, 4, &base_tuples, Plus::new()).unwrap();
+        csr.insert_tuples(&extra, Plus::new()).unwrap();
+
+        let mut dynamic = DynamicMatrix::from_matrix(
+            Matrix::from_tuples(4, 4, &base_tuples, Plus::new()).unwrap(),
+        );
+        for &(r, c, v) in &extra {
+            dynamic.accumulate(r, c, v, Plus::new()).unwrap();
+        }
+        assert_eq!(dynamic.to_matrix(), csr);
+    }
+
+    #[test]
+    fn resize_grows_delta_buffers() {
+        let mut dynamic: DynamicMatrix<u64> = DynamicMatrix::new(1, 1);
+        dynamic.resize(3, 5);
+        dynamic.set(2, 4, 1).unwrap();
+        assert_eq!(dynamic.get(2, 4), Some(1));
+        assert!(dynamic.set(3, 0, 1).is_err());
+        assert!(dynamic.set(0, 5, 1).is_err());
+    }
+
+    #[test]
+    fn iter_yields_merged_tuples_in_order() {
+        let base = Matrix::from_tuples(2, 3, &[(0, 2, 1u64), (1, 0, 2)], Plus::new()).unwrap();
+        let mut dynamic = DynamicMatrix::from_matrix(base);
+        dynamic.set(0, 0, 9).unwrap();
+        let tuples: Vec<(usize, usize, u64)> = dynamic.iter().collect();
+        assert_eq!(tuples, vec![(0, 0, 9), (0, 2, 1), (1, 0, 2)]);
+    }
+}

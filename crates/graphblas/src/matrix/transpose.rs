@@ -1,0 +1,110 @@
+//! Matrix transposition (`GrB_transpose`).
+
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+use super::Matrix;
+
+impl<T: Scalar> Matrix<T> {
+    /// Return the transpose `Aᵀ` as a new matrix.
+    ///
+    /// Implemented as a counting sort over the column indices: `O(nvals + ncols)`,
+    /// producing sorted rows in the output without an explicit sort.
+    pub fn transpose(&self) -> Matrix<T> {
+        let nvals = self.nvals();
+        let new_nrows = self.ncols();
+        let new_ncols = self.nrows();
+
+        if nvals == 0 {
+            return Matrix::new(new_nrows, new_ncols);
+        }
+
+        // Count entries per output row (i.e. per input column).
+        let mut counts = vec![0usize; new_nrows + 1];
+        for &c in self.col_indices() {
+            counts[c + 1] += 1;
+        }
+        for i in 0..new_nrows {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts;
+
+        let mut col_idx = vec![0 as Index; nvals];
+        // Placeholder-filled value buffer, overwritten below through the cursor array.
+        let placeholder = self.values()[0];
+        let mut values: Vec<T> = vec![placeholder; nvals];
+
+        let mut cursor = row_ptr.clone();
+        for r in 0..self.nrows() {
+            let (cols, vals) = self.row(r);
+            for (pos, &c) in cols.iter().enumerate() {
+                let dst = cursor[c];
+                col_idx[dst] = r;
+                values[dst] = vals[pos];
+                cursor[c] += 1;
+            }
+        }
+
+        Matrix::from_csr_parts(new_nrows, new_ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    #[test]
+    fn transpose_swaps_dimensions_and_coordinates() {
+        let m = Matrix::from_tuples(
+            2,
+            3,
+            &[(0, 0, 1u64), (0, 2, 3), (1, 1, 5)],
+            Plus::new(),
+        )
+        .unwrap();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.nvals(), 3);
+        assert_eq!(t.get(0, 0), Some(1));
+        assert_eq!(t.get(2, 0), Some(3));
+        assert_eq!(t.get(1, 1), Some(5));
+    }
+
+    #[test]
+    fn transpose_of_empty_matrix() {
+        let m: Matrix<u64> = Matrix::new(4, 2);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.ncols(), 4);
+        assert_eq!(t.nvals(), 0);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = Matrix::from_tuples(
+            3,
+            3,
+            &[(0, 1, 2u64), (1, 0, 4), (2, 2, 9), (0, 2, 8)],
+            Plus::new(),
+        )
+        .unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_row_sorting() {
+        let m = Matrix::from_tuples(
+            3,
+            3,
+            &[(0, 2, 1u64), (1, 2, 2), (2, 2, 3), (2, 0, 4)],
+            Plus::new(),
+        )
+        .unwrap();
+        let t = m.transpose();
+        let (cols, vals) = t.row(2);
+        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(vals, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Monoids: associative binary operators with an identity element (`GrB_Monoid`).
+
+use crate::ops_traits::{BinaryOp, LAnd, LOr, Max, Min, Plus, Times};
+use crate::scalar::{Ring, Scalar};
+
+/// An associative, commutative binary operator together with its identity element.
+///
+/// Monoids drive reductions ([`crate::ops::reduce`]) and serve as the additive part of
+/// a [`crate::semiring::Semiring`].
+pub trait Monoid<T: Scalar>: BinaryOp<T, T, Output = T> {
+    /// The identity element of the monoid (`id ⊕ x = x`).
+    fn identity(&self) -> T;
+}
+
+impl<T: Ring> Monoid<T> for Plus<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+}
+
+impl<T: Ring> Monoid<T> for Times<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::ONE
+    }
+}
+
+impl<T: Ring> Monoid<T> for Min<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::MAX_VALUE
+    }
+}
+
+impl<T: Ring> Monoid<T> for Max<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::MIN_VALUE
+    }
+}
+
+impl<T: Ring> Monoid<T> for LOr<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+}
+
+impl<T: Ring> Monoid<T> for LAnd<T> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::ONE
+    }
+}
+
+/// Convenience constructors for the commonly used monoids.
+pub mod stock {
+    use super::*;
+
+    /// The `(+, 0)` monoid.
+    pub fn plus<T: Ring>() -> Plus<T> {
+        Plus::new()
+    }
+    /// The `(*, 1)` monoid.
+    pub fn times<T: Ring>() -> Times<T> {
+        Times::new()
+    }
+    /// The `(min, +inf)` monoid.
+    pub fn min<T: Ring>() -> Min<T> {
+        Min::new()
+    }
+    /// The `(max, -inf)` monoid.
+    pub fn max<T: Ring>() -> Max<T> {
+        Max::new()
+    }
+    /// The `(∨, 0)` monoid.
+    pub fn lor<T: Ring>() -> LOr<T> {
+        LOr::new()
+    }
+    /// The `(∧, 1)` monoid.
+    pub fn land<T: Ring>() -> LAnd<T> {
+        LAnd::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stock;
+    use super::*;
+
+    fn fold<T: Scalar, M: Monoid<T>>(m: M, values: &[T]) -> T {
+        values
+            .iter()
+            .fold(m.identity(), |acc, &v| m.apply(acc, v))
+    }
+
+    #[test]
+    fn plus_monoid_folds_to_sum() {
+        assert_eq!(fold(stock::plus::<u64>(), &[1, 2, 3, 4]), 10);
+        assert_eq!(fold(stock::plus::<u64>(), &[]), 0);
+    }
+
+    #[test]
+    fn times_monoid_folds_to_product() {
+        assert_eq!(fold(stock::times::<u64>(), &[2, 3, 4]), 24);
+        assert_eq!(fold(stock::times::<u64>(), &[]), 1);
+    }
+
+    #[test]
+    fn min_max_monoids() {
+        assert_eq!(fold(stock::min::<i64>(), &[5, -2, 9]), -2);
+        assert_eq!(fold(stock::max::<i64>(), &[5, -2, 9]), 9);
+        assert_eq!(fold(stock::min::<u32>(), &[]), u32::MAX);
+        assert_eq!(fold(stock::max::<u32>(), &[]), 0);
+    }
+
+    #[test]
+    fn logical_monoids() {
+        assert_eq!(fold(stock::lor::<u8>(), &[0, 0, 3]), 1);
+        assert_eq!(fold(stock::lor::<u8>(), &[0, 0]), 0);
+        assert_eq!(fold(stock::land::<u8>(), &[1, 1]), 1);
+        assert_eq!(fold(stock::land::<u8>(), &[1, 0]), 0);
+        assert_eq!(fold(stock::land::<u8>(), &[]), 1);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = stock::plus::<i32>();
+        for v in [-5, 0, 7] {
+            assert_eq!(m.apply(m.identity(), v), v);
+            assert_eq!(m.apply(v, m.identity()), v);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Apply a unary operator to every stored element (`GrB_apply`).
+//!
+//! The structure (set of stored positions) is preserved; only the values change.
+//! Binding one argument of a binary operator (the `GrB_apply` + `BinaryOp` + scalar
+//! form of the C API) is provided by [`apply_vector_binop_left`] /
+//! [`apply_vector_binop_right`].
+
+use crate::matrix::Matrix;
+use crate::ops_traits::{BinaryOp, UnaryOp};
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// `w = f(u)`: apply a unary operator to every stored element of a vector.
+pub fn apply_vector<A, Op>(u: &Vector<A>, op: Op) -> Vector<Op::Output>
+where
+    A: Scalar,
+    Op: UnaryOp<A>,
+{
+    let indices = u.indices().to_vec();
+    let values = u.values().iter().map(|&v| op.apply(v)).collect();
+    Vector::from_sorted_parts(u.size(), indices, values)
+}
+
+/// `C = f(A)`: apply a unary operator to every stored element of a matrix.
+pub fn apply_matrix<A, Op>(a: &Matrix<A>, op: Op) -> Matrix<Op::Output>
+where
+    A: Scalar,
+    Op: UnaryOp<A>,
+{
+    let row_ptr = a.row_ptr().to_vec();
+    let col_idx = a.col_indices().to_vec();
+    let values = a.values().iter().map(|&v| op.apply(v)).collect();
+    Matrix::from_csr_parts(a.nrows(), a.ncols(), row_ptr, col_idx, values)
+}
+
+/// `w = f(x, u)`: apply a binary operator with the scalar bound as the *left* operand.
+pub fn apply_vector_binop_left<A, B, Op>(scalar: A, u: &Vector<B>, op: Op) -> Vector<Op::Output>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    let indices = u.indices().to_vec();
+    let values = u.values().iter().map(|&v| op.apply(scalar, v)).collect();
+    Vector::from_sorted_parts(u.size(), indices, values)
+}
+
+/// `w = f(u, x)`: apply a binary operator with the scalar bound as the *right* operand.
+pub fn apply_vector_binop_right<A, B, Op>(u: &Vector<A>, scalar: B, op: Op) -> Vector<Op::Output>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    let indices = u.indices().to_vec();
+    let values = u.values().iter().map(|&v| op.apply(v, scalar)).collect();
+    Vector::from_sorted_parts(u.size(), indices, values)
+}
+
+/// `C = f(x, A)`: apply a binary operator with the scalar bound as the *left* operand,
+/// element-wise over the stored entries of a matrix.
+pub fn apply_matrix_binop_left<A, B, Op>(scalar: A, a: &Matrix<B>, op: Op) -> Matrix<Op::Output>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    let values = a.values().iter().map(|&v| op.apply(scalar, v)).collect();
+    Matrix::from_csr_parts(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr().to_vec(),
+        a.col_indices().to_vec(),
+        values,
+    )
+}
+
+/// `C = f(A, x)`: apply a binary operator with the scalar bound as the *right* operand,
+/// element-wise over the stored entries of a matrix.
+pub fn apply_matrix_binop_right<A, B, Op>(a: &Matrix<A>, scalar: B, op: Op) -> Matrix<Op::Output>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    let values = a.values().iter().map(|&v| op.apply(v, scalar)).collect();
+    Matrix::from_csr_parts(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr().to_vec(),
+        a.col_indices().to_vec(),
+        values,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Plus, Square, Times, TimesConstant, UnaryFn};
+
+    #[test]
+    fn apply_vector_times_constant() {
+        // the "multiply by 10" step of Q1
+        let u = Vector::from_tuples(4, &[(0, 2u64), (2, 1)], Plus::new()).unwrap();
+        let w = apply_vector(&u, TimesConstant::new(10));
+        assert_eq!(w.extract_tuples(), vec![(0, 20), (2, 10)]);
+    }
+
+    #[test]
+    fn apply_vector_preserves_structure() {
+        let u = Vector::from_tuples(4, &[(1, 0u64), (3, 7)], Plus::new()).unwrap();
+        let w = apply_vector(&u, Square::new());
+        assert_eq!(w.indices(), u.indices());
+        assert_eq!(w.get(1), Some(0));
+        assert_eq!(w.get(3), Some(49));
+    }
+
+    #[test]
+    fn apply_vector_changes_type() {
+        let u = Vector::from_tuples(3, &[(0, 3u64)], Plus::new()).unwrap();
+        let w = apply_vector(&u, UnaryFn::new(|v: u64| v as f64 / 2.0));
+        assert_eq!(w.get(0), Some(1.5));
+    }
+
+    #[test]
+    fn apply_matrix_squares_values() {
+        let a = Matrix::from_tuples(2, 2, &[(0, 1, 3u64), (1, 0, 4)], Plus::new()).unwrap();
+        let c = apply_matrix(&a, Square::new());
+        assert_eq!(c.get(0, 1), Some(9));
+        assert_eq!(c.get(1, 0), Some(16));
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    fn apply_binop_bound_scalar() {
+        let u = Vector::from_tuples(3, &[(0, 2u64), (1, 5)], Plus::new()).unwrap();
+        let left = apply_vector_binop_left(10u64, &u, Times::new());
+        assert_eq!(left.get(1), Some(50));
+        let right = apply_vector_binop_right(&u, 3u64, Plus::new());
+        assert_eq!(right.get(0), Some(5));
+        assert_eq!(right.get(1), Some(8));
+    }
+
+    #[test]
+    fn apply_on_empty_vector() {
+        let u = Vector::<u64>::new(5);
+        let w = apply_vector(&u, TimesConstant::new(10));
+        assert_eq!(w.size(), 5);
+        assert_eq!(w.nvals(), 0);
+    }
+
+    #[test]
+    fn apply_matrix_binop_bound_scalar() {
+        let a = Matrix::from_tuples(2, 2, &[(0, 1, 3u64), (1, 0, 4)], Plus::new()).unwrap();
+        let left = apply_matrix_binop_left(10u64, &a, Times::new());
+        assert_eq!(left.get(0, 1), Some(30));
+        assert_eq!(left.get(1, 0), Some(40));
+        let right = apply_matrix_binop_right(&a, 1u64, Plus::new());
+        assert_eq!(right.get(0, 1), Some(4));
+        assert_eq!(right.get(1, 0), Some(5));
+        // structure preserved
+        assert_eq!(left.nvals(), a.nvals());
+        assert_eq!(right.nvals(), a.nvals());
+    }
+
+    #[test]
+    fn apply_matrix_binop_changes_type() {
+        let pattern: Matrix<bool> = Matrix::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let scaled = apply_matrix_binop_left(
+            2.5f64,
+            &pattern,
+            crate::ops_traits::BinaryFn::new(|s: f64, p: bool| if p { s } else { 0.0 }),
+        );
+        assert_eq!(scaled.get(0, 0), Some(2.5));
+        assert_eq!(scaled.get(1, 1), Some(2.5));
+    }
+}

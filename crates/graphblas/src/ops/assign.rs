@@ -1,0 +1,147 @@
+//! Masked assignment (`GrB_assign`): `w⟨m⟩ = u` and `w⟨m⟩ = s`.
+//!
+//! The paper's Q1 incremental algorithm (Alg. 2, line 14) uses
+//! `∆scores⟨scores⁺⟩ ← scores′` to output only the scores that changed: the updated
+//! score vector is written through a mask formed by the score-increment vector.
+
+use crate::error::{Error, Result};
+use crate::mask::VectorMask;
+use crate::scalar::{MaskValue, Scalar};
+use crate::vector::Vector;
+
+/// `target⟨mask⟩ = source`: copy the stored elements of `source` whose position is
+/// allowed by the mask into `target`. Positions of `target` not allowed by the mask
+/// are left untouched (non-replace semantics, the GraphBLAS default).
+pub fn assign_vector_masked<T, M>(
+    target: &mut Vector<T>,
+    mask: &VectorMask<'_, M>,
+    source: &Vector<T>,
+) -> Result<()>
+where
+    T: Scalar,
+    M: MaskValue,
+{
+    if target.size() != source.size() {
+        return Err(Error::DimensionMismatch {
+            context: "assign_vector_masked",
+            expected: target.size(),
+            actual: source.size(),
+        });
+    }
+    if mask.size() != target.size() {
+        return Err(Error::DimensionMismatch {
+            context: "assign_vector_masked (mask)",
+            expected: target.size(),
+            actual: mask.size(),
+        });
+    }
+    for (i, v) in source.iter() {
+        if mask.allows(i) {
+            target.set(i, v).expect("index within target size");
+        }
+    }
+    Ok(())
+}
+
+/// `target⟨mask⟩ = s`: write the scalar `s` to every position allowed by the mask.
+///
+/// For non-complemented masks the allowed positions are enumerated from the mask; for
+/// complemented masks every position of the vector is tested.
+pub fn assign_scalar_vector_masked<T, M>(
+    target: &mut Vector<T>,
+    mask: &VectorMask<'_, M>,
+    scalar: T,
+) -> Result<()>
+where
+    T: Scalar,
+    M: MaskValue,
+{
+    if mask.size() != target.size() {
+        return Err(Error::DimensionMismatch {
+            context: "assign_scalar_vector_masked",
+            expected: target.size(),
+            actual: mask.size(),
+        });
+    }
+    if let Some(positions) = mask.allowed_positions() {
+        for i in positions {
+            target.set(i, scalar).expect("mask position within size");
+        }
+    } else {
+        for i in 0..target.size() {
+            if mask.allows(i) {
+                target.set(i, scalar).expect("index within size");
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    #[test]
+    fn masked_assign_writes_only_allowed_positions() {
+        // ∆scores⟨scores⁺⟩ ← scores′
+        let scores_plus = Vector::from_tuples(5, &[(1, 12u64), (3, 4)], Plus::new()).unwrap();
+        let scores_new =
+            Vector::from_tuples(5, &[(0, 10u64), (1, 25), (3, 8), (4, 2)], Plus::new()).unwrap();
+        let mut delta = Vector::new(5);
+        let mask = VectorMask::structural(&scores_plus);
+        assign_vector_masked(&mut delta, &mask, &scores_new).unwrap();
+        assert_eq!(delta.extract_tuples(), vec![(1, 25), (3, 8)]);
+    }
+
+    #[test]
+    fn masked_assign_preserves_existing_entries() {
+        let mask_vec = Vector::from_tuples(4, &[(2, true)], Plus::new()).unwrap();
+        let source = Vector::from_tuples(4, &[(1, 7u64), (2, 9)], Plus::new()).unwrap();
+        let mut target = Vector::from_tuples(4, &[(0, 100u64)], Plus::new()).unwrap();
+        let mask = VectorMask::structural(&mask_vec);
+        assign_vector_masked(&mut target, &mask, &source).unwrap();
+        assert_eq!(target.extract_tuples(), vec![(0, 100), (2, 9)]);
+    }
+
+    #[test]
+    fn masked_assign_dimension_checks() {
+        let mask_vec = Vector::<bool>::new(3);
+        let mask = VectorMask::structural(&mask_vec);
+        let source = Vector::<u64>::new(4);
+        let mut target = Vector::<u64>::new(4);
+        assert!(assign_vector_masked(&mut target, &mask, &source).is_err());
+        let source = Vector::<u64>::new(3);
+        let mut target3 = Vector::<u64>::new(3);
+        assert!(assign_vector_masked(&mut target3, &mask, &source).is_ok());
+        let source_bad = Vector::<u64>::new(5);
+        assert!(assign_vector_masked(&mut target3, &mask, &source_bad).is_err());
+    }
+
+    #[test]
+    fn scalar_assign_with_structural_mask() {
+        let mask_vec = Vector::from_tuples(5, &[(0, 1u8), (4, 0)], Plus::new()).unwrap();
+        let mut target = Vector::<u64>::new(5);
+        assign_scalar_vector_masked(&mut target, &VectorMask::structural(&mask_vec), 7).unwrap();
+        assert_eq!(target.extract_tuples(), vec![(0, 7), (4, 7)]);
+    }
+
+    #[test]
+    fn scalar_assign_with_complemented_mask_touches_the_rest() {
+        let mask_vec = Vector::from_tuples(4, &[(1, true)], Plus::new()).unwrap();
+        let mut target = Vector::<u64>::new(4);
+        let mask = VectorMask::structural(&mask_vec).complement();
+        assign_scalar_vector_masked(&mut target, &mask, 3).unwrap();
+        assert_eq!(target.extract_tuples(), vec![(0, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn scalar_assign_dimension_check() {
+        let mask_vec = Vector::<bool>::new(2);
+        let mut target = Vector::<u64>::new(3);
+        assert!(
+            assign_scalar_vector_masked(&mut target, &VectorMask::structural(&mask_vec), 1)
+                .is_err()
+        );
+    }
+}

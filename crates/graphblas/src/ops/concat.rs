@@ -1,0 +1,287 @@
+//! Concatenate a grid of matrices into one matrix, and split a matrix back into tiles
+//! (`GxB_Matrix_concat` / `GxB_Matrix_split`).
+//!
+//! Concatenation is how the solution grows its adjacency matrices when a changeset
+//! introduces new nodes: the old matrix becomes the top-left tile and the new
+//! rows/columns arrive as (mostly empty) border tiles. Splitting is the inverse and is
+//! used by tests to check the round trip.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+/// `C = [tiles]`: assemble a dense grid of tiles into a single matrix.
+///
+/// `tiles` is a row-major grid: `tiles[i][j]` is the tile at block-row `i` and
+/// block-column `j`. Every row of the grid must have the same number of tiles, tiles
+/// in the same block-row must agree on `nrows`, and tiles in the same block-column
+/// must agree on `ncols`.
+pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
+    if tiles.is_empty() || tiles[0].is_empty() {
+        return Err(Error::InvalidValue(
+            "concat requires a non-empty grid of tiles".to_string(),
+        ));
+    }
+    let block_cols = tiles[0].len();
+    for (i, row) in tiles.iter().enumerate() {
+        if row.len() != block_cols {
+            return Err(Error::InvalidValue(format!(
+                "concat: block-row {i} has {} tiles, expected {block_cols}",
+                row.len()
+            )));
+        }
+    }
+
+    // Validate dimensions and compute block offsets.
+    let mut row_offsets = Vec::with_capacity(tiles.len() + 1);
+    row_offsets.push(0usize);
+    for (i, row) in tiles.iter().enumerate() {
+        let h = row[0].nrows();
+        for (j, tile) in row.iter().enumerate() {
+            if tile.nrows() != h {
+                return Err(Error::DimensionMismatch {
+                    context: "concat (tile row heights disagree)",
+                    expected: h,
+                    actual: tile.nrows(),
+                });
+            }
+            let w = tiles[0][j].ncols();
+            if tile.ncols() != w {
+                return Err(Error::DimensionMismatch {
+                    context: "concat (tile column widths disagree)",
+                    expected: w,
+                    actual: tile.ncols(),
+                });
+            }
+        }
+        row_offsets.push(row_offsets[i] + h);
+    }
+    let mut col_offsets = Vec::with_capacity(block_cols + 1);
+    col_offsets.push(0usize);
+    for j in 0..block_cols {
+        col_offsets.push(col_offsets[j] + tiles[0][j].ncols());
+    }
+
+    let nrows = *row_offsets.last().expect("offsets never empty");
+    let ncols = *col_offsets.last().expect("offsets never empty");
+    let total_nvals: usize = tiles
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|t| t.nvals())
+        .sum();
+
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    let mut col_idx: Vec<Index> = Vec::with_capacity(total_nvals);
+    let mut values: Vec<T> = Vec::with_capacity(total_nvals);
+    row_ptr.push(0);
+
+    for row_of_tiles in tiles {
+        let tile_height = row_of_tiles[0].nrows();
+        for local_r in 0..tile_height {
+            for (bj, tile) in row_of_tiles.iter().enumerate() {
+                let (cols, vals) = tile.row(local_r);
+                let offset = col_offsets[bj];
+                for (pos, &c) in cols.iter().enumerate() {
+                    col_idx.push(offset + c);
+                    values.push(vals[pos]);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+
+    Ok(Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values))
+}
+
+/// Stack matrices vertically: `C = [A; B; ...]`. All operands must agree on `ncols`.
+pub fn concat_rows<T: Scalar>(blocks: &[&Matrix<T>]) -> Result<Matrix<T>> {
+    let grid: Vec<Vec<&Matrix<T>>> = blocks.iter().map(|&m| vec![m]).collect();
+    concat(&grid)
+}
+
+/// Stack matrices horizontally: `C = [A, B, ...]`. All operands must agree on `nrows`.
+pub fn concat_cols<T: Scalar>(blocks: &[&Matrix<T>]) -> Result<Matrix<T>> {
+    if blocks.is_empty() {
+        return Err(Error::InvalidValue(
+            "concat_cols requires at least one block".to_string(),
+        ));
+    }
+    let grid: Vec<Vec<&Matrix<T>>> = vec![blocks.to_vec()];
+    concat(&grid)
+}
+
+/// `tiles = split(A)`: cut a matrix into a grid of tiles with the given block heights
+/// and widths. The heights must sum to `A.nrows()` and the widths to `A.ncols()`.
+pub fn split<T: Scalar>(
+    a: &Matrix<T>,
+    row_sizes: &[Index],
+    col_sizes: &[Index],
+) -> Result<Vec<Vec<Matrix<T>>>> {
+    let total_rows: Index = row_sizes.iter().sum();
+    if total_rows != a.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "split (row sizes must sum to nrows)",
+            expected: a.nrows(),
+            actual: total_rows,
+        });
+    }
+    let total_cols: Index = col_sizes.iter().sum();
+    if total_cols != a.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "split (col sizes must sum to ncols)",
+            expected: a.ncols(),
+            actual: total_cols,
+        });
+    }
+
+    let mut col_offsets = Vec::with_capacity(col_sizes.len() + 1);
+    col_offsets.push(0usize);
+    for &w in col_sizes {
+        col_offsets.push(col_offsets.last().unwrap() + w);
+    }
+
+    let mut result = Vec::with_capacity(row_sizes.len());
+    let mut row_base = 0usize;
+    for &h in row_sizes {
+        let mut block_row: Vec<(Vec<usize>, Vec<Index>, Vec<T>)> = col_sizes
+            .iter()
+            .map(|_| (vec![0usize], Vec::new(), Vec::new()))
+            .collect();
+        for local_r in 0..h {
+            let (cols, vals) = a.row(row_base + local_r);
+            for (pos, &c) in cols.iter().enumerate() {
+                // Find the block column containing c.
+                let bj = match col_offsets.binary_search(&c) {
+                    Ok(exact) => exact.min(col_sizes.len() - 1),
+                    Err(ins) => ins - 1,
+                };
+                let (_, ref mut ci, ref mut vv) = block_row[bj];
+                ci.push(c - col_offsets[bj]);
+                vv.push(vals[pos]);
+            }
+            for (rp, ci, _) in block_row.iter_mut() {
+                rp.push(ci.len());
+            }
+        }
+        let tiles_row: Vec<Matrix<T>> = block_row
+            .into_iter()
+            .enumerate()
+            .map(|(bj, (rp, ci, vv))| Matrix::from_csr_parts(h, col_sizes[bj], rp, ci, vv))
+            .collect();
+        result.push(tiles_row);
+        row_base += h;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    fn m(nrows: Index, ncols: Index, t: &[(Index, Index, u64)]) -> Matrix<u64> {
+        Matrix::from_tuples(nrows, ncols, t, Plus::new()).unwrap()
+    }
+
+    #[test]
+    fn concat_two_by_two_grid() {
+        let a = m(2, 2, &[(0, 0, 1), (1, 1, 2)]);
+        let b = m(2, 3, &[(0, 2, 3)]);
+        let c = m(1, 2, &[(0, 1, 4)]);
+        let d = m(1, 3, &[(0, 0, 5)]);
+        let out = concat(&[vec![&a, &b], vec![&c, &d]]).unwrap();
+        assert_eq!(out.nrows(), 3);
+        assert_eq!(out.ncols(), 5);
+        assert_eq!(out.get(0, 0), Some(1));
+        assert_eq!(out.get(1, 1), Some(2));
+        assert_eq!(out.get(0, 4), Some(3)); // b's (0,2) shifted by 2 cols
+        assert_eq!(out.get(2, 1), Some(4)); // c's (0,1) shifted by 2 rows
+        assert_eq!(out.get(2, 2), Some(5)); // d's (0,0) shifted by 2 rows, 2 cols
+        assert_eq!(out.nvals(), 5);
+    }
+
+    #[test]
+    fn concat_rows_and_cols_helpers() {
+        let a = m(1, 2, &[(0, 0, 1)]);
+        let b = m(2, 2, &[(1, 1, 2)]);
+        let stacked = concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(stacked.nrows(), 3);
+        assert_eq!(stacked.ncols(), 2);
+        assert_eq!(stacked.get(0, 0), Some(1));
+        assert_eq!(stacked.get(2, 1), Some(2));
+
+        let c = m(1, 3, &[(0, 2, 3)]);
+        let wide = concat_cols(&[&a, &c]).unwrap();
+        assert_eq!(wide.nrows(), 1);
+        assert_eq!(wide.ncols(), 5);
+        assert_eq!(wide.get(0, 4), Some(3));
+    }
+
+    #[test]
+    fn concat_rejects_ragged_grid() {
+        let a = m(1, 1, &[]);
+        let b = m(1, 1, &[]);
+        assert!(concat(&[vec![&a, &b], vec![&a]]).is_err());
+        assert!(concat::<u64>(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_tile_dimensions() {
+        let a = m(2, 2, &[]);
+        let tall = m(3, 2, &[]);
+        assert!(concat(&[vec![&a, &tall]]).is_err());
+        let wide = m(2, 4, &[]);
+        assert!(concat(&[vec![&a], vec![&wide]]).is_err());
+    }
+
+    #[test]
+    fn split_then_concat_round_trips() {
+        let a = m(
+            4,
+            5,
+            &[(0, 0, 1), (0, 4, 2), (1, 2, 3), (2, 1, 4), (3, 3, 5), (3, 4, 6)],
+        );
+        let tiles = split(&a, &[2, 2], &[3, 2]).unwrap();
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].len(), 2);
+        assert_eq!(tiles[0][0].nrows(), 2);
+        assert_eq!(tiles[0][0].ncols(), 3);
+        assert_eq!(tiles[0][1].get(0, 1), Some(2)); // a(0,4) -> tile (0,1) at (0, 4-3)
+        let grid: Vec<Vec<&Matrix<u64>>> = tiles
+            .iter()
+            .map(|row| row.iter().collect())
+            .collect();
+        let back = concat(&grid).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn split_rejects_wrong_partition() {
+        let a = m(3, 3, &[]);
+        assert!(split(&a, &[2, 2], &[3]).is_err());
+        assert!(split(&a, &[3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn concat_grow_matrix_with_empty_border() {
+        // The "matrix growth" pattern used when changesets introduce new nodes.
+        let old = m(2, 2, &[(0, 1, 7), (1, 0, 8)]);
+        let right = Matrix::<u64>::new(2, 1);
+        let bottom = Matrix::<u64>::new(1, 2);
+        let corner = Matrix::<u64>::new(1, 1);
+        let grown = concat(&[vec![&old, &right], vec![&bottom, &corner]]).unwrap();
+        assert_eq!(grown.nrows(), 3);
+        assert_eq!(grown.ncols(), 3);
+        assert_eq!(grown.nvals(), 2);
+        assert_eq!(grown.get(0, 1), Some(7));
+        assert_eq!(grown.get(2, 2), None);
+    }
+
+    #[test]
+    fn split_single_tile_is_identity() {
+        let a = m(2, 3, &[(0, 2, 9), (1, 0, 1)]);
+        let tiles = split(&a, &[2], &[3]).unwrap();
+        assert_eq!(tiles[0][0], a);
+    }
+}

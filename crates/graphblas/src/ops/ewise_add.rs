@@ -1,0 +1,162 @@
+//! Element-wise "addition" over the set **union** of the structures
+//! (`GrB_eWiseAdd`).
+//!
+//! Positions present in only one operand copy that operand's value; positions present
+//! in both are combined with the supplied binary operator.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// `w = u ⊕ v` over the union of the stored positions.
+pub fn ewise_add_vector<T, Op>(u: &Vector<T>, v: &Vector<T>, op: Op) -> Result<Vector<T>>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, Output = T>,
+{
+    if u.size() != v.size() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_add_vector",
+            expected: u.size(),
+            actual: v.size(),
+        });
+    }
+    let (ui, uv) = (u.indices(), u.values());
+    let (vi, vv) = (v.indices(), v.values());
+    let mut indices = Vec::with_capacity(ui.len() + vi.len());
+    let mut values = Vec::with_capacity(ui.len() + vi.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ui.len() || j < vi.len() {
+        if j >= vi.len() || (i < ui.len() && ui[i] < vi[j]) {
+            indices.push(ui[i]);
+            values.push(uv[i]);
+            i += 1;
+        } else if i >= ui.len() || vi[j] < ui[i] {
+            indices.push(vi[j]);
+            values.push(vv[j]);
+            j += 1;
+        } else {
+            indices.push(ui[i]);
+            values.push(op.apply(uv[i], vv[j]));
+            i += 1;
+            j += 1;
+        }
+    }
+    Ok(Vector::from_sorted_parts(u.size(), indices, values))
+}
+
+/// `C = A ⊕ B` over the union of the stored positions, row by row.
+pub fn ewise_add_matrix<T, Op>(a: &Matrix<T>, b: &Matrix<T>, op: Op) -> Result<Matrix<T>>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, Output = T>,
+{
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_add_matrix",
+            expected: a.nrows(),
+            actual: b.nrows(),
+        });
+    }
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut col_idx: Vec<Index> = Vec::with_capacity(a.nvals() + b.nvals());
+    let mut values: Vec<T> = Vec::with_capacity(a.nvals() + b.nvals());
+    row_ptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                col_idx.push(ac[i]);
+                values.push(av[i]);
+                i += 1;
+            } else if i >= ac.len() || bc[j] < ac[i] {
+                col_idx.push(bc[j]);
+                values.push(bv[j]);
+                j += 1;
+            } else {
+                col_idx.push(ac[i]);
+                values.push(op.apply(av[i], bv[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Matrix::from_csr_parts(
+        a.nrows(),
+        a.ncols(),
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Max, Plus, Second};
+
+    #[test]
+    fn vector_union_semantics() {
+        let u = Vector::from_tuples(6, &[(0, 1u64), (2, 2), (4, 4)], Plus::new()).unwrap();
+        let v = Vector::from_tuples(6, &[(2, 10u64), (3, 3)], Plus::new()).unwrap();
+        let w = ewise_add_vector(&u, &v, Plus::new()).unwrap();
+        assert_eq!(w.extract_tuples(), vec![(0, 1), (2, 12), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn vector_second_overwrites_on_overlap() {
+        // "new scores overwrite existing ones" — the paper's merge of top-3 results
+        let old = Vector::from_tuples(4, &[(0, 5u64), (1, 7)], Plus::new()).unwrap();
+        let new = Vector::from_tuples(4, &[(1, 9u64), (3, 2)], Plus::new()).unwrap();
+        let merged = ewise_add_vector(&old, &new, Second::new()).unwrap();
+        assert_eq!(merged.extract_tuples(), vec![(0, 5), (1, 9), (3, 2)]);
+    }
+
+    #[test]
+    fn vector_dimension_mismatch() {
+        let u = Vector::<u64>::new(3);
+        let v = Vector::<u64>::new(4);
+        assert!(ewise_add_vector(&u, &v, Plus::new()).is_err());
+    }
+
+    #[test]
+    fn vector_with_empty_operand_copies_other() {
+        let u = Vector::from_tuples(3, &[(1, 5u64)], Plus::new()).unwrap();
+        let empty = Vector::<u64>::new(3);
+        assert_eq!(ewise_add_vector(&u, &empty, Plus::new()).unwrap(), u);
+        assert_eq!(ewise_add_vector(&empty, &u, Plus::new()).unwrap(), u);
+    }
+
+    #[test]
+    fn matrix_union_semantics() {
+        let a = Matrix::from_tuples(2, 3, &[(0, 0, 1u64), (1, 2, 3)], Plus::new()).unwrap();
+        let b = Matrix::from_tuples(2, 3, &[(0, 0, 5u64), (0, 1, 2)], Plus::new()).unwrap();
+        let c = ewise_add_matrix(&a, &b, Plus::new()).unwrap();
+        assert_eq!(c.get(0, 0), Some(6));
+        assert_eq!(c.get(0, 1), Some(2));
+        assert_eq!(c.get(1, 2), Some(3));
+        assert_eq!(c.nvals(), 3);
+    }
+
+    #[test]
+    fn matrix_max_combiner() {
+        let a = Matrix::from_tuples(1, 2, &[(0, 0, 9u64), (0, 1, 1)], Plus::new()).unwrap();
+        let b = Matrix::from_tuples(1, 2, &[(0, 0, 3u64), (0, 1, 7)], Plus::new()).unwrap();
+        let c = ewise_add_matrix(&a, &b, Max::new()).unwrap();
+        assert_eq!(c.get(0, 0), Some(9));
+        assert_eq!(c.get(0, 1), Some(7));
+    }
+
+    #[test]
+    fn matrix_dimension_mismatch() {
+        let a: Matrix<u64> = Matrix::new(2, 2);
+        let b: Matrix<u64> = Matrix::new(2, 3);
+        assert!(ewise_add_matrix(&a, &b, Plus::new()).is_err());
+    }
+}

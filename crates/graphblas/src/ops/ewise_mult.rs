@@ -1,0 +1,154 @@
+//! Element-wise "multiplication" over the set **intersection** of the structures
+//! (`GrB_eWiseMult`).
+//!
+//! Only positions present in both operands produce an output element; the operand
+//! types may differ (the output type is determined by the operator).
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// `w = u ⊗ v` over the intersection of the stored positions.
+pub fn ewise_mult_vector<A, B, Op>(
+    u: &Vector<A>,
+    v: &Vector<B>,
+    op: Op,
+) -> Result<Vector<Op::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    if u.size() != v.size() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_mult_vector",
+            expected: u.size(),
+            actual: v.size(),
+        });
+    }
+    let (ui, uv) = (u.indices(), u.values());
+    let (vi, vv) = (v.indices(), v.values());
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ui.len() && j < vi.len() {
+        match ui[i].cmp(&vi[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                indices.push(ui[i]);
+                values.push(op.apply(uv[i], vv[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    Ok(Vector::from_sorted_parts(u.size(), indices, values))
+}
+
+/// `C = A ⊗ B` over the intersection of the stored positions, row by row.
+pub fn ewise_mult_matrix<A, B, Op>(
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    op: Op,
+) -> Result<Matrix<Op::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_mult_matrix",
+            expected: a.nrows(),
+            actual: b.nrows(),
+        });
+    }
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut col_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<Op::Output> = Vec::new();
+    row_ptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    col_idx.push(ac[i]);
+                    values.push(op.apply(av[i], bv[j]));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Matrix::from_csr_parts(
+        a.nrows(),
+        a.ncols(),
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Pair, Plus, Times};
+
+    #[test]
+    fn vector_intersection_semantics() {
+        let u = Vector::from_tuples(6, &[(0, 2u64), (2, 3), (4, 4)], Plus::new()).unwrap();
+        let v = Vector::from_tuples(6, &[(2, 10u64), (4, 5), (5, 9)], Plus::new()).unwrap();
+        let w = ewise_mult_vector(&u, &v, Times::new()).unwrap();
+        assert_eq!(w.extract_tuples(), vec![(2, 30), (4, 20)]);
+    }
+
+    #[test]
+    fn vector_mixed_types_with_pair() {
+        let u = Vector::from_tuples(3, &[(0, true), (1, true)], crate::ops_traits::First::new())
+            .unwrap();
+        let v = Vector::from_tuples(3, &[(1, 7u64), (2, 8)], Plus::new()).unwrap();
+        let w = ewise_mult_vector(&u, &v, Pair::<u32>::new()).unwrap();
+        assert_eq!(w.extract_tuples(), vec![(1, 1u32)]);
+    }
+
+    #[test]
+    fn vector_dimension_mismatch() {
+        let u = Vector::<u64>::new(3);
+        let v = Vector::<u64>::new(4);
+        assert!(ewise_mult_vector(&u, &v, Times::new()).is_err());
+    }
+
+    #[test]
+    fn vector_disjoint_structures_give_empty() {
+        let u = Vector::from_tuples(4, &[(0, 1u64)], Plus::new()).unwrap();
+        let v = Vector::from_tuples(4, &[(1, 1u64)], Plus::new()).unwrap();
+        assert_eq!(ewise_mult_vector(&u, &v, Times::new()).unwrap().nvals(), 0);
+    }
+
+    #[test]
+    fn matrix_intersection_semantics() {
+        let a = Matrix::from_tuples(2, 2, &[(0, 0, 2u64), (0, 1, 3), (1, 1, 4)], Plus::new())
+            .unwrap();
+        let b = Matrix::from_tuples(2, 2, &[(0, 1, 10u64), (1, 1, 5)], Plus::new()).unwrap();
+        let c = ewise_mult_matrix(&a, &b, Times::new()).unwrap();
+        assert_eq!(c.get(0, 1), Some(30));
+        assert_eq!(c.get(1, 1), Some(20));
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    fn matrix_dimension_mismatch() {
+        let a: Matrix<u64> = Matrix::new(2, 2);
+        let b: Matrix<u64> = Matrix::new(3, 2);
+        assert!(ewise_mult_matrix(&a, &b, Times::new()).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Element-wise union with fill values (`GxB_eWiseUnion`).
+//!
+//! Like [`crate::ops::ewise_add`], the output structure is the union of the operand
+//! structures — but where `eWiseAdd` copies the lone operand's value unchanged when a
+//! position is present in only one input, `eWiseUnion` substitutes a caller-provided
+//! fill value for the missing side and always applies the binary operator. This makes
+//! non-commutative combinations such as subtraction well defined over sparse operands.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// `w = u ⊕ v` over the union of the stored positions, substituting `u_fill` / `v_fill`
+/// for the missing operand.
+pub fn ewise_union_vector<A, B, Op>(
+    u: &Vector<A>,
+    u_fill: A,
+    v: &Vector<B>,
+    v_fill: B,
+    op: Op,
+) -> Result<Vector<Op::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    if u.size() != v.size() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_union_vector",
+            expected: u.size(),
+            actual: v.size(),
+        });
+    }
+    let (ui, uv) = (u.indices(), u.values());
+    let (vi, vv) = (v.indices(), v.values());
+    let mut indices = Vec::with_capacity(ui.len() + vi.len());
+    let mut values = Vec::with_capacity(ui.len() + vi.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ui.len() || j < vi.len() {
+        if j >= vi.len() || (i < ui.len() && ui[i] < vi[j]) {
+            indices.push(ui[i]);
+            values.push(op.apply(uv[i], v_fill));
+            i += 1;
+        } else if i >= ui.len() || vi[j] < ui[i] {
+            indices.push(vi[j]);
+            values.push(op.apply(u_fill, vv[j]));
+            j += 1;
+        } else {
+            indices.push(ui[i]);
+            values.push(op.apply(uv[i], vv[j]));
+            i += 1;
+            j += 1;
+        }
+    }
+    Ok(Vector::from_sorted_parts(u.size(), indices, values))
+}
+
+/// `C = A ⊕ B` over the union of the stored positions, substituting `a_fill` / `b_fill`
+/// for the missing operand.
+pub fn ewise_union_matrix<A, B, Op>(
+    a: &Matrix<A>,
+    a_fill: A,
+    b: &Matrix<B>,
+    b_fill: B,
+    op: Op,
+) -> Result<Matrix<Op::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "ewise_union_matrix",
+            expected: a.nrows(),
+            actual: b.nrows(),
+        });
+    }
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut col_idx: Vec<Index> = Vec::with_capacity(a.nvals() + b.nvals());
+    let mut values = Vec::with_capacity(a.nvals() + b.nvals());
+    row_ptr.push(0);
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                col_idx.push(ac[i]);
+                values.push(op.apply(av[i], b_fill));
+                i += 1;
+            } else if i >= ac.len() || bc[j] < ac[i] {
+                col_idx.push(bc[j]);
+                values.push(op.apply(a_fill, bv[j]));
+                j += 1;
+            } else {
+                col_idx.push(ac[i]);
+                values.push(op.apply(av[i], bv[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(Matrix::from_csr_parts(
+        a.nrows(),
+        a.ncols(),
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Minus, Plus};
+
+    #[test]
+    fn union_vector_subtraction_is_well_defined() {
+        let u = Vector::from_tuples(5, &[(0, 10i64), (2, 7)], Plus::new()).unwrap();
+        let v = Vector::from_tuples(5, &[(2, 3i64), (4, 4)], Plus::new()).unwrap();
+        let w = ewise_union_vector(&u, 0, &v, 0, Minus::new()).unwrap();
+        assert_eq!(w.extract_tuples(), vec![(0, 10), (2, 4), (4, -4)]);
+    }
+
+    #[test]
+    fn union_vector_with_nonzero_fill() {
+        let u = Vector::from_tuples(3, &[(0, 2u64)], Plus::new()).unwrap();
+        let v = Vector::from_tuples(3, &[(1, 5u64)], Plus::new()).unwrap();
+        let w = ewise_union_vector(&u, 100, &v, 100, Plus::new()).unwrap();
+        assert_eq!(w.get(0), Some(102)); // 2 + fill(100)
+        assert_eq!(w.get(1), Some(105)); // fill(100) + 5
+        assert_eq!(w.get(2), None); // absent from both stays absent
+    }
+
+    #[test]
+    fn union_vector_dimension_mismatch() {
+        let u = Vector::<u64>::new(3);
+        let v = Vector::<u64>::new(4);
+        assert!(ewise_union_vector(&u, 0, &v, 0, Plus::new()).is_err());
+    }
+
+    #[test]
+    fn union_matrix_subtraction() {
+        let a = Matrix::from_tuples(2, 2, &[(0, 0, 5i64), (1, 1, 3)], Plus::new()).unwrap();
+        let b = Matrix::from_tuples(2, 2, &[(0, 0, 2i64), (0, 1, 8)], Plus::new()).unwrap();
+        let c = ewise_union_matrix(&a, 0, &b, 0, Minus::new()).unwrap();
+        assert_eq!(c.get(0, 0), Some(3));
+        assert_eq!(c.get(0, 1), Some(-8));
+        assert_eq!(c.get(1, 1), Some(3));
+        assert_eq!(c.nvals(), 3);
+    }
+
+    #[test]
+    fn union_matrix_dimension_mismatch() {
+        let a: Matrix<u64> = Matrix::new(2, 3);
+        let b: Matrix<u64> = Matrix::new(3, 2);
+        assert!(ewise_union_matrix(&a, 0, &b, 0, Plus::new()).is_err());
+    }
+
+    #[test]
+    fn union_matches_ewise_add_for_commutative_plus_with_zero_fill() {
+        let a = Matrix::from_tuples(2, 3, &[(0, 0, 1u64), (1, 2, 3)], Plus::new()).unwrap();
+        let b = Matrix::from_tuples(2, 3, &[(0, 0, 5u64), (0, 1, 2)], Plus::new()).unwrap();
+        let via_union = ewise_union_matrix(&a, 0, &b, 0, Plus::new()).unwrap();
+        let via_add = crate::ops::ewise_add_matrix(&a, &b, Plus::new()).unwrap();
+        assert_eq!(via_union, via_add);
+    }
+
+    #[test]
+    fn union_mixed_types() {
+        let pattern: Matrix<bool> = Matrix::from_edges(1, 3, &[(0, 0), (0, 2)]).unwrap();
+        let counts = Matrix::from_tuples(1, 3, &[(0, 1, 4u64), (0, 2, 9)], Plus::new()).unwrap();
+        let combined = ewise_union_matrix(
+            &pattern,
+            false,
+            &counts,
+            0u64,
+            crate::ops_traits::BinaryFn::new(|p: bool, c: u64| if p { c + 1 } else { c }),
+        )
+        .unwrap();
+        assert_eq!(combined.get(0, 0), Some(1)); // pattern only: 0 + 1
+        assert_eq!(combined.get(0, 1), Some(4)); // count only
+        assert_eq!(combined.get(0, 2), Some(10)); // both: 9 + 1
+    }
+}

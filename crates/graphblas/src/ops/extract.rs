@@ -1,0 +1,275 @@
+//! Extraction of sub-vectors and sub-matrices (`GrB_extract`).
+//!
+//! `extract_submatrix(A, I, J)` returns a `|I| × |J|` matrix `C` with
+//! `C[i', j'] = A[I[i'], J[j']]` — indices are *renumbered*, which is exactly what the
+//! paper's Q2 batch algorithm needs to build the induced friendship subgraph of the
+//! users who like a comment.
+
+use crate::error::Result;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::types::{Index, IndexSelection};
+use crate::vector::Vector;
+
+/// `w = u(I)`: extract a sub-vector. Output position `k` holds `u[I[k]]` if stored.
+pub fn extract_subvector<T: Scalar>(
+    u: &Vector<T>,
+    selection: &IndexSelection<'_>,
+) -> Result<Vector<T>> {
+    selection.validate(u.size(), "extract_subvector")?;
+    match selection {
+        IndexSelection::All => Ok(u.clone()),
+        IndexSelection::List(list) => {
+            let mut out = Vector::with_capacity(list.len(), list.len().min(u.nvals()));
+            for (new_pos, &old_pos) in list.iter().enumerate() {
+                if let Some(v) = u.get(old_pos) {
+                    out.set(new_pos, v).expect("in bounds by construction");
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `C = A(I, J)`: extract a sub-matrix with renumbered indices.
+pub fn extract_submatrix<T: Scalar>(
+    a: &Matrix<T>,
+    rows: &IndexSelection<'_>,
+    cols: &IndexSelection<'_>,
+) -> Result<Matrix<T>> {
+    rows.validate(a.nrows(), "extract_submatrix (rows)")?;
+    cols.validate(a.ncols(), "extract_submatrix (cols)")?;
+
+    let out_nrows = rows.len(a.nrows());
+    let out_ncols = cols.len(a.ncols());
+
+    // Map original column -> new column (None = not selected).
+    let col_map: Option<Vec<Option<Index>>> = match cols {
+        IndexSelection::All => None,
+        IndexSelection::List(list) => {
+            let mut map = vec![None; a.ncols()];
+            for (new, &old) in list.iter().enumerate() {
+                map[old] = Some(new);
+            }
+            Some(map)
+        }
+    };
+
+    let mut row_ptr = Vec::with_capacity(out_nrows + 1);
+    let mut col_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    row_ptr.push(0);
+
+    let emit_row = |old_row: Index,
+                        col_idx: &mut Vec<Index>,
+                        values: &mut Vec<T>| {
+        let (cols_in_row, vals_in_row) = a.row(old_row);
+        match &col_map {
+            None => {
+                col_idx.extend_from_slice(cols_in_row);
+                values.extend_from_slice(vals_in_row);
+            }
+            Some(map) => {
+                let mut picked: Vec<(Index, T)> = Vec::new();
+                for (pos, &c) in cols_in_row.iter().enumerate() {
+                    if let Some(new_c) = map[c] {
+                        picked.push((new_c, vals_in_row[pos]));
+                    }
+                }
+                // The selection list may reorder columns, so re-sort by the new index.
+                picked.sort_by_key(|&(c, _)| c);
+                for (c, v) in picked {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+        }
+    };
+
+    match rows {
+        IndexSelection::All => {
+            for r in 0..a.nrows() {
+                emit_row(r, &mut col_idx, &mut values);
+                row_ptr.push(col_idx.len());
+            }
+        }
+        IndexSelection::List(list) => {
+            for &r in list.iter() {
+                emit_row(r, &mut col_idx, &mut values);
+                row_ptr.push(col_idx.len());
+            }
+        }
+    }
+
+    Ok(Matrix::from_csr_parts(
+        out_nrows, out_ncols, row_ptr, col_idx, values,
+    ))
+}
+
+/// Extract row `i` of a matrix as a vector of size `ncols`.
+pub fn extract_row<T: Scalar>(a: &Matrix<T>, row: Index) -> Result<Vector<T>> {
+    if row >= a.nrows() {
+        return Err(crate::Error::IndexOutOfBounds {
+            index: row,
+            bound: a.nrows(),
+            context: "extract_row",
+        });
+    }
+    let (cols, vals) = a.row(row);
+    Ok(Vector::from_sorted_parts(
+        a.ncols(),
+        cols.to_vec(),
+        vals.to_vec(),
+    ))
+}
+
+/// Extract column `j` of a matrix as a vector of size `nrows`.
+pub fn extract_col<T: Scalar>(a: &Matrix<T>, col: Index) -> Result<Vector<T>> {
+    if col >= a.ncols() {
+        return Err(crate::Error::IndexOutOfBounds {
+            index: col,
+            bound: a.ncols(),
+            context: "extract_col",
+        });
+    }
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        if let Some(v) = a.get(r, col) {
+            indices.push(r);
+            values.push(v);
+        }
+    }
+    Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    fn matrix() -> Matrix<u64> {
+        // 4x4
+        // [ 1  .  2  . ]
+        // [ .  3  .  4 ]
+        // [ 5  .  6  . ]
+        // [ .  7  .  8 ]
+        Matrix::from_tuples(
+            4,
+            4,
+            &[
+                (0, 0, 1u64),
+                (0, 2, 2),
+                (1, 1, 3),
+                (1, 3, 4),
+                (2, 0, 5),
+                (2, 2, 6),
+                (3, 1, 7),
+                (3, 3, 8),
+            ],
+            Plus::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extract_subvector_renumbers() {
+        let u = Vector::from_tuples(6, &[(1, 10u64), (3, 30), (5, 50)], Plus::new()).unwrap();
+        let sel = [3, 5, 0];
+        let w = extract_subvector(&u, &IndexSelection::List(&sel)).unwrap();
+        assert_eq!(w.size(), 3);
+        assert_eq!(w.get(0), Some(30));
+        assert_eq!(w.get(1), Some(50));
+        assert_eq!(w.get(2), None);
+    }
+
+    #[test]
+    fn extract_subvector_all_is_clone() {
+        let u = Vector::from_tuples(4, &[(2, 2u64)], Plus::new()).unwrap();
+        let w = extract_subvector(&u, &IndexSelection::All).unwrap();
+        assert_eq!(w, u);
+    }
+
+    #[test]
+    fn extract_subvector_out_of_bounds() {
+        let u = Vector::<u64>::new(3);
+        let sel = [4];
+        assert!(extract_subvector(&u, &IndexSelection::List(&sel)).is_err());
+    }
+
+    #[test]
+    fn extract_submatrix_induced_subgraph() {
+        // the Q2-style extraction: select rows & cols {0, 2}
+        let sel = [0, 2];
+        let sub = extract_submatrix(
+            &matrix(),
+            &IndexSelection::List(&sel),
+            &IndexSelection::List(&sel),
+        )
+        .unwrap();
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.ncols(), 2);
+        assert_eq!(sub.get(0, 0), Some(1));
+        assert_eq!(sub.get(0, 1), Some(2));
+        assert_eq!(sub.get(1, 0), Some(5));
+        assert_eq!(sub.get(1, 1), Some(6));
+    }
+
+    #[test]
+    fn extract_submatrix_reordered_selection() {
+        let rows = [2, 0];
+        let cols = [2, 0];
+        let sub = extract_submatrix(
+            &matrix(),
+            &IndexSelection::List(&rows),
+            &IndexSelection::List(&cols),
+        )
+        .unwrap();
+        // new (0,0) = old (2,2) = 6; new (1,1) = old (0,0) = 1
+        assert_eq!(sub.get(0, 0), Some(6));
+        assert_eq!(sub.get(0, 1), Some(5));
+        assert_eq!(sub.get(1, 0), Some(2));
+        assert_eq!(sub.get(1, 1), Some(1));
+    }
+
+    #[test]
+    fn extract_submatrix_all_rows_some_cols() {
+        let cols = [1, 3];
+        let sub = extract_submatrix(&matrix(), &IndexSelection::All, &IndexSelection::List(&cols))
+            .unwrap();
+        assert_eq!(sub.nrows(), 4);
+        assert_eq!(sub.ncols(), 2);
+        assert_eq!(sub.get(1, 0), Some(3));
+        assert_eq!(sub.get(1, 1), Some(4));
+        assert_eq!(sub.get(3, 1), Some(8));
+        assert_eq!(sub.nvals(), 4);
+    }
+
+    #[test]
+    fn extract_submatrix_bounds_checked() {
+        let bad = [9];
+        assert!(extract_submatrix(
+            &matrix(),
+            &IndexSelection::List(&bad),
+            &IndexSelection::All
+        )
+        .is_err());
+        assert!(extract_submatrix(
+            &matrix(),
+            &IndexSelection::All,
+            &IndexSelection::List(&bad)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extract_row_and_col() {
+        let r = extract_row(&matrix(), 1).unwrap();
+        assert_eq!(r.extract_tuples(), vec![(1, 3), (3, 4)]);
+        assert_eq!(r.size(), 4);
+        let c = extract_col(&matrix(), 0).unwrap();
+        assert_eq!(c.extract_tuples(), vec![(0, 1), (2, 5)]);
+        assert!(extract_row(&matrix(), 4).is_err());
+        assert!(extract_col(&matrix(), 4).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Kronecker product of two sparse matrices (`GrB_kronecker`).
+//!
+//! The Kronecker product of an `m×n` matrix `A` and a `p×q` matrix `B` is the
+//! `(m·p)×(n·q)` matrix whose block at block-row `i`, block-column `j` is `A(i,j) ⊗ B`.
+//! It is the standard construction for synthetic power-law graph generators (R-MAT /
+//! Graph500 style), which is how the benchmark harness uses it to build scale-free
+//! matrices for the GraphBLAS micro-benches.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+/// `C = A ⊗ B` where the scalar products are formed with `mul`.
+///
+/// The output has `A.nrows() * B.nrows()` rows and `A.ncols() * B.ncols()` columns;
+/// `C[i·p + k, j·q + l] = mul(A[i,j], B[k,l])` for every stored pair of entries.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if either output dimension would overflow
+/// `usize`.
+pub fn kronecker<A, B, Op>(a: &Matrix<A>, b: &Matrix<B>, mul: Op) -> Result<Matrix<Op::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    Op: BinaryOp<A, B>,
+{
+    let nrows = a
+        .nrows()
+        .checked_mul(b.nrows())
+        .ok_or(Error::DimensionMismatch {
+            context: "kronecker (row dimension overflow)",
+            expected: a.nrows(),
+            actual: b.nrows(),
+        })?;
+    let ncols = a
+        .ncols()
+        .checked_mul(b.ncols())
+        .ok_or(Error::DimensionMismatch {
+            context: "kronecker (column dimension overflow)",
+            expected: a.ncols(),
+            actual: b.ncols(),
+        })?;
+
+    let nvals = a.nvals().saturating_mul(b.nvals());
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    let mut col_idx: Vec<Index> = Vec::with_capacity(nvals);
+    let mut values: Vec<Op::Output> = Vec::with_capacity(nvals);
+    row_ptr.push(0);
+
+    let bq = b.ncols();
+    // Output row i*p + k is produced by pairing row i of A with row k of B. Iterating
+    // A's row in column order and B's row in column order yields sorted output columns
+    // because the output column is j*q + l and j is the major key.
+    for ai in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(ai);
+        for bk in 0..b.nrows() {
+            let (b_cols, b_vals) = b.row(bk);
+            for (a_pos, &aj) in a_cols.iter().enumerate() {
+                let base = aj * bq;
+                for (b_pos, &bl) in b_cols.iter().enumerate() {
+                    col_idx.push(base + bl);
+                    values.push(mul.apply(a_vals[a_pos], b_vals[b_pos]));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+    }
+    // An empty B (zero rows) still needs the row pointer filled out.
+    if b.nrows() == 0 {
+        row_ptr.resize(nrows + 1, 0);
+    }
+
+    Ok(Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values))
+}
+
+/// Repeated Kronecker power `A ⊗ A ⊗ ... ⊗ A` (`k` factors), the R-MAT/Graph500 style
+/// construction for scale-free synthetic graphs.
+///
+/// `k = 0` yields the `1×1` multiplicative-identity matrix; `k = 1` yields a copy of
+/// `A`.
+pub fn kronecker_power<T, Op>(a: &Matrix<T>, k: u32, mul: Op) -> Result<Matrix<T>>
+where
+    T: crate::scalar::Ring,
+    Op: BinaryOp<T, T, Output = T>,
+{
+    if k == 0 {
+        return Matrix::from_tuples(1, 1, &[(0, 0, T::ONE)], crate::ops_traits::First::new());
+    }
+    let mut acc = a.clone();
+    for _ in 1..k {
+        acc = kronecker(&acc, a, mul)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Pair, Plus, Times};
+
+    fn small(values: &[(Index, Index, u64)], nrows: Index, ncols: Index) -> Matrix<u64> {
+        Matrix::from_tuples(nrows, ncols, values, Plus::new()).unwrap()
+    }
+
+    #[test]
+    fn kronecker_of_identity_blocks() {
+        // I2 ⊗ B places B on the block diagonal.
+        let identity = small(&[(0, 0, 1), (1, 1, 1)], 2, 2);
+        let b = small(&[(0, 1, 3), (1, 0, 5)], 2, 2);
+        let c = kronecker(&identity, &b, Times::new()).unwrap();
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.nvals(), 4);
+        assert_eq!(c.get(0, 1), Some(3));
+        assert_eq!(c.get(1, 0), Some(5));
+        assert_eq!(c.get(2, 3), Some(3));
+        assert_eq!(c.get(3, 2), Some(5));
+        assert_eq!(c.get(0, 3), None);
+    }
+
+    #[test]
+    fn kronecker_values_multiply() {
+        let a = small(&[(0, 0, 2), (0, 1, 3)], 1, 2);
+        let b = small(&[(0, 0, 5), (1, 1, 7)], 2, 2);
+        let c = kronecker(&a, &b, Times::new()).unwrap();
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.get(0, 0), Some(10)); // 2*5
+        assert_eq!(c.get(1, 1), Some(14)); // 2*7
+        assert_eq!(c.get(0, 2), Some(15)); // 3*5
+        assert_eq!(c.get(1, 3), Some(21)); // 3*7
+    }
+
+    #[test]
+    fn kronecker_dimensions_multiply() {
+        let a = small(&[(0, 0, 1)], 3, 4);
+        let b = small(&[(0, 0, 1)], 5, 6);
+        let c = kronecker(&a, &b, Times::new()).unwrap();
+        assert_eq!(c.nrows(), 15);
+        assert_eq!(c.ncols(), 24);
+        assert_eq!(c.nvals(), 1);
+    }
+
+    #[test]
+    fn kronecker_with_empty_operand_is_empty() {
+        let a = small(&[(0, 0, 1)], 2, 2);
+        let empty: Matrix<u64> = Matrix::new(3, 3);
+        let c = kronecker(&a, &empty, Times::new()).unwrap();
+        assert_eq!(c.nrows(), 6);
+        assert_eq!(c.ncols(), 6);
+        assert_eq!(c.nvals(), 0);
+        let d = kronecker(&empty, &a, Times::new()).unwrap();
+        assert_eq!(d.nrows(), 6);
+        assert_eq!(d.nvals(), 0);
+    }
+
+    #[test]
+    fn kronecker_rows_stay_sorted() {
+        let a = small(&[(0, 0, 1), (0, 2, 1)], 1, 3);
+        let b = small(&[(0, 0, 1), (0, 1, 1)], 1, 2);
+        let c = kronecker(&a, &b, Times::new()).unwrap();
+        let (cols, _) = c.row(0);
+        assert_eq!(cols, &[0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn kronecker_pattern_counts_with_pair() {
+        let a: Matrix<bool> = Matrix::from_edges(2, 2, &[(0, 1), (1, 0)]).unwrap();
+        let b: Matrix<bool> = Matrix::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let c = kronecker(&a, &b, Pair::<u64>::new()).unwrap();
+        assert_eq!(c.nvals(), 4);
+        assert!(c.values().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn kronecker_power_builds_rmat_style_matrix() {
+        // The classic 2×2 initiator: nvals^k entries, 2^k dimensions.
+        let initiator = small(&[(0, 0, 1), (0, 1, 1), (1, 1, 1)], 2, 2);
+        let k3 = kronecker_power(&initiator, 3, Times::new()).unwrap();
+        assert_eq!(k3.nrows(), 8);
+        assert_eq!(k3.ncols(), 8);
+        assert_eq!(k3.nvals(), 27);
+    }
+
+    #[test]
+    fn kronecker_power_base_cases() {
+        let a = small(&[(0, 1, 4)], 2, 2);
+        let k0 = kronecker_power(&a, 0, Times::new()).unwrap();
+        assert_eq!(k0.nrows(), 1);
+        assert_eq!(k0.get(0, 0), Some(1));
+        let k1 = kronecker_power(&a, 1, Times::new()).unwrap();
+        assert_eq!(k1, a);
+    }
+
+    #[test]
+    fn kronecker_mixed_types() {
+        let pattern: Matrix<bool> = Matrix::from_edges(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let weights = small(&[(0, 0, 9)], 1, 1);
+        let c = kronecker(&pattern, &weights, crate::ops_traits::Second::new()).unwrap();
+        assert_eq!(c.get(0, 0), Some(9));
+        assert_eq!(c.get(0, 1), Some(9));
+    }
+}

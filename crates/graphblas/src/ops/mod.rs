@@ -1,0 +1,114 @@
+//! GraphBLAS operations.
+//!
+//! Each submodule implements one operation family from the paper's Table I:
+//!
+//! | GraphBLAS method       | module        | notation                         |
+//! |------------------------|---------------|----------------------------------|
+//! | `GrB_mxm`              | [`mxm`]       | `C⟨M⟩ = A ⊕.⊗ B`                 |
+//! | `GrB_vxm`              | [`vxm`]       | `wᵀ⟨mᵀ⟩ = uᵀ ⊕.⊗ A`              |
+//! | `GrB_mxv`              | [`mxv`]       | `w⟨m⟩ = A ⊕.⊗ u`                 |
+//! | `GrB_eWiseAdd`         | [`ewise_add`] | `C⟨M⟩ = A ⊕ B` (set union)       |
+//! | `GrB_eWiseMult`        | [`ewise_mult`]| `C⟨M⟩ = A ⊗ B` (set intersection)|
+//! | `GrB_extract`          | [`extract`]   | `C⟨M⟩ = A(I, J)`                 |
+//! | `GrB_apply`            | [`apply`]     | `C⟨M⟩ = f(A)`                    |
+//! | `GxB_select`           | [`select`]    | `C⟨M⟩ = f(A, k)`                 |
+//! | `GrB_reduce`           | [`reduce`]    | `w⟨m⟩ = [⊕ⱼ A(:, j)]`, `s = ⊕ᵢⱼ` |
+//! | `GrB_assign`           | [`assign`]    | `C⟨M⟩ = A` (masked write)        |
+//! | `GrB_transpose`        | [`crate::Matrix::transpose`] | `C⟨M⟩ = Aᵀ`       |
+//! | `GrB_build`            | [`crate::Matrix::from_tuples`] / [`crate::Vector::from_tuples`] | |
+//! | `GrB_extractTuples`    | [`crate::Matrix::extract_tuples`] / [`crate::Vector::extract_tuples`] | |
+//!
+//! Kernels use gather–sort–combine sparse accumulation, which keeps them allocation
+//! friendly and makes the rayon-parallel variants (`*_par`) embarrassingly parallel
+//! over output rows.
+
+pub mod apply;
+pub mod assign;
+pub mod concat;
+pub mod ewise_add;
+pub mod ewise_mult;
+pub mod ewise_union;
+pub mod extract;
+pub mod kronecker;
+pub mod mxm;
+pub mod mxv;
+pub mod par;
+pub mod reduce;
+pub mod select;
+pub mod vxm;
+
+pub use apply::{
+    apply_matrix, apply_matrix_binop_left, apply_matrix_binop_right, apply_vector,
+    apply_vector_binop_left, apply_vector_binop_right,
+};
+pub use assign::{assign_scalar_vector_masked, assign_vector_masked};
+pub use concat::{concat, concat_cols, concat_rows, split};
+pub use ewise_add::{ewise_add_matrix, ewise_add_vector};
+pub use ewise_mult::{ewise_mult_matrix, ewise_mult_vector};
+pub use ewise_union::{ewise_union_matrix, ewise_union_vector};
+pub use extract::{extract_col, extract_row, extract_submatrix, extract_subvector};
+pub use kronecker::{kronecker, kronecker_power};
+pub use mxm::{mxm, mxm_masked, mxm_par};
+pub use mxv::{mxv, mxv_masked, mxv_par};
+pub use par::{
+    apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, select_matrix_par,
+    transpose_par,
+};
+pub use reduce::{
+    reduce_matrix_cols, reduce_matrix_rows, reduce_matrix_rows_par, reduce_matrix_scalar,
+    reduce_vector_scalar,
+};
+pub use select::{select_matrix, select_vector};
+pub use vxm::{vxm, vxm_masked};
+
+use crate::monoid::Monoid;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+/// Combine an unsorted list of `(index, value)` products into a sorted,
+/// duplicate-free list by folding duplicates with the monoid `add`.
+///
+/// Shared helper of the multiplication kernels (gather–sort–combine accumulation).
+pub(crate) fn combine_products<T, M>(mut products: Vec<(Index, T)>, add: M) -> (Vec<Index>, Vec<T>)
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    if products.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    products.sort_by_key(|&(i, _)| i);
+    let mut indices = Vec::with_capacity(products.len());
+    let mut values: Vec<T> = Vec::with_capacity(products.len());
+    for (i, v) in products {
+        if indices.last() == Some(&i) {
+            let slot = values.last_mut().expect("values parallel to indices");
+            *slot = add.apply(*slot, v);
+        } else {
+            indices.push(i);
+            values.push(v);
+        }
+    }
+    (indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    #[test]
+    fn combine_products_sorts_and_folds() {
+        let products = vec![(3, 1u64), (1, 2), (3, 4), (0, 7)];
+        let (idx, vals) = combine_products(products, Plus::new());
+        assert_eq!(idx, vec![0, 1, 3]);
+        assert_eq!(vals, vec![7, 2, 5]);
+    }
+
+    #[test]
+    fn combine_products_empty() {
+        let (idx, vals) = combine_products(Vec::<(Index, u64)>::new(), Plus::new());
+        assert!(idx.is_empty());
+        assert!(vals.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Matrix–matrix multiplication `C⟨M⟩ = A ⊕.⊗ B` (`GrB_mxm`).
+//!
+//! The kernel is a row-wise Gustavson SpGEMM: for each row `i` of `A`, the partial
+//! products `A[i,k] ⊗ B[k,j]` are gathered and combined with the additive monoid.
+//! The parallel variant distributes output rows over the rayon thread pool, which is
+//! how SuiteSparse:GraphBLAS parallelises the same kernel with OpenMP.
+
+use rayon::prelude::*;
+
+use crate::error::{Error, Result};
+use crate::mask::MatrixMask;
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::{MaskValue, Scalar};
+use crate::semiring::Semiring;
+use crate::types::Index;
+
+use super::combine_products;
+
+fn check_dims<A, B>(a: &Matrix<A>, b: &Matrix<B>) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+{
+    if a.ncols() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "mxm",
+            expected: a.ncols(),
+            actual: b.nrows(),
+        });
+    }
+    Ok(())
+}
+
+/// Compute one output row of `A ⊕.⊗ B` (sorted columns + values).
+#[inline]
+fn multiply_row<A, B, S>(
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: &S,
+    row: Index,
+) -> (Vec<Index>, Vec<S::Output>)
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    let mul = semiring.mul();
+    let (a_cols, a_vals) = a.row(row);
+    let mut products: Vec<(Index, S::Output)> = Vec::new();
+    for (pos, &k) in a_cols.iter().enumerate() {
+        let aik = a_vals[pos];
+        let (b_cols, b_vals) = b.row(k);
+        products.reserve(b_cols.len());
+        for (bpos, &j) in b_cols.iter().enumerate() {
+            products.push((j, mul.apply(aik, b_vals[bpos])));
+        }
+    }
+    combine_products(products, semiring.add())
+}
+
+fn assemble<T: Scalar>(
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<(Vec<Index>, Vec<T>)>,
+) -> Matrix<T> {
+    let nvals: usize = rows.iter().map(|(c, _)| c.len()).sum();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    let mut col_idx = Vec::with_capacity(nvals);
+    let mut values = Vec::with_capacity(nvals);
+    row_ptr.push(0);
+    for (cols, vals) in rows {
+        col_idx.extend_from_slice(&cols);
+        values.extend_from_slice(&vals);
+        row_ptr.push(col_idx.len());
+    }
+    Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// `C = A ⊕.⊗ B`: sparse matrix–matrix product over a semiring (serial kernel).
+pub fn mxm<A, B, S>(a: &Matrix<A>, b: &Matrix<B>, semiring: S) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    check_dims(a, b)?;
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
+        .map(|r| multiply_row(a, b, &semiring, r))
+        .collect();
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+/// Parallel (rayon) variant of [`mxm`]: output rows are computed independently on the
+/// current rayon thread pool.
+pub fn mxm_par<A, B, S>(a: &Matrix<A>, b: &Matrix<B>, semiring: S) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    check_dims(a, b)?;
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|r| multiply_row(a, b, &semiring, r))
+        .collect();
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+/// Masked variant: `C⟨M⟩ = A ⊕.⊗ B`. Output positions not allowed by the mask are
+/// discarded after the row product is formed.
+pub fn mxm_masked<A, B, S, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    check_dims(a, b)?;
+    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "mxm (mask)",
+            expected: a.nrows(),
+            actual: mask.nrows(),
+        });
+    }
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
+        .map(|r| {
+            let (cols, vals) = multiply_row(a, b, &semiring, r);
+            let mut fcols = Vec::with_capacity(cols.len());
+            let mut fvals = Vec::with_capacity(vals.len());
+            for (pos, &c) in cols.iter().enumerate() {
+                if mask.allows(r, c) {
+                    fcols.push(c);
+                    fvals.push(vals[pos]);
+                }
+            }
+            (fcols, fvals)
+        })
+        .collect();
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+    use crate::semiring::stock;
+
+    fn a() -> Matrix<u64> {
+        // 2x3
+        // [ 1  2  . ]
+        // [ .  .  3 ]
+        Matrix::from_tuples(2, 3, &[(0, 0, 1u64), (0, 1, 2), (1, 2, 3)], Plus::new()).unwrap()
+    }
+
+    fn b() -> Matrix<u64> {
+        // 3x2
+        // [ 4  . ]
+        // [ .  5 ]
+        // [ 6  7 ]
+        Matrix::from_tuples(
+            3,
+            2,
+            &[(0, 0, 4u64), (1, 1, 5), (2, 0, 6), (2, 1, 7)],
+            Plus::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mxm_plus_times() {
+        let c = mxm(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 2);
+        assert_eq!(c.get(0, 0), Some(4));
+        assert_eq!(c.get(0, 1), Some(10));
+        assert_eq!(c.get(1, 0), Some(18));
+        assert_eq!(c.get(1, 1), Some(21));
+    }
+
+    #[test]
+    fn mxm_dimension_mismatch() {
+        assert!(mxm(&a(), &a(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn mxm_par_matches_serial() {
+        let serial = mxm(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        let parallel = mxm_par(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn mxm_with_empty_operand() {
+        let empty: Matrix<u64> = Matrix::new(3, 2);
+        let c = mxm(&a(), &empty, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 2);
+        assert_eq!(c.nvals(), 0);
+    }
+
+    #[test]
+    fn mxm_plus_pair_counts_overlaps() {
+        // C[i][j] = number of k such that A[i,k] and B[k,j] are both present
+        let c = mxm(&a(), &b(), stock::plus_pair::<u64, u64, u64>()).unwrap();
+        assert_eq!(c.get(0, 0), Some(1));
+        assert_eq!(c.get(0, 1), Some(1));
+        assert_eq!(c.get(1, 0), Some(1));
+        assert_eq!(c.get(1, 1), Some(1));
+    }
+
+    #[test]
+    fn mxm_masked_restricts_output() {
+        let mask_matrix =
+            Matrix::from_tuples(2, 2, &[(0, 0, true), (1, 1, true)], crate::ops_traits::First::new())
+                .unwrap();
+        let mask = MatrixMask::structural(&mask_matrix);
+        let c = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(c.get(0, 0), Some(4));
+        assert_eq!(c.get(1, 1), Some(21));
+        assert_eq!(c.get(0, 1), None);
+        assert_eq!(c.get(1, 0), None);
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    fn mxm_masked_checks_mask_dims() {
+        let mask_matrix: Matrix<bool> = Matrix::new(3, 3);
+        let mask = MatrixMask::structural(&mask_matrix);
+        assert!(mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn mxm_associativity_on_small_chain() {
+        // (A*B)*A' == A*(B*A') with plus_times over u64
+        let ab = mxm(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        let abat = mxm(&ab, &a(), stock::plus_times::<u64>()).unwrap();
+        let ba = mxm(&b(), &a(), stock::plus_times::<u64>()).unwrap();
+        let abat2 = mxm(&a(), &ba, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(abat, abat2);
+    }
+}

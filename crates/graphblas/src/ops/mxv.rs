@@ -1,0 +1,234 @@
+//! Matrix–vector multiplication `w⟨m⟩ = A ⊕.⊗ u` (`GrB_mxv`).
+
+use rayon::prelude::*;
+
+use crate::error::{Error, Result};
+use crate::mask::VectorMask;
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::{MaskValue, Scalar};
+use crate::semiring::Semiring;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// Compute one output element: the semiring "dot product" of a CSR row with a sparse
+/// vector, merging the two sorted index lists.
+#[inline]
+fn row_dot<A, B, S>(cols: &[Index], vals: &[A], u: &Vector<B>, semiring: &S) -> Option<S::Output>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let u_idx = u.indices();
+    let u_val = u.values();
+
+    let mut acc: Option<S::Output> = None;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < cols.len() && j < u_idx.len() {
+        match cols[i].cmp(&u_idx[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let product = mul.apply(vals[i], u_val[j]);
+                acc = Some(match acc {
+                    None => product,
+                    Some(a) => add.apply(a, product),
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+fn check_dims<A, B>(a: &Matrix<A>, u: &Vector<B>) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+{
+    if a.ncols() != u.size() {
+        return Err(Error::DimensionMismatch {
+            context: "mxv",
+            expected: a.ncols(),
+            actual: u.size(),
+        });
+    }
+    Ok(())
+}
+
+/// `w = A ⊕.⊗ u`: multiply a sparse matrix by a sparse vector over a semiring.
+///
+/// The output stores an element for row `i` only if the structural intersection of
+/// row `i` and `u` is non-empty (no implicit zeros are materialised).
+pub fn mxv<A, B, S>(a: &Matrix<A>, u: &Vector<B>, semiring: S) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    check_dims(a, u)?;
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        if cols.is_empty() {
+            continue;
+        }
+        if let Some(v) = row_dot(cols, vals, u, &semiring) {
+            indices.push(r);
+            values.push(v);
+        }
+    }
+    Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
+}
+
+/// Masked variant: `w⟨m⟩ = A ⊕.⊗ u`. Rows not allowed by the mask are skipped
+/// entirely (and therefore not even computed).
+pub fn mxv_masked<A, B, S, M>(
+    mask: &VectorMask<'_, M>,
+    a: &Matrix<A>,
+    u: &Vector<B>,
+    semiring: S,
+) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    check_dims(a, u)?;
+    if mask.size() != a.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "mxv (mask)",
+            expected: a.nrows(),
+            actual: mask.size(),
+        });
+    }
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        if !mask.allows(r) {
+            continue;
+        }
+        let (cols, vals) = a.row(r);
+        if let Some(v) = row_dot(cols, vals, u, &semiring) {
+            indices.push(r);
+            values.push(v);
+        }
+    }
+    Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
+}
+
+/// Parallel (rayon) variant of [`mxv`]: output rows are computed independently.
+pub fn mxv_par<A, B, S>(a: &Matrix<A>, u: &Vector<B>, semiring: S) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    check_dims(a, u)?;
+    let results: Vec<(Index, S::Output)> = (0..a.nrows())
+        .into_par_iter()
+        .filter_map(|r| {
+            let (cols, vals) = a.row(r);
+            if cols.is_empty() {
+                return None;
+            }
+            row_dot(cols, vals, u, &semiring).map(|v| (r, v))
+        })
+        .collect();
+    let mut indices = Vec::with_capacity(results.len());
+    let mut values = Vec::with_capacity(results.len());
+    for (i, v) in results {
+        indices.push(i);
+        values.push(v);
+    }
+    Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+    use crate::semiring::stock;
+
+    fn matrix() -> Matrix<u64> {
+        // 3x4
+        // [ .  2  .  1 ]
+        // [ 3  .  .  . ]
+        // [ .  .  .  . ]
+        Matrix::from_tuples(
+            3,
+            4,
+            &[(0, 1, 2u64), (0, 3, 1), (1, 0, 3)],
+            Plus::new(),
+        )
+        .unwrap()
+    }
+
+    fn vector() -> Vector<u64> {
+        Vector::from_tuples(4, &[(1, 10u64), (3, 5)], Plus::new()).unwrap()
+    }
+
+    #[test]
+    fn mxv_plus_times() {
+        let w = mxv(&matrix(), &vector(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.size(), 3);
+        assert_eq!(w.get(0), Some(2 * 10 + 1 * 5));
+        assert_eq!(w.get(1), None); // row 1 only hits column 0, not stored in u
+        assert_eq!(w.get(2), None); // empty row
+        assert_eq!(w.nvals(), 1);
+    }
+
+    #[test]
+    fn mxv_plus_second_sums_vector_values() {
+        let w = mxv(&matrix(), &vector(), stock::plus_second::<u64>()).unwrap();
+        assert_eq!(w.get(0), Some(15));
+    }
+
+    #[test]
+    fn mxv_dimension_mismatch() {
+        let u = Vector::<u64>::new(3);
+        assert!(mxv(&matrix(), &u, stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn mxv_masked_skips_disallowed_rows() {
+        let mask_vec = Vector::from_tuples(3, &[(1, true)], crate::ops_traits::First::new()).unwrap();
+        let mask = VectorMask::structural(&mask_vec);
+        let w = mxv_masked(&mask, &matrix(), &vector(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.nvals(), 0); // row 0 would have a value but is masked out
+
+        let mask = VectorMask::structural(&mask_vec).complement();
+        let w = mxv_masked(&mask, &matrix(), &vector(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.get(0), Some(25));
+    }
+
+    #[test]
+    fn mxv_masked_mask_dimension_checked() {
+        let mask_vec = Vector::<bool>::new(7);
+        let mask = VectorMask::structural(&mask_vec);
+        assert!(mxv_masked(&mask, &matrix(), &vector(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn mxv_par_matches_serial() {
+        let a = matrix();
+        let u = vector();
+        let serial = mxv(&a, &u, stock::plus_times::<u64>()).unwrap();
+        let parallel = mxv_par(&a, &u, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn mxv_empty_vector_gives_empty_result() {
+        let u = Vector::<u64>::new(4);
+        let w = mxv(&matrix(), &u, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.nvals(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Reductions (`GrB_reduce`): fold a matrix into a vector (per row / per column) or a
+//! matrix / vector into a scalar, using a monoid.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+use crate::monoid::Monoid;
+use crate::scalar::Scalar;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// `w = [⊕ⱼ A(:, j)]`: reduce each row of the matrix to a single value.
+///
+/// Rows with no stored elements produce no output element (no implicit identity).
+/// The paper's Q1 uses this to count the comments per post from the `RootPost` matrix.
+pub fn reduce_matrix_rows<T, M>(a: &Matrix<T>, monoid: M) -> Vector<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (_, vals) = a.row(r);
+        if vals.is_empty() {
+            continue;
+        }
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = monoid.apply(acc, v);
+        }
+        indices.push(r);
+        values.push(acc);
+    }
+    Vector::from_sorted_parts(a.nrows(), indices, values)
+}
+
+/// Parallel (rayon) variant of [`reduce_matrix_rows`].
+pub fn reduce_matrix_rows_par<T, M>(a: &Matrix<T>, monoid: M) -> Vector<T>
+where
+    T: Scalar + Send,
+    M: Monoid<T> + Sync,
+{
+    let results: Vec<(Index, T)> = (0..a.nrows())
+        .into_par_iter()
+        .filter_map(|r| {
+            let (_, vals) = a.row(r);
+            if vals.is_empty() {
+                return None;
+            }
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = monoid.apply(acc, v);
+            }
+            Some((r, acc))
+        })
+        .collect();
+    let mut indices = Vec::with_capacity(results.len());
+    let mut values = Vec::with_capacity(results.len());
+    for (i, v) in results {
+        indices.push(i);
+        values.push(v);
+    }
+    Vector::from_sorted_parts(a.nrows(), indices, values)
+}
+
+/// `w = [⊕ᵢ A(i, :)]`: reduce each column of the matrix to a single value.
+///
+/// Equivalent to reducing the rows of `Aᵀ`, but implemented as a single scatter pass.
+pub fn reduce_matrix_cols<T, M>(a: &Matrix<T>, monoid: M) -> Vector<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let mut present = vec![false; a.ncols()];
+    let mut acc: Vec<T> = vec![monoid.identity(); a.ncols()];
+    for (_, c, v) in a.iter() {
+        if present[c] {
+            acc[c] = monoid.apply(acc[c], v);
+        } else {
+            acc[c] = v;
+            present[c] = true;
+        }
+    }
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (c, &p) in present.iter().enumerate() {
+        if p {
+            indices.push(c);
+            values.push(acc[c]);
+        }
+    }
+    Vector::from_sorted_parts(a.ncols(), indices, values)
+}
+
+/// `s = ⊕ᵢⱼ A(i, j)`: reduce the whole matrix to a scalar. Returns the monoid
+/// identity for an empty matrix.
+pub fn reduce_matrix_scalar<T, M>(a: &Matrix<T>, monoid: M) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    a.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &v| monoid.apply(acc, v))
+}
+
+/// `s = ⊕ᵢ u(i)`: reduce a vector to a scalar. Returns the monoid identity for an
+/// empty vector.
+pub fn reduce_vector_scalar<T, M>(u: &Vector<T>, monoid: M) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    u.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &v| monoid.apply(acc, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::stock;
+    use crate::ops_traits::Plus;
+
+    fn matrix() -> Matrix<u64> {
+        // [ 1  2  . ]
+        // [ .  .  . ]
+        // [ 4  .  8 ]
+        Matrix::from_tuples(
+            3,
+            3,
+            &[(0, 0, 1u64), (0, 1, 2), (2, 0, 4), (2, 2, 8)],
+            Plus::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_reduction_skips_empty_rows() {
+        let w = reduce_matrix_rows(&matrix(), stock::plus());
+        assert_eq!(w.extract_tuples(), vec![(0, 3), (2, 12)]);
+        assert_eq!(w.size(), 3);
+    }
+
+    #[test]
+    fn row_reduction_par_matches_serial() {
+        let serial = reduce_matrix_rows(&matrix(), stock::plus());
+        let parallel = reduce_matrix_rows_par(&matrix(), stock::plus());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn row_reduction_with_max_monoid() {
+        let w = reduce_matrix_rows(&matrix(), stock::max());
+        assert_eq!(w.get(0), Some(2));
+        assert_eq!(w.get(2), Some(8));
+    }
+
+    #[test]
+    fn col_reduction() {
+        let w = reduce_matrix_cols(&matrix(), stock::plus());
+        assert_eq!(w.extract_tuples(), vec![(0, 5), (1, 2), (2, 8)]);
+        assert_eq!(w.size(), 3);
+    }
+
+    #[test]
+    fn col_reduction_matches_row_reduction_of_transpose() {
+        let a = matrix();
+        let direct = reduce_matrix_cols(&a, stock::plus());
+        let via_transpose = reduce_matrix_rows(&a.transpose(), stock::plus());
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        assert_eq!(reduce_matrix_scalar(&matrix(), stock::plus()), 15);
+        assert_eq!(reduce_matrix_scalar(&Matrix::<u64>::new(2, 2), stock::plus()), 0);
+        let v = Vector::from_tuples(5, &[(1, 3u64), (4, 9)], Plus::new()).unwrap();
+        assert_eq!(reduce_vector_scalar(&v, stock::plus()), 12);
+        assert_eq!(reduce_vector_scalar(&v, stock::max()), 9);
+        assert_eq!(reduce_vector_scalar(&Vector::<u64>::new(3), stock::plus()), 0);
+    }
+
+    #[test]
+    fn lor_row_reduction_is_presence_flag() {
+        // Step 3 of Q2 incremental: row-wise OR of the filtered AC matrix
+        let w = reduce_matrix_rows(&matrix(), stock::lor());
+        assert_eq!(w.get(0), Some(1));
+        assert_eq!(w.get(2), Some(1));
+        assert_eq!(w.get(1), None);
+    }
+}

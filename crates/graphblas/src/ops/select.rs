@@ -1,0 +1,120 @@
+//! Select entries by an index-aware predicate (`GxB_select` / `GrB_select`).
+//!
+//! The paper's Q2 incremental algorithm uses `select` with the "value equals 2"
+//! predicate to keep the cells of the `AC` matrix where both endpoints of a new
+//! friendship like the same comment.
+
+use crate::matrix::Matrix;
+use crate::ops_traits::IndexUnaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+use crate::vector::Vector;
+
+/// `w = f(u, k)`: keep the stored vector elements for which the predicate holds.
+///
+/// The predicate receives `(index, 0, value)` so the same operators work for vectors
+/// and matrices.
+pub fn select_vector<T, Op>(u: &Vector<T>, op: Op) -> Vector<T>
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T>,
+{
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (i, v) in u.iter() {
+        if op.keep(i, 0, v) {
+            indices.push(i);
+            values.push(v);
+        }
+    }
+    Vector::from_sorted_parts(u.size(), indices, values)
+}
+
+/// `C = f(A, k)`: keep the stored matrix elements for which the predicate holds.
+pub fn select_matrix<T, Op>(a: &Matrix<T>, op: Op) -> Matrix<T>
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T>,
+{
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut col_idx: Vec<Index> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    row_ptr.push(0);
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (pos, &c) in cols.iter().enumerate() {
+            if op.keep(r, c, vals[pos]) {
+                col_idx.push(c);
+                values.push(vals[pos]);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Matrix::from_csr_parts(a.nrows(), a.ncols(), row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{NonZero, Plus, SelectFn, StrictLowerTriangle, ValueEq, ValueGt};
+
+    #[test]
+    fn select_vector_value_gt() {
+        let u = Vector::from_tuples(6, &[(0, 1u64), (2, 5), (4, 3)], Plus::new()).unwrap();
+        let w = select_vector(&u, ValueGt::new(2u64));
+        assert_eq!(w.extract_tuples(), vec![(2, 5), (4, 3)]);
+        assert_eq!(w.size(), 6);
+    }
+
+    #[test]
+    fn select_vector_nonzero_drops_explicit_zeros() {
+        let u = Vector::from_tuples(4, &[(0, 0u64), (1, 7)], Plus::new()).unwrap();
+        let w = select_vector(&u, NonZero::new());
+        assert_eq!(w.extract_tuples(), vec![(1, 7)]);
+    }
+
+    #[test]
+    fn select_matrix_value_eq_two() {
+        // the AC-matrix filtering step of Q2 incremental
+        let ac = Matrix::from_tuples(
+            3,
+            2,
+            &[(0, 0, 1u64), (1, 0, 2), (1, 1, 1), (2, 1, 2)],
+            Plus::new(),
+        )
+        .unwrap();
+        let filtered = select_matrix(&ac, ValueEq::new(2u64));
+        assert_eq!(filtered.extract_tuples(), vec![(1, 0, 2), (2, 1, 2)]);
+        assert_eq!(filtered.nrows(), 3);
+        assert_eq!(filtered.ncols(), 2);
+    }
+
+    #[test]
+    fn select_matrix_structural_predicate() {
+        let a = Matrix::from_tuples(
+            3,
+            3,
+            &[(0, 1, 1u64), (1, 0, 2), (2, 1, 3), (2, 2, 4)],
+            Plus::new(),
+        )
+        .unwrap();
+        let lower = select_matrix(&a, StrictLowerTriangle);
+        assert_eq!(lower.extract_tuples(), vec![(1, 0, 2), (2, 1, 3)]);
+    }
+
+    #[test]
+    fn select_with_custom_closure() {
+        let u = Vector::from_tuples(8, &[(1, 1u64), (2, 2), (6, 3)], Plus::new()).unwrap();
+        let even_index = SelectFn::new(|i: Index, _c: Index, _v: u64| i % 2 == 0);
+        let w = select_vector(&u, even_index);
+        assert_eq!(w.extract_tuples(), vec![(2, 2), (6, 3)]);
+    }
+
+    #[test]
+    fn select_on_empty_containers() {
+        let u = Vector::<u64>::new(3);
+        assert_eq!(select_vector(&u, NonZero::new()).nvals(), 0);
+        let a = Matrix::<u64>::new(2, 2);
+        assert_eq!(select_matrix(&a, NonZero::new()).nvals(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Vector–matrix multiplication `wᵀ⟨mᵀ⟩ = uᵀ ⊕.⊗ A` (`GrB_vxm`).
+//!
+//! With the matrix stored in CSR, `vxm` is the natural "push" direction: for each
+//! stored element `u[j]`, scatter `u[j] ⊗ A[j, k]` into the output positions `k`.
+
+use crate::error::{Error, Result};
+use crate::mask::VectorMask;
+use crate::matrix::Matrix;
+use crate::ops_traits::BinaryOp;
+use crate::scalar::{MaskValue, Scalar};
+use crate::semiring::Semiring;
+use crate::types::Index;
+use crate::vector::Vector;
+
+use super::combine_products;
+
+fn check_dims<A, B>(u: &Vector<A>, a: &Matrix<B>) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+{
+    if u.size() != a.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "vxm",
+            expected: a.nrows(),
+            actual: u.size(),
+        });
+    }
+    Ok(())
+}
+
+/// `w = uᵀ ⊕.⊗ A`: multiply a sparse row vector by a sparse matrix over a semiring.
+pub fn vxm<A, B, S>(u: &Vector<A>, a: &Matrix<B>, semiring: S) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    check_dims(u, a)?;
+    let mul = semiring.mul();
+    let mut products: Vec<(Index, S::Output)> = Vec::new();
+    for (j, uj) in u.iter() {
+        let (cols, vals) = a.row(j);
+        for (pos, &k) in cols.iter().enumerate() {
+            products.push((k, mul.apply(uj, vals[pos])));
+        }
+    }
+    let (indices, values) = combine_products(products, semiring.add());
+    Ok(Vector::from_sorted_parts(a.ncols(), indices, values))
+}
+
+/// Masked variant: `w⟨m⟩ = uᵀ ⊕.⊗ A`. Output positions not allowed by the mask are
+/// dropped after accumulation.
+pub fn vxm_masked<A, B, S, M>(
+    mask: &VectorMask<'_, M>,
+    u: &Vector<A>,
+    a: &Matrix<B>,
+    semiring: S,
+) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    check_dims(u, a)?;
+    if mask.size() != a.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "vxm (mask)",
+            expected: a.ncols(),
+            actual: mask.size(),
+        });
+    }
+    let mut w = vxm(u, a, semiring)?;
+    w.retain(|i, _| mask.allows(i));
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{First, Plus};
+    use crate::semiring::stock;
+
+    fn matrix() -> Matrix<u64> {
+        // 3x4
+        // [ .  2  .  1 ]
+        // [ 3  .  .  . ]
+        // [ .  4  5  . ]
+        Matrix::from_tuples(
+            3,
+            4,
+            &[(0, 1, 2u64), (0, 3, 1), (1, 0, 3), (2, 1, 4), (2, 2, 5)],
+            Plus::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vxm_plus_times() {
+        let u = Vector::from_tuples(3, &[(0, 2u64), (2, 10)], Plus::new()).unwrap();
+        let w = vxm(&u, &matrix(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.size(), 4);
+        assert_eq!(w.get(0), None);
+        assert_eq!(w.get(1), Some(2 * 2 + 10 * 4));
+        assert_eq!(w.get(2), Some(50));
+        assert_eq!(w.get(3), Some(2));
+    }
+
+    #[test]
+    fn vxm_matches_mxv_on_transpose() {
+        let a = matrix();
+        let u = Vector::from_tuples(3, &[(0, 1u64), (1, 7), (2, 3)], Plus::new()).unwrap();
+        let via_vxm = vxm(&u, &a, stock::plus_times::<u64>()).unwrap();
+        let via_mxv = crate::ops::mxv(&a.transpose(), &u, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(via_vxm, via_mxv);
+    }
+
+    #[test]
+    fn vxm_dimension_mismatch() {
+        let u = Vector::<u64>::new(5);
+        assert!(vxm(&u, &matrix(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn vxm_masked_filters_output_positions() {
+        let u = Vector::from_tuples(3, &[(0, 2u64), (2, 10)], Plus::new()).unwrap();
+        let mask_vec = Vector::from_tuples(4, &[(1, true), (3, true)], First::new()).unwrap();
+        let mask = VectorMask::structural(&mask_vec);
+        let w = vxm_masked(&mask, &u, &matrix(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.get(1), Some(44));
+        assert_eq!(w.get(3), Some(2));
+        assert_eq!(w.get(2), None);
+    }
+
+    #[test]
+    fn vxm_masked_checks_mask_dimension() {
+        let u = Vector::<u64>::new(3);
+        let mask_vec = Vector::<bool>::new(2);
+        let mask = VectorMask::structural(&mask_vec);
+        assert!(vxm_masked(&mask, &u, &matrix(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn vxm_lor_land_is_bfs_step() {
+        // frontier at node 0; edges 0->1, 0->3 reach columns 1 and 3
+        let u = Vector::from_tuples(3, &[(0, 1u64)], Plus::new()).unwrap();
+        let w = vxm(&u, &matrix(), stock::lor_land::<u64>()).unwrap();
+        assert_eq!(w.get(1), Some(1));
+        assert_eq!(w.get(3), Some(1));
+        assert_eq!(w.nvals(), 2);
+    }
+}

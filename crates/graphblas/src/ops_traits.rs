@@ -1,0 +1,602 @@
+//! Operator traits and the stock unary / binary / index-unary operators.
+//!
+//! GraphBLAS algorithms are parameterised by operators (the `GrB_UnaryOp`,
+//! `GrB_BinaryOp` and `GrB_IndexUnaryOp` objects of the C API). Here they are modelled
+//! as zero-sized unit structs implementing small traits, so the kernels are
+//! monomorphised and the operator application is inlined — no dynamic dispatch in the
+//! hot loops.
+
+use std::marker::PhantomData;
+
+use crate::scalar::{Ring, Scalar};
+use crate::types::Index;
+
+/// A unary operator `z = f(x)` (`GrB_UnaryOp`).
+pub trait UnaryOp<A>: Copy + Send + Sync {
+    /// Result type of the operator.
+    type Output: Scalar;
+    /// Apply the operator to a single element.
+    fn apply(&self, a: A) -> Self::Output;
+}
+
+/// A binary operator `z = f(x, y)` (`GrB_BinaryOp`).
+pub trait BinaryOp<A, B>: Copy + Send + Sync {
+    /// Result type of the operator.
+    type Output: Scalar;
+    /// Apply the operator to a pair of elements.
+    fn apply(&self, a: A, b: B) -> Self::Output;
+}
+
+/// An index-aware predicate used by `select` (`GxB_select` / `GrB_IndexUnaryOp`).
+///
+/// `keep` receives the row index, column index (0 for vectors) and the stored value,
+/// and decides whether the entry is retained in the output.
+pub trait IndexUnaryOp<A>: Copy + Send + Sync {
+    /// Whether the entry at `(row, col)` with value `value` is kept.
+    fn keep(&self, row: Index, col: Index, value: A) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Stock unary operators
+// ---------------------------------------------------------------------------
+
+/// Identity operator `z = x`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Identity<T>(PhantomData<fn() -> T>);
+
+impl<T> Identity<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        Identity(PhantomData)
+    }
+}
+
+impl<T: Scalar> UnaryOp<T> for Identity<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        a
+    }
+}
+
+/// Additive inverse `z = 0 - x` (wrapping for unsigned integers).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AInv<T>(PhantomData<fn() -> T>);
+
+impl<T> AInv<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        AInv(PhantomData)
+    }
+}
+
+impl<T: Ring> UnaryOp<T> for AInv<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        T::ZERO.ring_sub(a)
+    }
+}
+
+/// Multiply by a constant: `z = c * x`.
+///
+/// The paper's Q1 uses this as the "multiply by 10" `GrB_apply` step.
+#[derive(Copy, Clone, Debug)]
+pub struct TimesConstant<T: Ring> {
+    constant: T,
+}
+
+impl<T: Ring> TimesConstant<T> {
+    /// Create the operator with the given constant factor.
+    pub fn new(constant: T) -> Self {
+        TimesConstant { constant }
+    }
+}
+
+impl<T: Ring> UnaryOp<T> for TimesConstant<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        a.ring_mul(self.constant)
+    }
+}
+
+/// Add a constant: `z = c + x`.
+#[derive(Copy, Clone, Debug)]
+pub struct PlusConstant<T: Ring> {
+    constant: T,
+}
+
+impl<T: Ring> PlusConstant<T> {
+    /// Create the operator with the given constant addend.
+    pub fn new(constant: T) -> Self {
+        PlusConstant { constant }
+    }
+}
+
+impl<T: Ring> UnaryOp<T> for PlusConstant<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        a.ring_add(self.constant)
+    }
+}
+
+/// Replace every stored value with `ONE` (pattern / structure extraction).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct One<T>(PhantomData<fn() -> T>);
+
+impl<T> One<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        One(PhantomData)
+    }
+}
+
+impl<A: Scalar, T: Ring> UnaryOp<A> for One<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, _a: A) -> T {
+        T::ONE
+    }
+}
+
+/// Square each value: `z = x * x` (used by the Q2 score `Σ cs_i²`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Square<T>(PhantomData<fn() -> T>);
+
+impl<T> Square<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        Square(PhantomData)
+    }
+}
+
+impl<T: Ring> UnaryOp<T> for Square<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        a.ring_mul(a)
+    }
+}
+
+/// Apply an arbitrary function — escape hatch for one-off operators.
+#[derive(Copy, Clone)]
+pub struct UnaryFn<F, A, Z> {
+    f: F,
+    _marker: PhantomData<fn(A) -> Z>,
+}
+
+impl<F, A, Z> UnaryFn<F, A, Z>
+where
+    F: Fn(A) -> Z + Copy + Send + Sync,
+{
+    /// Wrap a plain function or closure as a [`UnaryOp`].
+    pub fn new(f: F) -> Self {
+        UnaryFn {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<F, A, Z> UnaryOp<A> for UnaryFn<F, A, Z>
+where
+    F: Fn(A) -> Z + Copy + Send + Sync,
+    A: Scalar,
+    Z: Scalar,
+{
+    type Output = Z;
+    #[inline(always)]
+    fn apply(&self, a: A) -> Z {
+        (self.f)(a)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stock binary operators
+// ---------------------------------------------------------------------------
+
+macro_rules! stock_binop {
+    ($(#[$doc:meta])* $name:ident, $body:expr) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, Debug, Default)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Create the operator.
+            pub fn new() -> Self {
+                $name(PhantomData)
+            }
+        }
+
+        impl<T: Ring> BinaryOp<T, T> for $name<T> {
+            type Output = T;
+            #[inline(always)]
+            fn apply(&self, a: T, b: T) -> T {
+                let f: fn(T, T) -> T = $body;
+                f(a, b)
+            }
+        }
+    };
+}
+
+stock_binop!(
+    /// Addition `z = x + y` (`GrB_PLUS`).
+    Plus,
+    |a, b| a.ring_add(b)
+);
+stock_binop!(
+    /// Subtraction `z = x - y` (`GrB_MINUS`).
+    Minus,
+    |a, b| a.ring_sub(b)
+);
+stock_binop!(
+    /// Multiplication `z = x * y` (`GrB_TIMES`).
+    Times,
+    |a, b| a.ring_mul(b)
+);
+stock_binop!(
+    /// Minimum `z = min(x, y)` (`GrB_MIN`).
+    Min,
+    |a, b| a.ring_min(b)
+);
+stock_binop!(
+    /// Maximum `z = max(x, y)` (`GrB_MAX`).
+    Max,
+    |a, b| a.ring_max(b)
+);
+/// First argument `z = x` (`GrB_FIRST`).
+///
+/// The second operand may have any type — handy when a pattern (boolean) matrix is
+/// combined with an integer-valued operand, as in the paper's `plus_second` products.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct First<T>(PhantomData<fn() -> T>);
+
+impl<T> First<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        First(PhantomData)
+    }
+}
+
+impl<T: Scalar, B: Scalar> BinaryOp<T, B> for First<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T, _b: B) -> T {
+        a
+    }
+}
+
+/// Second argument `z = y` (`GrB_SECOND`).
+///
+/// The first operand may have any type (see [`First`]).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Second<T>(PhantomData<fn() -> T>);
+
+impl<T> Second<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        Second(PhantomData)
+    }
+}
+
+impl<A: Scalar, T: Scalar> BinaryOp<A, T> for Second<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, _a: A, b: T) -> T {
+        b
+    }
+}
+
+/// Logical or `z = x ∨ y` (`GrB_LOR`), on any [`Ring`] via truthiness.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LOr<T>(PhantomData<fn() -> T>);
+
+impl<T> LOr<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        LOr(PhantomData)
+    }
+}
+
+impl<T: Ring> BinaryOp<T, T> for LOr<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T, b: T) -> T {
+        if a != T::ZERO || b != T::ZERO {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    }
+}
+
+/// Logical and `z = x ∧ y` (`GrB_LAND`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LAnd<T>(PhantomData<fn() -> T>);
+
+impl<T> LAnd<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        LAnd(PhantomData)
+    }
+}
+
+impl<T: Ring> BinaryOp<T, T> for LAnd<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T, b: T) -> T {
+        if a != T::ZERO && b != T::ZERO {
+            T::ONE
+        } else {
+            T::ZERO
+        }
+    }
+}
+
+/// The `PAIR` operator `z = 1` regardless of the inputs (`GxB_PAIR`).
+///
+/// `plus_pair` semirings count the number of overlapping entries — the standard trick
+/// for structural counting (e.g. counting likes per post through `RootPost`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Pair<T>(PhantomData<fn() -> T>);
+
+impl<T> Pair<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        Pair(PhantomData)
+    }
+}
+
+impl<A: Scalar, B: Scalar, T: Ring> BinaryOp<A, B> for Pair<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, _a: A, _b: B) -> T {
+        T::ONE
+    }
+}
+
+/// Wrap a closure as a [`BinaryOp`] — escape hatch for one-off operators.
+#[derive(Copy, Clone)]
+pub struct BinaryFn<F, A, B, Z> {
+    f: F,
+    _marker: PhantomData<fn(A, B) -> Z>,
+}
+
+impl<F, A, B, Z> BinaryFn<F, A, B, Z>
+where
+    F: Fn(A, B) -> Z + Copy + Send + Sync,
+{
+    /// Wrap a plain function or closure as a [`BinaryOp`].
+    pub fn new(f: F) -> Self {
+        BinaryFn {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<F, A, B, Z> BinaryOp<A, B> for BinaryFn<F, A, B, Z>
+where
+    F: Fn(A, B) -> Z + Copy + Send + Sync,
+    A: Scalar,
+    B: Scalar,
+    Z: Scalar,
+{
+    type Output = Z;
+    #[inline(always)]
+    fn apply(&self, a: A, b: B) -> Z {
+        (self.f)(a, b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stock index-unary (select) operators
+// ---------------------------------------------------------------------------
+
+/// Keep entries whose value equals `k` (`GxB_VALUEEQ`).
+///
+/// The paper's Q2 incremental step 2 uses this with `k = 2` to keep the cells of the
+/// `AC` matrix where *both* endpoints of a new friendship like the comment.
+#[derive(Copy, Clone, Debug)]
+pub struct ValueEq<T: Scalar> {
+    /// Comparison constant.
+    pub threshold: T,
+}
+
+impl<T: Scalar> ValueEq<T> {
+    /// Create the operator with the given comparison constant.
+    pub fn new(threshold: T) -> Self {
+        ValueEq { threshold }
+    }
+}
+
+impl<T: Scalar> IndexUnaryOp<T> for ValueEq<T> {
+    #[inline(always)]
+    fn keep(&self, _row: Index, _col: Index, value: T) -> bool {
+        value == self.threshold
+    }
+}
+
+/// Keep entries whose value is strictly greater than `k` (`GxB_VALUEGT`).
+#[derive(Copy, Clone, Debug)]
+pub struct ValueGt<T: Ring> {
+    /// Comparison constant.
+    pub threshold: T,
+}
+
+impl<T: Ring> ValueGt<T> {
+    /// Create the operator with the given comparison constant.
+    pub fn new(threshold: T) -> Self {
+        ValueGt { threshold }
+    }
+}
+
+impl<T: Ring> IndexUnaryOp<T> for ValueGt<T> {
+    #[inline(always)]
+    fn keep(&self, _row: Index, _col: Index, value: T) -> bool {
+        value > self.threshold
+    }
+}
+
+/// Keep entries whose value is non-zero (`GxB_NONZERO`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NonZero<T>(PhantomData<fn() -> T>);
+
+impl<T> NonZero<T> {
+    /// Create the operator.
+    pub fn new() -> Self {
+        NonZero(PhantomData)
+    }
+}
+
+impl<T: Ring> IndexUnaryOp<T> for NonZero<T> {
+    #[inline(always)]
+    fn keep(&self, _row: Index, _col: Index, value: T) -> bool {
+        value != T::ZERO
+    }
+}
+
+/// Keep strictly-lower-triangular entries (`GrB_TRIL` with offset -1).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StrictLowerTriangle;
+
+impl<T: Scalar> IndexUnaryOp<T> for StrictLowerTriangle {
+    #[inline(always)]
+    fn keep(&self, row: Index, col: Index, _value: T) -> bool {
+        col < row
+    }
+}
+
+/// Keep diagonal entries (`GrB_DIAG`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Diagonal;
+
+impl<T: Scalar> IndexUnaryOp<T> for Diagonal {
+    #[inline(always)]
+    fn keep(&self, row: Index, col: Index, _value: T) -> bool {
+        col == row
+    }
+}
+
+/// Keep off-diagonal entries (`GrB_OFFDIAG`).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct OffDiagonal;
+
+impl<T: Scalar> IndexUnaryOp<T> for OffDiagonal {
+    #[inline(always)]
+    fn keep(&self, row: Index, col: Index, _value: T) -> bool {
+        col != row
+    }
+}
+
+/// Wrap a closure as an [`IndexUnaryOp`].
+#[derive(Copy, Clone)]
+pub struct SelectFn<F, A> {
+    f: F,
+    _marker: PhantomData<fn(A)>,
+}
+
+impl<F, A> SelectFn<F, A>
+where
+    F: Fn(Index, Index, A) -> bool + Copy + Send + Sync,
+{
+    /// Wrap a plain function or closure as an [`IndexUnaryOp`].
+    pub fn new(f: F) -> Self {
+        SelectFn {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<F, A> IndexUnaryOp<A> for SelectFn<F, A>
+where
+    F: Fn(Index, Index, A) -> bool + Copy + Send + Sync,
+    A: Scalar,
+{
+    #[inline(always)]
+    fn keep(&self, row: Index, col: Index, value: A) -> bool {
+        (self.f)(row, col, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_identity_and_ainv() {
+        assert_eq!(Identity::<u64>::new().apply(7), 7);
+        assert_eq!(AInv::<i32>::new().apply(5), -5);
+        assert_eq!(AInv::<u8>::new().apply(1), u8::MAX);
+    }
+
+    #[test]
+    fn unary_constants() {
+        assert_eq!(TimesConstant::new(10u64).apply(4), 40);
+        assert_eq!(PlusConstant::new(3u32).apply(4), 7);
+        assert_eq!(<One<u64> as UnaryOp<bool>>::apply(&One::new(), true), 1);
+        assert_eq!(Square::<i64>::new().apply(-4), 16);
+    }
+
+    #[test]
+    fn unary_fn_wrapper() {
+        let double = UnaryFn::new(|x: u32| x * 2);
+        assert_eq!(double.apply(21), 42);
+    }
+
+    #[test]
+    fn binary_arithmetic_ops() {
+        assert_eq!(Plus::<u64>::new().apply(2, 3), 5);
+        assert_eq!(Minus::<i32>::new().apply(2, 3), -1);
+        assert_eq!(Times::<u64>::new().apply(2, 3), 6);
+        assert_eq!(Min::<u64>::new().apply(2, 3), 2);
+        assert_eq!(Max::<u64>::new().apply(2, 3), 3);
+        assert_eq!(First::<u64>::new().apply(2, 3), 2);
+        assert_eq!(Second::<u64>::new().apply(2, 3), 3);
+    }
+
+    #[test]
+    fn binary_logical_ops() {
+        assert_eq!(LOr::<u8>::new().apply(0, 0), 0);
+        assert_eq!(LOr::<u8>::new().apply(0, 7), 1);
+        assert_eq!(LAnd::<u8>::new().apply(1, 7), 1);
+        assert_eq!(LAnd::<u8>::new().apply(1, 0), 0);
+        assert_eq!(<Pair<u64> as BinaryOp<bool, bool>>::apply(&Pair::new(), true, false), 1);
+    }
+
+    #[test]
+    fn binary_fn_wrapper() {
+        let op = BinaryFn::new(|a: u32, b: u32| a.max(b) - a.min(b));
+        assert_eq!(op.apply(3, 10), 7);
+    }
+
+    #[test]
+    fn select_ops() {
+        assert!(ValueEq::new(2u64).keep(0, 0, 2));
+        assert!(!ValueEq::new(2u64).keep(0, 0, 1));
+        assert!(ValueGt::new(2u64).keep(0, 0, 3));
+        assert!(!ValueGt::new(2u64).keep(0, 0, 2));
+        assert!(NonZero::<u64>::new().keep(0, 0, 1));
+        assert!(!NonZero::<u64>::new().keep(0, 0, 0));
+        assert!(<StrictLowerTriangle as IndexUnaryOp<u8>>::keep(
+            &StrictLowerTriangle,
+            3,
+            1,
+            0
+        ));
+        assert!(!<StrictLowerTriangle as IndexUnaryOp<u8>>::keep(
+            &StrictLowerTriangle,
+            1,
+            3,
+            0
+        ));
+        assert!(<Diagonal as IndexUnaryOp<u8>>::keep(&Diagonal, 2, 2, 0));
+        assert!(<OffDiagonal as IndexUnaryOp<u8>>::keep(&OffDiagonal, 2, 3, 0));
+        let custom = SelectFn::new(|r: Index, c: Index, v: u64| r + c == v as Index);
+        assert!(custom.keep(1, 2, 3));
+        assert!(!custom.keep(1, 2, 4));
+    }
+}

@@ -1,0 +1,233 @@
+//! Scalar element traits.
+//!
+//! GraphBLAS objects are generic over the element type stored in the sparse
+//! containers. Two traits organise the requirements:
+//!
+//! * [`Scalar`] — the minimal bound for anything stored in a [`crate::Vector`] or
+//!   [`crate::Matrix`]: cheap to copy, comparable, thread-safe.
+//! * [`Ring`] — scalars that carry the usual arithmetic structure needed by the
+//!   stock monoids and semirings (`ZERO`, `ONE`, addition, multiplication, min/max).
+//!   The GraphBLAS C API achieves the same with its predefined types; we use a trait
+//!   implemented for the Rust primitive numeric types and `bool`.
+
+use std::fmt::Debug;
+
+/// Minimal bound for values stored in GraphBLAS containers.
+pub trait Scalar: Copy + Clone + PartialEq + Debug + Send + Sync + 'static {}
+
+impl<T> Scalar for T where T: Copy + Clone + PartialEq + Debug + Send + Sync + 'static {}
+
+/// Values usable as mask entries: any stored value can be interpreted as a boolean.
+///
+/// In the GraphBLAS C API a *value mask* treats a stored element as `true` when it is
+/// non-zero; a *structural mask* only cares about presence. [`MaskValue::is_truthy`]
+/// implements the former interpretation.
+pub trait MaskValue: Scalar {
+    /// Whether the stored value counts as `true` for a value mask.
+    fn is_truthy(self) -> bool;
+}
+
+/// Scalars with a commutative-semiring-friendly arithmetic structure.
+///
+/// This is intentionally small: it provides exactly what the stock operators in
+/// [`crate::ops_traits`], [`crate::monoid`] and [`crate::semiring`] require.
+pub trait Ring: Scalar + PartialOrd {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Maximum representable value (identity of the `min` monoid).
+    const MAX_VALUE: Self;
+    /// Minimum representable value (identity of the `max` monoid).
+    const MIN_VALUE: Self;
+
+    /// Addition (wrapping for integers — graph workloads never approach the bounds,
+    /// and wrapping keeps the kernels branch-free).
+    fn ring_add(self, other: Self) -> Self;
+    /// Subtraction (wrapping for integers).
+    fn ring_sub(self, other: Self) -> Self;
+    /// Multiplication (wrapping for integers).
+    fn ring_mul(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn ring_min(self, other: Self) -> Self;
+    /// Maximum of two values.
+    fn ring_max(self, other: Self) -> Self;
+    /// Conversion from a small unsigned count (used by `apply` style scaling ops).
+    fn from_u64(v: u64) -> Self;
+    /// Lossy conversion to `f64`, used for reporting and tests.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_ring_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Ring for $t {
+                const ZERO: Self = 0;
+                const ONE: Self = 1;
+                const MAX_VALUE: Self = <$t>::MAX;
+                const MIN_VALUE: Self = <$t>::MIN;
+
+                #[inline(always)]
+                fn ring_add(self, other: Self) -> Self { self.wrapping_add(other) }
+                #[inline(always)]
+                fn ring_sub(self, other: Self) -> Self { self.wrapping_sub(other) }
+                #[inline(always)]
+                fn ring_mul(self, other: Self) -> Self { self.wrapping_mul(other) }
+                #[inline(always)]
+                fn ring_min(self, other: Self) -> Self { if self < other { self } else { other } }
+                #[inline(always)]
+                fn ring_max(self, other: Self) -> Self { if self > other { self } else { other } }
+                #[inline(always)]
+                fn from_u64(v: u64) -> Self { v as $t }
+                #[inline(always)]
+                fn to_f64(self) -> f64 { self as f64 }
+            }
+
+            impl MaskValue for $t {
+                #[inline(always)]
+                fn is_truthy(self) -> bool { self != 0 }
+            }
+        )*
+    };
+}
+
+macro_rules! impl_ring_float {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Ring for $t {
+                const ZERO: Self = 0.0;
+                const ONE: Self = 1.0;
+                const MAX_VALUE: Self = <$t>::INFINITY;
+                const MIN_VALUE: Self = <$t>::NEG_INFINITY;
+
+                #[inline(always)]
+                fn ring_add(self, other: Self) -> Self { self + other }
+                #[inline(always)]
+                fn ring_sub(self, other: Self) -> Self { self - other }
+                #[inline(always)]
+                fn ring_mul(self, other: Self) -> Self { self * other }
+                #[inline(always)]
+                fn ring_min(self, other: Self) -> Self { if self < other { self } else { other } }
+                #[inline(always)]
+                fn ring_max(self, other: Self) -> Self { if self > other { self } else { other } }
+                #[inline(always)]
+                fn from_u64(v: u64) -> Self { v as $t }
+                #[inline(always)]
+                fn to_f64(self) -> f64 { self as f64 }
+            }
+
+            impl MaskValue for $t {
+                #[inline(always)]
+                fn is_truthy(self) -> bool { self != 0.0 }
+            }
+        )*
+    };
+}
+
+impl_ring_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_ring_float!(f32, f64);
+
+impl Ring for bool {
+    const ZERO: Self = false;
+    const ONE: Self = true;
+    const MAX_VALUE: Self = true;
+    const MIN_VALUE: Self = false;
+
+    #[inline(always)]
+    fn ring_add(self, other: Self) -> Self {
+        self || other
+    }
+    #[inline(always)]
+    fn ring_sub(self, other: Self) -> Self {
+        self && !other
+    }
+    #[inline(always)]
+    fn ring_mul(self, other: Self) -> Self {
+        self && other
+    }
+    #[inline(always)]
+    fn ring_min(self, other: Self) -> Self {
+        self && other
+    }
+    #[inline(always)]
+    fn ring_max(self, other: Self) -> Self {
+        self || other
+    }
+    #[inline(always)]
+    fn from_u64(v: u64) -> Self {
+        v != 0
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl MaskValue for bool {
+    #[inline(always)]
+    fn is_truthy(self) -> bool {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ring_basics() {
+        assert_eq!(u64::ZERO, 0);
+        assert_eq!(u64::ONE, 1);
+        assert_eq!(3u64.ring_add(4), 7);
+        assert_eq!(3u64.ring_mul(4), 12);
+        assert_eq!(3u64.ring_min(4), 3);
+        assert_eq!(3u64.ring_max(4), 4);
+        assert_eq!(u64::from_u64(9), 9);
+    }
+
+    #[test]
+    fn integer_ring_wraps_instead_of_panicking() {
+        assert_eq!(u8::MAX.ring_add(1), 0);
+        assert_eq!(0u8.ring_sub(1), u8::MAX);
+    }
+
+    #[test]
+    fn float_ring_basics() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(2.5f64.ring_add(0.5), 3.0);
+        assert_eq!(2.0f64.ring_mul(4.0), 8.0);
+        assert_eq!(f64::MAX_VALUE, f64::INFINITY);
+    }
+
+    #[test]
+    fn bool_ring_is_or_and() {
+        assert!(true.ring_add(false));
+        assert!(!false.ring_add(false));
+        assert!(!true.ring_mul(false));
+        assert!(true.ring_mul(true));
+        assert_eq!(bool::ZERO, false);
+        assert_eq!(bool::ONE, true);
+    }
+
+    #[test]
+    fn mask_value_truthiness() {
+        assert!(1u32.is_truthy());
+        assert!(!0u32.is_truthy());
+        assert!(true.is_truthy());
+        assert!(!false.is_truthy());
+        assert!(0.5f64.is_truthy());
+        assert!(!0.0f64.is_truthy());
+        assert!((-3i32).is_truthy());
+    }
+
+    #[test]
+    fn to_f64_roundtrips_small_values() {
+        assert_eq!(42u32.to_f64(), 42.0);
+        assert_eq!(true.to_f64(), 1.0);
+        assert_eq!(false.to_f64(), 0.0);
+    }
+}

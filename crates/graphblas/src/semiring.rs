@@ -1,0 +1,183 @@
+//! Semirings: an additive monoid paired with a multiplicative binary operator
+//! (`GrB_Semiring`). Matrix products `C = A ⊕.⊗ B` are parameterised by these.
+
+use std::marker::PhantomData;
+
+use crate::monoid::Monoid;
+use crate::ops_traits::{BinaryOp, First, LAnd, LOr, Max, Min, Pair, Plus, Second, Times};
+use crate::scalar::{Ring, Scalar};
+
+/// A semiring `⟨⊕, ⊗⟩` over input types `A`, `B` and output type `Output`.
+pub trait Semiring<A, B>: Copy + Send + Sync {
+    /// Element type produced by the multiplication and accumulated by the addition.
+    type Output: Scalar;
+    /// The additive monoid `⊕`.
+    type Add: Monoid<Self::Output>;
+    /// The multiplicative operator `⊗`.
+    type Mul: BinaryOp<A, B, Output = Self::Output>;
+
+    /// The additive monoid instance.
+    fn add(&self) -> Self::Add;
+    /// The multiplicative operator instance.
+    fn mul(&self) -> Self::Mul;
+}
+
+/// A generic semiring built from any monoid + binary operator pair.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SemiringOps<Add, Mul> {
+    add: Add,
+    mul: Mul,
+    _marker: PhantomData<()>,
+}
+
+impl<Add, Mul> SemiringOps<Add, Mul> {
+    /// Build a semiring from an additive monoid and a multiplicative operator.
+    pub fn new(add: Add, mul: Mul) -> Self {
+        SemiringOps {
+            add,
+            mul,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A, B, Add, Mul> Semiring<A, B> for SemiringOps<Add, Mul>
+where
+    A: Scalar,
+    B: Scalar,
+    Mul: BinaryOp<A, B>,
+    Add: Monoid<Mul::Output>,
+{
+    type Output = Mul::Output;
+    type Add = Add;
+    type Mul = Mul;
+
+    #[inline(always)]
+    fn add(&self) -> Add {
+        self.add
+    }
+    #[inline(always)]
+    fn mul(&self) -> Mul {
+        self.mul
+    }
+}
+
+/// Stock semirings used by the case-study algorithms and the LAGraph layer.
+pub mod stock {
+    use super::*;
+
+    /// The conventional arithmetic semiring `(+, ×)`.
+    pub fn plus_times<T: Ring>() -> SemiringOps<Plus<T>, Times<T>> {
+        SemiringOps::new(Plus::new(), Times::new())
+    }
+
+    /// `(+, first)` — sums the left operand's values over the structural overlap.
+    pub fn plus_first<T: Ring>() -> SemiringOps<Plus<T>, First<T>> {
+        SemiringOps::new(Plus::new(), First::new())
+    }
+
+    /// `(+, second)` — sums the right operand's values over the structural overlap.
+    ///
+    /// The paper's Q1 uses this shape for `likesScore ← RootPost ⊕.⊗ likesCount`:
+    /// the `RootPost` pattern selects the comments of a post and the likes counts are
+    /// summed.
+    pub fn plus_second<T: Ring>() -> SemiringOps<Plus<T>, Second<T>> {
+        SemiringOps::new(Plus::new(), Second::new())
+    }
+
+    /// `(+, pair)` — counts the number of overlapping entries (structural count).
+    pub fn plus_pair<T: Ring, A: Scalar, B: Scalar>() -> SemiringOps<Plus<T>, Pair<T>> {
+        SemiringOps::new(Plus::new(), Pair::new())
+    }
+
+    /// `(∨, ∧)` — boolean reachability semiring.
+    pub fn lor_land<T: Ring>() -> SemiringOps<LOr<T>, LAnd<T>> {
+        SemiringOps::new(LOr::new(), LAnd::new())
+    }
+
+    /// `(min, +)` — tropical semiring for shortest paths.
+    pub fn min_plus<T: Ring>() -> SemiringOps<Min<T>, Plus<T>> {
+        SemiringOps::new(Min::new(), Plus::new())
+    }
+
+    /// `(min, second)` — used by FastSV-style label propagation (minimum neighbour label).
+    pub fn min_second<T: Ring>() -> SemiringOps<Min<T>, Second<T>> {
+        SemiringOps::new(Min::new(), Second::new())
+    }
+
+    /// `(min, first)` — minimum of the left operand values over the overlap.
+    pub fn min_first<T: Ring>() -> SemiringOps<Min<T>, First<T>> {
+        SemiringOps::new(Min::new(), First::new())
+    }
+
+    /// `(max, second)` — maximum neighbour label propagation.
+    pub fn max_second<T: Ring>() -> SemiringOps<Max<T>, Second<T>> {
+        SemiringOps::new(Max::new(), Second::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stock;
+    use super::*;
+
+    fn dot<A: Scalar, B: Scalar, S: Semiring<A, B>>(s: S, a: &[A], b: &[B]) -> S::Output {
+        assert_eq!(a.len(), b.len());
+        let add = s.add();
+        let mul = s.mul();
+        a.iter()
+            .zip(b.iter())
+            .fold(add.identity(), |acc, (&x, &y)| {
+                add.apply(acc, mul.apply(x, y))
+            })
+    }
+
+    #[test]
+    fn plus_times_is_ordinary_dot_product() {
+        let s = stock::plus_times::<u64>();
+        assert_eq!(dot(s, &[1, 2, 3], &[4, 5, 6]), 4 + 10 + 18);
+    }
+
+    #[test]
+    fn plus_second_sums_right_values() {
+        let s = stock::plus_second::<u64>();
+        assert_eq!(dot(s, &[9, 9, 9], &[4, 5, 6]), 15);
+    }
+
+    #[test]
+    fn plus_first_sums_left_values() {
+        let s = stock::plus_first::<u64>();
+        assert_eq!(dot(s, &[4, 5, 6], &[9, 9, 9]), 15);
+    }
+
+    #[test]
+    fn plus_pair_counts_overlap() {
+        let s = stock::plus_pair::<u64, bool, bool>();
+        assert_eq!(dot(s, &[true, true, false], &[false, true, true]), 3);
+    }
+
+    #[test]
+    fn lor_land_is_reachability() {
+        let s = stock::lor_land::<u8>();
+        assert_eq!(dot(s, &[1, 0], &[0, 1]), 0);
+        assert_eq!(dot(s, &[1, 1], &[0, 1]), 1);
+    }
+
+    #[test]
+    fn min_plus_is_tropical() {
+        let s = stock::min_plus::<u64>();
+        assert_eq!(dot(s, &[3, 10], &[4, 1]), 7);
+    }
+
+    #[test]
+    fn min_second_takes_min_of_right_values() {
+        let s = stock::min_second::<u64>();
+        assert_eq!(dot(s, &[0, 0, 0], &[9, 2, 5]), 2);
+    }
+
+    #[test]
+    fn max_second_takes_max_of_right_values() {
+        let s = stock::max_second::<u64>();
+        assert_eq!(dot(s, &[0, 0, 0], &[9, 2, 5]), 9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Basic index types and index-selection helpers.
+
+/// Index type for rows, columns and vector positions.
+///
+/// The GraphBLAS C API uses `GrB_Index` (a 64-bit unsigned integer); on 64-bit
+/// platforms `usize` is equivalent and lets us index slices without casts.
+pub type Index = usize;
+
+/// A selection of indices used by extract/assign operations.
+///
+/// Mirrors the `GrB_ALL` / explicit index-list duality of the GraphBLAS API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSelection<'a> {
+    /// Select every index of the corresponding dimension (`GrB_ALL`).
+    All,
+    /// Select exactly the listed indices, in the given order.
+    ///
+    /// The output dimension equals the length of the list, and output position `k`
+    /// corresponds to input position `list[k]` (indices are renumbered).
+    List(&'a [Index]),
+}
+
+impl<'a> IndexSelection<'a> {
+    /// Number of selected indices given the dimension of the source object.
+    #[inline]
+    pub fn len(&self, dimension: Index) -> Index {
+        match self {
+            IndexSelection::All => dimension,
+            IndexSelection::List(list) => list.len(),
+        }
+    }
+
+    /// Returns `true` if the selection is empty for the given dimension.
+    #[inline]
+    pub fn is_empty(&self, dimension: Index) -> bool {
+        self.len(dimension) == 0
+    }
+
+    /// Largest index referenced by the selection, if any.
+    pub fn max_index(&self) -> Option<Index> {
+        match self {
+            IndexSelection::All => None,
+            IndexSelection::List(list) => list.iter().copied().max(),
+        }
+    }
+
+    /// Validates that every referenced index is within `dimension`.
+    pub fn validate(&self, dimension: Index, context: &'static str) -> crate::Result<()> {
+        if let Some(max) = self.max_index() {
+            if max >= dimension {
+                return Err(crate::Error::IndexOutOfBounds {
+                    index: max,
+                    bound: dimension,
+                    context,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> From<&'a [Index]> for IndexSelection<'a> {
+    fn from(list: &'a [Index]) -> Self {
+        IndexSelection::List(list)
+    }
+}
+
+impl<'a> From<&'a Vec<Index>> for IndexSelection<'a> {
+    fn from(list: &'a Vec<Index>) -> Self {
+        IndexSelection::List(list.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selection_len_tracks_dimension() {
+        assert_eq!(IndexSelection::All.len(7), 7);
+        assert_eq!(IndexSelection::All.len(0), 0);
+        assert!(IndexSelection::All.is_empty(0));
+        assert!(!IndexSelection::All.is_empty(3));
+    }
+
+    #[test]
+    fn list_selection_len_is_list_len() {
+        let idx = [0, 5, 2];
+        let sel = IndexSelection::List(&idx);
+        assert_eq!(sel.len(100), 3);
+        assert_eq!(sel.max_index(), Some(5));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        let idx = [0, 9];
+        let sel = IndexSelection::List(&idx);
+        assert!(sel.validate(10, "t").is_ok());
+        assert!(sel.validate(9, "t").is_err());
+    }
+
+    #[test]
+    fn all_validates_anything() {
+        assert!(IndexSelection::All.validate(0, "t").is_ok());
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec<Index> = vec![1, 2];
+        let sel: IndexSelection = (&v).into();
+        assert_eq!(sel.len(10), 2);
+        let s: &[Index] = &v;
+        let sel2: IndexSelection = s.into();
+        assert_eq!(sel2, sel);
+    }
+}

@@ -1,0 +1,419 @@
+//! Sparse vectors (`GrB_Vector`).
+//!
+//! A [`Vector`] stores `(index, value)` pairs with the index list kept sorted and
+//! duplicate-free, which makes merges (element-wise operations), binary-search lookups
+//! and in-order iteration cheap. This mirrors the "sparse" vector format of
+//! SuiteSparse:GraphBLAS.
+
+use crate::error::{Error, Result};
+use crate::ops_traits::BinaryOp;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+/// A sparse vector of dimension `size` holding elements of type `T`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vector<T> {
+    size: Index,
+    indices: Vec<Index>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Create an empty vector of the given dimension.
+    pub fn new(size: Index) -> Self {
+        Vector {
+            size,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Create an empty vector with pre-allocated capacity for `capacity` entries.
+    pub fn with_capacity(size: Index, capacity: usize) -> Self {
+        Vector {
+            size,
+            indices: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Build a vector from `(index, value)` tuples (`GrB_Vector_build`).
+    ///
+    /// Duplicate indices are combined with `dup`, applied in input order.
+    pub fn from_tuples<Op>(size: Index, tuples: &[(Index, T)], dup: Op) -> Result<Self>
+    where
+        Op: BinaryOp<T, T, Output = T>,
+    {
+        let mut sorted: Vec<(Index, T)> = tuples.to_vec();
+        for &(i, _) in &sorted {
+            if i >= size {
+                return Err(Error::IndexOutOfBounds {
+                    index: i,
+                    bound: size,
+                    context: "Vector::from_tuples",
+                });
+            }
+        }
+        sorted.sort_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+        for (i, v) in sorted {
+            if let Some(&last) = indices.last() {
+                if last == i {
+                    let slot = values.last_mut().expect("values parallel to indices");
+                    *slot = dup.apply(*slot, v);
+                    continue;
+                }
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        Ok(Vector {
+            size,
+            indices,
+            values,
+        })
+    }
+
+    /// Build a vector from pre-sorted, duplicate-free parts. Internal fast path used
+    /// by the operation kernels.
+    pub(crate) fn from_sorted_parts(size: Index, indices: Vec<Index>, values: Vec<T>) -> Self {
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.last().map_or(true, |&i| i < size));
+        Vector {
+            size,
+            indices,
+            values,
+        }
+    }
+
+    /// Build a dense vector: every position `0..size` holds `value`.
+    pub fn dense(size: Index, value: T) -> Self {
+        Vector {
+            size,
+            indices: (0..size).collect(),
+            values: vec![value; size],
+        }
+    }
+
+    /// Build a dense vector whose value at position `i` is `f(i)`.
+    pub fn dense_from_fn(size: Index, mut f: impl FnMut(Index) -> T) -> Self {
+        Vector {
+            size,
+            indices: (0..size).collect(),
+            values: (0..size).map(&mut f).collect(),
+        }
+    }
+
+    /// The dimension of the vector (`GrB_Vector_size`).
+    #[inline]
+    pub fn size(&self) -> Index {
+        self.size
+    }
+
+    /// Number of stored elements (`GrB_Vector_nvals`).
+    #[inline]
+    pub fn nvals(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the vector stores no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The sorted list of stored indices.
+    #[inline]
+    pub fn indices(&self) -> &[Index] {
+        &self.indices
+    }
+
+    /// The stored values, parallel to [`Vector::indices`].
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Look up the element at `index` (`GrB_Vector_extractElement`).
+    pub fn get(&self, index: Index) -> Option<T> {
+        self.indices
+            .binary_search(&index)
+            .ok()
+            .map(|pos| self.values[pos])
+    }
+
+    /// Whether an element is stored at `index`.
+    pub fn contains(&self, index: Index) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// Store `value` at `index`, replacing any existing element
+    /// (`GrB_Vector_setElement`).
+    pub fn set(&mut self, index: Index, value: T) -> Result<()> {
+        if index >= self.size {
+            return Err(Error::IndexOutOfBounds {
+                index,
+                bound: self.size,
+                context: "Vector::set",
+            });
+        }
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos] = value,
+            Err(pos) => {
+                self.indices.insert(pos, index);
+                self.values.insert(pos, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Accumulate `value` into the element at `index` with `op`, or store it if the
+    /// position is empty. This is the `GrB_Vector_setElement` + accumulator idiom.
+    pub fn accumulate<Op>(&mut self, index: Index, value: T, op: Op) -> Result<()>
+    where
+        Op: BinaryOp<T, T, Output = T>,
+    {
+        if index >= self.size {
+            return Err(Error::IndexOutOfBounds {
+                index,
+                bound: self.size,
+                context: "Vector::accumulate",
+            });
+        }
+        match self.indices.binary_search(&index) {
+            Ok(pos) => {
+                self.values[pos] = op.apply(self.values[pos], value);
+            }
+            Err(pos) => {
+                self.indices.insert(pos, index);
+                self.values.insert(pos, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove the element at `index` (`GrB_Vector_removeElement`). Returns the removed
+    /// value, if any.
+    pub fn remove(&mut self, index: Index) -> Option<T> {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => {
+                self.indices.remove(pos);
+                Some(self.values.remove(pos))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Remove every stored element (`GrB_Vector_clear`). The dimension is unchanged.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Change the dimension of the vector (`GrB_Vector_resize`).
+    ///
+    /// Growing keeps all elements; shrinking drops elements at indices `>= new_size`,
+    /// matching the C API semantics.
+    pub fn resize(&mut self, new_size: Index) {
+        if new_size < self.size {
+            let keep = self.indices.partition_point(|&i| i < new_size);
+            self.indices.truncate(keep);
+            self.values.truncate(keep);
+        }
+        self.size = new_size;
+    }
+
+    /// Iterate over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Extract all stored `(index, value)` tuples (`GrB_Vector_extractTuples`).
+    pub fn extract_tuples(&self) -> Vec<(Index, T)> {
+        self.iter().collect()
+    }
+
+    /// Render the vector as a dense `Vec`, filling missing positions with `fill`.
+    /// Intended for tests and small examples, not for performance-critical code.
+    pub fn to_dense(&self, fill: T) -> Vec<T> {
+        let mut out = vec![fill; self.size];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Keep only the elements for which `pred` returns `true`.
+    pub fn retain(&mut self, mut pred: impl FnMut(Index, T) -> bool) {
+        let mut write = 0;
+        for read in 0..self.indices.len() {
+            let (i, v) = (self.indices[read], self.values[read]);
+            if pred(i, v) {
+                self.indices[write] = i;
+                self.values[write] = v;
+                write += 1;
+            }
+        }
+        self.indices.truncate(write);
+        self.values.truncate(write);
+    }
+
+    /// Consume the vector and return its raw sorted parts `(size, indices, values)`.
+    pub fn into_parts(self) -> (Index, Vec<Index>, Vec<T>) {
+        (self.size, self.indices, self.values)
+    }
+}
+
+impl<T: Scalar> FromIterator<(Index, T)> for Vector<T> {
+    /// Collect `(index, value)` pairs into a vector sized to fit the largest index.
+    /// Later duplicates overwrite earlier ones.
+    fn from_iter<I: IntoIterator<Item = (Index, T)>>(iter: I) -> Self {
+        let tuples: Vec<(Index, T)> = iter.into_iter().collect();
+        let size = tuples.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+        let mut v = Vector::new(size);
+        for (i, val) in tuples {
+            v.set(i, val).expect("index within computed size");
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::{Plus, Second};
+
+    #[test]
+    fn new_vector_is_empty() {
+        let v: Vector<u64> = Vector::new(10);
+        assert_eq!(v.size(), 10);
+        assert_eq!(v.nvals(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut v = Vector::new(5);
+        v.set(3, 7u64).unwrap();
+        v.set(1, 2u64).unwrap();
+        assert_eq!(v.get(3), Some(7));
+        assert_eq!(v.get(1), Some(2));
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.nvals(), 2);
+        // overwrite
+        v.set(3, 9).unwrap();
+        assert_eq!(v.get(3), Some(9));
+        assert_eq!(v.nvals(), 2);
+    }
+
+    #[test]
+    fn set_out_of_bounds_errors() {
+        let mut v = Vector::new(5);
+        assert!(v.set(5, 1u64).is_err());
+        assert!(v.accumulate(9, 1u64, Plus::new()).is_err());
+    }
+
+    #[test]
+    fn from_tuples_sorts_and_combines_duplicates() {
+        let v = Vector::from_tuples(10, &[(4, 1u64), (2, 5), (4, 3), (7, 2)], Plus::new()).unwrap();
+        assert_eq!(v.nvals(), 3);
+        assert_eq!(v.get(4), Some(4));
+        assert_eq!(v.get(2), Some(5));
+        assert_eq!(v.get(7), Some(2));
+        assert_eq!(v.indices(), &[2, 4, 7]);
+    }
+
+    #[test]
+    fn from_tuples_second_keeps_last_duplicate() {
+        let v = Vector::from_tuples(4, &[(1, 10u64), (1, 20)], Second::new()).unwrap();
+        assert_eq!(v.get(1), Some(20));
+    }
+
+    #[test]
+    fn from_tuples_rejects_out_of_bounds() {
+        assert!(Vector::from_tuples(3, &[(3, 1u64)], Plus::new()).is_err());
+    }
+
+    #[test]
+    fn accumulate_adds_or_inserts() {
+        let mut v = Vector::new(4);
+        v.accumulate(2, 5u64, Plus::new()).unwrap();
+        v.accumulate(2, 3u64, Plus::new()).unwrap();
+        assert_eq!(v.get(2), Some(8));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut v = Vector::from_tuples(4, &[(0, 1u64), (2, 2)], Plus::new()).unwrap();
+        assert_eq!(v.remove(2), Some(2));
+        assert_eq!(v.remove(2), None);
+        assert_eq!(v.nvals(), 1);
+        v.clear();
+        assert_eq!(v.nvals(), 0);
+        assert_eq!(v.size(), 4);
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let mut v = Vector::from_tuples(6, &[(1, 1u64), (4, 4), (5, 5)], Plus::new()).unwrap();
+        v.resize(10);
+        assert_eq!(v.size(), 10);
+        assert_eq!(v.nvals(), 3);
+        v.resize(5);
+        assert_eq!(v.size(), 5);
+        assert_eq!(v.nvals(), 2);
+        assert_eq!(v.get(4), Some(4));
+        assert_eq!(v.get(5), None);
+    }
+
+    #[test]
+    fn dense_constructors() {
+        let v = Vector::dense(3, 7u64);
+        assert_eq!(v.to_dense(0), vec![7, 7, 7]);
+        let w = Vector::dense_from_fn(4, |i| i as u64 * 2);
+        assert_eq!(w.to_dense(0), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn iter_and_extract_tuples_in_order() {
+        let v = Vector::from_tuples(10, &[(9, 9u64), (0, 0), (4, 4)], Plus::new()).unwrap();
+        let tuples = v.extract_tuples();
+        assert_eq!(tuples, vec![(0, 0), (4, 4), (9, 9)]);
+    }
+
+    #[test]
+    fn retain_filters_entries() {
+        let mut v =
+            Vector::from_tuples(10, &[(1, 1u64), (2, 2), (3, 3), (4, 4)], Plus::new()).unwrap();
+        v.retain(|i, val| i % 2 == 0 && val > 1);
+        assert_eq!(v.extract_tuples(), vec![(2, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_index() {
+        let v: Vector<u64> = vec![(3, 30u64), (1, 10)].into_iter().collect();
+        assert_eq!(v.size(), 4);
+        assert_eq!(v.get(3), Some(30));
+    }
+
+    #[test]
+    fn to_dense_fills_missing() {
+        let v = Vector::from_tuples(4, &[(1, 5u64)], Plus::new()).unwrap();
+        assert_eq!(v.to_dense(9), vec![9, 5, 9, 9]);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let v = Vector::from_tuples(5, &[(2, 2u64), (4, 4)], Plus::new()).unwrap();
+        let (size, idx, vals) = v.clone().into_parts();
+        assert_eq!(size, 5);
+        let rebuilt = Vector::from_sorted_parts(size, idx, vals);
+        assert_eq!(rebuilt, v);
+    }
+}

@@ -1,0 +1,441 @@
+//! Property-based tests for the GraphBLAS kernels: the sparse operations must agree
+//! with a naive dense reference implementation on arbitrary inputs.
+
+use graphblas::ops_traits::{Plus, Second, TimesConstant, ValueGt};
+use graphblas::semiring::stock;
+use graphblas::{ops, IndexSelection, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a list of (row, col, value) tuples inside an `nrows x ncols` box.
+fn tuples_strategy(
+    nrows: usize,
+    ncols: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    prop::collection::vec((0..nrows, 0..ncols, 0u64..100), 0..max_len)
+}
+
+fn vector_tuples_strategy(size: usize, max_len: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0..size, 0u64..100), 0..max_len)
+}
+
+/// Dense reference: build an nrows x ncols array with duplicate-summing.
+fn dense_matrix(nrows: usize, ncols: usize, tuples: &[(usize, usize, u64)]) -> Vec<Vec<u64>> {
+    let mut d = vec![vec![0u64; ncols]; nrows];
+    for &(r, c, v) in tuples {
+        d[r][c] += v;
+    }
+    d
+}
+
+fn dense_vector(size: usize, tuples: &[(usize, u64)]) -> Vec<u64> {
+    let mut d = vec![0u64; size];
+    for &(i, v) in tuples {
+        d[i] += v;
+    }
+    d
+}
+
+const NR: usize = 12;
+const NC: usize = 9;
+const NK: usize = 7;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn build_then_extract_tuples_roundtrips(tuples in tuples_strategy(NR, NC, 40)) {
+        let m = Matrix::from_tuples(NR, NC, &tuples, Plus::new()).unwrap();
+        let dense = dense_matrix(NR, NC, &tuples);
+        // every extracted tuple matches the dense reference, and every non-zero dense
+        // cell that was touched is present
+        for (r, c, v) in m.extract_tuples() {
+            prop_assert_eq!(dense[r][c], v);
+        }
+        let stored: std::collections::HashSet<(usize, usize)> =
+            m.extract_tuples().into_iter().map(|(r, c, _)| (r, c)).collect();
+        for &(r, c, _) in &tuples {
+            prop_assert!(stored.contains(&(r, c)));
+        }
+    }
+
+    #[test]
+    fn transpose_matches_dense(tuples in tuples_strategy(NR, NC, 40)) {
+        let m = Matrix::from_tuples(NR, NC, &tuples, Plus::new()).unwrap();
+        let t = m.transpose();
+        prop_assert_eq!(t.nvals(), m.nvals());
+        for (r, c, v) in m.iter() {
+            prop_assert_eq!(t.get(c, r), Some(v));
+        }
+    }
+
+    #[test]
+    fn mxv_matches_dense(
+        m_tuples in tuples_strategy(NR, NK, 40),
+        v_tuples in vector_tuples_strategy(NK, 15),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &m_tuples, Plus::new()).unwrap();
+        let u = Vector::from_tuples(NK, &v_tuples, Plus::new()).unwrap();
+        let w = ops::mxv(&a, &u, stock::plus_times::<u64>()).unwrap();
+
+        let da = dense_matrix(NR, NK, &m_tuples);
+        let du = dense_vector(NK, &v_tuples);
+        for r in 0..NR {
+            let expected: u64 = (0..NK)
+                .filter(|&k| a.get(r, k).is_some() && u.get(k).is_some())
+                .map(|k| da[r][k] * du[k])
+                .sum();
+            let has_overlap = (0..NK).any(|k| a.get(r, k).is_some() && u.get(k).is_some());
+            if has_overlap {
+                prop_assert_eq!(w.get(r), Some(expected));
+            } else {
+                prop_assert_eq!(w.get(r), None);
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_par_matches_serial(
+        m_tuples in tuples_strategy(NR, NK, 40),
+        v_tuples in vector_tuples_strategy(NK, 15),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &m_tuples, Plus::new()).unwrap();
+        let u = Vector::from_tuples(NK, &v_tuples, Plus::new()).unwrap();
+        let serial = ops::mxv(&a, &u, stock::plus_times::<u64>()).unwrap();
+        let parallel = ops::mxv_par(&a, &u, stock::plus_times::<u64>()).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn mxm_matches_dense(
+        a_tuples in tuples_strategy(NR, NK, 30),
+        b_tuples in tuples_strategy(NK, NC, 30),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NK, NC, &b_tuples, Plus::new()).unwrap();
+        let c = ops::mxm(&a, &b, stock::plus_times::<u64>()).unwrap();
+
+        for r in 0..NR {
+            for j in 0..NC {
+                let mut acc: Option<u64> = None;
+                for k in 0..NK {
+                    if let (Some(x), Some(y)) = (a.get(r, k), b.get(k, j)) {
+                        acc = Some(acc.unwrap_or(0) + x * y);
+                    }
+                }
+                prop_assert_eq!(c.get(r, j), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn mxm_par_matches_serial(
+        a_tuples in tuples_strategy(NR, NK, 30),
+        b_tuples in tuples_strategy(NK, NC, 30),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NK, NC, &b_tuples, Plus::new()).unwrap();
+        let serial = ops::mxm(&a, &b, stock::plus_times::<u64>()).unwrap();
+        let parallel = ops::mxm_par(&a, &b, stock::plus_times::<u64>()).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn vxm_equals_mxv_on_transpose(
+        m_tuples in tuples_strategy(NR, NC, 40),
+        v_tuples in vector_tuples_strategy(NR, 15),
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &m_tuples, Plus::new()).unwrap();
+        let u = Vector::from_tuples(NR, &v_tuples, Plus::new()).unwrap();
+        let via_vxm = ops::vxm(&u, &a, stock::plus_times::<u64>()).unwrap();
+        let via_mxv = ops::mxv(&a.transpose(), &u, stock::plus_times::<u64>()).unwrap();
+        prop_assert_eq!(via_vxm, via_mxv);
+    }
+
+    #[test]
+    fn ewise_add_is_commutative_and_matches_dense(
+        u_tuples in vector_tuples_strategy(NC, 15),
+        v_tuples in vector_tuples_strategy(NC, 15),
+    ) {
+        let u = Vector::from_tuples(NC, &u_tuples, Plus::new()).unwrap();
+        let v = Vector::from_tuples(NC, &v_tuples, Plus::new()).unwrap();
+        let uv = ops::ewise_add_vector(&u, &v, Plus::new()).unwrap();
+        let vu = ops::ewise_add_vector(&v, &u, Plus::new()).unwrap();
+        prop_assert_eq!(&uv, &vu);
+
+        for i in 0..NC {
+            let expected = match (u.get(i), v.get(i)) {
+                (Some(a), Some(b)) => Some(a + b),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            prop_assert_eq!(uv.get(i), expected);
+        }
+    }
+
+    #[test]
+    fn ewise_mult_structure_is_intersection(
+        u_tuples in vector_tuples_strategy(NC, 15),
+        v_tuples in vector_tuples_strategy(NC, 15),
+    ) {
+        let u = Vector::from_tuples(NC, &u_tuples, Plus::new()).unwrap();
+        let v = Vector::from_tuples(NC, &v_tuples, Plus::new()).unwrap();
+        let w = ops::ewise_mult_vector(&u, &v, graphblas::ops_traits::Times::new()).unwrap();
+        for i in 0..NC {
+            match (u.get(i), v.get(i)) {
+                (Some(a), Some(b)) => prop_assert_eq!(w.get(i), Some(a * b)),
+                _ => prop_assert_eq!(w.get(i), None),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_rows_matches_dense(tuples in tuples_strategy(NR, NC, 40)) {
+        let a = Matrix::from_tuples(NR, NC, &tuples, Plus::new()).unwrap();
+        let w = ops::reduce_matrix_rows(&a, graphblas::monoid::stock::plus());
+        for r in 0..NR {
+            let (cols, vals) = a.row(r);
+            if cols.is_empty() {
+                prop_assert_eq!(w.get(r), None);
+            } else {
+                prop_assert_eq!(w.get(r), Some(vals.iter().sum::<u64>()));
+            }
+        }
+        // scalar reduction equals the sum of the row reduction
+        let total = ops::reduce_matrix_scalar(&a, graphblas::monoid::stock::plus());
+        let via_rows: u64 = w.values().iter().sum();
+        prop_assert_eq!(total, via_rows);
+    }
+
+    #[test]
+    fn select_apply_preserve_or_filter_structure(v_tuples in vector_tuples_strategy(NC, 15)) {
+        let u = Vector::from_tuples(NC, &v_tuples, Plus::new()).unwrap();
+        let scaled = ops::apply_vector(&u, TimesConstant::new(10u64));
+        prop_assert_eq!(scaled.indices(), u.indices());
+        for (i, v) in u.iter() {
+            prop_assert_eq!(scaled.get(i), Some(v * 10));
+        }
+        let filtered = ops::select_vector(&u, ValueGt::new(50u64));
+        for (i, v) in filtered.iter() {
+            prop_assert!(v > 50);
+            prop_assert_eq!(u.get(i), Some(v));
+        }
+        prop_assert!(filtered.nvals() <= u.nvals());
+    }
+
+    #[test]
+    fn extract_submatrix_matches_direct_lookup(
+        tuples in tuples_strategy(NR, NC, 40),
+        rows in prop::collection::vec(0..NR, 1..6),
+        cols in prop::collection::vec(0..NC, 1..6),
+    ) {
+        // deduplicate the selections (GraphBLAS allows duplicates, our map-based
+        // implementation requires distinct column targets)
+        let mut rows = rows;
+        rows.sort_unstable();
+        rows.dedup();
+        let mut cols = cols;
+        cols.sort_unstable();
+        cols.dedup();
+
+        let a = Matrix::from_tuples(NR, NC, &tuples, Plus::new()).unwrap();
+        let sub = ops::extract_submatrix(
+            &a,
+            &IndexSelection::List(&rows),
+            &IndexSelection::List(&cols),
+        )
+        .unwrap();
+        prop_assert_eq!(sub.nrows(), rows.len());
+        prop_assert_eq!(sub.ncols(), cols.len());
+        for (new_r, &old_r) in rows.iter().enumerate() {
+            for (new_c, &old_c) in cols.iter().enumerate() {
+                prop_assert_eq!(sub.get(new_r, new_c), a.get(old_r, old_c));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_tuples_matches_rebuild(
+        base in tuples_strategy(NR, NC, 30),
+        extra in tuples_strategy(NR, NC, 15),
+    ) {
+        let mut incremental = Matrix::from_tuples(NR, NC, &base, Plus::new()).unwrap();
+        incremental.insert_tuples(&extra, Plus::new()).unwrap();
+
+        let mut all = base.clone();
+        all.extend_from_slice(&extra);
+        let rebuilt = Matrix::from_tuples(NR, NC, &all, Plus::new()).unwrap();
+        prop_assert_eq!(incremental, rebuilt);
+    }
+
+    #[test]
+    fn vector_set_then_get(v_tuples in vector_tuples_strategy(NC, 20)) {
+        let mut v = Vector::new(NC);
+        let mut reference = std::collections::HashMap::new();
+        for &(i, val) in &v_tuples {
+            v.set(i, val).unwrap();
+            reference.insert(i, val);
+        }
+        prop_assert_eq!(v.nvals(), reference.len());
+        for (i, val) in reference {
+            prop_assert_eq!(v.get(i), Some(val));
+        }
+    }
+
+    #[test]
+    fn masked_assign_only_touches_mask(
+        source in vector_tuples_strategy(NC, 15),
+        mask_positions in prop::collection::vec(0..NC, 0..8),
+    ) {
+        let source_vec = Vector::from_tuples(NC, &source, Plus::new()).unwrap();
+        let mask_tuples: Vec<(usize, bool)> = mask_positions.iter().map(|&i| (i, true)).collect();
+        let mask_vec = Vector::from_tuples(NC, &mask_tuples, Second::new()).unwrap();
+        let mut target = Vector::<u64>::new(NC);
+        ops::assign_vector_masked(
+            &mut target,
+            &graphblas::VectorMask::structural(&mask_vec),
+            &source_vec,
+        )
+        .unwrap();
+        for (i, v) in target.iter() {
+            prop_assert!(mask_vec.contains(i));
+            prop_assert_eq!(source_vec.get(i), Some(v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties of the extended operation set (kronecker, concat/split, eWiseUnion,
+// parallel kernels). Each parallel kernel must be bit-identical to its serial twin,
+// and the structural operations must satisfy their defining algebraic identities.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kronecker_matches_dense_definition(
+        a_tuples in tuples_strategy(5, 4, 12),
+        b_tuples in tuples_strategy(3, 4, 10),
+    ) {
+        let a = Matrix::from_tuples(5, 4, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(3, 4, &b_tuples, Plus::new()).unwrap();
+        let c = ops::kronecker(&a, &b, graphblas::ops_traits::Times::new()).unwrap();
+        prop_assert_eq!(c.nrows(), a.nrows() * b.nrows());
+        prop_assert_eq!(c.ncols(), a.ncols() * b.ncols());
+        prop_assert_eq!(c.nvals(), a.nvals() * b.nvals());
+        for (ar, ac_, av) in a.iter() {
+            for (br, bc, bv) in b.iter() {
+                let expected = av.wrapping_mul(bv);
+                prop_assert_eq!(
+                    c.get(ar * b.nrows() + br, ac_ * b.ncols() + bc),
+                    Some(expected)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_concat_roundtrip(
+        tuples in tuples_strategy(NR, NC, 40),
+        cut_r in 1..NR,
+        cut_c in 1..NC,
+    ) {
+        let m = Matrix::from_tuples(NR, NC, &tuples, Plus::new()).unwrap();
+        let tiles = ops::split(&m, &[cut_r, NR - cut_r], &[cut_c, NC - cut_c]).unwrap();
+        let grid: Vec<Vec<&Matrix<u64>>> = tiles.iter().map(|row| row.iter().collect()).collect();
+        let back = ops::concat(&grid).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn concat_rows_preserves_every_entry(
+        top in tuples_strategy(4, NC, 20),
+        bottom in tuples_strategy(6, NC, 20),
+    ) {
+        let a = Matrix::from_tuples(4, NC, &top, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(6, NC, &bottom, Plus::new()).unwrap();
+        let stacked = ops::concat_rows(&[&a, &b]).unwrap();
+        prop_assert_eq!(stacked.nrows(), 10);
+        prop_assert_eq!(stacked.nvals(), a.nvals() + b.nvals());
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(stacked.get(r, c), Some(v));
+        }
+        for (r, c, v) in b.iter() {
+            prop_assert_eq!(stacked.get(r + 4, c), Some(v));
+        }
+    }
+
+    #[test]
+    fn ewise_union_with_zero_fill_matches_ewise_add(
+        a_tuples in tuples_strategy(NR, NC, 30),
+        b_tuples in tuples_strategy(NR, NC, 30),
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NR, NC, &b_tuples, Plus::new()).unwrap();
+        let union = ops::ewise_union_matrix(&a, 0u64, &b, 0u64, Plus::new()).unwrap();
+        let add = ops::ewise_add_matrix(&a, &b, Plus::new()).unwrap();
+        prop_assert_eq!(union, add);
+    }
+
+    #[test]
+    fn ewise_union_vector_structure_is_union(
+        u_tuples in vector_tuples_strategy(NC, 15),
+        v_tuples in vector_tuples_strategy(NC, 15),
+    ) {
+        let u = Vector::from_tuples(NC, &u_tuples, Plus::new()).unwrap();
+        let v = Vector::from_tuples(NC, &v_tuples, Plus::new()).unwrap();
+        let w = ops::ewise_union_vector(&u, 7u64, &v, 7u64, Plus::new()).unwrap();
+        for i in 0..NC {
+            prop_assert_eq!(w.contains(i), u.contains(i) || v.contains(i));
+        }
+    }
+
+    #[test]
+    fn parallel_elementwise_kernels_match_serial(
+        a_tuples in tuples_strategy(NR, NC, 40),
+        b_tuples in tuples_strategy(NR, NC, 40),
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NR, NC, &b_tuples, Plus::new()).unwrap();
+        prop_assert_eq!(
+            ops::ewise_add_matrix_par(&a, &b, Plus::new()).unwrap(),
+            ops::ewise_add_matrix(&a, &b, Plus::new()).unwrap()
+        );
+        prop_assert_eq!(
+            ops::ewise_mult_matrix_par(&a, &b, graphblas::ops_traits::Times::new()).unwrap(),
+            ops::ewise_mult_matrix(&a, &b, graphblas::ops_traits::Times::new()).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_apply_select_transpose_match_serial(
+        a_tuples in tuples_strategy(NR, NC, 40),
+        threshold in 0u64..120,
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &a_tuples, Plus::new()).unwrap();
+        prop_assert_eq!(
+            ops::apply_matrix_par(&a, TimesConstant::new(3u64)),
+            ops::apply_matrix(&a, TimesConstant::new(3u64))
+        );
+        prop_assert_eq!(
+            ops::select_matrix_par(&a, ValueGt::new(threshold)),
+            ops::select_matrix(&a, ValueGt::new(threshold))
+        );
+        prop_assert_eq!(ops::transpose_par(&a), a.transpose());
+    }
+
+    #[test]
+    fn kronecker_with_identity_is_block_identity(
+        tuples in tuples_strategy(4, 4, 12),
+    ) {
+        // (I_1 ⊗ A) = A
+        let a = Matrix::from_tuples(4, 4, &tuples, Plus::new()).unwrap();
+        let one = Matrix::from_tuples(1, 1, &[(0usize, 0usize, 1u64)], Plus::new()).unwrap();
+        let left = ops::kronecker(&one, &a, graphblas::ops_traits::Times::new()).unwrap();
+        prop_assert_eq!(left, a.clone());
+        let right = ops::kronecker(&a, &one, graphblas::ops_traits::Times::new()).unwrap();
+        prop_assert_eq!(right, a);
+    }
+}

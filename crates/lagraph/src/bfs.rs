@@ -1,0 +1,134 @@
+//! Level-synchronous breadth-first search expressed with GraphBLAS primitives.
+//!
+//! BFS is the "hello world" of GraphBLAS: the frontier is a sparse vector, and one
+//! level expansion is a masked vector–matrix product over the boolean semiring. The
+//! case study itself does not need BFS, but it is part of the standard LAGraph
+//! algorithm collection, and the repository's community-detection example uses it.
+
+use graphblas::ops::vxm_masked;
+use graphblas::semiring::stock;
+use graphblas::{Error, Index, Matrix, Result, Scalar, Vector, VectorMask};
+
+/// Breadth-first search from `source` over the (directed) adjacency matrix.
+///
+/// Returns a sparse vector with the BFS level (0 for the source, 1 for its direct
+/// neighbours, ...) of every reachable vertex; unreachable vertices have no entry.
+pub fn bfs_levels<T: Scalar>(adjacency: &Matrix<T>, source: Index) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "bfs_levels",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let n = adjacency.nrows();
+    if source >= n {
+        return Err(Error::IndexOutOfBounds {
+            index: source,
+            bound: n,
+            context: "bfs_levels",
+        });
+    }
+
+    // Work on the boolean pattern of the adjacency matrix.
+    let pattern: Matrix<u8> =
+        graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
+
+    let mut levels: Vector<u64> = Vector::new(n);
+    let mut frontier: Vector<u8> = Vector::new(n);
+    frontier.set(source, 1)?;
+    levels.set(source, 0)?;
+
+    let mut level: u64 = 1;
+    while !frontier.is_empty() {
+        // next⟨¬visited⟩ = frontier ⊕.⊗ A over the (∨, ∧) semiring
+        let visited_mask = VectorMask::structural(&levels).complement();
+        let next = vxm_masked(&visited_mask, &frontier, &pattern, stock::lor_land::<u8>())?;
+        for (v, _) in next.iter() {
+            levels.set(v, level)?;
+        }
+        frontier = next;
+        level += 1;
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directed(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        Matrix::from_edges(n, n, edges).unwrap()
+    }
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let levels = bfs_levels(&g, 0).unwrap();
+        assert_eq!(levels.to_dense(99), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_from_middle_vertex() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let levels = bfs_levels(&g, 2).unwrap();
+        assert_eq!(levels.to_dense(99), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_level() {
+        let g = directed(4, &[(0, 1)]);
+        let levels = bfs_levels(&g, 0).unwrap();
+        assert_eq!(levels.get(0), Some(0));
+        assert_eq!(levels.get(1), Some(1));
+        assert_eq!(levels.get(2), None);
+        assert_eq!(levels.get(3), None);
+        assert_eq!(levels.nvals(), 2);
+    }
+
+    #[test]
+    fn bfs_respects_edge_direction() {
+        let g = directed(3, &[(1, 0), (1, 2)]);
+        let levels = bfs_levels(&g, 0).unwrap();
+        assert_eq!(levels.nvals(), 1); // only the source itself
+        let levels_from_1 = bfs_levels(&g, 1).unwrap();
+        assert_eq!(levels_from_1.to_dense(99), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let g = directed(3, &[(0, 1), (1, 2), (2, 0)]);
+        let levels = bfs_levels(&g, 0).unwrap();
+        assert_eq!(levels.to_dense(99), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_errors() {
+        let rect: Matrix<bool> = Matrix::new(2, 3);
+        assert!(bfs_levels(&rect, 0).is_err());
+        let g = directed(2, &[]);
+        assert!(bfs_levels(&g, 5).is_err());
+    }
+
+    #[test]
+    fn bfs_levels_match_fastsv_reachability() {
+        // every vertex with a BFS level from `s` must share a component with `s`
+        let g = undirected(8, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]);
+        let levels = bfs_levels(&g, 5).unwrap();
+        let labels = crate::fastsv::connected_components(&g).unwrap();
+        for v in 0..8 {
+            let reachable = levels.get(v).is_some();
+            let same_component = labels.get(v) == labels.get(5);
+            assert_eq!(reachable, same_component);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Union–find (disjoint set union) connected components.
+//!
+//! This is the "conventional" pointer-based formulation of connected components. It is
+//! used (a) as a correctness oracle for the GraphBLAS FastSV implementation, and
+//! (b) as the building block of the insert-only incremental connected components
+//! structure in [`crate::incremental_cc`].
+
+use graphblas::Index;
+
+/// A disjoint-set-union structure over vertices `0..n` with union by rank and path
+/// compression (near-constant amortised operations).
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<Index>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create a union–find over `n` singleton vertices.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of vertices managed by the structure.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure manages zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Add a new singleton vertex and return its id.
+    pub fn add_vertex(&mut self) -> Index {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.components += 1;
+        id
+    }
+
+    /// Find the representative (root) of `x`, compressing the path on the way.
+    pub fn find(&mut self, x: Index) -> Index {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Union the components of `a` and `b`. Returns `true` if two distinct components
+    /// were merged.
+    pub fn union(&mut self, a: Index, b: Index) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (high, low) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[low] = high;
+        if self.rank[high] == self.rank[low] {
+            self.rank[high] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: Index, b: Index) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Component label of every vertex, canonicalised to the smallest vertex id in
+    /// each component (so the labels are directly comparable with
+    /// [`crate::fastsv::connected_components`]).
+    pub fn labels(&mut self) -> Vec<u64> {
+        let n = self.len();
+        let mut min_of_root: Vec<Index> = (0..n).collect();
+        for v in 0..n {
+            let r = self.find(v);
+            if v < min_of_root[r] {
+                min_of_root[r] = v;
+            }
+        }
+        (0..n).map(|v| min_of_root[self.find(v)] as u64).collect()
+    }
+
+    /// Sizes of all components, keyed by the canonical (smallest-id) label.
+    pub fn component_sizes(&mut self) -> Vec<(u64, u64)> {
+        let labels = self.labels();
+        let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for l in labels {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u64, u64)> = counts.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sum of squared component sizes (the Q2 scoring function).
+    pub fn sum_of_squared_component_sizes(&mut self) -> u64 {
+        self.component_sizes()
+            .into_iter()
+            .map(|(_, s)| s * s)
+            .sum()
+    }
+}
+
+/// Convenience: connected-components labels for an undirected edge list over vertices
+/// `0..n`, canonicalised to the smallest vertex id per component.
+pub fn connected_components_from_edges(n: usize, edges: &[(Index, Index)]) -> Vec<u64> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in edges {
+        uf.union(a, b);
+    }
+    uf.labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert_eq!(uf.labels(), vec![0, 1, 2, 3]);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_merges_components() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0)); // already merged
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(uf.connected(3, 4));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.labels(), vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.component_sizes(), vec![(0, 4), (4, 1), (5, 1)]);
+        assert_eq!(uf.sum_of_squared_component_sizes(), 16 + 1 + 1);
+    }
+
+    #[test]
+    fn add_vertex_extends_structure() {
+        let mut uf = UnionFind::new(2);
+        let v = uf.add_vertex();
+        assert_eq!(v, 2);
+        assert_eq!(uf.component_count(), 3);
+        uf.union(v, 0);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn from_edges_helper() {
+        let labels = connected_components_from_edges(5, &[(1, 2), (2, 4)]);
+        assert_eq!(labels, vec![0, 1, 1, 3, 1]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert_eq!(uf.labels(), Vec::<u64>::new());
+        assert_eq!(uf.sum_of_squared_component_sizes(), 0);
+    }
+}

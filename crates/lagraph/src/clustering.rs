@@ -1,0 +1,228 @@
+//! Local and global clustering coefficients.
+//!
+//! The local clustering coefficient of a vertex is the fraction of its neighbour pairs
+//! that are themselves connected; the global (transitivity) coefficient is
+//! `3 · #triangles / #wedges`. Per-vertex triangle counts are obtained with the masked
+//! SpGEMM formulation (`C⟨A⟩ = A ⊕.⊗ A` over `plus_pair`, then a row reduction), the
+//! same linear-algebra shape LAGraph uses; wedge counts come from the degree vector.
+
+use graphblas::monoid;
+use graphblas::ops::{mxm_masked, reduce_matrix_rows, reduce_vector_scalar, select_matrix};
+use graphblas::ops_traits::{OffDiagonal, One};
+use graphblas::semiring::stock;
+use graphblas::{Error, Matrix, MatrixMask, Result, Scalar, Vector};
+
+/// Per-vertex number of triangles through each vertex of an undirected graph
+/// (symmetric adjacency matrix, values ignored, self loops ignored).
+pub fn triangles_per_vertex<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "triangles_per_vertex",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, One::new());
+    let a = select_matrix(&pattern, OffDiagonal);
+    // C⟨A⟩ = A ⊕.⊗ A over plus_pair: C[i][j] = number of common neighbours of i and j,
+    // restricted to existing edges. Row-summing counts each triangle through i twice
+    // (once per incident edge), so divide by 2.
+    let mask = MatrixMask::structural(&a);
+    let c = mxm_masked(&mask, &a, &a, stock::plus_pair::<u64, u64, u64>())?;
+    let paths = reduce_matrix_rows(&c, monoid::stock::plus::<u64>());
+    Ok(graphblas::ops::apply_vector(
+        &paths,
+        graphblas::ops_traits::UnaryFn::new(|v: u64| v / 2),
+    ))
+}
+
+/// Local clustering coefficient of every vertex: `2·tri(v) / (deg(v)·(deg(v)−1))`,
+/// defined as 0 for vertices of degree < 2. Returns a dense vector.
+pub fn local_clustering_coefficient<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<f64>> {
+    let n = adjacency.nrows();
+    let tri = triangles_per_vertex(adjacency)?;
+    let degrees = degree_vector(adjacency)?;
+    Ok(Vector::dense_from_fn(n, |v| {
+        let d = degrees.get(v).unwrap_or(0);
+        if d < 2 {
+            0.0
+        } else {
+            let t = tri.get(v).unwrap_or(0) as f64;
+            2.0 * t / (d as f64 * (d as f64 - 1.0))
+        }
+    }))
+}
+
+/// Global clustering coefficient (transitivity): `3·#triangles / #wedges`, or 0 for a
+/// graph with no wedge.
+pub fn global_clustering_coefficient<T: Scalar>(adjacency: &Matrix<T>) -> Result<f64> {
+    let tri = triangles_per_vertex(adjacency)?;
+    // Each triangle is counted once per corner vertex, so the sum is 3·#triangles
+    // already — exactly the numerator.
+    let closed_wedges = reduce_vector_scalar(&tri, monoid::stock::plus::<u64>()) as f64;
+    let degrees = degree_vector(adjacency)?;
+    let wedges: f64 = degrees
+        .values()
+        .iter()
+        .map(|&d| {
+            let d = d as f64;
+            d * (d - 1.0) / 2.0
+        })
+        .sum();
+    if wedges == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(closed_wedges / wedges)
+    }
+}
+
+/// Degree of every vertex (self loops excluded). Sparse: isolated vertices are absent.
+pub fn degree_vector<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "degree_vector",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, One::new());
+    let no_loops = select_matrix(&pattern, OffDiagonal);
+    Ok(reduce_matrix_rows(&no_loops, monoid::stock::plus::<u64>()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym = Vec::new();
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    #[test]
+    fn triangle_vertex_counts() {
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let tri = triangles_per_vertex(&g).unwrap();
+        assert_eq!(tri.get(0), Some(1));
+        assert_eq!(tri.get(1), Some(1));
+        assert_eq!(tri.get(2), Some(1));
+        assert_eq!(tri.get(3).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn per_vertex_counts_sum_to_three_times_total() {
+        let g = undirected(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let tri = triangles_per_vertex(&g).unwrap();
+        let total: u64 = tri.values().iter().sum();
+        let count = crate::triangle_count::triangle_count(&g).unwrap();
+        assert_eq!(total, 3 * count);
+    }
+
+    #[test]
+    fn clique_has_coefficient_one() {
+        let mut edges = Vec::new();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let g = undirected(5, &edges);
+        let local = local_clustering_coefficient(&g).unwrap();
+        for v in 0..5 {
+            assert!((local.get(v).unwrap() - 1.0).abs() < 1e-12);
+        }
+        assert!((global_clustering_coefficient(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_coefficient_zero() {
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let local = local_clustering_coefficient(&g).unwrap();
+        assert!(local.to_dense(0.0).iter().all(|&c| c == 0.0));
+        assert_eq!(global_clustering_coefficient(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_pendant_coefficients() {
+        // 0-1-2 triangle, 3 pendant on 2
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let local = local_clustering_coefficient(&g).unwrap();
+        assert!((local.get(0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((local.get(1).unwrap() - 1.0).abs() < 1e-12);
+        // vertex 2 has degree 3: 1 closed pair out of 3
+        assert!((local.get(2).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local.get(3), Some(0.0));
+        // global: 3 triangles-corners / (1 + 1 + 3 + 0) wedges
+        let expected = 3.0 / 5.0;
+        assert!((global_clustering_coefficient(&g).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_vector_excludes_self_loops() {
+        let g = undirected(3, &[(0, 1), (1, 2), (1, 1)]);
+        let deg = degree_vector(&g).unwrap();
+        assert_eq!(deg.get(0), Some(1));
+        assert_eq!(deg.get(1), Some(2));
+        assert_eq!(deg.get(2), Some(1));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty: Matrix<bool> = Matrix::new(0, 0);
+        assert_eq!(global_clustering_coefficient(&empty).unwrap(), 0.0);
+        let edgeless = undirected(4, &[]);
+        let local = local_clustering_coefficient(&edgeless).unwrap();
+        assert!(local.to_dense(0.0).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let g: Matrix<bool> = Matrix::new(2, 3);
+        assert!(triangles_per_vertex(&g).is_err());
+        assert!(local_clustering_coefficient(&g).is_err());
+        assert!(degree_vector(&g).is_err());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graph() {
+        let n = 16;
+        let mut edges = Vec::new();
+        let mut state: u64 = 31;
+        for _ in 0..50 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let g = undirected(n, &edges);
+        let adj: std::collections::HashSet<(usize, usize)> = edges.iter().copied().collect();
+        let has = |a: usize, b: usize| adj.contains(&(a.min(b), a.max(b)));
+
+        let tri = triangles_per_vertex(&g).unwrap();
+        for v in 0..n {
+            let neighbours: Vec<usize> = (0..n).filter(|&u| u != v && has(u, v)).collect();
+            let mut expected = 0u64;
+            for (i, &a) in neighbours.iter().enumerate() {
+                for &b in &neighbours[i + 1..] {
+                    if has(a, b) {
+                        expected += 1;
+                    }
+                }
+            }
+            assert_eq!(tri.get(v).unwrap_or(0), expected, "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! FastSV-style connected components in the language of linear algebra.
+//!
+//! The paper's Q2 runs the FastSV algorithm (Zhang, Azad & Hu, 2020) from LAGraph on
+//! the friendship subgraph induced by the users who like a comment. FastSV maintains a
+//! parent vector `f` and repeatedly
+//!
+//! 1. *hooks* every vertex onto the minimum grandparent reachable through an incident
+//!    edge (computed as a `min.second` matrix–vector product), and
+//! 2. *shortcuts* the parent pointers (`f ← f[f]`),
+//!
+//! until a fixed point is reached. The resulting `f[u]` is the smallest vertex id in
+//! the component of `u`, which serves as the component label.
+
+use graphblas::ops::{ewise_add_vector, mxv};
+use graphblas::ops_traits::Min;
+use graphblas::semiring::stock;
+use graphblas::{Error, Index, Matrix, Result, Scalar, Vector};
+
+/// Compute connected components of an undirected graph given by a symmetric adjacency
+/// matrix. Returns a dense vector of length `n` where entry `u` is the component label
+/// of vertex `u` (the smallest vertex id in its component).
+///
+/// The values stored in the matrix are ignored; only the structure matters. The matrix
+/// is expected to be symmetric (as the paper's `Friends` matrix is); if it is not, the
+/// result corresponds to the undirected closure only if both directions are present.
+pub fn connected_components<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "connected_components",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let n = adjacency.nrows();
+    // Pattern matrix with u64 labels so the min.second semiring applies directly.
+    // (The adjacency values are irrelevant; reuse the structure.)
+    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
+
+    // f[u] = u initially; f is kept fully shortcut (f[f[u]] = f[u]) at the top of
+    // every iteration, so hooking on the neighbours' labels is hooking on their
+    // grandparents, exactly as in FastSV.
+    let mut f: Vector<u64> = Vector::dense_from_fn(n, |i| i as u64);
+
+    loop {
+        // Minimum neighbour (grand)parent: mngp[u] = min_{v ∈ N(u)} f[v].
+        let mngp = mxv(&pattern, &f, stock::min_second::<u64>())?;
+
+        // Hook: f_new[u] = min(f[u], mngp[u]). Labels never increase and never leave
+        // the component, because mxv only propagates values along edges.
+        let mut f_new = ewise_add_vector(&f, &mngp, Min::new())?;
+
+        // Shortcut (pointer jumping) to a fully compressed parent vector:
+        // f_new[u] ← f_new[f_new[u]] until stable. Terminates because labels are
+        // bounded below and monotonically non-increasing (f[u] ≤ u is an invariant).
+        loop {
+            let jumped = index_vector(&f_new, &f_new);
+            if jumped == f_new {
+                break;
+            }
+            f_new = jumped;
+        }
+
+        if f_new == f {
+            return Ok(f);
+        }
+        f = f_new;
+    }
+}
+
+/// Dense "vector indexed by vector" helper: `out[u] = f[g[u]]`.
+///
+/// Both vectors must be dense (an entry for every position), which holds for the
+/// parent vectors used by FastSV.
+fn index_vector(f: &Vector<u64>, g: &Vector<u64>) -> Vector<u64> {
+    let f_dense = f.to_dense(0);
+    Vector::dense_from_fn(g.size(), |u| {
+        let parent = g.get(u).unwrap_or(u as u64) as Index;
+        f_dense[parent]
+    })
+}
+
+/// Compute the size of each component from a component-label vector. Returns
+/// `(label, size)` pairs sorted by label.
+pub fn component_sizes(labels: &Vector<u64>) -> Vec<(u64, u64)> {
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for (_, label) in labels.iter() {
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<(u64, u64)> = counts.into_iter().collect();
+    sizes.sort_unstable();
+    sizes
+}
+
+/// The Q2 score of a comment: the sum of squared component sizes, `Σᵢ csᵢ²`.
+pub fn sum_of_squared_component_sizes(labels: &Vector<u64>) -> u64 {
+    component_sizes(labels)
+        .into_iter()
+        .map(|(_, size)| size * size)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas::ops_traits::First;
+
+    /// Build a symmetric adjacency matrix from an undirected edge list.
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym: Vec<(usize, usize)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    #[test]
+    fn single_component_path_graph() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let labels = connected_components(&g).unwrap();
+        assert_eq!(labels.to_dense(99), vec![0, 0, 0, 0, 0]);
+        assert_eq!(sum_of_squared_component_sizes(&labels), 25);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = undirected(4, &[]);
+        let labels = connected_components(&g).unwrap();
+        assert_eq!(labels.to_dense(99), vec![0, 1, 2, 3]);
+        assert_eq!(component_sizes(&labels), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(sum_of_squared_component_sizes(&labels), 4);
+    }
+
+    #[test]
+    fn two_components() {
+        // the paper's running example for comment c2 before the update:
+        // users {u1} and {u3, u4} like c2, u3-u4 are friends -> components of size 1 and 2
+        let g = undirected(3, &[(1, 2)]);
+        let labels = connected_components(&g).unwrap();
+        assert_eq!(labels.get(0), Some(0));
+        assert_eq!(labels.get(1), labels.get(2));
+        assert_ne!(labels.get(0), labels.get(1));
+        assert_eq!(sum_of_squared_component_sizes(&labels), 1 + 4);
+    }
+
+    #[test]
+    fn merged_component_after_extra_edge() {
+        // after the update u1-u4 become friends and u2 likes c2: one component of 4
+        let g = undirected(4, &[(2, 3), (0, 3)]);
+        let labels = connected_components(&g).unwrap();
+        // {0, 2, 3} together, {1} alone
+        assert_eq!(labels.get(0), labels.get(2));
+        assert_eq!(labels.get(0), labels.get(3));
+        assert_ne!(labels.get(0), labels.get(1));
+        assert_eq!(sum_of_squared_component_sizes(&labels), 9 + 1);
+    }
+
+    #[test]
+    fn star_graph_converges_quickly() {
+        let edges: Vec<(usize, usize)> = (1..50).map(|i| (0, i)).collect();
+        let g = undirected(50, &edges);
+        let labels = connected_components(&g).unwrap();
+        assert!(labels.to_dense(99).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn long_path_exercises_pointer_jumping() {
+        let n = 200;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = undirected(n, &edges);
+        let labels = connected_components(&g).unwrap();
+        assert!(labels.to_dense(99).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn labels_match_unionfind_on_random_graph() {
+        use crate::cc_unionfind::UnionFind;
+        // deterministic pseudo-random edges
+        let n = 64;
+        let mut edges = Vec::new();
+        let mut state: u64 = 0x12345678;
+        for _ in 0..80 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        let g = undirected(n, &edges);
+        let labels = connected_components(&g).unwrap();
+
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        // same partition: two nodes share a FastSV label iff they share a UF root
+        for a in 0..n {
+            for b in 0..n {
+                let same_fastsv = labels.get(a) == labels.get(b);
+                let same_uf = uf.find(a) == uf.find(b);
+                assert_eq!(same_fastsv, same_uf, "nodes {a} and {b} disagree");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_matrix() {
+        let m: Matrix<bool> = Matrix::new(3, 4);
+        assert!(connected_components(&m).is_err());
+    }
+
+    #[test]
+    fn empty_graph_zero_vertices() {
+        let m: Matrix<bool> = Matrix::new(0, 0);
+        let labels = connected_components(&m).unwrap();
+        assert_eq!(labels.size(), 0);
+        assert_eq!(sum_of_squared_component_sizes(&labels), 0);
+    }
+
+    #[test]
+    fn component_sizes_sorted_by_label() {
+        let v = Vector::from_tuples(5, &[(0, 3u64), (1, 3), (2, 0), (3, 3), (4, 0)], First::new())
+            .unwrap();
+        assert_eq!(component_sizes(&v), vec![(0, 2), (3, 3)]);
+        assert_eq!(sum_of_squared_component_sizes(&v), 4 + 9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Insert-only incremental connected components.
+//!
+//! The paper lists, as future work item (2), replacing the per-comment batch FastSV
+//! run in Q2 with an *incremental* connected components algorithm in the spirit of
+//! Ediger et al. ("Tracking structure of streaming social networks", IPDPS 2011).
+//! Because the TTC 2018 workload only ever *inserts* edges and vertices, the
+//! insertion-only case is sufficient and can be maintained exactly with a union–find
+//! structure: a new edge either joins two components (merge) or is absorbed into an
+//! existing one.
+//!
+//! The structure below maintains, per comment, the component partition of the users
+//! who like that comment, together with the sum of squared component sizes — i.e. the
+//! Q2 score — under three kinds of updates: new liker, new friendship, and new
+//! friendship between existing likers.
+
+use std::collections::HashMap;
+
+use graphblas::Index;
+
+use crate::cc_unionfind::UnionFind;
+
+/// Incrementally maintained connected components with component-size bookkeeping.
+///
+/// Vertices are added explicitly; edges only ever merge components. The sum of squared
+/// component sizes is maintained in O(1) per merge, so reading the Q2-style score is
+/// free.
+#[derive(Clone, Debug)]
+pub struct IncrementalConnectedComponents {
+    /// Maps external vertex ids to dense internal ids.
+    external_to_internal: HashMap<u64, Index>,
+    uf: UnionFind,
+    /// Size of the component rooted at each internal root (only meaningful for roots).
+    component_size: Vec<u64>,
+    /// Maintained Σ sᵢ² over all components.
+    sum_of_squares: u64,
+}
+
+impl Default for IncrementalConnectedComponents {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalConnectedComponents {
+    /// Create an empty structure.
+    pub fn new() -> Self {
+        IncrementalConnectedComponents {
+            external_to_internal: HashMap::new(),
+            uf: UnionFind::new(0),
+            component_size: Vec::new(),
+            sum_of_squares: 0,
+        }
+    }
+
+    /// Number of tracked vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.external_to_internal.len()
+    }
+
+    /// Number of components among the tracked vertices.
+    pub fn component_count(&self) -> usize {
+        self.uf.component_count()
+    }
+
+    /// The maintained Q2-style score: the sum of squared component sizes.
+    pub fn sum_of_squared_component_sizes(&self) -> u64 {
+        self.sum_of_squares
+    }
+
+    /// Whether the vertex is already tracked.
+    pub fn contains_vertex(&self, vertex: u64) -> bool {
+        self.external_to_internal.contains_key(&vertex)
+    }
+
+    /// Add a vertex (as a new singleton component) if it is not yet tracked.
+    /// Returns `true` if the vertex was newly added.
+    pub fn add_vertex(&mut self, vertex: u64) -> bool {
+        if self.external_to_internal.contains_key(&vertex) {
+            return false;
+        }
+        let internal = self.uf.add_vertex();
+        self.external_to_internal.insert(vertex, internal);
+        self.component_size.push(1);
+        self.sum_of_squares += 1;
+        true
+    }
+
+    /// Add an undirected edge between two tracked vertices, merging their components
+    /// if they differ. Vertices that are not yet tracked are added automatically.
+    /// Returns `true` if two components were merged.
+    pub fn add_edge(&mut self, a: u64, b: u64) -> bool {
+        self.add_vertex(a);
+        self.add_vertex(b);
+        let ia = self.external_to_internal[&a];
+        let ib = self.external_to_internal[&b];
+        let ra = self.uf.find(ia);
+        let rb = self.uf.find(ib);
+        if ra == rb {
+            return false;
+        }
+        let size_a = self.component_size[ra];
+        let size_b = self.component_size[rb];
+        self.uf.union(ia, ib);
+        let new_root = self.uf.find(ia);
+        let merged = size_a + size_b;
+        self.component_size[new_root] = merged;
+        // Σ s² changes by (a+b)² - a² - b² = 2ab.
+        self.sum_of_squares += 2 * size_a * size_b;
+        merged > 0
+    }
+
+    /// Whether two tracked vertices are in the same component. Untracked vertices are
+    /// never connected to anything.
+    pub fn connected(&mut self, a: u64, b: u64) -> bool {
+        match (
+            self.external_to_internal.get(&a).copied(),
+            self.external_to_internal.get(&b).copied(),
+        ) {
+            (Some(ia), Some(ib)) => self.uf.find(ia) == self.uf.find(ib),
+            _ => false,
+        }
+    }
+
+    /// Sizes of all components (unordered labels, sorted by size then label for
+    /// deterministic output).
+    pub fn component_sizes(&mut self) -> Vec<u64> {
+        let mut roots: HashMap<Index, u64> = HashMap::new();
+        let internals: Vec<Index> = self.external_to_internal.values().copied().collect();
+        for internal in internals {
+            let root = self.uf.find(internal);
+            *roots.entry(root).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u64> = roots.into_values().collect();
+        sizes.sort_unstable();
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_structure_scores_zero() {
+        let cc = IncrementalConnectedComponents::new();
+        assert_eq!(cc.vertex_count(), 0);
+        assert_eq!(cc.component_count(), 0);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 0);
+    }
+
+    #[test]
+    fn singletons_score_their_count() {
+        let mut cc = IncrementalConnectedComponents::new();
+        assert!(cc.add_vertex(10));
+        assert!(cc.add_vertex(20));
+        assert!(!cc.add_vertex(10)); // duplicate
+        assert_eq!(cc.vertex_count(), 2);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 2);
+        assert_eq!(cc.component_sizes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn paper_example_comment_c2() {
+        // Initial state: likers {u1}, {u3, u4} with u3-u4 friends -> 1² + 2² = 5
+        let mut cc = IncrementalConnectedComponents::new();
+        cc.add_vertex(1);
+        cc.add_vertex(3);
+        cc.add_vertex(4);
+        cc.add_edge(3, 4);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 5);
+
+        // Update: u2 likes c2, u1-u4 become friends, and (from the initial graph)
+        // u1-u2 and u2-u3 are friends -> single component of 4 -> 16
+        cc.add_vertex(2);
+        cc.add_edge(1, 4);
+        cc.add_edge(1, 2);
+        cc.add_edge(2, 3);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 16);
+        assert_eq!(cc.component_sizes(), vec![4]);
+    }
+
+    #[test]
+    fn redundant_edges_do_not_change_score() {
+        let mut cc = IncrementalConnectedComponents::new();
+        cc.add_edge(1, 2);
+        let score = cc.sum_of_squared_component_sizes();
+        assert!(!cc.add_edge(2, 1));
+        assert!(!cc.add_edge(1, 2));
+        assert_eq!(cc.sum_of_squared_component_sizes(), score);
+    }
+
+    #[test]
+    fn add_edge_auto_adds_vertices() {
+        let mut cc = IncrementalConnectedComponents::new();
+        assert!(cc.add_edge(7, 9));
+        assert!(cc.contains_vertex(7));
+        assert!(cc.contains_vertex(9));
+        assert!(cc.connected(7, 9));
+        assert!(!cc.connected(7, 8));
+        assert_eq!(cc.sum_of_squared_component_sizes(), 4);
+    }
+
+    #[test]
+    fn maintained_score_matches_recomputation() {
+        // pseudo-random edge stream; compare against recomputing sizes from scratch
+        let mut cc = IncrementalConnectedComponents::new();
+        let mut state: u64 = 42;
+        for _ in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) % 40;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) % 40;
+            cc.add_edge(a, b);
+            let expected: u64 = cc.component_sizes().iter().map(|s| s * s).sum();
+            assert_eq!(cc.sum_of_squared_component_sizes(), expected);
+        }
+    }
+
+    #[test]
+    fn component_count_tracks_merges() {
+        let mut cc = IncrementalConnectedComponents::new();
+        cc.add_vertex(0);
+        cc.add_vertex(1);
+        cc.add_vertex(2);
+        assert_eq!(cc.component_count(), 3);
+        cc.add_edge(0, 1);
+        assert_eq!(cc.component_count(), 2);
+        cc.add_edge(1, 2);
+        assert_eq!(cc.component_count(), 1);
+    }
+}

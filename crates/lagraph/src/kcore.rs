@@ -1,0 +1,265 @@
+//! k-core decomposition (LAGraph's `KCore` family).
+//!
+//! The *core number* of a vertex is the largest `k` such that the vertex belongs to a
+//! subgraph in which every vertex has degree at least `k`. The decomposition is
+//! computed with the classic peeling algorithm (Matula–Beck / Batagelj–Zaveršnik):
+//! repeatedly remove the vertex of smallest remaining degree and record the running
+//! maximum of those degrees. Degrees are obtained with a GraphBLAS row reduction; the
+//! peel itself uses a bucket queue, exactly as LAGraph's non-GraphBLAS fallback does.
+
+use graphblas::monoid;
+use graphblas::ops::reduce_matrix_rows;
+use graphblas::ops_traits::One;
+use graphblas::{Error, Matrix, Result, Scalar, Vector};
+
+/// Compute the core number of every vertex of an undirected graph given by a symmetric
+/// adjacency matrix (values ignored, self loops ignored). Returns a dense vector of
+/// core numbers.
+pub fn kcore_decomposition<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "kcore_decomposition",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let n = adjacency.nrows();
+    if n == 0 {
+        return Ok(Vector::new(0));
+    }
+
+    // Pattern without self loops; degree[v] = number of stored neighbours.
+    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, One::new());
+    let no_loops = graphblas::ops::select_matrix(&pattern, graphblas::ops_traits::OffDiagonal);
+    let degree_vec = reduce_matrix_rows(&no_loops, monoid::stock::plus::<u64>());
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| degree_vec.get(v).unwrap_or(0) as usize)
+        .collect();
+
+    // Bucket queue over degrees (bounded by n - 1).
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_degree + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v);
+    }
+
+    let mut core = vec![0u64; n];
+    let mut removed = vec![false; n];
+    let mut current_core = 0u64;
+    let mut processed = 0usize;
+    let mut cursor = 0usize;
+
+    while processed < n {
+        // find the next non-empty bucket at or above the cursor, allowing re-descent
+        // (degrees only decrease, so restart from 0 is never needed below current min)
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        if cursor >= buckets.len() {
+            break;
+        }
+        let v = match buckets[cursor].pop() {
+            Some(v) => v,
+            None => continue,
+        };
+        if removed[v] || degree[v] != cursor {
+            // stale bucket entry: the vertex moved to a lower bucket
+            continue;
+        }
+        removed[v] = true;
+        processed += 1;
+        current_core = current_core.max(cursor as u64);
+        core[v] = current_core;
+
+        let (neighbours, _) = no_loops.row(v);
+        for &u in neighbours {
+            if !removed[u] && degree[u] > cursor {
+                degree[u] -= 1;
+                buckets[degree[u]].push(u);
+                if degree[u] < cursor {
+                    cursor = degree[u];
+                }
+            }
+        }
+        // removing v may have created lower-degree vertices; cursor already adjusted
+    }
+
+    Ok(Vector::dense_from_fn(n, |v| core[v]))
+}
+
+/// The degeneracy of the graph: the largest core number.
+pub fn degeneracy<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
+    let cores = kcore_decomposition(adjacency)?;
+    Ok(cores.values().iter().copied().max().unwrap_or(0))
+}
+
+/// Extract the subgraph induced by the vertices whose core number is at least `k`:
+/// returns the sorted vertex ids and the induced adjacency matrix (re-indexed to
+/// `0..len`).
+pub fn kcore_subgraph<T: Scalar>(
+    adjacency: &Matrix<T>,
+    k: u64,
+) -> Result<(Vec<usize>, Matrix<T>)> {
+    let cores = kcore_decomposition(adjacency)?;
+    let vertices: Vec<usize> = (0..adjacency.nrows())
+        .filter(|&v| cores.get(v).unwrap_or(0) >= k)
+        .collect();
+    let sub = graphblas::ops::extract_submatrix(
+        adjacency,
+        &graphblas::IndexSelection::List(&vertices),
+        &graphblas::IndexSelection::List(&vertices),
+    )?;
+    Ok((vertices, sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym = Vec::new();
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    /// Naive reference: repeatedly strip vertices of degree < k to find the k-core,
+    /// then the core number of v is the largest k whose k-core contains v.
+    fn brute_force_cores(n: usize, edges: &[(usize, usize)]) -> Vec<u64> {
+        let mut core = vec![0u64; n];
+        for k in 1..=n as u64 {
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    if !alive[v] {
+                        continue;
+                    }
+                    let deg = edges
+                        .iter()
+                        .filter(|&&(a, b)| (a == v && alive[b]) || (b == v && alive[a]))
+                        .count() as u64;
+                    if deg < k {
+                        alive[v] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn path_graph_is_one_core() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cores = kcore_decomposition(&g).unwrap();
+        assert_eq!(cores.to_dense(99), vec![1, 1, 1, 1]);
+        assert_eq!(degeneracy(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn triangle_with_pendant_vertex() {
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cores = kcore_decomposition(&g).unwrap();
+        assert_eq!(cores.get(0), Some(2));
+        assert_eq!(cores.get(1), Some(2));
+        assert_eq!(cores.get(2), Some(2));
+        assert_eq!(cores.get(3), Some(1));
+    }
+
+    #[test]
+    fn complete_graph_core_is_n_minus_one() {
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = undirected(6, &edges);
+        let cores = kcore_decomposition(&g).unwrap();
+        assert!(cores.to_dense(0).iter().all(|&c| c == 5));
+        assert_eq!(degeneracy(&g).unwrap(), 5);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = undirected(3, &[(0, 1)]);
+        let cores = kcore_decomposition(&g).unwrap();
+        assert_eq!(cores.get(2), Some(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Matrix<bool> = Matrix::new(0, 0);
+        let cores = kcore_decomposition(&g).unwrap();
+        assert_eq!(cores.size(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let with_loop = undirected(3, &[(0, 1), (1, 2), (1, 1)]);
+        let without = undirected(3, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            kcore_decomposition(&with_loop).unwrap(),
+            kcore_decomposition(&without).unwrap()
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 1u64..5 {
+            let n = 18;
+            let mut edges = Vec::new();
+            let mut state = seed;
+            for _ in 0..45 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = (state >> 33) as usize % n;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = (state >> 33) as usize % n;
+                if a != b {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            let g = undirected(n, &edges);
+            let cores = kcore_decomposition(&g).unwrap();
+            let brute = brute_force_cores(n, &edges);
+            assert_eq!(cores.to_dense(0), brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn kcore_subgraph_extracts_dense_part() {
+        // triangle 0-1-2 plus pendant 3
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let (vertices, sub) = kcore_subgraph(&g, 2).unwrap();
+        assert_eq!(vertices, vec![0, 1, 2]);
+        assert_eq!(sub.nrows(), 3);
+        assert_eq!(sub.nvals(), 6); // symmetric triangle
+        let (all, whole) = kcore_subgraph(&g, 0).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(whole.nvals(), g.nvals());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let g: Matrix<bool> = Matrix::new(2, 3);
+        assert!(kcore_decomposition(&g).is_err());
+        assert!(degeneracy(&g).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Community detection by label propagation (LAGraph's `CDLP`).
+//!
+//! Every vertex starts in its own community; in each synchronous round a vertex adopts
+//! the most frequent label among its neighbours, breaking ties towards the smallest
+//! label (the deterministic rule used by the LDBC Graphalytics specification of CDLP).
+//! The iteration stops when no label changes or after `max_iterations` rounds.
+//!
+//! The per-vertex "mode of the neighbour labels" computation is not a semiring
+//! reduction, so — exactly like LAGraph's reference implementation — the kernel walks
+//! the CSR rows of the adjacency matrix directly while the label state lives in a
+//! GraphBLAS vector.
+
+use graphblas::{Error, Matrix, Result, Scalar, Vector};
+
+/// Options for [`label_propagation`].
+#[derive(Copy, Clone, Debug)]
+pub struct LabelPropagationOptions {
+    /// Maximum number of synchronous rounds (the LDBC Graphalytics default is 10).
+    pub max_iterations: usize,
+}
+
+impl Default for LabelPropagationOptions {
+    fn default() -> Self {
+        LabelPropagationOptions { max_iterations: 10 }
+    }
+}
+
+/// Run community detection by label propagation on an undirected graph given by a
+/// symmetric adjacency matrix (values ignored). Returns a dense vector assigning a
+/// community label to every vertex; labels are vertex ids, so two vertices are in the
+/// same community iff their labels are equal.
+pub fn label_propagation<T: Scalar>(
+    adjacency: &Matrix<T>,
+    options: LabelPropagationOptions,
+) -> Result<Vector<u64>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "label_propagation",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let n = adjacency.nrows();
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+
+    let mut scratch: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for _ in 0..options.max_iterations {
+        let mut changed = false;
+        let mut next = labels.clone();
+        for v in 0..n {
+            let (neighbours, _) = adjacency.row(v);
+            if neighbours.is_empty() {
+                continue;
+            }
+            scratch.clear();
+            for &u in neighbours {
+                if u == v {
+                    continue; // self loops do not vote
+                }
+                *scratch.entry(labels[u]).or_insert(0) += 1;
+            }
+            if scratch.is_empty() {
+                continue;
+            }
+            // most frequent label, ties broken towards the smallest label
+            let mut best_label = labels[v];
+            let mut best_count = 0usize;
+            let mut have_best = false;
+            for (&label, &count) in scratch.iter() {
+                if !have_best
+                    || count > best_count
+                    || (count == best_count && label < best_label)
+                {
+                    best_label = label;
+                    best_count = count;
+                    have_best = true;
+                }
+            }
+            if best_label != labels[v] {
+                next[v] = best_label;
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(Vector::dense_from_fn(n, |v| labels[v]))
+}
+
+/// Group vertices by their community label. Returns the communities sorted by size
+/// (largest first), each as a sorted list of vertex ids.
+pub fn communities(labels: &Vector<u64>) -> Vec<Vec<usize>> {
+    let mut groups: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (v, label) in labels.iter() {
+        groups.entry(label).or_default().push(v);
+    }
+    let mut result: Vec<Vec<usize>> = groups.into_values().collect();
+    for group in &mut result {
+        group.sort_unstable();
+    }
+    result.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym = Vec::new();
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    #[test]
+    fn two_cliques_joined_by_a_bridge_form_two_communities() {
+        // vertices 0-3 form a clique, 4-7 form a clique, one bridge 3-4
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                edges.push((a, b));
+            }
+        }
+        for a in 4..8 {
+            for b in (a + 1)..8 {
+                edges.push((a, b));
+            }
+        }
+        edges.push((3, 4));
+        let g = undirected(8, &edges);
+        let labels = label_propagation(&g, LabelPropagationOptions::default()).unwrap();
+        let groups = communities(&labels);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(groups[1].len(), 4);
+        // vertices 0..4 share a label; 4..8 share a label
+        assert_eq!(labels.get(0), labels.get(1));
+        assert_eq!(labels.get(0), labels.get(3));
+        assert_eq!(labels.get(4), labels.get(7));
+        assert_ne!(labels.get(0), labels.get(4));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let g = undirected(3, &[]);
+        let labels = label_propagation(&g, LabelPropagationOptions::default()).unwrap();
+        assert_eq!(labels.to_dense(99), vec![0, 1, 2]);
+        assert_eq!(communities(&labels).len(), 3);
+    }
+
+    #[test]
+    fn clique_converges_to_a_single_community() {
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let g = undirected(6, &edges);
+        let labels = label_propagation(&g, LabelPropagationOptions::default()).unwrap();
+        let first = labels.get(0);
+        for v in 1..6 {
+            assert_eq!(labels.get(v), first);
+        }
+    }
+
+    #[test]
+    fn communities_never_span_connected_components() {
+        let g = undirected(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let labels = label_propagation(&g, LabelPropagationOptions::default()).unwrap();
+        let cc = crate::fastsv::connected_components(&g).unwrap();
+        for a in 0..6 {
+            for b in 0..6 {
+                if labels.get(a) == labels.get(b) {
+                    assert_eq!(cc.get(a), cc.get(b), "community spans components: {a}, {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial_labels() {
+        let g = undirected(4, &[(0, 1), (2, 3)]);
+        let labels = label_propagation(&g, LabelPropagationOptions { max_iterations: 0 }).unwrap();
+        assert_eq!(labels.to_dense(99), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_loops_do_not_affect_the_result() {
+        let plain = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut looped_edges = vec![(0usize, 1usize), (1, 2), (2, 3)];
+        looped_edges.extend((0..4).map(|v| (v, v)));
+        let looped = undirected(4, &looped_edges);
+        let a = label_propagation(&plain, LabelPropagationOptions::default()).unwrap();
+        let b = label_propagation(&looped, LabelPropagationOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let g: Matrix<bool> = Matrix::new(2, 3);
+        assert!(label_propagation(&g, LabelPropagationOptions::default()).is_err());
+    }
+
+    #[test]
+    fn communities_are_sorted_by_size() {
+        let g = undirected(7, &[(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let labels = label_propagation(&g, LabelPropagationOptions::default()).unwrap();
+        let groups = communities(&labels);
+        for w in groups.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 7);
+    }
+}

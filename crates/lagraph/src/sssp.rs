@@ -1,0 +1,197 @@
+//! Single-source shortest paths over the tropical (`min.+`) semiring.
+//!
+//! This is the Bellman–Ford-style relaxation used by LAGraph's `SSSP` variants: the
+//! distance vector is repeatedly relaxed with a `min.+` vector–matrix product until it
+//! stops changing (or `n − 1` relaxations have been performed, which bounds the number
+//! of edges on any shortest path). The case study does not need shortest paths, but the
+//! algorithm is a canonical exercise of a non-arithmetic semiring and is used by the
+//! graph-analytics example.
+
+use graphblas::ops::{ewise_add_vector, vxm};
+use graphblas::ops_traits::Min;
+use graphblas::scalar::Ring;
+use graphblas::semiring::stock;
+use graphblas::{Error, Index, Matrix, Result, Vector};
+
+/// Single-source shortest path distances from `source` over a non-negatively weighted,
+/// directed adjacency matrix (`A[u][v]` = weight of the edge `u → v`).
+///
+/// Returns a sparse vector holding the distance of every reachable vertex (the source
+/// has distance `W::ZERO`); unreachable vertices have no entry.
+pub fn sssp<W: Ring>(adjacency: &Matrix<W>, source: Index) -> Result<Vector<W>> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "sssp",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    let n = adjacency.nrows();
+    if source >= n {
+        return Err(Error::IndexOutOfBounds {
+            index: source,
+            bound: n,
+            context: "sssp",
+        });
+    }
+
+    let mut dist: Vector<W> = Vector::new(n);
+    dist.set(source, W::ZERO)?;
+
+    // Each round extends the shortest-path tree by at least one edge; n - 1 rounds
+    // suffice for any simple path.
+    for _ in 0..n.saturating_sub(1) {
+        // candidate[v] = min_u (dist[u] + A[u][v])
+        let candidate = vxm(&dist, adjacency, stock::min_plus::<W>())?;
+        // relaxed = min(dist, candidate) over the union of their structures
+        let relaxed = ewise_add_vector(&dist, &candidate, Min::new())?;
+        if relaxed == dist {
+            return Ok(dist);
+        }
+        dist = relaxed;
+    }
+    Ok(dist)
+}
+
+/// Shortest-path distances in *hops* (every edge has weight 1), for any adjacency
+/// matrix regardless of its stored values. Equivalent to BFS levels but computed with
+/// the tropical semiring; used by tests to cross-validate [`crate::bfs::bfs_levels`].
+pub fn sssp_hops<T: graphblas::Scalar>(adjacency: &Matrix<T>, source: Index) -> Result<Vector<u64>> {
+    let unit: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
+    sssp(&unit, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas::ops_traits::Plus;
+
+    fn weighted(n: usize, edges: &[(usize, usize, u64)]) -> Matrix<u64> {
+        Matrix::from_tuples(n, n, edges, Plus::new()).unwrap()
+    }
+
+    #[test]
+    fn weighted_path_accumulates_weights() {
+        let g = weighted(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 2)]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.get(0), Some(0));
+        assert_eq!(d.get(1), Some(5));
+        assert_eq!(d.get(2), Some(8));
+        assert_eq!(d.get(3), Some(10));
+    }
+
+    #[test]
+    fn picks_the_cheaper_of_two_routes() {
+        // 0 -> 2 directly costs 10, via 1 costs 3 + 4 = 7
+        let g = weighted(3, &[(0, 2, 10), (0, 1, 3), (1, 2, 4)]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.get(2), Some(7));
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_distance() {
+        let g = weighted(4, &[(0, 1, 1)]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.get(2), None);
+        assert_eq!(d.get(3), None);
+        assert_eq!(d.nvals(), 2);
+    }
+
+    #[test]
+    fn respects_edge_direction() {
+        let g = weighted(3, &[(1, 0, 1), (1, 2, 1)]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.nvals(), 1);
+        assert_eq!(d.get(0), Some(0));
+    }
+
+    #[test]
+    fn source_distance_is_zero_even_with_self_loop() {
+        let g = weighted(2, &[(0, 0, 7), (0, 1, 2)]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.get(0), Some(0));
+        assert_eq!(d.get(1), Some(2));
+    }
+
+    #[test]
+    fn hop_distances_match_bfs_levels() {
+        let mut sym = Vec::new();
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (2, 3), (1, 4), (4, 5)] {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        let g: Matrix<bool> = Matrix::from_edges(7, 7, &sym).unwrap();
+        let hops = sssp_hops(&g, 0).unwrap();
+        let levels = crate::bfs::bfs_levels(&g, 0).unwrap();
+        assert_eq!(hops, levels);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graph() {
+        let n = 12;
+        let mut edges = Vec::new();
+        let mut state: u64 = 7;
+        for _ in 0..40 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            let w = 1 + (state >> 17) % 9;
+            if a != b {
+                edges.push((a, b, w));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        let g = weighted(n, &edges);
+
+        // reference: Floyd–Warshall
+        const INF: u64 = u64::MAX / 4;
+        let mut dist = vec![vec![INF; n]; n];
+        for v in 0..n {
+            dist[v][v] = 0;
+        }
+        for &(a, b, w) in &edges {
+            dist[a][b] = dist[a][b].min(w);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    dist[i][j] = dist[i][j].min(dist[i][k] + dist[k][j]);
+                }
+            }
+        }
+
+        for src in 0..n {
+            let d = sssp(&g, src).unwrap();
+            for v in 0..n {
+                let expected = if dist[src][v] >= INF {
+                    None
+                } else {
+                    Some(dist[src][v])
+                };
+                assert_eq!(d.get(v), expected, "src {src} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let rect: Matrix<u64> = Matrix::new(2, 3);
+        assert!(sssp(&rect, 0).is_err());
+        let g = weighted(2, &[]);
+        assert!(sssp(&g, 9).is_err());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = weighted(1, &[]);
+        let d = sssp(&g, 0).unwrap();
+        assert_eq!(d.get(0), Some(0));
+        assert_eq!(d.nvals(), 1);
+    }
+}

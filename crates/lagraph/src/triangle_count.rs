@@ -1,0 +1,129 @@
+//! Triangle counting — part of the standard LAGraph algorithm collection.
+//!
+//! Uses the classic masked-SpGEMM formulation (Azad et al. / the LAGraph `TriangleCount`
+//! method): with `L` the strictly lower triangular part of the symmetric adjacency
+//! matrix, the number of triangles is `Σᵢⱼ (L ⊕.⊗ L)⟨L⟩ / 1` — every triangle is
+//! counted exactly once. The case study does not need triangle counting, but the
+//! algorithm exercises masked `mxm` and is used by the substrate micro-benches and
+//! tests.
+
+use graphblas::ops::{mxm_masked, reduce_matrix_scalar, select_matrix};
+use graphblas::ops_traits::{One, StrictLowerTriangle};
+use graphblas::semiring::stock;
+use graphblas::{Error, Matrix, MatrixMask, Result, Scalar};
+
+/// Count the triangles of an undirected graph given by a symmetric adjacency matrix
+/// (values are ignored; only the structure matters).
+pub fn triangle_count<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
+    if !adjacency.is_square() {
+        return Err(Error::DimensionMismatch {
+            context: "triangle_count",
+            expected: adjacency.nrows(),
+            actual: adjacency.ncols(),
+        });
+    }
+    // Work on the u64 pattern of the adjacency matrix.
+    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, One::new());
+    // L: strictly lower triangular part.
+    let lower = select_matrix(&pattern, StrictLowerTriangle);
+    // C⟨L⟩ = L ⊕.⊗ Lᵀ over plus_pair counts, per (i, j) edge, the common neighbours —
+    // with the mask restricting the output to existing edges. Using L·L with the
+    // L mask yields each triangle exactly once.
+    let mask = MatrixMask::structural(&lower);
+    let c = mxm_masked(&mask, &lower, &lower, stock::plus_pair::<u64, u64, u64>())?;
+    Ok(reduce_matrix_scalar(&c, graphblas::monoid::stock::plus()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let mut sym = Vec::new();
+        for &(a, b) in edges {
+            sym.push((a, b));
+            sym.push((b, a));
+        }
+        Matrix::from_edges(n, n, &sym).unwrap()
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&g).unwrap(), 0);
+    }
+
+    #[test]
+    fn complete_graph_k5_has_ten_triangles() {
+        let mut edges = Vec::new();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let g = undirected(5, &edges);
+        assert_eq!(triangle_count(&g).unwrap(), 10);
+    }
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let g = undirected(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(triangle_count(&g).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let g: Matrix<bool> = Matrix::new(2, 3);
+        assert!(triangle_count(&g).is_err());
+    }
+
+    #[test]
+    fn empty_graph_has_no_triangles() {
+        let g: Matrix<bool> = Matrix::new(10, 10);
+        assert_eq!(triangle_count(&g).unwrap(), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graph() {
+        let n = 20;
+        let mut edges = Vec::new();
+        let mut state: u64 = 99;
+        for _ in 0..40 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let g = undirected(n, &edges);
+
+        // brute force
+        let adj: std::collections::HashSet<(usize, usize)> = edges.iter().copied().collect();
+        let has = |a: usize, b: usize| adj.contains(&(a.min(b), a.max(b)));
+        let mut brute = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    if has(a, b) && has(b, c) && has(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g).unwrap(), brute);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests: the GraphBLAS FastSV connected components must always agree
+//! with the union–find oracle, and the incremental CC must agree with recomputation.
+
+use graphblas::Matrix;
+use lagraph::{
+    bfs_levels, connected_components, sum_of_squared_component_sizes,
+    IncrementalConnectedComponents, UnionFind,
+};
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..N, 0..N), 0..60)
+}
+
+fn symmetric_matrix(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+    let mut sym = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in edges {
+        if a == b {
+            continue; // the Friends relation has no self loops
+        }
+        sym.push((a, b));
+        sym.push((b, a));
+    }
+    Matrix::from_edges(n, n, &sym).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fastsv_agrees_with_unionfind(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let labels = connected_components(&g).unwrap();
+
+        let mut uf = UnionFind::new(N);
+        for &(a, b) in &edges {
+            if a != b {
+                uf.union(a, b);
+            }
+        }
+        let uf_labels = uf.labels();
+        for v in 0..N {
+            prop_assert_eq!(labels.get(v), Some(uf_labels[v]));
+        }
+        prop_assert_eq!(
+            sum_of_squared_component_sizes(&labels),
+            uf.sum_of_squared_component_sizes()
+        );
+    }
+
+    #[test]
+    fn fastsv_labels_are_component_minima(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let labels = connected_components(&g).unwrap();
+        for v in 0..N {
+            let label = labels.get(v).unwrap();
+            // the label is the id of some vertex in the same component, and no vertex
+            // in the component has a smaller id than its label
+            prop_assert!(label as usize <= v);
+            prop_assert_eq!(labels.get(label as usize), Some(label));
+        }
+    }
+
+    #[test]
+    fn incremental_cc_matches_batch_unionfind(edges in edges_strategy()) {
+        let mut inc = IncrementalConnectedComponents::new();
+        let mut uf = UnionFind::new(N);
+        for v in 0..N {
+            inc.add_vertex(v as u64);
+        }
+        for &(a, b) in &edges {
+            if a == b {
+                continue;
+            }
+            inc.add_edge(a as u64, b as u64);
+            uf.union(a, b);
+        }
+        prop_assert_eq!(inc.component_count(), uf.component_count());
+        prop_assert_eq!(
+            inc.sum_of_squared_component_sizes(),
+            uf.sum_of_squared_component_sizes()
+        );
+    }
+
+    #[test]
+    fn bfs_reaches_exactly_the_source_component(
+        edges in edges_strategy(),
+        source in 0..N,
+    ) {
+        let g = symmetric_matrix(N, &edges);
+        let labels = connected_components(&g).unwrap();
+        let levels = bfs_levels(&g, source).unwrap();
+        for v in 0..N {
+            let same_component = labels.get(v) == labels.get(source);
+            prop_assert_eq!(levels.get(v).is_some(), same_component);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties of the extended algorithm set (SSSP, k-core, clustering coefficients,
+// label propagation).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sssp_hop_distances_match_bfs_levels(
+        edges in edges_strategy(),
+        source in 0..N,
+    ) {
+        let g = symmetric_matrix(N, &edges);
+        let hops = lagraph::sssp_hops(&g, source).unwrap();
+        let levels = bfs_levels(&g, source).unwrap();
+        prop_assert_eq!(hops, levels);
+    }
+
+    #[test]
+    fn weighted_sssp_is_bounded_by_hop_count_times_max_weight(
+        edges in edges_strategy(),
+        source in 0..N,
+    ) {
+        // every edge gets weight 3, so dist(v) = 3 * hops(v)
+        let mut weighted_edges: Vec<(usize, usize, u64)> = Vec::new();
+        for &(a, b) in &edges {
+            if a != b {
+                weighted_edges.push((a, b, 3));
+                weighted_edges.push((b, a, 3));
+            }
+        }
+        let g = Matrix::from_tuples(N, N, &weighted_edges, graphblas::ops_traits::First::new()).unwrap();
+        let pattern = symmetric_matrix(N, &edges);
+        let dist = lagraph::sssp(&g, source).unwrap();
+        let hops = lagraph::sssp_hops(&pattern, source).unwrap();
+        prop_assert_eq!(dist.nvals(), hops.nvals());
+        for (v, d) in dist.iter() {
+            prop_assert_eq!(d, hops.get(v).unwrap() * 3);
+        }
+    }
+
+    #[test]
+    fn core_numbers_never_exceed_degree(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let cores = lagraph::kcore_decomposition(&g).unwrap();
+        let degrees = lagraph::degree_vector(&g).unwrap();
+        for v in 0..N {
+            prop_assert!(cores.get(v).unwrap_or(0) <= degrees.get(v).unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn degeneracy_is_the_maximum_core_number(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let cores = lagraph::kcore_decomposition(&g).unwrap();
+        let max_core = cores.values().iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(lagraph::degeneracy(&g).unwrap(), max_core);
+    }
+
+    #[test]
+    fn local_clustering_coefficients_are_in_unit_interval(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let local = lagraph::local_clustering_coefficient(&g).unwrap();
+        for (_, c) in local.iter() {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+        let global = lagraph::global_clustering_coefficient(&g).unwrap();
+        prop_assert!((0.0..=1.0).contains(&global));
+    }
+
+    #[test]
+    fn per_vertex_triangles_sum_to_three_times_total(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let per_vertex = lagraph::triangles_per_vertex(&g).unwrap();
+        let total: u64 = per_vertex.values().iter().sum();
+        prop_assert_eq!(total, 3 * lagraph::triangle_count(&g).unwrap());
+    }
+
+    #[test]
+    fn label_propagation_communities_refine_connected_components(edges in edges_strategy()) {
+        let g = symmetric_matrix(N, &edges);
+        let communities =
+            lagraph::label_propagation(&g, lagraph::LabelPropagationOptions::default()).unwrap();
+        let components = connected_components(&g).unwrap();
+        // two vertices in the same community are necessarily in the same component
+        for a in 0..N {
+            for b in 0..N {
+                if communities.get(a) == communities.get(b) && components.get(a) != components.get(b) {
+                    prop_assert!(false, "community spans two components: {} and {}", a, b);
+                }
+            }
+        }
+        // every vertex gets a label
+        prop_assert_eq!(communities.nvals(), N);
+    }
+
+    #[test]
+    fn kcore_subgraph_vertices_all_have_core_at_least_k(
+        edges in edges_strategy(),
+        k in 0u64..4,
+    ) {
+        let g = symmetric_matrix(N, &edges);
+        let cores = lagraph::kcore_decomposition(&g).unwrap();
+        let (vertices, sub) = lagraph::kcore_subgraph(&g, k).unwrap();
+        prop_assert_eq!(sub.nrows(), vertices.len());
+        for &v in &vertices {
+            prop_assert!(cores.get(v).unwrap_or(0) >= k);
+        }
+        for v in 0..N {
+            if cores.get(v).unwrap_or(0) >= k {
+                prop_assert!(vertices.contains(&v));
+            }
+        }
+    }
+}

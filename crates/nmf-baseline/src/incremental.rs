@@ -1,0 +1,248 @@
+//! The incremental variant of the baseline.
+//!
+//! NMF's incremental engine builds, during the initial evaluation, a dependency graph
+//! from the query expression so that later model changes can be propagated to exactly
+//! the affected parts of the result (the paper observes that this makes NMF
+//! Incremental the *slowest* tool in the load-and-initial-evaluation phase and much
+//! faster in the update phase). This module models the same architecture explicitly:
+//!
+//! * at initialisation, per-element *dependency records* are materialised (post score
+//!   contributions, per-comment liker sets, per-user subscription lists);
+//! * each change notification walks the dependency records and updates only the
+//!   affected scores.
+
+use std::collections::{HashMap, HashSet};
+
+use datagen::{ChangeOperation, ChangeSet, ElementId};
+use ttc_social_media::top_k::{RankedEntry, TopKTracker};
+
+use crate::model::ModelRepository;
+use crate::q1::post_score;
+use crate::q2::comment_score;
+
+/// Dependency records for Q1: the maintained score of every post, plus the reverse
+/// index from a comment to the post whose score depends on it.
+#[derive(Clone, Debug)]
+pub struct Q1Dependencies {
+    scores: HashMap<ElementId, u64>,
+    post_of_comment: HashMap<ElementId, ElementId>,
+    tracker: TopKTracker,
+}
+
+impl Q1Dependencies {
+    /// Build the dependency records (the expensive part of NMF's initial phase) and
+    /// return the initial result.
+    pub fn initialize(repo: &ModelRepository, k: usize) -> (Self, String) {
+        let mut deps = Q1Dependencies {
+            scores: HashMap::with_capacity(repo.posts.len()),
+            post_of_comment: HashMap::with_capacity(repo.comments.len()),
+            tracker: TopKTracker::new(k),
+        };
+        for (&post, _) in &repo.posts {
+            deps.scores.insert(post, post_score(repo, post));
+        }
+        for (&comment, node) in &repo.comments {
+            deps.post_of_comment.insert(comment, node.root_post);
+        }
+        let entries: Vec<RankedEntry> = repo
+            .posts
+            .iter()
+            .map(|(&id, node)| RankedEntry {
+                score: deps.scores[&id],
+                timestamp: node.timestamp,
+                id,
+            })
+            .collect();
+        deps.tracker.rebuild(entries);
+        let result = deps.tracker.format();
+        (deps, result)
+    }
+
+    /// Propagate one changeset through the dependency records.
+    pub fn propagate(&mut self, repo: &ModelRepository, changeset: &ChangeSet) -> String {
+        let mut touched: HashSet<ElementId> = HashSet::new();
+        for op in &changeset.operations {
+            match op {
+                ChangeOperation::AddPost { post } => {
+                    self.scores.entry(post.id).or_insert(0);
+                    touched.insert(post.id);
+                }
+                ChangeOperation::AddComment { comment } => {
+                    self.post_of_comment.insert(comment.id, comment.root_post);
+                    if let Some(score) = self.scores.get_mut(&comment.root_post) {
+                        *score += 10;
+                        touched.insert(comment.root_post);
+                    }
+                }
+                ChangeOperation::AddLike { comment, .. } => {
+                    if let Some(&post) = self.post_of_comment.get(comment) {
+                        if let Some(score) = self.scores.get_mut(&post) {
+                            *score += 1;
+                            touched.insert(post);
+                        }
+                    }
+                }
+                ChangeOperation::AddUser { .. } | ChangeOperation::AddFriendship { .. } => {}
+            }
+        }
+        let changes: Vec<RankedEntry> = touched
+            .into_iter()
+            .map(|post| RankedEntry {
+                score: self.scores[&post],
+                timestamp: repo.posts.get(&post).map(|p| p.timestamp).unwrap_or(0),
+                id: post,
+            })
+            .collect();
+        self.tracker.merge_changes(changes);
+        self.tracker.format()
+    }
+}
+
+/// Dependency records for Q2: the maintained score of every comment plus the reverse
+/// index from a user to the comments whose score depends on that user's likes and
+/// friendships.
+#[derive(Clone, Debug)]
+pub struct Q2Dependencies {
+    scores: HashMap<ElementId, u64>,
+    comments_of_user: HashMap<ElementId, Vec<ElementId>>,
+    tracker: TopKTracker,
+}
+
+impl Q2Dependencies {
+    /// Build the dependency records and return the initial result.
+    pub fn initialize(repo: &ModelRepository, k: usize) -> (Self, String) {
+        let mut deps = Q2Dependencies {
+            scores: HashMap::with_capacity(repo.comments.len()),
+            comments_of_user: HashMap::with_capacity(repo.users.len()),
+            tracker: TopKTracker::new(k),
+        };
+        for (&comment, node) in &repo.comments {
+            deps.scores.insert(comment, comment_score(repo, comment));
+            for &liker in &node.likers {
+                deps.comments_of_user.entry(liker).or_default().push(comment);
+            }
+        }
+        let entries: Vec<RankedEntry> = repo
+            .comments
+            .iter()
+            .map(|(&id, node)| RankedEntry {
+                score: deps.scores[&id],
+                timestamp: node.timestamp,
+                id,
+            })
+            .collect();
+        deps.tracker.rebuild(entries);
+        let result = deps.tracker.format();
+        (deps, result)
+    }
+
+    /// Propagate one changeset: collect the affected comments from the dependency
+    /// records, then recompute exactly those scores on the (already updated) object
+    /// graph.
+    pub fn propagate(&mut self, repo: &ModelRepository, changeset: &ChangeSet) -> String {
+        let mut affected: HashSet<ElementId> = HashSet::new();
+        for op in &changeset.operations {
+            match op {
+                ChangeOperation::AddComment { comment } => {
+                    affected.insert(comment.id);
+                }
+                ChangeOperation::AddLike { user, comment } => {
+                    affected.insert(*comment);
+                    self.comments_of_user.entry(*user).or_default().push(*comment);
+                }
+                ChangeOperation::AddFriendship { a, b } => {
+                    // comments liked by both endpoints may have merged components
+                    let liked_a: HashSet<ElementId> = self
+                        .comments_of_user
+                        .get(a)
+                        .map(|v| v.iter().copied().collect())
+                        .unwrap_or_default();
+                    if let Some(liked_b) = self.comments_of_user.get(b) {
+                        for c in liked_b {
+                            if liked_a.contains(c) {
+                                affected.insert(*c);
+                            }
+                        }
+                    }
+                }
+                ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => {}
+            }
+        }
+        let changes: Vec<RankedEntry> = affected
+            .into_iter()
+            .map(|comment| {
+                let score = comment_score(repo, comment);
+                self.scores.insert(comment, score);
+                RankedEntry {
+                    score,
+                    timestamp: repo
+                        .comments
+                        .get(&comment)
+                        .map(|c| c.timestamp)
+                        .unwrap_or(0),
+                    id: comment,
+                }
+            })
+            .collect();
+        self.tracker.merge_changes(changes);
+        self.tracker.format()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttc_social_media::graph::{paper_example_changeset, paper_example_network};
+
+    #[test]
+    fn q1_dependencies_track_paper_example() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        let (mut deps, initial) = Q1Dependencies::initialize(&repo, 3);
+        assert_eq!(initial, "1|2");
+        repo.apply_changeset(&paper_example_changeset());
+        let updated = deps.propagate(&repo, &paper_example_changeset());
+        assert_eq!(updated, "1|2");
+        assert_eq!(deps.scores[&1], 37);
+        assert_eq!(deps.scores[&2], 10);
+    }
+
+    #[test]
+    fn q2_dependencies_track_paper_example() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        let (mut deps, initial) = Q2Dependencies::initialize(&repo, 3);
+        assert_eq!(initial, "12|11|13");
+        repo.apply_changeset(&paper_example_changeset());
+        let updated = deps.propagate(&repo, &paper_example_changeset());
+        assert_eq!(updated, "12|11|14");
+        assert_eq!(deps.scores[&12], 16);
+        assert_eq!(deps.scores[&14], 1);
+    }
+
+    #[test]
+    fn q1_propagation_matches_full_recomputation() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(211));
+        let mut repo = ModelRepository::from_network(&workload.initial);
+        let (mut deps, _) = Q1Dependencies::initialize(&repo, 3);
+        for cs in &workload.changesets {
+            repo.apply_changeset(cs);
+            let incremental = deps.propagate(&repo, cs);
+            let batch =
+                ttc_social_media::format_result(&crate::q1::q1_ranked(&repo, 3));
+            assert_eq!(incremental, batch);
+        }
+    }
+
+    #[test]
+    fn q2_propagation_matches_full_recomputation() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(213));
+        let mut repo = ModelRepository::from_network(&workload.initial);
+        let (mut deps, _) = Q2Dependencies::initialize(&repo, 3);
+        for cs in &workload.changesets {
+            repo.apply_changeset(cs);
+            let incremental = deps.propagate(&repo, cs);
+            let batch =
+                ttc_social_media::format_result(&crate::q2::q2_ranked(&repo, 3));
+            assert_eq!(incremental, batch);
+        }
+    }
+}

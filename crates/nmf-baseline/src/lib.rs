@@ -1,0 +1,27 @@
+//! # nmf-baseline — the reference-solution baseline of the paper
+//!
+//! The paper compares its GraphBLAS solutions against the case study's reference
+//! implementation written in the .NET Modeling Framework (NMF), in a batch and an
+//! incremental variant. Since the original is a .NET code base, this crate provides a
+//! functionally equivalent Rust baseline with the same architectural split:
+//!
+//! * [`model::ModelRepository`] — an object graph navigated by pointer chasing (no
+//!   linear algebra anywhere in this crate);
+//! * [`q1`] / [`q2`] — straightforward batch query evaluation over the object graph;
+//! * [`incremental`] — dependency-record-based incremental propagation, mimicking
+//!   NMF's incremental engine (expensive to set up, cheap per update);
+//! * [`solution`] — the `NMF Batch` and `NMF Incremental` tool variants behind the
+//!   shared [`ttc_social_media::Solution`] trait, so the Figure 5 harness can run them
+//!   interchangeably with the GraphBLAS variants.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod incremental;
+pub mod model;
+pub mod q1;
+pub mod q2;
+pub mod solution;
+
+pub use model::ModelRepository;
+pub use solution::{NmfBatch, NmfIncremental};

@@ -1,0 +1,228 @@
+//! The object-graph ("model repository") representation used by the baseline.
+//!
+//! The original reference solution of the case study is written against the .NET
+//! Modeling Framework: the social network is an in-memory object graph navigated with
+//! pointer-chasing traversals. This module is the Rust equivalent — hash-map backed
+//! nodes with adjacency lists — deliberately *not* using any linear algebra, so the
+//! comparison against the GraphBLAS solution measures two genuinely different
+//! evaluation strategies on the same workload.
+
+use std::collections::{HashMap, HashSet};
+
+use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
+
+/// A post node and its incoming references.
+#[derive(Clone, Debug, Default)]
+pub struct PostNode {
+    /// Creation timestamp (used for result ordering).
+    pub timestamp: u64,
+    /// All comments (direct or indirect) whose `rootPost` pointer targets this post.
+    pub comments: Vec<ElementId>,
+}
+
+/// A comment node and its incoming references.
+#[derive(Clone, Debug, Default)]
+pub struct CommentNode {
+    /// Creation timestamp (used for result ordering).
+    pub timestamp: u64,
+    /// The root post of the discussion tree.
+    pub root_post: ElementId,
+    /// The parent submission (post or comment).
+    pub parent: ElementId,
+    /// Users who like this comment.
+    pub likers: Vec<ElementId>,
+}
+
+/// A user node and its adjacency.
+#[derive(Clone, Debug, Default)]
+pub struct UserNode {
+    /// Friends of the user (symmetric).
+    pub friends: HashSet<ElementId>,
+    /// Comments the user likes.
+    pub likes: Vec<ElementId>,
+}
+
+/// The in-memory object graph.
+#[derive(Clone, Debug, Default)]
+pub struct ModelRepository {
+    /// Posts by id.
+    pub posts: HashMap<ElementId, PostNode>,
+    /// Comments by id.
+    pub comments: HashMap<ElementId, CommentNode>,
+    /// Users by id.
+    pub users: HashMap<ElementId, UserNode>,
+}
+
+impl ModelRepository {
+    /// Build the object graph from an initial network.
+    pub fn from_network(network: &SocialNetwork) -> Self {
+        let mut repo = ModelRepository::default();
+        for user in &network.users {
+            repo.users.entry(user.id).or_default();
+        }
+        for post in &network.posts {
+            repo.posts.insert(
+                post.id,
+                PostNode {
+                    timestamp: post.timestamp,
+                    comments: Vec::new(),
+                },
+            );
+        }
+        for comment in &network.comments {
+            repo.insert_comment(comment.id, comment.timestamp, comment.parent, comment.root_post);
+        }
+        for &(a, b) in &network.friendships {
+            repo.insert_friendship(a, b);
+        }
+        for &(user, comment) in &network.likes {
+            repo.insert_like(user, comment);
+        }
+        repo
+    }
+
+    /// Apply a changeset to the object graph.
+    pub fn apply_changeset(&mut self, changeset: &ChangeSet) {
+        for op in &changeset.operations {
+            match op {
+                ChangeOperation::AddUser { user } => {
+                    self.users.entry(user.id).or_default();
+                }
+                ChangeOperation::AddPost { post } => {
+                    self.posts.entry(post.id).or_insert(PostNode {
+                        timestamp: post.timestamp,
+                        comments: Vec::new(),
+                    });
+                }
+                ChangeOperation::AddComment { comment } => {
+                    self.insert_comment(
+                        comment.id,
+                        comment.timestamp,
+                        comment.parent,
+                        comment.root_post,
+                    );
+                }
+                ChangeOperation::AddFriendship { a, b } => self.insert_friendship(*a, *b),
+                ChangeOperation::AddLike { user, comment } => self.insert_like(*user, *comment),
+            }
+        }
+    }
+
+    fn insert_comment(
+        &mut self,
+        id: ElementId,
+        timestamp: u64,
+        parent: ElementId,
+        root_post: ElementId,
+    ) {
+        if self.comments.contains_key(&id) {
+            return;
+        }
+        self.comments.insert(
+            id,
+            CommentNode {
+                timestamp,
+                root_post,
+                parent,
+                likers: Vec::new(),
+            },
+        );
+        if let Some(post) = self.posts.get_mut(&root_post) {
+            post.comments.push(id);
+        }
+    }
+
+    fn insert_friendship(&mut self, a: ElementId, b: ElementId) {
+        if a == b {
+            return;
+        }
+        self.users.entry(a).or_default().friends.insert(b);
+        self.users.entry(b).or_default().friends.insert(a);
+    }
+
+    fn insert_like(&mut self, user: ElementId, comment: ElementId) {
+        let Some(node) = self.comments.get_mut(&comment) else {
+            return;
+        };
+        if node.likers.contains(&user) {
+            return;
+        }
+        node.likers.push(user);
+        self.users.entry(user).or_default().likes.push(comment);
+    }
+
+    /// Whether two users are friends.
+    pub fn are_friends(&self, a: ElementId, b: ElementId) -> bool {
+        self.users
+            .get(&a)
+            .map(|u| u.friends.contains(&b))
+            .unwrap_or(false)
+    }
+
+    /// Number of likes received by the comments of a post.
+    pub fn likes_of_post(&self, post: ElementId) -> usize {
+        self.posts
+            .get(&post)
+            .map(|p| {
+                p.comments
+                    .iter()
+                    .map(|c| self.comments.get(c).map(|c| c.likers.len()).unwrap_or(0))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttc_social_media::graph::{paper_example_changeset, paper_example_network};
+
+    #[test]
+    fn builds_object_graph_from_paper_example() {
+        let repo = ModelRepository::from_network(&paper_example_network());
+        assert_eq!(repo.users.len(), 4);
+        assert_eq!(repo.posts.len(), 2);
+        assert_eq!(repo.comments.len(), 3);
+        assert_eq!(repo.posts[&1].comments.len(), 2);
+        assert_eq!(repo.posts[&2].comments.len(), 1);
+        assert_eq!(repo.comments[&12].likers.len(), 3);
+        assert!(repo.are_friends(101, 102));
+        assert!(!repo.are_friends(101, 104));
+        assert_eq!(repo.likes_of_post(1), 5);
+    }
+
+    #[test]
+    fn applies_the_paper_changeset() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        repo.apply_changeset(&paper_example_changeset());
+        assert!(repo.are_friends(101, 104));
+        assert_eq!(repo.comments[&12].likers.len(), 4);
+        assert_eq!(repo.posts[&1].comments.len(), 3);
+        assert_eq!(repo.likes_of_post(1), 7);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_ignored() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        let before_likes = repo.comments[&11].likers.len();
+        repo.apply_changeset(&datagen::ChangeSet {
+            operations: vec![
+                datagen::ChangeOperation::AddLike { user: 102, comment: 11 },
+                datagen::ChangeOperation::AddFriendship { a: 101, b: 102 },
+                datagen::ChangeOperation::AddFriendship { a: 102, b: 102 },
+            ],
+        });
+        assert_eq!(repo.comments[&11].likers.len(), before_likes);
+        assert!(!repo.users[&102].friends.contains(&102));
+    }
+
+    #[test]
+    fn likes_on_unknown_comments_are_dropped() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        repo.apply_changeset(&datagen::ChangeSet {
+            operations: vec![datagen::ChangeOperation::AddLike { user: 101, comment: 999 }],
+        });
+        assert_eq!(repo.comments.len(), 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Q1 (influential posts) over the object graph: the straightforward pointer-chasing
+//! formulation a model-transformation tool would use.
+
+use ttc_social_media::top_k::{top_k, RankedEntry};
+
+use crate::model::ModelRepository;
+
+/// Score of one post: `10 × #comments + #likes-on-those-comments`.
+pub fn post_score(repo: &ModelRepository, post: datagen::ElementId) -> u64 {
+    let Some(node) = repo.posts.get(&post) else {
+        return 0;
+    };
+    let comments = node.comments.len() as u64;
+    let likes: u64 = node
+        .comments
+        .iter()
+        .map(|c| repo.comments.get(c).map(|c| c.likers.len() as u64).unwrap_or(0))
+        .sum();
+    10 * comments + likes
+}
+
+/// Full batch evaluation of Q1: the top-`k` posts.
+pub fn q1_ranked(repo: &ModelRepository, k: usize) -> Vec<RankedEntry> {
+    let entries = repo.posts.iter().map(|(&id, node)| RankedEntry {
+        score: post_score(repo, id),
+        timestamp: node.timestamp,
+        id,
+    });
+    top_k(entries, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttc_social_media::graph::{paper_example_changeset, paper_example_network};
+    use ttc_social_media::top_k::format_result;
+
+    #[test]
+    fn paper_example_scores() {
+        let repo = ModelRepository::from_network(&paper_example_network());
+        assert_eq!(post_score(&repo, 1), 25);
+        assert_eq!(post_score(&repo, 2), 10);
+        assert_eq!(post_score(&repo, 999), 0);
+        assert_eq!(format_result(&q1_ranked(&repo, 3)), "1|2");
+    }
+
+    #[test]
+    fn paper_example_after_update() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        repo.apply_changeset(&paper_example_changeset());
+        assert_eq!(post_score(&repo, 1), 37);
+        assert_eq!(post_score(&repo, 2), 10);
+    }
+
+    #[test]
+    fn matches_graphblas_batch_on_synthetic_workload() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(201));
+        let repo = ModelRepository::from_network(&workload.initial);
+        let graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        let graphblas = ttc_social_media::q1::q1_batch_ranked(&graph, false, 3);
+        let nmf = q1_ranked(&repo, 3);
+        assert_eq!(format_result(&graphblas), format_result(&nmf));
+    }
+}

@@ -1,0 +1,126 @@
+//! Q2 (influential comments) over the object graph: per comment, group the likers into
+//! connected components of the friendship relation using a small union–find, then sum
+//! the squared component sizes.
+
+use std::collections::HashMap;
+
+use datagen::ElementId;
+use ttc_social_media::top_k::{top_k, RankedEntry};
+
+use crate::model::ModelRepository;
+
+/// A minimal union–find used by the baseline (kept local so the baseline stays a
+/// self-contained "different tool" and does not reuse the GraphBLAS stack).
+pub(crate) struct TinyUnionFind {
+    parent: Vec<usize>,
+}
+
+impl TinyUnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        TinyUnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Sum of squared component sizes over all elements.
+    pub(crate) fn sum_of_squared_sizes(&mut self) -> u64 {
+        let n = self.parent.len();
+        let mut sizes: HashMap<usize, u64> = HashMap::new();
+        for x in 0..n {
+            let root = self.find(x);
+            *sizes.entry(root).or_insert(0) += 1;
+        }
+        sizes.values().map(|&s| s * s).sum()
+    }
+}
+
+/// Score of one comment: Σᵢ csᵢ² over the components of the likers' friendship
+/// subgraph.
+pub fn comment_score(repo: &ModelRepository, comment: ElementId) -> u64 {
+    let Some(node) = repo.comments.get(&comment) else {
+        return 0;
+    };
+    let likers = &node.likers;
+    if likers.is_empty() {
+        return 0;
+    }
+    let mut uf = TinyUnionFind::new(likers.len());
+    for (i, &a) in likers.iter().enumerate() {
+        for (j, &b) in likers.iter().enumerate().skip(i + 1) {
+            if repo.are_friends(a, b) {
+                uf.union(i, j);
+            }
+        }
+    }
+    uf.sum_of_squared_sizes()
+}
+
+/// Full batch evaluation of Q2: the top-`k` comments.
+pub fn q2_ranked(repo: &ModelRepository, k: usize) -> Vec<RankedEntry> {
+    let entries = repo.comments.iter().map(|(&id, node)| RankedEntry {
+        score: comment_score(repo, id),
+        timestamp: node.timestamp,
+        id,
+    });
+    top_k(entries, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttc_social_media::graph::{paper_example_changeset, paper_example_network};
+    use ttc_social_media::top_k::format_result;
+
+    #[test]
+    fn paper_example_scores() {
+        let repo = ModelRepository::from_network(&paper_example_network());
+        assert_eq!(comment_score(&repo, 11), 4);
+        assert_eq!(comment_score(&repo, 12), 5);
+        assert_eq!(comment_score(&repo, 13), 0);
+        assert_eq!(comment_score(&repo, 999), 0);
+        assert_eq!(format_result(&q2_ranked(&repo, 3)), "12|11|13");
+    }
+
+    #[test]
+    fn paper_example_after_update() {
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        repo.apply_changeset(&paper_example_changeset());
+        assert_eq!(comment_score(&repo, 12), 16);
+        assert_eq!(comment_score(&repo, 14), 1);
+        assert_eq!(format_result(&q2_ranked(&repo, 3)), "12|11|14");
+    }
+
+    #[test]
+    fn matches_graphblas_batch_on_synthetic_workload() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(203));
+        let repo = ModelRepository::from_network(&workload.initial);
+        let graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        let graphblas = ttc_social_media::q2::q2_batch_ranked(&graph, false, 3);
+        let nmf = q2_ranked(&repo, 3);
+        assert_eq!(format_result(&graphblas), format_result(&nmf));
+    }
+
+    #[test]
+    fn union_find_counts_squared_sizes() {
+        let mut uf = TinyUnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.sum_of_squared_sizes(), 9 + 1 + 1);
+    }
+}

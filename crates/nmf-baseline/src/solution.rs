@@ -1,0 +1,163 @@
+//! The two baseline tool variants of the paper's Fig. 5: **NMF Batch** (full
+//! recomputation over the object graph on every evaluation) and **NMF Incremental**
+//! (dependency-record propagation).
+
+use datagen::{ChangeSet, SocialNetwork};
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::{Solution, TOP_K};
+use ttc_social_media::top_k::format_result;
+
+use crate::incremental::{Q1Dependencies, Q2Dependencies};
+use crate::model::ModelRepository;
+use crate::q1::q1_ranked;
+use crate::q2::q2_ranked;
+
+/// "NMF Batch": rebuild nothing, recompute everything on each evaluation.
+pub struct NmfBatch {
+    query: Query,
+    repo: ModelRepository,
+}
+
+impl NmfBatch {
+    /// Create a batch baseline for `query`.
+    pub fn new(query: Query) -> Self {
+        NmfBatch {
+            query,
+            repo: ModelRepository::default(),
+        }
+    }
+
+    fn evaluate(&self) -> String {
+        match self.query {
+            Query::Q1 => format_result(&q1_ranked(&self.repo, TOP_K)),
+            Query::Q2 => format_result(&q2_ranked(&self.repo, TOP_K)),
+        }
+    }
+}
+
+impl Solution for NmfBatch {
+    fn name(&self) -> String {
+        "NMF Batch".to_string()
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        self.repo = ModelRepository::from_network(network);
+        self.evaluate()
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        self.repo.apply_changeset(changeset);
+        self.evaluate()
+    }
+}
+
+enum DependencyState {
+    Unloaded,
+    Q1(Q1Dependencies),
+    Q2(Q2Dependencies),
+}
+
+/// "NMF Incremental": build dependency records during the initial evaluation, then
+/// propagate changes.
+pub struct NmfIncremental {
+    query: Query,
+    repo: ModelRepository,
+    state: DependencyState,
+}
+
+impl NmfIncremental {
+    /// Create an incremental baseline for `query`.
+    pub fn new(query: Query) -> Self {
+        NmfIncremental {
+            query,
+            repo: ModelRepository::default(),
+            state: DependencyState::Unloaded,
+        }
+    }
+}
+
+impl Solution for NmfIncremental {
+    fn name(&self) -> String {
+        "NMF Incremental".to_string()
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        self.repo = ModelRepository::from_network(network);
+        match self.query {
+            Query::Q1 => {
+                let (deps, result) = Q1Dependencies::initialize(&self.repo, TOP_K);
+                self.state = DependencyState::Q1(deps);
+                result
+            }
+            Query::Q2 => {
+                let (deps, result) = Q2Dependencies::initialize(&self.repo, TOP_K);
+                self.state = DependencyState::Q2(deps);
+                result
+            }
+        }
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        self.repo.apply_changeset(changeset);
+        match &mut self.state {
+            DependencyState::Q1(deps) => deps.propagate(&self.repo, changeset),
+            DependencyState::Q2(deps) => deps.propagate(&self.repo, changeset),
+            DependencyState::Unloaded => {
+                panic!("update_and_reevaluate called before load_and_initial")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::GeneratorConfig;
+    use ttc_social_media::solution::run_solution;
+    use ttc_social_media::GraphBlasIncremental;
+
+    #[test]
+    fn names_and_queries() {
+        assert_eq!(NmfBatch::new(Query::Q1).name(), "NMF Batch");
+        assert_eq!(NmfIncremental::new(Query::Q2).name(), "NMF Incremental");
+        assert_eq!(NmfBatch::new(Query::Q2).query(), Query::Q2);
+        assert_eq!(NmfIncremental::new(Query::Q1).query(), Query::Q1);
+    }
+
+    #[test]
+    fn nmf_variants_agree_with_graphblas_on_q1() {
+        let workload = datagen::generate_workload(&GeneratorConfig::tiny(221));
+        let mut graphblas = GraphBlasIncremental::new(Query::Q1, false);
+        let mut nmf_batch = NmfBatch::new(Query::Q1);
+        let mut nmf_incremental = NmfIncremental::new(Query::Q1);
+        let reference = run_solution(&mut graphblas, &workload);
+        assert_eq!(reference, run_solution(&mut nmf_batch, &workload));
+        assert_eq!(reference, run_solution(&mut nmf_incremental, &workload));
+    }
+
+    #[test]
+    fn nmf_variants_agree_with_graphblas_on_q2() {
+        let workload = datagen::generate_workload(&GeneratorConfig::tiny(223));
+        let mut graphblas = GraphBlasIncremental::new(Query::Q2, false);
+        let mut nmf_batch = NmfBatch::new(Query::Q2);
+        let mut nmf_incremental = NmfIncremental::new(Query::Q2);
+        let reference = run_solution(&mut graphblas, &workload);
+        assert_eq!(reference, run_solution(&mut nmf_batch, &workload));
+        assert_eq!(reference, run_solution(&mut nmf_incremental, &workload));
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_before_load_panics() {
+        let mut s = NmfIncremental::new(Query::Q1);
+        let _ = s.update_and_reevaluate(&ChangeSet::default());
+    }
+}

@@ -1,0 +1,364 @@
+//! The GraphBLAS representation of the social network: one sparse matrix per edge
+//! type, plus the id registries and the timestamps needed for result ordering.
+//!
+//! Following Sec. II of the paper, edges are stored **per type**, and the rows and
+//! columns of each matrix represent the source and target node types of that edge
+//! type (so the matrices are rectangular):
+//!
+//! * `RootPost ∈ B^{|posts| × |comments|}` — comment → root post, stored transposed
+//!   (posts in rows) exactly as the paper's Q1 uses it,
+//! * `Likes ∈ B^{|comments| × |users|}` — user → comment likes, stored with comments
+//!   in rows as in the paper's Q2 figure,
+//! * `Friends ∈ B^{|users| × |users|}` — symmetric friendship matrix,
+//! * `Commented ∈ B^{|comments| × |comments|}` — comment → parent comment edges (the
+//!   submission tree without the post roots).
+//!
+//! Stored values are `1_u64` so the counting semirings apply directly.
+
+use datagen::{ElementId, SocialNetwork};
+use graphblas::ops_traits::First;
+use graphblas::{Index, Matrix, Vector};
+
+use crate::model::IdMap;
+
+/// The matrix store for one social network instance.
+#[derive(Clone, Debug)]
+pub struct SocialGraph {
+    /// Post id registry (row space of `root_post`).
+    pub posts: IdMap,
+    /// Comment id registry (column space of `root_post`, row space of `likes`).
+    pub comments: IdMap,
+    /// User id registry (column space of `likes`, both spaces of `friends`).
+    pub users: IdMap,
+    /// `posts × comments` matrix: `root_post[p][c] = 1` iff comment `c`'s root is `p`.
+    pub root_post: Matrix<u64>,
+    /// `comments × users` matrix: `likes[c][u] = 1` iff user `u` likes comment `c`.
+    pub likes: Matrix<u64>,
+    /// `users × users` symmetric matrix of friendships.
+    pub friends: Matrix<u64>,
+    /// `comments × comments` matrix of comment → parent-comment edges.
+    pub commented: Matrix<u64>,
+    /// Timestamp of each post, indexed by the dense post index.
+    pub post_timestamps: Vec<u64>,
+    /// Timestamp of each comment, indexed by the dense comment index.
+    pub comment_timestamps: Vec<u64>,
+}
+
+impl SocialGraph {
+    /// Create an empty graph (no nodes, no edges).
+    pub fn empty() -> Self {
+        SocialGraph {
+            posts: IdMap::new(),
+            comments: IdMap::new(),
+            users: IdMap::new(),
+            root_post: Matrix::new(0, 0),
+            likes: Matrix::new(0, 0),
+            friends: Matrix::new(0, 0),
+            commented: Matrix::new(0, 0),
+            post_timestamps: Vec::new(),
+            comment_timestamps: Vec::new(),
+        }
+    }
+
+    /// Build the matrix representation of an initial social network.
+    pub fn from_network(network: &SocialNetwork) -> Self {
+        let mut posts = IdMap::new();
+        let mut comments = IdMap::new();
+        let mut users = IdMap::new();
+        let mut post_timestamps = Vec::with_capacity(network.posts.len());
+        let mut comment_timestamps = Vec::with_capacity(network.comments.len());
+
+        for user in &network.users {
+            users.get_or_insert(user.id);
+        }
+        for post in &network.posts {
+            posts.get_or_insert(post.id);
+            post_timestamps.push(post.timestamp);
+        }
+        for comment in &network.comments {
+            comments.get_or_insert(comment.id);
+            comment_timestamps.push(comment.timestamp);
+        }
+
+        let np = posts.len();
+        let nc = comments.len();
+        let nu = users.len();
+
+        let mut root_post_tuples: Vec<(Index, Index, u64)> = Vec::with_capacity(nc);
+        let mut commented_tuples: Vec<(Index, Index, u64)> = Vec::new();
+        for comment in &network.comments {
+            let c = comments.index_of(comment.id).expect("registered above");
+            let p = posts
+                .index_of(comment.root_post)
+                .expect("rootPost references an existing post");
+            root_post_tuples.push((p, c, 1));
+            if let Some(parent_c) = comments.index_of(comment.parent) {
+                commented_tuples.push((c, parent_c, 1));
+            }
+        }
+
+        let likes_tuples: Vec<(Index, Index, u64)> = network
+            .likes
+            .iter()
+            .filter_map(|&(user, comment)| {
+                match (comments.index_of(comment), users.index_of(user)) {
+                    (Some(c), Some(u)) => Some((c, u, 1)),
+                    _ => None,
+                }
+            })
+            .collect();
+
+        let mut friends_tuples: Vec<(Index, Index, u64)> =
+            Vec::with_capacity(network.friendships.len() * 2);
+        for &(a, b) in &network.friendships {
+            if let (Some(ia), Some(ib)) = (users.index_of(a), users.index_of(b)) {
+                friends_tuples.push((ia, ib, 1));
+                friends_tuples.push((ib, ia, 1));
+            }
+        }
+
+        SocialGraph {
+            root_post: Matrix::from_tuples(np, nc, &root_post_tuples, First::new())
+                .expect("indices in range by construction"),
+            likes: Matrix::from_tuples(nc, nu, &likes_tuples, First::new())
+                .expect("indices in range by construction"),
+            friends: Matrix::from_tuples(nu, nu, &friends_tuples, First::new())
+                .expect("indices in range by construction"),
+            commented: Matrix::from_tuples(nc, nc, &commented_tuples, First::new())
+                .expect("indices in range by construction"),
+            posts,
+            comments,
+            users,
+            post_timestamps,
+            comment_timestamps,
+        }
+    }
+
+    /// Number of posts.
+    pub fn post_count(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Number of comments.
+    pub fn comment_count(&self) -> usize {
+        self.comments.len()
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Per-comment number of incoming likes (`likesCount` in the paper's Alg. 1),
+    /// as a sparse vector over the comment index space.
+    pub fn likes_count(&self) -> Vector<u64> {
+        graphblas::ops::reduce_matrix_rows(&self.likes, graphblas::monoid::stock::plus())
+    }
+
+    /// Timestamp used for ordering results of Q1 (posts).
+    pub fn post_timestamp(&self, index: Index) -> u64 {
+        self.post_timestamps[index]
+    }
+
+    /// Timestamp used for ordering results of Q2 (comments).
+    pub fn comment_timestamp(&self, index: Index) -> u64 {
+        self.comment_timestamps[index]
+    }
+
+    /// External id of a post index.
+    pub fn post_id(&self, index: Index) -> ElementId {
+        self.posts.id_of(index)
+    }
+
+    /// External id of a comment index.
+    pub fn comment_id(&self, index: Index) -> ElementId {
+        self.comments.id_of(index)
+    }
+
+    /// Check internal consistency (dimensions of matrices vs registries). Intended for
+    /// tests and debug assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let np = self.posts.len();
+        let nc = self.comments.len();
+        let nu = self.users.len();
+        if self.root_post.nrows() != np || self.root_post.ncols() != nc {
+            return Err(format!(
+                "root_post is {}x{}, expected {}x{}",
+                self.root_post.nrows(),
+                self.root_post.ncols(),
+                np,
+                nc
+            ));
+        }
+        if self.likes.nrows() != nc || self.likes.ncols() != nu {
+            return Err(format!(
+                "likes is {}x{}, expected {}x{}",
+                self.likes.nrows(),
+                self.likes.ncols(),
+                nc,
+                nu
+            ));
+        }
+        if self.friends.nrows() != nu || self.friends.ncols() != nu {
+            return Err(format!(
+                "friends is {}x{}, expected {}x{}",
+                self.friends.nrows(),
+                self.friends.ncols(),
+                nu,
+                nu
+            ));
+        }
+        if self.commented.nrows() != nc || self.commented.ncols() != nc {
+            return Err(format!(
+                "commented is {}x{}, expected {}x{}",
+                self.commented.nrows(),
+                self.commented.ncols(),
+                nc,
+                nc
+            ));
+        }
+        if self.post_timestamps.len() != np {
+            return Err("post_timestamps length mismatch".into());
+        }
+        if self.comment_timestamps.len() != nc {
+            return Err("comment_timestamps length mismatch".into());
+        }
+        // friendship matrix must be symmetric
+        for (a, b, _) in self.friends.iter() {
+            if self.friends.get(b, a).is_none() {
+                return Err(format!("friends matrix not symmetric at ({a}, {b})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the example graph of Fig. 3a of the paper: two posts, three comments, four
+/// users. Used extensively by tests and the quickstart example.
+pub fn paper_example_network() -> SocialNetwork {
+    use datagen::{Comment, Post, User};
+    SocialNetwork {
+        users: vec![
+            User { id: 101, name: "u1".into() },
+            User { id: 102, name: "u2".into() },
+            User { id: 103, name: "u3".into() },
+            User { id: 104, name: "u4".into() },
+        ],
+        posts: vec![
+            Post { id: 1, timestamp: 10, author: 101 },
+            Post { id: 2, timestamp: 11, author: 102 },
+        ],
+        comments: vec![
+            // c1 and c2 belong to p1 (c2 replies to c1), c3 belongs to p2
+            Comment { id: 11, timestamp: 20, author: 102, parent: 1, root_post: 1 },
+            Comment { id: 12, timestamp: 21, author: 103, parent: 11, root_post: 1 },
+            Comment { id: 13, timestamp: 22, author: 104, parent: 2, root_post: 2 },
+        ],
+        // friendships as drawn in Fig. 3a: u1-u2, u2-u3, u3-u4
+        friendships: vec![(101, 102), (102, 103), (103, 104)],
+        // likes as in Fig. 4b: c1 is liked by u2 and u3; c2 is liked by u1, u3 and u4
+        likes: vec![(102, 11), (103, 11), (101, 12), (103, 12), (104, 12)],
+    }
+}
+
+/// The update of Fig. 3b of the paper: a friends edge u1–u4, a likes edge u2→c2, and a
+/// new comment c4 (root p1, parent c1) liked by u4.
+pub fn paper_example_changeset() -> datagen::ChangeSet {
+    use datagen::{ChangeOperation, Comment};
+    datagen::ChangeSet {
+        operations: vec![
+            ChangeOperation::AddFriendship { a: 101, b: 104 },
+            ChangeOperation::AddLike { user: 102, comment: 12 },
+            ChangeOperation::AddComment {
+                comment: Comment {
+                    id: 14,
+                    timestamp: 30,
+                    author: 101,
+                    parent: 11,
+                    root_post: 1,
+                },
+            },
+            ChangeOperation::AddLike { user: 104, comment: 14 },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_matrices_with_correct_dimensions() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        assert_eq!(g.post_count(), 2);
+        assert_eq!(g.comment_count(), 3);
+        assert_eq!(g.user_count(), 4);
+        assert_eq!(g.root_post.nrows(), 2);
+        assert_eq!(g.root_post.ncols(), 3);
+        assert_eq!(g.likes.nrows(), 3);
+        assert_eq!(g.likes.ncols(), 4);
+        assert_eq!(g.friends.nrows(), 4);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn root_post_edges_match_the_figure() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let p1 = g.posts.index_of(1).unwrap();
+        let p2 = g.posts.index_of(2).unwrap();
+        let c1 = g.comments.index_of(11).unwrap();
+        let c2 = g.comments.index_of(12).unwrap();
+        let c3 = g.comments.index_of(13).unwrap();
+        assert_eq!(g.root_post.get(p1, c1), Some(1));
+        assert_eq!(g.root_post.get(p1, c2), Some(1));
+        assert_eq!(g.root_post.get(p2, c3), Some(1));
+        assert_eq!(g.root_post.nvals(), 3);
+    }
+
+    #[test]
+    fn likes_count_matches_figure() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let counts = g.likes_count();
+        let c1 = g.comments.index_of(11).unwrap();
+        let c2 = g.comments.index_of(12).unwrap();
+        let c3 = g.comments.index_of(13).unwrap();
+        assert_eq!(counts.get(c1), Some(2));
+        assert_eq!(counts.get(c2), Some(3));
+        assert_eq!(counts.get(c3), None); // no likes on c3
+    }
+
+    #[test]
+    fn friends_matrix_is_symmetric() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        assert_eq!(g.friends.nvals(), 6); // 3 undirected pairs
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn commented_edges_link_child_to_parent_comment() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let c1 = g.comments.index_of(11).unwrap();
+        let c2 = g.comments.index_of(12).unwrap();
+        assert_eq!(g.commented.get(c2, c1), Some(1));
+        assert_eq!(g.commented.nvals(), 1); // only c2 replies to a comment
+    }
+
+    #[test]
+    fn empty_graph_is_consistent() {
+        let g = SocialGraph::empty();
+        g.check_consistency().unwrap();
+        assert_eq!(g.post_count(), 0);
+        assert_eq!(g.likes_count().nvals(), 0);
+    }
+
+    #[test]
+    fn timestamps_are_recorded_per_index() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let p1 = g.posts.index_of(1).unwrap();
+        assert_eq!(g.post_timestamp(p1), 10);
+        let c3 = g.comments.index_of(13).unwrap();
+        assert_eq!(g.comment_timestamp(c3), 22);
+        assert_eq!(g.post_id(p1), 1);
+        assert_eq!(g.comment_id(c3), 13);
+    }
+}

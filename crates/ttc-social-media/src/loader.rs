@@ -1,0 +1,91 @@
+//! Loading networks and changesets from the benchmark's CSV layout.
+//!
+//! The original TTC 2018 framework distributes the initial model and the change
+//! sequences as pipe-separated CSV files. The `datagen` crate defines that textual
+//! format (and can emit it for synthetic workloads); this module parses it and builds
+//! the GraphBLAS representation, which is the "load" part of the benchmark's
+//! *load and initial evaluation* phase.
+
+use datagen::{ChangeSet, NetworkCsv, SocialNetwork, Workload};
+
+use crate::graph::SocialGraph;
+
+/// Errors raised while loading benchmark inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError(pub String);
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "load error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parse an initial network from its CSV rendering and build the matrix
+/// representation.
+pub fn load_graph_from_csv(csv: &NetworkCsv) -> Result<SocialGraph, LoadError> {
+    let network = datagen::network_from_csv(csv).map_err(LoadError)?;
+    Ok(SocialGraph::from_network(&network))
+}
+
+/// Parse a changeset from its CSV rendering.
+pub fn load_changeset_from_csv(text: &str) -> Result<ChangeSet, LoadError> {
+    datagen::changeset_from_csv(text).map_err(LoadError)
+}
+
+/// Parse a full workload (initial network + changesets) from CSV renderings.
+pub fn load_workload_from_csv(
+    network: &NetworkCsv,
+    changesets: &[String],
+) -> Result<Workload, LoadError> {
+    let initial: SocialNetwork = datagen::network_from_csv(network).map_err(LoadError)?;
+    let mut parsed = Vec::with_capacity(changesets.len());
+    for cs in changesets {
+        parsed.push(load_changeset_from_csv(cs)?);
+    }
+    Ok(Workload {
+        initial,
+        changesets: parsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_network;
+    use datagen::GeneratorConfig;
+
+    #[test]
+    fn load_graph_roundtrips_through_csv() {
+        let network = paper_example_network();
+        let csv = datagen::network_to_csv(&network);
+        let graph = load_graph_from_csv(&csv).unwrap();
+        assert_eq!(graph.post_count(), 2);
+        assert_eq!(graph.comment_count(), 3);
+        assert_eq!(graph.user_count(), 4);
+        graph.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn load_workload_roundtrips_through_csv() {
+        let workload = datagen::generate_workload(&GeneratorConfig::tiny(81));
+        let network_csv = datagen::network_to_csv(&workload.initial);
+        let changeset_csvs: Vec<String> = workload
+            .changesets
+            .iter()
+            .map(datagen::changeset_to_csv)
+            .collect();
+        let loaded = load_workload_from_csv(&network_csv, &changeset_csvs).unwrap();
+        assert_eq!(loaded, workload);
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let mut csv = datagen::network_to_csv(&paper_example_network());
+        csv.posts.push_str("garbage-line\n");
+        let err = load_graph_from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("posts"));
+        assert!(load_changeset_from_csv("Z|1\n").is_err());
+    }
+}

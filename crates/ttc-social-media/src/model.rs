@@ -1,0 +1,141 @@
+//! Id registries: mapping between the external element ids of the social network and
+//! the dense matrix indices used by the GraphBLAS representation.
+//!
+//! The case-study data identifies users, posts and comments by sparse 64-bit ids; the
+//! GraphBLAS matrices need dense 0-based row/column indices per node type. An
+//! [`IdMap`] maintains the bijection and grows monotonically as changesets introduce
+//! new elements (indices are never reused, matching the "insert-only" workload).
+
+use std::collections::HashMap;
+
+use datagen::ElementId;
+use graphblas::Index;
+
+/// A growable bijection between external element ids and dense indices `0..len`.
+#[derive(Clone, Debug, Default)]
+pub struct IdMap {
+    forward: HashMap<ElementId, Index>,
+    backward: Vec<ElementId>,
+}
+
+impl IdMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        IdMap::default()
+    }
+
+    /// Number of registered ids (also the dimension of the corresponding matrix axis).
+    pub fn len(&self) -> usize {
+        self.backward.len()
+    }
+
+    /// Whether no ids are registered.
+    pub fn is_empty(&self) -> bool {
+        self.backward.is_empty()
+    }
+
+    /// Register `id` if new and return its dense index.
+    pub fn get_or_insert(&mut self, id: ElementId) -> Index {
+        if let Some(&idx) = self.forward.get(&id) {
+            return idx;
+        }
+        let idx = self.backward.len();
+        self.forward.insert(id, idx);
+        self.backward.push(id);
+        idx
+    }
+
+    /// Dense index of `id`, if registered.
+    pub fn index_of(&self, id: ElementId) -> Option<Index> {
+        self.forward.get(&id).copied()
+    }
+
+    /// External id stored at dense index `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    pub fn id_of(&self, index: Index) -> ElementId {
+        self.backward[index]
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.forward.contains_key(&id)
+    }
+
+    /// Iterate `(index, id)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, ElementId)> + '_ {
+        self.backward.iter().copied().enumerate()
+    }
+}
+
+/// Identifies which of the two case-study queries a solution answers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Q1: influential posts.
+    Q1,
+    /// Q2: influential comments.
+    Q2,
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::Q1 => write!(f, "Q1"),
+            Query::Q2 => write!(f, "Q2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_insert_assigns_sequential_indices() {
+        let mut map = IdMap::new();
+        assert_eq!(map.get_or_insert(100), 0);
+        assert_eq!(map.get_or_insert(7), 1);
+        assert_eq!(map.get_or_insert(100), 0); // idempotent
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn lookups_work_both_directions() {
+        let mut map = IdMap::new();
+        map.get_or_insert(55);
+        map.get_or_insert(66);
+        assert_eq!(map.index_of(55), Some(0));
+        assert_eq!(map.index_of(66), Some(1));
+        assert_eq!(map.index_of(77), None);
+        assert_eq!(map.id_of(0), 55);
+        assert_eq!(map.id_of(1), 66);
+        assert!(map.contains(55));
+        assert!(!map.contains(77));
+    }
+
+    #[test]
+    fn iter_returns_pairs_in_index_order() {
+        let mut map = IdMap::new();
+        map.get_or_insert(9);
+        map.get_or_insert(3);
+        map.get_or_insert(5);
+        let pairs: Vec<(usize, u64)> = map.iter().collect();
+        assert_eq!(pairs, vec![(0, 9), (1, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn empty_map() {
+        let map = IdMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.index_of(1), None);
+    }
+
+    #[test]
+    fn query_display() {
+        assert_eq!(Query::Q1.to_string(), "Q1");
+        assert_eq!(Query::Q2.to_string(), "Q2");
+    }
+}

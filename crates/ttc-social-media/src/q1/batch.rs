@@ -1,0 +1,146 @@
+//! Q1 batch evaluation (Alg. 1 of the paper).
+//!
+//! ```text
+//! sum            ← [⊕ⱼ RootPost(:, j)]        row-wise sum: #comments per post
+//! repliesScores  ← 10 × sum                    GrB_apply with "×10"
+//! likesScore     ← RootPost ⊕.⊗ likesCount     #likes received via the post's comments
+//! scores         ← repliesScores ⊕ likesScore
+//! ```
+
+use graphblas::monoid::stock as monoids;
+use graphblas::ops::{
+    apply_vector, ewise_add_vector, mxv, mxv_par, reduce_matrix_rows, reduce_matrix_rows_par,
+};
+use graphblas::ops_traits::{Plus, TimesConstant};
+use graphblas::semiring::stock as semirings;
+use graphblas::Vector;
+
+use crate::graph::SocialGraph;
+use crate::top_k::{top_k, RankedEntry};
+
+/// Compute the Q1 score vector (indexed by dense post index). Posts without comments
+/// have no stored entry (score 0).
+pub fn q1_batch_scores(graph: &SocialGraph, parallel: bool) -> Vector<u64> {
+    let likes_count = graph.likes_count();
+
+    // Line 6: number of comments per post (the stored values of RootPost are all 1).
+    let sum = if parallel {
+        reduce_matrix_rows_par(&graph.root_post, monoids::plus::<u64>())
+    } else {
+        reduce_matrix_rows(&graph.root_post, monoids::plus::<u64>())
+    };
+
+    // Line 7: multiply by 10.
+    let replies_scores = apply_vector(&sum, TimesConstant::new(10u64));
+
+    // Line 8: likes received through the post's comments.
+    let likes_score = if parallel {
+        mxv_par(&graph.root_post, &likes_count, semirings::plus_second::<u64>())
+    } else {
+        mxv(&graph.root_post, &likes_count, semirings::plus_second::<u64>())
+    }
+    .expect("RootPost columns equal the likesCount dimension");
+
+    // Line 9: total score.
+    ewise_add_vector(&replies_scores, &likes_score, Plus::new())
+        .expect("both score vectors live in the post index space")
+}
+
+/// Full Q1 evaluation: scores for every post (implicit zeros included) ranked by the
+/// benchmark ordering.
+pub fn q1_batch_ranked(graph: &SocialGraph, parallel: bool, k: usize) -> Vec<RankedEntry> {
+    let scores = q1_batch_scores(graph, parallel);
+    let entries = (0..graph.post_count()).map(|p| RankedEntry {
+        score: scores.get(p).unwrap_or(0),
+        timestamp: graph.post_timestamp(p),
+        id: graph.post_id(p),
+    });
+    top_k(entries, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+    use crate::top_k::format_result;
+    use crate::update::apply_changeset;
+
+    #[test]
+    fn initial_scores_match_figure_3a() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let scores = q1_batch_scores(&g, false);
+        let p1 = g.posts.index_of(1).unwrap();
+        let p2 = g.posts.index_of(2).unwrap();
+        // p1: 2 comments (20) + 5 likes = 25; p2: 1 comment (10) + 0 likes = 10
+        assert_eq!(scores.get(p1), Some(25));
+        assert_eq!(scores.get(p2), Some(10));
+    }
+
+    #[test]
+    fn updated_scores_match_figure_3b() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        apply_changeset(&mut g, &paper_example_changeset());
+        let scores = q1_batch_scores(&g, false);
+        let p1 = g.posts.index_of(1).unwrap();
+        let p2 = g.posts.index_of(2).unwrap();
+        // p1 gains comment c4 (+10) and two new likes (+2): 25 + 12 = 37
+        assert_eq!(scores.get(p1), Some(37));
+        assert_eq!(scores.get(p2), Some(10));
+    }
+
+    #[test]
+    fn parallel_scores_match_serial() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        apply_changeset(&mut g, &paper_example_changeset());
+        assert_eq!(q1_batch_scores(&g, false), q1_batch_scores(&g, true));
+    }
+
+    #[test]
+    fn ranking_orders_posts_by_score() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let ranked = q1_batch_ranked(&g, false, 3);
+        assert_eq!(format_result(&ranked), "1|2");
+        assert_eq!(ranked[0].score, 25);
+    }
+
+    #[test]
+    fn posts_without_comments_score_zero_and_are_still_ranked() {
+        let mut network = paper_example_network();
+        network.posts.push(datagen::Post {
+            id: 3,
+            timestamp: 99,
+            author: 101,
+        });
+        let g = SocialGraph::from_network(&network);
+        let ranked = q1_batch_ranked(&g, false, 3);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[2].id, 3);
+        assert_eq!(ranked[2].score, 0);
+    }
+
+    #[test]
+    fn scores_on_synthetic_workload_are_consistent_with_definition() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(21));
+        let g = SocialGraph::from_network(&workload.initial);
+        let scores = q1_batch_scores(&g, false);
+        // direct recomputation from the object model
+        for post in &workload.initial.posts {
+            let comments: Vec<u64> = workload
+                .initial
+                .comments
+                .iter()
+                .filter(|c| c.root_post == post.id)
+                .map(|c| c.id)
+                .collect();
+            let likes = workload
+                .initial
+                .likes
+                .iter()
+                .filter(|(_, c)| comments.contains(c))
+                .count() as u64;
+            let expected = 10 * comments.len() as u64 + likes;
+            let p = g.posts.index_of(post.id).unwrap();
+            assert_eq!(scores.get(p).unwrap_or(0), expected, "post {}", post.id);
+        }
+    }
+}

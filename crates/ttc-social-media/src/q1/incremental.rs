@@ -1,0 +1,237 @@
+//! Q1 incremental maintenance (Alg. 2 of the paper).
+//!
+//! The state between evaluations is the full score vector and the current top-3
+//! candidates. After a changeset, only the score *increment* is computed:
+//!
+//! ```text
+//! sum            ← [⊕ⱼ ∆RootPost(:, j)]        #new comments per post
+//! repliesScores⁺ ← 10 × sum
+//! likesScore⁺    ← RootPost′ ⊕.⊗ likesCount⁺    new likes, attributed via all comments
+//! scores⁺        ← repliesScores⁺ ⊕ likesScore⁺
+//! scores′        ← scores ⊕ scores⁺
+//! ∆scores⟨scores⁺⟩ ← scores′                    only the changed scores
+//! ```
+//!
+//! The changed scores are merged into the previous top-3 (new scores overwrite old
+//! ones), which is exact because the insert-only workload never decreases a score.
+
+use graphblas::monoid::stock as monoids;
+use graphblas::ops::{
+    apply_vector, assign_vector_masked, ewise_add_vector, mxv, mxv_par, reduce_matrix_rows,
+};
+use graphblas::ops_traits::{Plus, TimesConstant};
+use graphblas::semiring::stock as semirings;
+use graphblas::{Vector, VectorMask};
+
+use crate::graph::SocialGraph;
+use crate::q1::batch::q1_batch_scores;
+use crate::top_k::{RankedEntry, TopKTracker};
+use crate::update::GraphDelta;
+
+/// Incremental Q1 evaluator. Create it, call [`Q1Incremental::initialize`] once with
+/// the loaded graph, then [`Q1Incremental::update`] after each applied changeset.
+#[derive(Clone, Debug)]
+pub struct Q1Incremental {
+    scores: Vector<u64>,
+    tracker: TopKTracker,
+    parallel: bool,
+    k: usize,
+}
+
+impl Q1Incremental {
+    /// Create an evaluator returning the top `k` posts (the case study uses `k = 3`).
+    pub fn new(parallel: bool, k: usize) -> Self {
+        Q1Incremental {
+            scores: Vector::new(0),
+            tracker: TopKTracker::new(k),
+            parallel,
+            k,
+        }
+    }
+
+    /// First (full) evaluation: identical to the batch algorithm, but the scores and
+    /// the top-k candidates are retained for later increments.
+    pub fn initialize(&mut self, graph: &SocialGraph) -> String {
+        self.scores = q1_batch_scores(graph, self.parallel);
+        let entries = (0..graph.post_count()).map(|p| RankedEntry {
+            score: self.scores.get(p).unwrap_or(0),
+            timestamp: graph.post_timestamp(p),
+            id: graph.post_id(p),
+        });
+        self.tracker.rebuild(entries);
+        self.tracker.format()
+    }
+
+    /// Incremental re-evaluation after `delta` has been applied to `graph`.
+    pub fn update(&mut self, graph: &SocialGraph, delta: &GraphDelta) -> String {
+        // The post space may have grown.
+        self.scores.resize(graph.post_count());
+
+        // Lines 9–10: score increment from new comments.
+        let delta_root_post = delta.delta_root_post(graph);
+        let sum = reduce_matrix_rows(&delta_root_post, monoids::plus::<u64>());
+        let replies_scores_plus = apply_vector(&sum, TimesConstant::new(10u64));
+
+        // Line 11: score increment from new likes, attributed through *all* rootPost
+        // edges (a new like may target an old comment).
+        let likes_count_plus = delta.new_likes_count(graph);
+        let likes_score_plus = if self.parallel {
+            mxv_par(
+                &graph.root_post,
+                &likes_count_plus,
+                semirings::plus_second::<u64>(),
+            )
+        } else {
+            mxv(
+                &graph.root_post,
+                &likes_count_plus,
+                semirings::plus_second::<u64>(),
+            )
+        }
+        .expect("RootPost columns equal the likesCount⁺ dimension");
+
+        // Line 12: total increment.
+        let scores_plus = ewise_add_vector(&replies_scores_plus, &likes_score_plus, Plus::new())
+            .expect("increment vectors live in the post index space");
+
+        // Line 13: updated scores.
+        let scores_new = ewise_add_vector(&self.scores, &scores_plus, Plus::new())
+            .expect("scores and increment share the post index space");
+
+        // Line 14: ∆scores⟨scores⁺⟩ ← scores′.
+        let mut delta_scores = Vector::new(graph.post_count());
+        assign_vector_masked(
+            &mut delta_scores,
+            &VectorMask::structural(&scores_plus),
+            &scores_new,
+        )
+        .expect("mask and operands share the post index space");
+
+        self.scores = scores_new;
+
+        // Merge changed scores (and brand-new posts, which may have score 0) into the
+        // previous top-k candidates.
+        let mut changes: Vec<RankedEntry> = delta_scores
+            .iter()
+            .map(|(p, score)| RankedEntry {
+                score,
+                timestamp: graph.post_timestamp(p),
+                id: graph.post_id(p),
+            })
+            .collect();
+        for &p in &delta.new_posts {
+            if !delta_scores.contains(p) {
+                changes.push(RankedEntry {
+                    score: self.scores.get(p).unwrap_or(0),
+                    timestamp: graph.post_timestamp(p),
+                    id: graph.post_id(p),
+                });
+            }
+        }
+        self.tracker.merge_changes(changes);
+        self.tracker.format()
+    }
+
+    /// The maintained score of a post index (0 if absent), for tests and inspection.
+    pub fn score_of(&self, post_index: usize) -> u64 {
+        self.scores.get(post_index).unwrap_or(0)
+    }
+
+    /// The number of posts whose score is currently tracked.
+    pub fn tracked_posts(&self) -> usize {
+        self.scores.size()
+    }
+
+    /// The `k` this evaluator was configured with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+    use crate::q1::batch::q1_batch_ranked;
+    use crate::top_k::format_result;
+    use crate::update::apply_changeset;
+
+    #[test]
+    fn initialize_matches_batch() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q1Incremental::new(false, 3);
+        let result = inc.initialize(&g);
+        assert_eq!(result, format_result(&q1_batch_ranked(&g, false, 3)));
+        assert_eq!(result, "1|2");
+    }
+
+    #[test]
+    fn paper_update_produces_expected_increment() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q1Incremental::new(false, 3);
+        inc.initialize(&g);
+
+        let delta = apply_changeset(&mut g, &paper_example_changeset());
+        let result = inc.update(&g, &delta);
+
+        let p1 = g.posts.index_of(1).unwrap();
+        let p2 = g.posts.index_of(2).unwrap();
+        assert_eq!(inc.score_of(p1), 37); // 25 + 12, as in Fig. 4a
+        assert_eq!(inc.score_of(p2), 10);
+        assert_eq!(result, "1|2");
+    }
+
+    #[test]
+    fn incremental_matches_batch_after_every_changeset() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(31));
+        let mut g = SocialGraph::from_network(&workload.initial);
+        let mut inc = Q1Incremental::new(false, 3);
+        let initial = inc.initialize(&g);
+        assert_eq!(initial, format_result(&q1_batch_ranked(&g, false, 3)));
+
+        for changeset in &workload.changesets {
+            let delta = apply_changeset(&mut g, changeset);
+            let incremental_result = inc.update(&g, &delta);
+            let batch_result = format_result(&q1_batch_ranked(&g, false, 3));
+            assert_eq!(incremental_result, batch_result);
+
+            // the full maintained score vector must equal the batch scores
+            let batch_scores = crate::q1::batch::q1_batch_scores(&g, false);
+            for p in 0..g.post_count() {
+                assert_eq!(inc.score_of(p), batch_scores.get(p).unwrap_or(0), "post {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_with_empty_changeset_is_a_noop() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q1Incremental::new(false, 3);
+        let before = inc.initialize(&g);
+        let delta = apply_changeset(&mut g, &datagen::ChangeSet::default());
+        let after = inc.update(&g, &delta);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn parallel_incremental_matches_serial() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(37));
+        let mut g_serial = SocialGraph::from_network(&workload.initial);
+        let mut g_parallel = g_serial.clone();
+        let mut serial = Q1Incremental::new(false, 3);
+        let mut parallel = Q1Incremental::new(true, 3);
+        assert_eq!(serial.initialize(&g_serial), parallel.initialize(&g_parallel));
+        for changeset in &workload.changesets {
+            let d1 = apply_changeset(&mut g_serial, changeset);
+            let d2 = apply_changeset(&mut g_parallel, changeset);
+            assert_eq!(serial.update(&g_serial, &d1), parallel.update(&g_parallel, &d2));
+        }
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let inc = Q1Incremental::new(false, 5);
+        assert_eq!(inc.k(), 5);
+        assert_eq!(inc.tracked_posts(), 0);
+    }
+}

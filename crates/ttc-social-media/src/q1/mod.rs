@@ -1,0 +1,10 @@
+//! Query 1: *influential posts*.
+//!
+//! The score of a post is `10 × (number of its direct or indirect comments)` plus the
+//! number of users liking those comments; the query returns the top-3 posts.
+
+pub mod batch;
+pub mod incremental;
+
+pub use batch::{q1_batch_ranked, q1_batch_scores};
+pub use incremental::Q1Incremental;

@@ -1,0 +1,184 @@
+//! Q2 incremental maintenance (lower half of Fig. 4b).
+//!
+//! After a changeset, the first phase (Steps 1–5) collects the comments that might be
+//! affected (see [`crate::q2::affected`]); the second phase (Steps 6–9) recomputes the
+//! scores of exactly those comments with the batch per-comment kernel. The changed
+//! scores are merged into the previous top-3 (new scores overwrite existing ones).
+
+use graphblas::Vector;
+use rayon::prelude::*;
+
+use crate::graph::SocialGraph;
+use crate::q2::affected::affected_comments;
+use crate::q2::batch::q2_batch_scores;
+use crate::q2::scoring::comment_score;
+use crate::top_k::{RankedEntry, TopKTracker};
+use crate::update::GraphDelta;
+
+/// Incremental Q2 evaluator: full evaluation on the first call, affected-only
+/// re-evaluation afterwards.
+#[derive(Clone, Debug)]
+pub struct Q2Incremental {
+    scores: Vector<u64>,
+    tracker: TopKTracker,
+    parallel: bool,
+    k: usize,
+}
+
+impl Q2Incremental {
+    /// Create an evaluator returning the top `k` comments (the case study uses `k = 3`).
+    pub fn new(parallel: bool, k: usize) -> Self {
+        Q2Incremental {
+            scores: Vector::new(0),
+            tracker: TopKTracker::new(k),
+            parallel,
+            k,
+        }
+    }
+
+    /// First (full) evaluation, retaining all scores and the top-k candidates.
+    pub fn initialize(&mut self, graph: &SocialGraph) -> String {
+        self.scores = q2_batch_scores(graph, self.parallel);
+        let entries = (0..graph.comment_count()).map(|c| RankedEntry {
+            score: self.scores.get(c).unwrap_or(0),
+            timestamp: graph.comment_timestamp(c),
+            id: graph.comment_id(c),
+        });
+        self.tracker.rebuild(entries);
+        self.tracker.format()
+    }
+
+    /// Incremental re-evaluation after `delta` has been applied to `graph`: only the
+    /// affected comments are re-scored.
+    pub fn update(&mut self, graph: &SocialGraph, delta: &GraphDelta) -> String {
+        self.scores.resize(graph.comment_count());
+
+        // Steps 1–5: affected comments.
+        let affected = affected_comments(graph, delta, self.parallel);
+
+        // Steps 6–9: re-score the affected comments with the batch kernel,
+        // parallelised at comment granularity as in the paper.
+        let new_scores: Vec<(usize, u64)> = if self.parallel {
+            affected
+                .par_iter()
+                .map(|&c| (c, comment_score(graph, c)))
+                .collect()
+        } else {
+            affected
+                .iter()
+                .map(|&c| (c, comment_score(graph, c)))
+                .collect()
+        };
+
+        let mut changes = Vec::with_capacity(new_scores.len());
+        for (c, score) in new_scores {
+            self.scores
+                .set(c, score)
+                .expect("comment index within the grown score vector");
+            changes.push(RankedEntry {
+                score,
+                timestamp: graph.comment_timestamp(c),
+                id: graph.comment_id(c),
+            });
+        }
+        self.tracker.merge_changes(changes);
+        self.tracker.format()
+    }
+
+    /// The maintained score of a comment index (0 if absent), for tests and
+    /// inspection.
+    pub fn score_of(&self, comment_index: usize) -> u64 {
+        self.scores.get(comment_index).unwrap_or(0)
+    }
+
+    /// Number of comments whose score is currently tracked.
+    pub fn tracked_comments(&self) -> usize {
+        self.scores.size()
+    }
+
+    /// The `k` this evaluator was configured with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+    use crate::q2::batch::q2_batch_ranked;
+    use crate::top_k::format_result;
+    use crate::update::apply_changeset;
+
+    #[test]
+    fn initialize_matches_batch() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q2Incremental::new(false, 3);
+        assert_eq!(inc.initialize(&g), "12|11|13");
+    }
+
+    #[test]
+    fn paper_update_produces_expected_scores() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q2Incremental::new(false, 3);
+        inc.initialize(&g);
+        let delta = apply_changeset(&mut g, &paper_example_changeset());
+        let result = inc.update(&g, &delta);
+
+        let c2 = g.comments.index_of(12).unwrap();
+        let c4 = g.comments.index_of(14).unwrap();
+        assert_eq!(inc.score_of(c2), 16);
+        assert_eq!(inc.score_of(c4), 1);
+        assert_eq!(result, "12|11|14");
+    }
+
+    #[test]
+    fn incremental_matches_batch_after_every_changeset() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(53));
+        let mut g = SocialGraph::from_network(&workload.initial);
+        let mut inc = Q2Incremental::new(false, 3);
+        let initial = inc.initialize(&g);
+        assert_eq!(initial, format_result(&q2_batch_ranked(&g, false, 3)));
+
+        for changeset in &workload.changesets {
+            let delta = apply_changeset(&mut g, changeset);
+            let incremental_result = inc.update(&g, &delta);
+            let batch_result = format_result(&q2_batch_ranked(&g, false, 3));
+            assert_eq!(incremental_result, batch_result);
+
+            let batch_scores = q2_batch_scores(&g, false);
+            for c in 0..g.comment_count() {
+                assert_eq!(
+                    inc.score_of(c),
+                    batch_scores.get(c).unwrap_or(0),
+                    "comment index {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_incremental_matches_serial() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(59));
+        let mut g1 = SocialGraph::from_network(&workload.initial);
+        let mut g2 = g1.clone();
+        let mut serial = Q2Incremental::new(false, 3);
+        let mut parallel = Q2Incremental::new(true, 3);
+        assert_eq!(serial.initialize(&g1), parallel.initialize(&g2));
+        for cs in &workload.changesets {
+            let d1 = apply_changeset(&mut g1, cs);
+            let d2 = apply_changeset(&mut g2, cs);
+            assert_eq!(serial.update(&g1, &d1), parallel.update(&g2, &d2));
+        }
+    }
+
+    #[test]
+    fn update_with_empty_changeset_is_a_noop() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q2Incremental::new(false, 3);
+        let before = inc.initialize(&g);
+        let delta = apply_changeset(&mut g, &datagen::ChangeSet::default());
+        assert_eq!(inc.update(&g, &delta), before);
+        assert_eq!(inc.tracked_comments(), 3);
+    }
+}

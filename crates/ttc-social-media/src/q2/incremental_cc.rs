@@ -1,0 +1,221 @@
+//! Q2 with a fully incremental connected-components backend.
+//!
+//! The paper's future-work item (2) proposes replacing the per-comment batch FastSV
+//! run (Step 8 of the incremental Q2 algorithm) with an *incremental* connected
+//! components algorithm. Because the workload only inserts elements, the incremental
+//! CC reduces to union–find maintenance (see [`lagraph::incremental_cc`]): each
+//! comment keeps the partition of its likers, and new likes / friendships update the
+//! partitions — and therefore the Σ csᵢ² scores — in near-constant time, with no
+//! subgraph extraction and no FastSV iteration at all.
+//!
+//! The ablation benchmark `ablation_incremental_cc` compares this variant against the
+//! paper's recompute-the-affected-comments approach.
+
+use std::collections::HashMap;
+
+use graphblas::Index;
+use lagraph::IncrementalConnectedComponents;
+
+use crate::graph::SocialGraph;
+use crate::top_k::{RankedEntry, TopKTracker};
+use crate::update::GraphDelta;
+
+/// Incremental Q2 evaluator backed by per-comment incremental connected components.
+#[derive(Clone, Debug)]
+pub struct Q2IncrementalCc {
+    /// Partition of the likers of each comment, indexed by dense comment index.
+    per_comment: Vec<IncrementalConnectedComponents>,
+    /// For each user (dense index), the comments they like — needed to locate the
+    /// comments affected by a new friendship.
+    comments_liked_by: HashMap<Index, Vec<Index>>,
+    tracker: TopKTracker,
+    k: usize,
+}
+
+impl Q2IncrementalCc {
+    /// Create an evaluator returning the top `k` comments.
+    pub fn new(k: usize) -> Self {
+        Q2IncrementalCc {
+            per_comment: Vec::new(),
+            comments_liked_by: HashMap::new(),
+            tracker: TopKTracker::new(k),
+            k,
+        }
+    }
+
+    /// First evaluation: build the per-comment partitions from the loaded graph.
+    pub fn initialize(&mut self, graph: &SocialGraph) -> String {
+        let n = graph.comment_count();
+        self.per_comment = vec![IncrementalConnectedComponents::new(); n];
+        self.comments_liked_by.clear();
+
+        // Register every liker of every comment.
+        for (c, u, _) in graph.likes.iter() {
+            self.per_comment[c].add_vertex(u as u64);
+            self.comments_liked_by.entry(u).or_default().push(c);
+        }
+        // Connect likers who are friends: for each friendship (a, b), every comment
+        // liked by both gets the edge.
+        for (a, b, _) in graph.friends.iter() {
+            if a < b {
+                self.connect_common_comments(a, b);
+            }
+        }
+
+        let entries = (0..n).map(|c| RankedEntry {
+            score: self.per_comment[c].sum_of_squared_component_sizes(),
+            timestamp: graph.comment_timestamp(c),
+            id: graph.comment_id(c),
+        });
+        self.tracker.rebuild(entries);
+        self.tracker.format()
+    }
+
+    /// Incremental re-evaluation after `delta` has been applied to `graph`.
+    pub fn update(&mut self, graph: &SocialGraph, delta: &GraphDelta) -> String {
+        // New comments: empty partitions.
+        while self.per_comment.len() < graph.comment_count() {
+            self.per_comment.push(IncrementalConnectedComponents::new());
+        }
+
+        let mut touched: Vec<Index> = Vec::new();
+
+        // New likes: add the liker, and connect them to every existing liker of the
+        // same comment who is already their friend (reading the updated Friends matrix).
+        for &(c, u) in &delta.new_likes {
+            let cc = &mut self.per_comment[c];
+            cc.add_vertex(u as u64);
+            let (friend_cols, _) = graph.friends.row(u);
+            for &friend in friend_cols {
+                if cc.contains_vertex(friend as u64) {
+                    cc.add_edge(u as u64, friend as u64);
+                }
+            }
+            self.comments_liked_by.entry(u).or_default().push(c);
+            touched.push(c);
+        }
+
+        // New friendships: connect the endpoints in every comment both of them like.
+        for &(a, b) in &delta.new_friendships {
+            touched.extend(self.connect_common_comments(a, b));
+        }
+
+        // New comments are "touched" too (their score is 0 until someone likes them,
+        // but they must enter the candidate pool for completeness).
+        touched.extend(delta.new_comments.iter().copied());
+
+        touched.sort_unstable();
+        touched.dedup();
+
+        let changes: Vec<RankedEntry> = touched
+            .into_iter()
+            .map(|c| RankedEntry {
+                score: self.per_comment[c].sum_of_squared_component_sizes(),
+                timestamp: graph.comment_timestamp(c),
+                id: graph.comment_id(c),
+            })
+            .collect();
+        self.tracker.merge_changes(changes);
+        self.tracker.format()
+    }
+
+    /// Current score of a comment index.
+    pub fn score_of(&self, comment_index: Index) -> u64 {
+        self.per_comment
+            .get(comment_index)
+            .map(|cc| cc.sum_of_squared_component_sizes())
+            .unwrap_or(0)
+    }
+
+    /// The `k` this evaluator was configured with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Connect users `a` and `b` in every comment liked by both; returns the affected
+    /// comment indices.
+    fn connect_common_comments(&mut self, a: Index, b: Index) -> Vec<Index> {
+        let liked_a = self.comments_liked_by.get(&a).cloned().unwrap_or_default();
+        let liked_b: std::collections::HashSet<Index> = self
+            .comments_liked_by
+            .get(&b)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let mut affected = Vec::new();
+        for c in liked_a {
+            if liked_b.contains(&c) {
+                self.per_comment[c].add_edge(a as u64, b as u64);
+                affected.push(c);
+            }
+        }
+        affected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+    use crate::q2::batch::{q2_batch_ranked, q2_batch_scores};
+    use crate::top_k::format_result;
+    use crate::update::apply_changeset;
+
+    #[test]
+    fn initialize_matches_batch_on_paper_example() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q2IncrementalCc::new(3);
+        assert_eq!(inc.initialize(&g), "12|11|13");
+        let c2 = g.comments.index_of(12).unwrap();
+        assert_eq!(inc.score_of(c2), 5);
+    }
+
+    #[test]
+    fn paper_update_matches_figure_3b() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let mut inc = Q2IncrementalCc::new(3);
+        inc.initialize(&g);
+        let delta = apply_changeset(&mut g, &paper_example_changeset());
+        let result = inc.update(&g, &delta);
+        let c2 = g.comments.index_of(12).unwrap();
+        let c4 = g.comments.index_of(14).unwrap();
+        assert_eq!(inc.score_of(c2), 16);
+        assert_eq!(inc.score_of(c4), 1);
+        assert_eq!(result, "12|11|14");
+    }
+
+    #[test]
+    fn agrees_with_batch_and_fastsv_incremental_on_synthetic_workload() {
+        let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(61));
+        let mut g = SocialGraph::from_network(&workload.initial);
+        let mut cc_variant = Q2IncrementalCc::new(3);
+        let mut fastsv_variant = crate::q2::incremental::Q2Incremental::new(false, 3);
+
+        let a = cc_variant.initialize(&g);
+        let b = fastsv_variant.initialize(&g);
+        assert_eq!(a, b);
+
+        for cs in &workload.changesets {
+            let delta = apply_changeset(&mut g, cs);
+            let a = cc_variant.update(&g, &delta);
+            let b = fastsv_variant.update(&g, &delta);
+            let batch = format_result(&q2_batch_ranked(&g, false, 3));
+            assert_eq!(a, batch);
+            assert_eq!(b, batch);
+
+            // per-comment scores agree with the batch recomputation
+            let batch_scores = q2_batch_scores(&g, false);
+            for c in 0..g.comment_count() {
+                assert_eq!(
+                    cc_variant.score_of(c),
+                    batch_scores.get(c).unwrap_or(0),
+                    "comment index {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_accessor() {
+        assert_eq!(Q2IncrementalCc::new(7).k(), 7);
+    }
+}

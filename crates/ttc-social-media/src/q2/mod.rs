@@ -1,0 +1,17 @@
+//! Query 2: *influential comments*.
+//!
+//! The score of a comment is computed on the friendship subgraph induced by the users
+//! who like it: the sum of squared connected-component sizes. The query returns the
+//! top-3 comments.
+
+pub mod affected;
+pub mod batch;
+pub mod incremental;
+pub mod incremental_cc;
+pub mod scoring;
+
+pub use affected::affected_comments;
+pub use batch::{q2_batch_ranked, q2_batch_scores};
+pub use incremental::Q2Incremental;
+pub use incremental_cc::Q2IncrementalCc;
+pub use scoring::comment_score;

@@ -1,0 +1,92 @@
+//! Per-comment scoring: the shared kernel of the batch and incremental Q2 algorithms
+//! (Steps 1–4 / 6–9 of Fig. 4b).
+//!
+//! For one comment the steps are:
+//! 1. collect the users who like the comment (one row of the `Likes` matrix),
+//! 2. extract the induced friendship subgraph (`GrB_extract` on the `Friends` matrix),
+//! 3. run connected components (FastSV) on the subgraph,
+//! 4. sum the squared component sizes.
+
+use graphblas::ops::extract_submatrix;
+use graphblas::{Index, IndexSelection};
+use lagraph::{connected_components, sum_of_squared_component_sizes};
+
+use crate::graph::SocialGraph;
+
+/// Score of a single comment: Σᵢ csᵢ² over the connected components of the friendship
+/// subgraph induced by the users who like the comment. A comment nobody likes scores 0.
+pub fn comment_score(graph: &SocialGraph, comment: Index) -> u64 {
+    let (likers, _) = graph.likes.row(comment);
+    score_of_likers(graph, likers)
+}
+
+/// Score of a comment given the (sorted) dense user indices that like it.
+pub fn score_of_likers(graph: &SocialGraph, likers: &[Index]) -> u64 {
+    if likers.is_empty() {
+        return 0;
+    }
+    if likers.len() == 1 {
+        return 1;
+    }
+    // Step 2: induced subgraph of the Friends matrix.
+    let subgraph = extract_submatrix(
+        &graph.friends,
+        &IndexSelection::List(likers),
+        &IndexSelection::List(likers),
+    )
+    .expect("liker indices are valid user indices");
+    // Step 3: connected components (FastSV).
+    let labels = connected_components(&subgraph).expect("induced subgraph is square");
+    // Step 4: sum of squared component sizes.
+    sum_of_squared_component_sizes(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+    use crate::update::apply_changeset;
+
+    #[test]
+    fn initial_scores_match_figure_3a() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let c1 = g.comments.index_of(11).unwrap();
+        let c2 = g.comments.index_of(12).unwrap();
+        let c3 = g.comments.index_of(13).unwrap();
+        // c1: likers {u2, u3}, friends -> one component of 2 -> 4
+        assert_eq!(comment_score(&g, c1), 4);
+        // c2: likers {u1, u3, u4}; u3-u4 friends, u1 isolated -> 1 + 4 = 5
+        assert_eq!(comment_score(&g, c2), 5);
+        // c3: no likers -> 0
+        assert_eq!(comment_score(&g, c3), 0);
+    }
+
+    #[test]
+    fn updated_scores_match_figure_3b() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        apply_changeset(&mut g, &paper_example_changeset());
+        let c2 = g.comments.index_of(12).unwrap();
+        let c4 = g.comments.index_of(14).unwrap();
+        // c2: likers {u1, u2, u3, u4} now form a single component -> 16
+        assert_eq!(comment_score(&g, c2), 16);
+        // c4: single liker u4 -> 1
+        assert_eq!(comment_score(&g, c4), 1);
+    }
+
+    #[test]
+    fn single_liker_scores_one_without_extraction() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let u1 = g.users.index_of(101).unwrap();
+        assert_eq!(score_of_likers(&g, &[u1]), 1);
+        assert_eq!(score_of_likers(&g, &[]), 0);
+    }
+
+    #[test]
+    fn likers_with_no_friendships_are_all_singletons() {
+        let g = SocialGraph::from_network(&paper_example_network());
+        let u1 = g.users.index_of(101).unwrap();
+        let u4 = g.users.index_of(104).unwrap();
+        // u1 and u4 are not friends initially
+        assert_eq!(score_of_likers(&g, &[u1, u4]), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! The `Solution` abstraction used by the benchmark harness, and the four GraphBLAS
+//! solution variants evaluated in the paper's Fig. 5 (batch / incremental × 1 thread /
+//! 8 threads), plus the future-work incremental-CC variant.
+//!
+//! Every solution answers **one** query and exposes the two benchmark phases:
+//!
+//! * *load and initial evaluation* — build internal state from the initial network and
+//!   return the first result;
+//! * *update and reevaluation* — apply one changeset and return the new result.
+//!
+//! Results are rendered in the benchmark's `id|id|id` format, so different solutions
+//! (including the NMF-style baseline in the `nmf-baseline` crate) can be compared
+//! directly.
+
+use datagen::{ChangeSet, SocialNetwork};
+
+use crate::graph::SocialGraph;
+use crate::model::Query;
+use crate::q1::batch::q1_batch_ranked;
+use crate::q1::incremental::Q1Incremental;
+use crate::q2::batch::q2_batch_ranked;
+use crate::q2::incremental::Q2Incremental;
+use crate::q2::incremental_cc::Q2IncrementalCc;
+use crate::top_k::format_result;
+use crate::update::apply_changeset;
+
+/// Number of results returned by both queries of the case study.
+pub const TOP_K: usize = 3;
+
+/// A benchmark solution answering one of the two queries.
+pub trait Solution {
+    /// Human-readable name, e.g. `"GraphBLAS Incremental (8 threads)"`.
+    fn name(&self) -> String;
+
+    /// Which query the solution answers.
+    fn query(&self) -> Query;
+
+    /// Load the initial network and return the first query result (`id|id|id`).
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String;
+
+    /// Apply one changeset and return the re-evaluated query result (`id|id|id`).
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// GraphBLAS Batch
+// ---------------------------------------------------------------------------
+
+/// The "GraphBLAS Batch" variant: every evaluation is a full recomputation.
+pub struct GraphBlasBatch {
+    query: Query,
+    parallel: bool,
+    graph: SocialGraph,
+}
+
+impl GraphBlasBatch {
+    /// Create a batch solution for `query`; `parallel` enables the rayon kernels
+    /// (the "8 threads" series of Fig. 5 when run inside an 8-thread pool).
+    pub fn new(query: Query, parallel: bool) -> Self {
+        GraphBlasBatch {
+            query,
+            parallel,
+            graph: SocialGraph::empty(),
+        }
+    }
+
+    fn evaluate(&self) -> String {
+        match self.query {
+            Query::Q1 => format_result(&q1_batch_ranked(&self.graph, self.parallel, TOP_K)),
+            Query::Q2 => format_result(&q2_batch_ranked(&self.graph, self.parallel, TOP_K)),
+        }
+    }
+}
+
+impl Solution for GraphBlasBatch {
+    fn name(&self) -> String {
+        if self.parallel {
+            "GraphBLAS Batch (parallel)".to_string()
+        } else {
+            "GraphBLAS Batch".to_string()
+        }
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        self.graph = SocialGraph::from_network(network);
+        self.evaluate()
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        apply_changeset(&mut self.graph, changeset);
+        self.evaluate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphBLAS Incremental
+// ---------------------------------------------------------------------------
+
+enum IncrementalState {
+    Q1(Q1Incremental),
+    Q2(Q2Incremental),
+}
+
+/// The "GraphBLAS Incremental" variant: full evaluation on load, incremental
+/// maintenance afterwards (Alg. 2 for Q1, the affected-comments algorithm for Q2).
+pub struct GraphBlasIncremental {
+    parallel: bool,
+    graph: SocialGraph,
+    state: IncrementalState,
+}
+
+impl GraphBlasIncremental {
+    /// Create an incremental solution for `query`; `parallel` enables the rayon
+    /// kernels and comment-granular parallelism.
+    pub fn new(query: Query, parallel: bool) -> Self {
+        let state = match query {
+            Query::Q1 => IncrementalState::Q1(Q1Incremental::new(parallel, TOP_K)),
+            Query::Q2 => IncrementalState::Q2(Q2Incremental::new(parallel, TOP_K)),
+        };
+        GraphBlasIncremental {
+            parallel,
+            graph: SocialGraph::empty(),
+            state,
+        }
+    }
+}
+
+impl Solution for GraphBlasIncremental {
+    fn name(&self) -> String {
+        if self.parallel {
+            "GraphBLAS Incremental (parallel)".to_string()
+        } else {
+            "GraphBLAS Incremental".to_string()
+        }
+    }
+
+    fn query(&self) -> Query {
+        match self.state {
+            IncrementalState::Q1(_) => Query::Q1,
+            IncrementalState::Q2(_) => Query::Q2,
+        }
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        self.graph = SocialGraph::from_network(network);
+        match &mut self.state {
+            IncrementalState::Q1(q1) => q1.initialize(&self.graph),
+            IncrementalState::Q2(q2) => q2.initialize(&self.graph),
+        }
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        let delta = apply_changeset(&mut self.graph, changeset);
+        match &mut self.state {
+            IncrementalState::Q1(q1) => q1.update(&self.graph, &delta),
+            IncrementalState::Q2(q2) => q2.update(&self.graph, &delta),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphBLAS Incremental with incremental connected components (future work)
+// ---------------------------------------------------------------------------
+
+/// The future-work Q2 variant: incremental connected components instead of re-running
+/// FastSV on the affected comments.
+pub struct GraphBlasIncrementalCc {
+    graph: SocialGraph,
+    state: Q2IncrementalCc,
+}
+
+impl GraphBlasIncrementalCc {
+    /// Create the incremental-CC Q2 solution.
+    pub fn new() -> Self {
+        GraphBlasIncrementalCc {
+            graph: SocialGraph::empty(),
+            state: Q2IncrementalCc::new(TOP_K),
+        }
+    }
+}
+
+impl Default for GraphBlasIncrementalCc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solution for GraphBlasIncrementalCc {
+    fn name(&self) -> String {
+        "GraphBLAS Incremental (incremental CC)".to_string()
+    }
+
+    fn query(&self) -> Query {
+        Query::Q2
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        self.graph = SocialGraph::from_network(network);
+        self.state.initialize(&self.graph)
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        let delta = apply_changeset(&mut self.graph, changeset);
+        self.state.update(&self.graph, &delta)
+    }
+}
+
+/// Run a full benchmark scenario (load + every changeset) and collect all results.
+/// Convenience used by tests and examples; the timing harness in the `bench` crate
+/// measures the phases separately.
+pub fn run_solution(solution: &mut dyn Solution, workload: &datagen::Workload) -> Vec<String> {
+    let mut results = Vec::with_capacity(1 + workload.changesets.len());
+    results.push(solution.load_and_initial(&workload.initial));
+    for changeset in &workload.changesets {
+        results.push(solution.update_and_reevaluate(changeset));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::GeneratorConfig;
+
+    #[test]
+    fn all_graphblas_variants_agree_on_q1() {
+        let workload = datagen::generate_workload(&GeneratorConfig::tiny(71));
+        let mut batch = GraphBlasBatch::new(Query::Q1, false);
+        let mut batch_par = GraphBlasBatch::new(Query::Q1, true);
+        let mut incremental = GraphBlasIncremental::new(Query::Q1, false);
+
+        let a = run_solution(&mut batch, &workload);
+        let b = run_solution(&mut batch_par, &workload);
+        let c = run_solution(&mut incremental, &workload);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.len(), workload.changesets.len() + 1);
+    }
+
+    #[test]
+    fn all_graphblas_variants_agree_on_q2() {
+        let workload = datagen::generate_workload(&GeneratorConfig::tiny(73));
+        let mut batch = GraphBlasBatch::new(Query::Q2, false);
+        let mut incremental = GraphBlasIncremental::new(Query::Q2, true);
+        let mut incremental_cc = GraphBlasIncrementalCc::new();
+
+        let a = run_solution(&mut batch, &workload);
+        let b = run_solution(&mut incremental, &workload);
+        let c = run_solution(&mut incremental_cc, &workload);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn names_and_queries_are_reported() {
+        assert_eq!(GraphBlasBatch::new(Query::Q1, false).name(), "GraphBLAS Batch");
+        assert!(GraphBlasBatch::new(Query::Q1, true).name().contains("parallel"));
+        assert_eq!(GraphBlasBatch::new(Query::Q2, false).query(), Query::Q2);
+        assert_eq!(
+            GraphBlasIncremental::new(Query::Q1, false).query(),
+            Query::Q1
+        );
+        assert_eq!(GraphBlasIncrementalCc::new().query(), Query::Q2);
+        assert!(GraphBlasIncremental::new(Query::Q2, true)
+            .name()
+            .contains("parallel"));
+        assert!(GraphBlasIncrementalCc::default()
+            .name()
+            .contains("incremental CC"));
+    }
+
+    #[test]
+    fn paper_example_end_to_end() {
+        let workload = datagen::Workload {
+            initial: crate::graph::paper_example_network(),
+            changesets: vec![crate::graph::paper_example_changeset()],
+        };
+        let mut q1 = GraphBlasIncremental::new(Query::Q1, false);
+        assert_eq!(run_solution(&mut q1, &workload), vec!["1|2", "1|2"]);
+        let mut q2 = GraphBlasIncremental::new(Query::Q2, false);
+        assert_eq!(run_solution(&mut q2, &workload), vec!["12|11|13", "12|11|14"]);
+    }
+}

@@ -1,0 +1,352 @@
+//! Applying a changeset to the matrix representation.
+//!
+//! The incremental algorithms of the paper consume not only the updated matrices
+//! (`RootPost′`, `Likes′`, `Friends′`) but also the *delta* information: the new
+//! `rootPost` edges (`∆RootPost`), the per-comment count of newly received likes
+//! (`likesCount⁺`), the new friendships (to build the `NewFriends` incidence matrix)
+//! and the set of newly inserted comments. [`apply_changeset`] grows the matrices and
+//! returns that delta.
+
+use datagen::{ChangeOperation, ChangeSet};
+use graphblas::ops_traits::First;
+use graphblas::{Index, Matrix, Vector};
+
+use crate::graph::SocialGraph;
+
+/// The delta produced by applying one changeset, expressed in the (grown) dense index
+/// spaces of the graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// Dense indices of posts inserted by this changeset.
+    pub new_posts: Vec<Index>,
+    /// Dense indices of comments inserted by this changeset.
+    pub new_comments: Vec<Index>,
+    /// Dense indices of users inserted by this changeset.
+    pub new_users: Vec<Index>,
+    /// New `rootPost` edges as `(post, comment)` dense index pairs (`∆RootPost`).
+    pub new_root_post_edges: Vec<(Index, Index)>,
+    /// New likes as `(comment, user)` dense index pairs.
+    pub new_likes: Vec<(Index, Index)>,
+    /// New friendships as `(user, user)` dense index pairs (one entry per pair).
+    pub new_friendships: Vec<(Index, Index)>,
+}
+
+impl GraphDelta {
+    /// Whether the changeset contained no effective insertions.
+    pub fn is_empty(&self) -> bool {
+        self.new_posts.is_empty()
+            && self.new_comments.is_empty()
+            && self.new_users.is_empty()
+            && self.new_root_post_edges.is_empty()
+            && self.new_likes.is_empty()
+            && self.new_friendships.is_empty()
+    }
+
+    /// `∆RootPost`: the new `rootPost` edges as a `posts′ × comments′` matrix.
+    pub fn delta_root_post(&self, graph: &SocialGraph) -> Matrix<u64> {
+        let tuples: Vec<(Index, Index, u64)> = self
+            .new_root_post_edges
+            .iter()
+            .map(|&(p, c)| (p, c, 1))
+            .collect();
+        Matrix::from_tuples(
+            graph.post_count(),
+            graph.comment_count(),
+            &tuples,
+            First::new(),
+        )
+        .expect("delta indices lie within the grown dimensions")
+    }
+
+    /// `likesCount⁺`: per-comment count of likes received in this changeset, as a
+    /// sparse vector over the grown comment index space.
+    pub fn new_likes_count(&self, graph: &SocialGraph) -> Vector<u64> {
+        let tuples: Vec<(Index, u64)> = self.new_likes.iter().map(|&(c, _)| (c, 1)).collect();
+        Vector::from_tuples(
+            graph.comment_count(),
+            &tuples,
+            graphblas::ops_traits::Plus::new(),
+        )
+        .expect("delta indices lie within the grown dimensions")
+    }
+
+    /// The `NewFriends` incidence matrix: `users′ × |new friendships|`, with the two
+    /// endpoints of friendship `k` marked in column `k` (Fig. 4b, step 1).
+    pub fn new_friends_incidence(&self, graph: &SocialGraph) -> Matrix<u64> {
+        let mut tuples: Vec<(Index, Index, u64)> =
+            Vec::with_capacity(self.new_friendships.len() * 2);
+        for (k, &(a, b)) in self.new_friendships.iter().enumerate() {
+            tuples.push((a, k, 1));
+            tuples.push((b, k, 1));
+        }
+        Matrix::from_tuples(
+            graph.user_count(),
+            self.new_friendships.len(),
+            &tuples,
+            First::new(),
+        )
+        .expect("delta indices lie within the grown dimensions")
+    }
+}
+
+/// Apply a changeset to the graph: register new elements, grow every matrix to the new
+/// dimensions, insert the new edges, and return the delta needed by the incremental
+/// algorithms.
+pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphDelta {
+    let mut delta = GraphDelta::default();
+
+    // Pass 1: register new nodes so that every matrix can be grown once up front.
+    for op in &changeset.operations {
+        match op {
+            ChangeOperation::AddUser { user } => {
+                if !graph.users.contains(user.id) {
+                    let idx = graph.users.get_or_insert(user.id);
+                    delta.new_users.push(idx);
+                }
+            }
+            ChangeOperation::AddPost { post } => {
+                if !graph.posts.contains(post.id) {
+                    let idx = graph.posts.get_or_insert(post.id);
+                    graph.post_timestamps.push(post.timestamp);
+                    delta.new_posts.push(idx);
+                }
+            }
+            ChangeOperation::AddComment { comment } => {
+                if !graph.comments.contains(comment.id) {
+                    let idx = graph.comments.get_or_insert(comment.id);
+                    graph.comment_timestamps.push(comment.timestamp);
+                    delta.new_comments.push(idx);
+                }
+                // the author may be a user we have never seen (defensive: the TTC data
+                // always inserts users before use, but the loader tolerates it)
+                if !graph.users.contains(comment.author) {
+                    let idx = graph.users.get_or_insert(comment.author);
+                    delta.new_users.push(idx);
+                }
+            }
+            ChangeOperation::AddFriendship { a, b } => {
+                for id in [a, b] {
+                    if !graph.users.contains(*id) {
+                        let idx = graph.users.get_or_insert(*id);
+                        delta.new_users.push(idx);
+                    }
+                }
+            }
+            ChangeOperation::AddLike { user, .. } => {
+                if !graph.users.contains(*user) {
+                    let idx = graph.users.get_or_insert(*user);
+                    delta.new_users.push(idx);
+                }
+            }
+        }
+    }
+
+    // Grow the matrices to the new dimensions (growth only; the workload never
+    // deletes).
+    let np = graph.post_count();
+    let nc = graph.comment_count();
+    let nu = graph.user_count();
+    graph.root_post.resize(np, nc);
+    graph.likes.resize(nc, nu);
+    graph.friends.resize(nu, nu);
+    graph.commented.resize(nc, nc);
+
+    // Pass 2: collect the new edges.
+    let mut root_post_inserts: Vec<(Index, Index, u64)> = Vec::new();
+    let mut commented_inserts: Vec<(Index, Index, u64)> = Vec::new();
+    let mut likes_inserts: Vec<(Index, Index, u64)> = Vec::new();
+    let mut friends_inserts: Vec<(Index, Index, u64)> = Vec::new();
+
+    for op in &changeset.operations {
+        match op {
+            ChangeOperation::AddComment { comment } => {
+                let c = graph
+                    .comments
+                    .index_of(comment.id)
+                    .expect("registered in pass 1");
+                if let Some(p) = graph.posts.index_of(comment.root_post) {
+                    root_post_inserts.push((p, c, 1));
+                    delta.new_root_post_edges.push((p, c));
+                }
+                if let Some(parent_c) = graph.comments.index_of(comment.parent) {
+                    if parent_c != c {
+                        commented_inserts.push((c, parent_c, 1));
+                    }
+                }
+            }
+            ChangeOperation::AddLike { user, comment } => {
+                if let (Some(c), Some(u)) =
+                    (graph.comments.index_of(*comment), graph.users.index_of(*user))
+                {
+                    if graph.likes.get(c, u).is_none()
+                        && !likes_inserts.iter().any(|&(cc, uu, _)| cc == c && uu == u)
+                    {
+                        likes_inserts.push((c, u, 1));
+                        delta.new_likes.push((c, u));
+                    }
+                }
+            }
+            ChangeOperation::AddFriendship { a, b } => {
+                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b))
+                {
+                    if ia != ib
+                        && graph.friends.get(ia, ib).is_none()
+                        && !friends_inserts
+                            .iter()
+                            .any(|&(x, y, _)| (x, y) == (ia, ib) || (x, y) == (ib, ia))
+                    {
+                        friends_inserts.push((ia, ib, 1));
+                        friends_inserts.push((ib, ia, 1));
+                        delta.new_friendships.push((ia, ib));
+                    }
+                }
+            }
+            ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => {}
+        }
+    }
+
+    graph
+        .root_post
+        .insert_tuples(&root_post_inserts, First::new())
+        .expect("root_post inserts within bounds");
+    graph
+        .commented
+        .insert_tuples(&commented_inserts, First::new())
+        .expect("commented inserts within bounds");
+    graph
+        .likes
+        .insert_tuples(&likes_inserts, First::new())
+        .expect("likes inserts within bounds");
+    graph
+        .friends
+        .insert_tuples(&friends_inserts, First::new())
+        .expect("friends inserts within bounds");
+
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network, SocialGraph};
+
+    #[test]
+    fn paper_update_grows_the_graph() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let delta = apply_changeset(&mut g, &paper_example_changeset());
+        g.check_consistency().unwrap();
+
+        assert_eq!(g.post_count(), 2);
+        assert_eq!(g.comment_count(), 4);
+        assert_eq!(g.user_count(), 4);
+        assert_eq!(delta.new_comments.len(), 1);
+        assert_eq!(delta.new_posts.len(), 0);
+        assert_eq!(delta.new_users.len(), 0);
+        assert_eq!(delta.new_likes.len(), 2); // u2→c2 and u4→c4
+        assert_eq!(delta.new_friendships.len(), 1); // u1–u4
+        assert_eq!(delta.new_root_post_edges.len(), 1); // c4 → p1
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn delta_matrices_have_grown_dimensions() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let delta = apply_changeset(&mut g, &paper_example_changeset());
+
+        let d_root = delta.delta_root_post(&g);
+        assert_eq!(d_root.nrows(), 2);
+        assert_eq!(d_root.ncols(), 4);
+        assert_eq!(d_root.nvals(), 1);
+
+        let likes_plus = delta.new_likes_count(&g);
+        assert_eq!(likes_plus.size(), 4);
+        let c2 = g.comments.index_of(12).unwrap();
+        let c4 = g.comments.index_of(14).unwrap();
+        assert_eq!(likes_plus.get(c2), Some(1));
+        assert_eq!(likes_plus.get(c4), Some(1));
+
+        let incidence = delta.new_friends_incidence(&g);
+        assert_eq!(incidence.nrows(), 4);
+        assert_eq!(incidence.ncols(), 1);
+        assert_eq!(incidence.nvals(), 2);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_ignored() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let cs = datagen::ChangeSet {
+            operations: vec![
+                // u1–u2 are already friends in the initial graph
+                datagen::ChangeOperation::AddFriendship { a: 101, b: 102 },
+                // u3 already likes c1
+                datagen::ChangeOperation::AddLike { user: 103, comment: 11 },
+                // the same like twice within the changeset
+                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
+            ],
+        };
+        let before_friends = g.friends.nvals();
+        let before_likes = g.likes.nvals();
+        let delta = apply_changeset(&mut g, &cs);
+        assert_eq!(delta.new_friendships.len(), 0);
+        assert_eq!(delta.new_likes.len(), 1);
+        assert_eq!(g.friends.nvals(), before_friends);
+        assert_eq!(g.likes.nvals(), before_likes + 1);
+    }
+
+    #[test]
+    fn empty_changeset_produces_empty_delta() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let delta = apply_changeset(&mut g, &datagen::ChangeSet::default());
+        assert!(delta.is_empty());
+        assert_eq!(delta.delta_root_post(&g).nvals(), 0);
+        assert_eq!(delta.new_likes_count(&g).nvals(), 0);
+        assert_eq!(delta.new_friends_incidence(&g).ncols(), 0);
+    }
+
+    #[test]
+    fn new_users_and_posts_are_registered() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let cs = datagen::ChangeSet {
+            operations: vec![
+                datagen::ChangeOperation::AddUser {
+                    user: datagen::User { id: 105, name: "u5".into() },
+                },
+                datagen::ChangeOperation::AddPost {
+                    post: datagen::Post { id: 3, timestamp: 40, author: 105 },
+                },
+                datagen::ChangeOperation::AddComment {
+                    comment: datagen::Comment {
+                        id: 15,
+                        timestamp: 41,
+                        author: 105,
+                        parent: 3,
+                        root_post: 3,
+                    },
+                },
+                datagen::ChangeOperation::AddLike { user: 105, comment: 15 },
+            ],
+        };
+        let delta = apply_changeset(&mut g, &cs);
+        g.check_consistency().unwrap();
+        assert_eq!(g.post_count(), 3);
+        assert_eq!(g.user_count(), 5);
+        assert_eq!(delta.new_posts.len(), 1);
+        assert_eq!(delta.new_users.len(), 1);
+        let p3 = g.posts.index_of(3).unwrap();
+        let c15 = g.comments.index_of(15).unwrap();
+        assert_eq!(g.root_post.get(p3, c15), Some(1));
+    }
+
+    #[test]
+    fn matrices_resized_before_edge_insertion() {
+        // a changeset whose new like targets a new comment: requires the likes matrix
+        // to have grown before the edge is inserted
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let cs = paper_example_changeset();
+        apply_changeset(&mut g, &cs);
+        let c4 = g.comments.index_of(14).unwrap();
+        let u4 = g.users.index_of(104).unwrap();
+        assert_eq!(g.likes.get(c4, u4), Some(1));
+    }
+}

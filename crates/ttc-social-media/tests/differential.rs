@@ -1,0 +1,203 @@
+//! Differential and property-based tests for the case-study solutions: on randomly
+//! generated workloads, every solution variant (batch, incremental, incremental-CC,
+//! serial, parallel) must return identical results after every changeset, and the
+//! maintained scores must match a from-scratch recomputation.
+
+use datagen::{generate_workload, GeneratorConfig};
+use proptest::prelude::*;
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::{
+    run_solution, GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc,
+};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    // small but varied workloads
+    (
+        2usize..20,   // users
+        1usize..6,    // posts
+        2usize..30,   // comments
+        0usize..25,   // friendships
+        0usize..40,   // likes
+        1usize..5,    // changesets
+        1usize..25,   // total inserts
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(users, posts, comments, friendships, likes, changesets, total_inserts, seed)| {
+                GeneratorConfig {
+                    scale_factor: 0,
+                    users,
+                    posts,
+                    comments,
+                    friendships,
+                    likes,
+                    changesets,
+                    total_inserts,
+                    skew: 0.9,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn q1_variants_agree_on_random_workloads(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut batch = GraphBlasBatch::new(Query::Q1, false);
+        let mut batch_par = GraphBlasBatch::new(Query::Q1, true);
+        let mut incremental = GraphBlasIncremental::new(Query::Q1, false);
+        let mut incremental_par = GraphBlasIncremental::new(Query::Q1, true);
+
+        let reference = run_solution(&mut batch, &workload);
+        prop_assert_eq!(&reference, &run_solution(&mut batch_par, &workload));
+        prop_assert_eq!(&reference, &run_solution(&mut incremental, &workload));
+        prop_assert_eq!(&reference, &run_solution(&mut incremental_par, &workload));
+    }
+
+    #[test]
+    fn q2_variants_agree_on_random_workloads(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut batch = GraphBlasBatch::new(Query::Q2, false);
+        let mut batch_par = GraphBlasBatch::new(Query::Q2, true);
+        let mut incremental = GraphBlasIncremental::new(Query::Q2, false);
+        let mut incremental_par = GraphBlasIncremental::new(Query::Q2, true);
+        let mut incremental_cc = GraphBlasIncrementalCc::new();
+
+        let reference = run_solution(&mut batch, &workload);
+        prop_assert_eq!(&reference, &run_solution(&mut batch_par, &workload));
+        prop_assert_eq!(&reference, &run_solution(&mut incremental, &workload));
+        prop_assert_eq!(&reference, &run_solution(&mut incremental_par, &workload));
+        prop_assert_eq!(&reference, &run_solution(&mut incremental_cc, &workload));
+    }
+
+    #[test]
+    fn results_always_have_at_most_three_ids(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+        for result in run_solution(&mut solution, &workload) {
+            let ids: Vec<&str> = result.split('|').filter(|s| !s.is_empty()).collect();
+            prop_assert!(ids.len() <= 3);
+            // ids must be distinct
+            let unique: std::collections::HashSet<&str> = ids.iter().copied().collect();
+            prop_assert_eq!(unique.len(), ids.len());
+        }
+    }
+
+    #[test]
+    fn q1_scores_never_decrease_across_changesets(config in config_strategy()) {
+        // the insert-only workload can only increase Q1 scores — the invariant that
+        // justifies the paper's top-3 merging strategy
+        let workload = generate_workload(&config);
+        let mut graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        let mut previous = ttc_social_media::q1::q1_batch_scores(&graph, false);
+        for changeset in &workload.changesets {
+            ttc_social_media::apply_changeset(&mut graph, changeset);
+            let current = ttc_social_media::q1::q1_batch_scores(&graph, false);
+            for (post, old_score) in previous.iter() {
+                prop_assert!(current.get(post).unwrap_or(0) >= old_score);
+            }
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn q2_scores_never_decrease_across_changesets(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        let mut previous = ttc_social_media::q2::q2_batch_scores(&graph, false);
+        for changeset in &workload.changesets {
+            ttc_social_media::apply_changeset(&mut graph, changeset);
+            let current = ttc_social_media::q2::q2_batch_scores(&graph, false);
+            for (comment, old_score) in previous.iter() {
+                prop_assert!(current.get(comment).unwrap_or(0) >= old_score);
+            }
+            previous = current;
+        }
+    }
+}
+
+#[test]
+fn csv_loaded_workload_produces_identical_results() {
+    // run the same workload once from memory and once through the CSV loader
+    let workload = generate_workload(&GeneratorConfig::tiny(101));
+    let network_csv = datagen::network_to_csv(&workload.initial);
+    let changeset_csvs: Vec<String> = workload
+        .changesets
+        .iter()
+        .map(datagen::changeset_to_csv)
+        .collect();
+    let reloaded =
+        ttc_social_media::loader::load_workload_from_csv(&network_csv, &changeset_csvs).unwrap();
+
+    let mut direct = GraphBlasIncremental::new(Query::Q1, false);
+    let mut via_csv = GraphBlasIncremental::new(Query::Q1, false);
+    assert_eq!(
+        run_solution(&mut direct, &workload),
+        run_solution(&mut via_csv, &reloaded)
+    );
+}
+
+#[test]
+fn solutions_are_reusable_across_workloads() {
+    // loading a second workload resets the state completely
+    let first = generate_workload(&GeneratorConfig::tiny(103));
+    let second = generate_workload(&GeneratorConfig::tiny(104));
+    let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+    let _ = run_solution(&mut solution, &first);
+    let fresh_results = run_solution(&mut solution, &second);
+
+    let mut fresh = GraphBlasIncremental::new(Query::Q2, false);
+    assert_eq!(fresh_results, run_solution(&mut fresh, &second));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The affected-comment detection of the incremental Q2 algorithm (Steps 1-5 of
+    /// Fig. 4b, the `NewFriends` incidence-matrix trick) must never miss a comment
+    /// whose score actually changes: it may over-approximate, but every comment whose
+    /// Q2 score differs after the changeset has to be in the affected set.
+    #[test]
+    fn q2_affected_set_covers_every_score_change(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        let mut before = ttc_social_media::q2::q2_batch_scores(&graph, false);
+        for changeset in &workload.changesets {
+            let delta = ttc_social_media::apply_changeset(&mut graph, changeset);
+            let affected = ttc_social_media::q2::affected_comments(&graph, &delta, false);
+            let affected_set: std::collections::HashSet<usize> = affected.into_iter().collect();
+            let after = ttc_social_media::q2::q2_batch_scores(&graph, false);
+            for comment in 0..graph.comment_count() {
+                let old = before.get(comment).unwrap_or(0);
+                let new = after.get(comment).unwrap_or(0);
+                if old != new {
+                    prop_assert!(
+                        affected_set.contains(&comment),
+                        "comment {} changed score {} -> {} but was not detected as affected",
+                        comment, old, new
+                    );
+                }
+            }
+            before = after;
+        }
+    }
+
+    /// The affected-set detection agrees between the serial and the rayon-parallel
+    /// (comment-granularity) implementation.
+    #[test]
+    fn q2_affected_set_is_identical_serial_and_parallel(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut graph = ttc_social_media::SocialGraph::from_network(&workload.initial);
+        for changeset in &workload.changesets {
+            let delta = ttc_social_media::apply_changeset(&mut graph, changeset);
+            let mut serial = ttc_social_media::q2::affected_comments(&graph, &delta, false);
+            let mut parallel = ttc_social_media::q2::affected_comments(&graph, &delta, true);
+            serial.sort_unstable();
+            parallel.sort_unstable();
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+}

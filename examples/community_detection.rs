@@ -1,0 +1,98 @@
+//! Community structure of the friendship graph, using the GraphBLAS substrate and the
+//! LAGraph-style algorithm layer directly (no case-study code): builds the `Friends`
+//! adjacency matrix of a synthetic network, runs FastSV connected components, reports
+//! the component size distribution, and runs a BFS from the most connected user.
+//!
+//! ```text
+//! cargo run --release --example community_detection [scale_factor]
+//! ```
+
+use std::collections::HashMap;
+
+use ttc2018_graphblas::datagen::generate_scale_factor;
+use ttc2018_graphblas::graphblas::monoid::stock as monoids;
+use ttc2018_graphblas::graphblas::ops::reduce_matrix_rows;
+use ttc2018_graphblas::graphblas::ops_traits::First;
+use ttc2018_graphblas::graphblas::Matrix;
+use ttc2018_graphblas::lagraph::{bfs_levels, component_sizes, connected_components};
+
+fn main() {
+    let scale_factor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let workload = generate_scale_factor(scale_factor);
+    let network = &workload.initial;
+
+    // Dense user indexing.
+    let user_index: HashMap<u64, usize> = network
+        .users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.id, i))
+        .collect();
+    let n = network.users.len();
+
+    // Symmetric friendship matrix.
+    let mut tuples = Vec::with_capacity(network.friendships.len() * 2);
+    for &(a, b) in &network.friendships {
+        let (ia, ib) = (user_index[&a], user_index[&b]);
+        tuples.push((ia, ib, 1u64));
+        tuples.push((ib, ia, 1u64));
+    }
+    let friends = Matrix::from_tuples(n, n, &tuples, First::new()).expect("indices in range");
+
+    println!(
+        "friendship graph: {} users, {} friendships",
+        n,
+        network.friendships.len()
+    );
+
+    // Connected components via FastSV.
+    let labels = connected_components(&friends).expect("square matrix");
+    let sizes = component_sizes(&labels);
+    let largest = sizes.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    let singletons = sizes.iter().filter(|&&(_, s)| s == 1).count();
+    println!(
+        "connected components: {} (largest = {} users, singletons = {})",
+        sizes.len(),
+        largest,
+        singletons
+    );
+
+    // Degree distribution via a row reduction.
+    let degrees = reduce_matrix_rows(&friends, monoids::plus::<u64>());
+    let max_degree_user = degrees
+        .iter()
+        .max_by_key(|&(_, d)| d)
+        .map(|(u, d)| (u, d))
+        .unwrap_or((0, 0));
+    println!(
+        "most connected user: index {} with {} friends",
+        max_degree_user.0, max_degree_user.1
+    );
+
+    // BFS from the hub: how much of its component is within 2 hops?
+    let levels = bfs_levels(&friends, max_degree_user.0).expect("valid source");
+    let within_two_hops = levels.iter().filter(|&(_, l)| l <= 2).count();
+    println!(
+        "BFS from the hub: {} users reachable, {} within 2 hops",
+        levels.nvals(),
+        within_two_hops
+    );
+
+    // A small histogram of component sizes.
+    let mut histogram: HashMap<u64, usize> = HashMap::new();
+    for &(_, s) in &sizes {
+        *histogram.entry(s).or_insert(0) += 1;
+    }
+    let mut buckets: Vec<(u64, usize)> = histogram.into_iter().collect();
+    buckets.sort_unstable();
+    println!("component size histogram (size -> count):");
+    for (size, count) in buckets.iter().take(10) {
+        println!("  {size:>6} -> {count}");
+    }
+    if buckets.len() > 10 {
+        println!("  ... and {} more bucket(s)", buckets.len() - 10);
+    }
+}

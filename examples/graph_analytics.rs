@@ -1,0 +1,108 @@
+//! Whole-graph analytics over the synthetic social network, exercising the extended
+//! LAGraph-style algorithm layer (PageRank, triangle counting, clustering
+//! coefficients, k-core decomposition, label-propagation communities, shortest paths)
+//! on top of the GraphBLAS substrate — the "graph analytical tools" workload profile
+//! the paper's introduction contrasts with transactional graph queries.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics [scale_factor]
+//! ```
+
+use std::collections::HashMap;
+
+use ttc2018_graphblas::datagen::generate_scale_factor;
+use ttc2018_graphblas::graphblas::ops_traits::First;
+use ttc2018_graphblas::graphblas::Matrix;
+use ttc2018_graphblas::lagraph::{
+    communities, connected_components, degeneracy, global_clustering_coefficient,
+    kcore_decomposition, label_propagation, local_clustering_coefficient, pagerank, sssp_hops,
+    triangle_count, LabelPropagationOptions, PageRankOptions,
+};
+
+fn main() {
+    let scale_factor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let workload = generate_scale_factor(scale_factor);
+    let network = workload.final_network();
+
+    // Friendship adjacency matrix over densely re-indexed users.
+    let user_index: HashMap<u64, usize> = network
+        .users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.id, i))
+        .collect();
+    let n = network.users.len();
+    let mut tuples = Vec::with_capacity(network.friendships.len() * 2);
+    for &(a, b) in &network.friendships {
+        let (ia, ib) = (user_index[&a], user_index[&b]);
+        tuples.push((ia, ib, 1u64));
+        tuples.push((ib, ia, 1u64));
+    }
+    let friends = Matrix::from_tuples(n, n, &tuples, First::new()).expect("indices in range");
+
+    println!(
+        "friendship graph at scale factor {scale_factor}: {} users, {} friendships",
+        n,
+        network.friendships.len()
+    );
+
+    // Connected components.
+    let labels = connected_components(&friends).expect("square matrix");
+    let distinct: std::collections::HashSet<u64> = labels.values().iter().copied().collect();
+    println!("connected components: {}", distinct.len());
+
+    // PageRank: the most central users.
+    let ranks = pagerank(&friends, PageRankOptions::default()).expect("square matrix");
+    let mut ranked: Vec<(usize, f64)> = ranks.iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("top 5 users by PageRank:");
+    for (user, score) in ranked.iter().take(5) {
+        println!("  user index {user:>6}  rank {score:.6}");
+    }
+
+    // Triangles and clustering.
+    let triangles = triangle_count(&friends).expect("square matrix");
+    let global_cc = global_clustering_coefficient(&friends).expect("square matrix");
+    let local_cc = local_clustering_coefficient(&friends).expect("square matrix");
+    let mean_local: f64 = if n == 0 {
+        0.0
+    } else {
+        local_cc.values().iter().sum::<f64>() / n as f64
+    };
+    println!(
+        "triangles: {triangles}, global clustering coefficient: {global_cc:.4}, mean local: {mean_local:.4}"
+    );
+
+    // k-core structure.
+    let cores = kcore_decomposition(&friends).expect("square matrix");
+    let degeneracy = degeneracy(&friends).expect("square matrix");
+    let in_max_core = cores
+        .values()
+        .iter()
+        .filter(|&&c| c == degeneracy)
+        .count();
+    println!("degeneracy (max k-core): {degeneracy}, users in the innermost core: {in_max_core}");
+
+    // Label-propagation communities.
+    let community_labels =
+        label_propagation(&friends, LabelPropagationOptions::default()).expect("square matrix");
+    let groups = communities(&community_labels);
+    println!(
+        "label-propagation communities: {} (largest has {} users)",
+        groups.len(),
+        groups.first().map(|g| g.len()).unwrap_or(0)
+    );
+
+    // Hop distances from the highest-PageRank user.
+    if let Some(&(hub, _)) = ranked.first() {
+        let hops = sssp_hops(&friends, hub).expect("valid source");
+        let reachable = hops.nvals();
+        let max_hops = hops.values().iter().copied().max().unwrap_or(0);
+        println!(
+            "from the top-PageRank user: {reachable} users reachable, eccentricity {max_hops} hops"
+        );
+    }
+}

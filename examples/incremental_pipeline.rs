@@ -1,0 +1,95 @@
+//! A miniature version of the paper's evaluation: run every tool variant (GraphBLAS
+//! batch / incremental, serial / parallel, and the NMF-style baselines) on the same
+//! synthetic workload, check that they return identical results, and print a small
+//! timing table per phase — the same protocol the `figure5` harness runs over the full
+//! scale-factor sweep.
+//!
+//! ```text
+//! cargo run --release --example incremental_pipeline [scale_factor]
+//! ```
+
+use std::time::Instant;
+
+use ttc2018_graphblas::datagen::generate_scale_factor;
+use ttc2018_graphblas::nmf_baseline::{NmfBatch, NmfIncremental};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{
+    GraphBlasBatch, GraphBlasIncremental, Solution,
+};
+
+fn measure(
+    solution: &mut dyn Solution,
+    workload: &ttc2018_graphblas::datagen::Workload,
+) -> (f64, f64, Vec<String>) {
+    let start = Instant::now();
+    let mut results = vec![solution.load_and_initial(&workload.initial)];
+    let load = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for changeset in &workload.changesets {
+        results.push(solution.update_and_reevaluate(changeset));
+    }
+    let update = start.elapsed().as_secs_f64();
+    (load, update, results)
+}
+
+fn main() {
+    let scale_factor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let workload = generate_scale_factor(scale_factor);
+    println!(
+        "scale factor {}: {} nodes, {} edges, {} changesets\n",
+        scale_factor,
+        workload.initial.node_count(),
+        workload.initial.edge_count(),
+        workload.changesets.len()
+    );
+
+    for query in [Query::Q1, Query::Q2] {
+        println!("=== {query} ===");
+        println!(
+            "{:<28} {:>16} {:>20}",
+            "tool", "load+initial [s]", "update+reeval [s]"
+        );
+
+        let mut tools: Vec<(String, Box<dyn Solution>)> = vec![
+            (
+                "GraphBLAS Batch".into(),
+                Box::new(GraphBlasBatch::new(query, false)),
+            ),
+            (
+                "GraphBLAS Incremental".into(),
+                Box::new(GraphBlasIncremental::new(query, false)),
+            ),
+            (
+                "GraphBLAS Batch (parallel)".into(),
+                Box::new(GraphBlasBatch::new(query, true)),
+            ),
+            (
+                "GraphBLAS Incr. (parallel)".into(),
+                Box::new(GraphBlasIncremental::new(query, true)),
+            ),
+            ("NMF Batch".into(), Box::new(NmfBatch::new(query))),
+            ("NMF Incremental".into(), Box::new(NmfIncremental::new(query))),
+        ];
+
+        let mut reference: Option<Vec<String>> = None;
+        for (name, solution) in tools.iter_mut() {
+            let (load, update, results) = measure(solution.as_mut(), &workload);
+            match &reference {
+                None => reference = Some(results),
+                Some(expected) => assert_eq!(
+                    expected, &results,
+                    "{name} disagrees with the reference results"
+                ),
+            }
+            println!("{name:<28} {load:>16.4} {update:>20.4}");
+        }
+        println!(
+            "final top-3: {}\n",
+            reference.expect("at least one tool ran").last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Influential posts on a synthetic social network: drives the Q1 incremental
+//! solution over an LDBC-like workload and prints how the top-3 evolves as changesets
+//! arrive — the kind of "continuously updated dashboard" workload the paper's
+//! introduction motivates (mix of analytical scoring and transactional updates).
+//!
+//! ```text
+//! cargo run --release --example influential_posts [scale_factor]
+//! ```
+
+use ttc2018_graphblas::datagen::{generate_scale_factor, GeneratorConfig};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{
+    GraphBlasBatch, GraphBlasIncremental, Solution,
+};
+
+fn main() {
+    let scale_factor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let workload = if scale_factor == 0 {
+        ttc2018_graphblas::datagen::generate_workload(&GeneratorConfig::tiny(7))
+    } else {
+        generate_scale_factor(scale_factor)
+    };
+
+    println!(
+        "workload: {} nodes, {} edges, {} changesets, {} inserted elements",
+        workload.initial.node_count(),
+        workload.initial.edge_count(),
+        workload.changesets.len(),
+        workload.total_inserted_elements()
+    );
+
+    let mut incremental = GraphBlasIncremental::new(Query::Q1, false);
+    let mut batch = GraphBlasBatch::new(Query::Q1, false);
+
+    let start = std::time::Instant::now();
+    let initial = incremental.load_and_initial(&workload.initial);
+    let incremental_load = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let batch_initial = batch.load_and_initial(&workload.initial);
+    let batch_load = start.elapsed();
+
+    assert_eq!(initial, batch_initial, "batch and incremental must agree");
+    println!();
+    println!("initial top-3 posts: {initial}");
+    println!(
+        "load + initial evaluation: incremental {:?}, batch {:?}",
+        incremental_load, batch_load
+    );
+    println!();
+
+    let mut incremental_total = std::time::Duration::ZERO;
+    let mut batch_total = std::time::Duration::ZERO;
+    for (i, changeset) in workload.changesets.iter().enumerate() {
+        let start = std::time::Instant::now();
+        let result = incremental.update_and_reevaluate(changeset);
+        incremental_total += start.elapsed();
+
+        let start = std::time::Instant::now();
+        let batch_result = batch.update_and_reevaluate(changeset);
+        batch_total += start.elapsed();
+
+        assert_eq!(result, batch_result, "batch and incremental must agree");
+        println!(
+            "after changeset {:>2} ({:>2} ops): top-3 = {}",
+            i + 1,
+            changeset.operations.len(),
+            result
+        );
+    }
+
+    println!();
+    println!(
+        "update + reevaluation totals: incremental {:?}, batch {:?} ({:.1}x)",
+        incremental_total,
+        batch_total,
+        batch_total.as_secs_f64() / incremental_total.as_secs_f64().max(1e-9)
+    );
+}

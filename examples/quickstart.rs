@@ -1,0 +1,57 @@
+//! Quickstart: the running example of the paper (Fig. 3a / 3b) end to end.
+//!
+//! Builds the example social network, answers Q1 ("influential posts") and Q2
+//! ("influential comments") with the batch GraphBLAS algorithms, applies the update of
+//! Fig. 3b and re-evaluates both queries incrementally.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ttc2018_graphblas::ttc_social_media::graph::{
+    paper_example_changeset, paper_example_network, SocialGraph,
+};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{GraphBlasIncremental, Solution};
+use ttc2018_graphblas::ttc_social_media::{q1, q2};
+
+fn main() {
+    let network = paper_example_network();
+    let graph = SocialGraph::from_network(&network);
+
+    println!("== Initial graph (Fig. 3a) ==");
+    println!(
+        "posts = {}, comments = {}, users = {}",
+        graph.post_count(),
+        graph.comment_count(),
+        graph.user_count()
+    );
+
+    // Q1 batch: score of every post.
+    let q1_scores = q1::q1_batch_scores(&graph, false);
+    for (post, score) in q1_scores.iter() {
+        println!("Q1 score of post {} = {}", graph.post_id(post), score);
+    }
+
+    // Q2 batch: score of every comment.
+    let q2_scores = q2::q2_batch_scores(&graph, false);
+    for (comment, score) in q2_scores.iter() {
+        println!("Q2 score of comment {} = {}", graph.comment_id(comment), score);
+    }
+
+    // Incremental solutions, exactly as the benchmark drives them.
+    let mut q1_solution = GraphBlasIncremental::new(Query::Q1, false);
+    let mut q2_solution = GraphBlasIncremental::new(Query::Q2, false);
+    println!();
+    println!("Q1 initial result: {}", q1_solution.load_and_initial(&network));
+    println!("Q2 initial result: {}", q2_solution.load_and_initial(&network));
+
+    println!();
+    println!("== Applying the update of Fig. 3b ==");
+    let changeset = paper_example_changeset();
+    println!("Q1 after update:   {}", q1_solution.update_and_reevaluate(&changeset));
+    println!("Q2 after update:   {}", q2_solution.update_and_reevaluate(&changeset));
+    println!();
+    println!("(expected: Q2 moves comment 14 into the top 3, and comment 12's score");
+    println!(" rises from 5 to 16 because its likers now form a single component)");
+}

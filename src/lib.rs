@@ -1,0 +1,17 @@
+//! Umbrella crate for the TTC 2018 "Social Media" GraphBLAS reproduction.
+//!
+//! This crate simply re-exports the workspace members so that the repository-level
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`graphblas`] — the sparse linear-algebra substrate (GraphBLAS-style API).
+//! * [`lagraph`] — graph algorithms (FastSV connected components, BFS, incremental CC).
+//! * [`datagen`] — LDBC-Datagen-like synthetic social-network generator.
+//! * [`ttc_social_media`] — the paper's contribution: batch and incremental
+//!   GraphBLAS solutions for queries Q1 and Q2.
+//! * [`nmf_baseline`] — object-model reference baseline (NMF analogue).
+
+pub use datagen;
+pub use graphblas;
+pub use lagraph;
+pub use nmf_baseline;
+pub use ttc_social_media;

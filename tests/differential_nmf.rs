@@ -1,0 +1,95 @@
+//! Property-based differential testing between the GraphBLAS solutions and the
+//! NMF-style object-model baseline: on randomly generated insert-only workloads, every
+//! tool variant of the paper's Figure 5 must produce identical query results after the
+//! initial evaluation and after every changeset.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::{generate_workload, GeneratorConfig};
+use ttc2018_graphblas::nmf_baseline::{NmfBatch, NmfIncremental};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{run_solution, Solution};
+use ttc2018_graphblas::ttc_social_media::{
+    GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc,
+};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..16,   // users
+        1usize..5,    // posts
+        1usize..20,   // comments
+        0usize..20,   // friendships
+        0usize..30,   // likes
+        1usize..4,    // changesets
+        1usize..20,   // total inserts
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(users, posts, comments, friendships, likes, changesets, total_inserts, seed)| {
+                GeneratorConfig {
+                    scale_factor: 0,
+                    users,
+                    posts,
+                    comments,
+                    friendships,
+                    likes,
+                    changesets,
+                    total_inserts,
+                    skew: 0.8,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_tool_variant_agrees_on_q1(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut variants: Vec<Box<dyn Solution>> = vec![
+            Box::new(GraphBlasBatch::new(Query::Q1, false)),
+            Box::new(GraphBlasIncremental::new(Query::Q1, false)),
+            Box::new(GraphBlasIncremental::new(Query::Q1, true)),
+            Box::new(NmfBatch::new(Query::Q1)),
+            Box::new(NmfIncremental::new(Query::Q1)),
+        ];
+        let reference = run_solution(variants[0].as_mut(), &workload);
+        prop_assert_eq!(reference.len(), workload.changesets.len() + 1);
+        for variant in variants.iter_mut().skip(1) {
+            let results = run_solution(variant.as_mut(), &workload);
+            prop_assert_eq!(&results, &reference, "{} disagrees with GraphBLAS Batch", variant.name());
+        }
+    }
+
+    #[test]
+    fn every_tool_variant_agrees_on_q2(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut variants: Vec<Box<dyn Solution>> = vec![
+            Box::new(GraphBlasBatch::new(Query::Q2, false)),
+            Box::new(GraphBlasIncremental::new(Query::Q2, false)),
+            Box::new(GraphBlasIncremental::new(Query::Q2, true)),
+            Box::new(GraphBlasIncrementalCc::new()),
+            Box::new(NmfBatch::new(Query::Q2)),
+            Box::new(NmfIncremental::new(Query::Q2)),
+        ];
+        let reference = run_solution(variants[0].as_mut(), &workload);
+        for variant in variants.iter_mut().skip(1) {
+            let results = run_solution(variant.as_mut(), &workload);
+            prop_assert_eq!(&results, &reference, "{} disagrees with GraphBLAS Batch", variant.name());
+        }
+    }
+
+    #[test]
+    fn results_are_valid_top3_strings(config in config_strategy()) {
+        let workload = generate_workload(&config);
+        let mut nmf = NmfIncremental::new(Query::Q1);
+        for line in run_solution(&mut nmf, &workload) {
+            let ids: Vec<&str> = line.split('|').filter(|s| !s.is_empty()).collect();
+            prop_assert!(ids.len() <= 3);
+            for id in ids {
+                prop_assert!(id.chars().all(|c| c.is_ascii_digit()), "non-numeric id {id:?}");
+            }
+        }
+    }
+}

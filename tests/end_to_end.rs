@@ -1,0 +1,85 @@
+//! Repository-level end-to-end tests: generate a workload with `datagen`, serialise it
+//! through the CSV format, load it with the `ttc-social-media` loader, and run every
+//! solution variant (GraphBLAS and the NMF-style baseline) to completion, checking
+//! that they all agree — the full pipeline a user of this repository would run.
+
+use ttc2018_graphblas::datagen::{self, GeneratorConfig};
+use ttc2018_graphblas::nmf_baseline::{NmfBatch, NmfIncremental};
+use ttc2018_graphblas::ttc_social_media::loader::load_workload_from_csv;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{run_solution, Solution};
+use ttc2018_graphblas::ttc_social_media::{
+    GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc,
+};
+
+fn all_solutions(query: Query) -> Vec<Box<dyn Solution>> {
+    let mut solutions: Vec<Box<dyn Solution>> = vec![
+        Box::new(GraphBlasBatch::new(query, false)),
+        Box::new(GraphBlasBatch::new(query, true)),
+        Box::new(GraphBlasIncremental::new(query, false)),
+        Box::new(GraphBlasIncremental::new(query, true)),
+        Box::new(NmfBatch::new(query)),
+        Box::new(NmfIncremental::new(query)),
+    ];
+    if query == Query::Q2 {
+        solutions.push(Box::new(GraphBlasIncrementalCc::new()));
+    }
+    solutions
+}
+
+#[test]
+fn full_pipeline_from_csv_to_results() {
+    let workload = datagen::generate_workload(&GeneratorConfig::tiny(401));
+
+    // Serialise and reload through the benchmark's CSV layout.
+    let network_csv = datagen::network_to_csv(&workload.initial);
+    let changeset_csvs: Vec<String> = workload
+        .changesets
+        .iter()
+        .map(datagen::changeset_to_csv)
+        .collect();
+    let loaded = load_workload_from_csv(&network_csv, &changeset_csvs).unwrap();
+    assert_eq!(loaded, workload);
+
+    for query in [Query::Q1, Query::Q2] {
+        let mut reference: Option<Vec<String>> = None;
+        for mut solution in all_solutions(query) {
+            let results = run_solution(solution.as_mut(), &loaded);
+            assert_eq!(results.len(), loaded.changesets.len() + 1);
+            match &reference {
+                None => reference = Some(results),
+                Some(expected) => {
+                    assert_eq!(expected, &results, "{} disagrees", solution.name())
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_scale_factor_one_runs_end_to_end() {
+    // The smallest real benchmark size (Table II row 1): ~1.3k nodes, ~2.5k edges.
+    let workload = datagen::generate_scale_factor(1);
+    assert!(workload.initial.node_count() > 1000);
+
+    for query in [Query::Q1, Query::Q2] {
+        let mut batch = GraphBlasBatch::new(query, false);
+        let mut incremental = GraphBlasIncremental::new(query, true);
+        let batch_results = run_solution(&mut batch, &workload);
+        let incremental_results = run_solution(&mut incremental, &workload);
+        assert_eq!(batch_results, incremental_results);
+        // top-3 of a non-trivial graph should contain three distinct ids
+        assert_eq!(batch_results.last().unwrap().split('|').count(), 3);
+    }
+}
+
+#[test]
+fn workload_statistics_match_table2_row_one() {
+    let workload = datagen::generate_scale_factor(1);
+    let nodes = workload.initial.node_count() as f64;
+    let edges = workload.initial.edge_count() as f64;
+    let inserts = workload.total_inserted_elements();
+    assert!((nodes - 1274.0).abs() / 1274.0 < 0.15);
+    assert!((edges - 2533.0).abs() / 2533.0 < 0.20);
+    assert!((40..=140).contains(&inserts));
+}
