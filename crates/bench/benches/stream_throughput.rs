@@ -1,0 +1,87 @@
+//! Criterion benchmark of the streaming update driver: per-micro-batch update cost
+//! of the batch vs incremental solutions under a mixed insert/retract stream.
+//!
+//! Complements the `stream_throughput` binary (which reports sustained
+//! updates/second and latency percentiles as JSON): here each measurement is one
+//! driver run over a fixed number of pre-generated micro-batches, so the criterion
+//! numbers are comparable across commits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::stream::{StreamConfig, UpdateStream};
+use datagen::{generate_scale_factor, ChangeSet};
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::{GraphBlasBatch, GraphBlasIncremental};
+use ttc_social_media::stream::StreamDriver;
+
+fn batches_for(sf: u64, count: usize) -> (datagen::SocialNetwork, Vec<ChangeSet>) {
+    let network = generate_scale_factor(sf).initial;
+    let stream = UpdateStream::new(
+        &network,
+        StreamConfig {
+            seed: 0xbead,
+            batch_size: 32,
+            ..StreamConfig::default()
+        },
+    );
+    let batches = stream.take(count).collect();
+    (network, batches)
+}
+
+fn bench_stream_updates(c: &mut Criterion) {
+    for &sf in &[1u64, 4] {
+        let (network, batches) = batches_for(sf, 20);
+        let mut group = c.benchmark_group(format!("stream/sf{sf}/20x32ops"));
+        group.sample_size(10);
+        for query in [Query::Q1, Query::Q2] {
+            group.bench_with_input(
+                BenchmarkId::new("incremental", format!("{query:?}")),
+                &query,
+                |b, &query| {
+                    b.iter(|| {
+                        let mut solution = GraphBlasIncremental::new(query, false);
+                        StreamDriver::default().run(
+                            &mut solution,
+                            &network,
+                            batches.iter().cloned(),
+                            batches.len(),
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("batch", format!("{query:?}")),
+                &query,
+                |b, &query| {
+                    b.iter(|| {
+                        let mut solution = GraphBlasBatch::new(query, false);
+                        StreamDriver::default().run(
+                            &mut solution,
+                            &network,
+                            batches.iter().cloned(),
+                            batches.len(),
+                        )
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_generation_only(c: &mut Criterion) {
+    let network = generate_scale_factor(1).initial;
+    let mut group = c.benchmark_group("stream/generation");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("100x64ops"), &(), |b, _| {
+        b.iter(|| {
+            let stream = UpdateStream::new(&network, StreamConfig::default());
+            let ops: usize = stream.take(100).map(|b| b.operations.len()).sum();
+            assert!(ops > 0);
+            ops
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_updates, bench_generation_only);
+criterion_main!(benches);

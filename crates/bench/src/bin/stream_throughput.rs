@@ -1,0 +1,199 @@
+//! Sustained streaming-update throughput of the tool variants.
+//!
+//! Generates a synthetic network at a given scale factor, attaches a seeded
+//! [`datagen::stream::UpdateStream`] (new comments / likes / friendships plus
+//! like/friendship retractions), and drives micro-batches through the selected
+//! solutions with [`ttc_social_media::stream::StreamDriver`]. Prints one JSON object
+//! per (query, variant) line with p50/p90/p99/max per-batch latency and the
+//! sustained updates/second.
+//!
+//! ```text
+//! cargo run -p bench --release --bin stream_throughput -- [--sf 1] [--batches 200] \
+//!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
+//!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
+//!     [--threads 1]
+//! ```
+
+use bench::run_in_pool;
+use datagen::stream::{StreamConfig, UpdateStream};
+use datagen::{generate_scale_factor, SocialNetwork};
+use serde_json::json;
+use ttc_social_media::model::Query;
+use ttc_social_media::solution::Solution;
+use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
+
+struct Args {
+    scale_factor: u64,
+    batches: usize,
+    batch_size: usize,
+    warmup: usize,
+    seed: u64,
+    deletions: f64,
+    queries: Vec<Query>,
+    variants: Vec<String>,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale_factor: 1,
+        batches: 200,
+        batch_size: 64,
+        warmup: 10,
+        seed: 42,
+        deletions: 0.1,
+        queries: vec![Query::Q1, Query::Q2],
+        variants: vec!["incremental".to_string()],
+        threads: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sf" => {
+                i += 1;
+                args.scale_factor = argv[i].parse().expect("--sf expects an integer");
+            }
+            "--batches" => {
+                i += 1;
+                args.batches = argv[i].parse().expect("--batches expects an integer");
+            }
+            "--batch-size" => {
+                i += 1;
+                args.batch_size = argv[i].parse().expect("--batch-size expects an integer");
+            }
+            "--warmup" => {
+                i += 1;
+                args.warmup = argv[i].parse().expect("--warmup expects an integer");
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv[i].parse().expect("--seed expects an integer");
+            }
+            "--deletions" => {
+                i += 1;
+                args.deletions = argv[i].parse().expect("--deletions expects a weight");
+            }
+            "--query" => {
+                i += 1;
+                args.queries = match argv[i].to_lowercase().as_str() {
+                    "q1" => vec![Query::Q1],
+                    "q2" => vec![Query::Q2],
+                    _ => vec![Query::Q1, Query::Q2],
+                };
+            }
+            "--variant" => {
+                i += 1;
+                args.variants = match argv[i].to_lowercase().as_str() {
+                    "all" => vec![
+                        "batch".to_string(),
+                        "incremental".to_string(),
+                        "incremental-cc".to_string(),
+                        "nmf".to_string(),
+                    ],
+                    other => vec![other.to_string()],
+                };
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv[i].parse().expect("--threads expects an integer");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn build_variant(name: &str, query: Query, parallel: bool) -> Box<dyn Solution> {
+    use nmf_baseline::NmfIncremental;
+    use ttc_social_media::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc};
+    match name {
+        "batch" => Box::new(GraphBlasBatch::new(query, parallel)),
+        "incremental" => Box::new(GraphBlasIncremental::new(query, parallel)),
+        "incremental-cc" => match query {
+            Query::Q2 => Box::new(GraphBlasIncrementalCc::new()),
+            Query::Q1 => Box::new(GraphBlasIncremental::new(query, parallel)),
+        },
+        "nmf" => Box::new(NmfIncremental::new(query)),
+        other => {
+            eprintln!("unknown variant {other} (batch|incremental|incremental-cc|nmf|all)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn stream_for(args: &Args, network: &SocialNetwork) -> UpdateStream {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed: args.seed,
+            batch_size: args.batch_size,
+            deletion_weight: args.deletions,
+            ..StreamConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let network = generate_scale_factor(args.scale_factor).initial;
+    eprintln!(
+        "# network: sf={} nodes={} edges={}; stream: batches={} x {} ops, warmup={}, \
+         deletion weight {}, threads={}",
+        args.scale_factor,
+        network.node_count(),
+        network.edge_count(),
+        args.batches,
+        args.batch_size,
+        args.warmup,
+        args.deletions,
+        args.threads,
+    );
+
+    let driver = StreamDriver::new(StreamDriverConfig {
+        warmup_batches: args.warmup,
+        coalesce: true,
+    });
+    let parallel = args.threads > 1;
+    for &query in &args.queries {
+        for variant in &args.variants {
+            if variant == "incremental-cc" && query == Query::Q1 {
+                // the incremental-CC backend is Q2-only; a Q1 row would just
+                // re-measure the plain incremental solution under a wrong label
+                eprintln!("# skipping incremental-cc for Q1 (Q2-only variant)");
+                continue;
+            }
+            let stream = stream_for(&args, &network);
+            // the solution is built inside the pool so the whole run (including the
+            // initial load) sees the configured worker count
+            let report = run_in_pool(args.threads, || {
+                let mut solution = build_variant(variant, query, parallel);
+                driver.run(solution.as_mut(), &network, stream, args.batches)
+            });
+            let row = json!({
+                "query": format!("{query:?}"),
+                "variant": variant,
+                "solution": &report.solution,
+                "scale_factor": args.scale_factor,
+                "threads": args.threads,
+                "batches": report.batches,
+                "batch_size": args.batch_size,
+                "total_operations": report.total_operations,
+                "applied_operations": report.applied_operations,
+                "elapsed_secs": report.elapsed_secs,
+                "updates_per_sec": report.updates_per_sec,
+                "p50_latency_secs": report.p50_latency_secs,
+                "p90_latency_secs": report.p90_latency_secs,
+                "p99_latency_secs": report.p99_latency_secs,
+                "max_latency_secs": report.max_latency_secs,
+                "load_secs": report.load_secs,
+                "final_result": &report.final_result,
+            });
+            println!("{row}");
+        }
+    }
+}

@@ -91,8 +91,12 @@ impl SocialNetwork {
     }
 }
 
-/// A single insertion operation, as replayed during the "update and reevaluation"
-/// phase. The TTC 2018 workload contains only insertions (no deletions).
+/// A single update operation, as replayed during the "update and reevaluation"
+/// phase.
+///
+/// The TTC 2018 workload contains only insertions; the streaming workloads of
+/// [`crate::stream`] additionally retract `likes` and `friends` edges (node
+/// deletions are not modelled — submissions are immutable in the case study).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ChangeOperation {
     /// Register a new user.
@@ -124,6 +128,20 @@ pub enum ChangeOperation {
         /// The liked comment.
         comment: ElementId,
     },
+    /// A user retracts a like (streaming workloads only; a no-op if absent).
+    RemoveLike {
+        /// The un-liking user.
+        user: ElementId,
+        /// The formerly liked comment.
+        comment: ElementId,
+    },
+    /// An undirected friendship ends (streaming workloads only; a no-op if absent).
+    RemoveFriendship {
+        /// One endpoint.
+        a: ElementId,
+        /// The other endpoint.
+        b: ElementId,
+    },
 }
 
 impl ChangeOperation {
@@ -135,7 +153,16 @@ impl ChangeOperation {
             ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => 1,
             ChangeOperation::AddComment { .. } => 3,
             ChangeOperation::AddFriendship { .. } | ChangeOperation::AddLike { .. } => 1,
+            ChangeOperation::RemoveLike { .. } | ChangeOperation::RemoveFriendship { .. } => 0,
         }
+    }
+
+    /// Whether this operation retracts an element instead of inserting one.
+    pub fn is_removal(&self) -> bool {
+        matches!(
+            self,
+            ChangeOperation::RemoveLike { .. } | ChangeOperation::RemoveFriendship { .. }
+        )
     }
 }
 
@@ -150,6 +177,11 @@ impl ChangeSet {
     /// Number of inserted model elements in this changeset.
     pub fn inserted_elements(&self) -> usize {
         self.operations.iter().map(|o| o.inserted_elements()).sum()
+    }
+
+    /// Whether the changeset contains at least one removal operation.
+    pub fn has_removals(&self) -> bool {
+        self.operations.iter().any(ChangeOperation::is_removal)
     }
 
     /// Whether the changeset contains no operations.
@@ -198,6 +230,12 @@ pub fn apply_changeset(network: &mut SocialNetwork, changeset: &ChangeSet) {
             ChangeOperation::AddComment { comment } => network.comments.push(comment.clone()),
             ChangeOperation::AddFriendship { a, b } => network.friendships.push((*a, *b)),
             ChangeOperation::AddLike { user, comment } => network.likes.push((*user, *comment)),
+            ChangeOperation::RemoveLike { user, comment } => network
+                .likes
+                .retain(|&(u, c)| !(u == *user && c == *comment)),
+            ChangeOperation::RemoveFriendship { a, b } => network
+                .friendships
+                .retain(|&(x, y)| !((x, y) == (*a, *b) || (x, y) == (*b, *a))),
         }
     }
 }

@@ -99,7 +99,7 @@ pub fn network_from_csv(csv: &NetworkCsv) -> Result<SocialNetwork, String> {
 ///
 /// Operation lines are `U|id|name`, `P|id|ts|author`, `C|id|ts|author|parent|root`,
 /// `F|a|b`, `L|user|comment` — the same information content as the original change
-/// sequences.
+/// sequences — plus the streaming retractions `-L|user|comment` and `-F|a|b`.
 pub fn changeset_to_csv(changeset: &ChangeSet) -> String {
     let mut out = String::new();
     for op in &changeset.operations {
@@ -121,6 +121,12 @@ pub fn changeset_to_csv(changeset: &ChangeSet) -> String {
             }
             ChangeOperation::AddLike { user, comment } => {
                 out.push_str(&format!("L|{user}|{comment}\n"));
+            }
+            ChangeOperation::RemoveLike { user, comment } => {
+                out.push_str(&format!("-L|{user}|{comment}\n"));
+            }
+            ChangeOperation::RemoveFriendship { a, b } => {
+                out.push_str(&format!("-F|{a}|{b}\n"));
             }
         }
     }
@@ -177,6 +183,20 @@ pub fn changeset_from_csv(text: &str) -> Result<ChangeSet, String> {
                 ChangeOperation::AddLike {
                     user: parse_id(fields[1], "changeset", line_no)?,
                     comment: parse_id(fields[2], "changeset", line_no)?,
+                }
+            }
+            "-L" => {
+                require_fields(&fields, 3, "changeset", line_no)?;
+                ChangeOperation::RemoveLike {
+                    user: parse_id(fields[1], "changeset", line_no)?,
+                    comment: parse_id(fields[2], "changeset", line_no)?,
+                }
+            }
+            "-F" => {
+                require_fields(&fields, 3, "changeset", line_no)?;
+                ChangeOperation::RemoveFriendship {
+                    a: parse_id(fields[1], "changeset", line_no)?,
+                    b: parse_id(fields[2], "changeset", line_no)?,
                 }
             }
             other => {

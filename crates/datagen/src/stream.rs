@@ -1,0 +1,526 @@
+//! Unbounded, seeded update streams for sustained-throughput experiments.
+//!
+//! The paper replays a *finite* list of changesets (Table II's `#inserts` column) —
+//! enough to measure one update-and-reevaluate phase, but not the continuous heavy
+//! update traffic a production deployment would see. [`UpdateStream`] closes that
+//! gap: it is an infinite [`Iterator`] of micro-batch [`ChangeSet`]s drawn from the
+//! same Zipf-skewed popularity model as the initial-network generator
+//! ([`crate::generator`]), so popular users keep commenting and popular comments
+//! keep attracting likes, exactly as in the bulk workload.
+//!
+//! Each micro-batch mixes four operation kinds, with configurable weights
+//! ([`StreamConfig`]):
+//!
+//! * new comments (replying to an existing submission, following the comment tree
+//!   shape of the bulk generator),
+//! * new likes on existing comments,
+//! * new friendships,
+//! * **retractions** of existing likes and friendships (`RemoveLike` /
+//!   `RemoveFriendship`) — the piece the TTC workload lacks and the streaming
+//!   drivers exercise.
+//!
+//! The stream tracks the evolving edge sets, so every emitted operation is valid at
+//! the moment it is applied: likes are only added where absent and only removed
+//! where present, friendships likewise, and comment parents always exist. All
+//! randomness flows from [`StreamConfig::seed`], so a `(network, config)` pair
+//! always produces the same stream — the property the differential
+//! streamed-vs-bulk tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::{generate_workload, GeneratorConfig};
+//! use datagen::stream::{StreamConfig, UpdateStream};
+//!
+//! let workload = generate_workload(&GeneratorConfig::tiny(7));
+//! let config = StreamConfig { seed: 42, batch_size: 8, ..StreamConfig::default() };
+//! let batches: Vec<_> = UpdateStream::new(&workload.initial, config).take(3).collect();
+//! assert_eq!(batches.len(), 3);
+//! assert!(batches.iter().all(|b| !b.operations.is_empty()));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::{ChangeOperation, ChangeSet, Comment, ElementId, SocialNetwork};
+use crate::sampler::{sample_distinct_pair, ZipfSampler};
+
+/// Configuration of an [`UpdateStream`].
+///
+/// The `*_weight` fields are relative (they need not sum to 1); each operation slot
+/// in a batch picks its kind proportionally to them. Weights of zero disable a kind
+/// entirely — e.g. `deletion_weight: 0.0` yields an insert-only stream equivalent in
+/// shape to the bulk generator's changesets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamConfig {
+    /// RNG seed; the same `(network, config)` always produces the same stream.
+    pub seed: u64,
+    /// Target number of operations per micro-batch (always ≥ 1).
+    pub batch_size: usize,
+    /// Relative weight of new-comment operations (each usually followed by a like,
+    /// mirroring the bulk generator).
+    pub comment_weight: f64,
+    /// Relative weight of new likes on existing comments.
+    pub like_weight: f64,
+    /// Relative weight of new friendships.
+    pub friendship_weight: f64,
+    /// Relative weight of retractions (split evenly between likes and friendships).
+    pub deletion_weight: f64,
+    /// Zipf-like skew of the popularity distributions (matches
+    /// [`crate::config::GeneratorConfig::skew`]).
+    pub skew: f64,
+}
+
+impl Default for StreamConfig {
+    /// The default mix: mostly inserts with a 10% retraction share, batches of 64.
+    fn default() -> Self {
+        StreamConfig {
+            seed: 0x5eed_57_ea_a1,
+            batch_size: 64,
+            comment_weight: 0.30,
+            like_weight: 0.40,
+            friendship_weight: 0.20,
+            deletion_weight: 0.10,
+            skew: 0.9,
+        }
+    }
+}
+
+/// An unbounded iterator of micro-batch changesets over a social network.
+///
+/// See the [module documentation](self) for semantics and an example.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    config: StreamConfig,
+    rng: ChaCha8Rng,
+    user_ids: Vec<ElementId>,
+    post_ids: Vec<ElementId>,
+    comment_ids: Vec<ElementId>,
+    root_of: HashMap<ElementId, ElementId>,
+    /// Current likes, as a set (for O(1) duplicate checks)…
+    like_set: HashSet<(ElementId, ElementId)>,
+    /// …and as a vector (for O(1) removal-target sampling via `swap_remove`).
+    like_list: Vec<(ElementId, ElementId)>,
+    /// Current friendships, normalised `(min, max)`, same dual representation.
+    friend_set: HashSet<(ElementId, ElementId)>,
+    friend_list: Vec<(ElementId, ElementId)>,
+    user_popularity: ZipfSampler,
+    next_id: ElementId,
+    next_timestamp: u64,
+    batches_emitted: u64,
+}
+
+impl UpdateStream {
+    /// Create a stream over `network` (a snapshot of ids and edges is taken; the
+    /// network itself is not retained).
+    ///
+    /// # Panics
+    /// Panics if the network has no users (there would be nothing to generate).
+    pub fn new(network: &SocialNetwork, config: StreamConfig) -> Self {
+        assert!(
+            !network.users.is_empty(),
+            "UpdateStream requires at least one user"
+        );
+        let user_ids: Vec<ElementId> = network.users.iter().map(|u| u.id).collect();
+        let post_ids: Vec<ElementId> = network.posts.iter().map(|p| p.id).collect();
+        let comment_ids: Vec<ElementId> = network.comments.iter().map(|c| c.id).collect();
+        let root_of = network
+            .comments
+            .iter()
+            .map(|c| (c.id, c.root_post))
+            .collect();
+        let like_list: Vec<(ElementId, ElementId)> = network.likes.clone();
+        let like_set = like_list.iter().copied().collect();
+        let friend_list: Vec<(ElementId, ElementId)> = network
+            .friendships
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let friend_set = friend_list.iter().copied().collect();
+        let user_popularity = ZipfSampler::new(user_ids.len(), config.skew);
+        let next_timestamp = network
+            .posts
+            .iter()
+            .map(|p| p.timestamp)
+            .chain(network.comments.iter().map(|c| c.timestamp))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        UpdateStream {
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            user_ids,
+            post_ids,
+            comment_ids,
+            root_of,
+            like_set,
+            like_list,
+            friend_set,
+            friend_list,
+            user_popularity,
+            next_id: network.max_id() + 1,
+            next_timestamp,
+            config,
+            batches_emitted: 0,
+        }
+    }
+
+    /// Number of micro-batches emitted so far.
+    pub fn batches_emitted(&self) -> u64 {
+        self.batches_emitted
+    }
+
+    /// Current number of live likes in the stream's view of the network.
+    pub fn live_likes(&self) -> usize {
+        self.like_list.len()
+    }
+
+    /// Current number of live friendships in the stream's view of the network.
+    pub fn live_friendships(&self) -> usize {
+        self.friend_list.len()
+    }
+
+    fn fresh_id(&mut self) -> ElementId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn fresh_timestamp(&mut self) -> u64 {
+        let ts = self.next_timestamp;
+        self.next_timestamp += self.rng.gen_range(1..5);
+        ts
+    }
+
+    fn sample_user(&mut self) -> ElementId {
+        self.user_ids[self.user_popularity.sample(&mut self.rng)]
+    }
+
+    /// Emit a new comment replying to a uniformly chosen existing submission,
+    /// optionally followed by a like on it (as in the bulk generator).
+    fn push_comment(&mut self, operations: &mut Vec<ChangeOperation>) {
+        let id = self.fresh_id();
+        let timestamp = self.fresh_timestamp();
+        let author = self.sample_user();
+        let (parent, root_post) = if self.comment_ids.is_empty() || self.rng.gen_bool(0.4) {
+            match self.post_ids.choose(&mut self.rng) {
+                Some(&post) => (post, post),
+                None => return, // no posts at all: nothing to attach a comment to
+            }
+        } else {
+            let parent = *self.comment_ids.choose(&mut self.rng).expect("non-empty");
+            let root = self.root_of.get(&parent).copied().unwrap_or(parent);
+            (parent, root)
+        };
+        self.comment_ids.push(id);
+        self.root_of.insert(id, root_post);
+        operations.push(ChangeOperation::AddComment {
+            comment: Comment {
+                id,
+                timestamp,
+                author,
+                parent,
+                root_post,
+            },
+        });
+        if self.rng.gen_bool(0.7) {
+            let liker = self.sample_user();
+            if self.like_set.insert((liker, id)) {
+                self.like_list.push((liker, id));
+                operations.push(ChangeOperation::AddLike {
+                    user: liker,
+                    comment: id,
+                });
+            }
+        }
+    }
+
+    /// Emit a new like from a popularity-weighted user on a uniform comment.
+    fn push_like(&mut self, operations: &mut Vec<ChangeOperation>) {
+        if self.comment_ids.is_empty() {
+            return;
+        }
+        let user = self.sample_user();
+        let comment = *self.comment_ids.choose(&mut self.rng).expect("non-empty");
+        if self.like_set.insert((user, comment)) {
+            self.like_list.push((user, comment));
+            operations.push(ChangeOperation::AddLike { user, comment });
+        }
+    }
+
+    /// Emit a new friendship between two popularity-weighted distinct users.
+    fn push_friendship(&mut self, operations: &mut Vec<ChangeOperation>) {
+        if self.user_ids.len() < 2 {
+            return;
+        }
+        if let Some((ra, rb)) = sample_distinct_pair(&self.user_popularity, &mut self.rng) {
+            let (a, b) = (self.user_ids[ra], self.user_ids[rb]);
+            let key = (a.min(b), a.max(b));
+            if self.friend_set.insert(key) {
+                self.friend_list.push(key);
+                operations.push(ChangeOperation::AddFriendship { a, b });
+            }
+        }
+    }
+
+    /// Emit a retraction of a uniformly chosen live like or friendship.
+    fn push_removal(&mut self, operations: &mut Vec<ChangeOperation>) {
+        let remove_like = if self.like_list.is_empty() {
+            false
+        } else if self.friend_list.is_empty() {
+            true
+        } else {
+            self.rng.gen_bool(0.5)
+        };
+        if remove_like {
+            let idx = self.rng.gen_range(0..self.like_list.len());
+            let (user, comment) = self.like_list.swap_remove(idx);
+            self.like_set.remove(&(user, comment));
+            operations.push(ChangeOperation::RemoveLike { user, comment });
+        } else if !self.friend_list.is_empty() {
+            let idx = self.rng.gen_range(0..self.friend_list.len());
+            let (a, b) = self.friend_list.swap_remove(idx);
+            self.friend_set.remove(&(a, b));
+            operations.push(ChangeOperation::RemoveFriendship { a, b });
+        }
+    }
+}
+
+impl Iterator for UpdateStream {
+    type Item = ChangeSet;
+
+    /// Produce the next micro-batch. Never returns `None`.
+    fn next(&mut self) -> Option<ChangeSet> {
+        let total_weight = self.config.comment_weight
+            + self.config.like_weight
+            + self.config.friendship_weight
+            + self.config.deletion_weight;
+        let mut operations = Vec::with_capacity(self.config.batch_size);
+        // Bounded attempts: a saturated graph (every like present, every pair
+        // friends) may yield fewer operations than `batch_size`, never an
+        // infinite loop.
+        let target = self.config.batch_size.max(1);
+        let mut attempts = 0usize;
+        while operations.len() < target && attempts < 20 * target {
+            attempts += 1;
+            if total_weight <= 0.0 {
+                // all weights zero: degenerate config, fall back to likes
+                self.push_like(&mut operations);
+                continue;
+            }
+            let roll = self.rng.gen::<f64>() * total_weight;
+            if roll < self.config.comment_weight {
+                self.push_comment(&mut operations);
+            } else if roll < self.config.comment_weight + self.config.like_weight {
+                self.push_like(&mut operations);
+            } else if roll
+                < self.config.comment_weight
+                    + self.config.like_weight
+                    + self.config.friendship_weight
+            {
+                self.push_friendship(&mut operations);
+            } else {
+                self.push_removal(&mut operations);
+            }
+        }
+        self.batches_emitted += 1;
+        Some(ChangeSet { operations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate_workload;
+    use crate::model::apply_changeset;
+
+    fn test_network() -> SocialNetwork {
+        generate_workload(&GeneratorConfig::tiny(17)).initial
+    }
+
+    fn test_config(seed: u64) -> StreamConfig {
+        StreamConfig {
+            seed,
+            batch_size: 16,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_for_a_fixed_seed() {
+        let network = test_network();
+        let a: Vec<ChangeSet> =
+            UpdateStream::new(&network, test_config(5)).take(10).collect();
+        let b: Vec<ChangeSet> =
+            UpdateStream::new(&network, test_config(5)).take(10).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_streams() {
+        let network = test_network();
+        let a: Vec<ChangeSet> = UpdateStream::new(&network, test_config(1)).take(5).collect();
+        let b: Vec<ChangeSet> = UpdateStream::new(&network, test_config(2)).take(5).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batches_approach_the_configured_size() {
+        let network = test_network();
+        let mut stream = UpdateStream::new(&network, test_config(9));
+        for _ in 0..20 {
+            let batch = stream.next().unwrap();
+            assert!(!batch.operations.is_empty());
+            assert!(batch.operations.len() <= 16 + 1); // +1: comment+like pair may overshoot
+        }
+        assert_eq!(stream.batches_emitted(), 20);
+    }
+
+    #[test]
+    fn emitted_operations_stay_valid_when_applied_in_order() {
+        let network = test_network();
+        let mut live = network.clone();
+        let mut like_set: HashSet<(ElementId, ElementId)> = live.likes.iter().copied().collect();
+        let mut friend_set: HashSet<(ElementId, ElementId)> = live
+            .friendships
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let mut stream = UpdateStream::new(&network, test_config(13));
+        for _ in 0..30 {
+            let batch = stream.next().unwrap();
+            for op in &batch.operations {
+                match op {
+                    ChangeOperation::AddComment { comment } => {
+                        let parent_exists = live.posts.iter().any(|p| p.id == comment.parent)
+                            || live.comments.iter().any(|c| c.id == comment.parent);
+                        assert!(parent_exists, "comment parent must already exist");
+                        assert!(
+                            live.posts.iter().any(|p| p.id == comment.root_post),
+                            "rootPost must be a post"
+                        );
+                    }
+                    ChangeOperation::AddLike { user, comment } => {
+                        assert!(
+                            like_set.insert((*user, *comment)),
+                            "AddLike must target an absent like"
+                        );
+                        assert!(live.comments.iter().any(|c| c.id == *comment));
+                    }
+                    ChangeOperation::RemoveLike { user, comment } => {
+                        assert!(
+                            like_set.remove(&(*user, *comment)),
+                            "RemoveLike must target a live like"
+                        );
+                    }
+                    ChangeOperation::AddFriendship { a, b } => {
+                        assert_ne!(a, b);
+                        assert!(
+                            friend_set.insert((*a.min(b), *a.max(b))),
+                            "AddFriendship must target an absent friendship"
+                        );
+                    }
+                    ChangeOperation::RemoveFriendship { a, b } => {
+                        assert!(
+                            friend_set.remove(&(*a.min(b), *a.max(b))),
+                            "RemoveFriendship must target a live friendship"
+                        );
+                    }
+                    ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => {
+                        panic!("the stream does not create users or posts")
+                    }
+                }
+                // AddLike inside the same batch may reference the comment added just
+                // before it, so ops are applied one at a time.
+                apply_changeset(
+                    &mut live,
+                    &ChangeSet {
+                        operations: vec![op.clone()],
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streams_mix_insertions_and_removals() {
+        let network = test_network();
+        let ops: Vec<ChangeOperation> = UpdateStream::new(&network, test_config(21))
+            .take(20)
+            .flat_map(|b| b.operations)
+            .collect();
+        assert!(ops.iter().any(|o| o.is_removal()), "no removals generated");
+        assert!(
+            ops.iter().any(|o| !o.is_removal()),
+            "no insertions generated"
+        );
+        assert!(
+            ops.iter()
+                .any(|o| matches!(o, ChangeOperation::AddComment { .. })),
+            "no comments generated"
+        );
+    }
+
+    #[test]
+    fn zero_deletion_weight_yields_insert_only_streams() {
+        let network = test_network();
+        let config = StreamConfig {
+            deletion_weight: 0.0,
+            ..test_config(31)
+        };
+        let ops: Vec<ChangeOperation> = UpdateStream::new(&network, config)
+            .take(20)
+            .flat_map(|b| b.operations)
+            .collect();
+        assert!(!ops.is_empty());
+        assert!(ops.iter().all(|o| !o.is_removal()));
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_likes() {
+        let network = test_network();
+        let config = StreamConfig {
+            comment_weight: 0.0,
+            like_weight: 0.0,
+            friendship_weight: 0.0,
+            deletion_weight: 0.0,
+            ..test_config(3)
+        };
+        let ops: Vec<ChangeOperation> = UpdateStream::new(&network, config)
+            .take(5)
+            .flat_map(|b| b.operations)
+            .collect();
+        assert!(!ops.is_empty());
+        assert!(
+            ops.iter()
+                .all(|o| matches!(o, ChangeOperation::AddLike { .. })),
+            "degenerate config must emit only likes: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_ids_do_not_collide_with_the_network() {
+        let network = test_network();
+        let max_id = network.max_id();
+        let ops: Vec<ChangeOperation> = UpdateStream::new(&network, test_config(41))
+            .take(10)
+            .flat_map(|b| b.operations)
+            .collect();
+        let mut seen = HashSet::new();
+        for op in ops {
+            if let ChangeOperation::AddComment { comment } = op {
+                assert!(comment.id > max_id);
+                assert!(seen.insert(comment.id), "duplicate fresh id");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_network_is_rejected() {
+        let _ = UpdateStream::new(&SocialNetwork::default(), StreamConfig::default());
+    }
+}

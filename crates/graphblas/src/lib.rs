@@ -10,9 +10,9 @@
 //!
 //! | GraphBLAS method    | here |
 //! |---------------------|------|
-//! | `GrB_mxm`           | [`ops::mxm`], [`ops::mxm_par`], [`ops::mxm_masked`] |
-//! | `GrB_vxm`           | [`ops::vxm`], [`ops::vxm_masked`] |
-//! | `GrB_mxv`           | [`ops::mxv`], [`ops::mxv_par`], [`ops::mxv_masked`] |
+//! | `GrB_mxm`           | [`ops::mxm()`], [`ops::mxm_par`], [`ops::mxm_masked`] |
+//! | `GrB_vxm`           | [`ops::vxm()`], [`ops::vxm_masked`] |
+//! | `GrB_mxv`           | [`ops::mxv()`], [`ops::mxv_par`], [`ops::mxv_masked`] |
 //! | `GrB_eWiseAdd`      | [`ops::ewise_add_vector`], [`ops::ewise_add_matrix`] |
 //! | `GrB_eWiseMult`     | [`ops::ewise_mult_vector`], [`ops::ewise_mult_matrix`] |
 //! | `GrB_extract`       | [`ops::extract_subvector`], [`ops::extract_submatrix`] |

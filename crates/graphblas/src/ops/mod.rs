@@ -4,9 +4,9 @@
 //!
 //! | GraphBLAS method       | module        | notation                         |
 //! |------------------------|---------------|----------------------------------|
-//! | `GrB_mxm`              | [`mxm`]       | `C⟨M⟩ = A ⊕.⊗ B`                 |
-//! | `GrB_vxm`              | [`vxm`]       | `wᵀ⟨mᵀ⟩ = uᵀ ⊕.⊗ A`              |
-//! | `GrB_mxv`              | [`mxv`]       | `w⟨m⟩ = A ⊕.⊗ u`                 |
+//! | `GrB_mxm`              | [`mod@mxm`]   | `C⟨M⟩ = A ⊕.⊗ B`                 |
+//! | `GrB_vxm`              | [`mod@vxm`]   | `wᵀ⟨mᵀ⟩ = uᵀ ⊕.⊗ A`              |
+//! | `GrB_mxv`              | [`mod@mxv`]   | `w⟨m⟩ = A ⊕.⊗ u`                 |
 //! | `GrB_eWiseAdd`         | [`ewise_add`] | `C⟨M⟩ = A ⊕ B` (set union)       |
 //! | `GrB_eWiseMult`        | [`ewise_mult`]| `C⟨M⟩ = A ⊗ B` (set intersection)|
 //! | `GrB_extract`          | [`extract`]   | `C⟨M⟩ = A(I, J)`                 |

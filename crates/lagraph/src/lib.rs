@@ -20,11 +20,11 @@
 //! "standard LAGraph algorithm set" referenced in the paper's related work, so that
 //! the substrate is exercised the way a downstream user of LAGraph would exercise it:
 //!
-//! * [`pagerank`] — PageRank via repeated `mxv` over the arithmetic semiring.
-//! * [`triangle_count`] / [`clustering`] — masked-SpGEMM triangle counting, local and
+//! * [`mod@pagerank`] — PageRank via repeated `mxv` over the arithmetic semiring.
+//! * [`mod@triangle_count`] / [`clustering`] — masked-SpGEMM triangle counting, local and
 //!   global clustering coefficients.
-//! * [`sssp`] — single-source shortest paths over the tropical (`min.+`) semiring.
-//! * [`label_propagation`] — LDBC Graphalytics-style community detection (CDLP).
+//! * [`mod@sssp`] — single-source shortest paths over the tropical (`min.+`) semiring.
+//! * [`mod@label_propagation`] — LDBC Graphalytics-style community detection (CDLP).
 //! * [`kcore`] — k-core decomposition / degeneracy with a peeling algorithm driven by
 //!   GraphBLAS degree reductions.
 //!

@@ -26,6 +26,11 @@ use crate::q2::comment_score;
 pub struct Q1Dependencies {
     scores: HashMap<ElementId, u64>,
     post_of_comment: HashMap<ElementId, ElementId>,
+    /// Live `(user, comment)` likes, so add/remove notifications are idempotent:
+    /// a like on a present edge or a retraction of an absent one must be a no-op,
+    /// matching the model repository (and the coalesced streams, which may deliver
+    /// a bare add for a present edge or a bare retraction for an absent one).
+    likes: HashSet<(ElementId, ElementId)>,
     tracker: TopKTracker,
 }
 
@@ -36,6 +41,7 @@ impl Q1Dependencies {
         let mut deps = Q1Dependencies {
             scores: HashMap::with_capacity(repo.posts.len()),
             post_of_comment: HashMap::with_capacity(repo.comments.len()),
+            likes: HashSet::new(),
             tracker: TopKTracker::new(k),
         };
         for (&post, _) in &repo.posts {
@@ -43,6 +49,9 @@ impl Q1Dependencies {
         }
         for (&comment, node) in &repo.comments {
             deps.post_of_comment.insert(comment, node.root_post);
+            for &liker in &node.likers {
+                deps.likes.insert((liker, comment));
+            }
         }
         let entries: Vec<RankedEntry> = repo
             .posts
@@ -74,16 +83,45 @@ impl Q1Dependencies {
                         touched.insert(comment.root_post);
                     }
                 }
-                ChangeOperation::AddLike { comment, .. } => {
-                    if let Some(&post) = self.post_of_comment.get(comment) {
-                        if let Some(score) = self.scores.get_mut(&post) {
-                            *score += 1;
-                            touched.insert(post);
+                ChangeOperation::AddLike { user, comment } => {
+                    if self.likes.insert((*user, *comment)) {
+                        if let Some(&post) = self.post_of_comment.get(comment) {
+                            if let Some(score) = self.scores.get_mut(&post) {
+                                *score += 1;
+                                touched.insert(post);
+                            }
                         }
                     }
                 }
-                ChangeOperation::AddUser { .. } | ChangeOperation::AddFriendship { .. } => {}
+                ChangeOperation::RemoveLike { user, comment } => {
+                    if self.likes.remove(&(*user, *comment)) {
+                        if let Some(&post) = self.post_of_comment.get(comment) {
+                            if let Some(score) = self.scores.get_mut(&post) {
+                                *score = score.saturating_sub(1);
+                                touched.insert(post);
+                            }
+                        }
+                    }
+                }
+                ChangeOperation::AddUser { .. }
+                | ChangeOperation::AddFriendship { .. }
+                | ChangeOperation::RemoveFriendship { .. } => {}
             }
+        }
+        if changeset.has_removals() {
+            // retracted likes decrease scores; merging is only exact under
+            // monotone growth, so rebuild the candidates from the score records
+            let entries: Vec<RankedEntry> = self
+                .scores
+                .iter()
+                .map(|(&id, &score)| RankedEntry {
+                    score,
+                    timestamp: repo.posts.get(&id).map(|p| p.timestamp).unwrap_or(0),
+                    id,
+                })
+                .collect();
+            self.tracker.rebuild(entries);
+            return self.tracker.format();
         }
         let changes: Vec<RankedEntry> = touched
             .into_iter()
@@ -148,21 +186,23 @@ impl Q2Dependencies {
                 }
                 ChangeOperation::AddLike { user, comment } => {
                     affected.insert(*comment);
-                    self.comments_of_user.entry(*user).or_default().push(*comment);
+                    let liked = self.comments_of_user.entry(*user).or_default();
+                    // coalesced streams may re-deliver a like on a present edge;
+                    // the dependency records must not accumulate duplicates
+                    if !liked.contains(comment) {
+                        liked.push(*comment);
+                    }
                 }
-                ChangeOperation::AddFriendship { a, b } => {
-                    // comments liked by both endpoints may have merged components
-                    let liked_a: HashSet<ElementId> = self
-                        .comments_of_user
-                        .get(a)
-                        .map(|v| v.iter().copied().collect())
-                        .unwrap_or_default();
-                    if let Some(liked_b) = self.comments_of_user.get(b) {
-                        for c in liked_b {
-                            if liked_a.contains(c) {
-                                affected.insert(*c);
-                            }
-                        }
+                // comments liked by both endpoints may have merged (add) or split
+                // (remove) components
+                ChangeOperation::AddFriendship { a, b }
+                | ChangeOperation::RemoveFriendship { a, b } => {
+                    affected.extend(self.comments_liked_by_both(*a, *b));
+                }
+                ChangeOperation::RemoveLike { user, comment } => {
+                    affected.insert(*comment);
+                    if let Some(liked) = self.comments_of_user.get_mut(user) {
+                        liked.retain(|&c| c != *comment);
                     }
                 }
                 ChangeOperation::AddUser { .. } | ChangeOperation::AddPost { .. } => {}
@@ -184,8 +224,43 @@ impl Q2Dependencies {
                 }
             })
             .collect();
-        self.tracker.merge_changes(changes);
+        if changeset.has_removals() {
+            // retracted scores may have shrunk: rebuild the candidates from the
+            // (just refreshed) score records
+            let entries: Vec<RankedEntry> = self
+                .scores
+                .iter()
+                .map(|(&id, &score)| RankedEntry {
+                    score,
+                    timestamp: repo.comments.get(&id).map(|c| c.timestamp).unwrap_or(0),
+                    id,
+                })
+                .collect();
+            self.tracker.rebuild(entries);
+        } else {
+            self.tracker.merge_changes(changes);
+        }
         self.tracker.format()
+    }
+
+    /// Comments present in both users' like records (whose component structure a
+    /// friendship change between them can alter).
+    fn comments_liked_by_both(&self, a: ElementId, b: ElementId) -> Vec<ElementId> {
+        let liked_a: HashSet<ElementId> = self
+            .comments_of_user
+            .get(&a)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        self.comments_of_user
+            .get(&b)
+            .map(|liked_b| {
+                liked_b
+                    .iter()
+                    .copied()
+                    .filter(|c| liked_a.contains(c))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -216,6 +291,40 @@ mod tests {
         assert_eq!(updated, "12|11|14");
         assert_eq!(deps.scores[&12], 16);
         assert_eq!(deps.scores[&14], 1);
+    }
+
+    #[test]
+    fn q1_like_notifications_are_idempotent() {
+        // A coalesced stream may deliver a bare AddLike for an edge that is
+        // already present, or a bare RemoveLike for an edge that is absent
+        // (last-op-wins coalescing). Both must be score no-ops.
+        let mut repo = ModelRepository::from_network(&paper_example_network());
+        let (mut deps, _) = Q1Dependencies::initialize(&repo, 3);
+        let p1_score = deps.scores[&1];
+
+        // u2 already likes c1 (id 11): re-adding must not bump the score
+        let re_add = datagen::ChangeSet {
+            operations: vec![datagen::ChangeOperation::AddLike { user: 102, comment: 11 }],
+        };
+        repo.apply_changeset(&re_add);
+        deps.propagate(&repo, &re_add);
+        assert_eq!(deps.scores[&1], p1_score, "duplicate like must not count");
+
+        // u1 does not like c1: retracting must not drop the score
+        let phantom_remove = datagen::ChangeSet {
+            operations: vec![datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 }],
+        };
+        repo.apply_changeset(&phantom_remove);
+        deps.propagate(&repo, &phantom_remove);
+        assert_eq!(deps.scores[&1], p1_score, "phantom retraction must not count");
+
+        // a real retraction still counts exactly once
+        let real_remove = datagen::ChangeSet {
+            operations: vec![datagen::ChangeOperation::RemoveLike { user: 102, comment: 11 }],
+        };
+        repo.apply_changeset(&real_remove);
+        deps.propagate(&repo, &real_remove);
+        assert_eq!(deps.scores[&1], p1_score - 1);
     }
 
     #[test]

@@ -104,6 +104,10 @@ impl ModelRepository {
                 }
                 ChangeOperation::AddFriendship { a, b } => self.insert_friendship(*a, *b),
                 ChangeOperation::AddLike { user, comment } => self.insert_like(*user, *comment),
+                ChangeOperation::RemoveLike { user, comment } => {
+                    self.remove_like(*user, *comment)
+                }
+                ChangeOperation::RemoveFriendship { a, b } => self.remove_friendship(*a, *b),
             }
         }
     }
@@ -149,6 +153,24 @@ impl ModelRepository {
         }
         node.likers.push(user);
         self.users.entry(user).or_default().likes.push(comment);
+    }
+
+    fn remove_friendship(&mut self, a: ElementId, b: ElementId) {
+        if let Some(user) = self.users.get_mut(&a) {
+            user.friends.remove(&b);
+        }
+        if let Some(user) = self.users.get_mut(&b) {
+            user.friends.remove(&a);
+        }
+    }
+
+    fn remove_like(&mut self, user: ElementId, comment: ElementId) {
+        if let Some(node) = self.comments.get_mut(&comment) {
+            node.likers.retain(|&u| u != user);
+        }
+        if let Some(node) = self.users.get_mut(&user) {
+            node.likes.retain(|&c| c != comment);
+        }
     }
 
     /// Whether two users are friends.

@@ -18,7 +18,9 @@
 //!
 //! The [`solution`] module packages these algorithms behind the [`solution::Solution`]
 //! trait used by the benchmark harness, matching the tool variants of the paper's
-//! Fig. 5.
+//! Fig. 5. Beyond the paper, the [`stream`] module drives *unbounded* micro-batch
+//! update streams (including like/friendship retractions) through any solution and
+//! reports sustained throughput with latency percentiles.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub mod model;
 pub mod q1;
 pub mod q2;
 pub mod solution;
+pub mod stream;
 pub mod top_k;
 pub mod update;
 
@@ -51,5 +54,6 @@ pub use model::{IdMap, Query};
 pub use solution::{
     GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K,
 };
+pub use stream::{StreamDriver, StreamDriverConfig, StreamReport};
 pub use top_k::{format_result, RankedEntry, TopKTracker};
 pub use update::{apply_changeset, GraphDelta};

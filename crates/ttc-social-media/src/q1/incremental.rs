@@ -14,12 +14,19 @@
 //!
 //! The changed scores are merged into the previous top-3 (new scores overwrite old
 //! ones), which is exact because the insert-only workload never decreases a score.
+//!
+//! Streaming workloads may retract likes (`likesCount⁻`), computed with the same
+//! `RootPost′ ⊕.⊗ likesCount⁻` product and *subtracted* from the maintained scores.
+//! A retraction can decrease a score, so after a changeset with removals the top-k
+//! candidates are rebuilt from the full (still incrementally maintained) score
+//! vector instead of merged — an O(|posts|) scan, with no matrix work redone.
 
 use graphblas::monoid::stock as monoids;
 use graphblas::ops::{
-    apply_vector, assign_vector_masked, ewise_add_vector, mxv, mxv_par, reduce_matrix_rows,
+    apply_vector, assign_vector_masked, ewise_add_vector, ewise_union_vector, mxv, mxv_par,
+    reduce_matrix_rows,
 };
-use graphblas::ops_traits::{Plus, TimesConstant};
+use graphblas::ops_traits::{Minus, Plus, TimesConstant};
 use graphblas::semiring::stock as semirings;
 use graphblas::{Vector, VectorMask};
 
@@ -98,16 +105,57 @@ impl Q1Incremental {
         let scores_new = ewise_add_vector(&self.scores, &scores_plus, Plus::new())
             .expect("scores and increment share the post index space");
 
+        // Streaming extension: score decrement from retracted likes, attributed the
+        // same way (`RootPost′ ⊕.⊗ likesCount⁻`) and subtracted. Every decremented
+        // post necessarily holds a score at least as large as the decrement (the
+        // retracted likes were counted into it), so the u64 subtraction is safe.
+        let scores_new = if delta.removed_likes.is_empty() {
+            scores_new
+        } else {
+            let likes_count_minus = delta.removed_likes_count(graph);
+            let likes_score_minus = if self.parallel {
+                mxv_par(
+                    &graph.root_post,
+                    &likes_count_minus,
+                    semirings::plus_second::<u64>(),
+                )
+            } else {
+                mxv(
+                    &graph.root_post,
+                    &likes_count_minus,
+                    semirings::plus_second::<u64>(),
+                )
+            }
+            .expect("RootPost columns equal the likesCount⁻ dimension");
+            ewise_union_vector(&scores_new, 0, &likes_score_minus, 0, Minus::new())
+                .expect("scores and decrement share the post index space")
+        };
+
+        self.scores = scores_new;
+
+        // Retractions may have *decreased* scores, in which case merging changed
+        // entries into the previous candidates is no longer exact (a post may fall
+        // out of the top k in favour of an untouched one). Rebuild the candidates
+        // from the maintained score vector — an O(|posts|) scan, no matrix work —
+        // and skip the ∆scores extraction entirely (it only feeds the merge).
+        if delta.has_removals() {
+            let entries = (0..graph.post_count()).map(|p| RankedEntry {
+                score: self.scores.get(p).unwrap_or(0),
+                timestamp: graph.post_timestamp(p),
+                id: graph.post_id(p),
+            });
+            self.tracker.rebuild(entries);
+            return self.tracker.format();
+        }
+
         // Line 14: ∆scores⟨scores⁺⟩ ← scores′.
         let mut delta_scores = Vector::new(graph.post_count());
         assign_vector_masked(
             &mut delta_scores,
             &VectorMask::structural(&scores_plus),
-            &scores_new,
+            &self.scores,
         )
         .expect("mask and operands share the post index space");
-
-        self.scores = scores_new;
 
         // Merge changed scores (and brand-new posts, which may have score 0) into the
         // previous top-k candidates.

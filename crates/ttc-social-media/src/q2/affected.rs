@@ -7,6 +7,13 @@
 //! 3. two users who both like it became friends (which may merge two of its
 //!    components).
 //!
+//! Streaming workloads add the retraction mirror images:
+//! 4. it lost a `likes` edge (the liker leaves its group entirely), or
+//! 5. two users who both like it ended their friendship (which may split one of its
+//!    components). Case (5) reuses the Fig. 4b incidence-matrix detection verbatim —
+//!    the `Likes` matrix is unchanged by a friendship retraction, so "both endpoints
+//!    like the comment" still identifies exactly the candidates.
+//!
 //! Case (3) is detected with linear algebra: the `NewFriends` incidence matrix
 //! (`users′ × |new friendships|`, two 1s per column) is multiplied with `Likes′`,
 //! producing the `AC` matrix that counts, per (comment, new friendship), how many of
@@ -36,28 +43,47 @@ pub fn affected_comments(graph: &SocialGraph, delta: &GraphDelta, parallel: bool
     // Case 2: comments with new incoming likes.
     affected.extend(delta.new_likes.iter().map(|&(c, _)| c));
 
+    // Case 4: comments that lost a like.
+    affected.extend(delta.removed_likes.iter().map(|&(c, _)| c));
+
     // Case 3: new friendships between two users who like the same comment.
     if !delta.new_friendships.is_empty() {
-        // Step 1: AC = Likes′ ⊕.⊗ NewFriends  (comments′ × |new friendships|)
         let incidence = delta.new_friends_incidence(graph);
-        let ac = if parallel {
-            mxm_par(&graph.likes, &incidence, semirings::plus_times::<u64>())
-        } else {
-            mxm(&graph.likes, &incidence, semirings::plus_times::<u64>())
-        }
-        .expect("Likes columns equal the incidence rows (users)");
+        affected.extend(comments_liked_by_both_endpoints(graph, &incidence, parallel));
+    }
 
-        // Step 2: keep cells equal to 2 — both endpoints like the comment.
-        let both = select_matrix(&ac, ValueEq::new(2u64));
-
-        // Step 3: row-wise logical OR.
-        let ac_vector = reduce_matrix_rows(&both, monoids::lor::<u64>());
-
-        // Step 4: extract the comment ids.
-        affected.extend(ac_vector.indices().iter().copied());
+    // Case 5: retracted friendships between two users who like the same comment.
+    if !delta.removed_friendships.is_empty() {
+        let incidence = delta.removed_friends_incidence(graph);
+        affected.extend(comments_liked_by_both_endpoints(graph, &incidence, parallel));
     }
 
     affected.into_iter().collect()
+}
+
+/// Steps 1–4 of Fig. 4b's detection: given a `users × |pairs|` incidence matrix, the
+/// comments liked by *both* endpoints of at least one pair.
+fn comments_liked_by_both_endpoints(
+    graph: &SocialGraph,
+    incidence: &graphblas::Matrix<u64>,
+    parallel: bool,
+) -> Vec<Index> {
+    // Step 1: AC = Likes′ ⊕.⊗ Incidence  (comments′ × |pairs|)
+    let ac = if parallel {
+        mxm_par(&graph.likes, incidence, semirings::plus_times::<u64>())
+    } else {
+        mxm(&graph.likes, incidence, semirings::plus_times::<u64>())
+    }
+    .expect("Likes columns equal the incidence rows (users)");
+
+    // Step 2: keep cells equal to 2 — both endpoints like the comment.
+    let both = select_matrix(&ac, ValueEq::new(2u64));
+
+    // Step 3: row-wise logical OR.
+    let ac_vector = reduce_matrix_rows(&both, monoids::lor::<u64>());
+
+    // Step 4: extract the comment ids.
+    ac_vector.indices().to_vec()
 }
 
 #[cfg(test)]

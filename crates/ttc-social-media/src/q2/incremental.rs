@@ -4,6 +4,12 @@
 //! affected (see [`crate::q2::affected`]); the second phase (Steps 6–9) recomputes the
 //! scores of exactly those comments with the batch per-comment kernel. The changed
 //! scores are merged into the previous top-3 (new scores overwrite existing ones).
+//!
+//! Because the per-comment re-scoring is a *full* recomputation of that comment's
+//! Σ csᵢ² value, the same machinery absorbs streaming retractions: the affected-set
+//! detection adds the comments of removed likes and removed friendships (see
+//! [`crate::q2::affected`]), and since retracted scores may shrink, the top-k
+//! candidates are rebuilt (not merged) after a changeset containing removals.
 
 use graphblas::Vector;
 use rayon::prelude::*;
@@ -81,7 +87,18 @@ impl Q2Incremental {
                 id: graph.comment_id(c),
             });
         }
-        self.tracker.merge_changes(changes);
+        if delta.has_removals() {
+            // Retractions can decrease scores; merging is only exact under monotone
+            // growth, so rebuild the candidates from the maintained score vector.
+            let entries = (0..graph.comment_count()).map(|c| RankedEntry {
+                score: self.scores.get(c).unwrap_or(0),
+                timestamp: graph.comment_timestamp(c),
+                id: graph.comment_id(c),
+            });
+            self.tracker.rebuild(entries);
+        } else {
+            self.tracker.merge_changes(changes);
+        }
         self.tracker.format()
     }
 

@@ -2,11 +2,14 @@
 //!
 //! The paper's future-work item (2) proposes replacing the per-comment batch FastSV
 //! run (Step 8 of the incremental Q2 algorithm) with an *incremental* connected
-//! components algorithm. Because the workload only inserts elements, the incremental
-//! CC reduces to union–find maintenance (see [`lagraph::incremental_cc`]): each
-//! comment keeps the partition of its likers, and new likes / friendships update the
-//! partitions — and therefore the Σ csᵢ² scores — in near-constant time, with no
-//! subgraph extraction and no FastSV iteration at all.
+//! components algorithm. On the insert-only TTC workload the incremental CC reduces
+//! to union–find maintenance (see [`lagraph::incremental_cc`]): each comment keeps
+//! the partition of its likers, and new likes / friendships update the partitions —
+//! and therefore the Σ csᵢ² scores — in near-constant time, with no subgraph
+//! extraction and no FastSV iteration at all. Streaming retractions fall outside
+//! what union–find can maintain (it cannot *un*-union), so the partitions of the
+//! comments touched by a retraction are rebuilt from the updated matrices; all other
+//! comments keep their incremental state.
 //!
 //! The ablation benchmark `ablation_incremental_cc` compares this variant against the
 //! paper's recompute-the-affected-comments approach.
@@ -72,6 +75,11 @@ impl Q2IncrementalCc {
     }
 
     /// Incremental re-evaluation after `delta` has been applied to `graph`.
+    ///
+    /// Union–find cannot *un*-union, so edge retractions are handled by rebuilding
+    /// the partitions of exactly the comments a retraction touches from the updated
+    /// matrices (the insert-only fast path is unchanged). The candidate pool is then
+    /// rebuilt rather than merged, since retracted scores may shrink.
     pub fn update(&mut self, graph: &SocialGraph, delta: &GraphDelta) -> String {
         // New comments: empty partitions.
         while self.per_comment.len() < graph.comment_count() {
@@ -79,6 +87,35 @@ impl Q2IncrementalCc {
         }
 
         let mut touched: Vec<Index> = Vec::new();
+
+        // Retractions first: drop the stale liker bookkeeping, then rebuild the
+        // affected partitions from the (already updated) Likes / Friends matrices.
+        if delta.has_removals() {
+            let mut dirty: std::collections::BTreeSet<Index> = std::collections::BTreeSet::new();
+            for &(c, u) in &delta.removed_likes {
+                if let Some(liked) = self.comments_liked_by.get_mut(&u) {
+                    liked.retain(|&lc| lc != c);
+                }
+                dirty.insert(c);
+            }
+            for &(a, b) in &delta.removed_friendships {
+                let liked_a = self.comments_liked_by.get(&a).cloned().unwrap_or_default();
+                let liked_b: std::collections::HashSet<Index> = self
+                    .comments_liked_by
+                    .get(&b)
+                    .map(|v| v.iter().copied().collect())
+                    .unwrap_or_default();
+                for c in liked_a {
+                    if liked_b.contains(&c) {
+                        dirty.insert(c);
+                    }
+                }
+            }
+            for &c in &dirty {
+                self.rebuild_partition(graph, c);
+            }
+            touched.extend(dirty);
+        }
 
         // New likes: add the liker, and connect them to every existing liker of the
         // same comment who is already their friend (reading the updated Friends matrix).
@@ -107,15 +144,25 @@ impl Q2IncrementalCc {
         touched.sort_unstable();
         touched.dedup();
 
-        let changes: Vec<RankedEntry> = touched
-            .into_iter()
-            .map(|c| RankedEntry {
+        if delta.has_removals() {
+            // retracted scores may have shrunk: rebuild the candidate pool
+            let entries = (0..graph.comment_count()).map(|c| RankedEntry {
                 score: self.per_comment[c].sum_of_squared_component_sizes(),
                 timestamp: graph.comment_timestamp(c),
                 id: graph.comment_id(c),
-            })
-            .collect();
-        self.tracker.merge_changes(changes);
+            });
+            self.tracker.rebuild(entries);
+        } else {
+            let changes: Vec<RankedEntry> = touched
+                .into_iter()
+                .map(|c| RankedEntry {
+                    score: self.per_comment[c].sum_of_squared_component_sizes(),
+                    timestamp: graph.comment_timestamp(c),
+                    id: graph.comment_id(c),
+                })
+                .collect();
+            self.tracker.merge_changes(changes);
+        }
         self.tracker.format()
     }
 
@@ -130,6 +177,24 @@ impl Q2IncrementalCc {
     /// The `k` this evaluator was configured with.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Rebuild the liker partition of one comment from the current `Likes` and
+    /// `Friends` matrices (used after retractions, which union–find cannot undo).
+    fn rebuild_partition(&mut self, graph: &SocialGraph, c: Index) {
+        let mut cc = IncrementalConnectedComponents::new();
+        let (likers, _) = graph.likes.row(c);
+        let liker_set: std::collections::HashSet<Index> = likers.iter().copied().collect();
+        for &u in likers {
+            cc.add_vertex(u as u64);
+            let (friends, _) = graph.friends.row(u);
+            for &v in friends {
+                if v < u && liker_set.contains(&v) {
+                    cc.add_edge(u as u64, v as u64);
+                }
+            }
+        }
+        self.per_comment[c] = cc;
     }
 
     /// Connect users `a` and `b` in every comment liked by both; returns the affected

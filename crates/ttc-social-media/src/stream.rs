@@ -1,0 +1,415 @@
+//! Streaming update driver: sustained-throughput measurement over micro-batches.
+//!
+//! The paper's harness replays a finite list of changesets and times the two TTC
+//! phases. This module is the continuous counterpart: a [`StreamDriver`] pulls
+//! micro-batches from any changeset iterator (typically
+//! [`datagen::stream::UpdateStream`]), **coalesces** each batch (last operation per
+//! edge wins — an add cancels a pending retraction of the same edge and vice
+//! versa), feeds it through any [`Solution`], and records per-batch latency. The
+//! resulting [`StreamReport`] carries the p50/p90/p99/max latency and the sustained
+//! updates/second — the numbers every future scaling experiment (sharding, async
+//! ingestion, alternative backends) is benchmarked against.
+//!
+//! Parallelism follows the measured solution: a parallel solution variant re-scores
+//! its affected sets with the `graphblas::ops::par` kernels on the ambient rayon
+//! pool, so callers size the pool (e.g. with `rayon::ThreadPoolBuilder` +
+//! `install`, as the `bench` crate's `run_in_pool` does) around
+//! [`StreamDriver::run`].
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::stream::{StreamConfig, UpdateStream};
+//! use datagen::{generate_workload, GeneratorConfig};
+//! use ttc_social_media::model::Query;
+//! use ttc_social_media::solution::GraphBlasIncremental;
+//! use ttc_social_media::stream::StreamDriver;
+//!
+//! let network = generate_workload(&GeneratorConfig::tiny(3)).initial;
+//! let stream = UpdateStream::new(&network, StreamConfig { seed: 9, batch_size: 8, ..StreamConfig::default() });
+//! let mut solution = GraphBlasIncremental::new(Query::Q1, false);
+//! let report = StreamDriver::default().run(&mut solution, &network, stream, 5);
+//! assert_eq!(report.batches, 5);
+//! assert!(report.updates_per_sec > 0.0);
+//! ```
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
+
+use crate::solution::Solution;
+
+/// Merge a micro-batch so that each `likes` / `friends` edge carries at most one
+/// operation: the **last** one in sequence order. This is exact — adds are ignored
+/// on present edges and retractions on absent ones, so the final presence of an
+/// edge after replaying the whole sequence equals the effect of its last operation
+/// alone. Node insertions (users, posts, comments) are always unique and kept.
+pub fn coalesce(batch: &ChangeSet) -> ChangeSet {
+    #[derive(Hash, PartialEq, Eq)]
+    enum EdgeKey {
+        Like(ElementId, ElementId),
+        Friend(ElementId, ElementId),
+    }
+    fn key(op: &ChangeOperation) -> Option<EdgeKey> {
+        match op {
+            ChangeOperation::AddLike { user, comment }
+            | ChangeOperation::RemoveLike { user, comment } => {
+                Some(EdgeKey::Like(*user, *comment))
+            }
+            ChangeOperation::AddFriendship { a, b }
+            | ChangeOperation::RemoveFriendship { a, b } => {
+                Some(EdgeKey::Friend(*a.min(b), *a.max(b)))
+            }
+            _ => None,
+        }
+    }
+
+    let mut last_for_key: HashMap<EdgeKey, usize> = HashMap::new();
+    for (position, op) in batch.operations.iter().enumerate() {
+        if let Some(k) = key(op) {
+            last_for_key.insert(k, position);
+        }
+    }
+    let operations = batch
+        .operations
+        .iter()
+        .enumerate()
+        .filter(|(position, op)| match key(op) {
+            Some(k) => last_for_key[&k] == *position,
+            None => true,
+        })
+        .map(|(_, op)| op.clone())
+        .collect();
+    ChangeSet { operations }
+}
+
+/// Configuration of a [`StreamDriver`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamDriverConfig {
+    /// Batches fed through the solution before measurement starts (their latency is
+    /// excluded from the report; their updates still apply).
+    pub warmup_batches: usize,
+    /// Whether batches are coalesced before application (on by default; turning it
+    /// off measures the raw sequential-operation path).
+    pub coalesce: bool,
+}
+
+impl Default for StreamDriverConfig {
+    fn default() -> Self {
+        StreamDriverConfig {
+            warmup_batches: 0,
+            coalesce: true,
+        }
+    }
+}
+
+/// Latency and throughput of one measured streaming run. Produced by
+/// [`StreamDriver::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamReport {
+    /// Name of the measured solution.
+    pub solution: String,
+    /// Measured batches (warm-up excluded).
+    pub batches: usize,
+    /// Operations emitted by the stream across the measured batches.
+    pub total_operations: usize,
+    /// Operations actually applied after coalescing.
+    pub applied_operations: usize,
+    /// Wall-clock seconds spent in `update_and_reevaluate` across measured batches.
+    pub elapsed_secs: f64,
+    /// Sustained throughput: emitted operations per second of update time.
+    pub updates_per_sec: f64,
+    /// Median per-batch latency in seconds.
+    pub p50_latency_secs: f64,
+    /// 90th-percentile per-batch latency in seconds.
+    pub p90_latency_secs: f64,
+    /// 99th-percentile per-batch latency in seconds.
+    pub p99_latency_secs: f64,
+    /// Worst per-batch latency in seconds.
+    pub max_latency_secs: f64,
+    /// Seconds spent in the initial load-and-evaluate phase (not part of the
+    /// throughput figures).
+    pub load_secs: f64,
+    /// The query result after the last measured batch (`id|id|id`).
+    pub final_result: String,
+}
+
+impl StreamReport {
+    /// Render the report as a single JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"solution\":{:?},\"batches\":{},\"total_operations\":{},",
+                "\"applied_operations\":{},\"elapsed_secs\":{:.6},",
+                "\"updates_per_sec\":{:.1},\"p50_latency_secs\":{:.6},",
+                "\"p90_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
+                "\"max_latency_secs\":{:.6},\"load_secs\":{:.6},\"final_result\":{:?}}}"
+            ),
+            self.solution,
+            self.batches,
+            self.total_operations,
+            self.applied_operations,
+            self.elapsed_secs,
+            self.updates_per_sec,
+            self.p50_latency_secs,
+            self.p90_latency_secs,
+            self.p99_latency_secs,
+            self.max_latency_secs,
+            self.load_secs,
+            self.final_result,
+        )
+    }
+}
+
+/// Value at percentile `p` (0–100) of a sorted slice, by nearest-rank.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Drives micro-batches from an update stream through a [`Solution`], measuring
+/// per-batch latency. See the [module documentation](self).
+#[derive(Clone, Debug, Default)]
+pub struct StreamDriver {
+    config: StreamDriverConfig,
+}
+
+impl StreamDriver {
+    /// Create a driver with the given configuration.
+    pub fn new(config: StreamDriverConfig) -> Self {
+        StreamDriver { config }
+    }
+
+    /// Load `initial` into `solution`, then pull `batches` micro-batches (plus the
+    /// configured warm-up) from `stream`, apply each, and report latency
+    /// percentiles and sustained throughput.
+    pub fn run(
+        &self,
+        solution: &mut dyn Solution,
+        initial: &SocialNetwork,
+        mut stream: impl Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> StreamReport {
+        let load_start = Instant::now();
+        let mut result = solution.load_and_initial(initial);
+        let load_secs = load_start.elapsed().as_secs_f64();
+
+        for _ in 0..self.config.warmup_batches {
+            if let Some(batch) = stream.next() {
+                let batch = if self.config.coalesce {
+                    coalesce(&batch)
+                } else {
+                    batch
+                };
+                solution.update_and_reevaluate(&batch);
+            }
+        }
+
+        let mut latencies = Vec::with_capacity(batches);
+        let mut total_operations = 0usize;
+        let mut applied_operations = 0usize;
+        let mut measured = 0usize;
+        for batch in stream.by_ref().take(batches) {
+            total_operations += batch.operations.len();
+            let batch = if self.config.coalesce {
+                coalesce(&batch)
+            } else {
+                batch
+            };
+            applied_operations += batch.operations.len();
+            let start = Instant::now();
+            result = solution.update_and_reevaluate(&batch);
+            latencies.push(start.elapsed().as_secs_f64());
+            measured += 1;
+        }
+
+        let elapsed_secs: f64 = latencies.iter().sum();
+        let mut sorted = latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        StreamReport {
+            solution: solution.name(),
+            batches: measured,
+            total_operations,
+            applied_operations,
+            elapsed_secs,
+            updates_per_sec: if elapsed_secs > 0.0 {
+                total_operations as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            p50_latency_secs: percentile(&sorted, 50.0),
+            p90_latency_secs: percentile(&sorted, 90.0),
+            p99_latency_secs: percentile(&sorted, 99.0),
+            max_latency_secs: sorted.last().copied().unwrap_or(0.0),
+            load_secs,
+            final_result: result,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Query;
+    use crate::solution::{run_solution, GraphBlasBatch, GraphBlasIncremental};
+    use datagen::stream::{StreamConfig, UpdateStream};
+    use datagen::{generate_workload, GeneratorConfig};
+
+    fn network() -> SocialNetwork {
+        generate_workload(&GeneratorConfig::tiny(23)).initial
+    }
+
+    fn stream(seed: u64, network: &SocialNetwork) -> UpdateStream {
+        UpdateStream::new(
+            network,
+            StreamConfig {
+                seed,
+                batch_size: 12,
+                ..StreamConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn coalesce_drops_add_remove_pairs() {
+        use datagen::ChangeOperation::*;
+        let batch = ChangeSet {
+            operations: vec![
+                AddLike { user: 1, comment: 11 },
+                RemoveLike { user: 1, comment: 11 },
+                AddFriendship { a: 1, b: 2 },
+                RemoveFriendship { b: 1, a: 2 }, // reversed orientation, same edge
+                AddFriendship { a: 1, b: 2 },
+                AddLike { user: 2, comment: 11 },
+            ],
+        };
+        let merged = coalesce(&batch);
+        assert_eq!(
+            merged.operations,
+            vec![
+                RemoveLike { user: 1, comment: 11 },
+                AddFriendship { a: 1, b: 2 },
+                AddLike { user: 2, comment: 11 },
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_keeps_node_insertions() {
+        use datagen::ChangeOperation::*;
+        let batch = ChangeSet {
+            operations: vec![
+                AddUser {
+                    user: datagen::User { id: 9, name: "u".into() },
+                },
+                AddLike { user: 9, comment: 11 },
+            ],
+        };
+        assert_eq!(coalesce(&batch).operations.len(), 2);
+    }
+
+    #[test]
+    fn coalesced_batch_has_the_same_effect_as_the_sequence() {
+        let network = network();
+        for seed in [1u64, 2, 3] {
+            let batches: Vec<ChangeSet> = stream(seed, &network).take(6).collect();
+            let mut raw = GraphBlasBatch::new(Query::Q2, false);
+            let mut merged = GraphBlasBatch::new(Query::Q2, false);
+            raw.load_and_initial(&network);
+            merged.load_and_initial(&network);
+            for batch in &batches {
+                let a = raw.update_and_reevaluate(batch);
+                let b = merged.update_and_reevaluate(&coalesce(batch));
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn driver_reports_consistent_statistics() {
+        let network = network();
+        let mut solution = GraphBlasIncremental::new(Query::Q1, false);
+        let report = StreamDriver::default().run(&mut solution, &network, stream(7, &network), 12);
+        assert_eq!(report.batches, 12);
+        assert!(report.total_operations > 0);
+        assert!(report.applied_operations <= report.total_operations);
+        assert!(report.updates_per_sec > 0.0);
+        assert!(report.p50_latency_secs <= report.p90_latency_secs);
+        assert!(report.p90_latency_secs <= report.p99_latency_secs);
+        assert!(report.p99_latency_secs <= report.max_latency_secs);
+        assert!(report.elapsed_secs > 0.0);
+        assert!(!report.final_result.is_empty());
+        assert!(report.solution.contains("Incremental"));
+    }
+
+    #[test]
+    fn warmup_batches_are_excluded_from_measurement() {
+        let network = network();
+        let driver = StreamDriver::new(StreamDriverConfig {
+            warmup_batches: 3,
+            coalesce: true,
+        });
+        let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+        let report = driver.run(&mut solution, &network, stream(11, &network), 4);
+        assert_eq!(report.batches, 4);
+    }
+
+    #[test]
+    fn streamed_incremental_matches_batch_recomputation() {
+        // the driver's end state must agree with a batch solution replaying the
+        // same (coalesced) batches
+        let network = network();
+        let batches: Vec<ChangeSet> = stream(17, &network).take(8).collect();
+        for query in [Query::Q1, Query::Q2] {
+            let mut incremental = GraphBlasIncremental::new(query, false);
+            let report = StreamDriver::default().run(
+                &mut incremental,
+                &network,
+                batches.iter().cloned(),
+                batches.len(),
+            );
+            let mut reference = GraphBlasBatch::new(query, false);
+            let workload = datagen::Workload {
+                initial: network.clone(),
+                changesets: batches.clone(),
+            };
+            let expected = run_solution(&mut reference, &workload);
+            assert_eq!(
+                &report.final_result,
+                expected.last().unwrap(),
+                "query {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let network = network();
+        let mut solution = GraphBlasIncremental::new(Query::Q1, false);
+        let report = StreamDriver::default().run(&mut solution, &network, stream(5, &network), 3);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for field in [
+            "\"solution\"",
+            "\"updates_per_sec\"",
+            "\"p50_latency_secs\"",
+            "\"p99_latency_secs\"",
+            "\"final_result\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 4.0);
+        assert_eq!(percentile(&sorted, 50.0), 3.0); // nearest rank rounds up here
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

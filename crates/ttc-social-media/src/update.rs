@@ -6,6 +6,13 @@
 //! (`likesCount⁺`), the new friendships (to build the `NewFriends` incidence matrix)
 //! and the set of newly inserted comments. [`apply_changeset`] grows the matrices and
 //! returns that delta.
+//!
+//! Streaming workloads additionally retract `likes` and `friends` edges
+//! (`RemoveLike` / `RemoveFriendship`); those are applied to the matrices here and
+//! surfaced in [`GraphDelta::removed_likes`] / [`GraphDelta::removed_friendships`] so
+//! the incremental evaluators can decrement scores (Q1) or re-score affected
+//! comments (Q2). Within one changeset the last operation on an edge wins, matching
+//! the sequential semantics of the update stream.
 
 use datagen::{ChangeOperation, ChangeSet};
 use graphblas::ops_traits::First;
@@ -29,10 +36,15 @@ pub struct GraphDelta {
     pub new_likes: Vec<(Index, Index)>,
     /// New friendships as `(user, user)` dense index pairs (one entry per pair).
     pub new_friendships: Vec<(Index, Index)>,
+    /// Retracted likes as `(comment, user)` dense index pairs.
+    pub removed_likes: Vec<(Index, Index)>,
+    /// Retracted friendships as `(user, user)` dense index pairs (one entry per
+    /// pair, in the orientation the edge was originally inserted with).
+    pub removed_friendships: Vec<(Index, Index)>,
 }
 
 impl GraphDelta {
-    /// Whether the changeset contained no effective insertions.
+    /// Whether the changeset contained no effective insertions or retractions.
     pub fn is_empty(&self) -> bool {
         self.new_posts.is_empty()
             && self.new_comments.is_empty()
@@ -40,6 +52,15 @@ impl GraphDelta {
             && self.new_root_post_edges.is_empty()
             && self.new_likes.is_empty()
             && self.new_friendships.is_empty()
+            && !self.has_removals()
+    }
+
+    /// Whether the changeset retracted any edge. Retractions can *decrease* scores,
+    /// which the incremental evaluators handle by rebuilding their top-k candidate
+    /// pool from the maintained score vector (merging alone is only exact for the
+    /// insert-only monotone case).
+    pub fn has_removals(&self) -> bool {
+        !self.removed_likes.is_empty() || !self.removed_friendships.is_empty()
     }
 
     /// `∆RootPost`: the new `rootPost` edges as a `posts′ × comments′` matrix.
@@ -73,20 +94,42 @@ impl GraphDelta {
     /// The `NewFriends` incidence matrix: `users′ × |new friendships|`, with the two
     /// endpoints of friendship `k` marked in column `k` (Fig. 4b, step 1).
     pub fn new_friends_incidence(&self, graph: &SocialGraph) -> Matrix<u64> {
-        let mut tuples: Vec<(Index, Index, u64)> =
-            Vec::with_capacity(self.new_friendships.len() * 2);
-        for (k, &(a, b)) in self.new_friendships.iter().enumerate() {
-            tuples.push((a, k, 1));
-            tuples.push((b, k, 1));
-        }
-        Matrix::from_tuples(
-            graph.user_count(),
-            self.new_friendships.len(),
+        friends_incidence(graph, &self.new_friendships)
+    }
+
+    /// `likesCount⁻`: per-comment count of likes retracted by this changeset, as a
+    /// sparse vector over the comment index space (the retraction analogue of
+    /// [`GraphDelta::new_likes_count`]).
+    pub fn removed_likes_count(&self, graph: &SocialGraph) -> Vector<u64> {
+        let tuples: Vec<(Index, u64)> = self.removed_likes.iter().map(|&(c, _)| (c, 1)).collect();
+        Vector::from_tuples(
+            graph.comment_count(),
             &tuples,
-            First::new(),
+            graphblas::ops_traits::Plus::new(),
         )
         .expect("delta indices lie within the grown dimensions")
     }
+
+    /// The incidence matrix of the *retracted* friendships, shaped like
+    /// [`GraphDelta::new_friends_incidence`]. A comment is affected by a retraction
+    /// exactly when both former endpoints like it — the same both-endpoints
+    /// detection of Fig. 4b applies, because the `Likes` matrix is unchanged by a
+    /// friendship removal.
+    pub fn removed_friends_incidence(&self, graph: &SocialGraph) -> Matrix<u64> {
+        friends_incidence(graph, &self.removed_friendships)
+    }
+}
+
+/// Build a `users × |pairs|` incidence matrix with the two endpoints of pair `k`
+/// marked in column `k`.
+fn friends_incidence(graph: &SocialGraph, pairs: &[(Index, Index)]) -> Matrix<u64> {
+    let mut tuples: Vec<(Index, Index, u64)> = Vec::with_capacity(pairs.len() * 2);
+    for (k, &(a, b)) in pairs.iter().enumerate() {
+        tuples.push((a, k, 1));
+        tuples.push((b, k, 1));
+    }
+    Matrix::from_tuples(graph.user_count(), pairs.len(), &tuples, First::new())
+        .expect("delta indices lie within the grown dimensions")
 }
 
 /// Apply a changeset to the graph: register new elements, grow every matrix to the new
@@ -138,6 +181,8 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                     delta.new_users.push(idx);
                 }
             }
+            // retractions never introduce nodes
+            ChangeOperation::RemoveLike { .. } | ChangeOperation::RemoveFriendship { .. } => {}
         }
     }
 
@@ -151,11 +196,16 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
     graph.friends.resize(nu, nu);
     graph.commented.resize(nc, nc);
 
-    // Pass 2: collect the new edges.
+    // Pass 2: collect the edge updates. For likes and friendships the last operation
+    // on an edge within the changeset wins (an Add cancels a pending Remove of the
+    // same edge and vice versa), which reproduces the sequential semantics of
+    // applying the operations one at a time.
     let mut root_post_inserts: Vec<(Index, Index, u64)> = Vec::new();
     let mut commented_inserts: Vec<(Index, Index, u64)> = Vec::new();
     let mut likes_inserts: Vec<(Index, Index, u64)> = Vec::new();
     let mut friends_inserts: Vec<(Index, Index, u64)> = Vec::new();
+    let mut likes_removals: Vec<(Index, Index)> = Vec::new();
+    let mut friends_removals: Vec<(Index, Index)> = Vec::new();
 
     for op in &changeset.operations {
         match op {
@@ -178,7 +228,13 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                 if let (Some(c), Some(u)) =
                     (graph.comments.index_of(*comment), graph.users.index_of(*user))
                 {
-                    if graph.likes.get(c, u).is_none()
+                    let pending_removal = likes_removals.iter().position(|&(cc, uu)| (cc, uu) == (c, u));
+                    if let Some(pos) = pending_removal {
+                        // Remove followed by Add: net effect is presence; the edge
+                        // already exists in the matrix, so drop both operations.
+                        likes_removals.swap_remove(pos);
+                        delta.removed_likes.retain(|&(cc, uu)| (cc, uu) != (c, u));
+                    } else if graph.likes.get(c, u).is_none()
                         && !likes_inserts.iter().any(|&(cc, uu, _)| cc == c && uu == u)
                     {
                         likes_inserts.push((c, u, 1));
@@ -189,8 +245,17 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
             ChangeOperation::AddFriendship { a, b } => {
                 if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b))
                 {
-                    if ia != ib
-                        && graph.friends.get(ia, ib).is_none()
+                    let pending_removal = friends_removals
+                        .iter()
+                        .position(|&(x, y)| (x, y) == (ia, ib) || (x, y) == (ib, ia));
+                    if ia == ib {
+                        // self-loops are never stored
+                    } else if let Some(pos) = pending_removal {
+                        friends_removals.swap_remove(pos);
+                        delta
+                            .removed_friendships
+                            .retain(|&(x, y)| (x, y) != (ia, ib) && (x, y) != (ib, ia));
+                    } else if graph.friends.get(ia, ib).is_none()
                         && !friends_inserts
                             .iter()
                             .any(|&(x, y, _)| (x, y) == (ia, ib) || (x, y) == (ib, ia))
@@ -198,6 +263,52 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                         friends_inserts.push((ia, ib, 1));
                         friends_inserts.push((ib, ia, 1));
                         delta.new_friendships.push((ia, ib));
+                    }
+                }
+            }
+            ChangeOperation::RemoveLike { user, comment } => {
+                if let (Some(c), Some(u)) =
+                    (graph.comments.index_of(*comment), graph.users.index_of(*user))
+                {
+                    let pending_insert =
+                        likes_inserts.iter().position(|&(cc, uu, _)| (cc, uu) == (c, u));
+                    if let Some(pos) = pending_insert {
+                        // Add followed by Remove within the changeset: net no-op.
+                        likes_inserts.swap_remove(pos);
+                        delta.new_likes.retain(|&(cc, uu)| (cc, uu) != (c, u));
+                    } else if graph.likes.get(c, u).is_some()
+                        && !likes_removals.contains(&(c, u))
+                    {
+                        likes_removals.push((c, u));
+                        delta.removed_likes.push((c, u));
+                    }
+                }
+            }
+            ChangeOperation::RemoveFriendship { a, b } => {
+                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b))
+                {
+                    let pending_insert = friends_inserts
+                        .iter()
+                        .position(|&(x, y, _)| (x, y) == (ia, ib) || (x, y) == (ib, ia));
+                    if let Some(pos) = pending_insert {
+                        // both orientations were queued; drop them and the delta entry
+                        friends_inserts.swap_remove(pos);
+                        let more = friends_inserts
+                            .iter()
+                            .position(|&(x, y, _)| (x, y) == (ia, ib) || (x, y) == (ib, ia));
+                        if let Some(pos) = more {
+                            friends_inserts.swap_remove(pos);
+                        }
+                        delta
+                            .new_friendships
+                            .retain(|&(x, y)| (x, y) != (ia, ib) && (x, y) != (ib, ia));
+                    } else if graph.friends.get(ia, ib).is_some()
+                        && !friends_removals
+                            .iter()
+                            .any(|&(x, y)| (x, y) == (ia, ib) || (x, y) == (ib, ia))
+                    {
+                        friends_removals.push((ia, ib));
+                        delta.removed_friendships.push((ia, ib));
                     }
                 }
             }
@@ -221,6 +332,13 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
         .friends
         .insert_tuples(&friends_inserts, First::new())
         .expect("friends inserts within bounds");
+    for &(c, u) in &likes_removals {
+        graph.likes.remove(c, u);
+    }
+    for &(a, b) in &friends_removals {
+        graph.friends.remove(a, b);
+        graph.friends.remove(b, a);
+    }
 
     delta
 }
@@ -336,6 +454,91 @@ mod tests {
         let p3 = g.posts.index_of(3).unwrap();
         let c15 = g.comments.index_of(15).unwrap();
         assert_eq!(g.root_post.get(p3, c15), Some(1));
+    }
+
+    #[test]
+    fn remove_like_and_friendship_update_matrices_and_delta() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let cs = datagen::ChangeSet {
+            operations: vec![
+                // u3 likes c1 initially; u1–u2 are friends initially
+                datagen::ChangeOperation::RemoveLike { user: 103, comment: 11 },
+                datagen::ChangeOperation::RemoveFriendship { a: 102, b: 101 },
+            ],
+        };
+        let before_likes = g.likes.nvals();
+        let before_friends = g.friends.nvals();
+        let delta = apply_changeset(&mut g, &cs);
+        g.check_consistency().unwrap();
+
+        let c1 = g.comments.index_of(11).unwrap();
+        let u3 = g.users.index_of(103).unwrap();
+        assert_eq!(g.likes.get(c1, u3), None);
+        assert_eq!(g.likes.nvals(), before_likes - 1);
+
+        let u1 = g.users.index_of(101).unwrap();
+        let u2 = g.users.index_of(102).unwrap();
+        assert_eq!(g.friends.get(u1, u2), None);
+        assert_eq!(g.friends.get(u2, u1), None);
+        assert_eq!(g.friends.nvals(), before_friends - 2);
+
+        assert_eq!(delta.removed_likes, vec![(c1, u3)]);
+        assert_eq!(delta.removed_friendships.len(), 1);
+        assert!(delta.has_removals());
+        assert!(!delta.is_empty());
+        assert_eq!(delta.removed_likes_count(&g).get(c1), Some(1));
+        assert_eq!(delta.removed_friends_incidence(&g).nvals(), 2);
+    }
+
+    #[test]
+    fn removing_absent_edges_is_a_noop() {
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let cs = datagen::ChangeSet {
+            operations: vec![
+                // u1 does not like c1; u1–u3 are not friends; user 999 is unknown
+                datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::RemoveFriendship { a: 101, b: 103 },
+                datagen::ChangeOperation::RemoveLike { user: 999, comment: 11 },
+            ],
+        };
+        let delta = apply_changeset(&mut g, &cs);
+        assert!(delta.is_empty());
+        assert!(!delta.has_removals());
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn last_operation_on_an_edge_wins_within_a_changeset() {
+        // Add then Remove of a fresh edge: net no-op.
+        let mut g = SocialGraph::from_network(&paper_example_network());
+        let add_then_remove = datagen::ChangeSet {
+            operations: vec![
+                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::AddFriendship { a: 101, b: 103 },
+                datagen::ChangeOperation::RemoveFriendship { a: 103, b: 101 },
+            ],
+        };
+        let before_likes = g.likes.nvals();
+        let before_friends = g.friends.nvals();
+        let delta = apply_changeset(&mut g, &add_then_remove);
+        assert!(delta.is_empty(), "add+remove must cancel: {delta:?}");
+        assert_eq!(g.likes.nvals(), before_likes);
+        assert_eq!(g.friends.nvals(), before_friends);
+
+        // Remove then Add of an existing edge: net presence, no delta entries.
+        let remove_then_add = datagen::ChangeSet {
+            operations: vec![
+                // u3 likes c1 initially
+                datagen::ChangeOperation::RemoveLike { user: 103, comment: 11 },
+                datagen::ChangeOperation::AddLike { user: 103, comment: 11 },
+            ],
+        };
+        let delta = apply_changeset(&mut g, &remove_then_add);
+        assert!(delta.is_empty(), "remove+add of an existing edge: {delta:?}");
+        let c1 = g.comments.index_of(11).unwrap();
+        let u3 = g.users.index_of(103).unwrap();
+        assert_eq!(g.likes.get(c1, u3), Some(1));
     }
 
     #[test]

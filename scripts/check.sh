@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Repository check: what CI should run.
+#
+#   ./scripts/check.sh          # build + tests + docs
+#
+# Fails on the first broken step. `cargo doc` runs with warnings denied so the
+# broken-intra-doc-link class of error (the reason DESIGN.md exists) is caught.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo build --release --benches"
+cargo build --release --benches
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "All checks passed."

@@ -1,0 +1,150 @@
+//! Differential tests of the streaming update pipeline: on seeded micro-batch
+//! streams — including like/friendship retractions, which the original TTC
+//! workload never contains — every tool variant must agree with a full batch
+//! recomputation after **every** micro-batch, and replaying N micro-batches must
+//! land on the same result as one equivalent bulk changeset.
+
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{
+    generate_workload, ChangeSet, GeneratorConfig, SocialNetwork, Workload,
+};
+use ttc2018_graphblas::nmf_baseline::NmfIncremental;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::{run_solution, Solution};
+use ttc2018_graphblas::ttc_social_media::stream::{coalesce, StreamDriver};
+use ttc2018_graphblas::ttc_social_media::{
+    GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc,
+};
+
+fn network(seed: u64) -> SocialNetwork {
+    generate_workload(&GeneratorConfig::tiny(seed)).initial
+}
+
+fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 10,
+            // a heavy retraction share to stress the deletion paths
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// Every incremental variant agrees with the batch recomputation after every
+/// single micro-batch of a retraction-heavy stream.
+#[test]
+fn all_variants_agree_on_streamed_batches_with_retractions() {
+    for net_seed in [101u64, 202] {
+        let network = network(net_seed);
+        let batches = batches(&network, net_seed ^ 0xabc, 12);
+        for query in [Query::Q1, Query::Q2] {
+            let mut variants: Vec<Box<dyn Solution>> = vec![
+                Box::new(GraphBlasBatch::new(query, false)),
+                Box::new(GraphBlasBatch::new(query, true)),
+                Box::new(GraphBlasIncremental::new(query, false)),
+                Box::new(GraphBlasIncremental::new(query, true)),
+                Box::new(NmfIncremental::new(query)),
+            ];
+            if query == Query::Q2 {
+                variants.push(Box::new(GraphBlasIncrementalCc::new()));
+            }
+            let mut results: Vec<String> = variants
+                .iter_mut()
+                .map(|s| s.load_and_initial(&network))
+                .collect();
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "initial evaluation disagrees: {results:?}"
+            );
+            for (batch_no, batch) in batches.iter().enumerate() {
+                results = variants
+                    .iter_mut()
+                    .map(|s| s.update_and_reevaluate(batch))
+                    .collect();
+                for (variant, result) in variants.iter().zip(&results) {
+                    assert_eq!(
+                        result, &results[0],
+                        "{} disagrees at {query:?} batch {batch_no} (net seed {net_seed})",
+                        variant.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// N streamed micro-batches produce the same final Q1/Q2 results as one
+/// equivalent bulk changeset (the ISSUE's streamed-vs-bulk differential).
+#[test]
+fn streamed_micro_batches_match_one_bulk_changeset() {
+    let network = network(77);
+    let batches = batches(&network, 0xfeed, 15);
+    let bulk = ChangeSet {
+        operations: batches
+            .iter()
+            .flat_map(|b| b.operations.iter().cloned())
+            .collect(),
+    };
+    for query in [Query::Q1, Query::Q2] {
+        let mut streamed = GraphBlasIncremental::new(query, false);
+        let report = StreamDriver::default().run(
+            &mut streamed,
+            &network,
+            batches.iter().cloned(),
+            batches.len(),
+        );
+
+        let mut bulk_solution = GraphBlasBatch::new(query, false);
+        let workload = Workload {
+            initial: network.clone(),
+            changesets: vec![bulk.clone()],
+        };
+        let bulk_results = run_solution(&mut bulk_solution, &workload);
+        assert_eq!(
+            Some(&report.final_result),
+            bulk_results.last(),
+            "query {query:?}: streamed end state diverges from the bulk changeset"
+        );
+    }
+}
+
+/// Coalescing a batch must not change any variant's answer — including the NMF
+/// dependency-record propagation, which must treat a coalesced bare add of a
+/// present edge (or bare retraction of an absent one) as a no-op.
+#[test]
+fn coalescing_preserves_semantics_across_variants() {
+    let network = network(55);
+    let batches = batches(&network, 0xc0a1, 10);
+    for query in [Query::Q1, Query::Q2] {
+        let make: Vec<fn(Query) -> Box<dyn Solution>> = vec![
+            |q| Box::new(GraphBlasIncremental::new(q, false)),
+            |q| Box::new(NmfIncremental::new(q)),
+        ];
+        for build in make {
+            let mut raw = build(query);
+            let mut merged = build(query);
+            raw.load_and_initial(&network);
+            merged.load_and_initial(&network);
+            for batch in &batches {
+                assert_eq!(
+                    raw.update_and_reevaluate(batch),
+                    merged.update_and_reevaluate(&coalesce(batch)),
+                    "coalescing changed the {query:?} result of {}",
+                    raw.name()
+                );
+            }
+        }
+    }
+}
+
+/// The update stream is deterministic across independent constructions.
+#[test]
+fn update_streams_are_reproducible() {
+    let network = network(31);
+    assert_eq!(batches(&network, 9, 8), batches(&network, 9, 8));
+}

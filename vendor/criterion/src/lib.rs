@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark a configurable number of samples, reports the
+//! median / min / max wall-clock time per iteration, and prints one line per
+//! benchmark id. No statistics engine, no HTML reports, no CLI filtering — enough to
+//! make `cargo bench` produce comparable numbers offline with unchanged bench code.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations, filled by [`Bencher::iter`].
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measurements.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, measurements: &mut Vec<Duration>) {
+    if measurements.is_empty() {
+        println!("{label:<60} (no measurements)");
+        return;
+    }
+    measurements.sort_unstable();
+    let median = measurements[measurements.len() / 2];
+    let min = measurements[0];
+    let max = measurements[measurements.len() - 1];
+    println!(
+        "{label:<60} median {median:>12.3?}   min {min:>12.3?}   max {max:>12.3?}   ({} samples)",
+        measurements.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (criterion's default is 100;
+    /// this stand-in defaults to 10 to keep offline runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), input, routine)
+    }
+
+    /// Benchmark a closure without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), &(), move |b, _| routine(b))
+    }
+
+    fn run<I: ?Sized>(
+        &mut self,
+        id: String,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurements: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, &mut bencher.measurements);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// End the group (a no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { benchmarks_run: 0 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure directly on the driver.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function("", routine);
+        self
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench-target `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_and_counts() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! Provides exactly the surface the workspace uses: [`RngCore`], the [`Rng`]
+//! extension methods (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`] and
+//! [`seq::SliceRandom::choose`]. Generators live elsewhere (see the vendored
+//! `rand_chacha`); this crate only defines the traits and distribution helpers.
+//!
+//! The integer `gen_range` uses plain rejection-free modulo reduction. Its bias is
+//! bounded by `span / 2^64`, which is negligible for the workload-generation use in
+//! this repository (spans ≪ 2^32) — and irrelevant for correctness, since nothing
+//! depends on exact uniformity.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits (defaults to the high half of
+    /// [`next_u64`](RngCore::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`] (rand's `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a half-open range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draw one value in `[lo, hi)`.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u64, usize, u32, i64, i32);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        let unit = f64::sample_standard(rng);
+        // clamp below hi so the half-open contract holds even under rounding
+        (lo + unit * (hi - lo)).min(hi - (hi - lo) * f64::EPSILON)
+    }
+}
+
+/// Extension methods over any [`RngCore`] (the rand `Rng` trait).
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draw a value uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from slices (the rand `SliceRandom` subset in use).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&y));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_from_slice() {
+        use seq::SliceRandom;
+        let mut rng = StepRng(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [10u8, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        // `&mut R` forwarding keeps trait-object-style call sites working
+        let mut rng = StepRng(9);
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100)
+        }
+        assert!(draw(&mut rng) < 100);
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The real rayon is a work-stealing thread pool; this workspace vendors a small
+//! API-compatible subset (the container cannot fetch crates.io). Parallel iterators
+//! materialise their input, split it into one contiguous chunk per worker and fan the
+//! chunks out with [`std::thread::scope`], preserving input order in the collected
+//! output. `ThreadPoolBuilder::build` + [`ThreadPool::install`] set a thread-local
+//! worker count that [`current_num_threads`] and the iterators observe, which is all
+//! the benchmark harness needs to reproduce the paper's 1- vs 8-thread series.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations currently use: the size of the
+/// innermost [`ThreadPool::install`] scope, or the machine parallelism outside one.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by this stand-in,
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: None }
+    }
+
+    /// Set the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Infallible here, but returns `Result` like the real rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self
+            .num_threads
+            .filter(|&n| n > 0)
+            .unwrap_or_else(current_num_threads);
+        Ok(ThreadPool {
+            num_threads: threads,
+        })
+    }
+}
+
+/// A "pool": a worker count that [`install`](ThreadPool::install) makes current for
+/// the duration of a closure. Workers are spawned per parallel operation.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count as the current parallelism.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        CURRENT_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The worker count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run `f(item)` over all items on `threads` workers, preserving input order.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map each item through `f` in parallel, keeping only the `Some` results.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collect the (unmapped) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// The result of [`ParIter::filter_map`]: a pending parallel filter-map.
+pub struct ParFilterMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParFilterMap<T, F>
+where
+    T: Send,
+{
+    /// Execute on the current worker count; surviving results keep input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+        C: FromIterator<R>,
+    {
+        run_chunked(self.items, self.f).into_iter().flatten().collect()
+    }
+}
+
+/// The result of [`ParIter::map`]: a pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Execute the map on the current worker count and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_chunked(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iteration over slices (rayon's `IntoParallelRefIterator`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: glob-import to bring the iterator traits into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4); // still usable
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 1);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in this workspace serialises the derived model types through serde's data
+//! model — the derives exist so the types advertise serialisability (and the JSON the
+//! benchmark binaries emit is built with the vendored `serde_json`'s `json!`). The
+//! traits are therefore plain markers, and the derive macros (re-exported from the
+//! vendored `serde_derive`) emit empty impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type can be serialised. (Method-less stand-in for serde's trait.)
+pub trait Serialize {}
+
+/// Marker: the type can be deserialised. (Method-less stand-in for serde's trait;
+/// the `'de` lifetime of the real trait is dropped since nothing names it.)
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    char,
+    String
+);
+
+impl Serialize for &str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for &T {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}

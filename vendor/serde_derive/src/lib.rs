@@ -1,0 +1,95 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` defines [`Serialize`]/[`Deserialize`] as marker traits (no
+//! methods), so the derives only need to emit `impl serde::Serialize for T {}` — no
+//! `syn`/`quote` required. Types are parsed just far enough to find the name and the
+//! generic parameter list; `where`-clauses and lifetime/const generics beyond plain
+//! idents are not supported (nothing in this workspace uses them on derived types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The name and generic parameters of the deriving type.
+struct Target {
+    name: String,
+    /// Generic parameter idents, e.g. `["T", "U"]` for `struct Pair<T, U>`.
+    generics: Vec<String>,
+}
+
+/// Find the ident following `struct`/`enum`, plus its generic parameter names.
+fn parse_target(input: TokenStream) -> Target {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                };
+                let mut generics = Vec::new();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        tokens.next();
+                        let mut depth = 1usize;
+                        let mut expect_param = true;
+                        for token in tokens.by_ref() {
+                            match token {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                    expect_param = true;
+                                }
+                                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                                    generics.push(id.to_string());
+                                    expect_param = false;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                return Target { name, generics };
+            }
+        }
+        // skip attribute groups, visibility, doc comments
+        let _ = matches!(token, TokenTree::Group(ref g) if g.delimiter() == Delimiter::Bracket);
+    }
+    panic!("serde_derive: input is neither a struct nor an enum");
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let target = parse_target(input);
+    let impl_text = if target.generics.is_empty() {
+        format!("impl {} for {} {{}}", trait_path, target.name)
+    } else {
+        let params = target.generics.join(", ");
+        let bounds = target
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> {trait_path} for {}<{params}> where {bounds} {{}}",
+            target.name
+        )
+    };
+    impl_text.parse().expect("generated impl parses")
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Covers the subset the benchmark binaries use: the [`Value`] tree, the [`json!`]
+//! constructor macro (object / array / scalar forms with expression values), and
+//! [`to_string`] / [`to_string_pretty`] over anything [`AsJson`]. There is no parser
+//! and no serde-data-model bridge — output only.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integers are kept exact so they print without a fraction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => write!(f, "{v}"),
+            Number::F64(_) => write!(f, "null"), // JSON has no NaN/Inf
+        }
+    }
+}
+
+/// A JSON value tree. Object keys are sorted (BTreeMap) for stable output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $variant:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                $variant(v)
+            }
+        }
+    )*};
+}
+
+impl_value_from!(
+    bool => Value::Bool,
+    String => Value::String,
+    Vec<Value> => Value::Array,
+);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+/// References to any owned convertible type (covers the `&String` / `&u64` / `&f64`
+/// bindings that fall out of iterating maps). `&str` is handled by its own impl
+/// above (`str` is unsized, so this blanket does not apply to it).
+impl<T: Clone + Into<Value>> From<&T> for Value {
+    fn from(v: &T) -> Value {
+        v.clone().into()
+    }
+}
+
+macro_rules! impl_value_from_number {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::$variant(v as $cast))
+            }
+        }
+    )*};
+}
+
+impl_value_from_number!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        let pad = |out: &mut String, level: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, pretty, indent + 1);
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    escape_into(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, pretty, indent + 1);
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, false, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Types renderable as a JSON [`Value`].
+pub trait AsJson {
+    /// Convert to a value tree.
+    fn as_json(&self) -> Value;
+}
+
+impl AsJson for Value {
+    fn as_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: AsJson> AsJson for Vec<T> {
+    fn as_json(&self) -> Value {
+        Value::Array(self.iter().map(AsJson::as_json).collect())
+    }
+}
+
+impl<T: AsJson> AsJson for [T] {
+    fn as_json(&self) -> Value {
+        Value::Array(self.iter().map(AsJson::as_json).collect())
+    }
+}
+
+impl<T: AsJson + ?Sized> AsJson for &T {
+    fn as_json(&self) -> Value {
+        (**self).as_json()
+    }
+}
+
+/// Error type kept for signature compatibility; rendering never fails.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render compactly.
+pub fn to_string<T: AsJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.as_json().write(&mut out, false, 0);
+    Ok(out)
+}
+
+/// Render with two-space indentation.
+pub fn to_string_pretty<T: AsJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.as_json().write(&mut out, true, 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports `null`, scalars and
+/// expressions, arrays, and objects with string-literal keys and expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_pretty_print() {
+        let label = "GraphBLAS Batch".to_string();
+        let v = json!({
+            "tool": &label,
+            "seconds": 0.5,
+            "scale_factor": 8u64,
+            "ok": true,
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"tool\": \"GraphBLAS Batch\""));
+        assert!(pretty.contains("\"scale_factor\": 8"));
+        assert!(!pretty.contains("8.0"));
+    }
+
+    #[test]
+    fn array_of_objects_round_trips_shape() {
+        let rows: Vec<Value> = (0..2).map(|i| json!({ "i": i })).collect();
+        let s = to_string(&rows).unwrap();
+        assert_eq!(s, r#"[{"i":0},{"i":1}]"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "msg": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"msg":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let v = json!([1u64, 2u64]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+}
