@@ -5,11 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphblas::ops::{
-    mxm, mxm_par, mxv, mxv_par, reduce_matrix_rows, reduce_matrix_rows_par, select_matrix,
+    mxm, mxm_masked, mxm_masked_par, mxm_par, mxv, mxv_par, reduce_matrix_rows,
+    reduce_matrix_rows_par, select_matrix,
 };
 use graphblas::ops_traits::{First, ValueGt};
 use graphblas::semiring::stock;
-use graphblas::{Matrix, Vector};
+use graphblas::{Matrix, MatrixMask, Vector};
 
 /// Deterministic pseudo-random sparse matrix with ~`nnz_per_row` entries per row.
 fn synthetic_matrix(nrows: usize, ncols: usize, nnz_per_row: usize, seed: u64) -> Matrix<u64> {
@@ -68,6 +69,17 @@ fn bench_mxm(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
             b.iter(|| mxm_par(&a, &b_mat, stock::plus_times::<u64>()).unwrap())
+        });
+        // masked with the A pattern (triangle-count shape): push-down skips every
+        // product outside an existing edge
+        let mask_matrix = synthetic_matrix(n, n, 4, 19);
+        group.bench_with_input(BenchmarkId::new("masked/serial", n), &n, |b, _| {
+            let mask = MatrixMask::structural(&mask_matrix);
+            b.iter(|| mxm_masked(&mask, &a, &b_mat, stock::plus_times::<u64>()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("masked/parallel", n), &n, |b, _| {
+            let mask = MatrixMask::structural(&mask_matrix);
+            b.iter(|| mxm_masked_par(&mask, &a, &b_mat, stock::plus_times::<u64>()).unwrap())
         });
     }
     group.finish();

@@ -10,7 +10,8 @@ use graphblas::ops_traits::First;
 use graphblas::Matrix;
 use lagraph::{
     bfs_levels, connected_components, kcore_decomposition, label_propagation, pagerank,
-    sssp_hops, triangle_count, LabelPropagationOptions, PageRankOptions, UnionFind,
+    sssp_hops, triangle_count, triangle_count_par, LabelPropagationOptions, PageRankOptions,
+    UnionFind,
 };
 
 /// Build the symmetric friendship adjacency matrix of a workload's initial network,
@@ -70,6 +71,9 @@ fn bench_algorithm_suite(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("triangle_count", sf), &sf, |b, _| {
             b.iter(|| triangle_count(&friends).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("triangle_count_par", sf), &sf, |b, _| {
+            b.iter(|| triangle_count_par(&friends).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("bfs", sf), &sf, |b, _| {
             b.iter(|| bfs_levels(&friends, 0).unwrap())

@@ -11,8 +11,14 @@
 //! cargo run -p bench --release --bin stream_throughput -- [--sf 1] [--batches 200] \
 //!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
-//!     [--threads 1]
+//!     [--threads 1] [--smoke]
 //! ```
+//!
+//! `--smoke` overrides everything with a small fixed configuration (sf1, every
+//! variant of both queries, 2 worker threads so the parallel kernels run) and is
+//! what `scripts/check.sh` executes: any panic in the kernels or the streaming
+//! drivers fails the tier-1 gate. Explicit flags placed *after* `--smoke` still
+//! apply on top of it.
 
 use bench::run_in_pool;
 use datagen::stream::{StreamConfig, UpdateStream};
@@ -97,6 +103,21 @@ fn parse_args() -> Args {
             "--threads" => {
                 i += 1;
                 args.threads = argv[i].parse().expect("--threads expects an integer");
+            }
+            "--smoke" => {
+                args.scale_factor = 1;
+                args.batches = 10;
+                args.batch_size = 16;
+                args.warmup = 2;
+                args.deletions = 0.1;
+                args.queries = vec![Query::Q1, Query::Q2];
+                args.variants = vec![
+                    "batch".to_string(),
+                    "incremental".to_string(),
+                    "incremental-cc".to_string(),
+                    "nmf".to_string(),
+                ];
+                args.threads = 2;
             }
             other => {
                 eprintln!("unknown argument {other}");

@@ -10,9 +10,9 @@
 //!
 //! | GraphBLAS method    | here |
 //! |---------------------|------|
-//! | `GrB_mxm`           | [`ops::mxm()`], [`ops::mxm_par`], [`ops::mxm_masked`] |
-//! | `GrB_vxm`           | [`ops::vxm()`], [`ops::vxm_masked`] |
-//! | `GrB_mxv`           | [`ops::mxv()`], [`ops::mxv_par`], [`ops::mxv_masked`] |
+//! | `GrB_mxm`           | [`ops::mxm()`], [`ops::mxm_par`], [`ops::mxm_masked`], [`ops::mxm_masked_par`] |
+//! | `GrB_vxm`           | [`ops::vxm()`], [`ops::vxm_masked`], [`ops::vxm_masked_par`] |
+//! | `GrB_mxv`           | [`ops::mxv()`], [`ops::mxv_par`], [`ops::mxv_masked`], [`ops::mxv_masked_par`] |
 //! | `GrB_eWiseAdd`      | [`ops::ewise_add_vector`], [`ops::ewise_add_matrix`] |
 //! | `GrB_eWiseMult`     | [`ops::ewise_mult_vector`], [`ops::ewise_mult_matrix`] |
 //! | `GrB_extract`       | [`ops::extract_subvector`], [`ops::extract_submatrix`] |
@@ -25,7 +25,10 @@
 //! | `GrB_extractTuples` | [`Matrix::extract_tuples`], [`Vector::extract_tuples`] |
 //!
 //! Masks (`C⟨M⟩ = ...`) are modelled by [`VectorMask`] / [`MatrixMask`], semirings by
-//! [`semiring::Semiring`] with the stock constructions in [`semiring::stock`].
+//! [`semiring::Semiring`] with the stock constructions in [`semiring::stock`]. The
+//! multiplication kernels are row-wise Gustavson with a per-row SPA/merge accumulator
+//! choice, and masks are pushed down into the kernels (disallowed output positions
+//! are skipped before any product is formed) — see `DESIGN.md` §2.4.
 //!
 //! ## Example
 //!

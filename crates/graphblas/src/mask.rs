@@ -52,9 +52,27 @@ impl<'a, M: MaskValue> VectorMask<'a, M> {
         self
     }
 
+    /// Whether the mask is complemented.
+    #[inline]
+    pub fn is_complemented(&self) -> bool {
+        self.complemented
+    }
+
     /// The dimension of the underlying mask vector.
     pub fn size(&self) -> Index {
         self.mask.size()
+    }
+
+    /// The *present* positions of the mask, ignoring complementation: stored positions
+    /// for a structural mask, stored-truthy positions for a value mask. A position is
+    /// allowed iff `present ≠ complemented`; kernels use this to build dense
+    /// constant-time filters (mask push-down) for both plain and complemented masks.
+    pub fn present_positions(&self) -> impl Iterator<Item = Index> + '_ {
+        let value_kind = self.kind == MaskKind::Value;
+        self.mask
+            .iter()
+            .filter(move |&(_, v)| !value_kind || v.is_truthy())
+            .map(|(i, _)| i)
     }
 
     /// Whether writing to position `i` is allowed.
@@ -122,6 +140,12 @@ impl<'a, M: MaskValue> MatrixMask<'a, M> {
         self
     }
 
+    /// Whether the mask is complemented.
+    #[inline]
+    pub fn is_complemented(&self) -> bool {
+        self.complemented
+    }
+
     /// Number of rows of the underlying mask matrix.
     pub fn nrows(&self) -> Index {
         self.mask.nrows()
@@ -130,6 +154,18 @@ impl<'a, M: MaskValue> MatrixMask<'a, M> {
     /// Number of columns of the underlying mask matrix.
     pub fn ncols(&self) -> Index {
         self.mask.ncols()
+    }
+
+    /// The *present* positions of mask row `i`, ignoring complementation: the stored
+    /// columns for a structural mask, the stored-truthy columns for a value mask.
+    /// Kernels turn this into a dense constant-time row filter (mask push-down).
+    pub fn row_present_positions(&self, i: Index) -> impl Iterator<Item = Index> + '_ {
+        let (cols, vals) = self.mask.row(i);
+        let value_kind = self.kind == MaskKind::Value;
+        cols.iter()
+            .zip(vals.iter())
+            .filter(move |&(_, &v)| !value_kind || v.is_truthy())
+            .map(|(&c, _)| c)
     }
 
     /// Whether writing to position `(i, j)` is allowed.
@@ -210,5 +246,28 @@ mod tests {
         assert!(!comp.allows(0, 1));
         assert!(comp.allows(1, 1));
         assert!(comp.allows(2, 2));
+    }
+
+    #[test]
+    fn present_positions_ignore_complementation() {
+        let v = mask_vec();
+        let structural = VectorMask::structural(&v);
+        assert_eq!(structural.present_positions().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert!(!structural.is_complemented());
+        let value_comp = VectorMask::value(&v).complement();
+        assert_eq!(value_comp.present_positions().collect::<Vec<_>>(), vec![1, 5]);
+        assert!(value_comp.is_complemented());
+    }
+
+    #[test]
+    fn row_present_positions_respect_mask_kind() {
+        let mat = Matrix::from_tuples(3, 3, &[(0, 1, 1u8), (0, 2, 0), (2, 2, 0)], Plus::new())
+            .unwrap();
+        let structural = MatrixMask::structural(&mat);
+        assert_eq!(structural.row_present_positions(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(structural.row_present_positions(1).count(), 0);
+        let value = MatrixMask::value(&mat).complement();
+        assert_eq!(value.row_present_positions(0).collect::<Vec<_>>(), vec![1]);
+        assert!(value.is_complemented());
     }
 }

@@ -1,0 +1,190 @@
+//! Sparse accumulators for the multiplication kernels.
+//!
+//! Gustavson's row-wise SpGEMM needs a place to accumulate the partial products
+//! `A[i,k] ⊗ B[k,j]` of one output row. SuiteSparse:GraphBLAS picks between several
+//! accumulator ("saxpy") workspaces per task; this module provides the two that matter
+//! at our scales:
+//!
+//! * a **dense SPA** ([`SparseAccumulator`]) — an `ncols`-sized value array plus a
+//!   list of touched positions. Scatter is `O(1)` per product, extraction sorts only
+//!   the touched positions, and the arrays are reused across rows so the dense
+//!   allocation is paid once per kernel invocation (or once per rayon chunk);
+//! * a **sorted-merge fallback** (the `combine_products` gather–sort–combine in
+//!   [`super`]) — for rows whose flop count is tiny relative to `ncols`, where even
+//!   walking a touched-list is dominated by cache-missing into a cold dense array.
+//!
+//! [`spa_is_profitable`] is the per-row selection heuristic, and [`MaskFilter`] turns
+//! one mask row into an `O(1)`-per-product allowed-position test so masks can be
+//! pushed *into* the kernels (products for disallowed output positions are never
+//! accumulated — for value and structural masks, plain and complemented alike).
+
+use crate::monoid::Monoid;
+use crate::scalar::Scalar;
+use crate::types::Index;
+
+/// Per-row flop threshold below which the gather–sort–combine fallback wins over the
+/// dense SPA. The SPA touches `O(flops)` random positions of an `ncols`-sized array;
+/// sorting a handful of products is cheaper than faulting that array into cache, so
+/// very sparse rows (relative to the output width) take the merge path.
+///
+/// Chosen like SuiteSparse's coarse Gustavson/hash cutover: the SPA is used once the
+/// row's products would touch at least 1/16th of the output width, or in absolute
+/// terms enough products that the `O(flops log flops)` sort loses.
+#[inline]
+pub(crate) fn spa_is_profitable(flops: usize, ncols: Index) -> bool {
+    flops >= 256 || flops * 16 >= ncols
+}
+
+/// A dense sparse accumulator (SPA): `values[j]` holds the running `⊕`-sum of the
+/// products landing on output position `j`, `touched` remembers which positions are
+/// live. Extraction resets exactly the touched positions, so a single accumulator is
+/// reused across all rows of a kernel invocation without `O(ncols)` clearing.
+#[derive(Debug)]
+pub(crate) struct SparseAccumulator<T> {
+    values: Vec<Option<T>>,
+    touched: Vec<Index>,
+}
+
+impl<T: Scalar> SparseAccumulator<T> {
+    /// An accumulator for output rows of width `ncols`.
+    pub(crate) fn new(ncols: Index) -> Self {
+        SparseAccumulator {
+            values: vec![None; ncols],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Accumulate `value` into position `j` with the monoid `add`.
+    #[inline]
+    pub(crate) fn scatter<M: Monoid<T>>(&mut self, j: Index, value: T, add: &M) {
+        match &mut self.values[j] {
+            Some(slot) => *slot = add.apply(*slot, value),
+            slot @ None => {
+                *slot = Some(value);
+                self.touched.push(j);
+            }
+        }
+    }
+
+    /// Drain the accumulated row as sorted `(indices, values)` and reset the
+    /// accumulator for the next row.
+    pub(crate) fn extract_sorted(&mut self) -> (Vec<Index>, Vec<T>) {
+        self.touched.sort_unstable();
+        let mut indices = Vec::with_capacity(self.touched.len());
+        let mut values = Vec::with_capacity(self.touched.len());
+        for &j in &self.touched {
+            let slot = self.values[j].take().expect("touched position holds a value");
+            indices.push(j);
+            values.push(slot);
+        }
+        self.touched.clear();
+        (indices, values)
+    }
+}
+
+/// An `O(1)`-per-position view of one mask row (or of a vector mask), used to push
+/// masks down into the multiplication kernels.
+///
+/// The *present* positions of the mask (stored positions for a structural mask,
+/// stored-truthy positions for a value mask) are marked in a dense flag array;
+/// [`MaskFilter::allows`] then answers in constant time for plain and complemented
+/// masks alike — `allowed = marked ≠ complemented`. Like the SPA, the flag array is
+/// reused across rows: [`MaskFilter::load`] resets only the previously marked
+/// positions.
+#[derive(Debug)]
+pub(crate) struct MaskFilter {
+    marked: Vec<bool>,
+    touched: Vec<Index>,
+    complemented: bool,
+}
+
+impl MaskFilter {
+    /// A filter over output positions `0..ncols`.
+    pub(crate) fn new(ncols: Index, complemented: bool) -> Self {
+        MaskFilter {
+            marked: vec![false; ncols],
+            touched: Vec::new(),
+            complemented,
+        }
+    }
+
+    /// Replace the marked set with the mask's present positions for the current row.
+    pub(crate) fn load(&mut self, present: impl IntoIterator<Item = Index>) {
+        for &j in &self.touched {
+            self.marked[j] = false;
+        }
+        self.touched.clear();
+        for j in present {
+            if !self.marked[j] {
+                self.marked[j] = true;
+                self.touched.push(j);
+            }
+        }
+    }
+
+    /// Whether the mask allows writing to output position `j`.
+    #[inline]
+    pub(crate) fn allows(&self, j: Index) -> bool {
+        self.marked[j] != self.complemented
+    }
+
+    /// The number of positions a non-complemented filter allows (used to skip rows
+    /// whose mask is empty before any product is formed).
+    #[inline]
+    pub(crate) fn allowed_is_empty(&self) -> bool {
+        !self.complemented && self.touched.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops_traits::Plus;
+
+    #[test]
+    fn spa_scatter_accumulates_and_sorts() {
+        let mut spa = SparseAccumulator::new(10);
+        let add = Plus::<u64>::new();
+        spa.scatter(7, 1, &add);
+        spa.scatter(2, 2, &add);
+        spa.scatter(7, 3, &add);
+        let (idx, vals) = spa.extract_sorted();
+        assert_eq!(idx, vec![2, 7]);
+        assert_eq!(vals, vec![2, 4]);
+        // reusable after extraction
+        spa.scatter(7, 5, &add);
+        let (idx, vals) = spa.extract_sorted();
+        assert_eq!(idx, vec![7]);
+        assert_eq!(vals, vec![5]);
+    }
+
+    #[test]
+    fn mask_filter_plain_and_complemented() {
+        let mut plain = MaskFilter::new(5, false);
+        plain.load([1, 3]);
+        assert!(plain.allows(1));
+        assert!(plain.allows(3));
+        assert!(!plain.allows(0));
+        assert!(!plain.allowed_is_empty());
+
+        let mut comp = MaskFilter::new(5, true);
+        comp.load([1, 3]);
+        assert!(!comp.allows(1));
+        assert!(comp.allows(0));
+        assert!(!comp.allowed_is_empty());
+
+        // reloading clears previous marks
+        plain.load([0]);
+        assert!(plain.allows(0));
+        assert!(!plain.allows(1));
+        plain.load([]);
+        assert!(plain.allowed_is_empty());
+    }
+
+    #[test]
+    fn heuristic_prefers_merge_for_sparse_rows() {
+        assert!(!spa_is_profitable(2, 1000));
+        assert!(spa_is_profitable(300, 1_000_000));
+        assert!(spa_is_profitable(10, 64));
+    }
+}

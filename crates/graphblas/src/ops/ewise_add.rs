@@ -54,13 +54,7 @@ where
     T: Scalar,
     Op: BinaryOp<T, T, Output = T>,
 {
-    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "ewise_add_matrix",
-            expected: a.nrows(),
-            actual: b.nrows(),
-        });
-    }
+    super::check_same_shape("ewise_add_matrix (rows)", "ewise_add_matrix (cols)", a, b)?;
     let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
     let mut col_idx: Vec<Index> = Vec::with_capacity(a.nvals() + b.nvals());
     let mut values: Vec<T> = Vec::with_capacity(a.nvals() + b.nvals());

@@ -60,13 +60,7 @@ where
     B: Scalar,
     Op: BinaryOp<A, B>,
 {
-    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "ewise_mult_matrix",
-            expected: a.nrows(),
-            actual: b.nrows(),
-        });
-    }
+    super::check_same_shape("ewise_mult_matrix (rows)", "ewise_mult_matrix (cols)", a, b)?;
     let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
     let mut col_idx: Vec<Index> = Vec::new();
     let mut values: Vec<Op::Output> = Vec::new();

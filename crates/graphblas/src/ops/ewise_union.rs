@@ -72,13 +72,12 @@ where
     B: Scalar,
     Op: BinaryOp<A, B>,
 {
-    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "ewise_union_matrix",
-            expected: a.nrows(),
-            actual: b.nrows(),
-        });
-    }
+    super::check_same_shape(
+        "ewise_union_matrix (rows)",
+        "ewise_union_matrix (cols)",
+        a,
+        b,
+    )?;
     let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
     let mut col_idx: Vec<Index> = Vec::with_capacity(a.nvals() + b.nvals());
     let mut values = Vec::with_capacity(a.nvals() + b.nvals());

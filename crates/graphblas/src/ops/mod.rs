@@ -18,9 +18,14 @@
 //! | `GrB_build`            | [`crate::Matrix::from_tuples`] / [`crate::Vector::from_tuples`] | |
 //! | `GrB_extractTuples`    | [`crate::Matrix::extract_tuples`] / [`crate::Vector::extract_tuples`] | |
 //!
-//! Kernels use gather–sort–combine sparse accumulation, which keeps them allocation
-//! friendly and makes the rayon-parallel variants (`*_par`) embarrassingly parallel
-//! over output rows.
+//! The multiplication kernels use row-wise Gustavson accumulation with a per-row
+//! choice (by flop estimate) between a dense value+marker SPA and a
+//! gather–sort–combine merge for very sparse rows (the private `accum` module) — and masks are
+//! pushed down into the kernels so disallowed output positions never cost a
+//! multiplication. The rayon-parallel variants (`*_par`) split the output rows into
+//! contiguous chunks, one accumulator per chunk.
+
+mod accum;
 
 pub mod apply;
 pub mod assign;
@@ -48,11 +53,11 @@ pub use ewise_mult::{ewise_mult_matrix, ewise_mult_vector};
 pub use ewise_union::{ewise_union_matrix, ewise_union_vector};
 pub use extract::{extract_col, extract_row, extract_submatrix, extract_subvector};
 pub use kronecker::{kronecker, kronecker_power};
-pub use mxm::{mxm, mxm_masked, mxm_par};
+pub use mxm::{mxm, mxm_masked, mxm_masked_postfilter, mxm_par, mxm_reference};
 pub use mxv::{mxv, mxv_masked, mxv_par};
 pub use par::{
-    apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, select_matrix_par,
-    transpose_par,
+    apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, mxm_masked_par,
+    mxv_masked_par, select_matrix_par, transpose_par, vxm_masked_par,
 };
 pub use reduce::{
     reduce_matrix_cols, reduce_matrix_rows, reduce_matrix_rows_par, reduce_matrix_scalar,
@@ -61,14 +66,44 @@ pub use reduce::{
 pub use select::{select_matrix, select_vector};
 pub use vxm::{vxm, vxm_masked};
 
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
 use crate::monoid::Monoid;
 use crate::scalar::Scalar;
 use crate::types::Index;
 
+/// Check that two matrices have identical shape, reporting the axis that actually
+/// mismatched (rows are checked first).
+pub(crate) fn check_same_shape<A: Scalar, B: Scalar>(
+    rows_context: &'static str,
+    cols_context: &'static str,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+) -> Result<()> {
+    if a.nrows() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: rows_context,
+            expected: a.nrows(),
+            actual: b.nrows(),
+        });
+    }
+    if a.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: cols_context,
+            expected: a.ncols(),
+            actual: b.ncols(),
+        });
+    }
+    Ok(())
+}
+
 /// Combine an unsorted list of `(index, value)` products into a sorted,
 /// duplicate-free list by folding duplicates with the monoid `add`.
 ///
-/// Shared helper of the multiplication kernels (gather–sort–combine accumulation).
+/// The multiplication kernels use this gather–sort–combine path as the sorted-merge
+/// fallback for rows too sparse to justify the dense SPA (see the `accum` module);
+/// the reference kernels ([`mxm_reference`], [`mxm_masked_postfilter`]) use it for
+/// every row.
 pub(crate) fn combine_products<T, M>(mut products: Vec<(Index, T)>, add: M) -> (Vec<Index>, Vec<T>)
 where
     T: Scalar,

@@ -1,9 +1,21 @@
 //! Matrix–matrix multiplication `C⟨M⟩ = A ⊕.⊗ B` (`GrB_mxm`).
 //!
 //! The kernel is a row-wise Gustavson SpGEMM: for each row `i` of `A`, the partial
-//! products `A[i,k] ⊗ B[k,j]` are gathered and combined with the additive monoid.
-//! The parallel variant distributes output rows over the rayon thread pool, which is
-//! how SuiteSparse:GraphBLAS parallelises the same kernel with OpenMP.
+//! products `A[i,k] ⊗ B[k,j]` are accumulated with the additive monoid into a sparse
+//! accumulator. Per output row the kernel picks, by flop estimate, between a dense
+//! value+marker SPA (wide rows) and a gather–sort–combine merge (very sparse rows) —
+//! the same Gustavson/saxpy workspace selection SuiteSparse:GraphBLAS performs per
+//! task. Masks are pushed down into the kernel: partial products whose output
+//! position the mask disallows are skipped *before* the multiplication is applied,
+//! for plain and complemented, structural and value masks alike.
+//!
+//! The parallel variants distribute contiguous row chunks over the rayon thread pool
+//! (one accumulator per chunk), which is how SuiteSparse parallelises the same kernel
+//! with OpenMP.
+//!
+//! [`mxm_reference`] keeps the pre-SPA gather–sort–combine kernel (and its
+//! post-filtering masked counterpart [`mxm_masked_postfilter`]) as an unoptimised
+//! baseline for differential tests and the `ablation_spgemm` benchmark.
 
 use rayon::prelude::*;
 
@@ -15,6 +27,7 @@ use crate::scalar::{MaskValue, Scalar};
 use crate::semiring::Semiring;
 use crate::types::Index;
 
+use super::accum::{spa_is_profitable, MaskFilter, SparseAccumulator};
 use super::combine_products;
 
 fn check_dims<A, B>(a: &Matrix<A>, b: &Matrix<B>) -> Result<()>
@@ -32,31 +45,150 @@ where
     Ok(())
 }
 
-/// Compute one output row of `A ⊕.⊗ B` (sorted columns + values).
+fn check_mask_dims<A, B, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+{
+    if mask.nrows() != a.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "mxm (mask rows)",
+            expected: a.nrows(),
+            actual: mask.nrows(),
+        });
+    }
+    if mask.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "mxm (mask cols)",
+            expected: b.ncols(),
+            actual: mask.ncols(),
+        });
+    }
+    Ok(())
+}
+
+/// Number of semiring multiplications row `row` of `A ⊕.⊗ B` performs.
+#[inline]
+fn row_flops<A, B>(a: &Matrix<A>, b: &Matrix<B>, row: Index) -> usize
+where
+    A: Scalar,
+    B: Scalar,
+{
+    let (a_cols, _) = a.row(row);
+    a_cols.iter().map(|&k| b.row_nvals(k)).sum()
+}
+
+/// Compute one output row of `A ⊕.⊗ B` with the Gustavson kernel, optionally
+/// restricted by a preloaded mask row filter.
 #[inline]
 fn multiply_row<A, B, S>(
     a: &Matrix<A>,
     b: &Matrix<B>,
     semiring: &S,
     row: Index,
+    spa: &mut SparseAccumulator<S::Output>,
+    filter: Option<&MaskFilter>,
 ) -> (Vec<Index>, Vec<S::Output>)
 where
     A: Scalar,
     B: Scalar,
     S: Semiring<A, B>,
 {
+    let add = semiring.add();
     let mul = semiring.mul();
     let (a_cols, a_vals) = a.row(row);
-    let mut products: Vec<(Index, S::Output)> = Vec::new();
-    for (pos, &k) in a_cols.iter().enumerate() {
-        let aik = a_vals[pos];
-        let (b_cols, b_vals) = b.row(k);
-        products.reserve(b_cols.len());
-        for (bpos, &j) in b_cols.iter().enumerate() {
-            products.push((j, mul.apply(aik, b_vals[bpos])));
-        }
+    let flops = row_flops(a, b, row);
+    if flops == 0 {
+        return (Vec::new(), Vec::new());
     }
-    combine_products(products, semiring.add())
+
+    // Single-term rows need no accumulation at all: B's row is already sorted and
+    // duplicate-free, so the product row is a straight (filtered) map over it.
+    if a_cols.len() == 1 {
+        let aik = a_vals[0];
+        let (b_cols, b_vals) = b.row(a_cols[0]);
+        let mut cols = Vec::with_capacity(b_cols.len());
+        let mut vals = Vec::with_capacity(b_cols.len());
+        for (pos, &j) in b_cols.iter().enumerate() {
+            if filter.map_or(true, |f| f.allows(j)) {
+                cols.push(j);
+                vals.push(mul.apply(aik, b_vals[pos]));
+            }
+        }
+        return (cols, vals);
+    }
+
+    if spa_is_profitable(flops, b.ncols()) {
+        for (pos, &k) in a_cols.iter().enumerate() {
+            let aik = a_vals[pos];
+            let (b_cols, b_vals) = b.row(k);
+            for (bpos, &j) in b_cols.iter().enumerate() {
+                if filter.map_or(true, |f| f.allows(j)) {
+                    spa.scatter(j, mul.apply(aik, b_vals[bpos]), &add);
+                }
+            }
+        }
+        spa.extract_sorted()
+    } else {
+        let mut products: Vec<(Index, S::Output)> = Vec::with_capacity(flops);
+        for (pos, &k) in a_cols.iter().enumerate() {
+            let aik = a_vals[pos];
+            let (b_cols, b_vals) = b.row(k);
+            for (bpos, &j) in b_cols.iter().enumerate() {
+                if filter.map_or(true, |f| f.allows(j)) {
+                    products.push((j, mul.apply(aik, b_vals[bpos])));
+                }
+            }
+        }
+        combine_products(products, add)
+    }
+}
+
+/// Compute the output rows `lo..hi`, reusing one accumulator (and, when masked, one
+/// row filter) across the whole range. Shared by the serial kernels (full range) and
+/// the rayon variants (one contiguous chunk per worker).
+fn multiply_row_range<A, B, S, M>(
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: &S,
+    mask: Option<&MatrixMask<'_, M>>,
+    lo: Index,
+    hi: Index,
+) -> Vec<(Vec<Index>, Vec<S::Output>)>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    let mut spa = SparseAccumulator::new(b.ncols());
+    let mut filter = mask.map(|m| MaskFilter::new(b.ncols(), m.is_complemented()));
+    let mut rows = Vec::with_capacity(hi - lo);
+    for r in lo..hi {
+        if let (Some(f), Some(m)) = (filter.as_mut(), mask) {
+            f.load(m.row_present_positions(r));
+            if f.allowed_is_empty() {
+                rows.push((Vec::new(), Vec::new()));
+                continue;
+            }
+        }
+        rows.push(multiply_row(a, b, semiring, r, &mut spa, filter.as_ref()));
+    }
+    rows
+}
+
+/// Split `0..nrows` into one contiguous chunk per rayon worker.
+pub(crate) fn row_chunks(nrows: Index) -> Vec<(Index, Index)> {
+    let chunk = nrows.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    (0..nrows)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(nrows)))
+        .collect()
 }
 
 fn assemble<T: Scalar>(
@@ -77,6 +209,10 @@ fn assemble<T: Scalar>(
     Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values)
 }
 
+/// The mask type of the unmasked kernels: a [`MatrixMask`] is never constructed for
+/// them, this only instantiates the generic plumbing.
+type NoMask = bool;
+
 /// `C = A ⊕.⊗ B`: sparse matrix–matrix product over a semiring (serial kernel).
 pub fn mxm<A, B, S>(a: &Matrix<A>, b: &Matrix<B>, semiring: S) -> Result<Matrix<S::Output>>
 where
@@ -85,14 +221,12 @@ where
     S: Semiring<A, B>,
 {
     check_dims(a, b)?;
-    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
-        .map(|r| multiply_row(a, b, &semiring, r))
-        .collect();
+    let rows = multiply_row_range::<A, B, S, NoMask>(a, b, &semiring, None, 0, a.nrows());
     Ok(assemble(a.nrows(), b.ncols(), rows))
 }
 
-/// Parallel (rayon) variant of [`mxm`]: output rows are computed independently on the
-/// current rayon thread pool.
+/// Parallel (rayon) variant of [`mxm`]: contiguous row chunks are computed
+/// independently on the current rayon thread pool, one accumulator per chunk.
 pub fn mxm_par<A, B, S>(a: &Matrix<A>, b: &Matrix<B>, semiring: S) -> Result<Matrix<S::Output>>
 where
     A: Scalar,
@@ -101,15 +235,18 @@ where
     S::Output: Send,
 {
     check_dims(a, b)?;
-    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
+    let chunks: Vec<Vec<(Vec<Index>, Vec<S::Output>)>> = row_chunks(a.nrows())
         .into_par_iter()
-        .map(|r| multiply_row(a, b, &semiring, r))
+        .map(|(lo, hi)| multiply_row_range::<A, B, S, NoMask>(a, b, &semiring, None, lo, hi))
         .collect();
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = chunks.into_iter().flatten().collect();
     Ok(assemble(a.nrows(), b.ncols(), rows))
 }
 
-/// Masked variant: `C⟨M⟩ = A ⊕.⊗ B`. Output positions not allowed by the mask are
-/// discarded after the row product is formed.
+/// Masked variant: `C⟨M⟩ = A ⊕.⊗ B`. The mask is pushed down into the kernel:
+/// partial products for disallowed output positions are skipped before they are
+/// computed, and rows whose (non-complemented) mask row is empty are skipped
+/// entirely.
 pub fn mxm_masked<A, B, S, M>(
     mask: &MatrixMask<'_, M>,
     a: &Matrix<A>,
@@ -123,16 +260,88 @@ where
     S: Semiring<A, B>,
 {
     check_dims(a, b)?;
-    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "mxm (mask)",
-            expected: a.nrows(),
-            actual: mask.nrows(),
-        });
-    }
+    check_mask_dims(mask, a, b)?;
+    let rows = multiply_row_range(a, b, &semiring, Some(mask), 0, a.nrows());
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+/// Parallel (rayon) variant of [`mxm_masked`], used by [`super::par::mxm_masked_par`].
+pub(crate) fn mxm_masked_par_impl<A, B, S, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue + Sync,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    check_dims(a, b)?;
+    check_mask_dims(mask, a, b)?;
+    let chunks: Vec<Vec<(Vec<Index>, Vec<S::Output>)>> = row_chunks(a.nrows())
+        .into_par_iter()
+        .map(|(lo, hi)| multiply_row_range(a, b, &semiring, Some(mask), lo, hi))
+        .collect();
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = chunks.into_iter().flatten().collect();
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+/// The pre-SPA gather–sort–combine kernel, kept as the unoptimised reference for
+/// differential tests and the `ablation_spgemm` benchmark. Produces exactly the same
+/// matrix as [`mxm`].
+pub fn mxm_reference<A, B, S>(
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    check_dims(a, b)?;
+    let mul = semiring.mul();
     let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..a.nrows())
         .map(|r| {
-            let (cols, vals) = multiply_row(a, b, &semiring, r);
+            let (a_cols, a_vals) = a.row(r);
+            let mut products: Vec<(Index, S::Output)> = Vec::new();
+            for (pos, &k) in a_cols.iter().enumerate() {
+                let aik = a_vals[pos];
+                let (b_cols, b_vals) = b.row(k);
+                products.reserve(b_cols.len());
+                for (bpos, &j) in b_cols.iter().enumerate() {
+                    products.push((j, mul.apply(aik, b_vals[bpos])));
+                }
+            }
+            combine_products(products, semiring.add())
+        })
+        .collect();
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
+/// Reference masked multiply that applies the mask *after* materialising each full
+/// row product (the pre-push-down behaviour). Same result as [`mxm_masked`]; kept for
+/// differential tests and the `ablation_spgemm` benchmark.
+pub fn mxm_masked_postfilter<A, B, S, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    check_mask_dims(mask, a, b)?;
+    let full = mxm_reference(a, b, semiring)?;
+    let rows: Vec<(Vec<Index>, Vec<S::Output>)> = (0..full.nrows())
+        .map(|r| {
+            let (cols, vals) = full.row(r);
             let mut fcols = Vec::with_capacity(cols.len());
             let mut fvals = Vec::with_capacity(vals.len());
             for (pos, &c) in cols.iter().enumerate() {
@@ -144,7 +353,7 @@ where
             (fcols, fvals)
         })
         .collect();
-    Ok(assemble(a.nrows(), b.ncols(), rows))
+    Ok(assemble(full.nrows(), full.ncols(), rows))
 }
 
 #[cfg(test)]
@@ -231,10 +440,43 @@ mod tests {
     }
 
     #[test]
+    fn mxm_masked_complemented_mask() {
+        let mask_matrix =
+            Matrix::from_tuples(2, 2, &[(0, 0, true), (1, 1, true)], crate::ops_traits::First::new())
+                .unwrap();
+        let mask = MatrixMask::structural(&mask_matrix).complement();
+        let c = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(c.get(0, 0), None);
+        assert_eq!(c.get(1, 1), None);
+        assert_eq!(c.get(0, 1), Some(10));
+        assert_eq!(c.get(1, 0), Some(18));
+    }
+
+    #[test]
     fn mxm_masked_checks_mask_dims() {
         let mask_matrix: Matrix<bool> = Matrix::new(3, 3);
         let mask = MatrixMask::structural(&mask_matrix);
         assert!(mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).is_err());
+    }
+
+    #[test]
+    fn mxm_masked_reports_the_mismatched_axis() {
+        // rows match (2), columns do not (3 vs 2)
+        let mask_matrix: Matrix<bool> = Matrix::new(2, 3);
+        let mask = MatrixMask::structural(&mask_matrix);
+        let err = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap_err();
+        match err {
+            Error::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                assert_eq!(context, "mxm (mask cols)");
+                assert_eq!(expected, 2);
+                assert_eq!(actual, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -245,5 +487,20 @@ mod tests {
         let ba = mxm(&b(), &a(), stock::plus_times::<u64>()).unwrap();
         let abat2 = mxm(&a(), &ba, stock::plus_times::<u64>()).unwrap();
         assert_eq!(abat, abat2);
+    }
+
+    #[test]
+    fn reference_kernels_match_optimised() {
+        let c = mxm(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        let r = mxm_reference(&a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(c, r);
+
+        let mask_matrix =
+            Matrix::from_tuples(2, 2, &[(0, 1, true), (1, 0, true)], crate::ops_traits::First::new())
+                .unwrap();
+        let mask = MatrixMask::structural(&mask_matrix);
+        let m = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        let p = mxm_masked_postfilter(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(m, p);
     }
 }

@@ -1,4 +1,9 @@
 //! Matrix–vector multiplication `w⟨m⟩ = A ⊕.⊗ u` (`GrB_mxv`).
+//!
+//! This is the "pull" direction: every output element is a sorted-merge dot product
+//! of one CSR row with `u`, so no accumulator is needed. The mask is pushed down at
+//! row granularity — disallowed rows are skipped before their dot product is
+//! computed, the strongest form of push-down this kernel admits.
 
 use rayon::prelude::*;
 
@@ -86,6 +91,28 @@ where
     Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
 }
 
+/// Check that the operands conform and that the mask lives in the output (row) space.
+fn check_mask_dims<A, B, M>(
+    mask: &VectorMask<'_, M>,
+    a: &Matrix<A>,
+    u: &Vector<B>,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+{
+    check_dims(a, u)?;
+    if mask.size() != a.nrows() {
+        return Err(Error::DimensionMismatch {
+            context: "mxv (mask)",
+            expected: a.nrows(),
+            actual: mask.size(),
+        });
+    }
+    Ok(())
+}
+
 /// Masked variant: `w⟨m⟩ = A ⊕.⊗ u`. Rows not allowed by the mask are skipped
 /// entirely (and therefore not even computed).
 pub fn mxv_masked<A, B, S, M>(
@@ -100,14 +127,7 @@ where
     M: MaskValue,
     S: Semiring<A, B>,
 {
-    check_dims(a, u)?;
-    if mask.size() != a.nrows() {
-        return Err(Error::DimensionMismatch {
-            context: "mxv (mask)",
-            expected: a.nrows(),
-            actual: mask.size(),
-        });
-    }
+    check_mask_dims(mask, a, u)?;
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for r in 0..a.nrows() {
@@ -119,6 +139,41 @@ where
             indices.push(r);
             values.push(v);
         }
+    }
+    Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
+}
+
+/// Parallel (rayon) variant of [`mxv_masked`], used by [`super::par::mxv_masked_par`]:
+/// the mask still skips disallowed rows before any dot product is formed.
+pub(crate) fn mxv_masked_par_impl<A, B, S, M>(
+    mask: &VectorMask<'_, M>,
+    a: &Matrix<A>,
+    u: &Vector<B>,
+    semiring: S,
+) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue + Sync,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    check_mask_dims(mask, a, u)?;
+    let results: Vec<(Index, S::Output)> = (0..a.nrows())
+        .into_par_iter()
+        .filter_map(|r| {
+            if !mask.allows(r) {
+                return None;
+            }
+            let (cols, vals) = a.row(r);
+            row_dot(cols, vals, u, &semiring).map(|v| (r, v))
+        })
+        .collect();
+    let mut indices = Vec::with_capacity(results.len());
+    let mut values = Vec::with_capacity(results.len());
+    for (i, v) in results {
+        indices.push(i);
+        values.push(v);
     }
     Ok(Vector::from_sorted_parts(a.nrows(), indices, values))
 }

@@ -5,19 +5,29 @@
 //! variants of Fig. 5). The CSR kernels in this crate are row-independent, so the same
 //! effect is obtained by fanning the per-row work out with rayon. Each function here
 //! produces exactly the same result as its serial counterpart — asserted by the
-//! property tests — and only differs in how the rows are scheduled.
+//! property tests — and only differs in how the rows are scheduled. (The one
+//! exception is [`vxm_masked_par`], whose additive reductions may associate
+//! differently across workers; for the commutative monoids used throughout this
+//! workspace the result is still identical.)
 //!
 //! The multiplication kernels ([`crate::ops::mxm_par`], [`crate::ops::mxv_par`]) and
 //! the row reduction ([`crate::ops::reduce_matrix_rows_par`]) live next to their serial
-//! versions; this module adds the remaining element-wise, apply and select kernels.
+//! versions; this module adds the element-wise, apply and select kernels plus the
+//! masked multiplication variants ([`mxm_masked_par`], [`mxv_masked_par`],
+//! [`vxm_masked_par`]) — all with the mask pushed down into the kernel.
 
 use rayon::prelude::*;
 
-use crate::error::{Error, Result};
+use crate::error::Result;
+use crate::mask::{MatrixMask, VectorMask};
 use crate::matrix::Matrix;
 use crate::ops_traits::{BinaryOp, IndexUnaryOp, UnaryOp};
-use crate::scalar::Scalar;
+use crate::scalar::{MaskValue, Scalar};
+use crate::semiring::Semiring;
 use crate::types::Index;
+use crate::vector::Vector;
+
+use super::check_same_shape;
 
 /// Assemble per-row `(columns, values)` results into a CSR matrix.
 fn assemble_rows<T: Scalar>(
@@ -38,6 +48,119 @@ fn assemble_rows<T: Scalar>(
     Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values)
 }
 
+/// Parallel masked `C⟨M⟩ = A ⊕.⊗ B` (see [`crate::ops::mxm_masked`]): contiguous row
+/// chunks are computed independently, each with its own sparse accumulator and mask
+/// row filter, and the mask is pushed down into the kernel.
+pub fn mxm_masked_par<A, B, S, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue + Sync,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    super::mxm::mxm_masked_par_impl(mask, a, b, semiring)
+}
+
+/// Parallel masked `w⟨m⟩ = A ⊕.⊗ u` (see [`crate::ops::mxv_masked`]): rows the mask
+/// disallows are skipped before their dot product is computed.
+pub fn mxv_masked_par<A, B, S, M>(
+    mask: &VectorMask<'_, M>,
+    a: &Matrix<A>,
+    u: &Vector<B>,
+    semiring: S,
+) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue + Sync,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    super::mxv::mxv_masked_par_impl(mask, a, u, semiring)
+}
+
+/// Parallel masked `w⟨m⟩ = uᵀ ⊕.⊗ A` (see [`crate::ops::vxm_masked`]): the stored
+/// entries of `u` are split into contiguous chunks, each chunk scatters its (masked)
+/// partial products independently, and the sorted partials are merged with the
+/// additive monoid.
+pub fn vxm_masked_par<A, B, S, M>(
+    mask: &VectorMask<'_, M>,
+    u: &Vector<A>,
+    a: &Matrix<B>,
+    semiring: S,
+) -> Result<Vector<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue + Sync,
+    S: Semiring<A, B> + Sync,
+    S::Output: Send,
+{
+    super::vxm::check_mask_dims(mask, u, a)?;
+    let filter = super::vxm::vector_mask_filter(mask, a.ncols());
+    if filter.allowed_is_empty() {
+        return Ok(Vector::new(a.ncols()));
+    }
+    let u_idx = u.indices();
+    let u_val = u.values();
+    let partials: Vec<(Vec<Index>, Vec<S::Output>)> = super::mxm::row_chunks(u_idx.len())
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            super::vxm::scatter_entries(&u_idx[lo..hi], &u_val[lo..hi], a, &semiring, Some(&filter))
+        })
+        .collect();
+    // Merge the sorted partials with the additive monoid. Each partial covers a
+    // disjoint slice of u, so overlapping output positions combine with ⊕ exactly as
+    // the serial kernel would (up to association order).
+    let add = semiring.add();
+    let mut merged: Option<(Vec<Index>, Vec<S::Output>)> = None;
+    for (p_idx, p_val) in partials {
+        merged = Some(match merged {
+            None => (p_idx, p_val),
+            Some((m_idx, m_val)) => merge_sorted(&m_idx, &m_val, &p_idx, &p_val, &add),
+        });
+    }
+    let (indices, values) = merged.unwrap_or_default();
+    Ok(Vector::from_sorted_parts(a.ncols(), indices, values))
+}
+
+/// Union-merge two sorted `(index, value)` lists, combining shared positions with the
+/// monoid `add`.
+fn merge_sorted<T: Scalar, M: crate::monoid::Monoid<T>>(
+    a_idx: &[Index],
+    a_val: &[T],
+    b_idx: &[Index],
+    b_val: &[T],
+    add: &M,
+) -> (Vec<Index>, Vec<T>) {
+    let mut indices = Vec::with_capacity(a_idx.len() + b_idx.len());
+    let mut values = Vec::with_capacity(a_idx.len() + b_idx.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a_idx.len() || j < b_idx.len() {
+        if j >= b_idx.len() || (i < a_idx.len() && a_idx[i] < b_idx[j]) {
+            indices.push(a_idx[i]);
+            values.push(a_val[i]);
+            i += 1;
+        } else if i >= a_idx.len() || b_idx[j] < a_idx[i] {
+            indices.push(b_idx[j]);
+            values.push(b_val[j]);
+            j += 1;
+        } else {
+            indices.push(a_idx[i]);
+            values.push(add.apply(a_val[i], b_val[j]));
+            i += 1;
+            j += 1;
+        }
+    }
+    (indices, values)
+}
+
 /// Parallel `C = A ⊕ B` over the union of the stored positions (see
 /// [`crate::ops::ewise_add_matrix`]).
 pub fn ewise_add_matrix_par<T, Op>(a: &Matrix<T>, b: &Matrix<T>, op: Op) -> Result<Matrix<T>>
@@ -45,13 +168,12 @@ where
     T: Scalar,
     Op: BinaryOp<T, T, Output = T>,
 {
-    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "ewise_add_matrix_par",
-            expected: a.nrows(),
-            actual: b.nrows(),
-        });
-    }
+    check_same_shape(
+        "ewise_add_matrix_par (rows)",
+        "ewise_add_matrix_par (cols)",
+        a,
+        b,
+    )?;
     let rows: Vec<(Vec<Index>, Vec<T>)> = (0..a.nrows())
         .into_par_iter()
         .map(|r| {
@@ -94,13 +216,12 @@ where
     B: Scalar,
     Op: BinaryOp<A, B>,
 {
-    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "ewise_mult_matrix_par",
-            expected: a.nrows(),
-            actual: b.nrows(),
-        });
-    }
+    check_same_shape(
+        "ewise_mult_matrix_par (rows)",
+        "ewise_mult_matrix_par (cols)",
+        a,
+        b,
+    )?;
     let rows: Vec<(Vec<Index>, Vec<Op::Output>)> = (0..a.nrows())
         .into_par_iter()
         .map(|r| {
@@ -209,7 +330,9 @@ pub fn transpose_par<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops_traits::{NonZero, Plus, Square, Times, ValueGt};
+    use crate::error::Error;
+    use crate::ops_traits::{First, NonZero, Plus, Square, Times, ValueGt};
+    use crate::semiring::stock;
 
     fn random_like(nrows: Index, ncols: Index, seed: u64) -> Matrix<u64> {
         // Small deterministic pseudo-random matrix without pulling in rand here.
@@ -226,6 +349,20 @@ mod tests {
             }
         }
         Matrix::from_tuples(nrows, ncols, &tuples, Plus::new()).unwrap()
+    }
+
+    fn random_vector(size: Index, seed: u64) -> Vector<u64> {
+        let mut tuples = Vec::new();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3);
+        for i in 0..size {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state % 3 == 0 {
+                tuples.push((i, state % 50));
+            }
+        }
+        Vector::from_tuples(size, &tuples, Plus::new()).unwrap()
     }
 
     #[test]
@@ -279,5 +416,91 @@ mod tests {
         let b: Matrix<u64> = Matrix::new(3, 2);
         assert!(ewise_add_matrix_par(&a, &b, Plus::new()).is_err());
         assert!(ewise_mult_matrix_par(&a, &b, Times::new()).is_err());
+    }
+
+    #[test]
+    fn parallel_ewise_reports_the_mismatched_axis() {
+        // rows agree (2), columns differ (2 vs 5)
+        let a: Matrix<u64> = Matrix::new(2, 2);
+        let b: Matrix<u64> = Matrix::new(2, 5);
+        match ewise_add_matrix_par(&a, &b, Plus::new()).unwrap_err() {
+            Error::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                assert_eq!(context, "ewise_add_matrix_par (cols)");
+                assert_eq!(expected, 2);
+                assert_eq!(actual, 5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        match ewise_mult_matrix_par(&a, &b, Times::new()).unwrap_err() {
+            Error::DimensionMismatch { context, .. } => {
+                assert_eq!(context, "ewise_mult_matrix_par (cols)");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_masked_mxm_matches_serial() {
+        let a = random_like(30, 25, 8);
+        let b = random_like(25, 20, 9);
+        let mask_matrix = random_like(30, 20, 10);
+        for mask in [
+            MatrixMask::structural(&mask_matrix),
+            MatrixMask::structural(&mask_matrix).complement(),
+            MatrixMask::value(&mask_matrix),
+        ] {
+            let serial = crate::ops::mxm_masked(&mask, &a, &b, stock::plus_times::<u64>()).unwrap();
+            let parallel = mxm_masked_par(&mask, &a, &b, stock::plus_times::<u64>()).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_masked_mxv_matches_serial() {
+        let a = random_like(35, 20, 11);
+        let u = random_vector(20, 12);
+        let mask_vec = random_vector(35, 13);
+        for mask in [
+            VectorMask::structural(&mask_vec),
+            VectorMask::structural(&mask_vec).complement(),
+        ] {
+            let serial = crate::ops::mxv_masked(&mask, &a, &u, stock::plus_times::<u64>()).unwrap();
+            let parallel = mxv_masked_par(&mask, &a, &u, stock::plus_times::<u64>()).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_masked_vxm_matches_serial() {
+        let a = random_like(20, 35, 14);
+        let u = random_vector(20, 15);
+        let mask_vec = random_vector(35, 16);
+        for mask in [
+            VectorMask::structural(&mask_vec),
+            VectorMask::structural(&mask_vec).complement(),
+        ] {
+            let serial = crate::ops::vxm_masked(&mask, &u, &a, stock::plus_times::<u64>()).unwrap();
+            let parallel = vxm_masked_par(&mask, &u, &a, stock::plus_times::<u64>()).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_masked_vxm_empty_mask_and_dims() {
+        let a = random_like(20, 35, 17);
+        let u = random_vector(20, 18);
+        let empty = Vector::<bool>::new(35);
+        let mask = VectorMask::structural(&empty);
+        let w = vxm_masked_par(&mask, &u, &a, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.nvals(), 0);
+
+        let wrong = Vector::from_tuples(3, &[(0, true)], First::new()).unwrap();
+        let mask = VectorMask::structural(&wrong);
+        assert!(vxm_masked_par(&mask, &u, &a, stock::plus_times::<u64>()).is_err());
+        assert!(mxv_masked_par(&mask, &a, &u, stock::plus_times::<u64>()).is_err());
     }
 }

@@ -2,6 +2,11 @@
 //!
 //! With the matrix stored in CSR, `vxm` is the natural "push" direction: for each
 //! stored element `u[j]`, scatter `u[j] ⊗ A[j, k]` into the output positions `k`.
+//! Like [`mod@super::mxm`], accumulation uses a dense SPA when the flop estimate warrants
+//! it and falls back to gather–sort–combine for very sparse products, and masks are
+//! pushed down into the scatter loop: products for disallowed output positions are
+//! never formed. BFS-style complement masks (`w⟨¬visited⟩ = frontier ⊕.⊗ A`) benefit
+//! directly — edges into already-visited vertices cost nothing.
 
 use crate::error::{Error, Result};
 use crate::mask::VectorMask;
@@ -12,6 +17,7 @@ use crate::semiring::Semiring;
 use crate::types::Index;
 use crate::vector::Vector;
 
+use super::accum::{spa_is_profitable, MaskFilter, SparseAccumulator};
 use super::combine_products;
 
 fn check_dims<A, B>(u: &Vector<A>, a: &Matrix<B>) -> Result<()>
@@ -29,6 +35,86 @@ where
     Ok(())
 }
 
+/// Scatter the products of the stored entries `u_idx`/`u_val` (a subrange of `u`)
+/// against the rows of `a`, honouring an optional preloaded output filter. Returns
+/// sorted `(indices, values)`.
+pub(crate) fn scatter_entries<A, B, S>(
+    u_idx: &[Index],
+    u_val: &[A],
+    a: &Matrix<B>,
+    semiring: &S,
+    filter: Option<&MaskFilter>,
+) -> (Vec<Index>, Vec<S::Output>)
+where
+    A: Scalar,
+    B: Scalar,
+    S: Semiring<A, B>,
+{
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let flops: usize = u_idx.iter().map(|&j| a.row_nvals(j)).sum();
+    if flops == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    if spa_is_profitable(flops, a.ncols()) {
+        let mut spa = SparseAccumulator::new(a.ncols());
+        for (pos, &j) in u_idx.iter().enumerate() {
+            let uj = u_val[pos];
+            let (cols, vals) = a.row(j);
+            for (apos, &k) in cols.iter().enumerate() {
+                if filter.map_or(true, |f| f.allows(k)) {
+                    spa.scatter(k, mul.apply(uj, vals[apos]), &add);
+                }
+            }
+        }
+        spa.extract_sorted()
+    } else {
+        let mut products: Vec<(Index, S::Output)> = Vec::with_capacity(flops);
+        for (pos, &j) in u_idx.iter().enumerate() {
+            let uj = u_val[pos];
+            let (cols, vals) = a.row(j);
+            for (apos, &k) in cols.iter().enumerate() {
+                if filter.map_or(true, |f| f.allows(k)) {
+                    products.push((k, mul.apply(uj, vals[apos])));
+                }
+            }
+        }
+        combine_products(products, add)
+    }
+}
+
+/// Build the output-position filter for a vector mask (`O(mask nvals)`).
+pub(crate) fn vector_mask_filter<M: MaskValue>(
+    mask: &VectorMask<'_, M>,
+    ncols: Index,
+) -> MaskFilter {
+    let mut filter = MaskFilter::new(ncols, mask.is_complemented());
+    filter.load(mask.present_positions());
+    filter
+}
+
+/// Check that the operands conform and that the mask lives in the output space.
+pub(crate) fn check_mask_dims<A, B, M>(
+    mask: &VectorMask<'_, M>,
+    u: &Vector<A>,
+    a: &Matrix<B>,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+{
+    check_dims(u, a)?;
+    if mask.size() != a.ncols() {
+        return Err(Error::DimensionMismatch {
+            context: "vxm (mask)",
+            expected: a.ncols(),
+            actual: mask.size(),
+        });
+    }
+    Ok(())
+}
+
 /// `w = uᵀ ⊕.⊗ A`: multiply a sparse row vector by a sparse matrix over a semiring.
 pub fn vxm<A, B, S>(u: &Vector<A>, a: &Matrix<B>, semiring: S) -> Result<Vector<S::Output>>
 where
@@ -37,20 +123,14 @@ where
     S: Semiring<A, B>,
 {
     check_dims(u, a)?;
-    let mul = semiring.mul();
-    let mut products: Vec<(Index, S::Output)> = Vec::new();
-    for (j, uj) in u.iter() {
-        let (cols, vals) = a.row(j);
-        for (pos, &k) in cols.iter().enumerate() {
-            products.push((k, mul.apply(uj, vals[pos])));
-        }
-    }
-    let (indices, values) = combine_products(products, semiring.add());
+    let (indices, values) = scatter_entries(u.indices(), u.values(), a, &semiring, None);
     Ok(Vector::from_sorted_parts(a.ncols(), indices, values))
 }
 
-/// Masked variant: `w⟨m⟩ = uᵀ ⊕.⊗ A`. Output positions not allowed by the mask are
-/// dropped after accumulation.
+/// Masked variant: `w⟨m⟩ = uᵀ ⊕.⊗ A`. The mask is pushed down into the scatter loop:
+/// products for disallowed output positions are skipped before the multiplication is
+/// applied (complement masks included), and an empty non-complemented mask returns
+/// without touching the operands.
 pub fn vxm_masked<A, B, S, M>(
     mask: &VectorMask<'_, M>,
     u: &Vector<A>,
@@ -63,17 +143,14 @@ where
     M: MaskValue,
     S: Semiring<A, B>,
 {
-    check_dims(u, a)?;
-    if mask.size() != a.ncols() {
-        return Err(Error::DimensionMismatch {
-            context: "vxm (mask)",
-            expected: a.ncols(),
-            actual: mask.size(),
-        });
+    check_mask_dims(mask, u, a)?;
+    let filter = vector_mask_filter(mask, a.ncols());
+    if filter.allowed_is_empty() {
+        return Ok(Vector::new(a.ncols()));
     }
-    let mut w = vxm(u, a, semiring)?;
-    w.retain(|i, _| mask.allows(i));
-    Ok(w)
+    let (indices, values) =
+        scatter_entries(u.indices(), u.values(), a, &semiring, Some(&filter));
+    Ok(Vector::from_sorted_parts(a.ncols(), indices, values))
 }
 
 #[cfg(test)]
@@ -131,6 +208,26 @@ mod tests {
         assert_eq!(w.get(1), Some(44));
         assert_eq!(w.get(3), Some(2));
         assert_eq!(w.get(2), None);
+    }
+
+    #[test]
+    fn vxm_masked_complemented_mask() {
+        let u = Vector::from_tuples(3, &[(0, 2u64), (2, 10)], Plus::new()).unwrap();
+        let mask_vec = Vector::from_tuples(4, &[(1, true), (3, true)], First::new()).unwrap();
+        let mask = VectorMask::structural(&mask_vec).complement();
+        let w = vxm_masked(&mask, &u, &matrix(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.get(1), None);
+        assert_eq!(w.get(3), None);
+        assert_eq!(w.get(2), Some(50));
+    }
+
+    #[test]
+    fn vxm_masked_empty_mask_short_circuits() {
+        let u = Vector::from_tuples(3, &[(0, 2u64), (2, 10)], Plus::new()).unwrap();
+        let mask_vec = Vector::<bool>::new(4);
+        let mask = VectorMask::structural(&mask_vec);
+        let w = vxm_masked(&mask, &u, &matrix(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(w.nvals(), 0);
     }
 
     #[test]

@@ -439,3 +439,118 @@ proptest! {
         prop_assert_eq!(right, a);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Properties of the masked multiplication kernels (mask push-down). Every masked
+// kernel must equal its unmasked serial counterpart followed by a post-filter, and
+// every parallel masked variant must be bit-identical to its serial twin — for
+// structural, value and complemented masks alike. The SPA Gustavson kernel must also
+// agree with the retained gather–sort–combine reference on arbitrary inputs.
+// ---------------------------------------------------------------------------
+
+/// The four mask interpretations to exercise: (value-kind, complemented).
+const MASK_CONFIGS: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+
+fn matrix_mask_for(m: &Matrix<u64>, value_kind: bool, complemented: bool) -> graphblas::MatrixMask<'_, u64> {
+    let mask = if value_kind {
+        graphblas::MatrixMask::value(m)
+    } else {
+        graphblas::MatrixMask::structural(m)
+    };
+    if complemented { mask.complement() } else { mask }
+}
+
+fn vector_mask_for(v: &Vector<u64>, value_kind: bool, complemented: bool) -> graphblas::VectorMask<'_, u64> {
+    let mask = if value_kind {
+        graphblas::VectorMask::value(v)
+    } else {
+        graphblas::VectorMask::structural(v)
+    };
+    if complemented { mask.complement() } else { mask }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mxm_matches_gather_sort_reference(
+        a_tuples in tuples_strategy(NR, NK, 30),
+        b_tuples in tuples_strategy(NK, NC, 30),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NK, NC, &b_tuples, Plus::new()).unwrap();
+        prop_assert_eq!(
+            ops::mxm(&a, &b, stock::plus_times::<u64>()).unwrap(),
+            ops::mxm_reference(&a, &b, stock::plus_times::<u64>()).unwrap()
+        );
+    }
+
+    #[test]
+    fn mxm_masked_equals_serial_then_filter(
+        a_tuples in tuples_strategy(NR, NK, 30),
+        b_tuples in tuples_strategy(NK, NC, 30),
+        m_tuples in tuples_strategy(NR, NC, 40),
+    ) {
+        let a = Matrix::from_tuples(NR, NK, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NK, NC, &b_tuples, Plus::new()).unwrap();
+        let mask_matrix = Matrix::from_tuples(NR, NC, &m_tuples, Plus::new()).unwrap();
+        for (value_kind, complemented) in MASK_CONFIGS {
+            let mask = matrix_mask_for(&mask_matrix, value_kind, complemented);
+            let masked = ops::mxm_masked(&mask, &a, &b, stock::plus_times::<u64>()).unwrap();
+            // serial-then-filter reference (post-filters the gather–sort kernel)
+            let reference =
+                ops::mxm_masked_postfilter(&mask, &a, &b, stock::plus_times::<u64>()).unwrap();
+            prop_assert_eq!(&masked, &reference);
+            // parallel masked variant is identical
+            let parallel =
+                ops::mxm_masked_par(&mask, &a, &b, stock::plus_times::<u64>()).unwrap();
+            prop_assert_eq!(&masked, &parallel);
+        }
+    }
+
+    #[test]
+    fn vxm_masked_equals_serial_then_filter(
+        m_tuples in tuples_strategy(NR, NC, 40),
+        v_tuples in vector_tuples_strategy(NR, 15),
+        mask_tuples in vector_tuples_strategy(NC, 15),
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &m_tuples, Plus::new()).unwrap();
+        let u = Vector::from_tuples(NR, &v_tuples, Plus::new()).unwrap();
+        let mask_vec = Vector::from_tuples(NC, &mask_tuples, Plus::new()).unwrap();
+        for (value_kind, complemented) in MASK_CONFIGS {
+            let mask = vector_mask_for(&mask_vec, value_kind, complemented);
+            let masked = ops::vxm_masked(&mask, &u, &a, stock::plus_times::<u64>()).unwrap();
+            // serial-then-filter reference
+            let mut reference = ops::vxm(&u, &a, stock::plus_times::<u64>()).unwrap();
+            reference.retain(|i, _| mask.allows(i));
+            prop_assert_eq!(&masked, &reference);
+            // parallel masked variant is identical
+            let parallel =
+                ops::vxm_masked_par(&mask, &u, &a, stock::plus_times::<u64>()).unwrap();
+            prop_assert_eq!(&masked, &parallel);
+        }
+    }
+
+    #[test]
+    fn mxv_masked_equals_serial_then_filter(
+        m_tuples in tuples_strategy(NR, NC, 40),
+        v_tuples in vector_tuples_strategy(NC, 15),
+        mask_tuples in vector_tuples_strategy(NR, 15),
+    ) {
+        let a = Matrix::from_tuples(NR, NC, &m_tuples, Plus::new()).unwrap();
+        let u = Vector::from_tuples(NC, &v_tuples, Plus::new()).unwrap();
+        let mask_vec = Vector::from_tuples(NR, &mask_tuples, Plus::new()).unwrap();
+        for (value_kind, complemented) in MASK_CONFIGS {
+            let mask = vector_mask_for(&mask_vec, value_kind, complemented);
+            let masked = ops::mxv_masked(&mask, &a, &u, stock::plus_times::<u64>()).unwrap();
+            // serial-then-filter reference
+            let mut reference = ops::mxv(&a, &u, stock::plus_times::<u64>()).unwrap();
+            reference.retain(|i, _| mask.allows(i));
+            prop_assert_eq!(&masked, &reference);
+            // parallel masked variant is identical
+            let parallel =
+                ops::mxv_masked_par(&mask, &a, &u, stock::plus_times::<u64>()).unwrap();
+            prop_assert_eq!(&masked, &parallel);
+        }
+    }
+}

@@ -41,7 +41,10 @@ pub fn bfs_levels<T: Scalar>(adjacency: &Matrix<T>, source: Index) -> Result<Vec
 
     let mut level: u64 = 1;
     while !frontier.is_empty() {
-        // next⟨¬visited⟩ = frontier ⊕.⊗ A over the (∨, ∧) semiring
+        // next⟨¬visited⟩ = frontier ⊕.⊗ A over the (∨, ∧) semiring. The complement
+        // mask is pushed down into the kernel, so edges into already-visited
+        // vertices are skipped before any product is formed — on late BFS levels
+        // that is the overwhelming majority of the frontier's out-edges.
         let visited_mask = VectorMask::structural(&levels).complement();
         let next = vxm_masked(&visited_mask, &frontier, &pattern, stock::lor_land::<u8>())?;
         for (v, _) in next.iter() {

@@ -7,14 +7,17 @@
 //! same linear-algebra shape LAGraph uses; wedge counts come from the degree vector.
 
 use graphblas::monoid;
-use graphblas::ops::{mxm_masked, reduce_matrix_rows, reduce_vector_scalar, select_matrix};
+use graphblas::ops::{
+    mxm_masked, mxm_masked_par, reduce_matrix_rows, reduce_vector_scalar, select_matrix,
+};
 use graphblas::ops_traits::{OffDiagonal, One};
 use graphblas::semiring::stock;
 use graphblas::{Error, Matrix, MatrixMask, Result, Scalar, Vector};
 
-/// Per-vertex number of triangles through each vertex of an undirected graph
-/// (symmetric adjacency matrix, values ignored, self loops ignored).
-pub fn triangles_per_vertex<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+fn triangles_per_vertex_impl<T: Scalar>(
+    adjacency: &Matrix<T>,
+    parallel: bool,
+) -> Result<Vector<u64>> {
     if !adjacency.is_square() {
         return Err(Error::DimensionMismatch {
             context: "triangles_per_vertex",
@@ -25,15 +28,32 @@ pub fn triangles_per_vertex<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u
     let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, One::new());
     let a = select_matrix(&pattern, OffDiagonal);
     // C⟨A⟩ = A ⊕.⊗ A over plus_pair: C[i][j] = number of common neighbours of i and j,
-    // restricted to existing edges. Row-summing counts each triangle through i twice
-    // (once per incident edge), so divide by 2.
+    // restricted to existing edges (the mask is pushed down into the kernel).
+    // Row-summing counts each triangle through i twice (once per incident edge), so
+    // divide by 2.
     let mask = MatrixMask::structural(&a);
-    let c = mxm_masked(&mask, &a, &a, stock::plus_pair::<u64, u64, u64>())?;
+    let semiring = stock::plus_pair::<u64, u64, u64>();
+    let c = if parallel {
+        mxm_masked_par(&mask, &a, &a, semiring)?
+    } else {
+        mxm_masked(&mask, &a, &a, semiring)?
+    };
     let paths = reduce_matrix_rows(&c, monoid::stock::plus::<u64>());
     Ok(graphblas::ops::apply_vector(
         &paths,
         graphblas::ops_traits::UnaryFn::new(|v: u64| v / 2),
     ))
+}
+
+/// Per-vertex number of triangles through each vertex of an undirected graph
+/// (symmetric adjacency matrix, values ignored, self loops ignored).
+pub fn triangles_per_vertex<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    triangles_per_vertex_impl(adjacency, false)
+}
+
+/// Parallel (rayon) variant of [`triangles_per_vertex`].
+pub fn triangles_per_vertex_par<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u64>> {
+    triangles_per_vertex_impl(adjacency, true)
 }
 
 /// Local clustering coefficient of every vertex: `2·tri(v) / (deg(v)·(deg(v)−1))`,
@@ -111,6 +131,15 @@ mod tests {
         assert_eq!(tri.get(1), Some(1));
         assert_eq!(tri.get(2), Some(1));
         assert_eq!(tri.get(3).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn parallel_per_vertex_matches_serial() {
+        let g = undirected(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        assert_eq!(
+            triangles_per_vertex(&g).unwrap(),
+            triangles_per_vertex_par(&g).unwrap()
+        );
     }
 
     #[test]

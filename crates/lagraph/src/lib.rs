@@ -48,7 +48,7 @@ pub use bfs::bfs_levels;
 pub use cc_unionfind::UnionFind;
 pub use clustering::{
     degree_vector, global_clustering_coefficient, local_clustering_coefficient,
-    triangles_per_vertex,
+    triangles_per_vertex, triangles_per_vertex_par,
 };
 pub use fastsv::{component_sizes, connected_components, sum_of_squared_component_sizes};
 pub use incremental_cc::IncrementalConnectedComponents;
@@ -56,4 +56,4 @@ pub use kcore::{degeneracy, kcore_decomposition, kcore_subgraph};
 pub use label_propagation::{communities, label_propagation, LabelPropagationOptions};
 pub use pagerank::{pagerank, PageRankOptions};
 pub use sssp::{sssp, sssp_hops};
-pub use triangle_count::triangle_count;
+pub use triangle_count::{triangle_count, triangle_count_par};

@@ -7,14 +7,12 @@
 //! algorithm exercises masked `mxm` and is used by the substrate micro-benches and
 //! tests.
 
-use graphblas::ops::{mxm_masked, reduce_matrix_scalar, select_matrix};
+use graphblas::ops::{mxm_masked, mxm_masked_par, reduce_matrix_scalar, select_matrix};
 use graphblas::ops_traits::{One, StrictLowerTriangle};
 use graphblas::semiring::stock;
 use graphblas::{Error, Matrix, MatrixMask, Result, Scalar};
 
-/// Count the triangles of an undirected graph given by a symmetric adjacency matrix
-/// (values are ignored; only the structure matters).
-pub fn triangle_count<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
+fn triangle_count_impl<T: Scalar>(adjacency: &Matrix<T>, parallel: bool) -> Result<u64> {
     if !adjacency.is_square() {
         return Err(Error::DimensionMismatch {
             context: "triangle_count",
@@ -27,11 +25,29 @@ pub fn triangle_count<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
     // L: strictly lower triangular part.
     let lower = select_matrix(&pattern, StrictLowerTriangle);
     // C⟨L⟩ = L ⊕.⊗ Lᵀ over plus_pair counts, per (i, j) edge, the common neighbours —
-    // with the mask restricting the output to existing edges. Using L·L with the
+    // with the mask restricting the output to existing edges (pushed down into the
+    // kernel, so non-edge pairs never cost a multiplication). Using L·L with the
     // L mask yields each triangle exactly once.
     let mask = MatrixMask::structural(&lower);
-    let c = mxm_masked(&mask, &lower, &lower, stock::plus_pair::<u64, u64, u64>())?;
+    let semiring = stock::plus_pair::<u64, u64, u64>();
+    let c = if parallel {
+        mxm_masked_par(&mask, &lower, &lower, semiring)?
+    } else {
+        mxm_masked(&mask, &lower, &lower, semiring)?
+    };
     Ok(reduce_matrix_scalar(&c, graphblas::monoid::stock::plus()))
+}
+
+/// Count the triangles of an undirected graph given by a symmetric adjacency matrix
+/// (values are ignored; only the structure matters).
+pub fn triangle_count<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
+    triangle_count_impl(adjacency, false)
+}
+
+/// Parallel (rayon) variant of [`triangle_count`]: the masked SpGEMM fans output-row
+/// chunks out over the thread pool.
+pub fn triangle_count_par<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
+    triangle_count_impl(adjacency, true)
 }
 
 #[cfg(test)]
@@ -87,6 +103,20 @@ mod tests {
     fn empty_graph_has_no_triangles() {
         let g: Matrix<bool> = Matrix::new(10, 10);
         assert_eq!(triangle_count(&g).unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_count_matches_serial() {
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                if (a + b) % 3 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = undirected(6, &edges);
+        assert_eq!(triangle_count(&g).unwrap(), triangle_count_par(&g).unwrap());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! producing the `AC` matrix that counts, per (comment, new friendship), how many of
 //! the friendship's endpoints like the comment. Cells equal to 2 are kept
 //! (`GxB_select`), reduced row-wise with logical OR, and the resulting comment ids are
-//! extracted.
+//! extracted. The product runs on the SPA Gustavson `mxm` kernel; the
+//! `ablation_spgemm` benchmark replays exactly this workload to compare accumulation
+//! strategies and mask push-down against the retained reference kernels.
 
 use std::collections::BTreeSet;
 

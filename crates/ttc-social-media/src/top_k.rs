@@ -11,6 +11,8 @@
 //! previous top-3 candidates with the changed scores is exact. [`TopKTracker`]
 //! implements that merge.
 
+use std::collections::HashSet;
+
 use datagen::ElementId;
 
 /// One ranked entry: `(score, timestamp, id)`.
@@ -32,10 +34,16 @@ impl RankedEntry {
 }
 
 /// Select the top `k` entries from an iterator of candidates.
+///
+/// Candidates may contain several entries for the same id (e.g. a stale score next
+/// to a recomputed one); only the highest-ranked entry per id survives, so an id can
+/// never occupy two of the `k` slots. (`Vec::dedup_by_key` would only drop *adjacent*
+/// duplicates, which same-id entries with different scores are not after sorting.)
 pub fn top_k(entries: impl IntoIterator<Item = RankedEntry>, k: usize) -> Vec<RankedEntry> {
     let mut all: Vec<RankedEntry> = entries.into_iter().collect();
     all.sort_by(|a, b| b.key().cmp(&a.key()));
-    all.dedup_by_key(|e| e.id);
+    let mut seen: HashSet<ElementId> = HashSet::with_capacity(all.len());
+    all.retain(|e| seen.insert(e.id));
     all.truncate(k);
     all
 }
@@ -77,11 +85,24 @@ impl TopKTracker {
     /// Correct under the case study's insert-only workload, where scores never
     /// decrease; an element can only enter (or move up in) the top k.
     pub fn merge_changes(&mut self, changes: impl IntoIterator<Item = RankedEntry>) {
+        // Later changes overwrite earlier ones for the same element, so a batch that
+        // touches an element twice contributes only its most recent score (relying on
+        // top_k's highest-wins dedup instead would resurrect a stale higher score).
         let mut pool: Vec<RankedEntry> = Vec::with_capacity(self.k + 8);
-        pool.extend(changes);
+        let mut slot_of: std::collections::HashMap<ElementId, usize> =
+            std::collections::HashMap::new();
+        for change in changes {
+            match slot_of.get(&change.id) {
+                Some(&slot) => pool[slot] = change,
+                None => {
+                    slot_of.insert(change.id, pool.len());
+                    pool.push(change);
+                }
+            }
+        }
         // previous candidates that were not overwritten by a change
         for &entry in &self.current {
-            if !pool.iter().any(|c| c.id == entry.id) {
+            if !slot_of.contains_key(&entry.id) {
                 pool.push(entry);
             }
         }
@@ -171,6 +192,46 @@ mod tests {
         tracker.merge_changes(vec![e(6, 1, 2), e(6, 1, 2)]);
         let ids: Vec<ElementId> = tracker.current().iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn duplicate_ids_never_occupy_two_slots() {
+        // Regression: two entries for id 7 with different scores are NOT adjacent
+        // after sorting (id 5 ranks between them), so dedup_by_key used to keep both
+        // and id 7 occupied two of the three slots.
+        let ranked = top_k(
+            vec![e(50, 0, 7), e(40, 0, 5), e(30, 0, 7), e(20, 0, 9)],
+            3,
+        );
+        let ids: Vec<ElementId> = ranked.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 5, 9]);
+        assert_eq!(ranked[0].score, 50); // the highest-ranked entry for id 7 survives
+    }
+
+    #[test]
+    fn duplicate_ids_keep_highest_ranked_entry() {
+        let ranked = top_k(vec![e(10, 1, 3), e(10, 9, 3), e(10, 5, 3)], 3);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].timestamp, 9); // newest timestamp wins the tie
+    }
+
+    #[test]
+    fn tracker_rebuild_with_duplicate_ids_has_no_duplicates() {
+        let mut tracker = TopKTracker::new(3);
+        tracker.rebuild(vec![e(50, 0, 7), e(40, 0, 5), e(30, 0, 7), e(20, 0, 9)]);
+        let ids: Vec<ElementId> = tracker.current().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 5, 9]);
+    }
+
+    #[test]
+    fn tracker_merge_latest_change_wins_per_id() {
+        // A batch can touch an element twice (e.g. a like added then retracted);
+        // the most recent change must win, not the higher score.
+        let mut tracker = TopKTracker::new(3);
+        tracker.rebuild(vec![e(5, 1, 1)]);
+        tracker.merge_changes(vec![e(50, 2, 2), e(10, 2, 2)]);
+        assert_eq!(tracker.format(), "2|1");
+        assert_eq!(tracker.current()[0].score, 10);
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo build --release --benches
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> stream_throughput --smoke (panics in kernels/drivers fail the gate)"
+cargo run --release -p bench --bin stream_throughput -- --smoke > /dev/null
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
