@@ -9,9 +9,8 @@ use datagen::generate_scale_factor;
 use graphblas::ops_traits::First;
 use graphblas::Matrix;
 use lagraph::{
-    bfs_levels, connected_components, kcore_decomposition, label_propagation, pagerank,
-    sssp_hops, triangle_count, triangle_count_par, LabelPropagationOptions, PageRankOptions,
-    UnionFind,
+    bfs_levels, connected_components, kcore_decomposition, label_propagation, pagerank, sssp_hops,
+    triangle_count, triangle_count_par, LabelPropagationOptions, PageRankOptions, UnionFind,
 };
 
 /// Build the symmetric friendship adjacency matrix of a workload's initial network,

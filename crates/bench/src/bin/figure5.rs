@@ -95,7 +95,10 @@ fn main() {
     let args = parse_args();
     let factors = scale_factors(args.max_scale_factor);
 
-    println!("Figure 5 reproduction — execution times [s], geometric mean of {} run(s)", args.runs);
+    println!(
+        "Figure 5 reproduction — execution times [s], geometric mean of {} run(s)",
+        args.runs
+    );
     println!(
         "tools: {}",
         FIGURE5_VARIANTS
@@ -127,11 +130,21 @@ fn main() {
                 eprintln!("  measuring {} / {query} ...", variant.label());
                 let timings = measure_workload(variant, query, &workload, args.runs);
                 measurements.insert(
-                    (query.to_string(), "initial".into(), variant.label().into(), sf),
+                    (
+                        query.to_string(),
+                        "initial".into(),
+                        variant.label().into(),
+                        sf,
+                    ),
                     timings.load_and_initial_secs,
                 );
                 measurements.insert(
-                    (query.to_string(), "update".into(), variant.label().into(), sf),
+                    (
+                        query.to_string(),
+                        "update".into(),
+                        variant.label().into(),
+                        sf,
+                    ),
                     timings.update_and_reevaluation_secs,
                 );
             }
@@ -182,8 +195,11 @@ fn main() {
                 })
             })
             .collect();
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("serialisable"))
-            .expect("write json output");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&rows).expect("serialisable"),
+        )
+        .expect("write json output");
         eprintln!("wrote {path}");
     }
 

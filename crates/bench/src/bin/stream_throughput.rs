@@ -11,8 +11,15 @@
 //! cargo run -p bench --release --bin stream_throughput -- [--sf 1] [--batches 200] \
 //!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
-//!     [--threads 1] [--smoke]
+//!     [--threads 1] [--shards N] [--smoke]
 //! ```
+//!
+//! `--shards N` (N ≥ 1) runs each GraphBLAS variant through the sharded pipeline
+//! ([`ttc_social_media::shard::ShardedSolution`]): the graph is partitioned by
+//! user id across N shards, micro-batches are routed and applied shard-parallel,
+//! and the row gains per-shard latency percentiles next to the merged ones (the
+//! NMF baseline has no sharded backend and is skipped). Size `--threads` to the
+//! shard count to give every shard a worker.
 //!
 //! `--smoke` overrides everything with a small fixed configuration (sf1, every
 //! variant of both queries, 2 worker threads so the parallel kernels run) and is
@@ -23,10 +30,11 @@
 use bench::run_in_pool;
 use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
-use serde_json::json;
+use serde_json::{json, Value};
 use ttc_social_media::model::Query;
+use ttc_social_media::shard::{ShardBackend, ShardedSolution};
 use ttc_social_media::solution::Solution;
-use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
+use ttc_social_media::stream::{percentile, StreamDriver, StreamDriverConfig};
 
 struct Args {
     scale_factor: u64,
@@ -38,6 +46,7 @@ struct Args {
     queries: Vec<Query>,
     variants: Vec<String>,
     threads: usize,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +60,7 @@ fn parse_args() -> Args {
         queries: vec![Query::Q1, Query::Q2],
         variants: vec!["incremental".to_string()],
         threads: 1,
+        shards: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -104,6 +114,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.threads = argv[i].parse().expect("--threads expects an integer");
             }
+            "--shards" => {
+                i += 1;
+                args.shards = argv[i].parse().expect("--shards expects an integer");
+            }
             "--smoke" => {
                 args.scale_factor = 1;
                 args.batches = 10;
@@ -154,9 +168,46 @@ fn stream_for(args: &Args, network: &SocialNetwork) -> UpdateStream {
             seed: args.seed,
             batch_size: args.batch_size,
             deletion_weight: args.deletions,
+            // shard-aware emission groups each batch's operations by owning
+            // shard, so the router output is contiguous per shard
+            shards: args.shards,
             ..StreamConfig::default()
         },
     )
+}
+
+fn shard_backend(variant: &str) -> Option<ShardBackend> {
+    match variant {
+        "batch" => Some(ShardBackend::Batch),
+        "incremental" => Some(ShardBackend::Incremental),
+        "incremental-cc" => Some(ShardBackend::IncrementalCc),
+        _ => None,
+    }
+}
+
+/// The per-shard latency block of a sharded row: one object per shard with
+/// p50/p99/max over that shard's per-batch update times. The solution records a
+/// sample for *every* batch it applies, so the first `warmup` samples are
+/// dropped here — otherwise the per-shard percentiles would include the
+/// cold-start batches the merged `StreamReport` percentiles exclude, and the
+/// two blocks of the same row would not be comparable.
+fn per_shard_json(sharded: &ShardedSolution, warmup: usize) -> Value {
+    let lanes: Vec<Value> = sharded
+        .per_shard_latencies()
+        .iter()
+        .enumerate()
+        .map(|(shard, lane)| {
+            let mut measured = lane[warmup.min(lane.len())..].to_vec();
+            measured.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            json!({
+                "shard": shard,
+                "p50_latency_secs": percentile(&measured, 50.0),
+                "p99_latency_secs": percentile(&measured, 99.0),
+                "max_latency_secs": measured.last().copied().unwrap_or(0.0),
+            })
+        })
+        .collect();
+    Value::Array(lanes)
 }
 
 fn main() {
@@ -188,14 +239,48 @@ fn main() {
                 eprintln!("# skipping incremental-cc for Q1 (Q2-only variant)");
                 continue;
             }
+            // resolve the backend before building the stream: constructing an
+            // UpdateStream snapshots the network's edge lists, which is wasted
+            // work for variants the sharded path skips
+            let sharded_backend = if args.shards > 0 {
+                match shard_backend(variant) {
+                    Some(backend) => Some(backend),
+                    None => {
+                        eprintln!("# skipping {variant} under --shards (no sharded backend)");
+                        continue;
+                    }
+                }
+            } else {
+                None
+            };
             let stream = stream_for(&args, &network);
             // the solution is built inside the pool so the whole run (including the
             // initial load) sees the configured worker count
-            let report = run_in_pool(args.threads, || {
-                let mut solution = build_variant(variant, query, parallel);
-                driver.run(solution.as_mut(), &network, stream, args.batches)
-            });
-            let row = json!({
+            let (report, sharded_extra) = if let Some(backend) = sharded_backend {
+                run_in_pool(args.threads, || {
+                    let mut sharded = ShardedSolution::new(query, backend, args.shards);
+                    let report = driver.run(&mut sharded, &network, stream, args.batches);
+                    let stats = sharded.router_stats();
+                    let extra = json!({
+                        "shards": sharded.shard_count(),
+                        "per_shard": per_shard_json(&sharded, args.warmup),
+                        "routed_operations": stats.routed_operations,
+                        "broadcast_deliveries": stats.broadcast_deliveries,
+                        "friendship_deliveries": stats.friendship_deliveries,
+                        "imported_boundary_edges": stats.imported_boundary_edges,
+                    });
+                    (report, Some(extra))
+                })
+            } else {
+                run_in_pool(args.threads, || {
+                    let mut solution = build_variant(variant, query, parallel);
+                    (
+                        driver.run(solution.as_mut(), &network, stream, args.batches),
+                        None,
+                    )
+                })
+            };
+            let mut row = json!({
                 "query": format!("{query:?}"),
                 "variant": variant,
                 "solution": &report.solution,
@@ -214,6 +299,9 @@ fn main() {
                 "load_secs": report.load_secs,
                 "final_result": &report.final_result,
             });
+            if let (Value::Object(row), Some(Value::Object(extra))) = (&mut row, sharded_extra) {
+                row.extend(extra);
+            }
             println!("{row}");
         }
     }

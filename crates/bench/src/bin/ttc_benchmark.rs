@@ -106,7 +106,13 @@ fn main() {
                         run,
                         load_secs
                     );
-                    println!("{};{};0;{};Elements;{}", variant.label(), query, run, initial);
+                    println!(
+                        "{};{};0;{};Elements;{}",
+                        variant.label(),
+                        query,
+                        run,
+                        initial
+                    );
 
                     for (index, changeset) in workload.changesets.iter().enumerate() {
                         let start = Instant::now();

@@ -91,12 +91,8 @@ mod tests {
     #[test]
     fn parallel_variant_measurement_runs_inside_a_pool() {
         let workload = datagen::generate_workload(&datagen::GeneratorConfig::tiny(305));
-        let timings = measure_workload(
-            ToolVariant::GraphBlasBatchParallel,
-            Query::Q2,
-            &workload,
-            1,
-        );
+        let timings =
+            measure_workload(ToolVariant::GraphBlasBatchParallel, Query::Q2, &workload, 1);
         assert!(timings.load_and_initial_secs > 0.0);
     }
 }

@@ -74,7 +74,7 @@ impl GeneratorConfig {
             changesets: 10,
             total_inserts,
             skew: 0.9,
-            seed: 0x7_7C20_18 ^ scale_factor,
+            seed: 0x077C_2018 ^ scale_factor,
         }
     }
 
@@ -115,8 +115,14 @@ mod tests {
         let (_, nodes, edges, _) = PAPER_TABLE2[0];
         let n = cfg.expected_nodes() as f64;
         let e = cfg.expected_edges() as f64;
-        assert!((n - nodes as f64).abs() / (nodes as f64) < 0.15, "nodes {n} vs {nodes}");
-        assert!((e - edges as f64).abs() / (edges as f64) < 0.15, "edges {e} vs {edges}");
+        assert!(
+            (n - nodes as f64).abs() / (nodes as f64) < 0.15,
+            "nodes {n} vs {nodes}"
+        );
+        assert!(
+            (e - edges as f64).abs() / (edges as f64) < 0.15,
+            "edges {e} vs {edges}"
+        );
     }
 
     #[test]
@@ -125,8 +131,14 @@ mod tests {
         let (_, nodes, edges, _) = PAPER_TABLE2[10];
         let n = cfg.expected_nodes() as f64;
         let e = cfg.expected_edges() as f64;
-        assert!((n - nodes as f64).abs() / (nodes as f64) < 0.15, "nodes {n} vs {nodes}");
-        assert!((e - edges as f64).abs() / (edges as f64) < 0.15, "edges {e} vs {edges}");
+        assert!(
+            (n - nodes as f64).abs() / (nodes as f64) < 0.15,
+            "nodes {n} vs {nodes}"
+        );
+        assert!(
+            (e - edges as f64).abs() / (edges as f64) < 0.15,
+            "edges {e} vs {edges}"
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl Generator {
         // bounded by an attempt budget, so saturated (tiny) configurations terminate.
         let mut friend_set: std::collections::HashSet<(ElementId, ElementId)> =
             std::collections::HashSet::new();
-        let max_pairs = user_ids.len().saturating_mul(user_ids.len().saturating_sub(1)) / 2;
+        let max_pairs = user_ids
+            .len()
+            .saturating_mul(user_ids.len().saturating_sub(1))
+            / 2;
         let friend_target = self.config.friendships.min(max_pairs);
         let mut friend_attempts = 0usize;
         while friend_set.len() < friend_target
@@ -183,8 +186,7 @@ impl Generator {
         let user_popularity = ZipfSampler::new(user_ids.len().max(1), self.config.skew);
 
         let mut changesets = Vec::with_capacity(self.config.changesets);
-        let per_changeset =
-            (self.config.total_inserts / self.config.changesets.max(1)).max(1);
+        let per_changeset = (self.config.total_inserts / self.config.changesets.max(1)).max(1);
         let mut remaining = self.config.total_inserts;
 
         for _ in 0..self.config.changesets {
@@ -205,9 +207,10 @@ impl Generator {
                     let timestamp = self.fresh_timestamp();
                     let author = user_ids[user_popularity.sample(&mut self.rng)];
                     let parent = *comment_ids.choose(&mut self.rng).expect("non-empty");
-                    let root_post = root_of.get(&parent).copied().unwrap_or_else(|| {
-                        *post_ids.first().expect("at least one post exists")
-                    });
+                    let root_post = root_of
+                        .get(&parent)
+                        .copied()
+                        .unwrap_or_else(|| *post_ids.first().expect("at least one post exists"));
                     let comment = Comment {
                         id,
                         timestamp,
@@ -381,6 +384,6 @@ mod tests {
         assert!((nodes - 1274.0).abs() / 1274.0 < 0.15, "nodes = {nodes}");
         assert!((edges - 2533.0).abs() / 2533.0 < 0.20, "edges = {edges}");
         let inserts = workload.total_inserted_elements();
-        assert!(inserts >= 40 && inserts <= 140, "inserts = {inserts}");
+        assert!((40..=140).contains(&inserts), "inserts = {inserts}");
     }
 }

@@ -108,12 +108,19 @@ pub fn changeset_to_csv(changeset: &ChangeSet) -> String {
                 out.push_str(&format!("U|{}|{}\n", user.id, user.name));
             }
             ChangeOperation::AddPost { post } => {
-                out.push_str(&format!("P|{}|{}|{}\n", post.id, post.timestamp, post.author));
+                out.push_str(&format!(
+                    "P|{}|{}|{}\n",
+                    post.id, post.timestamp, post.author
+                ));
             }
             ChangeOperation::AddComment { comment } => {
                 out.push_str(&format!(
                     "C|{}|{}|{}|{}|{}\n",
-                    comment.id, comment.timestamp, comment.author, comment.parent, comment.root_post
+                    comment.id,
+                    comment.timestamp,
+                    comment.author,
+                    comment.parent,
+                    comment.root_post
                 ));
             }
             ChangeOperation::AddFriendship { a, b } => {
@@ -241,7 +248,12 @@ fn split<'a>(
     Ok(fields)
 }
 
-fn require_fields(fields: &[&str], expected: usize, file: &str, line_no: usize) -> Result<(), String> {
+fn require_fields(
+    fields: &[&str],
+    expected: usize,
+    file: &str,
+    line_no: usize,
+) -> Result<(), String> {
     if fields.len() != expected {
         return Err(format!(
             "{file} line {line_no}: expected {expected} fields, found {}",
@@ -288,8 +300,10 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported_with_context() {
-        let mut csv = NetworkCsv::default();
-        csv.users = "1|alice\nnot-a-number|bob\n".to_string();
+        let csv = NetworkCsv {
+            users: "1|alice\nnot-a-number|bob\n".to_string(),
+            ..Default::default()
+        };
         let err = network_from_csv(&csv).unwrap_err();
         assert!(err.contains("users"));
         assert!(err.contains("line 2"));

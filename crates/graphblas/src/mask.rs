@@ -252,19 +252,28 @@ mod tests {
     fn present_positions_ignore_complementation() {
         let v = mask_vec();
         let structural = VectorMask::structural(&v);
-        assert_eq!(structural.present_positions().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(
+            structural.present_positions().collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
         assert!(!structural.is_complemented());
         let value_comp = VectorMask::value(&v).complement();
-        assert_eq!(value_comp.present_positions().collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(
+            value_comp.present_positions().collect::<Vec<_>>(),
+            vec![1, 5]
+        );
         assert!(value_comp.is_complemented());
     }
 
     #[test]
     fn row_present_positions_respect_mask_kind() {
-        let mat = Matrix::from_tuples(3, 3, &[(0, 1, 1u8), (0, 2, 0), (2, 2, 0)], Plus::new())
-            .unwrap();
+        let mat =
+            Matrix::from_tuples(3, 3, &[(0, 1, 1u8), (0, 2, 0), (2, 2, 0)], Plus::new()).unwrap();
         let structural = MatrixMask::structural(&mat);
-        assert_eq!(structural.row_present_positions(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            structural.row_present_positions(0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert_eq!(structural.row_present_positions(1).count(), 0);
         let value = MatrixMask::value(&mat).complement();
         assert_eq!(value.row_present_positions(0).collect::<Vec<_>>(), vec![1]);

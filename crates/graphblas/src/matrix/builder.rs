@@ -179,13 +179,7 @@ mod tests {
 
     #[test]
     fn duplicates_across_rows_are_not_merged_together() {
-        let m = from_tuples(
-            3,
-            3,
-            &[(0, 1, 1u64), (1, 1, 2), (0, 1, 4)],
-            Plus::new(),
-        )
-        .unwrap();
+        let m = from_tuples(3, 3, &[(0, 1, 1u64), (1, 1, 2), (0, 1, 4)], Plus::new()).unwrap();
         assert_eq!(m.get(0, 1), Some(5));
         assert_eq!(m.get(1, 1), Some(2));
     }

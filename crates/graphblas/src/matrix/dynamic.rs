@@ -124,7 +124,8 @@ impl<T: Scalar> DynamicMatrix<T> {
 
     /// Iterate all `(row, col, value)` tuples, delta entries overriding base entries.
     pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
-        (0..self.nrows()).flat_map(move |r| self.row_merged(r).into_iter().map(move |(c, v)| (r, c, v)))
+        (0..self.nrows())
+            .flat_map(move |r| self.row_merged(r).into_iter().map(move |(c, v)| (r, c, v)))
     }
 
     /// Merged (base + delta) contents of one row, sorted by column.
@@ -220,10 +221,7 @@ mod tests {
         assert_eq!(dynamic.pending_delta(), 2);
         assert_eq!(dynamic.nvals(), 4);
         assert_eq!(dynamic.get(0, 1), Some(2));
-        assert_eq!(
-            dynamic.row_merged(0),
-            vec![(0, 1), (1, 2), (2, 3)]
-        );
+        assert_eq!(dynamic.row_merged(0), vec![(0, 1), (1, 2), (2, 3)]);
         // overwrite of a base entry does not change nvals
         dynamic.set(0, 0, 100).unwrap();
         assert_eq!(dynamic.nvals(), 4);

@@ -543,8 +543,8 @@ mod tests {
 
     #[test]
     fn from_tuples_combines_duplicates() {
-        let m = Matrix::from_tuples(2, 2, &[(0, 0, 1u64), (0, 0, 2), (1, 1, 3)], Plus::new())
-            .unwrap();
+        let m =
+            Matrix::from_tuples(2, 2, &[(0, 0, 1u64), (0, 0, 2), (1, 1, 3)], Plus::new()).unwrap();
         assert_eq!(m.get(0, 0), Some(3));
         assert_eq!(m.nvals(), 2);
     }
@@ -559,10 +559,7 @@ mod tests {
     fn iter_row_major_order() {
         let m = sample();
         let tuples = m.extract_tuples();
-        assert_eq!(
-            tuples,
-            vec![(0, 1, 10), (0, 3, 30), (1, 0, 5), (2, 2, 7)]
-        );
+        assert_eq!(tuples, vec![(0, 1, 10), (0, 3, 30), (1, 0, 5), (2, 2, 7)]);
         let (lo, hi) = m.iter().size_hint();
         assert_eq!(lo, 4);
         assert_eq!(hi, Some(4));
@@ -578,11 +575,8 @@ mod tests {
     #[test]
     fn insert_tuples_merges_with_existing() {
         let mut m = sample();
-        m.insert_tuples(
-            &[(0, 1, 1), (0, 0, 2), (2, 3, 4), (0, 0, 8)],
-            Plus::new(),
-        )
-        .unwrap();
+        m.insert_tuples(&[(0, 1, 1), (0, 0, 2), (2, 3, 4), (0, 0, 8)], Plus::new())
+            .unwrap();
         assert_eq!(m.get(0, 0), Some(10)); // 2 + 8, new duplicates combined
         assert_eq!(m.get(0, 1), Some(11)); // 10 existing + 1 new
         assert_eq!(m.get(2, 3), Some(4));

@@ -56,13 +56,8 @@ mod tests {
 
     #[test]
     fn transpose_swaps_dimensions_and_coordinates() {
-        let m = Matrix::from_tuples(
-            2,
-            3,
-            &[(0, 0, 1u64), (0, 2, 3), (1, 1, 5)],
-            Plus::new(),
-        )
-        .unwrap();
+        let m =
+            Matrix::from_tuples(2, 3, &[(0, 0, 1u64), (0, 2, 3), (1, 1, 5)], Plus::new()).unwrap();
         let t = m.transpose();
         assert_eq!(t.nrows(), 3);
         assert_eq!(t.ncols(), 2);

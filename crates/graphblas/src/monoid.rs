@@ -90,9 +90,7 @@ mod tests {
     use super::*;
 
     fn fold<T: Scalar, M: Monoid<T>>(m: M, values: &[T]) -> T {
-        values
-            .iter()
-            .fold(m.identity(), |acc, &v| m.apply(acc, v))
+        values.iter().fold(m.identity(), |acc, &v| m.apply(acc, v))
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl<T: Scalar> SparseAccumulator<T> {
         let mut indices = Vec::with_capacity(self.touched.len());
         let mut values = Vec::with_capacity(self.touched.len());
         for &j in &self.touched {
-            let slot = self.values[j].take().expect("touched position holds a value");
+            let slot = self.values[j]
+                .take()
+                .expect("touched position holds a value");
             indices.push(j);
             values.push(slot);
         }

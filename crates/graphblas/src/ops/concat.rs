@@ -91,7 +91,9 @@ pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
         }
     }
 
-    Ok(Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values))
+    Ok(Matrix::from_csr_parts(
+        nrows, ncols, row_ptr, col_idx, values,
+    ))
 }
 
 /// Stack matrices vertically: `C = [A; B; ...]`. All operands must agree on `ncols`.
@@ -240,7 +242,14 @@ mod tests {
         let a = m(
             4,
             5,
-            &[(0, 0, 1), (0, 4, 2), (1, 2, 3), (2, 1, 4), (3, 3, 5), (3, 4, 6)],
+            &[
+                (0, 0, 1),
+                (0, 4, 2),
+                (1, 2, 3),
+                (2, 1, 4),
+                (3, 3, 5),
+                (3, 4, 6),
+            ],
         );
         let tiles = split(&a, &[2, 2], &[3, 2]).unwrap();
         assert_eq!(tiles.len(), 2);
@@ -248,10 +257,7 @@ mod tests {
         assert_eq!(tiles[0][0].nrows(), 2);
         assert_eq!(tiles[0][0].ncols(), 3);
         assert_eq!(tiles[0][1].get(0, 1), Some(2)); // a(0,4) -> tile (0,1) at (0, 4-3)
-        let grid: Vec<Vec<&Matrix<u64>>> = tiles
-            .iter()
-            .map(|row| row.iter().collect())
-            .collect();
+        let grid: Vec<Vec<&Matrix<u64>>> = tiles.iter().map(|row| row.iter().collect()).collect();
         let back = concat(&grid).unwrap();
         assert_eq!(back, a);
     }

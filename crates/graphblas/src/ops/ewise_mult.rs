@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn matrix_intersection_semantics() {
-        let a = Matrix::from_tuples(2, 2, &[(0, 0, 2u64), (0, 1, 3), (1, 1, 4)], Plus::new())
-            .unwrap();
+        let a =
+            Matrix::from_tuples(2, 2, &[(0, 0, 2u64), (0, 1, 3), (1, 1, 4)], Plus::new()).unwrap();
         let b = Matrix::from_tuples(2, 2, &[(0, 1, 10u64), (1, 1, 5)], Plus::new()).unwrap();
         let c = ewise_mult_matrix(&a, &b, Times::new()).unwrap();
         assert_eq!(c.get(0, 1), Some(30));

@@ -60,9 +60,7 @@ pub fn extract_submatrix<T: Scalar>(
     let mut values: Vec<T> = Vec::new();
     row_ptr.push(0);
 
-    let emit_row = |old_row: Index,
-                        col_idx: &mut Vec<Index>,
-                        values: &mut Vec<T>| {
+    let emit_row = |old_row: Index, col_idx: &mut Vec<Index>, values: &mut Vec<T>| {
         let (cols_in_row, vals_in_row) = a.row(old_row);
         match &col_map {
             None => {
@@ -235,8 +233,12 @@ mod tests {
     #[test]
     fn extract_submatrix_all_rows_some_cols() {
         let cols = [1, 3];
-        let sub = extract_submatrix(&matrix(), &IndexSelection::All, &IndexSelection::List(&cols))
-            .unwrap();
+        let sub = extract_submatrix(
+            &matrix(),
+            &IndexSelection::All,
+            &IndexSelection::List(&cols),
+        )
+        .unwrap();
         assert_eq!(sub.nrows(), 4);
         assert_eq!(sub.ncols(), 2);
         assert_eq!(sub.get(1, 0), Some(3));
@@ -248,18 +250,14 @@ mod tests {
     #[test]
     fn extract_submatrix_bounds_checked() {
         let bad = [9];
-        assert!(extract_submatrix(
-            &matrix(),
-            &IndexSelection::List(&bad),
-            &IndexSelection::All
-        )
-        .is_err());
-        assert!(extract_submatrix(
-            &matrix(),
-            &IndexSelection::All,
-            &IndexSelection::List(&bad)
-        )
-        .is_err());
+        assert!(
+            extract_submatrix(&matrix(), &IndexSelection::List(&bad), &IndexSelection::All)
+                .is_err()
+        );
+        assert!(
+            extract_submatrix(&matrix(), &IndexSelection::All, &IndexSelection::List(&bad))
+                .is_err()
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ where
         row_ptr.resize(nrows + 1, 0);
     }
 
-    Ok(Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values))
+    Ok(Matrix::from_csr_parts(
+        nrows, ncols, row_ptr, col_idx, values,
+    ))
 }
 
 /// Repeated Kronecker power `A ⊗ A ⊗ ... ⊗ A` (`k` factors), the R-MAT/Graph500 style

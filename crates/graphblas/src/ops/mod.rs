@@ -56,8 +56,8 @@ pub use kronecker::{kronecker, kronecker_power};
 pub use mxm::{mxm, mxm_masked, mxm_masked_postfilter, mxm_par, mxm_reference};
 pub use mxv::{mxv, mxv_masked, mxv_par};
 pub use par::{
-    apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, mxm_masked_par,
-    mxv_masked_par, select_matrix_par, transpose_par, vxm_masked_par,
+    apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, mxm_masked_par, mxv_masked_par,
+    select_matrix_par, transpose_par, vxm_masked_par,
 };
 pub use reduce::{
     reduce_matrix_cols, reduce_matrix_rows, reduce_matrix_rows_par, reduce_matrix_scalar,

@@ -30,6 +30,10 @@ use crate::types::Index;
 use super::accum::{spa_is_profitable, MaskFilter, SparseAccumulator};
 use super::combine_products;
 
+/// Row results of the parallel kernels: per contiguous row chunk, one
+/// `(column indices, values)` pair per output row.
+type RowChunkResults<T> = Vec<Vec<(Vec<Index>, Vec<T>)>>;
+
 fn check_dims<A, B>(a: &Matrix<A>, b: &Matrix<B>) -> Result<()>
 where
     A: Scalar,
@@ -45,11 +49,7 @@ where
     Ok(())
 }
 
-fn check_mask_dims<A, B, M>(
-    mask: &MatrixMask<'_, M>,
-    a: &Matrix<A>,
-    b: &Matrix<B>,
-) -> Result<()>
+fn check_mask_dims<A, B, M>(mask: &MatrixMask<'_, M>, a: &Matrix<A>, b: &Matrix<B>) -> Result<()>
 where
     A: Scalar,
     B: Scalar,
@@ -115,7 +115,7 @@ where
         let mut cols = Vec::with_capacity(b_cols.len());
         let mut vals = Vec::with_capacity(b_cols.len());
         for (pos, &j) in b_cols.iter().enumerate() {
-            if filter.map_or(true, |f| f.allows(j)) {
+            if filter.is_none_or(|f| f.allows(j)) {
                 cols.push(j);
                 vals.push(mul.apply(aik, b_vals[pos]));
             }
@@ -128,7 +128,7 @@ where
             let aik = a_vals[pos];
             let (b_cols, b_vals) = b.row(k);
             for (bpos, &j) in b_cols.iter().enumerate() {
-                if filter.map_or(true, |f| f.allows(j)) {
+                if filter.is_none_or(|f| f.allows(j)) {
                     spa.scatter(j, mul.apply(aik, b_vals[bpos]), &add);
                 }
             }
@@ -140,7 +140,7 @@ where
             let aik = a_vals[pos];
             let (b_cols, b_vals) = b.row(k);
             for (bpos, &j) in b_cols.iter().enumerate() {
-                if filter.map_or(true, |f| f.allows(j)) {
+                if filter.is_none_or(|f| f.allows(j)) {
                     products.push((j, mul.apply(aik, b_vals[bpos])));
                 }
             }
@@ -191,11 +191,7 @@ pub(crate) fn row_chunks(nrows: Index) -> Vec<(Index, Index)> {
         .collect()
 }
 
-fn assemble<T: Scalar>(
-    nrows: Index,
-    ncols: Index,
-    rows: Vec<(Vec<Index>, Vec<T>)>,
-) -> Matrix<T> {
+fn assemble<T: Scalar>(nrows: Index, ncols: Index, rows: Vec<(Vec<Index>, Vec<T>)>) -> Matrix<T> {
     let nvals: usize = rows.iter().map(|(c, _)| c.len()).sum();
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     let mut col_idx = Vec::with_capacity(nvals);
@@ -235,7 +231,7 @@ where
     S::Output: Send,
 {
     check_dims(a, b)?;
-    let chunks: Vec<Vec<(Vec<Index>, Vec<S::Output>)>> = row_chunks(a.nrows())
+    let chunks: RowChunkResults<S::Output> = row_chunks(a.nrows())
         .into_par_iter()
         .map(|(lo, hi)| multiply_row_range::<A, B, S, NoMask>(a, b, &semiring, None, lo, hi))
         .collect();
@@ -281,7 +277,7 @@ where
 {
     check_dims(a, b)?;
     check_mask_dims(mask, a, b)?;
-    let chunks: Vec<Vec<(Vec<Index>, Vec<S::Output>)>> = row_chunks(a.nrows())
+    let chunks: RowChunkResults<S::Output> = row_chunks(a.nrows())
         .into_par_iter()
         .map(|(lo, hi)| multiply_row_range(a, b, &semiring, Some(mask), lo, hi))
         .collect();
@@ -427,9 +423,13 @@ mod tests {
 
     #[test]
     fn mxm_masked_restricts_output() {
-        let mask_matrix =
-            Matrix::from_tuples(2, 2, &[(0, 0, true), (1, 1, true)], crate::ops_traits::First::new())
-                .unwrap();
+        let mask_matrix = Matrix::from_tuples(
+            2,
+            2,
+            &[(0, 0, true), (1, 1, true)],
+            crate::ops_traits::First::new(),
+        )
+        .unwrap();
         let mask = MatrixMask::structural(&mask_matrix);
         let c = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(c.get(0, 0), Some(4));
@@ -441,9 +441,13 @@ mod tests {
 
     #[test]
     fn mxm_masked_complemented_mask() {
-        let mask_matrix =
-            Matrix::from_tuples(2, 2, &[(0, 0, true), (1, 1, true)], crate::ops_traits::First::new())
-                .unwrap();
+        let mask_matrix = Matrix::from_tuples(
+            2,
+            2,
+            &[(0, 0, true), (1, 1, true)],
+            crate::ops_traits::First::new(),
+        )
+        .unwrap();
         let mask = MatrixMask::structural(&mask_matrix).complement();
         let c = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(c.get(0, 0), None);
@@ -495,9 +499,13 @@ mod tests {
         let r = mxm_reference(&a(), &b(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(c, r);
 
-        let mask_matrix =
-            Matrix::from_tuples(2, 2, &[(0, 1, true), (1, 0, true)], crate::ops_traits::First::new())
-                .unwrap();
+        let mask_matrix = Matrix::from_tuples(
+            2,
+            2,
+            &[(0, 1, true), (1, 0, true)],
+            crate::ops_traits::First::new(),
+        )
+        .unwrap();
         let mask = MatrixMask::structural(&mask_matrix);
         let m = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
         let p = mxm_masked_postfilter(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();

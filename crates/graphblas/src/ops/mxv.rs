@@ -92,11 +92,7 @@ where
 }
 
 /// Check that the operands conform and that the mask lives in the output (row) space.
-fn check_mask_dims<A, B, M>(
-    mask: &VectorMask<'_, M>,
-    a: &Matrix<A>,
-    u: &Vector<B>,
-) -> Result<()>
+fn check_mask_dims<A, B, M>(mask: &VectorMask<'_, M>, a: &Matrix<A>, u: &Vector<B>) -> Result<()>
 where
     A: Scalar,
     B: Scalar,
@@ -217,13 +213,7 @@ mod tests {
         // [ .  2  .  1 ]
         // [ 3  .  .  . ]
         // [ .  .  .  . ]
-        Matrix::from_tuples(
-            3,
-            4,
-            &[(0, 1, 2u64), (0, 3, 1), (1, 0, 3)],
-            Plus::new(),
-        )
-        .unwrap()
+        Matrix::from_tuples(3, 4, &[(0, 1, 2u64), (0, 3, 1), (1, 0, 3)], Plus::new()).unwrap()
     }
 
     fn vector() -> Vector<u64> {
@@ -234,7 +224,7 @@ mod tests {
     fn mxv_plus_times() {
         let w = mxv(&matrix(), &vector(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(w.size(), 3);
-        assert_eq!(w.get(0), Some(2 * 10 + 1 * 5));
+        assert_eq!(w.get(0), Some(2 * 10 + 5));
         assert_eq!(w.get(1), None); // row 1 only hits column 0, not stored in u
         assert_eq!(w.get(2), None); // empty row
         assert_eq!(w.nvals(), 1);
@@ -254,7 +244,8 @@ mod tests {
 
     #[test]
     fn mxv_masked_skips_disallowed_rows() {
-        let mask_vec = Vector::from_tuples(3, &[(1, true)], crate::ops_traits::First::new()).unwrap();
+        let mask_vec =
+            Vector::from_tuples(3, &[(1, true)], crate::ops_traits::First::new()).unwrap();
         let mask = VectorMask::structural(&mask_vec);
         let w = mxv_masked(&mask, &matrix(), &vector(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(w.nvals(), 0); // row 0 would have a value but is masked out

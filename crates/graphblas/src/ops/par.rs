@@ -343,7 +343,7 @@ mod tests {
                 state = state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                if state % 5 == 0 {
+                if state.is_multiple_of(5) {
                     tuples.push((r, c, state % 100));
                 }
             }
@@ -358,7 +358,7 @@ mod tests {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            if state % 3 == 0 {
+            if state.is_multiple_of(3) {
                 tuples.push((i, state % 50));
             }
         }

@@ -175,11 +175,17 @@ mod tests {
     #[test]
     fn scalar_reductions() {
         assert_eq!(reduce_matrix_scalar(&matrix(), stock::plus()), 15);
-        assert_eq!(reduce_matrix_scalar(&Matrix::<u64>::new(2, 2), stock::plus()), 0);
+        assert_eq!(
+            reduce_matrix_scalar(&Matrix::<u64>::new(2, 2), stock::plus()),
+            0
+        );
         let v = Vector::from_tuples(5, &[(1, 3u64), (4, 9)], Plus::new()).unwrap();
         assert_eq!(reduce_vector_scalar(&v, stock::plus()), 12);
         assert_eq!(reduce_vector_scalar(&v, stock::max()), 9);
-        assert_eq!(reduce_vector_scalar(&Vector::<u64>::new(3), stock::plus()), 0);
+        assert_eq!(
+            reduce_vector_scalar(&Vector::<u64>::new(3), stock::plus()),
+            0
+        );
     }
 
     #[test]

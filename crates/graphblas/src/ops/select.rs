@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn select_with_custom_closure() {
         let u = Vector::from_tuples(8, &[(1, 1u64), (2, 2), (6, 3)], Plus::new()).unwrap();
-        let even_index = SelectFn::new(|i: Index, _c: Index, _v: u64| i % 2 == 0);
+        let even_index = SelectFn::new(|i: Index, _c: Index, _v: u64| i.is_multiple_of(2));
         let w = select_vector(&u, even_index);
         assert_eq!(w.extract_tuples(), vec![(2, 2), (6, 3)]);
     }

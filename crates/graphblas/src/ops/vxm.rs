@@ -62,7 +62,7 @@ where
             let uj = u_val[pos];
             let (cols, vals) = a.row(j);
             for (apos, &k) in cols.iter().enumerate() {
-                if filter.map_or(true, |f| f.allows(k)) {
+                if filter.is_none_or(|f| f.allows(k)) {
                     spa.scatter(k, mul.apply(uj, vals[apos]), &add);
                 }
             }
@@ -74,7 +74,7 @@ where
             let uj = u_val[pos];
             let (cols, vals) = a.row(j);
             for (apos, &k) in cols.iter().enumerate() {
-                if filter.map_or(true, |f| f.allows(k)) {
+                if filter.is_none_or(|f| f.allows(k)) {
                     products.push((k, mul.apply(uj, vals[apos])));
                 }
             }
@@ -148,8 +148,7 @@ where
     if filter.allowed_is_empty() {
         return Ok(Vector::new(a.ncols()));
     }
-    let (indices, values) =
-        scatter_entries(u.indices(), u.values(), a, &semiring, Some(&filter));
+    let (indices, values) = scatter_entries(u.indices(), u.values(), a, &semiring, Some(&filter));
     Ok(Vector::from_sorted_parts(a.ncols(), indices, values))
 }
 

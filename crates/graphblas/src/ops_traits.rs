@@ -564,7 +564,10 @@ mod tests {
         assert_eq!(LOr::<u8>::new().apply(0, 7), 1);
         assert_eq!(LAnd::<u8>::new().apply(1, 7), 1);
         assert_eq!(LAnd::<u8>::new().apply(1, 0), 0);
-        assert_eq!(<Pair<u64> as BinaryOp<bool, bool>>::apply(&Pair::new(), true, false), 1);
+        assert_eq!(
+            <Pair<u64> as BinaryOp<bool, bool>>::apply(&Pair::new(), true, false),
+            1
+        );
     }
 
     #[test]
@@ -594,7 +597,12 @@ mod tests {
             0
         ));
         assert!(<Diagonal as IndexUnaryOp<u8>>::keep(&Diagonal, 2, 2, 0));
-        assert!(<OffDiagonal as IndexUnaryOp<u8>>::keep(&OffDiagonal, 2, 3, 0));
+        assert!(<OffDiagonal as IndexUnaryOp<u8>>::keep(
+            &OffDiagonal,
+            2,
+            3,
+            0
+        ));
         let custom = SelectFn::new(|r: Index, c: Index, v: u64| r + c == v as Index);
         assert!(custom.keep(1, 2, 3));
         assert!(!custom.keep(1, 2, 4));

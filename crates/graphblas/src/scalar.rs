@@ -209,8 +209,7 @@ mod tests {
         assert!(!false.ring_add(false));
         assert!(!true.ring_mul(false));
         assert!(true.ring_mul(true));
-        assert_eq!(bool::ZERO, false);
-        assert_eq!(bool::ONE, true);
+        assert_eq!([bool::ZERO, bool::ONE], [false, true]);
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl<T: Scalar> Vector<T> {
     pub(crate) fn from_sorted_parts(size: Index, indices: Vec<Index>, values: Vec<T>) -> Self {
         debug_assert_eq!(indices.len(), values.len());
         debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
-        debug_assert!(indices.last().map_or(true, |&i| i < size));
+        debug_assert!(indices.last().is_none_or(|&i| i < size));
         Vector {
             size,
             indices,

@@ -80,10 +80,10 @@ proptest! {
 
         let da = dense_matrix(NR, NK, &m_tuples);
         let du = dense_vector(NK, &v_tuples);
-        for r in 0..NR {
+        for (r, da_row) in da.iter().enumerate().take(NR) {
             let expected: u64 = (0..NK)
                 .filter(|&k| a.get(r, k).is_some() && u.get(k).is_some())
-                .map(|k| da[r][k] * du[k])
+                .map(|k| da_row[k] * du[k])
                 .sum();
             let has_overlap = (0..NK).any(|k| a.get(r, k).is_some() && u.get(k).is_some());
             if has_overlap {
@@ -449,24 +449,41 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// The four mask interpretations to exercise: (value-kind, complemented).
-const MASK_CONFIGS: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+const MASK_CONFIGS: [(bool, bool); 4] =
+    [(false, false), (false, true), (true, false), (true, true)];
 
-fn matrix_mask_for(m: &Matrix<u64>, value_kind: bool, complemented: bool) -> graphblas::MatrixMask<'_, u64> {
+fn matrix_mask_for(
+    m: &Matrix<u64>,
+    value_kind: bool,
+    complemented: bool,
+) -> graphblas::MatrixMask<'_, u64> {
     let mask = if value_kind {
         graphblas::MatrixMask::value(m)
     } else {
         graphblas::MatrixMask::structural(m)
     };
-    if complemented { mask.complement() } else { mask }
+    if complemented {
+        mask.complement()
+    } else {
+        mask
+    }
 }
 
-fn vector_mask_for(v: &Vector<u64>, value_kind: bool, complemented: bool) -> graphblas::VectorMask<'_, u64> {
+fn vector_mask_for(
+    v: &Vector<u64>,
+    value_kind: bool,
+    complemented: bool,
+) -> graphblas::VectorMask<'_, u64> {
     let mask = if value_kind {
         graphblas::VectorMask::value(v)
     } else {
         graphblas::VectorMask::structural(v)
     };
-    if complemented { mask.complement() } else { mask }
+    if complemented {
+        mask.complement()
+    } else {
+        mask
+    }
 }
 
 proptest! {

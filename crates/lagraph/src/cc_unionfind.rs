@@ -26,6 +26,15 @@ impl UnionFind {
         }
     }
 
+    /// Reset to zero vertices, keeping the parent/rank allocations for reuse
+    /// (the retraction paths rebuild partitions per changeset; reallocating the
+    /// two vectors every time is the dominant avoidable cost there).
+    pub fn clear(&mut self) {
+        self.parent.clear();
+        self.rank.clear();
+        self.components = 0;
+    }
+
     /// Number of vertices managed by the structure.
     pub fn len(&self) -> usize {
         self.parent.len()
@@ -121,10 +130,7 @@ impl UnionFind {
 
     /// Sum of squared component sizes (the Q2 scoring function).
     pub fn sum_of_squared_component_sizes(&mut self) -> u64 {
-        self.component_sizes()
-            .into_iter()
-            .map(|(_, s)| s * s)
-            .sum()
+        self.component_sizes().into_iter().map(|(_, s)| s * s).sum()
     }
 }
 

@@ -34,7 +34,8 @@ pub fn connected_components<T: Scalar>(adjacency: &Matrix<T>) -> Result<Vector<u
     let n = adjacency.nrows();
     // Pattern matrix with u64 labels so the min.second semiring applies directly.
     // (The adjacency values are irrelevant; reuse the structure.)
-    let pattern: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
+    let pattern: Matrix<u64> =
+        graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
 
     // f[u] = u initially; f is kept fully shortcut (f[f[u]] = f[u]) at the top of
     // every iteration, so hooking on the neighbours' labels is hooking on their
@@ -127,7 +128,10 @@ mod tests {
         let g = undirected(4, &[]);
         let labels = connected_components(&g).unwrap();
         assert_eq!(labels.to_dense(99), vec![0, 1, 2, 3]);
-        assert_eq!(component_sizes(&labels), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(
+            component_sizes(&labels),
+            vec![(0, 1), (1, 1), (2, 1), (3, 1)]
+        );
         assert_eq!(sum_of_squared_component_sizes(&labels), 4);
     }
 
@@ -180,9 +184,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut state: u64 = 0x12345678;
         for _ in 0..80 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (state >> 33) as usize % n;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (state >> 33) as usize % n;
             if a != b {
                 edges.push((a, b));
@@ -221,8 +229,12 @@ mod tests {
 
     #[test]
     fn component_sizes_sorted_by_label() {
-        let v = Vector::from_tuples(5, &[(0, 3u64), (1, 3), (2, 0), (3, 3), (4, 0)], First::new())
-            .unwrap();
+        let v = Vector::from_tuples(
+            5,
+            &[(0, 3u64), (1, 3), (2, 0), (3, 3), (4, 0)],
+            First::new(),
+        )
+        .unwrap();
         assert_eq!(component_sizes(&v), vec![(0, 2), (3, 3)]);
         assert_eq!(sum_of_squared_component_sizes(&v), 4 + 9);
     }

@@ -57,6 +57,20 @@ impl IncrementalConnectedComponents {
         self.external_to_internal.len()
     }
 
+    /// Reset to the empty partition, keeping the allocated capacity.
+    ///
+    /// Union–find cannot *un*-union, so consumers handling edge retractions (the
+    /// streaming Q2 incremental-CC evaluator, and every shard of the sharded
+    /// pipeline on its retraction path) rebuild affected partitions from scratch;
+    /// clearing in place lets them reuse the map and size-table allocations
+    /// instead of reallocating per retraction.
+    pub fn clear(&mut self) {
+        self.external_to_internal.clear();
+        self.uf.clear();
+        self.component_size.clear();
+        self.sum_of_squares = 0;
+    }
+
     /// Number of components among the tracked vertices.
     pub fn component_count(&self) -> usize {
         self.uf.component_count()
@@ -218,6 +232,21 @@ mod tests {
             let expected: u64 = cc.component_sizes().iter().map(|s| s * s).sum();
             assert_eq!(cc.sum_of_squared_component_sizes(), expected);
         }
+    }
+
+    #[test]
+    fn clear_resets_to_the_empty_partition() {
+        let mut cc = IncrementalConnectedComponents::new();
+        cc.add_edge(1, 2);
+        cc.add_edge(3, 4);
+        cc.clear();
+        assert_eq!(cc.vertex_count(), 0);
+        assert_eq!(cc.component_count(), 0);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 0);
+        assert!(!cc.contains_vertex(1));
+        // the structure stays usable after a clear
+        cc.add_edge(1, 2);
+        assert_eq!(cc.sum_of_squared_component_sizes(), 4);
     }
 
     #[test]

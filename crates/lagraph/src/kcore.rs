@@ -96,10 +96,7 @@ pub fn degeneracy<T: Scalar>(adjacency: &Matrix<T>) -> Result<u64> {
 /// Extract the subgraph induced by the vertices whose core number is at least `k`:
 /// returns the sorted vertex ids and the induced adjacency matrix (re-indexed to
 /// `0..len`).
-pub fn kcore_subgraph<T: Scalar>(
-    adjacency: &Matrix<T>,
-    k: u64,
-) -> Result<(Vec<usize>, Matrix<T>)> {
+pub fn kcore_subgraph<T: Scalar>(adjacency: &Matrix<T>, k: u64) -> Result<(Vec<usize>, Matrix<T>)> {
     let cores = kcore_decomposition(adjacency)?;
     let vertices: Vec<usize> = (0..adjacency.nrows())
         .filter(|&v| cores.get(v).unwrap_or(0) >= k)

@@ -67,10 +67,7 @@ pub fn label_propagation<T: Scalar>(
             let mut best_count = 0usize;
             let mut have_best = false;
             for (&label, &count) in scratch.iter() {
-                if !have_best
-                    || count > best_count
-                    || (count == best_count && label < best_label)
-                {
+                if !have_best || count > best_count || (count == best_count && label < best_label) {
                     best_label = label;
                     best_count = count;
                     have_best = true;

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn empty_and_invalid_inputs() {
         let empty: Matrix<bool> = Matrix::new(0, 0);
-        assert_eq!(pagerank(&empty, PageRankOptions::default()).unwrap().size(), 0);
+        assert_eq!(
+            pagerank(&empty, PageRankOptions::default()).unwrap().size(),
+            0
+        );
         let rect: Matrix<bool> = Matrix::new(2, 3);
         assert!(pagerank(&rect, PageRankOptions::default()).is_err());
     }

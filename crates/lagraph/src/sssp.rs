@@ -56,8 +56,12 @@ pub fn sssp<W: Ring>(adjacency: &Matrix<W>, source: Index) -> Result<Vector<W>> 
 /// Shortest-path distances in *hops* (every edge has weight 1), for any adjacency
 /// matrix regardless of its stored values. Equivalent to BFS levels but computed with
 /// the tropical semiring; used by tests to cross-validate [`crate::bfs::bfs_levels`].
-pub fn sssp_hops<T: graphblas::Scalar>(adjacency: &Matrix<T>, source: Index) -> Result<Vector<u64>> {
-    let unit: Matrix<u64> = graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
+pub fn sssp_hops<T: graphblas::Scalar>(
+    adjacency: &Matrix<T>,
+    source: Index,
+) -> Result<Vector<u64>> {
+    let unit: Matrix<u64> =
+        graphblas::ops::apply_matrix(adjacency, graphblas::ops_traits::One::new());
     sssp(&unit, source)
 }
 
@@ -152,8 +156,8 @@ mod tests {
         // reference: Floyd–Warshall
         const INF: u64 = u64::MAX / 4;
         let mut dist = vec![vec![INF; n]; n];
-        for v in 0..n {
-            dist[v][v] = 0;
+        for (v, row) in dist.iter_mut().enumerate() {
+            row[v] = 0;
         }
         for &(a, b, w) in &edges {
             dist[a][b] = dist[a][b].min(w);
@@ -166,13 +170,13 @@ mod tests {
             }
         }
 
-        for src in 0..n {
+        for (src, row) in dist.iter().enumerate() {
             let d = sssp(&g, src).unwrap();
-            for v in 0..n {
-                let expected = if dist[src][v] >= INF {
+            for (v, &reference) in row.iter().enumerate() {
+                let expected = if reference >= INF {
                     None
                 } else {
-                    Some(dist[src][v])
+                    Some(reference)
                 };
                 assert_eq!(d.get(v), expected, "src {src} -> {v}");
             }

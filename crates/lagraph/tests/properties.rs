@@ -41,8 +41,8 @@ proptest! {
             }
         }
         let uf_labels = uf.labels();
-        for v in 0..N {
-            prop_assert_eq!(labels.get(v), Some(uf_labels[v]));
+        for (v, &label) in uf_labels.iter().enumerate().take(N) {
+            prop_assert_eq!(labels.get(v), Some(label));
         }
         prop_assert_eq!(
             sum_of_squared_component_sizes(&labels),

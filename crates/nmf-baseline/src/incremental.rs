@@ -44,7 +44,7 @@ impl Q1Dependencies {
             likes: HashSet::new(),
             tracker: TopKTracker::new(k),
         };
-        for (&post, _) in &repo.posts {
+        for &post in repo.posts.keys() {
             deps.scores.insert(post, post_score(repo, post));
         }
         for (&comment, node) in &repo.comments {
@@ -157,7 +157,10 @@ impl Q2Dependencies {
         for (&comment, node) in &repo.comments {
             deps.scores.insert(comment, comment_score(repo, comment));
             for &liker in &node.likers {
-                deps.comments_of_user.entry(liker).or_default().push(comment);
+                deps.comments_of_user
+                    .entry(liker)
+                    .or_default()
+                    .push(comment);
             }
         }
         let entries: Vec<RankedEntry> = repo
@@ -304,7 +307,10 @@ mod tests {
 
         // u2 already likes c1 (id 11): re-adding must not bump the score
         let re_add = datagen::ChangeSet {
-            operations: vec![datagen::ChangeOperation::AddLike { user: 102, comment: 11 }],
+            operations: vec![datagen::ChangeOperation::AddLike {
+                user: 102,
+                comment: 11,
+            }],
         };
         repo.apply_changeset(&re_add);
         deps.propagate(&repo, &re_add);
@@ -312,15 +318,24 @@ mod tests {
 
         // u1 does not like c1: retracting must not drop the score
         let phantom_remove = datagen::ChangeSet {
-            operations: vec![datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 }],
+            operations: vec![datagen::ChangeOperation::RemoveLike {
+                user: 101,
+                comment: 11,
+            }],
         };
         repo.apply_changeset(&phantom_remove);
         deps.propagate(&repo, &phantom_remove);
-        assert_eq!(deps.scores[&1], p1_score, "phantom retraction must not count");
+        assert_eq!(
+            deps.scores[&1], p1_score,
+            "phantom retraction must not count"
+        );
 
         // a real retraction still counts exactly once
         let real_remove = datagen::ChangeSet {
-            operations: vec![datagen::ChangeOperation::RemoveLike { user: 102, comment: 11 }],
+            operations: vec![datagen::ChangeOperation::RemoveLike {
+                user: 102,
+                comment: 11,
+            }],
         };
         repo.apply_changeset(&real_remove);
         deps.propagate(&repo, &real_remove);
@@ -335,8 +350,7 @@ mod tests {
         for cs in &workload.changesets {
             repo.apply_changeset(cs);
             let incremental = deps.propagate(&repo, cs);
-            let batch =
-                ttc_social_media::format_result(&crate::q1::q1_ranked(&repo, 3));
+            let batch = ttc_social_media::format_result(&crate::q1::q1_ranked(&repo, 3));
             assert_eq!(incremental, batch);
         }
     }
@@ -349,8 +363,7 @@ mod tests {
         for cs in &workload.changesets {
             repo.apply_changeset(cs);
             let incremental = deps.propagate(&repo, cs);
-            let batch =
-                ttc_social_media::format_result(&crate::q2::q2_ranked(&repo, 3));
+            let batch = ttc_social_media::format_result(&crate::q2::q2_ranked(&repo, 3));
             assert_eq!(incremental, batch);
         }
     }

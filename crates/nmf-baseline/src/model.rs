@@ -70,7 +70,12 @@ impl ModelRepository {
             );
         }
         for comment in &network.comments {
-            repo.insert_comment(comment.id, comment.timestamp, comment.parent, comment.root_post);
+            repo.insert_comment(
+                comment.id,
+                comment.timestamp,
+                comment.parent,
+                comment.root_post,
+            );
         }
         for &(a, b) in &network.friendships {
             repo.insert_friendship(a, b);
@@ -104,9 +109,7 @@ impl ModelRepository {
                 }
                 ChangeOperation::AddFriendship { a, b } => self.insert_friendship(*a, *b),
                 ChangeOperation::AddLike { user, comment } => self.insert_like(*user, *comment),
-                ChangeOperation::RemoveLike { user, comment } => {
-                    self.remove_like(*user, *comment)
-                }
+                ChangeOperation::RemoveLike { user, comment } => self.remove_like(*user, *comment),
                 ChangeOperation::RemoveFriendship { a, b } => self.remove_friendship(*a, *b),
             }
         }
@@ -230,7 +233,10 @@ mod tests {
         let before_likes = repo.comments[&11].likers.len();
         repo.apply_changeset(&datagen::ChangeSet {
             operations: vec![
-                datagen::ChangeOperation::AddLike { user: 102, comment: 11 },
+                datagen::ChangeOperation::AddLike {
+                    user: 102,
+                    comment: 11,
+                },
                 datagen::ChangeOperation::AddFriendship { a: 101, b: 102 },
                 datagen::ChangeOperation::AddFriendship { a: 102, b: 102 },
             ],
@@ -243,7 +249,10 @@ mod tests {
     fn likes_on_unknown_comments_are_dropped() {
         let mut repo = ModelRepository::from_network(&paper_example_network());
         repo.apply_changeset(&datagen::ChangeSet {
-            operations: vec![datagen::ChangeOperation::AddLike { user: 101, comment: 999 }],
+            operations: vec![datagen::ChangeOperation::AddLike {
+                user: 101,
+                comment: 999,
+            }],
         });
         assert_eq!(repo.comments.len(), 3);
     }

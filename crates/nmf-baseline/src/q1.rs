@@ -14,7 +14,12 @@ pub fn post_score(repo: &ModelRepository, post: datagen::ElementId) -> u64 {
     let likes: u64 = node
         .comments
         .iter()
-        .map(|c| repo.comments.get(c).map(|c| c.likers.len() as u64).unwrap_or(0))
+        .map(|c| {
+            repo.comments
+                .get(c)
+                .map(|c| c.likers.len() as u64)
+                .unwrap_or(0)
+        })
         .sum();
     10 * comments + likes
 }

@@ -239,20 +239,58 @@ pub fn paper_example_network() -> SocialNetwork {
     use datagen::{Comment, Post, User};
     SocialNetwork {
         users: vec![
-            User { id: 101, name: "u1".into() },
-            User { id: 102, name: "u2".into() },
-            User { id: 103, name: "u3".into() },
-            User { id: 104, name: "u4".into() },
+            User {
+                id: 101,
+                name: "u1".into(),
+            },
+            User {
+                id: 102,
+                name: "u2".into(),
+            },
+            User {
+                id: 103,
+                name: "u3".into(),
+            },
+            User {
+                id: 104,
+                name: "u4".into(),
+            },
         ],
         posts: vec![
-            Post { id: 1, timestamp: 10, author: 101 },
-            Post { id: 2, timestamp: 11, author: 102 },
+            Post {
+                id: 1,
+                timestamp: 10,
+                author: 101,
+            },
+            Post {
+                id: 2,
+                timestamp: 11,
+                author: 102,
+            },
         ],
         comments: vec![
             // c1 and c2 belong to p1 (c2 replies to c1), c3 belongs to p2
-            Comment { id: 11, timestamp: 20, author: 102, parent: 1, root_post: 1 },
-            Comment { id: 12, timestamp: 21, author: 103, parent: 11, root_post: 1 },
-            Comment { id: 13, timestamp: 22, author: 104, parent: 2, root_post: 2 },
+            Comment {
+                id: 11,
+                timestamp: 20,
+                author: 102,
+                parent: 1,
+                root_post: 1,
+            },
+            Comment {
+                id: 12,
+                timestamp: 21,
+                author: 103,
+                parent: 11,
+                root_post: 1,
+            },
+            Comment {
+                id: 13,
+                timestamp: 22,
+                author: 104,
+                parent: 2,
+                root_post: 2,
+            },
         ],
         // friendships as drawn in Fig. 3a: u1-u2, u2-u3, u3-u4
         friendships: vec![(101, 102), (102, 103), (103, 104)],
@@ -268,7 +306,10 @@ pub fn paper_example_changeset() -> datagen::ChangeSet {
     datagen::ChangeSet {
         operations: vec![
             ChangeOperation::AddFriendship { a: 101, b: 104 },
-            ChangeOperation::AddLike { user: 102, comment: 12 },
+            ChangeOperation::AddLike {
+                user: 102,
+                comment: 12,
+            },
             ChangeOperation::AddComment {
                 comment: Comment {
                     id: 14,
@@ -278,7 +319,10 @@ pub fn paper_example_changeset() -> datagen::ChangeSet {
                     root_post: 1,
                 },
             },
-            ChangeOperation::AddLike { user: 104, comment: 14 },
+            ChangeOperation::AddLike {
+                user: 104,
+                comment: 14,
+            },
         ],
     }
 }

@@ -44,6 +44,7 @@ pub mod loader;
 pub mod model;
 pub mod q1;
 pub mod q2;
+pub mod shard;
 pub mod solution;
 pub mod stream;
 pub mod top_k;
@@ -51,9 +52,8 @@ pub mod update;
 
 pub use graph::SocialGraph;
 pub use model::{IdMap, Query};
-pub use solution::{
-    GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K,
-};
+pub use shard::{ShardBackend, ShardRouter, ShardRouterStats, ShardedSolution};
+pub use solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K};
 pub use stream::{StreamDriver, StreamDriverConfig, StreamReport};
 pub use top_k::{format_result, RankedEntry, TopKTracker};
 pub use update::{apply_changeset, GraphDelta};

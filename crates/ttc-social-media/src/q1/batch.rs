@@ -35,9 +35,17 @@ pub fn q1_batch_scores(graph: &SocialGraph, parallel: bool) -> Vector<u64> {
 
     // Line 8: likes received through the post's comments.
     let likes_score = if parallel {
-        mxv_par(&graph.root_post, &likes_count, semirings::plus_second::<u64>())
+        mxv_par(
+            &graph.root_post,
+            &likes_count,
+            semirings::plus_second::<u64>(),
+        )
     } else {
-        mxv(&graph.root_post, &likes_count, semirings::plus_second::<u64>())
+        mxv(
+            &graph.root_post,
+            &likes_count,
+            semirings::plus_second::<u64>(),
+        )
     }
     .expect("RootPost columns equal the likesCount dimension");
 

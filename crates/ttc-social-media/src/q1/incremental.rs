@@ -194,6 +194,13 @@ impl Q1Incremental {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// The current top-k candidates (best first). The sharded pipeline merges these
+    /// per-shard candidate lists into the global top-k; each post is owned by
+    /// exactly one shard, so its entry here carries its exact global score.
+    pub fn candidates(&self) -> &[RankedEntry] {
+        self.tracker.current()
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +253,11 @@ mod tests {
             // the full maintained score vector must equal the batch scores
             let batch_scores = crate::q1::batch::q1_batch_scores(&g, false);
             for p in 0..g.post_count() {
-                assert_eq!(inc.score_of(p), batch_scores.get(p).unwrap_or(0), "post {p}");
+                assert_eq!(
+                    inc.score_of(p),
+                    batch_scores.get(p).unwrap_or(0),
+                    "post {p}"
+                );
             }
         }
     }
@@ -268,11 +279,17 @@ mod tests {
         let mut g_parallel = g_serial.clone();
         let mut serial = Q1Incremental::new(false, 3);
         let mut parallel = Q1Incremental::new(true, 3);
-        assert_eq!(serial.initialize(&g_serial), parallel.initialize(&g_parallel));
+        assert_eq!(
+            serial.initialize(&g_serial),
+            parallel.initialize(&g_parallel)
+        );
         for changeset in &workload.changesets {
             let d1 = apply_changeset(&mut g_serial, changeset);
             let d2 = apply_changeset(&mut g_parallel, changeset);
-            assert_eq!(serial.update(&g_serial, &d1), parallel.update(&g_parallel, &d2));
+            assert_eq!(
+                serial.update(&g_serial, &d1),
+                parallel.update(&g_parallel, &d2)
+            );
         }
     }
 

@@ -51,13 +51,17 @@ pub fn affected_comments(graph: &SocialGraph, delta: &GraphDelta, parallel: bool
     // Case 3: new friendships between two users who like the same comment.
     if !delta.new_friendships.is_empty() {
         let incidence = delta.new_friends_incidence(graph);
-        affected.extend(comments_liked_by_both_endpoints(graph, &incidence, parallel));
+        affected.extend(comments_liked_by_both_endpoints(
+            graph, &incidence, parallel,
+        ));
     }
 
     // Case 5: retracted friendships between two users who like the same comment.
     if !delta.removed_friendships.is_empty() {
         let incidence = delta.removed_friends_incidence(graph);
-        affected.extend(comments_liked_by_both_endpoints(graph, &incidence, parallel));
+        affected.extend(comments_liked_by_both_endpoints(
+            graph, &incidence, parallel,
+        ));
     }
 
     affected.into_iter().collect()
@@ -125,7 +129,10 @@ mod tests {
         let cs = datagen::ChangeSet {
             operations: vec![
                 datagen::ChangeOperation::AddUser {
-                    user: datagen::User { id: 109, name: "u9".into() },
+                    user: datagen::User {
+                        id: 109,
+                        name: "u9".into(),
+                    },
                 },
                 datagen::ChangeOperation::AddFriendship { a: 101, b: 109 },
             ],
@@ -153,7 +160,10 @@ mod tests {
     fn new_like_affects_only_that_comment() {
         let mut g = SocialGraph::from_network(&paper_example_network());
         let cs = datagen::ChangeSet {
-            operations: vec![datagen::ChangeOperation::AddLike { user: 101, comment: 11 }],
+            operations: vec![datagen::ChangeOperation::AddLike {
+                user: 101,
+                comment: 11,
+            }],
         };
         let delta = apply_changeset(&mut g, &cs);
         let affected = affected_comments(&g, &delta, false);

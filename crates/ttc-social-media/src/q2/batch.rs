@@ -115,7 +115,12 @@ mod tests {
             }
             let expected = uf.sum_of_squared_component_sizes();
             let c = g.comments.index_of(comment.id).unwrap();
-            assert_eq!(scores.get(c).unwrap_or(0), expected, "comment {}", comment.id);
+            assert_eq!(
+                scores.get(c).unwrap_or(0),
+                expected,
+                "comment {}",
+                comment.id
+            );
         }
     }
 }

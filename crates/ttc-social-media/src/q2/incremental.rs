@@ -117,6 +117,13 @@ impl Q2Incremental {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// The current top-k candidates (best first). The sharded pipeline merges these
+    /// per-shard candidate lists into the global top-k; each comment is owned by
+    /// exactly one shard, so its entry here carries its exact global score.
+    pub fn candidates(&self) -> &[RankedEntry] {
+        self.tracker.current()
+    }
 }
 
 #[cfg(test)]

@@ -179,10 +179,18 @@ impl Q2IncrementalCc {
         self.k
     }
 
+    /// The current top-k candidates (best first). The sharded pipeline merges these
+    /// per-shard candidate lists into the global top-k; each comment is owned by
+    /// exactly one shard, so its entry here carries its exact global score.
+    pub fn candidates(&self) -> &[RankedEntry] {
+        self.tracker.current()
+    }
+
     /// Rebuild the liker partition of one comment from the current `Likes` and
     /// `Friends` matrices (used after retractions, which union–find cannot undo).
     fn rebuild_partition(&mut self, graph: &SocialGraph, c: Index) {
-        let mut cc = IncrementalConnectedComponents::new();
+        let cc = &mut self.per_comment[c];
+        cc.clear();
         let (likers, _) = graph.likes.row(c);
         let liker_set: std::collections::HashSet<Index> = likers.iter().copied().collect();
         for &u in likers {
@@ -194,7 +202,6 @@ impl Q2IncrementalCc {
                 }
             }
         }
-        self.per_comment[c] = cc;
     }
 
     /// Connect users `a` and `b` in every comment liked by both; returns the affected

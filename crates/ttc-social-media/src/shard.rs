@@ -1,0 +1,799 @@
+//! Shard-parallel streaming pipeline: user-id partitioning, boundary-edge
+//! friendship replicas, per-shard incremental recompute, and cross-shard top-k
+//! merging.
+//!
+//! The single-shard [`StreamDriver`](crate::stream::StreamDriver) applies one
+//! micro-batch at a time through one [`Solution`]; every update serialises on one
+//! copy of the query state. This module decomposes that state so a micro-batch
+//! fans out over `N` independent shards:
+//!
+//! * **Partitioning.** The graph is partitioned by *user id* with the canonical
+//!   [`datagen::stream::shard_of_user`] function. A post is owned by the shard of
+//!   its author; every comment of a discussion tree follows its **root post's**
+//!   shard, and likes follow the liked comment. Both queries score exactly one
+//!   submission per result entry, and both scores only read edges inside the
+//!   submission's discussion tree (Q1) or among the submission's likers (Q2), so
+//!   whole-tree ownership makes every score computable on a single shard.
+//! * **Boundary-edge replicas.** Friendship edges are the one relation that cuts
+//!   across shards: Q2 connects likers of a comment regardless of where those
+//!   users' own submissions live. The [`ShardRouter`] therefore maintains, per
+//!   shard, the set of users *present* as likers, and replicates a friendship
+//!   edge into every shard where **both** endpoints are present. When a user
+//!   first likes a comment of a shard, the router backfills ("imports") the
+//!   user's live friendships with already-present users, so the shard's friends
+//!   sub-matrix always contains every edge among its likers — incremental
+//!   connected components stay exact without any shard ever seeing the full
+//!   friendship matrix.
+//! * **Merging.** Each shard maintains its own top-k candidates with exact global
+//!   scores (ownership is a partition, so no score is split across shards). The
+//!   global top-k is merged from the union of the per-shard candidate lists with
+//!   the same [`TopKTracker`] policy the single-shard evaluators use:
+//!   [`TopKTracker::merge_changes`] on monotone (insert-only) batches, a rebuild
+//!   from the union when a batch retracted edges. See `DESIGN.md` §"Sharded
+//!   streaming pipeline" for the correctness argument.
+//!
+//! [`ShardedSolution`] implements [`Solution`], so the existing stream driver,
+//! differential tests and benchmark binaries drive it unchanged; per-shard
+//! latency samples are recorded for the `stream_throughput --shards N` report.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use datagen::stream::shard_of_user;
+use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
+use rayon::prelude::*;
+
+use crate::graph::SocialGraph;
+use crate::model::Query;
+use crate::q1::batch::q1_batch_ranked;
+use crate::q1::incremental::Q1Incremental;
+use crate::q2::batch::q2_batch_ranked;
+use crate::q2::incremental::Q2Incremental;
+use crate::q2::incremental_cc::Q2IncrementalCc;
+use crate::solution::{Solution, TOP_K};
+use crate::top_k::{RankedEntry, TopKTracker};
+use crate::update::apply_changeset;
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// Routing statistics, exposed for the benchmark report and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRouterStats {
+    /// Operations routed to exactly one owning shard (posts, comments, likes).
+    pub routed_operations: u64,
+    /// Per-shard deliveries of broadcast operations (user registrations).
+    pub broadcast_deliveries: u64,
+    /// Per-shard deliveries of friendship operations via their replica sets.
+    pub friendship_deliveries: u64,
+    /// Boundary edges backfilled when a user first became present in a shard.
+    pub imported_boundary_edges: u64,
+}
+
+/// Routes a coalesced micro-batch to per-shard changesets, maintaining the
+/// boundary-edge replica sets described in the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    /// Owning shard of each post (the shard of its author).
+    post_shard: HashMap<ElementId, usize>,
+    /// Owning shard of each comment (the shard of its root post).
+    comment_shard: HashMap<ElementId, usize>,
+    /// Global live friendship adjacency (both directions stored).
+    friend_adj: HashMap<ElementId, HashSet<ElementId>>,
+    /// Users present (as likers of owned comments) per shard. Presence is
+    /// monotone: extra replicated edges are harmless, missing ones are not.
+    present: Vec<HashSet<ElementId>>,
+    stats: ShardRouterStats,
+}
+
+impl ShardRouter {
+    /// Build a router over the initial network. `shards == 0` is treated as 1.
+    pub fn new(network: &SocialNetwork, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut post_shard = HashMap::with_capacity(network.posts.len());
+        for post in &network.posts {
+            post_shard.insert(post.id, shard_of_user(post.author, shards));
+        }
+        let mut comment_shard = HashMap::with_capacity(network.comments.len());
+        for comment in &network.comments {
+            let shard = post_shard
+                .get(&comment.root_post)
+                .copied()
+                .unwrap_or_else(|| shard_of_user(comment.author, shards));
+            comment_shard.insert(comment.id, shard);
+        }
+        let mut friend_adj: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
+        for &(a, b) in &network.friendships {
+            friend_adj.entry(a).or_default().insert(b);
+            friend_adj.entry(b).or_default().insert(a);
+        }
+        let mut present: Vec<HashSet<ElementId>> = vec![HashSet::new(); shards];
+        for &(user, comment) in &network.likes {
+            if let Some(&shard) = comment_shard.get(&comment) {
+                present[shard].insert(user);
+            }
+        }
+        ShardRouter {
+            shards,
+            post_shard,
+            comment_shard,
+            friend_adj,
+            present,
+            stats: ShardRouterStats::default(),
+        }
+    }
+
+    /// Number of shards this router partitions over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Routing statistics accumulated since construction.
+    pub fn stats(&self) -> ShardRouterStats {
+        self.stats
+    }
+
+    /// Owning shard of a comment id, if the comment is known.
+    pub fn shard_of_comment(&self, comment: ElementId) -> Option<usize> {
+        self.comment_shard.get(&comment).copied()
+    }
+
+    /// Owning shard of a post id, if the post is known.
+    pub fn shard_of_post(&self, post: ElementId) -> Option<usize> {
+        self.post_shard.get(&post).copied()
+    }
+
+    /// Split the initial network into one sub-network per shard: the node
+    /// registries are replicated (users are cheap and friendship endpoints must
+    /// resolve), while the edge payload is partitioned — owned posts/comments,
+    /// likes on owned comments, and exactly the friendship edges whose endpoints
+    /// are both present in the shard.
+    pub fn split_initial(&self, network: &SocialNetwork) -> Vec<SocialNetwork> {
+        (0..self.shards)
+            .map(|shard| SocialNetwork {
+                users: network.users.clone(),
+                posts: network
+                    .posts
+                    .iter()
+                    .filter(|p| self.post_shard.get(&p.id) == Some(&shard))
+                    .cloned()
+                    .collect(),
+                comments: network
+                    .comments
+                    .iter()
+                    .filter(|c| self.comment_shard.get(&c.id) == Some(&shard))
+                    .cloned()
+                    .collect(),
+                friendships: network
+                    .friendships
+                    .iter()
+                    .filter(|&&(a, b)| {
+                        self.present[shard].contains(&a) && self.present[shard].contains(&b)
+                    })
+                    .copied()
+                    .collect(),
+                likes: network
+                    .likes
+                    .iter()
+                    .filter(|&&(_, comment)| self.comment_shard.get(&comment) == Some(&shard))
+                    .copied()
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Route one changeset into per-shard changesets, preserving the relative
+    /// order of the operations delivered to each shard.
+    pub fn route(&mut self, changeset: &ChangeSet) -> Vec<ChangeSet> {
+        let mut per_shard: Vec<Vec<ChangeOperation>> = vec![Vec::new(); self.shards];
+        for op in &changeset.operations {
+            match op {
+                ChangeOperation::AddUser { .. } => {
+                    // node registration: replicated so later friendship endpoints
+                    // resolve in every shard
+                    for ops in &mut per_shard {
+                        ops.push(op.clone());
+                    }
+                    self.stats.broadcast_deliveries += self.shards as u64;
+                }
+                ChangeOperation::AddPost { post } => {
+                    let shard = shard_of_user(post.author, self.shards);
+                    self.post_shard.insert(post.id, shard);
+                    per_shard[shard].push(op.clone());
+                    self.stats.routed_operations += 1;
+                }
+                ChangeOperation::AddComment { comment } => {
+                    let shard = self
+                        .post_shard
+                        .get(&comment.root_post)
+                        .copied()
+                        .unwrap_or_else(|| shard_of_user(comment.author, self.shards));
+                    self.comment_shard.insert(comment.id, shard);
+                    per_shard[shard].push(op.clone());
+                    self.stats.routed_operations += 1;
+                }
+                ChangeOperation::AddLike { user, comment } => {
+                    if let Some(&shard) = self.comment_shard.get(comment) {
+                        self.make_present(*user, shard, &mut per_shard[shard]);
+                        per_shard[shard].push(op.clone());
+                        self.stats.routed_operations += 1;
+                    }
+                }
+                ChangeOperation::RemoveLike { comment, .. } => {
+                    // presence is monotone, so no replica bookkeeping changes
+                    if let Some(&shard) = self.comment_shard.get(comment) {
+                        per_shard[shard].push(op.clone());
+                        self.stats.routed_operations += 1;
+                    }
+                }
+                ChangeOperation::AddFriendship { a, b } => {
+                    self.friend_adj.entry(*a).or_default().insert(*b);
+                    self.friend_adj.entry(*b).or_default().insert(*a);
+                    for (present, ops) in self.present.iter().zip(&mut per_shard) {
+                        if present.contains(a) && present.contains(b) {
+                            ops.push(op.clone());
+                            self.stats.friendship_deliveries += 1;
+                        }
+                    }
+                }
+                ChangeOperation::RemoveFriendship { a, b } => {
+                    if let Some(adj) = self.friend_adj.get_mut(a) {
+                        adj.remove(b);
+                    }
+                    if let Some(adj) = self.friend_adj.get_mut(b) {
+                        adj.remove(a);
+                    }
+                    // the replica set of a live edge is exactly the shards where
+                    // both endpoints are present (imports keep that invariant),
+                    // so those are the only shards that can hold the edge
+                    for (present, ops) in self.present.iter().zip(&mut per_shard) {
+                        if present.contains(a) && present.contains(b) {
+                            ops.push(op.clone());
+                            self.stats.friendship_deliveries += 1;
+                        }
+                    }
+                }
+            }
+        }
+        per_shard
+            .into_iter()
+            .map(|operations| ChangeSet { operations })
+            .collect()
+    }
+
+    /// Mark `user` present in `shard`; on first presence, backfill the boundary
+    /// replicas: the user's live friendship edges whose other endpoint is already
+    /// present in the shard (edges towards users arriving later are imported when
+    /// *those* users arrive).
+    fn make_present(&mut self, user: ElementId, shard: usize, ops: &mut Vec<ChangeOperation>) {
+        if !self.present[shard].insert(user) {
+            return;
+        }
+        if let Some(friends) = self.friend_adj.get(&user) {
+            let mut imports: Vec<ElementId> = friends
+                .iter()
+                .copied()
+                .filter(|friend| self.present[shard].contains(friend))
+                .collect();
+            imports.sort_unstable(); // deterministic replica order
+            for friend in imports {
+                ops.push(ChangeOperation::AddFriendship { a: user, b: friend });
+                self.stats.imported_boundary_edges += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard state
+// ---------------------------------------------------------------------------
+
+/// The query backend every shard runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Full per-shard recomputation each batch (the sharded analogue of
+    /// [`crate::solution::GraphBlasBatch`]).
+    Batch,
+    /// Incremental maintenance (Alg. 2 / affected-comments re-scoring).
+    Incremental,
+    /// Incremental maintenance with the incremental-CC backend (Q2 only; Q1
+    /// falls back to [`ShardBackend::Incremental`]).
+    IncrementalCc,
+}
+
+enum ShardState {
+    Batch(Query),
+    Q1(Q1Incremental),
+    Q2(Q2Incremental),
+    Q2Cc(Q2IncrementalCc),
+}
+
+struct Shard {
+    graph: SocialGraph,
+    state: ShardState,
+    /// Current top-k candidates of this shard, best first, with exact scores.
+    candidates: Vec<RankedEntry>,
+}
+
+impl Shard {
+    fn new(
+        network: &SocialNetwork,
+        query: Query,
+        backend: ShardBackend,
+        parallel_kernels: bool,
+        k: usize,
+    ) -> Self {
+        let graph = SocialGraph::from_network(network);
+        let (state, candidates) = match (backend, query) {
+            (ShardBackend::Batch, Query::Q1) => (
+                ShardState::Batch(query),
+                q1_batch_ranked(&graph, parallel_kernels, k),
+            ),
+            (ShardBackend::Batch, Query::Q2) => (
+                ShardState::Batch(query),
+                q2_batch_ranked(&graph, parallel_kernels, k),
+            ),
+            (ShardBackend::Incremental, Query::Q1) | (ShardBackend::IncrementalCc, Query::Q1) => {
+                let mut q1 = Q1Incremental::new(parallel_kernels, k);
+                q1.initialize(&graph);
+                let candidates = q1.candidates().to_vec();
+                (ShardState::Q1(q1), candidates)
+            }
+            (ShardBackend::Incremental, Query::Q2) => {
+                let mut q2 = Q2Incremental::new(parallel_kernels, k);
+                q2.initialize(&graph);
+                let candidates = q2.candidates().to_vec();
+                (ShardState::Q2(q2), candidates)
+            }
+            (ShardBackend::IncrementalCc, Query::Q2) => {
+                let mut q2 = Q2IncrementalCc::new(k);
+                q2.initialize(&graph);
+                let candidates = q2.candidates().to_vec();
+                (ShardState::Q2Cc(q2), candidates)
+            }
+        };
+        Shard {
+            graph,
+            state,
+            candidates,
+        }
+    }
+
+    /// Apply one routed changeset and refresh the shard's candidates. Returns
+    /// whether the changeset retracted any edge of this shard (in which case the
+    /// cross-shard merge must rebuild rather than merge).
+    fn apply(&mut self, changeset: &ChangeSet, parallel_kernels: bool, k: usize) -> bool {
+        if changeset.operations.is_empty() {
+            return false;
+        }
+        let delta = apply_changeset(&mut self.graph, changeset);
+        let had_removals = delta.has_removals();
+        self.candidates = match &mut self.state {
+            ShardState::Batch(Query::Q1) => q1_batch_ranked(&self.graph, parallel_kernels, k),
+            ShardState::Batch(Query::Q2) => q2_batch_ranked(&self.graph, parallel_kernels, k),
+            ShardState::Q1(q1) => {
+                q1.update(&self.graph, &delta);
+                q1.candidates().to_vec()
+            }
+            ShardState::Q2(q2) => {
+                q2.update(&self.graph, &delta);
+                q2.candidates().to_vec()
+            }
+            ShardState::Q2Cc(q2) => {
+                q2.update(&self.graph, &delta);
+                q2.candidates().to_vec()
+            }
+        };
+        had_removals
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded solution
+// ---------------------------------------------------------------------------
+
+/// A [`Solution`] that partitions the graph across `N` shards and processes every
+/// micro-batch as a pipeline: route → per-shard apply + recompute (rayon-parallel
+/// across shards) → cross-shard top-k merge. See the [module
+/// documentation](self).
+pub struct ShardedSolution {
+    query: Query,
+    backend: ShardBackend,
+    shard_count: usize,
+    parallel_kernels: bool,
+    k: usize,
+    router: Option<ShardRouter>,
+    shards: Vec<Shard>,
+    tracker: TopKTracker,
+    /// Per-shard per-batch update latencies (seconds), recorded by
+    /// [`Solution::update_and_reevaluate`] for the benchmark report.
+    per_shard_latencies: Vec<Vec<f64>>,
+}
+
+impl ShardedSolution {
+    /// Create a sharded solution answering `query` on `shards` shards with the
+    /// given per-shard `backend`. Per-shard kernels stay serial: the pipeline's
+    /// parallelism is *across* shards, and nesting rayon pools would
+    /// oversubscribe the workers.
+    pub fn new(query: Query, backend: ShardBackend, shards: usize) -> Self {
+        ShardedSolution {
+            query,
+            backend,
+            shard_count: shards.max(1),
+            parallel_kernels: false,
+            k: TOP_K,
+            router: None,
+            shards: Vec::new(),
+            tracker: TopKTracker::new(TOP_K),
+            per_shard_latencies: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Router statistics (zeroed until [`Solution::load_and_initial`] runs).
+    pub fn router_stats(&self) -> ShardRouterStats {
+        self.router.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// Per-shard per-batch update latencies in seconds, indexed `[shard][batch]`.
+    pub fn per_shard_latencies(&self) -> &[Vec<f64>] {
+        &self.per_shard_latencies
+    }
+
+    /// Number of (posts, comments) owned by each shard, for balance inspection.
+    pub fn shard_sizes(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| (s.graph.post_count(), s.graph.comment_count()))
+            .collect()
+    }
+
+    fn merge(&mut self, any_removals: bool) -> String {
+        let union: Vec<RankedEntry> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.candidates.iter().copied())
+            .collect();
+        if any_removals {
+            // a retraction may have pushed a submission out of some shard's
+            // candidates entirely; stale global entries must not survive
+            self.tracker.rebuild(union);
+        } else {
+            // monotone batch: merging the per-shard candidates is exact (any
+            // stale global entry is outranked by its shard's k fresh candidates)
+            self.tracker.merge_changes(union);
+        }
+        self.tracker.format()
+    }
+}
+
+impl Solution for ShardedSolution {
+    fn name(&self) -> String {
+        let backend = match self.backend {
+            ShardBackend::Batch => "Batch",
+            ShardBackend::Incremental => "Incremental",
+            ShardBackend::IncrementalCc => "Incremental CC",
+        };
+        format!("GraphBLAS Sharded {backend} ({} shards)", self.shard_count)
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
+        let router = ShardRouter::new(network, self.shard_count);
+        let parts = router.split_initial(network);
+        let query = self.query;
+        let backend = self.backend;
+        let parallel_kernels = self.parallel_kernels;
+        let k = self.k;
+        self.shards = parts
+            .into_par_iter()
+            .map(|part| Shard::new(&part, query, backend, parallel_kernels, k))
+            .collect();
+        self.router = Some(router);
+        self.per_shard_latencies = vec![Vec::new(); self.shard_count];
+        self.tracker = TopKTracker::new(self.k);
+        self.merge(true)
+    }
+
+    fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
+        let router = self
+            .router
+            .as_mut()
+            .expect("load_and_initial must run before updates");
+        let routed = router.route(changeset);
+        let parallel_kernels = self.parallel_kernels;
+        let k = self.k;
+        let tasks: Vec<(&mut Shard, ChangeSet)> = self.shards.iter_mut().zip(routed).collect();
+        let outcomes: Vec<(bool, f64)> = tasks
+            .into_par_iter()
+            .map(|(shard, ops)| {
+                let start = Instant::now();
+                let had_removals = shard.apply(&ops, parallel_kernels, k);
+                (had_removals, start.elapsed().as_secs_f64())
+            })
+            .collect();
+        let mut any_removals = false;
+        for (shard, &(had_removals, secs)) in outcomes.iter().enumerate() {
+            any_removals |= had_removals;
+            self.per_shard_latencies[shard].push(secs);
+        }
+        self.merge(any_removals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc};
+    use datagen::stream::{StreamConfig, UpdateStream};
+    use datagen::{generate_workload, GeneratorConfig};
+
+    fn network(seed: u64) -> SocialNetwork {
+        generate_workload(&GeneratorConfig::tiny(seed)).initial
+    }
+
+    fn retraction_stream(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+        UpdateStream::new(
+            network,
+            StreamConfig {
+                seed,
+                batch_size: 12,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(count)
+        .collect()
+    }
+
+    #[test]
+    fn router_partitions_whole_discussion_trees() {
+        let network = network(11);
+        let router = ShardRouter::new(&network, 4);
+        for comment in &network.comments {
+            let author = network
+                .posts
+                .iter()
+                .find(|p| p.id == comment.root_post)
+                .expect("root post exists")
+                .author;
+            assert_eq!(
+                router.shard_of_comment(comment.id),
+                Some(shard_of_user(author, 4)),
+                "comment {} does not follow its root post",
+                comment.id
+            );
+            assert_eq!(
+                router.shard_of_comment(comment.id),
+                router.shard_of_post(comment.root_post),
+            );
+        }
+    }
+
+    #[test]
+    fn split_initial_partitions_the_edge_payload() {
+        let network = network(13);
+        let shards = 3;
+        let router = ShardRouter::new(&network, shards);
+        let parts = router.split_initial(&network);
+        assert_eq!(parts.len(), shards);
+        let posts: usize = parts.iter().map(|p| p.posts.len()).sum();
+        let comments: usize = parts.iter().map(|p| p.comments.len()).sum();
+        let likes: usize = parts.iter().map(|p| p.likes.len()).sum();
+        assert_eq!(posts, network.posts.len());
+        assert_eq!(comments, network.comments.len());
+        assert_eq!(likes, network.likes.len());
+        // friendship replicas may appear in several shards, but never more often
+        // than once per shard
+        for part in &parts {
+            let mut seen = HashSet::new();
+            for &(a, b) in &part.friendships {
+                assert!(seen.insert((a.min(b), a.max(b))), "duplicate replica");
+            }
+            assert_eq!(part.users.len(), network.users.len(), "registry replicated");
+        }
+    }
+
+    #[test]
+    fn boundary_friendships_are_imported_on_first_presence() {
+        use datagen::{Comment, Post, User};
+        // users 1..=4; two-way partition puts odd users in shard 1
+        let network = SocialNetwork {
+            users: (1..=4)
+                .map(|id| User {
+                    id,
+                    name: format!("u{id}"),
+                })
+                .collect(),
+            posts: vec![Post {
+                id: 10,
+                timestamp: 1,
+                author: 1, // shard 1 owns the whole tree
+            }],
+            comments: vec![Comment {
+                id: 20,
+                timestamp: 2,
+                author: 2,
+                parent: 10,
+                root_post: 10,
+            }],
+            // u3 and u4 are friends from the start, but neither likes anything yet
+            friendships: vec![(3, 4)],
+            // u4 likes c20: present(shard 1) = {4}
+            likes: vec![(4, 20)],
+        };
+        let mut router = ShardRouter::new(&network, 2);
+        // u3 now likes c20 too: the router must import the live (3, 4) edge into
+        // shard 1 ahead of the like, so the shard's CC sees one 2-user component
+        let routed = router.route(&ChangeSet {
+            operations: vec![ChangeOperation::AddLike {
+                user: 3,
+                comment: 20,
+            }],
+        });
+        assert!(routed[0].operations.is_empty());
+        assert_eq!(
+            routed[1].operations,
+            vec![
+                ChangeOperation::AddFriendship { a: 3, b: 4 },
+                ChangeOperation::AddLike {
+                    user: 3,
+                    comment: 20
+                },
+            ]
+        );
+        assert_eq!(router.stats().imported_boundary_edges, 1);
+        assert_eq!(router.stats().routed_operations, 1);
+
+        // and the full pipeline scores c20 as one component of two friends
+        let mut sharded = ShardedSolution::new(Query::Q2, ShardBackend::IncrementalCc, 2);
+        sharded.load_and_initial(&network);
+        let result = sharded.update_and_reevaluate(&ChangeSet {
+            operations: vec![ChangeOperation::AddLike {
+                user: 3,
+                comment: 20,
+            }],
+        });
+        let mut reference = GraphBlasIncrementalCc::new();
+        reference.load_and_initial(&network);
+        let expected = reference.update_and_reevaluate(&ChangeSet {
+            operations: vec![ChangeOperation::AddLike {
+                user: 3,
+                comment: 20,
+            }],
+        });
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn friendship_retractions_reach_every_replica() {
+        let network = network(17);
+        let mut router = ShardRouter::new(&network, 2);
+        // find a friendship whose endpoints are present in at least one shard
+        let (a, b) = network
+            .friendships
+            .iter()
+            .copied()
+            .find(|&(a, b)| {
+                (0..2).any(|s| router.present[s].contains(&a) && router.present[s].contains(&b))
+            })
+            .expect("tiny network has a co-liking friendship");
+        let expected_shards: Vec<usize> = (0..2)
+            .filter(|&s| router.present[s].contains(&a) && router.present[s].contains(&b))
+            .collect();
+        let routed = router.route(&ChangeSet {
+            operations: vec![ChangeOperation::RemoveFriendship { a, b }],
+        });
+        for (shard, delivered) in routed.iter().enumerate() {
+            assert_eq!(
+                !delivered.operations.is_empty(),
+                expected_shards.contains(&shard),
+                "replica delivery mismatch in shard {shard}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_variants_agree_with_unsharded_on_retraction_heavy_streams() {
+        let network = network(29);
+        let batches = retraction_stream(&network, 0xdead, 10);
+        for query in [Query::Q1, Query::Q2] {
+            let mut reference = GraphBlasIncremental::new(query, false);
+            let mut reference_batch = GraphBlasBatch::new(query, false);
+            let mut sharded: Vec<ShardedSolution> = [1usize, 2, 4]
+                .iter()
+                .map(|&n| ShardedSolution::new(query, ShardBackend::Incremental, n))
+                .collect();
+            let mut sharded_batch = ShardedSolution::new(query, ShardBackend::Batch, 3);
+
+            let expected = reference.load_and_initial(&network);
+            assert_eq!(reference_batch.load_and_initial(&network), expected);
+            for s in &mut sharded {
+                assert_eq!(s.load_and_initial(&network), expected, "{}", s.name());
+            }
+            assert_eq!(sharded_batch.load_and_initial(&network), expected);
+
+            for (batch_no, batch) in batches.iter().enumerate() {
+                let expected = reference.update_and_reevaluate(batch);
+                assert_eq!(reference_batch.update_and_reevaluate(batch), expected);
+                for s in &mut sharded {
+                    assert_eq!(
+                        s.update_and_reevaluate(batch),
+                        expected,
+                        "{} diverged at {query:?} batch {batch_no}",
+                        s.name()
+                    );
+                }
+                assert_eq!(
+                    sharded_batch.update_and_reevaluate(batch),
+                    expected,
+                    "sharded batch backend diverged at {query:?} batch {batch_no}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_incremental_cc_agrees_on_q2() {
+        let network = network(31);
+        let batches = retraction_stream(&network, 0xbeef, 8);
+        let mut reference = GraphBlasIncrementalCc::new();
+        let mut sharded = ShardedSolution::new(Query::Q2, ShardBackend::IncrementalCc, 4);
+        assert_eq!(
+            sharded.load_and_initial(&network),
+            reference.load_and_initial(&network)
+        );
+        for batch in &batches {
+            assert_eq!(
+                sharded.update_and_reevaluate(batch),
+                reference.update_and_reevaluate(batch)
+            );
+        }
+    }
+
+    #[test]
+    fn latencies_and_stats_are_recorded_per_shard() {
+        let network = network(37);
+        let batches = retraction_stream(&network, 0xaaaa, 5);
+        let mut sharded = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 3);
+        sharded.load_and_initial(&network);
+        for batch in &batches {
+            sharded.update_and_reevaluate(batch);
+        }
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.per_shard_latencies().len(), 3);
+        for lane in sharded.per_shard_latencies() {
+            assert_eq!(lane.len(), batches.len());
+        }
+        let stats = sharded.router_stats();
+        assert!(stats.routed_operations > 0);
+        let sizes = sharded.shard_sizes();
+        assert_eq!(sizes.len(), 3);
+        assert!(sizes.iter().map(|&(p, _)| p).sum::<usize>() >= network.posts.len());
+    }
+
+    #[test]
+    fn names_identify_backend_and_shard_count() {
+        let s = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 4);
+        assert_eq!(s.name(), "GraphBLAS Sharded Incremental (4 shards)");
+        assert_eq!(s.query(), Query::Q1);
+        assert_eq!(
+            ShardedSolution::new(Query::Q2, ShardBackend::IncrementalCc, 2).name(),
+            "GraphBLAS Sharded Incremental CC (2 shards)"
+        );
+        // zero shards degrades to one instead of panicking
+        assert_eq!(
+            ShardedSolution::new(Query::Q1, ShardBackend::Batch, 0).shard_count(),
+            1
+        );
+    }
+}

@@ -257,8 +257,13 @@ mod tests {
 
     #[test]
     fn names_and_queries_are_reported() {
-        assert_eq!(GraphBlasBatch::new(Query::Q1, false).name(), "GraphBLAS Batch");
-        assert!(GraphBlasBatch::new(Query::Q1, true).name().contains("parallel"));
+        assert_eq!(
+            GraphBlasBatch::new(Query::Q1, false).name(),
+            "GraphBLAS Batch"
+        );
+        assert!(GraphBlasBatch::new(Query::Q1, true)
+            .name()
+            .contains("parallel"));
         assert_eq!(GraphBlasBatch::new(Query::Q2, false).query(), Query::Q2);
         assert_eq!(
             GraphBlasIncremental::new(Query::Q1, false).query(),
@@ -282,6 +287,9 @@ mod tests {
         let mut q1 = GraphBlasIncremental::new(Query::Q1, false);
         assert_eq!(run_solution(&mut q1, &workload), vec!["1|2", "1|2"]);
         let mut q2 = GraphBlasIncremental::new(Query::Q2, false);
-        assert_eq!(run_solution(&mut q2, &workload), vec!["12|11|13", "12|11|14"]);
+        assert_eq!(
+            run_solution(&mut q2, &workload),
+            vec!["12|11|13", "12|11|14"]
+        );
     }
 }

@@ -54,9 +54,7 @@ pub fn coalesce(batch: &ChangeSet) -> ChangeSet {
     fn key(op: &ChangeOperation) -> Option<EdgeKey> {
         match op {
             ChangeOperation::AddLike { user, comment }
-            | ChangeOperation::RemoveLike { user, comment } => {
-                Some(EdgeKey::Like(*user, *comment))
-            }
+            | ChangeOperation::RemoveLike { user, comment } => Some(EdgeKey::Like(*user, *comment)),
             ChangeOperation::AddFriendship { a, b }
             | ChangeOperation::RemoveFriendship { a, b } => {
                 Some(EdgeKey::Friend(*a.min(b), *a.max(b)))
@@ -135,18 +133,47 @@ pub struct StreamReport {
     pub final_result: String,
 }
 
+/// Escape a string into a JSON string literal (RFC 8259: `"`, `\` and control
+/// characters). `format!("{value:?}")` is *not* a substitute — Rust's `Debug`
+/// renders control and non-ASCII characters as `\u{…}`, which no JSON parser
+/// accepts, so reports containing such a solution name or result would poison
+/// the bench gate's diffing.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl StreamReport {
-    /// Render the report as a single JSON object (stable key order).
+    /// Render the report as a single JSON object.
+    ///
+    /// The field order is stable (the declaration order below, never
+    /// alphabetised) and strings are escaped per RFC 8259, so the bench gate can
+    /// parse reports back and diff them across runs byte-reliably.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"solution\":{:?},\"batches\":{},\"total_operations\":{},",
+                "{{\"solution\":{},\"batches\":{},\"total_operations\":{},",
                 "\"applied_operations\":{},\"elapsed_secs\":{:.6},",
                 "\"updates_per_sec\":{:.1},\"p50_latency_secs\":{:.6},",
                 "\"p90_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
-                "\"max_latency_secs\":{:.6},\"load_secs\":{:.6},\"final_result\":{:?}}}"
+                "\"max_latency_secs\":{:.6},\"load_secs\":{:.6},\"final_result\":{}}}"
             ),
-            self.solution,
+            json_string(&self.solution),
             self.batches,
             self.total_operations,
             self.applied_operations,
@@ -157,13 +184,16 @@ impl StreamReport {
             self.p99_latency_secs,
             self.max_latency_secs,
             self.load_secs,
-            self.final_result,
+            json_string(&self.final_result),
         )
     }
 }
 
-/// Value at percentile `p` (0–100) of a sorted slice, by nearest-rank.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Value at percentile `p` (0–100) of an **ascending-sorted** slice, by
+/// nearest-rank — the one definition every latency figure in this workspace
+/// uses ([`StreamReport`] and the per-shard blocks of `stream_throughput
+/// --shards`), so merged and per-shard percentiles stay comparable.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -279,21 +309,36 @@ mod tests {
         use datagen::ChangeOperation::*;
         let batch = ChangeSet {
             operations: vec![
-                AddLike { user: 1, comment: 11 },
-                RemoveLike { user: 1, comment: 11 },
+                AddLike {
+                    user: 1,
+                    comment: 11,
+                },
+                RemoveLike {
+                    user: 1,
+                    comment: 11,
+                },
                 AddFriendship { a: 1, b: 2 },
                 RemoveFriendship { b: 1, a: 2 }, // reversed orientation, same edge
                 AddFriendship { a: 1, b: 2 },
-                AddLike { user: 2, comment: 11 },
+                AddLike {
+                    user: 2,
+                    comment: 11,
+                },
             ],
         };
         let merged = coalesce(&batch);
         assert_eq!(
             merged.operations,
             vec![
-                RemoveLike { user: 1, comment: 11 },
+                RemoveLike {
+                    user: 1,
+                    comment: 11
+                },
                 AddFriendship { a: 1, b: 2 },
-                AddLike { user: 2, comment: 11 },
+                AddLike {
+                    user: 2,
+                    comment: 11
+                },
             ]
         );
     }
@@ -304,9 +349,15 @@ mod tests {
         let batch = ChangeSet {
             operations: vec![
                 AddUser {
-                    user: datagen::User { id: 9, name: "u".into() },
+                    user: datagen::User {
+                        id: 9,
+                        name: "u".into(),
+                    },
                 },
-                AddLike { user: 9, comment: 11 },
+                AddLike {
+                    user: 9,
+                    comment: 11,
+                },
             ],
         };
         assert_eq!(coalesce(&batch).operations.len(), 2);
@@ -402,6 +453,88 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn report_json_parses_back_with_serde_json() {
+        // the bench gate diffs reports by parsing them; every field must survive
+        // a round trip, including strings that need escaping
+        let network = network();
+        let mut solution = GraphBlasIncremental::new(Query::Q2, false);
+        let mut report =
+            StreamDriver::default().run(&mut solution, &network, stream(13, &network), 4);
+        report.solution = "odd \"name\"\twith\nescapes \u{1} and béyond".to_string();
+        let parsed = serde_json::from_str(&report.to_json())
+            .expect("StreamReport::to_json must emit valid JSON");
+        assert_eq!(
+            parsed.get("solution").and_then(serde_json::Value::as_str),
+            Some(report.solution.as_str())
+        );
+        assert_eq!(
+            parsed.get("batches").and_then(serde_json::Value::as_u64),
+            Some(report.batches as u64)
+        );
+        assert_eq!(
+            parsed
+                .get("total_operations")
+                .and_then(serde_json::Value::as_u64),
+            Some(report.total_operations as u64)
+        );
+        assert_eq!(
+            parsed
+                .get("final_result")
+                .and_then(serde_json::Value::as_str),
+            Some(report.final_result.as_str())
+        );
+        let close = |key: &str, expected: f64| {
+            let got = parsed
+                .get(key)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or_else(|| panic!("missing numeric field {key}"));
+            assert!(
+                (got - expected).abs() <= 1e-6_f64.max(expected.abs() * 1e-6),
+                "field {key}: parsed {got} vs reported {expected}"
+            );
+        };
+        close("elapsed_secs", report.elapsed_secs);
+        close("updates_per_sec", report.updates_per_sec);
+        close("p50_latency_secs", report.p50_latency_secs);
+        close("p90_latency_secs", report.p90_latency_secs);
+        close("p99_latency_secs", report.p99_latency_secs);
+        close("max_latency_secs", report.max_latency_secs);
+        close("load_secs", report.load_secs);
+    }
+
+    #[test]
+    fn report_json_field_order_is_stable() {
+        let network = network();
+        let mut solution = GraphBlasIncremental::new(Query::Q1, false);
+        let report = StreamDriver::default().run(&mut solution, &network, stream(3, &network), 2);
+        let json = report.to_json();
+        let positions: Vec<usize> = [
+            "\"solution\"",
+            "\"batches\"",
+            "\"total_operations\"",
+            "\"applied_operations\"",
+            "\"elapsed_secs\"",
+            "\"updates_per_sec\"",
+            "\"p50_latency_secs\"",
+            "\"p90_latency_secs\"",
+            "\"p99_latency_secs\"",
+            "\"max_latency_secs\"",
+            "\"load_secs\"",
+            "\"final_result\"",
+        ]
+        .iter()
+        .map(|field| {
+            json.find(field)
+                .unwrap_or_else(|| panic!("missing {field}"))
+        })
+        .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "field order changed: {json}"
+        );
     }
 
     #[test]

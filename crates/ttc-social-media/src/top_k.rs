@@ -41,7 +41,7 @@ impl RankedEntry {
 /// duplicates, which same-id entries with different scores are not after sorting.)
 pub fn top_k(entries: impl IntoIterator<Item = RankedEntry>, k: usize) -> Vec<RankedEntry> {
     let mut all: Vec<RankedEntry> = entries.into_iter().collect();
-    all.sort_by(|a, b| b.key().cmp(&a.key()));
+    all.sort_by_key(|entry| std::cmp::Reverse(entry.key()));
     let mut seen: HashSet<ElementId> = HashSet::with_capacity(all.len());
     all.retain(|e| seen.insert(e.id));
     all.truncate(k);
@@ -134,10 +134,7 @@ mod tests {
 
     #[test]
     fn orders_by_score_then_timestamp_then_id() {
-        let ranked = top_k(
-            vec![e(10, 5, 1), e(20, 1, 2), e(10, 9, 3), e(10, 9, 4)],
-            3,
-        );
+        let ranked = top_k(vec![e(10, 5, 1), e(20, 1, 2), e(10, 9, 3), e(10, 9, 4)], 3);
         assert_eq!(
             ranked.iter().map(|r| r.id).collect::<Vec<_>>(),
             vec![2, 4, 3]
@@ -199,10 +196,7 @@ mod tests {
         // Regression: two entries for id 7 with different scores are NOT adjacent
         // after sorting (id 5 ranks between them), so dedup_by_key used to keep both
         // and id 7 occupied two of the three slots.
-        let ranked = top_k(
-            vec![e(50, 0, 7), e(40, 0, 5), e(30, 0, 7), e(20, 0, 9)],
-            3,
-        );
+        let ranked = top_k(vec![e(50, 0, 7), e(40, 0, 5), e(30, 0, 7), e(20, 0, 9)], 3);
         let ids: Vec<ElementId> = ranked.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![7, 5, 9]);
         assert_eq!(ranked[0].score, 50); // the highest-ranked entry for id 7 survives

@@ -225,10 +225,13 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                 }
             }
             ChangeOperation::AddLike { user, comment } => {
-                if let (Some(c), Some(u)) =
-                    (graph.comments.index_of(*comment), graph.users.index_of(*user))
-                {
-                    let pending_removal = likes_removals.iter().position(|&(cc, uu)| (cc, uu) == (c, u));
+                if let (Some(c), Some(u)) = (
+                    graph.comments.index_of(*comment),
+                    graph.users.index_of(*user),
+                ) {
+                    let pending_removal = likes_removals
+                        .iter()
+                        .position(|&(cc, uu)| (cc, uu) == (c, u));
                     if let Some(pos) = pending_removal {
                         // Remove followed by Add: net effect is presence; the edge
                         // already exists in the matrix, so drop both operations.
@@ -243,8 +246,7 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                 }
             }
             ChangeOperation::AddFriendship { a, b } => {
-                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b))
-                {
+                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b)) {
                     let pending_removal = friends_removals
                         .iter()
                         .position(|&(x, y)| (x, y) == (ia, ib) || (x, y) == (ib, ia));
@@ -267,26 +269,25 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                 }
             }
             ChangeOperation::RemoveLike { user, comment } => {
-                if let (Some(c), Some(u)) =
-                    (graph.comments.index_of(*comment), graph.users.index_of(*user))
-                {
-                    let pending_insert =
-                        likes_inserts.iter().position(|&(cc, uu, _)| (cc, uu) == (c, u));
+                if let (Some(c), Some(u)) = (
+                    graph.comments.index_of(*comment),
+                    graph.users.index_of(*user),
+                ) {
+                    let pending_insert = likes_inserts
+                        .iter()
+                        .position(|&(cc, uu, _)| (cc, uu) == (c, u));
                     if let Some(pos) = pending_insert {
                         // Add followed by Remove within the changeset: net no-op.
                         likes_inserts.swap_remove(pos);
                         delta.new_likes.retain(|&(cc, uu)| (cc, uu) != (c, u));
-                    } else if graph.likes.get(c, u).is_some()
-                        && !likes_removals.contains(&(c, u))
-                    {
+                    } else if graph.likes.get(c, u).is_some() && !likes_removals.contains(&(c, u)) {
                         likes_removals.push((c, u));
                         delta.removed_likes.push((c, u));
                     }
                 }
             }
             ChangeOperation::RemoveFriendship { a, b } => {
-                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b))
-                {
+                if let (Some(ia), Some(ib)) = (graph.users.index_of(*a), graph.users.index_of(*b)) {
                     let pending_insert = friends_inserts
                         .iter()
                         .position(|&(x, y, _)| (x, y) == (ia, ib) || (x, y) == (ib, ia));
@@ -397,10 +398,19 @@ mod tests {
                 // u1–u2 are already friends in the initial graph
                 datagen::ChangeOperation::AddFriendship { a: 101, b: 102 },
                 // u3 already likes c1
-                datagen::ChangeOperation::AddLike { user: 103, comment: 11 },
+                datagen::ChangeOperation::AddLike {
+                    user: 103,
+                    comment: 11,
+                },
                 // the same like twice within the changeset
-                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
-                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::AddLike {
+                    user: 101,
+                    comment: 11,
+                },
+                datagen::ChangeOperation::AddLike {
+                    user: 101,
+                    comment: 11,
+                },
             ],
         };
         let before_friends = g.friends.nvals();
@@ -428,10 +438,17 @@ mod tests {
         let cs = datagen::ChangeSet {
             operations: vec![
                 datagen::ChangeOperation::AddUser {
-                    user: datagen::User { id: 105, name: "u5".into() },
+                    user: datagen::User {
+                        id: 105,
+                        name: "u5".into(),
+                    },
                 },
                 datagen::ChangeOperation::AddPost {
-                    post: datagen::Post { id: 3, timestamp: 40, author: 105 },
+                    post: datagen::Post {
+                        id: 3,
+                        timestamp: 40,
+                        author: 105,
+                    },
                 },
                 datagen::ChangeOperation::AddComment {
                     comment: datagen::Comment {
@@ -442,7 +459,10 @@ mod tests {
                         root_post: 3,
                     },
                 },
-                datagen::ChangeOperation::AddLike { user: 105, comment: 15 },
+                datagen::ChangeOperation::AddLike {
+                    user: 105,
+                    comment: 15,
+                },
             ],
         };
         let delta = apply_changeset(&mut g, &cs);
@@ -462,7 +482,10 @@ mod tests {
         let cs = datagen::ChangeSet {
             operations: vec![
                 // u3 likes c1 initially; u1–u2 are friends initially
-                datagen::ChangeOperation::RemoveLike { user: 103, comment: 11 },
+                datagen::ChangeOperation::RemoveLike {
+                    user: 103,
+                    comment: 11,
+                },
                 datagen::ChangeOperation::RemoveFriendship { a: 102, b: 101 },
             ],
         };
@@ -496,9 +519,15 @@ mod tests {
         let cs = datagen::ChangeSet {
             operations: vec![
                 // u1 does not like c1; u1–u3 are not friends; user 999 is unknown
-                datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::RemoveLike {
+                    user: 101,
+                    comment: 11,
+                },
                 datagen::ChangeOperation::RemoveFriendship { a: 101, b: 103 },
-                datagen::ChangeOperation::RemoveLike { user: 999, comment: 11 },
+                datagen::ChangeOperation::RemoveLike {
+                    user: 999,
+                    comment: 11,
+                },
             ],
         };
         let delta = apply_changeset(&mut g, &cs);
@@ -513,8 +542,14 @@ mod tests {
         let mut g = SocialGraph::from_network(&paper_example_network());
         let add_then_remove = datagen::ChangeSet {
             operations: vec![
-                datagen::ChangeOperation::AddLike { user: 101, comment: 11 },
-                datagen::ChangeOperation::RemoveLike { user: 101, comment: 11 },
+                datagen::ChangeOperation::AddLike {
+                    user: 101,
+                    comment: 11,
+                },
+                datagen::ChangeOperation::RemoveLike {
+                    user: 101,
+                    comment: 11,
+                },
                 datagen::ChangeOperation::AddFriendship { a: 101, b: 103 },
                 datagen::ChangeOperation::RemoveFriendship { a: 103, b: 101 },
             ],
@@ -530,12 +565,21 @@ mod tests {
         let remove_then_add = datagen::ChangeSet {
             operations: vec![
                 // u3 likes c1 initially
-                datagen::ChangeOperation::RemoveLike { user: 103, comment: 11 },
-                datagen::ChangeOperation::AddLike { user: 103, comment: 11 },
+                datagen::ChangeOperation::RemoveLike {
+                    user: 103,
+                    comment: 11,
+                },
+                datagen::ChangeOperation::AddLike {
+                    user: 103,
+                    comment: 11,
+                },
             ],
         };
         let delta = apply_changeset(&mut g, &remove_then_add);
-        assert!(delta.is_empty(), "remove+add of an existing edge: {delta:?}");
+        assert!(
+            delta.is_empty(),
+            "remove+add of an existing edge: {delta:?}"
+        );
         let c1 = g.comments.index_of(11).unwrap();
         let u3 = g.users.index_of(103).unwrap();
         assert_eq!(g.likes.get(c1, u3), Some(1));

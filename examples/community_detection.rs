@@ -62,11 +62,7 @@ fn main() {
 
     // Degree distribution via a row reduction.
     let degrees = reduce_matrix_rows(&friends, monoids::plus::<u64>());
-    let max_degree_user = degrees
-        .iter()
-        .max_by_key(|&(_, d)| d)
-        .map(|(u, d)| (u, d))
-        .unwrap_or((0, 0));
+    let max_degree_user = degrees.iter().max_by_key(|&(_, d)| d).unwrap_or((0, 0));
     println!(
         "most connected user: index {} with {} friends",
         max_degree_user.0, max_degree_user.1

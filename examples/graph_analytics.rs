@@ -79,11 +79,7 @@ fn main() {
     // k-core structure.
     let cores = kcore_decomposition(&friends).expect("square matrix");
     let degeneracy = degeneracy(&friends).expect("square matrix");
-    let in_max_core = cores
-        .values()
-        .iter()
-        .filter(|&&c| c == degeneracy)
-        .count();
+    let in_max_core = cores.values().iter().filter(|&&c| c == degeneracy).count();
     println!("degeneracy (max k-core): {degeneracy}, users in the innermost core: {in_max_core}");
 
     // Label-propagation communities.

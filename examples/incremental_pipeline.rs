@@ -72,7 +72,10 @@ fn main() {
                 Box::new(GraphBlasIncremental::new(query, true)),
             ),
             ("NMF Batch".into(), Box::new(NmfBatch::new(query))),
-            ("NMF Incremental".into(), Box::new(NmfIncremental::new(query))),
+            (
+                "NMF Incremental".into(),
+                Box::new(NmfIncremental::new(query)),
+            ),
         ];
 
         let mut reference: Option<Vec<String>> = None;

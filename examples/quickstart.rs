@@ -36,21 +36,37 @@ fn main() {
     // Q2 batch: score of every comment.
     let q2_scores = q2::q2_batch_scores(&graph, false);
     for (comment, score) in q2_scores.iter() {
-        println!("Q2 score of comment {} = {}", graph.comment_id(comment), score);
+        println!(
+            "Q2 score of comment {} = {}",
+            graph.comment_id(comment),
+            score
+        );
     }
 
     // Incremental solutions, exactly as the benchmark drives them.
     let mut q1_solution = GraphBlasIncremental::new(Query::Q1, false);
     let mut q2_solution = GraphBlasIncremental::new(Query::Q2, false);
     println!();
-    println!("Q1 initial result: {}", q1_solution.load_and_initial(&network));
-    println!("Q2 initial result: {}", q2_solution.load_and_initial(&network));
+    println!(
+        "Q1 initial result: {}",
+        q1_solution.load_and_initial(&network)
+    );
+    println!(
+        "Q2 initial result: {}",
+        q2_solution.load_and_initial(&network)
+    );
 
     println!();
     println!("== Applying the update of Fig. 3b ==");
     let changeset = paper_example_changeset();
-    println!("Q1 after update:   {}", q1_solution.update_and_reevaluate(&changeset));
-    println!("Q2 after update:   {}", q2_solution.update_and_reevaluate(&changeset));
+    println!(
+        "Q1 after update:   {}",
+        q1_solution.update_and_reevaluate(&changeset)
+    );
+    println!(
+        "Q2 after update:   {}",
+        q2_solution.update_and_reevaluate(&changeset)
+    );
     println!();
     println!("(expected: Q2 moves comment 14 into the top 3, and comment 12's score");
     println!(" rises from 5 to 16 because its likers now form a single component)");

@@ -67,7 +67,9 @@ fn main() {
 
     // 4. Cross-check: replaying the same batches through a full batch
     //    recomputation must land on the same final answer.
-    let batches: Vec<_> = UpdateStream::new(&network, config.clone()).take(100).collect();
+    let batches: Vec<_> = UpdateStream::new(&network, config.clone())
+        .take(100)
+        .collect();
     let mut incremental = GraphBlasIncremental::new(Query::Q2, false);
     let report = driver.run(&mut incremental, &network, batches.iter().cloned(), 100);
     let mut reference = GraphBlasBatch::new(Query::Q2, false);

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Perf-regression gate: measure streaming throughput and the SpGEMM ablation in
+# quick mode, emit BENCH_stream.json.new, and fail if any variant's updates/sec
+# dropped more than 20% below the checked-in BENCH_stream.json baseline.
+#
+#   ./scripts/bench_gate.sh                     # compare against the baseline
+#   ./scripts/bench_gate.sh --write-baseline    # refresh BENCH_stream.json
+#   BENCH_GATE_TOLERANCE=0.35 ./scripts/bench_gate.sh   # noisier runners
+#
+# The ablation_spgemm run is a perf smoke (it prints kernel timings to the log
+# and fails the gate only if a kernel panics); the throughput comparison is the
+# enforced part, implemented by the `bench_gate` binary.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p bench"
+cargo build --release -p bench --bins --benches
+
+echo "==> ablation_spgemm (quick mode: sf1 only)"
+ABLATION_SPGEMM_QUICK=1 cargo bench -p bench --bench ablation_spgemm
+
+echo "==> bench_gate (throughput vs BENCH_stream.json)"
+cargo run --release -p bench --bin bench_gate -- "$@"

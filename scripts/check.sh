@@ -1,14 +1,22 @@
 #!/usr/bin/env sh
-# Repository check: what CI should run.
+# Repository check: what CI runs (see .github/workflows/ci.yml).
 #
-#   ./scripts/check.sh          # build + tests + docs
+#   ./scripts/check.sh          # build + lint + tests + docs
 #
 # Fails on the first broken step. `cargo doc` runs with warnings denied so the
 # broken-intra-doc-link class of error (the reason DESIGN.md exists) is caught.
+# Lints are denied too: the tree must stay clippy- and rustfmt-clean, vendored
+# stand-ins included.
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -21,6 +29,9 @@ cargo test -q
 
 echo "==> stream_throughput --smoke (panics in kernels/drivers fail the gate)"
 cargo run --release -p bench --bin stream_throughput -- --smoke > /dev/null
+
+echo "==> stream_throughput --smoke --shards 2 (sharded pipeline smoke)"
+cargo run --release -p bench --bin stream_throughput -- --smoke --shards 2 > /dev/null
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet

@@ -1,0 +1,223 @@
+//! Property-based tests of `stream::coalesce`: applying a coalesced batch must be
+//! indistinguishable from applying the raw operation sequence, for arbitrary
+//! (valid-shaped) operation soups — including add → retract → add flips of the
+//! same edge inside one batch, the case where "last operation wins" and a naive
+//! "drop both" cancellation differ.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::{ChangeOperation, ChangeSet, Comment};
+use ttc2018_graphblas::ttc_social_media::graph::paper_example_network;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::solution::Solution;
+use ttc2018_graphblas::ttc_social_media::stream::{coalesce, StreamDriver, StreamDriverConfig};
+use ttc2018_graphblas::ttc_social_media::GraphBlasIncremental;
+
+const USERS: [u64; 4] = [101, 102, 103, 104];
+const COMMENTS: [u64; 3] = [11, 12, 13];
+const POSTS: [u64; 2] = [1, 2];
+
+/// Compact encoding of one operation: `(kind, a, b)` indices into the fixed id
+/// pools above. Decoding happens in [`materialize`], where fresh comment ids are
+/// assigned sequentially.
+fn op_strategy() -> impl Strategy<Value = (u8, usize, usize)> {
+    (0u8..6, 0usize..4, 0usize..4)
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    prop::collection::vec(op_strategy(), 1..40)
+}
+
+/// Decode an encoded batch against the paper-example network. `next_id` threads
+/// fresh comment ids across batches of one test case.
+fn materialize(encoded: &[(u8, usize, usize)], next_id: &mut u64) -> ChangeSet {
+    let mut new_comments: Vec<u64> = Vec::new();
+    // root post of every comment in the pool, so replies inherit their parent's
+    // root and the generated trees stay structurally consistent (the fixed
+    // pool's roots per paper_example_network: c11/c12 → p1, c13 → p2)
+    let mut root_of: std::collections::HashMap<u64, u64> =
+        [(11, 1), (12, 1), (13, 2)].into_iter().collect();
+    let operations = encoded
+        .iter()
+        .map(|&(kind, a, b)| {
+            let comment_pool = |idx: usize| {
+                let pool_len = COMMENTS.len() + new_comments.len();
+                let slot = idx % pool_len;
+                if slot < COMMENTS.len() {
+                    COMMENTS[slot]
+                } else {
+                    new_comments[slot - COMMENTS.len()]
+                }
+            };
+            match kind {
+                0 => ChangeOperation::AddLike {
+                    user: USERS[a],
+                    comment: comment_pool(b),
+                },
+                1 => ChangeOperation::RemoveLike {
+                    user: USERS[a],
+                    comment: comment_pool(b),
+                },
+                2 => ChangeOperation::AddFriendship {
+                    a: USERS[a],
+                    b: USERS[b],
+                },
+                3 => ChangeOperation::RemoveFriendship {
+                    a: USERS[a],
+                    b: USERS[b],
+                },
+                4 => {
+                    // a new comment under a post; its id enters the like pool
+                    let id = *next_id;
+                    *next_id += 1;
+                    new_comments.push(id);
+                    let post = POSTS[a % POSTS.len()];
+                    root_of.insert(id, post);
+                    ChangeOperation::AddComment {
+                        comment: Comment {
+                            id,
+                            timestamp: 100 + id,
+                            author: USERS[b],
+                            parent: post,
+                            root_post: post,
+                        },
+                    }
+                }
+                _ => {
+                    // a reply to an existing comment, rooted wherever its
+                    // parent's tree is rooted
+                    let id = *next_id;
+                    *next_id += 1;
+                    let parent = comment_pool(a);
+                    let root_post = root_of[&parent];
+                    new_comments.push(id);
+                    root_of.insert(id, root_post);
+                    ChangeOperation::AddComment {
+                        comment: Comment {
+                            id,
+                            timestamp: 100 + id,
+                            author: USERS[b],
+                            parent,
+                            root_post,
+                        },
+                    }
+                }
+            }
+        })
+        .collect();
+    ChangeSet { operations }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Driver output (per-batch results and end state) is identical with and
+    /// without coalescing, for both queries.
+    #[test]
+    fn coalescing_never_changes_driver_output(
+        encoded in prop::collection::vec(batch_strategy(), 1..5)
+    ) {
+        let network = paper_example_network();
+        let mut next_id = 500;
+        let batches: Vec<ChangeSet> = encoded
+            .iter()
+            .map(|batch| materialize(batch, &mut next_id))
+            .collect();
+        for query in [Query::Q1, Query::Q2] {
+            // per-batch equivalence on live solutions
+            let mut raw = GraphBlasIncremental::new(query, false);
+            let mut merged = GraphBlasIncremental::new(query, false);
+            raw.load_and_initial(&network);
+            merged.load_and_initial(&network);
+            for batch in &batches {
+                prop_assert_eq!(
+                    raw.update_and_reevaluate(batch),
+                    merged.update_and_reevaluate(&coalesce(batch)),
+                    "coalescing changed a {:?} batch result", query
+                );
+            }
+
+            // end-to-end driver equivalence (the driver applies coalescing itself)
+            let coalescing = StreamDriver::new(StreamDriverConfig {
+                warmup_batches: 0,
+                coalesce: true,
+            });
+            let sequential = StreamDriver::new(StreamDriverConfig {
+                warmup_batches: 0,
+                coalesce: false,
+            });
+            let mut a = GraphBlasIncremental::new(query, false);
+            let mut b = GraphBlasIncremental::new(query, false);
+            let report_a =
+                coalescing.run(&mut a, &network, batches.iter().cloned(), batches.len());
+            let report_b =
+                sequential.run(&mut b, &network, batches.iter().cloned(), batches.len());
+            prop_assert_eq!(report_a.final_result, report_b.final_result);
+            prop_assert_eq!(report_a.total_operations, report_b.total_operations);
+            prop_assert!(report_a.applied_operations <= report_b.applied_operations);
+        }
+    }
+
+    /// Coalescing is idempotent and never grows a batch.
+    #[test]
+    fn coalesce_is_idempotent(encoded in batch_strategy()) {
+        let mut next_id = 900;
+        let batch = materialize(&encoded, &mut next_id);
+        let once = coalesce(&batch);
+        let twice = coalesce(&once);
+        prop_assert_eq!(&once.operations, &twice.operations);
+        prop_assert!(once.operations.len() <= batch.operations.len());
+    }
+}
+
+/// The add → retract → add flip within one batch: the edge must end up present,
+/// and coalescing must keep exactly the final add.
+#[test]
+fn add_retract_add_within_one_batch_keeps_the_edge() {
+    let network = paper_example_network();
+    let batch = ChangeSet {
+        operations: vec![
+            // u1's like of c1 flips on-off-on
+            ChangeOperation::AddLike {
+                user: 101,
+                comment: 11,
+            },
+            ChangeOperation::RemoveLike {
+                user: 101,
+                comment: 11,
+            },
+            ChangeOperation::AddLike {
+                user: 101,
+                comment: 11,
+            },
+            // friendship u1–u3 flips off-on-off (ends absent; starts absent too)
+            ChangeOperation::AddFriendship { a: 101, b: 103 },
+            ChangeOperation::RemoveFriendship { a: 103, b: 101 },
+            // friendship u1–u2 exists initially and flips off-on (ends present)
+            ChangeOperation::RemoveFriendship { a: 101, b: 102 },
+            ChangeOperation::AddFriendship { a: 102, b: 101 },
+        ],
+    };
+    let merged = coalesce(&batch);
+    assert_eq!(
+        merged.operations,
+        vec![
+            ChangeOperation::AddLike {
+                user: 101,
+                comment: 11
+            },
+            ChangeOperation::RemoveFriendship { a: 103, b: 101 },
+            ChangeOperation::AddFriendship { a: 102, b: 101 },
+        ]
+    );
+    for query in [Query::Q1, Query::Q2] {
+        let mut raw = GraphBlasIncremental::new(query, false);
+        let mut coalesced = GraphBlasIncremental::new(query, false);
+        raw.load_and_initial(&network);
+        coalesced.load_and_initial(&network);
+        assert_eq!(
+            raw.update_and_reevaluate(&batch),
+            coalesced.update_and_reevaluate(&merged),
+            "{query:?} diverged on the add-retract-add flip"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Differential tests of the sharded streaming pipeline (the ISSUE 3 acceptance
+//! gate): for shards ∈ {1, 2, 4}, the sharded driver must produce byte-identical
+//! Q1/Q2 top-3 outputs to the single-shard driver and to a bulk recomputation,
+//! on a retraction-heavy sf1 stream.
+
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{generate_scale_factor, ChangeSet, SocialNetwork};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::shard::{ShardBackend, ShardedSolution};
+use ttc2018_graphblas::ttc_social_media::solution::Solution;
+use ttc2018_graphblas::ttc_social_media::stream::StreamDriver;
+use ttc2018_graphblas::ttc_social_media::{GraphBlasBatch, GraphBlasIncremental};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn sf1_network() -> SocialNetwork {
+    generate_scale_factor(1).initial
+}
+
+/// A retraction-heavy micro-batch stream over the sf1 network. `shards` enables
+/// the generator's shard-aware emission (the grouping itself must be
+/// output-invariant, which `grouped_emission_is_output_invariant` checks).
+fn batches(network: &SocialNetwork, seed: u64, shards: usize, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 64,
+            deletion_weight: 0.3,
+            shards,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// Sharded (1/2/4 shards) == unsharded incremental == bulk recomputation after
+/// every micro-batch, for both queries and both sharded backends.
+#[test]
+fn sharded_outputs_are_byte_identical_to_unsharded_and_bulk() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x5a4d, 4, 12);
+    for query in [Query::Q1, Query::Q2] {
+        let mut bulk = GraphBlasBatch::new(query, false);
+        let mut unsharded = GraphBlasIncremental::new(query, false);
+        let mut sharded: Vec<ShardedSolution> = SHARD_COUNTS
+            .iter()
+            .map(|&n| ShardedSolution::new(query, ShardBackend::Incremental, n))
+            .collect();
+        if query == Query::Q2 {
+            sharded.push(ShardedSolution::new(query, ShardBackend::IncrementalCc, 4));
+        }
+
+        let expected = bulk.load_and_initial(&network);
+        assert_eq!(unsharded.load_and_initial(&network), expected);
+        for s in &mut sharded {
+            assert_eq!(s.load_and_initial(&network), expected, "{}", s.name());
+        }
+
+        for (batch_no, batch) in batches.iter().enumerate() {
+            let expected = bulk.update_and_reevaluate(batch);
+            assert_eq!(
+                unsharded.update_and_reevaluate(batch),
+                expected,
+                "unsharded incremental diverged at {query:?} batch {batch_no}"
+            );
+            for s in &mut sharded {
+                assert_eq!(
+                    s.update_and_reevaluate(batch),
+                    expected,
+                    "{} diverged from bulk recompute at {query:?} batch {batch_no}",
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+/// The full driver pipeline (coalescing included) lands on the same final result
+/// for every shard count.
+#[test]
+fn sharded_driver_final_results_agree_across_shard_counts() {
+    let network = sf1_network();
+    for query in [Query::Q1, Query::Q2] {
+        let mut finals = Vec::new();
+        for &n in &SHARD_COUNTS {
+            let stream = batches(&network, 0xfade, n, 10).into_iter();
+            let mut solution = ShardedSolution::new(query, ShardBackend::Incremental, n);
+            let report = StreamDriver::default().run(&mut solution, &network, stream, 10);
+            finals.push((n, report.final_result));
+        }
+        let stream = batches(&network, 0xfade, 0, 10).into_iter();
+        let mut reference = GraphBlasIncremental::new(query, false);
+        let reference_report = StreamDriver::default().run(&mut reference, &network, stream, 10);
+        for (n, final_result) in &finals {
+            assert_eq!(
+                final_result, &reference_report.final_result,
+                "{query:?} with {n} shards diverged from the unsharded driver"
+            );
+        }
+    }
+}
+
+/// The generator's shard-aware emission (grouping a batch's operations by owning
+/// shard) must not change any query output.
+#[test]
+fn grouped_emission_is_output_invariant() {
+    let network = sf1_network();
+    let plain = batches(&network, 0xcafe, 0, 8);
+    let grouped = batches(&network, 0xcafe, 4, 8);
+    for query in [Query::Q1, Query::Q2] {
+        let mut a = GraphBlasIncremental::new(query, false);
+        let mut b = GraphBlasIncremental::new(query, false);
+        assert_eq!(a.load_and_initial(&network), b.load_and_initial(&network));
+        for (raw, shuffled) in plain.iter().zip(&grouped) {
+            assert_eq!(
+                a.update_and_reevaluate(raw),
+                b.update_and_reevaluate(shuffled),
+                "shard-aware emission changed the {query:?} result"
+            );
+        }
+    }
+}
+
+/// Shard balance sanity: with 4 shards on sf1, every shard owns a non-trivial
+/// slice of the graph (the user-id partition is hash-like on the synthetic ids).
+#[test]
+fn shards_own_balanced_slices() {
+    let network = sf1_network();
+    let mut sharded = ShardedSolution::new(Query::Q2, ShardBackend::Incremental, 4);
+    sharded.load_and_initial(&network);
+    let sizes = sharded.shard_sizes();
+    assert_eq!(sizes.len(), 4);
+    let comments: Vec<usize> = sizes.iter().map(|&(_, c)| c).collect();
+    let total: usize = comments.iter().sum();
+    assert_eq!(total, network.comments.len());
+    for (shard, &c) in comments.iter().enumerate() {
+        assert!(
+            c * 20 >= total,
+            "shard {shard} owns only {c} of {total} comments"
+        );
+    }
+}

@@ -68,7 +68,8 @@ fn all_variants_agree_on_streamed_batches_with_retractions() {
                     .collect();
                 for (variant, result) in variants.iter().zip(&results) {
                     assert_eq!(
-                        result, &results[0],
+                        result,
+                        &results[0],
                         "{} disagrees at {query:?} batch {batch_no} (net seed {net_seed})",
                         variant.name()
                     );
@@ -121,10 +122,10 @@ fn coalescing_preserves_semantics_across_variants() {
     let network = network(55);
     let batches = batches(&network, 0xc0a1, 10);
     for query in [Query::Q1, Query::Q2] {
-        let make: Vec<fn(Query) -> Box<dyn Solution>> = vec![
-            |q| Box::new(GraphBlasIncremental::new(q, false)),
-            |q| Box::new(NmfIncremental::new(q)),
-        ];
+        let make: Vec<fn(Query) -> Box<dyn Solution>> =
+            vec![|q| Box::new(GraphBlasIncremental::new(q, false)), |q| {
+                Box::new(NmfIncremental::new(q))
+            }];
         for build in make {
             let mut raw = build(query);
             let mut merged = build(query);

@@ -25,7 +25,10 @@ fn grb_mxm_matrix_matrix_multiplication() {
     )
     .unwrap();
     assert_eq!(masked.nvals(), 1);
-    assert_eq!(ops::mxm_par(&a, &b, semirings::plus_times::<u64>()).unwrap(), c);
+    assert_eq!(
+        ops::mxm_par(&a, &b, semirings::plus_times::<u64>()).unwrap(),
+        c
+    );
 }
 
 #[test]
@@ -44,23 +47,21 @@ fn grb_ewise_add_and_mult() {
     let v = Vector::from_tuples(4, &[(2, 3u64), (3, 4)], First::new()).unwrap();
     let union = ops::ewise_add_vector(&u, &v, Plus::new()).unwrap();
     assert_eq!(union.extract_tuples(), vec![(0, 1), (2, 5), (3, 4)]);
-    let intersection =
-        ops::ewise_mult_vector(&u, &v, ttc2018_graphblas::graphblas::ops_traits::Times::new())
-            .unwrap();
+    let intersection = ops::ewise_mult_vector(
+        &u,
+        &v,
+        ttc2018_graphblas::graphblas::ops_traits::Times::new(),
+    )
+    .unwrap();
     assert_eq!(intersection.extract_tuples(), vec![(2, 6)]);
 }
 
 #[test]
 fn grb_extract_submatrix_and_subvector() {
-    let a: Matrix<u64> =
-        Matrix::from_edges(4, 4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+    let a: Matrix<u64> = Matrix::from_edges(4, 4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
     let sel = [2usize, 3];
-    let sub = ops::extract_submatrix(
-        &a,
-        &IndexSelection::List(&sel),
-        &IndexSelection::List(&sel),
-    )
-    .unwrap();
+    let sub = ops::extract_submatrix(&a, &IndexSelection::List(&sel), &IndexSelection::List(&sel))
+        .unwrap();
     assert_eq!(sub.get(0, 1), Some(1));
     assert_eq!(sub.get(1, 0), Some(1));
     let u = Vector::from_tuples(4, &[(3, 9u64)], First::new()).unwrap();

@@ -63,7 +63,7 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, measurements: &mut Vec<Duration>) {
+fn report(label: &str, measurements: &mut [Duration]) {
     if measurements.is_empty() {
         println!("{label:<60} (no measurements)");
         return;
@@ -134,14 +134,9 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     benchmarks_run: usize,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { benchmarks_run: 0 }
-    }
 }
 
 impl Criterion {

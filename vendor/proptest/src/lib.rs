@@ -168,11 +168,9 @@ macro_rules! impl_tuple_strategy {
     )*};
 }
 
-impl_tuple_strategy!(
-    (A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F1)(A, B, C, D, E, F1, G)(
-        A, B, C, D, E, F1, G, H
-    )
-);
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F1
+)(A, B, C, D, E, F1, G)(A, B, C, D, E, F1, G, H));
 
 /// Collection strategies.
 pub mod collection {
@@ -388,7 +386,7 @@ mod tests {
 
         #[test]
         fn generated_ranges_hold(x in 3..9usize, y in 0u64..5) {
-            prop_assert!(x >= 3 && x < 9);
+            prop_assert!((3..9).contains(&x));
             prop_assert!(y < 5);
             prop_assert_eq!(x, x);
             prop_assert_ne!(x + 1, x);

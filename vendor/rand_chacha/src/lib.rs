@@ -174,7 +174,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
         let expected = 1000 * 32;
-        assert!((ones as i64 - expected as i64).abs() < 2000, "ones = {ones}");
+        assert!(
+            (ones as i64 - expected as i64).abs() < 2000,
+            "ones = {ones}"
+        );
     }
 
     #[test]

@@ -184,7 +184,10 @@ where
         F: Fn(T) -> Option<R> + Sync,
         C: FromIterator<R>,
     {
-        run_chunked(self.items, self.f).into_iter().flatten().collect()
+        run_chunked(self.items, self.f)
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
@@ -264,7 +267,7 @@ mod tests {
 
     #[test]
     fn slice_par_iter_borrows() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         assert_eq!(data.len(), 4); // still usable

@@ -1,9 +1,10 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! Covers the subset the benchmark binaries use: the [`Value`] tree, the [`json!`]
-//! constructor macro (object / array / scalar forms with expression values), and
-//! [`to_string`] / [`to_string_pretty`] over anything [`AsJson`]. There is no parser
-//! and no serde-data-model bridge — output only.
+//! constructor macro (object / array / scalar forms with expression values),
+//! [`to_string`] / [`to_string_pretty`] over anything [`AsJson`], and [`from_str`]
+//! — a strict recursive-descent parser back into [`Value`] (what the bench gate
+//! uses to diff throughput reports). There is no serde-data-model bridge.
 
 #![forbid(unsafe_code)]
 
@@ -117,6 +118,57 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 impl Value {
+    /// Member of an object by key (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String, pretty: bool, indent: usize) {
         let pad = |out: &mut String, level: usize| {
             if pretty {
@@ -208,13 +260,14 @@ impl<T: AsJson + ?Sized> AsJson for &T {
     }
 }
 
-/// Error type kept for signature compatibility; rendering never fails.
+/// Rendering or parsing error. Rendering never fails; parsing reports the byte
+/// offset and what went wrong.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json error")
+        write!(f, "json error: {}", self.0)
     }
 }
 
@@ -232,6 +285,212 @@ pub fn to_string_pretty<T: AsJson + ?Sized>(value: &T) -> Result<String, Error> 
     let mut out = String::new();
     value.as_json().write(&mut out, true, 0);
     Ok(out)
+}
+
+/// Parse a JSON document into a [`Value`]. Strict: the whole input must be one
+/// JSON value (plus surrounding whitespace); trailing garbage is an error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // surrogate pairs are not emitted by this workspace's
+                            // writers; reject them instead of mis-decoding
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("unpaired surrogate in \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is a &str, so boundaries are valid)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII digits are valid UTF-8");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Value::Number(Number::F64(v)))
+        } else if text.starts_with('-') {
+            let v: i64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Value::Number(Number::I64(v)))
+        } else {
+            let v: u64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Value::Number(Number::U64(v)))
+        }
+    }
 }
 
 /// Build a [`Value`] from a JSON-shaped literal. Supports `null`, scalars and
@@ -291,5 +550,59 @@ mod tests {
     fn nested_arrays() {
         let v = json!([1u64, 2u64]);
         assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn parse_round_trips_written_values() {
+        let v = json!({
+            "name": "stream \"q1\"\nline",
+            "count": 42u64,
+            "ratio": 0.125,
+            "negative": -3i64,
+            "ok": true,
+            "nothing": Value::Null,
+            "items": json!([1u64, 2u64]),
+        });
+        let text = to_string(&v).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+        // pretty output parses to the same tree
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = from_str(r#"{"a": 1, "b": "x", "c": [true, 2.5]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        let c = v.get("c").and_then(Value::as_array).unwrap();
+        assert_eq!(c[0].as_bool(), Some(true));
+        assert_eq!(c[1].as_f64(), Some(2.5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_exponents() {
+        let v = from_str(r#"{"s": "a\u00e9b", "e": 1e3, "m": -2.5e-2}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\u{e9}b"));
+        assert_eq!(v.get("e").and_then(Value::as_f64), Some(1000.0));
+        assert_eq!(v.get("m").and_then(Value::as_f64), Some(-0.025));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1} extra",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
     }
 }
