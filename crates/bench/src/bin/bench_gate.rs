@@ -34,6 +34,7 @@ use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
 use serde_json::{json, to_string_pretty, Value};
 use ttc_social_media::model::Query;
+use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelinedEngine};
 use ttc_social_media::shard::{ShardBackend, ShardedSolution};
 use ttc_social_media::solution::{GraphBlasIncremental, GraphBlasIncrementalCc, Solution};
 use ttc_social_media::stream::{StreamDriver, StreamDriverConfig, StreamReport};
@@ -53,6 +54,9 @@ struct GateEntry {
     query: Query,
     variant: &'static str,
     shards: usize,
+    /// Run through the staged asynchronous engine instead of the synchronous
+    /// barrier driver (requires `shards > 0`).
+    pipelined: bool,
 }
 
 const GRID: &[GateEntry] = &[
@@ -61,30 +65,49 @@ const GRID: &[GateEntry] = &[
         query: Query::Q1,
         variant: "incremental",
         shards: 0,
+        pipelined: false,
     },
     GateEntry {
         key: "q2/incremental",
         query: Query::Q2,
         variant: "incremental",
         shards: 0,
+        pipelined: false,
     },
     GateEntry {
         key: "q2/incremental-cc",
         query: Query::Q2,
         variant: "incremental-cc",
         shards: 0,
+        pipelined: false,
     },
     GateEntry {
         key: "q1/incremental/shards4",
         query: Query::Q1,
         variant: "incremental",
         shards: 4,
+        pipelined: false,
     },
     GateEntry {
         key: "q2/incremental/shards4",
         query: Query::Q2,
         variant: "incremental",
         shards: 4,
+        pipelined: false,
+    },
+    GateEntry {
+        key: "q1/incremental/shards2/pipelined",
+        query: Query::Q1,
+        variant: "incremental",
+        shards: 2,
+        pipelined: true,
+    },
+    GateEntry {
+        key: "q2/incremental/shards2/pipelined",
+        query: Query::Q2,
+        variant: "incremental",
+        shards: 2,
+        pipelined: true,
     },
 ];
 
@@ -183,16 +206,32 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
             ..StreamConfig::default()
         },
     );
+    let backend = match entry.variant {
+        "incremental-cc" => ShardBackend::IncrementalCc,
+        _ => ShardBackend::Incremental,
+    };
+    if entry.pipelined {
+        assert!(entry.shards > 0, "pipelined gate entries need shards");
+        return run_in_pool(THREADS, || {
+            let mut engine = PipelinedEngine::graphblas(
+                entry.query,
+                backend,
+                entry.shards,
+                PipelineConfig {
+                    warmup_batches: WARMUP,
+                    ..PipelineConfig::default()
+                },
+            );
+            let mut stream = stream;
+            engine.run(network, &mut stream, BATCHES).stream
+        });
+    }
     let driver = StreamDriver::new(StreamDriverConfig {
         warmup_batches: WARMUP,
         coalesce: true,
     });
     run_in_pool(THREADS, || {
         let mut solution: Box<dyn Solution> = if entry.shards > 0 {
-            let backend = match entry.variant {
-                "incremental-cc" => ShardBackend::IncrementalCc,
-                _ => ShardBackend::Incremental,
-            };
             Box::new(ShardedSolution::new(entry.query, backend, entry.shards))
         } else {
             match entry.variant {
@@ -216,6 +255,7 @@ fn measure_report() -> Value {
                 "query": format!("{:?}", entry.query),
                 "variant": entry.variant,
                 "shards": entry.shards,
+                "pipelined": entry.pipelined,
                 "updates_per_sec": report.updates_per_sec,
                 "p99_latency_secs": report.p99_latency_secs,
                 "final_result": &report.final_result,
@@ -267,7 +307,11 @@ fn joined_throughputs(
             .iter()
             .find(|e| e.get("key").and_then(Value::as_str) == Some(key))
         else {
-            failures.push(format!("entry {key} disappeared from the current report"));
+            failures.push(format!(
+                "variant {key} is in the baseline but missing from the fresh run — the \
+                 measurement grid no longer produces it; if that is intentional, refresh \
+                 the baseline with --write-baseline"
+            ));
             continue;
         };
         let was = base.get("updates_per_sec").and_then(Value::as_f64);
@@ -280,6 +324,23 @@ fn joined_throughputs(
                 "entry {key} has no usable updates_per_sec (baseline {was:?}, current {is:?}) \
                  — refresh the baseline with --write-baseline"
             )),
+        }
+    }
+    // The reverse direction is informational, not fatal: a freshly added grid
+    // variant has no baseline yet, so it cannot regress — but silently skipping
+    // it would let it stay ungated forever. Name it and point at the fix.
+    for now in current_entries {
+        let Some(key) = now.get("key").and_then(Value::as_str) else {
+            continue;
+        };
+        let known = baseline_entries
+            .iter()
+            .any(|base| base.get("key").and_then(Value::as_str) == Some(key));
+        if !known {
+            eprintln!(
+                "# note: variant {key} is measured but has no baseline entry (not gated); \
+                 run with --write-baseline to start gating it"
+            );
         }
     }
     pairs

@@ -11,30 +11,47 @@
 //! cargo run -p bench --release --bin stream_throughput -- [--sf 1] [--batches 200] \
 //!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
-//!     [--threads 1] [--shards N] [--smoke]
+//!     [--threads 1] [--shards N] [--pipeline] [--queue-depth D] [--smoke]
 //! ```
 //!
-//! `--shards N` (N ≥ 1) runs each GraphBLAS variant through the sharded pipeline
+//! `--shards N` (N ≥ 1) runs each variant through the sharded pipeline
 //! ([`ttc_social_media::shard::ShardedSolution`]): the graph is partitioned by
-//! user id across N shards, micro-batches are routed and applied shard-parallel,
-//! and the row gains per-shard latency percentiles next to the merged ones (the
-//! NMF baseline has no sharded backend and is skipped). Size `--threads` to the
-//! shard count to give every shard a worker.
+//! user id across N shards, micro-batches are routed and applied shard-parallel
+//! (the NMF baseline runs its per-shard dependency-record backend,
+//! [`nmf_baseline::shard`]), and the row gains per-shard latency percentiles and
+//! owned sizes (`shard_sizes`, the skew signal) next to the merged figures. Size
+//! `--threads` to the shard count to give every shard a worker.
+//!
+//! `--pipeline` switches from the synchronous barrier driver to the staged
+//! asynchronous engine ([`ttc_social_media::pipeline::PipelinedEngine`]): ingest
+//! → coalesce/route → per-shard apply workers → watermark merge over bounded
+//! queues of capacity `--queue-depth` (default 4). The row additionally carries
+//! a `pipeline` block with per-stage backpressure counts and the maximum
+//! watermark lag. Latency semantics change with it: pipelined rows report
+//! **end-to-end** per-batch latency (ingest → merged result) and wall-clock
+//! sustained throughput, not per-call service time. Without an explicit
+//! `--shards`, `--pipeline` defaults to 2 shards (a 1-shard pipeline only
+//! measures queue overhead). Stage threads are spawned by the engine itself;
+//! `--threads` still sizes the rayon pool used during the initial load.
 //!
 //! `--smoke` overrides everything with a small fixed configuration (sf1, every
 //! variant of both queries, 2 worker threads so the parallel kernels run) and is
 //! what `scripts/check.sh` executes: any panic in the kernels or the streaming
 //! drivers fails the tier-1 gate. Explicit flags placed *after* `--smoke` still
-//! apply on top of it.
+//! apply on top of it (`--smoke --pipeline` is the pipelined smoke CI runs).
 
-use bench::run_in_pool;
+use bench::{report, run_in_pool};
 use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
+use nmf_baseline::NmfShardFactory;
 use serde_json::{json, Value};
 use ttc_social_media::model::Query;
-use ttc_social_media::shard::{ShardBackend, ShardedSolution};
+use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine};
+use ttc_social_media::shard::{
+    GraphBlasShardFactory, ShardBackend, ShardFactory, ShardRouterStats, ShardedSolution,
+};
 use ttc_social_media::solution::Solution;
-use ttc_social_media::stream::{percentile, StreamDriver, StreamDriverConfig};
+use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
 
 struct Args {
     scale_factor: u64,
@@ -47,6 +64,8 @@ struct Args {
     variants: Vec<String>,
     threads: usize,
     shards: usize,
+    pipeline: bool,
+    queue_depth: usize,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +80,8 @@ fn parse_args() -> Args {
         variants: vec!["incremental".to_string()],
         threads: 1,
         shards: 0,
+        pipeline: false,
+        queue_depth: 4,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -117,6 +138,13 @@ fn parse_args() -> Args {
             "--shards" => {
                 i += 1;
                 args.shards = argv[i].parse().expect("--shards expects an integer");
+            }
+            "--pipeline" => {
+                args.pipeline = true;
+            }
+            "--queue-depth" => {
+                i += 1;
+                args.queue_depth = argv[i].parse().expect("--queue-depth expects an integer");
             }
             "--smoke" => {
                 args.scale_factor = 1;
@@ -176,46 +204,68 @@ fn stream_for(args: &Args, network: &SocialNetwork) -> UpdateStream {
     )
 }
 
-fn shard_backend(variant: &str) -> Option<ShardBackend> {
+/// The per-shard backend of a variant name: the GraphBLAS factories mirror the
+/// unsharded variants one-to-one; `nmf` runs the per-shard dependency-record
+/// baseline.
+fn shard_factory(variant: &str, query: Query) -> Option<Box<dyn ShardFactory>> {
     match variant {
-        "batch" => Some(ShardBackend::Batch),
-        "incremental" => Some(ShardBackend::Incremental),
-        "incremental-cc" => Some(ShardBackend::IncrementalCc),
+        "batch" => Some(Box::new(GraphBlasShardFactory::new(
+            query,
+            ShardBackend::Batch,
+        ))),
+        "incremental" => Some(Box::new(GraphBlasShardFactory::new(
+            query,
+            ShardBackend::Incremental,
+        ))),
+        "incremental-cc" => Some(Box::new(GraphBlasShardFactory::new(
+            query,
+            ShardBackend::IncrementalCc,
+        ))),
+        "nmf" => Some(Box::new(NmfShardFactory::new(query))),
         _ => None,
     }
 }
 
-/// The per-shard latency block of a sharded row: one object per shard with
-/// p50/p99/max over that shard's per-batch update times. The solution records a
-/// sample for *every* batch it applies, so the first `warmup` samples are
-/// dropped here — otherwise the per-shard percentiles would include the
-/// cold-start batches the merged `StreamReport` percentiles exclude, and the
-/// two blocks of the same row would not be comparable.
-fn per_shard_json(sharded: &ShardedSolution, warmup: usize) -> Value {
-    let lanes: Vec<Value> = sharded
-        .per_shard_latencies()
-        .iter()
-        .enumerate()
-        .map(|(shard, lane)| {
-            let mut measured = lane[warmup.min(lane.len())..].to_vec();
-            measured.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-            json!({
-                "shard": shard,
-                "p50_latency_secs": percentile(&measured, 50.0),
-                "p99_latency_secs": percentile(&measured, 99.0),
-                "max_latency_secs": measured.last().copied().unwrap_or(0.0),
-            })
-        })
-        .collect();
-    Value::Array(lanes)
+/// The row fields every sharded run (synchronous or pipelined) shares: shard
+/// count, per-shard latency percentiles, owned sizes (the skew signal), router
+/// statistics, and — for pipelined runs — the pipeline block.
+fn sharded_extra(
+    shards: usize,
+    lanes: &[Vec<f64>],
+    warmup: usize,
+    sizes: &[(usize, usize)],
+    router: ShardRouterStats,
+    pipeline: Option<&PipelineStats>,
+) -> Value {
+    let mut map = match json!({
+        "shards": shards,
+        "per_shard": report::per_shard_json(lanes, warmup),
+        "shard_sizes": report::shard_sizes_json(sizes),
+    }) {
+        Value::Object(map) => map,
+        _ => unreachable!("json! object literal"),
+    };
+    if let Value::Object(router) = report::router_stats_json(router) {
+        map.extend(router);
+    }
+    if let Some(stats) = pipeline {
+        map.insert("pipeline".to_string(), report::pipeline_stats_json(stats));
+    }
+    Value::Object(map)
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    if args.pipeline && args.shards == 0 {
+        // a 1-shard pipeline only measures queue overhead; default to the
+        // smallest configuration where stages can actually overlap
+        args.shards = 2;
+    }
+    let args = args;
     let network = generate_scale_factor(args.scale_factor).initial;
     eprintln!(
         "# network: sf={} nodes={} edges={}; stream: batches={} x {} ops, warmup={}, \
-         deletion weight {}, threads={}",
+         deletion weight {}, threads={}{}",
         args.scale_factor,
         network.node_count(),
         network.edge_count(),
@@ -224,6 +274,14 @@ fn main() {
         args.warmup,
         args.deletions,
         args.threads,
+        if args.pipeline {
+            format!(
+                ", pipelined over {} shards (queue depth {})",
+                args.shards, args.queue_depth
+            )
+        } else {
+            String::new()
+        },
     );
 
     let driver = StreamDriver::new(StreamDriverConfig {
@@ -241,13 +299,15 @@ fn main() {
             }
             // resolve the backend before building the stream: constructing an
             // UpdateStream snapshots the network's edge lists, which is wasted
-            // work for variants the sharded path skips
-            let sharded_backend = if args.shards > 0 {
-                match shard_backend(variant) {
-                    Some(backend) => Some(backend),
+            // work when the variant name turns out to be unknown
+            let factory = if args.shards > 0 {
+                match shard_factory(variant, query) {
+                    Some(factory) => Some(factory),
                     None => {
-                        eprintln!("# skipping {variant} under --shards (no sharded backend)");
-                        continue;
+                        eprintln!(
+                            "unknown variant {variant} (batch|incremental|incremental-cc|nmf|all)"
+                        );
+                        std::process::exit(2);
                     }
                 }
             } else {
@@ -256,29 +316,51 @@ fn main() {
             let stream = stream_for(&args, &network);
             // the solution is built inside the pool so the whole run (including the
             // initial load) sees the configured worker count
-            let (report, sharded_extra) = if let Some(backend) = sharded_backend {
-                run_in_pool(args.threads, || {
-                    let mut sharded = ShardedSolution::new(query, backend, args.shards);
+            let (report, extra) = match factory {
+                Some(factory) if args.pipeline => run_in_pool(args.threads, || {
+                    let mut engine = PipelinedEngine::new(
+                        factory,
+                        args.shards,
+                        PipelineConfig {
+                            queue_depth: args.queue_depth,
+                            warmup_batches: args.warmup,
+                            coalesce: true,
+                            delays: None,
+                        },
+                    );
+                    let mut stream = stream;
+                    let outcome = engine.run(&network, &mut stream, args.batches);
+                    let stats = outcome.pipeline.expect("pipelined engines report stats");
+                    let extra = sharded_extra(
+                        stats.shards,
+                        &stats.per_shard_apply_latencies,
+                        args.warmup,
+                        &stats.shard_sizes,
+                        stats.router,
+                        Some(&stats),
+                    );
+                    (outcome.stream, Some(extra))
+                }),
+                Some(factory) => run_in_pool(args.threads, || {
+                    let mut sharded = ShardedSolution::with_factory(factory, args.shards);
                     let report = driver.run(&mut sharded, &network, stream, args.batches);
-                    let stats = sharded.router_stats();
-                    let extra = json!({
-                        "shards": sharded.shard_count(),
-                        "per_shard": per_shard_json(&sharded, args.warmup),
-                        "routed_operations": stats.routed_operations,
-                        "broadcast_deliveries": stats.broadcast_deliveries,
-                        "friendship_deliveries": stats.friendship_deliveries,
-                        "imported_boundary_edges": stats.imported_boundary_edges,
-                    });
+                    let extra = sharded_extra(
+                        sharded.shard_count(),
+                        sharded.per_shard_latencies(),
+                        args.warmup,
+                        &sharded.shard_sizes(),
+                        sharded.router_stats(),
+                        None,
+                    );
                     (report, Some(extra))
-                })
-            } else {
-                run_in_pool(args.threads, || {
+                }),
+                None => run_in_pool(args.threads, || {
                     let mut solution = build_variant(variant, query, parallel);
                     (
                         driver.run(solution.as_mut(), &network, stream, args.batches),
                         None,
                     )
-                })
+                }),
             };
             let mut row = json!({
                 "query": format!("{query:?}"),
@@ -299,7 +381,7 @@ fn main() {
                 "load_secs": report.load_secs,
                 "final_result": &report.final_result,
             });
-            if let (Value::Object(row), Some(Value::Object(extra))) = (&mut row, sharded_extra) {
+            if let (Value::Object(row), Some(Value::Object(extra))) = (&mut row, extra) {
                 row.extend(extra);
             }
             println!("{row}");

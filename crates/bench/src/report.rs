@@ -1,0 +1,206 @@
+//! JSON fragments of the `stream_throughput` report rows.
+//!
+//! Factored out of the binary so the shape of the report — the thing downstream
+//! tooling (`bench_gate`, dashboards, the ROADMAP's rebalancing analysis) parses
+//! — is unit-testable: every builder here has a stable-field-order test and a
+//! round-trip test through the vendored `serde_json` parser.
+//!
+//! Field-order contract: the vendored [`serde_json::Value`] stores objects in a
+//! `BTreeMap`, so keys render in **lexicographic order** — deterministic across
+//! runs and machines, which is what "stable" means here (diffs of two reports
+//! never reorder). The tests pin that order down explicitly so a change to the
+//! map representation cannot silently reshuffle checked-in baselines.
+
+use serde_json::{json, Value};
+use ttc_social_media::pipeline::PipelineStats;
+use ttc_social_media::stream::percentile;
+use ttc_social_media::ShardRouterStats;
+
+/// The per-shard latency block of a sharded row: one object per shard with
+/// p50/p99/max over that shard's per-batch update (or apply) times. The
+/// solutions record a sample for *every* batch, so the first `warmup` samples
+/// are dropped here — otherwise the per-shard percentiles would include the
+/// cold-start batches the merged `StreamReport` percentiles exclude, and the
+/// two blocks of the same row would not be comparable.
+pub fn per_shard_json(lanes: &[Vec<f64>], warmup: usize) -> Value {
+    let lanes: Vec<Value> = lanes
+        .iter()
+        .enumerate()
+        .map(|(shard, lane)| {
+            let mut measured = lane[warmup.min(lane.len())..].to_vec();
+            measured.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            json!({
+                "shard": shard,
+                "p50_latency_secs": percentile(&measured, 50.0),
+                "p99_latency_secs": percentile(&measured, 99.0),
+                "max_latency_secs": measured.last().copied().unwrap_or(0.0),
+            })
+        })
+        .collect();
+    Value::Array(lanes)
+}
+
+/// The shard-skew block: `(posts, comments)` owned per shard, straight from
+/// `ShardedSolution::shard_sizes` / the pipeline's end-of-run snapshot. Feeds
+/// the ROADMAP's rebalancing item: skew shows up as one shard's counts (and its
+/// p99 in [`per_shard_json`]) pulling away from the others.
+pub fn shard_sizes_json(sizes: &[(usize, usize)]) -> Value {
+    Value::Array(
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(shard, &(posts, comments))| {
+                json!({
+                    "shard": shard,
+                    "posts": posts,
+                    "comments": comments,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// The router-statistics block shared by the sharded and pipelined rows.
+pub fn router_stats_json(stats: ShardRouterStats) -> Value {
+    json!({
+        "routed_operations": stats.routed_operations,
+        "broadcast_deliveries": stats.broadcast_deliveries,
+        "friendship_deliveries": stats.friendship_deliveries,
+        "imported_boundary_edges": stats.imported_boundary_edges,
+    })
+}
+
+/// The pipeline block of a `--pipeline` row: queue bound, how often each stage
+/// hit backpressure (blocked on a full downstream queue), and how far the
+/// fastest shard ran ahead of the merge watermark.
+pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
+    json!({
+        "queue_depth": stats.queue_depth,
+        "ingest_backpressure": stats.ingest_backpressure,
+        "route_backpressure": stats.route_backpressure,
+        "apply_backpressure": stats.apply_backpressure,
+        "max_watermark_lag": stats.max_watermark_lag,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert `rendered` contains exactly `fields` as top-level keys, in order.
+    fn assert_field_order(rendered: &str, fields: &[&str]) {
+        let mut last = 0usize;
+        for field in fields {
+            let needle = format!("\"{field}\":");
+            let at = rendered[last..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("{field} missing or out of order in {rendered}"));
+            last += at + needle.len();
+        }
+    }
+
+    #[test]
+    fn per_shard_block_is_stable_and_round_trips() {
+        let lanes = vec![
+            vec![0.5, 0.001, 0.002, 0.003],
+            vec![0.9, 0.004, 0.005, 0.006],
+        ];
+        let value = per_shard_json(&lanes, 1);
+        let rendered = value.to_string();
+        // warm-up sample (the 0.5 / 0.9 outliers) excluded from the percentiles
+        assert!(
+            !rendered.contains("0.5") && !rendered.contains("0.9"),
+            "{rendered}"
+        );
+        let lanes_out = value.as_array().expect("array of shards");
+        assert_eq!(lanes_out.len(), 2);
+        for (shard, lane) in lanes_out.iter().enumerate() {
+            assert_eq!(
+                lane.get("shard").and_then(Value::as_u64),
+                Some(shard as u64)
+            );
+            assert_field_order(
+                &lane.to_string(),
+                &[
+                    "max_latency_secs",
+                    "p50_latency_secs",
+                    "p99_latency_secs",
+                    "shard",
+                ],
+            );
+        }
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn shard_sizes_block_is_stable_and_round_trips() {
+        let value = shard_sizes_json(&[(10, 100), (7, 70), (13, 130)]);
+        let rendered = value.to_string();
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        let shards = value.as_array().expect("array");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[1].get("posts").and_then(Value::as_u64), Some(7));
+        assert_eq!(shards[2].get("comments").and_then(Value::as_u64), Some(130));
+        // lexicographic: comments < posts < shard
+        assert_field_order(&shards[0].to_string(), &["comments", "posts", "shard"]);
+    }
+
+    #[test]
+    fn router_stats_block_is_stable_and_round_trips() {
+        let value = router_stats_json(ShardRouterStats {
+            routed_operations: 1,
+            broadcast_deliveries: 2,
+            friendship_deliveries: 3,
+            imported_boundary_edges: 4,
+        });
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "broadcast_deliveries",
+                "friendship_deliveries",
+                "imported_boundary_edges",
+                "routed_operations",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(
+            parsed.get("routed_operations").and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn pipeline_block_is_stable_and_round_trips() {
+        let stats = PipelineStats {
+            queue_depth: 4,
+            shards: 2,
+            ingest_backpressure: 5,
+            route_backpressure: 6,
+            apply_backpressure: 7,
+            max_watermark_lag: 3,
+            ..PipelineStats::default()
+        };
+        let value = pipeline_stats_json(&stats);
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "apply_backpressure",
+                "ingest_backpressure",
+                "max_watermark_lag",
+                "queue_depth",
+                "route_backpressure",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(
+            parsed.get("max_watermark_lag").and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -60,6 +60,47 @@ pub fn shard_of_user(user: ElementId, shards: usize) -> usize {
     (user % shards.max(1) as ElementId) as usize
 }
 
+/// One micro-batch paired with its position in the stream.
+///
+/// Sequence numbers are the currency of the staged ingestion pipeline: per-shard
+/// apply workers may finish batches out of order, and the watermark merger only
+/// emits the global result for batch `t` once every shard's watermark has passed
+/// `t`. Stamping the number at *emission* time (rather than wherever the batch
+/// happens to be observed) pins down the replay order even after batches have
+/// been buffered, reordered across queues, or dropped by a consumer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequencedBatch {
+    /// Zero-based position of this batch in the stream.
+    pub seq: u64,
+    /// The batch itself.
+    pub batch: ChangeSet,
+}
+
+/// Iterator adapter stamping consecutive sequence numbers (from 0) onto the
+/// micro-batches of any changeset stream. Obtained via [`sequenced`] or
+/// [`UpdateStream::sequenced`].
+#[derive(Clone, Debug)]
+pub struct Sequenced<I> {
+    inner: I,
+    next_seq: u64,
+}
+
+impl<I: Iterator<Item = ChangeSet>> Iterator for Sequenced<I> {
+    type Item = SequencedBatch;
+
+    fn next(&mut self) -> Option<SequencedBatch> {
+        let batch = self.inner.next()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(SequencedBatch { seq, batch })
+    }
+}
+
+/// Stamp sequence numbers onto an arbitrary micro-batch stream.
+pub fn sequenced<I: Iterator<Item = ChangeSet>>(inner: I) -> Sequenced<I> {
+    Sequenced { inner, next_seq: 0 }
+}
+
 /// Configuration of an [`UpdateStream`].
 ///
 /// The `*_weight` fields are relative (they need not sum to 1); each operation slot
@@ -197,6 +238,21 @@ impl UpdateStream {
     /// Number of micro-batches emitted so far.
     pub fn batches_emitted(&self) -> u64 {
         self.batches_emitted
+    }
+
+    /// Consume the stream into an iterator of [`SequencedBatch`]es: each emitted
+    /// micro-batch carries its zero-based sequence number, the ordering key the
+    /// pipelined ingestion engine's watermark merge is driven by.
+    ///
+    /// # Panics
+    /// Panics if batches were already pulled from this stream — sequence numbers
+    /// must start at the batch the consumer will actually see first.
+    pub fn sequenced(self) -> Sequenced<UpdateStream> {
+        assert_eq!(
+            self.batches_emitted, 0,
+            "sequenced() must wrap a fresh stream, not one already advanced"
+        );
+        sequenced(self)
     }
 
     /// Current number of live likes in the stream's view of the network.
@@ -590,6 +646,39 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn empty_network_is_rejected() {
         let _ = UpdateStream::new(&SocialNetwork::default(), StreamConfig::default());
+    }
+
+    #[test]
+    fn sequenced_batches_carry_consecutive_numbers_and_the_same_payload() {
+        let network = test_network();
+        let plain: Vec<ChangeSet> = UpdateStream::new(&network, test_config(47))
+            .take(6)
+            .collect();
+        let stamped: Vec<SequencedBatch> = UpdateStream::new(&network, test_config(47))
+            .sequenced()
+            .take(6)
+            .collect();
+        assert_eq!(stamped.len(), 6);
+        for (expect_seq, (raw, stamped)) in plain.iter().zip(&stamped).enumerate() {
+            assert_eq!(stamped.seq, expect_seq as u64);
+            assert_eq!(&stamped.batch, raw, "payload differs at seq {expect_seq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh stream")]
+    fn sequenced_rejects_an_advanced_stream() {
+        let network = test_network();
+        let mut stream = UpdateStream::new(&network, test_config(49));
+        let _ = stream.next();
+        let _ = stream.sequenced();
+    }
+
+    #[test]
+    fn sequenced_adapts_arbitrary_changeset_iterators() {
+        let batches = vec![ChangeSet::default(), ChangeSet::default()];
+        let seqs: Vec<u64> = sequenced(batches.into_iter()).map(|b| b.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
     }
 
     #[test]

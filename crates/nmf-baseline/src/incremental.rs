@@ -134,6 +134,12 @@ impl Q1Dependencies {
         self.tracker.merge_changes(changes);
         self.tracker.format()
     }
+
+    /// Current top-k candidates, best first — what the sharded pipeline's
+    /// cross-shard merge consumes (the single-shard result is their rendering).
+    pub fn candidates(&self) -> &[RankedEntry] {
+        self.tracker.current()
+    }
 }
 
 /// Dependency records for Q2: the maintained score of every comment plus the reverse
@@ -244,6 +250,12 @@ impl Q2Dependencies {
             self.tracker.merge_changes(changes);
         }
         self.tracker.format()
+    }
+
+    /// Current top-k candidates, best first — what the sharded pipeline's
+    /// cross-shard merge consumes (the single-shard result is their rendering).
+    pub fn candidates(&self) -> &[RankedEntry] {
+        self.tracker.current()
     }
 
     /// Comments present in both users' like records (whose component structure a

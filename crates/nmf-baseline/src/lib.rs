@@ -12,7 +12,10 @@
 //!   NMF's incremental engine (expensive to set up, cheap per update);
 //! * [`solution`] — the `NMF Batch` and `NMF Incremental` tool variants behind the
 //!   shared [`ttc_social_media::Solution`] trait, so the Figure 5 harness can run them
-//!   interchangeably with the GraphBLAS variants.
+//!   interchangeably with the GraphBLAS variants;
+//! * [`shard`] — the incremental baseline behind the sharded streaming pipeline
+//!   (per-shard dependency-record propagation), so `--shards` benchmarks compare
+//!   like with like instead of silently skipping NMF.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,7 +24,9 @@ pub mod incremental;
 pub mod model;
 pub mod q1;
 pub mod q2;
+pub mod shard;
 pub mod solution;
 
 pub use model::ModelRepository;
+pub use shard::{nmf_sharded, NmfShard, NmfShardFactory};
 pub use solution::{NmfBatch, NmfIncremental};

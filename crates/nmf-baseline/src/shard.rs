@@ -1,0 +1,199 @@
+//! The NMF baseline behind the sharded streaming pipeline: per-shard
+//! dependency-record propagation.
+//!
+//! `stream_throughput --shards N` used to skip the NMF variant because the
+//! baseline had no sharded backend. This module closes that gap by implementing
+//! the `ttc-social-media` shard abstraction for the NMF incremental engine: each
+//! shard owns a [`ModelRepository`] over its sub-network (as partitioned by
+//! `ShardRouter::split_initial` — owned discussion trees, likes on owned
+//! comments, friendship replicas among present likers) plus the same
+//! [`Q1Dependencies`]/[`Q2Dependencies`] records the unsharded `NmfIncremental`
+//! builds, so the comparison against the GraphBLAS shards measures the same
+//! architectural split the paper's Fig. 5 measures unsharded.
+//!
+//! The partition-correctness argument is the one of `DESIGN.md` §5: both
+//! queries score a submission from data wholly inside its shard (its discussion
+//! tree, its likers, and the replicated friendships among them), so every
+//! per-shard dependency record carries the **exact global score** and the
+//! cross-shard merge policy applies unchanged.
+//!
+//! One deliberate difference from the GraphBLAS evaluator: the retraction flag
+//! returned by [`ShardEvaluator::apply`] is *syntactic*
+//! ([`ChangeSet::has_removals`]) rather than effective, because the NMF engine
+//! tracks liveness inside its propagation (idempotent notifications) and does
+//! not expose an effective-removal delta. Syntactic is a superset of effective,
+//! and the rebuild path it triggers is exact for any batch, so the merge stays
+//! correct — it just rebuilds slightly more often.
+
+use datagen::{ChangeSet, SocialNetwork};
+use ttc_social_media::model::Query;
+use ttc_social_media::shard::{ShardEvaluator, ShardFactory};
+use ttc_social_media::solution::TOP_K;
+use ttc_social_media::top_k::RankedEntry;
+use ttc_social_media::ShardedSolution;
+
+use crate::incremental::{Q1Dependencies, Q2Dependencies};
+use crate::model::ModelRepository;
+
+enum ShardDependencies {
+    Q1(Q1Dependencies),
+    Q2(Q2Dependencies),
+}
+
+/// One shard of the NMF incremental baseline: the shard's object graph plus its
+/// dependency records.
+pub struct NmfShard {
+    repo: ModelRepository,
+    deps: ShardDependencies,
+}
+
+impl NmfShard {
+    /// Build the shard over one sub-network (the expensive NMF initial phase,
+    /// run once per shard).
+    pub fn new(part: &SocialNetwork, query: Query) -> Self {
+        let repo = ModelRepository::from_network(part);
+        let deps = match query {
+            Query::Q1 => ShardDependencies::Q1(Q1Dependencies::initialize(&repo, TOP_K).0),
+            Query::Q2 => ShardDependencies::Q2(Q2Dependencies::initialize(&repo, TOP_K).0),
+        };
+        NmfShard { repo, deps }
+    }
+}
+
+impl ShardEvaluator for NmfShard {
+    fn apply(&mut self, changeset: &ChangeSet) -> bool {
+        if changeset.operations.is_empty() {
+            return false;
+        }
+        self.repo.apply_changeset(changeset);
+        match &mut self.deps {
+            ShardDependencies::Q1(deps) => {
+                deps.propagate(&self.repo, changeset);
+            }
+            ShardDependencies::Q2(deps) => {
+                deps.propagate(&self.repo, changeset);
+            }
+        }
+        changeset.has_removals()
+    }
+
+    fn candidates(&self) -> &[RankedEntry] {
+        match &self.deps {
+            ShardDependencies::Q1(deps) => deps.candidates(),
+            ShardDependencies::Q2(deps) => deps.candidates(),
+        }
+    }
+
+    fn owned_sizes(&self) -> (usize, usize) {
+        (self.repo.posts.len(), self.repo.comments.len())
+    }
+}
+
+/// [`ShardFactory`] for the NMF incremental baseline.
+#[derive(Copy, Clone, Debug)]
+pub struct NmfShardFactory {
+    query: Query,
+}
+
+impl NmfShardFactory {
+    /// Create a factory answering `query`.
+    pub fn new(query: Query) -> Self {
+        NmfShardFactory { query }
+    }
+}
+
+impl ShardFactory for NmfShardFactory {
+    fn build(&self, part: &SocialNetwork) -> Box<dyn ShardEvaluator> {
+        Box::new(NmfShard::new(part, self.query))
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn name(&self) -> String {
+        "NMF Sharded Incremental".to_string()
+    }
+}
+
+/// Convenience constructor: the NMF incremental baseline on `shards` shards,
+/// behind the same `Solution` interface as `ShardedSolution::new` — so every
+/// driver, benchmark, and differential test runs it unchanged.
+pub fn nmf_sharded(query: Query, shards: usize) -> ShardedSolution {
+    ShardedSolution::with_factory(Box::new(NmfShardFactory::new(query)), shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::NmfIncremental;
+    use datagen::stream::{StreamConfig, UpdateStream};
+    use datagen::{generate_workload, GeneratorConfig};
+    use ttc_social_media::solution::Solution;
+
+    fn network(seed: u64) -> SocialNetwork {
+        generate_workload(&GeneratorConfig::tiny(seed)).initial
+    }
+
+    fn retraction_stream(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+        UpdateStream::new(
+            network,
+            StreamConfig {
+                seed,
+                batch_size: 12,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(count)
+        .collect()
+    }
+
+    #[test]
+    fn sharded_nmf_agrees_with_unsharded_on_retraction_heavy_streams() {
+        let network = network(101);
+        let batches = retraction_stream(&network, 0x42f, 10);
+        for query in [Query::Q1, Query::Q2] {
+            let mut reference = NmfIncremental::new(query);
+            let mut sharded: Vec<ShardedSolution> = [1usize, 2, 4]
+                .iter()
+                .map(|&n| nmf_sharded(query, n))
+                .collect();
+            let expected = reference.load_and_initial(&network);
+            for s in &mut sharded {
+                assert_eq!(s.load_and_initial(&network), expected, "{}", s.name());
+            }
+            for (batch_no, batch) in batches.iter().enumerate() {
+                let expected = reference.update_and_reevaluate(batch);
+                for s in &mut sharded {
+                    assert_eq!(
+                        s.update_and_reevaluate(batch),
+                        expected,
+                        "{} diverged at {query:?} batch {batch_no}",
+                        s.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_identify_the_nmf_backend() {
+        let s = nmf_sharded(Query::Q2, 4);
+        assert_eq!(s.name(), "NMF Sharded Incremental (4 shards)");
+        assert_eq!(s.query(), Query::Q2);
+    }
+
+    #[test]
+    fn shard_sizes_partition_the_object_graph() {
+        let network = network(103);
+        let mut s = nmf_sharded(Query::Q1, 3);
+        s.load_and_initial(&network);
+        let sizes = s.shard_sizes();
+        assert_eq!(sizes.len(), 3);
+        let posts: usize = sizes.iter().map(|&(p, _)| p).sum();
+        let comments: usize = sizes.iter().map(|&(_, c)| c).sum();
+        assert_eq!(posts, network.posts.len());
+        assert_eq!(comments, network.comments.len());
+    }
+}

@@ -42,6 +42,7 @@
 pub mod graph;
 pub mod loader;
 pub mod model;
+pub mod pipeline;
 pub mod q1;
 pub mod q2;
 pub mod shard;
@@ -52,7 +53,14 @@ pub mod update;
 
 pub use graph::SocialGraph;
 pub use model::{IdMap, Query};
-pub use shard::{ShardBackend, ShardRouter, ShardRouterStats, ShardedSolution};
+pub use pipeline::{
+    DelayInjection, EngineReport, IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine,
+    SyncEngine,
+};
+pub use shard::{
+    GraphBlasShardFactory, ShardBackend, ShardEvaluator, ShardFactory, ShardMerger, ShardRouter,
+    ShardRouterStats, ShardedSolution,
+};
 pub use solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K};
 pub use stream::{StreamDriver, StreamDriverConfig, StreamReport};
 pub use top_k::{format_result, RankedEntry, TopKTracker};

@@ -1,0 +1,843 @@
+//! Staged, asynchronous ingestion pipeline: long-lived stages connected by
+//! bounded queues, merged on a per-shard watermark instead of a barrier.
+//!
+//! The synchronous sharded driver ([`crate::shard::ShardedSolution`] under
+//! [`StreamDriver`]) runs every micro-batch as route → barrier → merge: all
+//! shards must finish batch `t` before any shard may start `t + 1`, so one
+//! straggler shard idles the other `N − 1` and throughput is bounded by the
+//! per-batch worst case. This module decouples the stages:
+//!
+//! ```text
+//!  ingest ──▶ coalesce + route ──▶ shard 0 apply ──▶
+//!  (seq      (owns ShardRouter)    shard 1 apply ──▶  watermark merge ──▶ results
+//!   stamp)                      └▶ shard N−1 apply ─▶  (emits batch t once
+//!        bounded sync_channel queues between stages     every shard passed t)
+//! ```
+//!
+//! * Every stage is a long-lived thread; neighbours are connected by bounded
+//!   [`std::sync::mpsc::sync_channel`] queues (depth
+//!   [`PipelineConfig::queue_depth`]), so a fast stage runs ahead by at most the
+//!   queue depth and then **backpressures** instead of buffering unboundedly.
+//!   Shard `s` can be applying batch `t + queue_depth` while a straggler shard
+//!   is still on batch `t`.
+//! * Batches carry **sequence numbers** stamped at ingest
+//!   ([`datagen::stream::SequencedBatch`]). The merger tracks, per shard, the
+//!   watermark of completed batches and emits the global top-k for batch `t`
+//!   only once every shard's watermark has passed `t` — union rebuild when any
+//!   shard reported an (effective) retraction in `t`, [`TopKTracker`]
+//!   `merge_changes` otherwise: exactly the [`ShardMerger`] policy of the
+//!   synchronous driver, which is why the two engines are byte-identical per
+//!   batch (`tests/pipelined_differential.rs` enforces this, with injected
+//!   per-stage delays forcing out-of-order shard completion).
+//! * The per-shard evaluators are the same
+//!   [`ShardEvaluator`](crate::shard::ShardEvaluator)s the synchronous driver
+//!   drives — each is simply *moved into* its worker thread.
+//!
+//! Both engines implement [`IngestEngine`], so benchmarks and differential
+//! tests swap them freely. Latency semantics differ by design: the synchronous
+//! driver reports per-batch *service* time (update call duration), the
+//! pipelined engine reports **end-to-end** latency (ingest enqueue → merged
+//! result emitted) and wall-clock sustained throughput over the measured
+//! window, which is the honest figure once batches overlap.
+//!
+//! [`TopKTracker`]: crate::top_k::TopKTracker
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use datagen::stream::sequenced;
+use datagen::{ChangeSet, SocialNetwork};
+
+use crate::shard::{load_shards, ShardFactory, ShardMerger, ShardRouterStats};
+use crate::solution::Solution;
+use crate::stream::{coalesce, percentile, StreamDriver, StreamReport};
+use crate::top_k::RankedEntry;
+
+// ---------------------------------------------------------------------------
+// Engine abstraction
+// ---------------------------------------------------------------------------
+
+/// What an ingestion engine produces: the usual throughput/latency report, the
+/// per-batch results (the differential gates compare these byte-for-byte), and
+/// pipeline-internal statistics when the engine is staged.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Throughput and latency of the measured window, in the same shape both
+    /// engines share (see the [module documentation](self) for the latency
+    /// semantics of each).
+    pub stream: StreamReport,
+    /// The query result after every **measured** batch, in batch order
+    /// (warm-up excluded). When at least one batch was measured,
+    /// `results.last()` equals `stream.final_result`; when the stream ended
+    /// inside the warm-up window this is empty while `stream.final_result`
+    /// still reports the state after the batches that *were* applied.
+    pub results: Vec<String>,
+    /// Queue/backpressure/watermark statistics — `None` for the synchronous
+    /// engine, which has no queues.
+    pub pipeline: Option<PipelineStats>,
+}
+
+/// One interface over both ingestion engines — the synchronous barrier driver
+/// ([`SyncEngine`]) and the staged pipeline ([`PipelinedEngine`]) — so
+/// benchmarks and differential tests can swap them freely.
+pub trait IngestEngine {
+    /// Display name of the engine + measured configuration.
+    fn name(&self) -> String;
+
+    /// Load `initial`, drive `batches` micro-batches (plus any engine-configured
+    /// warm-up) pulled from `stream`, and report.
+    fn run(
+        &mut self,
+        initial: &SocialNetwork,
+        stream: &mut dyn Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> EngineReport;
+}
+
+/// The synchronous engine: the classic [`StreamDriver`] loop over any
+/// [`Solution`], wrapped behind [`IngestEngine`]. One batch at a time —
+/// coalesce, apply, merge — with a full barrier between batches.
+pub struct SyncEngine {
+    driver: StreamDriver,
+    solution: Box<dyn Solution>,
+}
+
+impl SyncEngine {
+    /// Wrap `solution` behind the engine interface, driven by `driver`.
+    pub fn new(driver: StreamDriver, solution: Box<dyn Solution>) -> Self {
+        SyncEngine { driver, solution }
+    }
+}
+
+impl IngestEngine for SyncEngine {
+    fn name(&self) -> String {
+        self.solution.name()
+    }
+
+    fn run(
+        &mut self,
+        initial: &SocialNetwork,
+        stream: &mut dyn Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> EngineReport {
+        let (report, results) =
+            self.driver
+                .run_with_results(self.solution.as_mut(), initial, stream, batches);
+        EngineReport {
+            stream: report,
+            results,
+            pipeline: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline configuration
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-stage delay injection, used by the differential tests to
+/// force adversarial stage interleavings (a shard finishing batches long after
+/// its peers, the router stalling mid-stream) without giving up replayability:
+/// the delay of every (stage, shard, seq) triple is a pure function of `seed`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayInjection {
+    /// Seed of the delay schedule.
+    pub seed: u64,
+    /// Maximum delay injected before routing one batch, in microseconds.
+    pub max_route_micros: u64,
+    /// Maximum delay injected before one shard applies one batch, in
+    /// microseconds.
+    pub max_apply_micros: u64,
+}
+
+impl DelayInjection {
+    /// SplitMix64 — a tiny, seedable mix good enough to decorrelate delays.
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn delay(&self, stage: u64, shard: u64, seq: u64, max_micros: u64) -> Duration {
+        if max_micros == 0 {
+            return Duration::ZERO;
+        }
+        let h = Self::mix(self.seed ^ Self::mix(stage ^ Self::mix(shard ^ seq)));
+        Duration::from_micros(h % (max_micros + 1))
+    }
+
+    fn sleep_route(&self, seq: u64) {
+        let d = self.delay(1, 0, seq, self.max_route_micros);
+        if !d.is_zero() {
+            thread::sleep(d);
+        }
+    }
+
+    fn sleep_apply(&self, shard: usize, seq: u64) {
+        let d = self.delay(2, shard as u64, seq, self.max_apply_micros);
+        if !d.is_zero() {
+            thread::sleep(d);
+        }
+    }
+}
+
+/// Configuration of a [`PipelinedEngine`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Capacity of every inter-stage queue. Small values couple the stages
+    /// tightly (depth 0 would degenerate to a rendezvous barrier); large values
+    /// let fast shards run far ahead at the cost of buffered memory and
+    /// watermark lag. Values are clamped to ≥ 1.
+    pub queue_depth: usize,
+    /// Batches fed through the pipeline before measurement starts (their
+    /// updates still apply; their latency is excluded).
+    pub warmup_batches: usize,
+    /// Whether the route stage coalesces batches first (on by default, matching
+    /// [`StreamDriver`]).
+    pub coalesce: bool,
+    /// Optional deterministic per-stage delays (tests only).
+    pub delays: Option<DelayInjection>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            queue_depth: 4,
+            warmup_batches: 0,
+            coalesce: true,
+            delays: None,
+        }
+    }
+}
+
+/// Pipeline-internal statistics of one [`PipelinedEngine::run`], surfaced by
+/// `stream_throughput --pipeline`.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Configured capacity of every inter-stage queue.
+    pub queue_depth: usize,
+    /// Number of shard apply workers.
+    pub shards: usize,
+    /// Sends that found the ingest → route queue full (the stream out-paced
+    /// routing and blocked).
+    pub ingest_backpressure: u64,
+    /// Sends that found a route → shard queue full (routing out-paced at least
+    /// one apply worker and blocked).
+    pub route_backpressure: u64,
+    /// Sends that found a shard → merge queue full (an apply worker out-paced
+    /// the merger and blocked).
+    pub apply_backpressure: u64,
+    /// Maximum, over all merged batches, of how many batches the
+    /// furthest-ahead shard had already completed beyond the batch being
+    /// merged — how out-of-order the shards actually ran.
+    pub max_watermark_lag: u64,
+    /// Per-shard apply time in seconds, indexed `[shard][batch]` over **all**
+    /// batches including warm-up (mirrors
+    /// [`crate::shard::ShardedSolution::per_shard_latencies`]).
+    pub per_shard_apply_latencies: Vec<Vec<f64>>,
+    /// `(posts, comments)` owned by each shard at the end of the run.
+    pub shard_sizes: Vec<(usize, usize)>,
+    /// Routing statistics accumulated by the route stage.
+    pub router: ShardRouterStats,
+}
+
+// ---------------------------------------------------------------------------
+// Channel payloads
+// ---------------------------------------------------------------------------
+
+struct IngestItem {
+    seq: u64,
+    enqueued: Instant,
+    batch: ChangeSet,
+}
+
+struct RoutedItem {
+    seq: u64,
+    enqueued: Instant,
+    ops: ChangeSet,
+}
+
+struct ApplyOutcome {
+    seq: u64,
+    enqueued: Instant,
+    /// Snapshot of the shard's top-k candidates *as of this batch* — the merger
+    /// must not read live evaluator state, which may already be batches ahead.
+    candidates: Vec<RankedEntry>,
+    had_removals: bool,
+    apply_secs: f64,
+}
+
+/// Send preferring the non-blocking path, counting the times the queue was full
+/// (the stage blocked — backpressure). A disconnected receiver means the
+/// downstream stage is gone (only possible after it drained everything it will
+/// ever emit), so the item is dropped.
+fn send_counting<T>(tx: &SyncSender<T>, item: T, blocked: &mut u64) {
+    match tx.try_send(item) {
+        Ok(()) => {}
+        Err(TrySendError::Full(item)) => {
+            *blocked += 1;
+            let _ = tx.send(item);
+        }
+        Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// Everything the merge stage accumulates, returned when its input closes.
+struct MergeOutput {
+    /// Merged result per batch, indexed by seq (warm-up included).
+    results: Vec<String>,
+    /// Ingest-enqueue instant per batch.
+    enqueued: Vec<Instant>,
+    /// Merge-completion instant per batch.
+    completed: Vec<Instant>,
+    max_watermark_lag: u64,
+    per_shard_apply: Vec<Vec<f64>>,
+}
+
+// ---------------------------------------------------------------------------
+// The pipelined engine
+// ---------------------------------------------------------------------------
+
+/// The staged ingestion engine described in the [module documentation](self):
+/// ingest → coalesce/route → N per-shard apply workers → watermark merge, all
+/// long-lived threads over bounded queues. Construct with any [`ShardFactory`];
+/// each call to [`IngestEngine::run`] builds a fresh router and fresh per-shard
+/// evaluators, so one engine value can measure many runs.
+pub struct PipelinedEngine {
+    factory: Box<dyn ShardFactory>,
+    shards: usize,
+    config: PipelineConfig,
+}
+
+impl PipelinedEngine {
+    /// Create a pipelined engine over `shards` shards of `factory`'s evaluators.
+    /// `shards == 0` is treated as 1.
+    pub fn new(factory: Box<dyn ShardFactory>, shards: usize, config: PipelineConfig) -> Self {
+        PipelinedEngine {
+            factory,
+            shards: shards.max(1),
+            config,
+        }
+    }
+
+    /// Convenience constructor for the GraphBLAS backends.
+    pub fn graphblas(
+        query: crate::model::Query,
+        backend: crate::shard::ShardBackend,
+        shards: usize,
+        config: PipelineConfig,
+    ) -> Self {
+        Self::new(
+            Box::new(crate::shard::GraphBlasShardFactory::new(query, backend)),
+            shards,
+            config,
+        )
+    }
+
+    /// The configured number of shard apply workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The merge stage: consume per-shard [`ApplyOutcome`]s strictly in batch
+    /// order — batch `t` is merged only once **all** shards delivered `t` (their
+    /// watermark passed `t`) — folding each batch's candidate union through
+    /// [`ShardMerger`]. Outcomes arriving early (a shard running ahead) are
+    /// buffered; the distance the furthest shard ran ahead is recorded as
+    /// watermark lag.
+    fn merge_stage(
+        mut merger: ShardMerger,
+        receivers: Vec<Receiver<ApplyOutcome>>,
+        shards: usize,
+    ) -> (MergeOutput, ShardMerger) {
+        let mut buffers: Vec<VecDeque<ApplyOutcome>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        let mut out = MergeOutput {
+            results: Vec::new(),
+            enqueued: Vec::new(),
+            completed: Vec::new(),
+            max_watermark_lag: 0,
+            per_shard_apply: vec![Vec::new(); shards],
+        };
+        'merge: for t in 0u64.. {
+            // Drain whatever every shard has already delivered, without
+            // blocking, so the watermark-lag measurement sees the true
+            // progress spread before we commit to waiting on stragglers.
+            for (buffer, rx) in buffers.iter_mut().zip(&receivers) {
+                while let Ok(outcome) = rx.try_recv() {
+                    buffer.push_back(outcome);
+                }
+            }
+            for (buffer, rx) in buffers.iter_mut().zip(&receivers) {
+                if buffer.is_empty() {
+                    match rx.recv() {
+                        Ok(outcome) => buffer.push_back(outcome),
+                        // Channel closed before batch t: the stream ended.
+                        // Workers emit one outcome per batch in seq order, so
+                        // every other shard's buffer holds at most stale
+                        // pre-close outcomes for batches that no longer exist.
+                        Err(_) => break 'merge,
+                    }
+                }
+            }
+            for (shard, buffer) in buffers.iter().enumerate() {
+                let delivered = buffer.back().expect("buffer non-empty").seq;
+                debug_assert_eq!(
+                    buffer.front().expect("buffer non-empty").seq,
+                    t,
+                    "shard {shard} delivered outcomes out of order"
+                );
+                out.max_watermark_lag = out.max_watermark_lag.max(delivered - t);
+            }
+            let outcomes: Vec<ApplyOutcome> = buffers
+                .iter_mut()
+                .map(|buffer| buffer.pop_front().expect("buffer non-empty"))
+                .collect();
+            let any_removals = outcomes.iter().any(|o| o.had_removals);
+            let union: Vec<RankedEntry> = outcomes
+                .iter()
+                .flat_map(|o| o.candidates.iter().copied())
+                .collect();
+            let result = merger.merge(union, any_removals);
+            for (shard, outcome) in outcomes.iter().enumerate() {
+                out.per_shard_apply[shard].push(outcome.apply_secs);
+            }
+            out.results.push(result);
+            out.enqueued.push(outcomes[0].enqueued);
+            out.completed.push(Instant::now());
+        }
+        (out, merger)
+    }
+}
+
+impl IngestEngine for PipelinedEngine {
+    fn name(&self) -> String {
+        format!(
+            "{} ({} shards, pipelined)",
+            self.factory.name(),
+            self.shards
+        )
+    }
+
+    fn run(
+        &mut self,
+        initial: &SocialNetwork,
+        stream: &mut dyn Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> EngineReport {
+        let shards = self.shards;
+        let depth = self.config.queue_depth.max(1);
+        let warmup = self.config.warmup_batches;
+        let total = warmup + batches;
+        let coalesce_on = self.config.coalesce;
+        let delays = &self.config.delays;
+        let factory = self.factory.as_ref();
+
+        // Load phase: the exact function the synchronous driver runs —
+        // partition, build the per-shard evaluators (rayon-parallel), seed the
+        // merge state — so the two engines cannot drift apart before batch 0.
+        let load_start = Instant::now();
+        let (router, evaluators, merger, initial_result) = load_shards(factory, initial, shards);
+        let load_secs = load_start.elapsed().as_secs_f64();
+
+        // Stage plumbing. One bounded queue per edge of the stage graph.
+        let (ingest_tx, ingest_rx) = sync_channel::<IngestItem>(depth);
+        let mut route_txs = Vec::with_capacity(shards);
+        let mut route_rxs = Vec::with_capacity(shards);
+        let mut out_txs = Vec::with_capacity(shards);
+        let mut out_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel::<RoutedItem>(depth);
+            route_txs.push(tx);
+            route_rxs.push(rx);
+            let (tx, rx) = sync_channel::<ApplyOutcome>(depth);
+            out_txs.push(tx);
+            out_rxs.push(rx);
+        }
+
+        let mut total_operations = 0usize;
+        let mut ingest_backpressure = 0u64;
+
+        let (merged, router, applied_operations, route_backpressure, worker_outputs) =
+            thread::scope(|scope| {
+                // Stage 2: coalesce + route. Owns the router (the only stage
+                // that needs its mutable replica/presence bookkeeping).
+                let route_handle = scope.spawn(move || {
+                    let mut router = router;
+                    let mut applied = 0usize;
+                    let mut blocked = 0u64;
+                    for IngestItem {
+                        seq,
+                        enqueued,
+                        batch,
+                    } in ingest_rx
+                    {
+                        if let Some(d) = delays {
+                            d.sleep_route(seq);
+                        }
+                        let batch = if coalesce_on { coalesce(&batch) } else { batch };
+                        if seq >= warmup as u64 {
+                            applied += batch.operations.len();
+                        }
+                        // Every shard receives an item for every seq (possibly
+                        // empty), which is what keeps the merger's watermark a
+                        // plain per-shard counter.
+                        for (tx, ops) in route_txs.iter().zip(router.route(&batch)) {
+                            send_counting(tx, RoutedItem { seq, enqueued, ops }, &mut blocked);
+                        }
+                    }
+                    (router, applied, blocked)
+                });
+
+                // Stage 3: one apply worker per shard; the evaluator moves in.
+                let worker_handles: Vec<_> = evaluators
+                    .into_iter()
+                    .zip(route_rxs)
+                    .zip(out_txs)
+                    .enumerate()
+                    .map(|(shard, ((mut evaluator, rx), tx))| {
+                        scope.spawn(move || {
+                            let mut blocked = 0u64;
+                            for RoutedItem { seq, enqueued, ops } in rx {
+                                if let Some(d) = delays {
+                                    d.sleep_apply(shard, seq);
+                                }
+                                let start = Instant::now();
+                                let had_removals = evaluator.apply(&ops);
+                                let apply_secs = start.elapsed().as_secs_f64();
+                                send_counting(
+                                    &tx,
+                                    ApplyOutcome {
+                                        seq,
+                                        enqueued,
+                                        candidates: evaluator.candidates().to_vec(),
+                                        had_removals,
+                                        apply_secs,
+                                    },
+                                    &mut blocked,
+                                );
+                            }
+                            (evaluator.owned_sizes(), blocked)
+                        })
+                    })
+                    .collect();
+
+                // Stage 4: watermark merge.
+                let merge_handle = scope.spawn(move || Self::merge_stage(merger, out_rxs, shards));
+
+                // Stage 1 (this thread): ingest — pull, stamp seq, enqueue.
+                for item in sequenced(stream.take(total)) {
+                    if item.seq >= warmup as u64 {
+                        total_operations += item.batch.operations.len();
+                    }
+                    send_counting(
+                        &ingest_tx,
+                        IngestItem {
+                            seq: item.seq,
+                            enqueued: Instant::now(),
+                            batch: item.batch,
+                        },
+                        &mut ingest_backpressure,
+                    );
+                }
+                drop(ingest_tx); // close the pipe; stages drain and exit in turn
+
+                let (router, applied, route_blocked) =
+                    route_handle.join().expect("route stage panicked");
+                let worker_outputs: Vec<((usize, usize), u64)> = worker_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("apply worker panicked"))
+                    .collect();
+                let (merged, _merger) = merge_handle.join().expect("merge stage panicked");
+                (merged, router, applied, route_blocked, worker_outputs)
+            });
+
+        // Assemble the report from the merged timeline.
+        let measured = merged.results.len().saturating_sub(warmup);
+        let results: Vec<String> = merged.results.iter().skip(warmup).cloned().collect();
+        let mut latencies: Vec<f64> = (warmup..merged.results.len())
+            .map(|i| (merged.completed[i] - merged.enqueued[i]).as_secs_f64())
+            .collect();
+        // Wall-clock of the measured window: from "warm-up results done" (or
+        // the first enqueue when there is no warm-up) to the last merge.
+        let elapsed_secs = match (merged.completed.last(), measured) {
+            (Some(&end), m) if m > 0 => {
+                let start = if warmup > 0 {
+                    merged.completed[warmup - 1]
+                } else {
+                    merged.enqueued[0]
+                };
+                (end - start).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let stream_report = StreamReport {
+            solution: self.name(),
+            batches: measured,
+            total_operations,
+            applied_operations,
+            elapsed_secs,
+            updates_per_sec: if elapsed_secs > 0.0 {
+                total_operations as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            p50_latency_secs: percentile(&latencies, 50.0),
+            p90_latency_secs: percentile(&latencies, 90.0),
+            p99_latency_secs: percentile(&latencies, 99.0),
+            max_latency_secs: latencies.last().copied().unwrap_or(0.0),
+            load_secs,
+            // the stream may end inside the warm-up window: those batches were
+            // still applied, so the last *merged* result (not the pre-stream
+            // initial one) is the true end state — matching SyncEngine
+            final_result: merged.results.last().cloned().unwrap_or(initial_result),
+        };
+        let stats = PipelineStats {
+            queue_depth: depth,
+            shards,
+            ingest_backpressure,
+            route_backpressure,
+            apply_backpressure: worker_outputs.iter().map(|&(_, blocked)| blocked).sum(),
+            max_watermark_lag: merged.max_watermark_lag,
+            per_shard_apply_latencies: merged.per_shard_apply,
+            shard_sizes: worker_outputs.iter().map(|&(sizes, _)| sizes).collect(),
+            router: router.stats(),
+        };
+        EngineReport {
+            stream: stream_report,
+            results,
+            pipeline: Some(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Query;
+    use crate::shard::{ShardBackend, ShardedSolution};
+    use datagen::stream::{StreamConfig, UpdateStream};
+    use datagen::{generate_workload, GeneratorConfig};
+
+    fn network(seed: u64) -> SocialNetwork {
+        generate_workload(&GeneratorConfig::tiny(seed)).initial
+    }
+
+    fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+        UpdateStream::new(
+            network,
+            StreamConfig {
+                seed,
+                batch_size: 12,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(count)
+        .collect()
+    }
+
+    fn run_pipelined(
+        network: &SocialNetwork,
+        batches: &[ChangeSet],
+        shards: usize,
+        config: PipelineConfig,
+    ) -> EngineReport {
+        let mut engine =
+            PipelinedEngine::graphblas(Query::Q2, ShardBackend::Incremental, shards, config);
+        let mut stream = batches.iter().cloned();
+        engine.run(network, &mut stream, batches.len())
+    }
+
+    #[test]
+    fn pipelined_results_match_the_sync_engine_per_batch() {
+        let network = network(51);
+        let batches = batches(&network, 0x51de, 12);
+        let mut sync = SyncEngine::new(
+            StreamDriver::default(),
+            Box::new(ShardedSolution::new(
+                Query::Q2,
+                ShardBackend::Incremental,
+                3,
+            )),
+        );
+        let mut stream = batches.iter().cloned();
+        let expected = sync.run(&network, &mut stream, batches.len());
+        let got = run_pipelined(&network, &batches, 3, PipelineConfig::default());
+        assert_eq!(got.results, expected.results);
+        assert_eq!(
+            got.stream.final_result, expected.stream.final_result,
+            "final results diverged"
+        );
+        assert_eq!(got.stream.batches, batches.len());
+        assert_eq!(
+            got.stream.total_operations,
+            expected.stream.total_operations
+        );
+        assert_eq!(
+            got.stream.applied_operations,
+            expected.stream.applied_operations
+        );
+    }
+
+    #[test]
+    fn injected_delays_do_not_change_results() {
+        let network = network(53);
+        let batches = batches(&network, 0xde1a, 8);
+        let plain = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let delayed = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                queue_depth: 2,
+                delays: Some(DelayInjection {
+                    seed: 7,
+                    max_route_micros: 200,
+                    max_apply_micros: 800,
+                }),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(plain.results, delayed.results);
+    }
+
+    #[test]
+    fn warmup_batches_are_applied_but_not_measured() {
+        let network = network(57);
+        let all = batches(&network, 0xaa, 10);
+        let mut engine = PipelinedEngine::graphblas(
+            Query::Q1,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                warmup_batches: 4,
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = all.iter().cloned();
+        let report = engine.run(&network, &mut stream, 6);
+        assert_eq!(report.stream.batches, 6);
+        assert_eq!(report.results.len(), 6);
+        // end state must equal replaying all 10 batches synchronously
+        let mut reference = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2);
+        let mut last = reference.load_and_initial(&network);
+        for batch in &all {
+            last = reference.update_and_reevaluate(&coalesce(batch));
+        }
+        assert_eq!(report.stream.final_result, last);
+    }
+
+    #[test]
+    fn stats_report_the_stage_graph() {
+        let network = network(59);
+        let batches = batches(&network, 0xbb, 6);
+        let report = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                queue_depth: 3,
+                ..PipelineConfig::default()
+            },
+        );
+        let stats = report.pipeline.expect("pipelined engines report stats");
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.per_shard_apply_latencies.len(), 2);
+        for lane in &stats.per_shard_apply_latencies {
+            assert_eq!(lane.len(), batches.len());
+        }
+        assert_eq!(stats.shard_sizes.len(), 2);
+        assert!(stats.router.routed_operations > 0);
+        // a shard can run ahead by at most the items parked in its route queue,
+        // its out queue, the merger's drain buffer (≤ depth), and one in flight
+        assert!(
+            stats.max_watermark_lag <= 3 * 3 + 1,
+            "watermark lag {} not bounded by the queue depths",
+            stats.max_watermark_lag
+        );
+    }
+
+    #[test]
+    fn short_streams_end_the_pipeline_cleanly() {
+        let network = network(61);
+        let batches = batches(&network, 0xcc, 3);
+        let mut engine = PipelinedEngine::graphblas(
+            Query::Q2,
+            ShardBackend::IncrementalCc,
+            2,
+            PipelineConfig::default(),
+        );
+        // ask for more batches than the stream yields
+        let mut stream = batches.iter().cloned();
+        let report = engine.run(&network, &mut stream, 10);
+        assert_eq!(report.stream.batches, 3);
+        assert_eq!(report.results.len(), 3);
+
+        // and the degenerate empty stream
+        let mut empty = std::iter::empty();
+        let report = engine.run(&network, &mut empty, 5);
+        assert_eq!(report.stream.batches, 0);
+        assert!(report.results.is_empty());
+        assert!(!report.stream.final_result.is_empty()); // the initial result
+    }
+
+    #[test]
+    fn stream_ending_inside_the_warmup_window_still_reports_the_applied_state() {
+        // regression: warm-up batches mutate shard state even when the stream
+        // ends before measurement starts, so final_result must be the last
+        // *merged* result, not the pre-stream initial one
+        let network = network(63);
+        let all = batches(&network, 0xdd, 2);
+        let mut engine = PipelinedEngine::graphblas(
+            Query::Q2,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                warmup_batches: 4, // more warm-up than the stream yields
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = all.iter().cloned();
+        let report = engine.run(&network, &mut stream, 6);
+        assert_eq!(report.stream.batches, 0);
+        assert!(report.results.is_empty());
+        let mut reference = ShardedSolution::new(Query::Q2, ShardBackend::Incremental, 2);
+        let mut last = reference.load_and_initial(&network);
+        for batch in &all {
+            last = reference.update_and_reevaluate(&coalesce(batch));
+        }
+        assert_eq!(report.stream.final_result, last);
+    }
+
+    #[test]
+    fn engine_names_identify_the_configuration() {
+        let engine = PipelinedEngine::graphblas(
+            Query::Q1,
+            ShardBackend::Incremental,
+            4,
+            PipelineConfig::default(),
+        );
+        assert_eq!(
+            engine.name(),
+            "GraphBLAS Sharded Incremental (4 shards, pipelined)"
+        );
+        assert_eq!(engine.shard_count(), 4);
+        // zero shards degrades to one
+        assert_eq!(
+            PipelinedEngine::graphblas(
+                Query::Q1,
+                ShardBackend::Batch,
+                0,
+                PipelineConfig::default()
+            )
+            .shard_count(),
+            1
+        );
+    }
+}

@@ -35,6 +35,14 @@
 //! [`ShardedSolution`] implements [`Solution`], so the existing stream driver,
 //! differential tests and benchmark binaries drive it unchanged; per-shard
 //! latency samples are recorded for the `stream_throughput --shards N` report.
+//!
+//! The phases are exposed as stage-callable pieces rather than one monolithic
+//! apply: [`ShardRouter`] (route), [`ShardEvaluator`] / [`ShardFactory`]
+//! (pluggable per-shard apply — GraphBLAS here, the NMF dependency-record
+//! baseline in `nmf_baseline::shard`), and [`ShardMerger`] (the cross-shard
+//! top-k policy). [`ShardedSolution`] composes them synchronously with a
+//! barrier per batch; [`crate::pipeline::PipelinedEngine`] composes the same
+//! pieces asynchronously over bounded queues with a watermark merge.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -287,7 +295,7 @@ impl ShardRouter {
 }
 
 // ---------------------------------------------------------------------------
-// Per-shard state
+// Per-shard evaluators
 // ---------------------------------------------------------------------------
 
 /// The query backend every shard runs.
@@ -303,6 +311,95 @@ pub enum ShardBackend {
     IncrementalCc,
 }
 
+/// One shard's slice of the query state, behind the stage-callable interface the
+/// apply phase of both ingestion engines drives: the synchronous barrier driver
+/// ([`ShardedSolution`]) applies every shard in lock-step per batch, the staged
+/// pipeline ([`crate::pipeline::PipelinedEngine`]) moves each evaluator into its
+/// own long-lived worker thread.
+///
+/// The `Send` supertrait is what lets an evaluator migrate into a worker thread;
+/// implementations must not share mutable state across shards (the whole point
+/// of the partition is that they cannot).
+pub trait ShardEvaluator: Send {
+    /// Apply one routed changeset and refresh this shard's candidates. Returns
+    /// whether the changeset retracted an edge of this shard — in which case the
+    /// cross-shard merge must rebuild rather than merge (see [`ShardMerger`]).
+    fn apply(&mut self, changeset: &ChangeSet) -> bool;
+
+    /// Current top-k candidates of this shard, best first, with **exact global
+    /// scores** (ownership is a partition, so no score is split across shards).
+    fn candidates(&self) -> &[RankedEntry];
+
+    /// `(posts, comments)` owned by this shard, for balance/skew inspection.
+    fn owned_sizes(&self) -> (usize, usize);
+}
+
+/// Builds one [`ShardEvaluator`] per shard sub-network (as produced by
+/// [`ShardRouter::split_initial`]). `Send + Sync` so the per-shard builds can
+/// run on the rayon pool and the factory can be shared with stage threads.
+pub trait ShardFactory: Send + Sync {
+    /// Build the evaluator over one shard's sub-network, initial candidates
+    /// included.
+    fn build(&self, part: &SocialNetwork) -> Box<dyn ShardEvaluator>;
+
+    /// Which query the evaluators answer.
+    fn query(&self) -> Query;
+
+    /// Base display name without the shard count, e.g.
+    /// `"GraphBLAS Sharded Incremental"`.
+    fn name(&self) -> String;
+}
+
+/// The [`ShardFactory`] of the GraphBLAS backends: each shard runs an unmodified
+/// single-shard evaluator ([`Q1Incremental`], [`Q2Incremental`],
+/// [`Q2IncrementalCc`], or batch recompute) over its own sub-graph.
+#[derive(Copy, Clone, Debug)]
+pub struct GraphBlasShardFactory {
+    query: Query,
+    backend: ShardBackend,
+    /// Per-shard kernels stay serial: the pipeline's parallelism is *across*
+    /// shards, and nesting rayon pools would oversubscribe the workers.
+    parallel_kernels: bool,
+    k: usize,
+}
+
+impl GraphBlasShardFactory {
+    /// Create a factory for `query` with the given per-shard `backend`.
+    pub fn new(query: Query, backend: ShardBackend) -> Self {
+        GraphBlasShardFactory {
+            query,
+            backend,
+            parallel_kernels: false,
+            k: TOP_K,
+        }
+    }
+}
+
+impl ShardFactory for GraphBlasShardFactory {
+    fn build(&self, part: &SocialNetwork) -> Box<dyn ShardEvaluator> {
+        Box::new(Shard::new(
+            part,
+            self.query,
+            self.backend,
+            self.parallel_kernels,
+            self.k,
+        ))
+    }
+
+    fn query(&self) -> Query {
+        self.query
+    }
+
+    fn name(&self) -> String {
+        let backend = match self.backend {
+            ShardBackend::Batch => "Batch",
+            ShardBackend::Incremental => "Incremental",
+            ShardBackend::IncrementalCc => "Incremental CC",
+        };
+        format!("GraphBLAS Sharded {backend}")
+    }
+}
+
 enum ShardState {
     Batch(Query),
     Q1(Q1Incremental),
@@ -313,6 +410,8 @@ enum ShardState {
 struct Shard {
     graph: SocialGraph,
     state: ShardState,
+    parallel_kernels: bool,
+    k: usize,
     /// Current top-k candidates of this shard, best first, with exact scores.
     candidates: Vec<RankedEntry>,
 }
@@ -357,22 +456,30 @@ impl Shard {
         Shard {
             graph,
             state,
+            parallel_kernels,
+            k,
             candidates,
         }
     }
+}
 
+impl ShardEvaluator for Shard {
     /// Apply one routed changeset and refresh the shard's candidates. Returns
     /// whether the changeset retracted any edge of this shard (in which case the
     /// cross-shard merge must rebuild rather than merge).
-    fn apply(&mut self, changeset: &ChangeSet, parallel_kernels: bool, k: usize) -> bool {
+    fn apply(&mut self, changeset: &ChangeSet) -> bool {
         if changeset.operations.is_empty() {
             return false;
         }
         let delta = apply_changeset(&mut self.graph, changeset);
         let had_removals = delta.has_removals();
         self.candidates = match &mut self.state {
-            ShardState::Batch(Query::Q1) => q1_batch_ranked(&self.graph, parallel_kernels, k),
-            ShardState::Batch(Query::Q2) => q2_batch_ranked(&self.graph, parallel_kernels, k),
+            ShardState::Batch(Query::Q1) => {
+                q1_batch_ranked(&self.graph, self.parallel_kernels, self.k)
+            }
+            ShardState::Batch(Query::Q2) => {
+                q2_batch_ranked(&self.graph, self.parallel_kernels, self.k)
+            }
             ShardState::Q1(q1) => {
                 q1.update(&self.graph, &delta);
                 q1.candidates().to_vec()
@@ -388,25 +495,112 @@ impl Shard {
         };
         had_removals
     }
+
+    fn candidates(&self) -> &[RankedEntry] {
+        &self.candidates
+    }
+
+    fn owned_sizes(&self) -> (usize, usize) {
+        (self.graph.post_count(), self.graph.comment_count())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard merge
+// ---------------------------------------------------------------------------
+
+/// The cross-shard top-k merge policy, factored out so the synchronous barrier
+/// driver and the pipelined engine's watermark merger apply the *same* rule:
+///
+/// * **Monotone batch** (no shard reported an effective retraction):
+///   [`TopKTracker::merge_changes`] over the union of the per-shard candidate
+///   lists. Exact because scores only grew — any stale global entry is outranked
+///   by its shard's `k` fresh candidates.
+/// * **Batch with retractions**: a retraction may have pushed a submission out
+///   of some shard's candidates entirely, so stale global entries must not
+///   survive; the tracker is rebuilt from the union. Exact because ownership is
+///   a partition: a submission in the true global top-k is in its own shard's
+///   exactly-maintained top-k, hence in the union.
+///
+/// See `DESIGN.md` §5.3 for the full correctness argument.
+#[derive(Clone, Debug)]
+pub struct ShardMerger {
+    tracker: TopKTracker,
+}
+
+impl ShardMerger {
+    /// Create a merger maintaining the global top `k`.
+    pub fn new(k: usize) -> Self {
+        ShardMerger {
+            tracker: TopKTracker::new(k),
+        }
+    }
+
+    /// Fold one batch's union of per-shard candidates into the global top-k and
+    /// return the rendered result. `any_removals` selects the policy above.
+    pub fn merge(&mut self, union: Vec<RankedEntry>, any_removals: bool) -> String {
+        if any_removals {
+            self.tracker.rebuild(union);
+        } else {
+            self.tracker.merge_changes(union);
+        }
+        self.tracker.format()
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Sharded solution
 // ---------------------------------------------------------------------------
 
+/// The load phase both sharded engines share: partition `network` across
+/// `shards`, build one evaluator per shard (rayon-parallel), and fold the
+/// initial per-shard candidates through a fresh [`ShardMerger`]. Returns the
+/// router, the evaluators, the merger (already holding the initial global
+/// state), and the initial result.
+///
+/// The synchronous [`ShardedSolution`] and the pipelined engine
+/// ([`crate::pipeline::PipelinedEngine`]) both start from this one function —
+/// the byte-identity the differential tests guarantee depends on the two
+/// engines never drifting apart in how they partition, build, or seed the
+/// merge state.
+pub fn load_shards(
+    factory: &dyn ShardFactory,
+    network: &SocialNetwork,
+    shards: usize,
+) -> (
+    ShardRouter,
+    Vec<Box<dyn ShardEvaluator>>,
+    ShardMerger,
+    String,
+) {
+    let router = ShardRouter::new(network, shards.max(1));
+    let parts = router.split_initial(network);
+    let evaluators: Vec<Box<dyn ShardEvaluator>> = parts
+        .into_par_iter()
+        .map(|part| factory.build(&part))
+        .collect();
+    let mut merger = ShardMerger::new(TOP_K);
+    let union: Vec<RankedEntry> = evaluators
+        .iter()
+        .flat_map(|e| e.candidates().iter().copied())
+        .collect();
+    let initial = merger.merge(union, true);
+    (router, evaluators, merger, initial)
+}
+
 /// A [`Solution`] that partitions the graph across `N` shards and processes every
-/// micro-batch as a pipeline: route → per-shard apply + recompute (rayon-parallel
-/// across shards) → cross-shard top-k merge. See the [module
-/// documentation](self).
+/// micro-batch as a synchronous barrier pipeline: route → per-shard apply +
+/// recompute (rayon-parallel across shards) → cross-shard top-k merge. The
+/// per-shard backend is pluggable via [`ShardFactory`] — [`ShardedSolution::new`]
+/// wires the GraphBLAS backends, `nmf_baseline` supplies the NMF dependency-record
+/// evaluator — and the asynchronous counterpart that overlaps batches across the
+/// same pieces lives in [`crate::pipeline`]. See the [module documentation](self).
 pub struct ShardedSolution {
-    query: Query,
-    backend: ShardBackend,
+    factory: Box<dyn ShardFactory>,
     shard_count: usize,
-    parallel_kernels: bool,
-    k: usize,
     router: Option<ShardRouter>,
-    shards: Vec<Shard>,
-    tracker: TopKTracker,
+    shards: Vec<Box<dyn ShardEvaluator>>,
+    merger: ShardMerger,
     /// Per-shard per-batch update latencies (seconds), recorded by
     /// [`Solution::update_and_reevaluate`] for the benchmark report.
     per_shard_latencies: Vec<Vec<f64>>,
@@ -414,19 +608,22 @@ pub struct ShardedSolution {
 
 impl ShardedSolution {
     /// Create a sharded solution answering `query` on `shards` shards with the
-    /// given per-shard `backend`. Per-shard kernels stay serial: the pipeline's
-    /// parallelism is *across* shards, and nesting rayon pools would
+    /// given per-shard GraphBLAS `backend`. Per-shard kernels stay serial: the
+    /// pipeline's parallelism is *across* shards, and nesting rayon pools would
     /// oversubscribe the workers.
     pub fn new(query: Query, backend: ShardBackend, shards: usize) -> Self {
+        Self::with_factory(Box::new(GraphBlasShardFactory::new(query, backend)), shards)
+    }
+
+    /// Create a sharded solution over an arbitrary per-shard backend.
+    /// `shards == 0` is treated as 1.
+    pub fn with_factory(factory: Box<dyn ShardFactory>, shards: usize) -> Self {
         ShardedSolution {
-            query,
-            backend,
+            factory,
             shard_count: shards.max(1),
-            parallel_kernels: false,
-            k: TOP_K,
             router: None,
             shards: Vec::new(),
-            tracker: TopKTracker::new(TOP_K),
+            merger: ShardMerger::new(TOP_K),
             per_shard_latencies: Vec::new(),
         }
     }
@@ -448,60 +645,36 @@ impl ShardedSolution {
 
     /// Number of (posts, comments) owned by each shard, for balance inspection.
     pub fn shard_sizes(&self) -> Vec<(usize, usize)> {
-        self.shards
-            .iter()
-            .map(|s| (s.graph.post_count(), s.graph.comment_count()))
-            .collect()
+        self.shards.iter().map(|s| s.owned_sizes()).collect()
     }
 
     fn merge(&mut self, any_removals: bool) -> String {
         let union: Vec<RankedEntry> = self
             .shards
             .iter()
-            .flat_map(|shard| shard.candidates.iter().copied())
+            .flat_map(|shard| shard.candidates().iter().copied())
             .collect();
-        if any_removals {
-            // a retraction may have pushed a submission out of some shard's
-            // candidates entirely; stale global entries must not survive
-            self.tracker.rebuild(union);
-        } else {
-            // monotone batch: merging the per-shard candidates is exact (any
-            // stale global entry is outranked by its shard's k fresh candidates)
-            self.tracker.merge_changes(union);
-        }
-        self.tracker.format()
+        self.merger.merge(union, any_removals)
     }
 }
 
 impl Solution for ShardedSolution {
     fn name(&self) -> String {
-        let backend = match self.backend {
-            ShardBackend::Batch => "Batch",
-            ShardBackend::Incremental => "Incremental",
-            ShardBackend::IncrementalCc => "Incremental CC",
-        };
-        format!("GraphBLAS Sharded {backend} ({} shards)", self.shard_count)
+        format!("{} ({} shards)", self.factory.name(), self.shard_count)
     }
 
     fn query(&self) -> Query {
-        self.query
+        self.factory.query()
     }
 
     fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
-        let router = ShardRouter::new(network, self.shard_count);
-        let parts = router.split_initial(network);
-        let query = self.query;
-        let backend = self.backend;
-        let parallel_kernels = self.parallel_kernels;
-        let k = self.k;
-        self.shards = parts
-            .into_par_iter()
-            .map(|part| Shard::new(&part, query, backend, parallel_kernels, k))
-            .collect();
+        let (router, shards, merger, initial) =
+            load_shards(self.factory.as_ref(), network, self.shard_count);
         self.router = Some(router);
+        self.shards = shards;
+        self.merger = merger;
         self.per_shard_latencies = vec![Vec::new(); self.shard_count];
-        self.tracker = TopKTracker::new(self.k);
-        self.merge(true)
+        initial
     }
 
     fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String {
@@ -510,14 +683,13 @@ impl Solution for ShardedSolution {
             .as_mut()
             .expect("load_and_initial must run before updates");
         let routed = router.route(changeset);
-        let parallel_kernels = self.parallel_kernels;
-        let k = self.k;
-        let tasks: Vec<(&mut Shard, ChangeSet)> = self.shards.iter_mut().zip(routed).collect();
+        let tasks: Vec<(&mut Box<dyn ShardEvaluator>, ChangeSet)> =
+            self.shards.iter_mut().zip(routed).collect();
         let outcomes: Vec<(bool, f64)> = tasks
             .into_par_iter()
             .map(|(shard, ops)| {
                 let start = Instant::now();
-                let had_removals = shard.apply(&ops, parallel_kernels, k);
+                let had_removals = shard.apply(&ops);
                 (had_removals, start.elapsed().as_secs_f64())
             })
             .collect();

@@ -7,8 +7,11 @@
 //! edge wins — an add cancels a pending retraction of the same edge and vice
 //! versa), feeds it through any [`Solution`], and records per-batch latency. The
 //! resulting [`StreamReport`] carries the p50/p90/p99/max latency and the sustained
-//! updates/second — the numbers every future scaling experiment (sharding, async
-//! ingestion, alternative backends) is benchmarked against.
+//! updates/second — the numbers every scaling experiment (sharding, async
+//! ingestion, alternative backends) is benchmarked against. This driver is the
+//! synchronous engine; its staged asynchronous counterpart (bounded queues,
+//! watermark merge) lives in [`crate::pipeline`], with both behind
+//! [`crate::pipeline::IngestEngine`].
 //!
 //! Parallelism follows the measured solution: a parallel solution variant re-scores
 //! its affected sets with the `graphblas::ops::par` kernels on the ambient rayon
@@ -221,9 +224,23 @@ impl StreamDriver {
         &self,
         solution: &mut dyn Solution,
         initial: &SocialNetwork,
-        mut stream: impl Iterator<Item = ChangeSet>,
+        stream: impl Iterator<Item = ChangeSet>,
         batches: usize,
     ) -> StreamReport {
+        self.run_with_results(solution, initial, stream, batches).0
+    }
+
+    /// Like [`StreamDriver::run`], but additionally collect the query result of
+    /// **every measured batch** (warm-up excluded), in batch order. This is the
+    /// reusable synchronous core the pipelined engine is differentially tested
+    /// against: byte-identical per-batch results, not just the final one.
+    pub fn run_with_results(
+        &self,
+        solution: &mut dyn Solution,
+        initial: &SocialNetwork,
+        mut stream: impl Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> (StreamReport, Vec<String>) {
         let load_start = Instant::now();
         let mut result = solution.load_and_initial(initial);
         let load_secs = load_start.elapsed().as_secs_f64();
@@ -240,6 +257,7 @@ impl StreamDriver {
         }
 
         let mut latencies = Vec::with_capacity(batches);
+        let mut results = Vec::with_capacity(batches);
         let mut total_operations = 0usize;
         let mut applied_operations = 0usize;
         let mut measured = 0usize;
@@ -254,13 +272,14 @@ impl StreamDriver {
             let start = Instant::now();
             result = solution.update_and_reevaluate(&batch);
             latencies.push(start.elapsed().as_secs_f64());
+            results.push(result.clone());
             measured += 1;
         }
 
         let elapsed_secs: f64 = latencies.iter().sum();
         let mut sorted = latencies;
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        StreamReport {
+        let report = StreamReport {
             solution: solution.name(),
             batches: measured,
             total_operations,
@@ -277,7 +296,8 @@ impl StreamDriver {
             max_latency_secs: sorted.last().copied().unwrap_or(0.0),
             load_secs,
             final_result: result,
-        }
+        };
+        (report, results)
     }
 }
 

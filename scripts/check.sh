@@ -33,6 +33,9 @@ cargo run --release -p bench --bin stream_throughput -- --smoke > /dev/null
 echo "==> stream_throughput --smoke --shards 2 (sharded pipeline smoke)"
 cargo run --release -p bench --bin stream_throughput -- --smoke --shards 2 > /dev/null
 
+echo "==> stream_throughput --smoke --pipeline (staged async pipeline smoke)"
+cargo run --release -p bench --bin stream_throughput -- --smoke --pipeline > /dev/null
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

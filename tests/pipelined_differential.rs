@@ -1,0 +1,357 @@
+//! Differential tests of the staged asynchronous ingestion pipeline (the ISSUE 4
+//! acceptance gate): for shards ∈ {1, 2, 4}, the pipelined engine must produce
+//! **byte-identical per-batch** Q1/Q2 top-3 outputs to the synchronous barrier
+//! driver on retraction-heavy sf1 streams — including under injected per-stage
+//! delays that force shards to complete batches out of order — plus a proptest
+//! that adversarially permutes shard completion order on operation soups mixing
+//! adds and retracts of the same edge within one batch.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{
+    generate_scale_factor, ChangeOperation, ChangeSet, Comment, SocialNetwork,
+};
+use ttc2018_graphblas::nmf_baseline::NmfShardFactory;
+use ttc2018_graphblas::ttc_social_media::graph::paper_example_network;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::pipeline::{
+    DelayInjection, IngestEngine, PipelineConfig, PipelinedEngine, SyncEngine,
+};
+use ttc2018_graphblas::ttc_social_media::shard::{ShardBackend, ShardFactory, ShardedSolution};
+use ttc2018_graphblas::ttc_social_media::stream::StreamDriver;
+use ttc2018_graphblas::ttc_social_media::GraphBlasIncremental;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn sf1_network() -> SocialNetwork {
+    generate_scale_factor(1).initial
+}
+
+/// A retraction-heavy micro-batch stream over the sf1 network (30% deletions),
+/// the regime where the watermark merge must pick the rebuild path.
+fn batches(network: &SocialNetwork, seed: u64, shards: usize, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 64,
+            deletion_weight: 0.3,
+            shards,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// Per-batch results of the synchronous barrier driver over a sharded solution.
+fn run_sync(
+    solution: ShardedSolution,
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+) -> Vec<String> {
+    let mut engine = SyncEngine::new(StreamDriver::default(), Box::new(solution));
+    let mut stream = batches.iter().cloned();
+    engine.run(network, &mut stream, batches.len()).results
+}
+
+/// Per-batch results of the pipelined engine.
+fn run_pipelined(
+    factory: Box<dyn ShardFactory>,
+    shards: usize,
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+    delays: Option<DelayInjection>,
+) -> Vec<String> {
+    let mut engine = PipelinedEngine::new(
+        factory,
+        shards,
+        PipelineConfig {
+            delays,
+            ..PipelineConfig::default()
+        },
+    );
+    let mut stream = batches.iter().cloned();
+    engine.run(network, &mut stream, batches.len()).results
+}
+
+fn graphblas_factory(query: Query, backend: ShardBackend) -> Box<dyn ShardFactory> {
+    Box::new(ttc2018_graphblas::ttc_social_media::GraphBlasShardFactory::new(query, backend))
+}
+
+/// The acceptance gate: pipelined == synchronous barrier driver, per batch and
+/// byte for byte, for shards ∈ {1, 2, 4} on a retraction-heavy sf1 stream —
+/// anchored against the plain unsharded incremental driver as well.
+#[test]
+fn pipelined_outputs_are_byte_identical_to_the_barrier_driver() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x9e4d, 4, 12);
+    for query in [Query::Q1, Query::Q2] {
+        let mut unsharded = SyncEngine::new(
+            StreamDriver::default(),
+            Box::new(GraphBlasIncremental::new(query, false)),
+        );
+        let mut stream = batches.iter().cloned();
+        let anchor = unsharded.run(&network, &mut stream, batches.len()).results;
+        for &shards in &SHARD_COUNTS {
+            let sync = run_sync(
+                ShardedSolution::new(query, ShardBackend::Incremental, shards),
+                &network,
+                &batches,
+            );
+            assert_eq!(
+                sync, anchor,
+                "sync barrier driver diverged from unsharded at {query:?}/{shards} shards"
+            );
+            let pipelined = run_pipelined(
+                graphblas_factory(query, ShardBackend::Incremental),
+                shards,
+                &network,
+                &batches,
+                None,
+            );
+            assert_eq!(
+                pipelined, sync,
+                "pipelined diverged from barrier driver at {query:?}/{shards} shards"
+            );
+        }
+    }
+}
+
+/// Same gate under injected per-stage delays: routing stalls and per-shard
+/// apply stalls force out-of-order shard completion, which the watermark merge
+/// must absorb without changing a single byte.
+#[test]
+fn pipelined_outputs_survive_injected_stage_delays() {
+    let network = sf1_network();
+    let batches = batches(&network, 0xde1a7, 4, 10);
+    for query in [Query::Q1, Query::Q2] {
+        let sync = run_sync(
+            ShardedSolution::new(query, ShardBackend::Incremental, 4),
+            &network,
+            &batches,
+        );
+        for delay_seed in [1u64, 2, 3] {
+            let pipelined = run_pipelined(
+                graphblas_factory(query, ShardBackend::Incremental),
+                4,
+                &network,
+                &batches,
+                Some(DelayInjection {
+                    seed: delay_seed,
+                    max_route_micros: 300,
+                    max_apply_micros: 1500,
+                }),
+            );
+            assert_eq!(
+                pipelined, sync,
+                "delay seed {delay_seed} changed {query:?} output"
+            );
+        }
+    }
+}
+
+/// The other shard backends ride the same stage graph: incremental-CC (Q2) and
+/// the NMF dependency-record baseline must be pipeline-invariant too.
+#[test]
+fn alternative_backends_are_pipeline_invariant() {
+    let network = sf1_network();
+    let batches = batches(&network, 0xbac4e, 2, 8);
+    let delays = Some(DelayInjection {
+        seed: 9,
+        max_route_micros: 200,
+        max_apply_micros: 800,
+    });
+    let sync_cc = run_sync(
+        ShardedSolution::new(Query::Q2, ShardBackend::IncrementalCc, 2),
+        &network,
+        &batches,
+    );
+    let pipelined_cc = run_pipelined(
+        graphblas_factory(Query::Q2, ShardBackend::IncrementalCc),
+        2,
+        &network,
+        &batches,
+        delays.clone(),
+    );
+    assert_eq!(
+        pipelined_cc, sync_cc,
+        "incremental-CC diverged under the pipeline"
+    );
+
+    for query in [Query::Q1, Query::Q2] {
+        let sync_nmf = run_sync(
+            ShardedSolution::with_factory(Box::new(NmfShardFactory::new(query)), 2),
+            &network,
+            &batches,
+        );
+        let pipelined_nmf = run_pipelined(
+            Box::new(NmfShardFactory::new(query)),
+            2,
+            &network,
+            &batches,
+            delays.clone(),
+        );
+        assert_eq!(
+            pipelined_nmf, sync_nmf,
+            "NMF sharded baseline diverged under the pipeline at {query:?}"
+        );
+        // and both agree with the GraphBLAS pipeline on the same stream
+        let pipelined_gb = run_pipelined(
+            graphblas_factory(query, ShardBackend::Incremental),
+            2,
+            &network,
+            &batches,
+            None,
+        );
+        assert_eq!(pipelined_nmf, pipelined_gb, "NMF vs GraphBLAS at {query:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watermark-merge ordering proptest
+// ---------------------------------------------------------------------------
+
+const USERS: [u64; 4] = [101, 102, 103, 104];
+const COMMENTS: [u64; 3] = [11, 12, 13];
+const POSTS: [u64; 2] = [1, 2];
+
+/// Compact encoding of one operation, decoded in [`materialize`] — the same
+/// scheme as `coalesce_proptest`, biased so add/retract pairs of the *same*
+/// edge land in one batch (the small id pools make collisions the common case).
+fn op_strategy() -> impl Strategy<Value = (u8, usize, usize)> {
+    (0u8..6, 0usize..4, 0usize..4)
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    prop::collection::vec(op_strategy(), 1..30)
+}
+
+/// Decode an encoded batch against the paper-example network, threading fresh
+/// comment ids across the batches of one test case.
+fn materialize(encoded: &[(u8, usize, usize)], next_id: &mut u64) -> ChangeSet {
+    let mut new_comments: Vec<u64> = Vec::new();
+    let mut root_of: std::collections::HashMap<u64, u64> =
+        [(11, 1), (12, 1), (13, 2)].into_iter().collect();
+    let operations = encoded
+        .iter()
+        .map(|&(kind, a, b)| {
+            let comment_pool = |idx: usize| {
+                let pool_len = COMMENTS.len() + new_comments.len();
+                let slot = idx % pool_len;
+                if slot < COMMENTS.len() {
+                    COMMENTS[slot]
+                } else {
+                    new_comments[slot - COMMENTS.len()]
+                }
+            };
+            match kind {
+                0 => ChangeOperation::AddLike {
+                    user: USERS[a],
+                    comment: comment_pool(b),
+                },
+                1 => ChangeOperation::RemoveLike {
+                    user: USERS[a],
+                    comment: comment_pool(b),
+                },
+                2 => ChangeOperation::AddFriendship {
+                    a: USERS[a],
+                    b: USERS[b],
+                },
+                3 => ChangeOperation::RemoveFriendship {
+                    a: USERS[a],
+                    b: USERS[b],
+                },
+                4 => {
+                    let id = *next_id;
+                    *next_id += 1;
+                    new_comments.push(id);
+                    let post = POSTS[a % POSTS.len()];
+                    root_of.insert(id, post);
+                    ChangeOperation::AddComment {
+                        comment: Comment {
+                            id,
+                            timestamp: 100 + id,
+                            author: USERS[b],
+                            parent: post,
+                            root_post: post,
+                        },
+                    }
+                }
+                _ => {
+                    let id = *next_id;
+                    *next_id += 1;
+                    let parent = comment_pool(a);
+                    let root_post = root_of[&parent];
+                    new_comments.push(id);
+                    root_of.insert(id, root_post);
+                    ChangeOperation::AddComment {
+                        comment: Comment {
+                            id,
+                            timestamp: 100 + id,
+                            author: USERS[b],
+                            parent,
+                            root_post,
+                        },
+                    }
+                }
+            }
+        })
+        .collect();
+    ChangeSet { operations }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Watermark-merge ordering: whatever order the shards *complete* batches in
+    /// (adversarially permuted via seeded per-stage delays), the pipelined
+    /// per-batch output equals the synchronous barrier driver's — on operation
+    /// soups that mix adds and retracts of the same edge inside one batch, the
+    /// case where merging batch `t`'s candidates with batch `t+1` state would
+    /// silently resurrect retracted scores.
+    #[test]
+    fn watermark_merge_is_completion_order_invariant(
+        encoded in prop::collection::vec(batch_strategy(), 1..5),
+        delay_seed in 0u64..1000,
+        shards in 2usize..5,
+    ) {
+        let network = paper_example_network();
+        let mut next_id = 700;
+        let batches: Vec<ChangeSet> = encoded
+            .iter()
+            .map(|batch| materialize(batch, &mut next_id))
+            .collect();
+        for query in [Query::Q1, Query::Q2] {
+            let sync = run_sync(
+                ShardedSolution::new(query, ShardBackend::Incremental, shards),
+                &network,
+                &batches,
+            );
+            let pipelined = run_pipelined(
+                graphblas_factory(query, ShardBackend::Incremental),
+                shards,
+                &network,
+                &batches,
+                Some(DelayInjection {
+                    seed: delay_seed,
+                    max_route_micros: 100,
+                    max_apply_micros: 400,
+                }),
+            );
+            prop_assert_eq!(
+                &pipelined, &sync,
+                "{:?} with {} shards, delay seed {}", query, shards, delay_seed
+            );
+
+            // anchor: the unsharded incremental driver sees the same bytes
+            let mut unsharded = SyncEngine::new(
+                StreamDriver::default(),
+                Box::new(GraphBlasIncremental::new(query, false)),
+            );
+            let mut stream = batches.iter().cloned();
+            let anchor = unsharded.run(&network, &mut stream, batches.len()).results;
+            prop_assert_eq!(&sync, &anchor, "sync sharded vs unsharded at {:?}", query);
+        }
+    }
+}
