@@ -30,12 +30,13 @@
 use std::process::ExitCode;
 
 use bench::run_in_pool;
+use datagen::partition::partitioner_from_name;
 use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
 use serde_json::{json, to_string_pretty, Value};
 use ttc_social_media::model::Query;
 use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelinedEngine};
-use ttc_social_media::shard::{ShardBackend, ShardedSolution};
+use ttc_social_media::shard::{GraphBlasShardFactory, ShardBackend, ShardedSolution};
 use ttc_social_media::solution::{GraphBlasIncremental, GraphBlasIncrementalCc, Solution};
 use ttc_social_media::stream::{StreamDriver, StreamDriverConfig, StreamReport};
 
@@ -54,6 +55,9 @@ struct GateEntry {
     query: Query,
     variant: &'static str,
     shards: usize,
+    /// Partition policy of sharded entries (`"mod"` or `"ring"`); ignored when
+    /// `shards == 0`.
+    partitioner: &'static str,
     /// Run through the staged asynchronous engine instead of the synchronous
     /// barrier driver (requires `shards > 0`).
     pipelined: bool,
@@ -65,6 +69,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q1,
         variant: "incremental",
         shards: 0,
+        partitioner: "mod",
         pipelined: false,
     },
     GateEntry {
@@ -72,6 +77,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q2,
         variant: "incremental",
         shards: 0,
+        partitioner: "mod",
         pipelined: false,
     },
     GateEntry {
@@ -79,6 +85,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q2,
         variant: "incremental-cc",
         shards: 0,
+        partitioner: "mod",
         pipelined: false,
     },
     GateEntry {
@@ -86,6 +93,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q1,
         variant: "incremental",
         shards: 4,
+        partitioner: "mod",
         pipelined: false,
     },
     GateEntry {
@@ -93,6 +101,23 @@ const GRID: &[GateEntry] = &[
         query: Query::Q2,
         variant: "incremental",
         shards: 4,
+        partitioner: "mod",
+        pipelined: false,
+    },
+    GateEntry {
+        key: "q1/incremental/shards4/ring",
+        query: Query::Q1,
+        variant: "incremental",
+        shards: 4,
+        partitioner: "ring",
+        pipelined: false,
+    },
+    GateEntry {
+        key: "q2/incremental/shards4/ring",
+        query: Query::Q2,
+        variant: "incremental",
+        shards: 4,
+        partitioner: "ring",
         pipelined: false,
     },
     GateEntry {
@@ -100,6 +125,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q1,
         variant: "incremental",
         shards: 2,
+        partitioner: "mod",
         pipelined: true,
     },
     GateEntry {
@@ -107,6 +133,7 @@ const GRID: &[GateEntry] = &[
         query: Query::Q2,
         variant: "incremental",
         shards: 2,
+        partitioner: "mod",
         pipelined: true,
     },
 ];
@@ -223,7 +250,10 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
                 },
             );
             let mut stream = stream;
-            engine.run(network, &mut stream, BATCHES).stream
+            engine
+                .run(network, &mut stream, BATCHES)
+                .expect("gate measurement must not truncate")
+                .stream
         });
     }
     let driver = StreamDriver::new(StreamDriverConfig {
@@ -232,7 +262,12 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
     });
     run_in_pool(THREADS, || {
         let mut solution: Box<dyn Solution> = if entry.shards > 0 {
-            Box::new(ShardedSolution::new(entry.query, backend, entry.shards))
+            let partitioner = partitioner_from_name(entry.partitioner, entry.shards, SEED, false)
+                .expect("grid partitioner names are valid");
+            Box::new(ShardedSolution::with_factory_and_partitioner(
+                Box::new(GraphBlasShardFactory::new(entry.query, backend)),
+                partitioner,
+            ))
         } else {
             match entry.variant {
                 "incremental-cc" => Box::new(GraphBlasIncrementalCc::new()),
@@ -255,6 +290,7 @@ fn measure_report() -> Value {
                 "query": format!("{:?}", entry.query),
                 "variant": entry.variant,
                 "shards": entry.shards,
+                "partitioner": entry.partitioner,
                 "pipelined": entry.pipelined,
                 "updates_per_sec": report.updates_per_sec,
                 "p99_latency_secs": report.p99_latency_secs,

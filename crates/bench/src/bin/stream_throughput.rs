@@ -11,7 +11,8 @@
 //! cargo run -p bench --release --bin stream_throughput -- [--sf 1] [--batches 200] \
 //!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
-//!     [--threads 1] [--shards N] [--pipeline] [--queue-depth D] [--smoke]
+//!     [--threads 1] [--shards N] [--partitioner mod|ring] [--rebalance] \
+//!     [--hot-tree P] [--pipeline] [--queue-depth D] [--smoke]
 //! ```
 //!
 //! `--shards N` (N ≥ 1) runs each variant through the sharded pipeline
@@ -21,6 +22,15 @@
 //! [`nmf_baseline::shard`]), and the row gains per-shard latency percentiles and
 //! owned sizes (`shard_sizes`, the skew signal) next to the merged figures. Size
 //! `--threads` to the shard count to give every shard a worker.
+//!
+//! `--partitioner` selects the shard-placement policy (`mod`, the default
+//! `user % N`, or `ring`, a seeded consistent-hash ring); `--rebalance` wraps
+//! the policy in an assignment table and enables the tree-migration skew
+//! monitor (synchronous engine only), adding a `rebalance` block with the
+//! migration counters to the row. `--hot-tree P` biases the generated stream
+//! so a fraction `P` of new comments/likes pile onto one discussion tree — the
+//! adversarial workload whose `shard_sizes` skew the monitor is built to pull
+//! back down.
 //!
 //! `--pipeline` switches from the synchronous barrier driver to the staged
 //! asynchronous engine ([`ttc_social_media::pipeline::PipelinedEngine`]): ingest
@@ -41,6 +51,7 @@
 //! apply on top of it (`--smoke --pipeline` is the pipelined smoke CI runs).
 
 use bench::{report, run_in_pool};
+use datagen::partition::{partitioner_from_name, Partitioner};
 use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
 use nmf_baseline::NmfShardFactory;
@@ -48,7 +59,8 @@ use serde_json::{json, Value};
 use ttc_social_media::model::Query;
 use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine};
 use ttc_social_media::shard::{
-    GraphBlasShardFactory, ShardBackend, ShardFactory, ShardRouterStats, ShardedSolution,
+    GraphBlasShardFactory, RebalanceConfig, RebalanceStats, ShardBackend, ShardFactory,
+    ShardRouterStats, ShardedSolution,
 };
 use ttc_social_media::solution::Solution;
 use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
@@ -64,6 +76,9 @@ struct Args {
     variants: Vec<String>,
     threads: usize,
     shards: usize,
+    partitioner: String,
+    rebalance: bool,
+    hot_tree: f64,
     pipeline: bool,
     queue_depth: usize,
 }
@@ -80,6 +95,9 @@ fn parse_args() -> Args {
         variants: vec!["incremental".to_string()],
         threads: 1,
         shards: 0,
+        partitioner: "mod".to_string(),
+        rebalance: false,
+        hot_tree: 0.0,
         pipeline: false,
         queue_depth: 4,
     };
@@ -138,6 +156,21 @@ fn parse_args() -> Args {
             "--shards" => {
                 i += 1;
                 args.shards = argv[i].parse().expect("--shards expects an integer");
+            }
+            "--partitioner" => {
+                i += 1;
+                args.partitioner = argv[i].to_lowercase();
+            }
+            "--rebalance" => {
+                args.rebalance = true;
+            }
+            "--hot-tree" => {
+                i += 1;
+                args.hot_tree = argv[i].parse().expect("--hot-tree expects a probability");
+                assert!(
+                    (0.0..=1.0).contains(&args.hot_tree),
+                    "--hot-tree expects a probability in [0, 1]"
+                );
             }
             "--pipeline" => {
                 args.pipeline = true;
@@ -199,9 +232,16 @@ fn stream_for(args: &Args, network: &SocialNetwork) -> UpdateStream {
             // shard-aware emission groups each batch's operations by owning
             // shard, so the router output is contiguous per shard
             shards: args.shards,
+            hot_tree_bias: args.hot_tree,
             ..StreamConfig::default()
         },
     )
+}
+
+/// The partition policy of a sharded run, per `--partitioner`/`--rebalance`.
+fn partitioner_for(args: &Args) -> Box<dyn Partitioner> {
+    partitioner_from_name(&args.partitioner, args.shards, args.seed, args.rebalance)
+        .expect("partitioner name validated at startup")
 }
 
 /// The per-shard backend of a variant name: the GraphBLAS factories mirror the
@@ -227,18 +267,23 @@ fn shard_factory(variant: &str, query: Query) -> Option<Box<dyn ShardFactory>> {
 }
 
 /// The row fields every sharded run (synchronous or pipelined) shares: shard
-/// count, per-shard latency percentiles, owned sizes (the skew signal), router
-/// statistics, and — for pipelined runs — the pipeline block.
+/// count, partition policy, per-shard latency percentiles, owned sizes (the
+/// skew signal), router statistics, and — depending on the mode — the
+/// pipeline or rebalance block.
+#[allow(clippy::too_many_arguments)]
 fn sharded_extra(
     shards: usize,
+    partitioner: &str,
     lanes: &[Vec<f64>],
     warmup: usize,
     sizes: &[(usize, usize)],
     router: ShardRouterStats,
     pipeline: Option<&PipelineStats>,
+    rebalance: Option<RebalanceStats>,
 ) -> Value {
     let mut map = match json!({
         "shards": shards,
+        "partitioner": partitioner,
         "per_shard": report::per_shard_json(lanes, warmup),
         "shard_sizes": report::shard_sizes_json(sizes),
     }) {
@@ -251,6 +296,9 @@ fn sharded_extra(
     if let Some(stats) = pipeline {
         map.insert("pipeline".to_string(), report::pipeline_stats_json(stats));
     }
+    if let Some(stats) = rebalance {
+        map.insert("rebalance".to_string(), report::rebalance_stats_json(stats));
+    }
     Value::Object(map)
 }
 
@@ -260,6 +308,24 @@ fn main() {
         // a 1-shard pipeline only measures queue overhead; default to the
         // smallest configuration where stages can actually overlap
         args.shards = 2;
+    }
+    if args.rebalance && args.shards == 0 {
+        eprintln!("error: --rebalance requires --shards N (there is nothing to rebalance)");
+        std::process::exit(2);
+    }
+    // validate against the one policy registry before the (expensive) network
+    // generation below, so new names added there are accepted without edits here
+    if partitioner_from_name(&args.partitioner, 1, 0, false).is_none() {
+        eprintln!("unknown partitioner {} (mod|ring)", args.partitioner);
+        std::process::exit(2);
+    }
+    if args.rebalance && args.pipeline {
+        // migration quiesces donor and recipient between batches — a barrier
+        // the staged engine deliberately does not have (DESIGN.md §5.6)
+        eprintln!(
+            "error: --rebalance is supported by the synchronous engine only (drop --pipeline)"
+        );
+        std::process::exit(2);
     }
     let args = args;
     let network = generate_scale_factor(args.scale_factor).initial;
@@ -318,39 +384,55 @@ fn main() {
             // initial load) sees the configured worker count
             let (report, extra) = match factory {
                 Some(factory) if args.pipeline => run_in_pool(args.threads, || {
-                    let mut engine = PipelinedEngine::new(
+                    let mut engine = PipelinedEngine::with_partitioner(
                         factory,
-                        args.shards,
+                        partitioner_for(&args),
                         PipelineConfig {
                             queue_depth: args.queue_depth,
                             warmup_batches: args.warmup,
                             coalesce: true,
                             delays: None,
+                            kill_shard: None,
                         },
                     );
                     let mut stream = stream;
-                    let outcome = engine.run(&network, &mut stream, args.batches);
+                    let outcome = engine
+                        .run(&network, &mut stream, args.batches)
+                        .unwrap_or_else(|err| {
+                            eprintln!("error: {err}");
+                            std::process::exit(1);
+                        });
                     let stats = outcome.pipeline.expect("pipelined engines report stats");
                     let extra = sharded_extra(
                         stats.shards,
+                        &args.partitioner,
                         &stats.per_shard_apply_latencies,
                         args.warmup,
                         &stats.shard_sizes,
                         stats.router,
                         Some(&stats),
+                        None,
                     );
                     (outcome.stream, Some(extra))
                 }),
                 Some(factory) => run_in_pool(args.threads, || {
-                    let mut sharded = ShardedSolution::with_factory(factory, args.shards);
+                    let mut sharded = ShardedSolution::with_factory_and_partitioner(
+                        factory,
+                        partitioner_for(&args),
+                    );
+                    if args.rebalance {
+                        sharded = sharded.with_rebalancing(RebalanceConfig::default());
+                    }
                     let report = driver.run(&mut sharded, &network, stream, args.batches);
                     let extra = sharded_extra(
                         sharded.shard_count(),
+                        &args.partitioner,
                         sharded.per_shard_latencies(),
                         args.warmup,
                         &sharded.shard_sizes(),
                         sharded.router_stats(),
                         None,
+                        args.rebalance.then(|| sharded.rebalance_stats()),
                     );
                     (report, Some(extra))
                 }),

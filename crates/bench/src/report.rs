@@ -14,7 +14,7 @@
 use serde_json::{json, Value};
 use ttc_social_media::pipeline::PipelineStats;
 use ttc_social_media::stream::percentile;
-use ttc_social_media::ShardRouterStats;
+use ttc_social_media::{RebalanceStats, ShardRouterStats};
 
 /// The per-shard latency block of a sharded row: one object per shard with
 /// p50/p99/max over that shard's per-batch update (or apply) times. The
@@ -67,6 +67,20 @@ pub fn router_stats_json(stats: ShardRouterStats) -> Value {
         "broadcast_deliveries": stats.broadcast_deliveries,
         "friendship_deliveries": stats.friendship_deliveries,
         "imported_boundary_edges": stats.imported_boundary_edges,
+    })
+}
+
+/// The rebalance block of a `--rebalance` row: how often the skew monitor
+/// checked, how many discussion trees it migrated, and how much payload those
+/// migrations carried. Read next to [`shard_sizes_json`]: a run whose
+/// `migrations` counter is positive should show its max/mean `shard_sizes`
+/// skew pulled back towards 1.
+pub fn rebalance_stats_json(stats: RebalanceStats) -> Value {
+    json!({
+        "checks": stats.checks,
+        "migrations": stats.migrations,
+        "migrated_comments": stats.migrated_comments,
+        "migrated_likes": stats.migrated_likes,
     })
 }
 
@@ -171,6 +185,29 @@ mod tests {
             parsed.get("routed_operations").and_then(Value::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn rebalance_block_is_stable_and_round_trips() {
+        let value = rebalance_stats_json(RebalanceStats {
+            checks: 5,
+            migrations: 2,
+            migrated_comments: 40,
+            migrated_likes: 17,
+        });
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "checks",
+                "migrated_comments",
+                "migrated_likes",
+                "migrations",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(parsed.get("migrations").and_then(Value::as_u64), Some(2));
     }
 
     #[test]

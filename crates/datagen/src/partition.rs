@@ -1,0 +1,401 @@
+//! Pluggable shard-partition policies for the sharded streaming pipeline.
+//!
+//! The first sharded pipeline hardwired `user_id mod N`
+//! ([`crate::stream::shard_of_user`]) into every component that assigns work to
+//! shards. That is a fine default, but it is also a *policy*, and the ROADMAP's
+//! rebalancing item needs to change it at runtime: a hot discussion tree skews
+//! its owning shard, and the only fix under a frozen modulo map is to re-shard
+//! the world. This module turns the policy into a value:
+//!
+//! * [`ModuloPartitioner`] — the classic `user % N`. Zero state, perfectly
+//!   uniform over dense user ids, the default everywhere.
+//! * [`RingPartitioner`] — a seeded consistent-hash ring with virtual nodes.
+//!   Assignments are a pure function of `(seed, user)`, stay mostly stable when
+//!   the shard count changes, and decorrelate shard load from any arithmetic
+//!   structure in the id space (dense sequential ids hash apart).
+//! * [`AssignmentTable`] — explicit per-user overrides layered over any base
+//!   policy. This is the one policy that supports [`Partitioner::reassign`],
+//!   which is what tree-migration rebalancing records its decisions in: after a
+//!   hot tree moves, its author's *future* posts follow it to the recipient
+//!   shard.
+//!
+//! Consumers hold a `Box<dyn Partitioner>` and route **every** ownership
+//! decision through it. Note the split of responsibilities with the shard
+//! router (`ttc_social_media::shard::ShardRouter`): the partitioner answers
+//! "which shard should own new work keyed on this user", while the router's
+//! sticky post/comment maps answer "which shard *does* own this existing
+//! submission" — existing trees never implicitly move when the policy changes,
+//! they move only through explicit migration.
+//!
+//! The generator's shard-aware emission grouping (`StreamConfig::shards`) keeps
+//! using the modulo function: grouping is a locality hint, proven
+//! semantics-preserving for any consumer, not an ownership decision.
+
+use std::fmt;
+
+use crate::model::ElementId;
+use std::collections::HashMap;
+
+/// A shard-assignment policy: the injected answer to "which shard owns work
+/// keyed on this user id".
+///
+/// Implementations must be deterministic (the differential gates replay runs)
+/// and total over the full id space. `Send + Sync` so one policy value can be
+/// shared with the stage threads of the pipelined engine; `Debug` so routers
+/// embedding a policy stay debuggable.
+pub trait Partitioner: fmt::Debug + Send + Sync {
+    /// The shard owning `user`. Must return a value `< self.shard_count()`.
+    fn shard_of(&self, user: ElementId) -> usize;
+
+    /// Number of shards this policy partitions over (always ≥ 1).
+    fn shard_count(&self) -> usize;
+
+    /// Short policy name for reports and solution labels (`"mod"`, `"ring"`,
+    /// `"table"`).
+    fn name(&self) -> &'static str;
+
+    /// Redirect future assignments of `user` to `shard`. Returns `false` when
+    /// the policy is static and cannot record the override (the default);
+    /// [`AssignmentTable`] returns `true`. Callers migrating data must treat
+    /// `false` as "the move happened but future work keyed on this user stays
+    /// with the old policy".
+    fn reassign(&mut self, user: ElementId, shard: usize) -> bool {
+        let _ = (user, shard);
+        false
+    }
+
+    /// Clone into a fresh boxed policy (trait objects cannot derive `Clone`).
+    fn clone_box(&self) -> Box<dyn Partitioner>;
+}
+
+impl Clone for Box<dyn Partitioner> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The canonical static policy: `user % shards` — see
+/// [`crate::stream::shard_of_user`], which this wraps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModuloPartitioner {
+    shards: usize,
+}
+
+impl ModuloPartitioner {
+    /// Create a modulo policy over `shards` shards (`0` is treated as 1).
+    pub fn new(shards: usize) -> Self {
+        ModuloPartitioner {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl Partitioner for ModuloPartitioner {
+    fn shard_of(&self, user: ElementId) -> usize {
+        crate::stream::shard_of_user(user, self.shards)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn name(&self) -> &'static str {
+        "mod"
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner> {
+        Box::new(*self)
+    }
+}
+
+/// SplitMix64: a tiny, seedable mixer with full avalanche — the same generator
+/// the pipeline's delay injection uses. Good enough to place ring points and
+/// hash keys; not cryptographic, which a partition function does not need.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded consistent-hash ring with virtual nodes.
+///
+/// Each shard owns [`RingPartitioner::VIRTUAL_NODES`] points on a `u64` ring,
+/// placed by hashing `(seed, shard, replica)`; a user is assigned to the shard
+/// owning the first point at or after the user's own hash (wrapping). The
+/// properties the pipeline cares about:
+///
+/// * **Determinism**: assignments are a pure function of `(seed, user)` — the
+///   differential gates can replay a ring-partitioned run bit-for-bit.
+/// * **Id-structure independence**: modulo maps dense sequential user ids
+///   round-robin, which correlates shard load with id-assignment order; the
+///   ring hashes that structure away.
+/// * **Stability under resizing**: adding a shard only claims the key ranges
+///   of its own points, moving `≈ 1/N` of users instead of almost all of them
+///   (the classic consistent-hashing argument) — groundwork for elastic shard
+///   counts, though the engines currently fix `N` per run.
+#[derive(Clone, Debug)]
+pub struct RingPartitioner {
+    shards: usize,
+    seed: u64,
+    /// Ring points sorted by position: `(position, shard)`.
+    points: Vec<(u64, usize)>,
+}
+
+impl RingPartitioner {
+    /// Virtual nodes per shard. 64 keeps the maximum expected key-range
+    /// imbalance within a few percent for small shard counts while the ring
+    /// stays tiny (`N · 64` entries, binary-searched).
+    pub const VIRTUAL_NODES: usize = 64;
+
+    /// Create a seeded ring over `shards` shards (`0` is treated as 1).
+    pub fn new(shards: usize, seed: u64) -> Self {
+        let shards = shards.max(1);
+        let mut points: Vec<(u64, usize)> = (0..shards)
+            .flat_map(|shard| {
+                (0..Self::VIRTUAL_NODES).map(move |replica| {
+                    let position =
+                        splitmix64(seed ^ splitmix64((shard as u64) << 32 | replica as u64));
+                    (position, shard)
+                })
+            })
+            .collect();
+        points.sort_unstable();
+        RingPartitioner {
+            shards,
+            seed,
+            points,
+        }
+    }
+
+    /// The ring's seed (assignments are a pure function of `(seed, user)`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Partitioner for RingPartitioner {
+    fn shard_of(&self, user: ElementId) -> usize {
+        let key = splitmix64(self.seed.wrapping_add(0x5eed) ^ splitmix64(user));
+        let at = self.points.partition_point(|&(position, _)| position < key);
+        // wrap: a key beyond the last point belongs to the first point's shard
+        self.points[at % self.points.len()].1
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner> {
+        Box::new(self.clone())
+    }
+}
+
+/// Explicit per-user overrides over any base policy — the policy that makes
+/// migration *stick*.
+///
+/// Every lookup first consults the override table, then falls back to the base
+/// policy, so an empty table behaves exactly like its base.
+/// [`Partitioner::reassign`] records an override (and returns `true`), which
+/// is how tree-migration rebalancing redirects a migrated tree's author: the
+/// moved tree itself is re-owned via the router's sticky maps, while the table
+/// makes the author's *future* posts land on the recipient shard instead of
+/// bouncing back to the donor.
+#[derive(Clone, Debug)]
+pub struct AssignmentTable {
+    base: Box<dyn Partitioner>,
+    overrides: HashMap<ElementId, usize>,
+}
+
+impl AssignmentTable {
+    /// Create an empty table over `base` (behaves like `base` until the first
+    /// [`Partitioner::reassign`]).
+    pub fn new(base: Box<dyn Partitioner>) -> Self {
+        AssignmentTable {
+            base,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of explicit overrides currently recorded.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+impl Partitioner for AssignmentTable {
+    fn shard_of(&self, user: ElementId) -> usize {
+        self.overrides
+            .get(&user)
+            .copied()
+            .unwrap_or_else(|| self.base.shard_of(user))
+    }
+
+    fn shard_count(&self) -> usize {
+        self.base.shard_count()
+    }
+
+    fn name(&self) -> &'static str {
+        "table"
+    }
+
+    fn reassign(&mut self, user: ElementId, shard: usize) -> bool {
+        assert!(
+            shard < self.shard_count(),
+            "reassign target shard {shard} out of range (shards: {})",
+            self.shard_count()
+        );
+        self.overrides.insert(user, shard);
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn Partitioner> {
+        Box::new(self.clone())
+    }
+}
+
+/// Build the partition policy named on a CLI (`stream_throughput
+/// --partitioner`, the bench gate's grid): `"mod"`/`"modulo"` or `"ring"`,
+/// over `shards` shards. `rebalance` wraps the base in an [`AssignmentTable`]
+/// so migrations can record overrides. Returns `None` for unknown names (the
+/// caller owns the error message and exit path).
+pub fn partitioner_from_name(
+    name: &str,
+    shards: usize,
+    seed: u64,
+    rebalance: bool,
+) -> Option<Box<dyn Partitioner>> {
+    let base: Box<dyn Partitioner> = match name {
+        "mod" | "modulo" => Box::new(ModuloPartitioner::new(shards)),
+        "ring" => Box::new(RingPartitioner::new(shards, seed)),
+        _ => return None,
+    };
+    Some(if rebalance {
+        Box::new(AssignmentTable::new(base))
+    } else {
+        base
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::shard_of_user;
+
+    #[test]
+    fn modulo_matches_the_canonical_function() {
+        let p = ModuloPartitioner::new(4);
+        for user in [0u64, 1, 5, 17, 1 << 40] {
+            assert_eq!(p.shard_of(user), shard_of_user(user, 4));
+            assert!(p.shard_of(user) < p.shard_count());
+        }
+        assert_eq!(p.name(), "mod");
+        // zero shards degrades to one instead of dividing by zero
+        assert_eq!(ModuloPartitioner::new(0).shard_count(), 1);
+        assert_eq!(ModuloPartitioner::new(0).shard_of(9), 0);
+    }
+
+    #[test]
+    fn modulo_rejects_reassignment() {
+        let mut p = ModuloPartitioner::new(4);
+        assert!(!p.reassign(7, 2));
+        assert_eq!(p.shard_of(7), 3, "a refused reassign must not change state");
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let a = RingPartitioner::new(4, 42);
+        let b = RingPartitioner::new(4, 42);
+        for user in 0..500u64 {
+            let shard = a.shard_of(user);
+            assert!(shard < 4);
+            assert_eq!(shard, b.shard_of(user), "same seed, same assignment");
+        }
+        let other_seed = RingPartitioner::new(4, 43);
+        assert!(
+            (0..500u64).any(|u| a.shard_of(u) != other_seed.shard_of(u)),
+            "different seeds must place at least some users differently"
+        );
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.name(), "ring");
+    }
+
+    #[test]
+    fn ring_load_is_roughly_balanced_over_dense_ids() {
+        let shards = 4;
+        let users = 4000u64;
+        let ring = RingPartitioner::new(shards, 7);
+        let mut counts = vec![0usize; shards];
+        for user in 0..users {
+            counts[ring.shard_of(user)] += 1;
+        }
+        let expected = users as usize / shards;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "shard {shard} holds {count} of {users} users (expected ≈ {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_resizing_moves_a_minority_of_keys() {
+        let before = RingPartitioner::new(4, 11);
+        let after = RingPartitioner::new(5, 11);
+        let users = 2000u64;
+        let moved = (0..users)
+            .filter(|&u| before.shard_of(u) != after.shard_of(u))
+            .count();
+        // consistent hashing: going 4 → 5 shards should move ≈ 1/5 of keys,
+        // not the ≈ 4/5 a modulo re-map would
+        assert!(
+            moved < users as usize / 2,
+            "resizing moved {moved} of {users} keys — not consistent"
+        );
+    }
+
+    #[test]
+    fn assignment_table_overrides_and_falls_back() {
+        let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(4)));
+        assert_eq!(table.shard_of(6), 2, "empty table behaves like its base");
+        assert_eq!(table.override_count(), 0);
+        assert!(table.reassign(6, 0));
+        assert_eq!(table.shard_of(6), 0, "override wins");
+        assert_eq!(table.shard_of(7), 3, "other users still fall back");
+        assert_eq!(table.override_count(), 1);
+        assert_eq!(table.name(), "table");
+        let cloned = table.clone_box();
+        assert_eq!(cloned.shard_of(6), 0, "overrides survive clone_box");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_table_rejects_out_of_range_shards() {
+        let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(2)));
+        table.reassign(1, 5);
+    }
+
+    #[test]
+    fn named_policies_resolve_for_the_cli() {
+        assert_eq!(
+            partitioner_from_name("mod", 4, 0, false)
+                .expect("known")
+                .name(),
+            "mod"
+        );
+        assert_eq!(
+            partitioner_from_name("ring", 4, 9, false)
+                .expect("known")
+                .name(),
+            "ring"
+        );
+        let wrapped = partitioner_from_name("modulo", 4, 0, true).expect("known");
+        assert_eq!(wrapped.name(), "table", "--rebalance wraps in a table");
+        assert_eq!(wrapped.shard_count(), 4);
+        assert!(partitioner_from_name("nope", 4, 0, false).is_none());
+    }
+}

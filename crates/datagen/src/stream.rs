@@ -48,14 +48,18 @@ use rand_chacha::ChaCha8Rng;
 use crate::model::{ChangeOperation, ChangeSet, Comment, ElementId, SocialNetwork};
 use crate::sampler::{sample_distinct_pair, ZipfSampler};
 
-/// The canonical partition function of the sharded pipeline: the shard owning a
-/// user id. Submissions are owned by the shard of their **root post's author**, so
-/// a whole discussion tree (the unit both queries score) lives on one shard.
+/// The **modulo** partition function of the sharded pipeline: the shard owning a
+/// user id under `user % shards`. Submissions are owned by the shard of their
+/// **root post's author**, so a whole discussion tree (the unit both queries
+/// score) lives on one shard.
 ///
-/// Every component that partitions work — the shard-aware emission below, the
-/// `ttc-social-media` shard router, the benchmark drivers — must call this one
-/// function; two components disagreeing on ownership silently breaks the
-/// cross-shard merge.
+/// This used to be the only policy; it is now the default implementation behind
+/// the pluggable [`crate::partition::Partitioner`] abstraction
+/// ([`crate::partition::ModuloPartitioner`] wraps this function). Ownership
+/// decisions go through an injected policy value; the shard-aware emission
+/// grouping below still keys on this function because grouping is a locality
+/// hint — proven semantics-preserving for any consumer — not an ownership
+/// decision.
 pub fn shard_of_user(user: ElementId, shards: usize) -> usize {
     (user % shards.max(1) as ElementId) as usize
 }
@@ -134,6 +138,14 @@ pub struct StreamConfig {
     /// friendship operations (whose replica set spans shards) are never reordered
     /// among themselves. `0` (the default) and `1` emit in generation order.
     pub shards: usize,
+    /// Probability (`0.0..=1.0`) that a new comment or like targets the **hot
+    /// discussion tree** — the initial network's most-commented post — instead of
+    /// the regular popularity model. `0.0` (the default) draws nothing extra from
+    /// the RNG, so existing seeded streams are byte-identical. Positive values
+    /// produce the adversarial workload the shard-rebalancing experiments need:
+    /// one tree (hence one shard, under any static partitioner) soaking up a
+    /// growing share of all comments and likes.
+    pub hot_tree_bias: f64,
 }
 
 impl Default for StreamConfig {
@@ -148,6 +160,7 @@ impl Default for StreamConfig {
             deletion_weight: 0.10,
             skew: 0.9,
             shards: 0,
+            hot_tree_bias: 0.0,
         }
     }
 }
@@ -177,6 +190,11 @@ pub struct UpdateStream {
     next_id: ElementId,
     next_timestamp: u64,
     batches_emitted: u64,
+    /// The hot discussion tree targeted by [`StreamConfig::hot_tree_bias`]: the
+    /// initial network's most-commented post (`None` when there are no posts).
+    hot_root: Option<ElementId>,
+    /// Comments of the hot tree, maintained as the stream grows it.
+    hot_comments: Vec<ElementId>,
 }
 
 impl UpdateStream {
@@ -216,6 +234,26 @@ impl UpdateStream {
             .max()
             .unwrap_or(0)
             + 1;
+        // the hot tree of `hot_tree_bias`: the most-commented initial post
+        // (max_by_key keeps the last maximum, so ties resolve deterministically)
+        let mut comments_per_post: HashMap<ElementId, usize> = HashMap::new();
+        for comment in &network.comments {
+            *comments_per_post.entry(comment.root_post).or_insert(0) += 1;
+        }
+        let hot_root = network
+            .posts
+            .iter()
+            .map(|p| p.id)
+            .max_by_key(|id| comments_per_post.get(id).copied().unwrap_or(0));
+        let hot_comments = match hot_root {
+            Some(root) => network
+                .comments
+                .iter()
+                .filter(|c| c.root_post == root)
+                .map(|c| c.id)
+                .collect(),
+            None => Vec::new(),
+        };
         UpdateStream {
             rng: ChaCha8Rng::seed_from_u64(config.seed),
             user_ids,
@@ -232,6 +270,8 @@ impl UpdateStream {
             next_timestamp,
             config,
             batches_emitted: 0,
+            hot_root,
+            hot_comments,
         }
     }
 
@@ -263,6 +303,12 @@ impl UpdateStream {
     /// Current number of live friendships in the stream's view of the network.
     pub fn live_friendships(&self) -> usize {
         self.friend_list.len()
+    }
+
+    /// The post id of the hot discussion tree targeted by
+    /// [`StreamConfig::hot_tree_bias`] (`None` when the network has no posts).
+    pub fn hot_tree_root(&self) -> Option<ElementId> {
+        self.hot_root
     }
 
     /// Shard affinity of an operation under a `shards`-way partition: the shard
@@ -301,13 +347,30 @@ impl UpdateStream {
         self.user_ids[self.user_popularity.sample(&mut self.rng)]
     }
 
+    /// Whether the next comment/like should target the hot tree. Draws from the
+    /// RNG **only** when the bias is positive, so `hot_tree_bias: 0.0` streams
+    /// are byte-identical to streams generated before the knob existed.
+    fn roll_hot_tree(&mut self) -> bool {
+        self.config.hot_tree_bias > 0.0
+            && self.hot_root.is_some()
+            && self.rng.gen_bool(self.config.hot_tree_bias.min(1.0))
+    }
+
     /// Emit a new comment replying to a uniformly chosen existing submission,
     /// optionally followed by a like on it (as in the bulk generator).
     fn push_comment(&mut self, operations: &mut Vec<ChangeOperation>) {
         let id = self.fresh_id();
         let timestamp = self.fresh_timestamp();
         let author = self.sample_user();
-        let (parent, root_post) = if self.comment_ids.is_empty() || self.rng.gen_bool(0.4) {
+        let (parent, root_post) = if self.roll_hot_tree() {
+            let root = self.hot_root.expect("roll_hot_tree checked hot_root");
+            if self.hot_comments.is_empty() || self.rng.gen_bool(0.4) {
+                (root, root)
+            } else {
+                let parent = *self.hot_comments.choose(&mut self.rng).expect("non-empty");
+                (parent, root)
+            }
+        } else if self.comment_ids.is_empty() || self.rng.gen_bool(0.4) {
             match self.post_ids.choose(&mut self.rng) {
                 Some(&post) => (post, post),
                 None => return, // no posts at all: nothing to attach a comment to
@@ -319,6 +382,9 @@ impl UpdateStream {
         };
         self.comment_ids.push(id);
         self.root_of.insert(id, root_post);
+        if Some(root_post) == self.hot_root {
+            self.hot_comments.push(id);
+        }
         operations.push(ChangeOperation::AddComment {
             comment: Comment {
                 id,
@@ -346,7 +412,11 @@ impl UpdateStream {
             return;
         }
         let user = self.sample_user();
-        let comment = *self.comment_ids.choose(&mut self.rng).expect("non-empty");
+        let comment = if self.roll_hot_tree() && !self.hot_comments.is_empty() {
+            *self.hot_comments.choose(&mut self.rng).expect("non-empty")
+        } else {
+            *self.comment_ids.choose(&mut self.rng).expect("non-empty")
+        };
         if self.like_set.insert((user, comment)) {
             self.like_list.push((user, comment));
             operations.push(ChangeOperation::AddLike { user, comment });
@@ -679,6 +749,79 @@ mod tests {
         let batches = vec![ChangeSet::default(), ChangeSet::default()];
         let seqs: Vec<u64> = sequenced(batches.into_iter()).map(|b| b.seq).collect();
         assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn hot_tree_bias_concentrates_new_comments_and_likes() {
+        let network = test_network();
+        let mut stream = UpdateStream::new(
+            &network,
+            StreamConfig {
+                hot_tree_bias: 0.9,
+                ..test_config(55)
+            },
+        );
+        let hot_root = stream.hot_tree_root().expect("network has posts");
+        let mut root_of: HashMap<ElementId, ElementId> = network
+            .comments
+            .iter()
+            .map(|c| (c.id, c.root_post))
+            .collect();
+        let (mut hot, mut total) = (0usize, 0usize);
+        for batch in stream.by_ref().take(30) {
+            for op in &batch.operations {
+                let root = match op {
+                    ChangeOperation::AddComment { comment } => {
+                        root_of.insert(comment.id, comment.root_post);
+                        Some(comment.root_post)
+                    }
+                    ChangeOperation::AddLike { comment, .. } => root_of.get(comment).copied(),
+                    _ => None,
+                };
+                if let Some(root) = root {
+                    total += 1;
+                    if root == hot_root {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            hot * 2 > total,
+            "hot tree received {hot} of {total} comment/like operations — bias not applied"
+        );
+
+        // the unbiased stream spreads the same operations out
+        let mut cold_stream = UpdateStream::new(&network, test_config(55));
+        let mut cold_root_of: HashMap<ElementId, ElementId> = network
+            .comments
+            .iter()
+            .map(|c| (c.id, c.root_post))
+            .collect();
+        let (mut cold_hot, mut cold_total) = (0usize, 0usize);
+        for batch in cold_stream.by_ref().take(30) {
+            for op in &batch.operations {
+                let root = match op {
+                    ChangeOperation::AddComment { comment } => {
+                        cold_root_of.insert(comment.id, comment.root_post);
+                        Some(comment.root_post)
+                    }
+                    ChangeOperation::AddLike { comment, .. } => cold_root_of.get(comment).copied(),
+                    _ => None,
+                };
+                if let Some(root) = root {
+                    cold_total += 1;
+                    if root == hot_root {
+                        cold_hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            cold_hot * total < hot * cold_total,
+            "biased stream ({hot}/{total}) should target the hot tree more than the \
+             unbiased one ({cold_hot}/{cold_total})"
+        );
     }
 
     #[test]

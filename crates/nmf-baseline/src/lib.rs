@@ -28,5 +28,5 @@ pub mod shard;
 pub mod solution;
 
 pub use model::ModelRepository;
-pub use shard::{nmf_sharded, NmfShard, NmfShardFactory};
+pub use shard::{nmf_sharded, nmf_sharded_with_partitioner, NmfShard, NmfShardFactory};
 pub use solution::{NmfBatch, NmfIncremental};

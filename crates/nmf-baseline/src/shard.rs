@@ -116,11 +116,25 @@ impl ShardFactory for NmfShardFactory {
     }
 }
 
-/// Convenience constructor: the NMF incremental baseline on `shards` shards,
-/// behind the same `Solution` interface as `ShardedSolution::new` — so every
-/// driver, benchmark, and differential test runs it unchanged.
+/// Convenience constructor: the NMF incremental baseline on `shards` shards
+/// (default modulo partitioning), behind the same `Solution` interface as
+/// `ShardedSolution::new` — so every driver, benchmark, and differential test
+/// runs it unchanged.
 pub fn nmf_sharded(query: Query, shards: usize) -> ShardedSolution {
     ShardedSolution::with_factory(Box::new(NmfShardFactory::new(query)), shards)
+}
+
+/// [`nmf_sharded`] with an injected partition policy (consistent-hash ring,
+/// assignment table, …) — the NMF leg of the pluggable-partitioner plumbing,
+/// so `stream_throughput --partitioner ring` measures this baseline too.
+pub fn nmf_sharded_with_partitioner(
+    query: Query,
+    partitioner: Box<dyn datagen::partition::Partitioner>,
+) -> ShardedSolution {
+    ShardedSolution::with_factory_and_partitioner(
+        Box::new(NmfShardFactory::new(query)),
+        partitioner,
+    )
 }
 
 #[cfg(test)]

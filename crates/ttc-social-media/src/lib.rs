@@ -54,12 +54,12 @@ pub mod update;
 pub use graph::SocialGraph;
 pub use model::{IdMap, Query};
 pub use pipeline::{
-    DelayInjection, EngineReport, IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine,
-    SyncEngine,
+    DelayInjection, EngineError, EngineReport, IngestEngine, PipelineConfig, PipelineStats,
+    PipelinedEngine, SyncEngine,
 };
 pub use shard::{
-    GraphBlasShardFactory, ShardBackend, ShardEvaluator, ShardFactory, ShardMerger, ShardRouter,
-    ShardRouterStats, ShardedSolution,
+    GraphBlasShardFactory, MigrateError, RebalanceConfig, RebalanceStats, ShardBackend,
+    ShardEvaluator, ShardFactory, ShardMerger, ShardRouter, ShardRouterStats, ShardedSolution,
 };
 pub use solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K};
 pub use stream::{StreamDriver, StreamDriverConfig, StreamReport};

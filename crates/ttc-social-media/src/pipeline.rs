@@ -43,14 +43,16 @@
 //! [`TopKTracker`]: crate::top_k::TopKTracker
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use datagen::partition::{ModuloPartitioner, Partitioner};
 use datagen::stream::sequenced;
 use datagen::{ChangeSet, SocialNetwork};
 
-use crate::shard::{load_shards, ShardFactory, ShardMerger, ShardRouterStats};
+use crate::shard::{load_shards_with, ShardFactory, ShardMerger, ShardRouterStats};
 use crate::solution::Solution;
 use crate::stream::{coalesce, percentile, StreamDriver, StreamReport};
 use crate::top_k::RankedEntry;
@@ -58,6 +60,41 @@ use crate::top_k::RankedEntry;
 // ---------------------------------------------------------------------------
 // Engine abstraction
 // ---------------------------------------------------------------------------
+
+/// Why an ingestion run failed to produce a trustworthy report.
+///
+/// The pipelined stage graph tears down from the front on failure (a dead
+/// stage disconnects its queues and every neighbour stops), so a dying shard
+/// worker used to look exactly like a short stream: the merger emitted the
+/// batches that made it through and the report claimed success over fewer
+/// batches than were actually ingested. [`IngestEngine::run`] now returns this
+/// error instead of that silently truncated report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The merge stage emitted fewer batches than the ingest stage accepted
+    /// from the stream: a stage died mid-run and the tail of the stream was
+    /// dropped on the floor.
+    TruncatedRun {
+        /// Batches the ingest stage pulled from the stream and enqueued.
+        ingested: usize,
+        /// Batches the merge stage actually emitted.
+        merged: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TruncatedRun { ingested, merged } => write!(
+                f,
+                "pipeline truncated: ingested {ingested} batches but merged only {merged} \
+                 — a stage died mid-run"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// What an ingestion engine produces: the usual throughput/latency report, the
 /// per-batch results (the differential gates compare these byte-for-byte), and
@@ -87,13 +124,16 @@ pub trait IngestEngine {
     fn name(&self) -> String;
 
     /// Load `initial`, drive `batches` micro-batches (plus any engine-configured
-    /// warm-up) pulled from `stream`, and report.
+    /// warm-up) pulled from `stream`, and report. A stream yielding fewer than
+    /// `batches` micro-batches is not an error (the report covers what was
+    /// measured, matching the synchronous driver); losing batches that *were*
+    /// ingested is ([`EngineError::TruncatedRun`]).
     fn run(
         &mut self,
         initial: &SocialNetwork,
         stream: &mut dyn Iterator<Item = ChangeSet>,
         batches: usize,
-    ) -> EngineReport;
+    ) -> Result<EngineReport, EngineError>;
 }
 
 /// The synchronous engine: the classic [`StreamDriver`] loop over any
@@ -121,15 +161,15 @@ impl IngestEngine for SyncEngine {
         initial: &SocialNetwork,
         stream: &mut dyn Iterator<Item = ChangeSet>,
         batches: usize,
-    ) -> EngineReport {
+    ) -> Result<EngineReport, EngineError> {
         let (report, results) =
             self.driver
                 .run_with_results(self.solution.as_mut(), initial, stream, batches);
-        EngineReport {
+        Ok(EngineReport {
             stream: report,
             results,
             pipeline: None,
-        }
+        })
     }
 }
 
@@ -200,6 +240,12 @@ pub struct PipelineConfig {
     pub coalesce: bool,
     /// Optional deterministic per-stage delays (tests only).
     pub delays: Option<DelayInjection>,
+    /// Chaos knob (tests only): `Some((shard, seq))` makes the apply worker of
+    /// `shard` exit — without panicking — right before applying the batch with
+    /// that sequence number, simulating a worker dying mid-run. The engine must
+    /// then tear down cleanly and report [`EngineError::TruncatedRun`] instead
+    /// of a silently shortened success.
+    pub kill_shard: Option<(usize, u64)>,
 }
 
 impl Default for PipelineConfig {
@@ -209,6 +255,7 @@ impl Default for PipelineConfig {
             warmup_batches: 0,
             coalesce: true,
             delays: None,
+            kill_shard: None,
         }
     }
 }
@@ -271,17 +318,19 @@ struct ApplyOutcome {
 }
 
 /// Send preferring the non-blocking path, counting the times the queue was full
-/// (the stage blocked — backpressure). A disconnected receiver means the
-/// downstream stage is gone (only possible after it drained everything it will
-/// ever emit), so the item is dropped.
-fn send_counting<T>(tx: &SyncSender<T>, item: T, blocked: &mut u64) {
+/// (the stage blocked — backpressure). Returns `false` when the receiver is
+/// disconnected: the downstream stage died, the item is lost, and the sending
+/// stage must stop producing — swallowing the disconnect here is what used to
+/// turn a dead shard worker into a silently truncated "successful" report.
+#[must_use]
+fn send_counting<T>(tx: &SyncSender<T>, item: T, blocked: &mut u64) -> bool {
     match tx.try_send(item) {
-        Ok(()) => {}
+        Ok(()) => true,
         Err(TrySendError::Full(item)) => {
             *blocked += 1;
-            let _ = tx.send(item);
+            tx.send(item).is_ok()
         }
-        Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Disconnected(_)) => false,
     }
 }
 
@@ -309,16 +358,30 @@ struct MergeOutput {
 pub struct PipelinedEngine {
     factory: Box<dyn ShardFactory>,
     shards: usize,
+    /// The pristine partition policy, cloned into every run's router.
+    partitioner: Box<dyn Partitioner>,
     config: PipelineConfig,
 }
 
 impl PipelinedEngine {
-    /// Create a pipelined engine over `shards` shards of `factory`'s evaluators.
-    /// `shards == 0` is treated as 1.
+    /// Create a pipelined engine over `shards` shards of `factory`'s evaluators
+    /// with the default modulo partition policy. `shards == 0` is treated as 1.
     pub fn new(factory: Box<dyn ShardFactory>, shards: usize, config: PipelineConfig) -> Self {
+        Self::with_partitioner(factory, Box::new(ModuloPartitioner::new(shards)), config)
+    }
+
+    /// Create a pipelined engine with an injected partition policy; the shard
+    /// count is the policy's.
+    pub fn with_partitioner(
+        factory: Box<dyn ShardFactory>,
+        partitioner: Box<dyn Partitioner>,
+        config: PipelineConfig,
+    ) -> Self {
+        let shards = partitioner.shard_count();
         PipelinedEngine {
             factory,
-            shards: shards.max(1),
+            shards,
+            partitioner,
             config,
         }
     }
@@ -415,11 +478,20 @@ impl PipelinedEngine {
 
 impl IngestEngine for PipelinedEngine {
     fn name(&self) -> String {
-        format!(
-            "{} ({} shards, pipelined)",
-            self.factory.name(),
-            self.shards
-        )
+        if self.partitioner.name() == "mod" {
+            format!(
+                "{} ({} shards, pipelined)",
+                self.factory.name(),
+                self.shards
+            )
+        } else {
+            format!(
+                "{} ({} shards, {}, pipelined)",
+                self.factory.name(),
+                self.shards,
+                self.partitioner.name()
+            )
+        }
     }
 
     fn run(
@@ -427,20 +499,22 @@ impl IngestEngine for PipelinedEngine {
         initial: &SocialNetwork,
         stream: &mut dyn Iterator<Item = ChangeSet>,
         batches: usize,
-    ) -> EngineReport {
+    ) -> Result<EngineReport, EngineError> {
         let shards = self.shards;
         let depth = self.config.queue_depth.max(1);
         let warmup = self.config.warmup_batches;
         let total = warmup + batches;
         let coalesce_on = self.config.coalesce;
         let delays = &self.config.delays;
+        let kill_shard = self.config.kill_shard;
         let factory = self.factory.as_ref();
 
         // Load phase: the exact function the synchronous driver runs —
         // partition, build the per-shard evaluators (rayon-parallel), seed the
         // merge state — so the two engines cannot drift apart before batch 0.
         let load_start = Instant::now();
-        let (router, evaluators, merger, initial_result) = load_shards(factory, initial, shards);
+        let (router, evaluators, merger, initial_result) =
+            load_shards_with(factory, initial, self.partitioner.clone());
         let load_secs = load_start.elapsed().as_secs_f64();
 
         // Stage plumbing. One bounded queue per edge of the stage graph.
@@ -460,6 +534,7 @@ impl IngestEngine for PipelinedEngine {
 
         let mut total_operations = 0usize;
         let mut ingest_backpressure = 0u64;
+        let mut ingested = 0usize;
 
         let (merged, router, applied_operations, route_backpressure, worker_outputs) =
             thread::scope(|scope| {
@@ -469,7 +544,7 @@ impl IngestEngine for PipelinedEngine {
                     let mut router = router;
                     let mut applied = 0usize;
                     let mut blocked = 0u64;
-                    for IngestItem {
+                    'route: for IngestItem {
                         seq,
                         enqueued,
                         batch,
@@ -486,7 +561,9 @@ impl IngestEngine for PipelinedEngine {
                         // empty), which is what keeps the merger's watermark a
                         // plain per-shard counter.
                         for (tx, ops) in route_txs.iter().zip(router.route(&batch)) {
-                            send_counting(tx, RoutedItem { seq, enqueued, ops }, &mut blocked);
+                            if !send_counting(tx, RoutedItem { seq, enqueued, ops }, &mut blocked) {
+                                break 'route; // a worker died; stop routing
+                            }
                         }
                     }
                     (router, applied, blocked)
@@ -502,13 +579,16 @@ impl IngestEngine for PipelinedEngine {
                         scope.spawn(move || {
                             let mut blocked = 0u64;
                             for RoutedItem { seq, enqueued, ops } in rx {
+                                if kill_shard == Some((shard, seq)) {
+                                    break; // chaos injection: die mid-run
+                                }
                                 if let Some(d) = delays {
                                     d.sleep_apply(shard, seq);
                                 }
                                 let start = Instant::now();
                                 let had_removals = evaluator.apply(&ops);
                                 let apply_secs = start.elapsed().as_secs_f64();
-                                send_counting(
+                                let delivered = send_counting(
                                     &tx,
                                     ApplyOutcome {
                                         seq,
@@ -519,6 +599,9 @@ impl IngestEngine for PipelinedEngine {
                                     },
                                     &mut blocked,
                                 );
+                                if !delivered {
+                                    break; // the merger died; stop applying
+                                }
                             }
                             (evaluator.owned_sizes(), blocked)
                         })
@@ -533,7 +616,7 @@ impl IngestEngine for PipelinedEngine {
                     if item.seq >= warmup as u64 {
                         total_operations += item.batch.operations.len();
                     }
-                    send_counting(
+                    let delivered = send_counting(
                         &ingest_tx,
                         IngestItem {
                             seq: item.seq,
@@ -542,6 +625,10 @@ impl IngestEngine for PipelinedEngine {
                         },
                         &mut ingest_backpressure,
                     );
+                    if !delivered {
+                        break; // the route stage died; stop pulling the stream
+                    }
+                    ingested += 1;
                 }
                 drop(ingest_tx); // close the pipe; stages drain and exit in turn
 
@@ -554,6 +641,16 @@ impl IngestEngine for PipelinedEngine {
                 let (merged, _merger) = merge_handle.join().expect("merge stage panicked");
                 (merged, router, applied, route_blocked, worker_outputs)
             });
+
+        // A merged count short of the ingested count means a stage died mid-run
+        // and dropped batches: refuse to report throughput over a truncated
+        // window as if it were the whole run.
+        if merged.results.len() != ingested {
+            return Err(EngineError::TruncatedRun {
+                ingested,
+                merged: merged.results.len(),
+            });
+        }
 
         // Assemble the report from the merged timeline.
         let measured = merged.results.len().saturating_sub(warmup);
@@ -607,11 +704,11 @@ impl IngestEngine for PipelinedEngine {
             shard_sizes: worker_outputs.iter().map(|&(sizes, _)| sizes).collect(),
             router: router.stats(),
         };
-        EngineReport {
+        Ok(EngineReport {
             stream: stream_report,
             results,
             pipeline: Some(stats),
-        }
+        })
     }
 }
 
@@ -650,7 +747,9 @@ mod tests {
         let mut engine =
             PipelinedEngine::graphblas(Query::Q2, ShardBackend::Incremental, shards, config);
         let mut stream = batches.iter().cloned();
-        engine.run(network, &mut stream, batches.len())
+        engine
+            .run(network, &mut stream, batches.len())
+            .expect("pipeline completed")
     }
 
     #[test]
@@ -666,7 +765,9 @@ mod tests {
             )),
         );
         let mut stream = batches.iter().cloned();
-        let expected = sync.run(&network, &mut stream, batches.len());
+        let expected = sync
+            .run(&network, &mut stream, batches.len())
+            .expect("sync engine never truncates");
         let got = run_pipelined(&network, &batches, 3, PipelineConfig::default());
         assert_eq!(got.results, expected.results);
         assert_eq!(
@@ -720,7 +821,9 @@ mod tests {
             },
         );
         let mut stream = all.iter().cloned();
-        let report = engine.run(&network, &mut stream, 6);
+        let report = engine
+            .run(&network, &mut stream, 6)
+            .expect("pipeline completed");
         assert_eq!(report.stream.batches, 6);
         assert_eq!(report.results.len(), 6);
         // end state must equal replaying all 10 batches synchronously
@@ -773,15 +876,20 @@ mod tests {
             2,
             PipelineConfig::default(),
         );
-        // ask for more batches than the stream yields
+        // ask for more batches than the stream yields: a short stream is not a
+        // truncated run — nothing that was ingested got lost
         let mut stream = batches.iter().cloned();
-        let report = engine.run(&network, &mut stream, 10);
+        let report = engine
+            .run(&network, &mut stream, 10)
+            .expect("short streams are not an error");
         assert_eq!(report.stream.batches, 3);
         assert_eq!(report.results.len(), 3);
 
         // and the degenerate empty stream
         let mut empty = std::iter::empty();
-        let report = engine.run(&network, &mut empty, 5);
+        let report = engine
+            .run(&network, &mut empty, 5)
+            .expect("empty streams are not an error");
         assert_eq!(report.stream.batches, 0);
         assert!(report.results.is_empty());
         assert!(!report.stream.final_result.is_empty()); // the initial result
@@ -804,7 +912,9 @@ mod tests {
             },
         );
         let mut stream = all.iter().cloned();
-        let report = engine.run(&network, &mut stream, 6);
+        let report = engine
+            .run(&network, &mut stream, 6)
+            .expect("pipeline completed");
         assert_eq!(report.stream.batches, 0);
         assert!(report.results.is_empty());
         let mut reference = ShardedSolution::new(Query::Q2, ShardBackend::Incremental, 2);
@@ -813,6 +923,74 @@ mod tests {
             last = reference.update_and_reevaluate(&coalesce(batch));
         }
         assert_eq!(report.stream.final_result, last);
+    }
+
+    #[test]
+    fn dead_shard_worker_is_reported_as_a_truncated_run() {
+        // regression: a shard worker dying mid-run used to make the merge stage
+        // `break 'merge` and the engine report success over fewer batches than
+        // ingested, because `send_counting` swallowed the disconnect
+        let network = network(67);
+        let batches = batches(&network, 0xdead, 8);
+        let mut engine = PipelinedEngine::graphblas(
+            Query::Q2,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                kill_shard: Some((1, 3)), // shard 1 dies before applying batch 3
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = batches.iter().cloned();
+        let err = engine
+            .run(&network, &mut stream, batches.len())
+            .expect_err("a dead worker must not report success");
+        match err {
+            EngineError::TruncatedRun { ingested, merged } => {
+                assert!(
+                    merged < ingested,
+                    "merged {merged} must be short of ingested {ingested}"
+                );
+                assert!(merged <= 3, "shard 1 died before batch 3, merged {merged}");
+            }
+        }
+        // the error renders the counts for operators
+        let rendered = err.to_string();
+        assert!(rendered.contains("truncated"), "{rendered}");
+    }
+
+    #[test]
+    fn ring_partitioner_threads_through_the_pipeline() {
+        let network = network(69);
+        let batches = batches(&network, 0x4177, 10);
+        let mut modulo = PipelinedEngine::graphblas(
+            Query::Q2,
+            ShardBackend::Incremental,
+            3,
+            PipelineConfig::default(),
+        );
+        let mut stream = batches.iter().cloned();
+        let expected = modulo
+            .run(&network, &mut stream, batches.len())
+            .expect("pipeline completed");
+        let mut ring = PipelinedEngine::with_partitioner(
+            Box::new(crate::shard::GraphBlasShardFactory::new(
+                Query::Q2,
+                ShardBackend::Incremental,
+            )),
+            Box::new(datagen::partition::RingPartitioner::new(3, 42)),
+            PipelineConfig::default(),
+        );
+        assert_eq!(
+            ring.name(),
+            "GraphBLAS Sharded Incremental (3 shards, ring, pipelined)"
+        );
+        let mut stream = batches.iter().cloned();
+        let got = ring
+            .run(&network, &mut stream, batches.len())
+            .expect("pipeline completed");
+        // a different placement policy must not change a single output byte
+        assert_eq!(got.results, expected.results);
     }
 
     #[test]

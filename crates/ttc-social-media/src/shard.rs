@@ -45,10 +45,12 @@
 //! pieces asynchronously over bounded queues with a watermark merge.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::Instant;
 
-use datagen::stream::shard_of_user;
-use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
+use datagen::apply_changeset as apply_network_changeset;
+use datagen::partition::{ModuloPartitioner, Partitioner};
+use datagen::{ChangeOperation, ChangeSet, Comment, ElementId, SocialNetwork};
 use rayon::prelude::*;
 
 use crate::graph::SocialGraph;
@@ -81,9 +83,17 @@ pub struct ShardRouterStats {
 
 /// Routes a coalesced micro-batch to per-shard changesets, maintaining the
 /// boundary-edge replica sets described in the [module documentation](self).
+///
+/// Ownership is decided in two layers: the injected [`Partitioner`] policy
+/// answers "which shard should own **new** work keyed on this user", while the
+/// sticky `post_shard`/`comment_shard` maps answer "which shard **does** own
+/// this existing submission". Existing trees therefore never move implicitly
+/// when the policy changes — they move only through [`ShardRouter::migrate_tree`].
 #[derive(Clone, Debug)]
 pub struct ShardRouter {
     shards: usize,
+    /// The injected partition policy every new-ownership decision goes through.
+    partitioner: Box<dyn Partitioner>,
     /// Owning shard of each post (the shard of its author).
     post_shard: HashMap<ElementId, usize>,
     /// Owning shard of each comment (the shard of its root post).
@@ -97,19 +107,26 @@ pub struct ShardRouter {
 }
 
 impl ShardRouter {
-    /// Build a router over the initial network. `shards == 0` is treated as 1.
+    /// Build a router over the initial network with the default modulo policy.
+    /// `shards == 0` is treated as 1.
     pub fn new(network: &SocialNetwork, shards: usize) -> Self {
-        let shards = shards.max(1);
+        Self::with_partitioner(network, Box::new(ModuloPartitioner::new(shards)))
+    }
+
+    /// Build a router over the initial network with an injected partition
+    /// policy (modulo, consistent-hash ring, assignment table, …).
+    pub fn with_partitioner(network: &SocialNetwork, partitioner: Box<dyn Partitioner>) -> Self {
+        let shards = partitioner.shard_count();
         let mut post_shard = HashMap::with_capacity(network.posts.len());
         for post in &network.posts {
-            post_shard.insert(post.id, shard_of_user(post.author, shards));
+            post_shard.insert(post.id, partitioner.shard_of(post.author));
         }
         let mut comment_shard = HashMap::with_capacity(network.comments.len());
         for comment in &network.comments {
             let shard = post_shard
                 .get(&comment.root_post)
                 .copied()
-                .unwrap_or_else(|| shard_of_user(comment.author, shards));
+                .unwrap_or_else(|| partitioner.shard_of(comment.author));
             comment_shard.insert(comment.id, shard);
         }
         let mut friend_adj: HashMap<ElementId, HashSet<ElementId>> = HashMap::new();
@@ -125,6 +142,7 @@ impl ShardRouter {
         }
         ShardRouter {
             shards,
+            partitioner,
             post_shard,
             comment_shard,
             friend_adj,
@@ -136,6 +154,11 @@ impl ShardRouter {
     /// Number of shards this router partitions over.
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// The injected partition policy (`"mod"`, `"ring"`, `"table"`, …).
+    pub fn partitioner(&self) -> &dyn Partitioner {
+        self.partitioner.as_ref()
     }
 
     /// Routing statistics accumulated since construction.
@@ -207,7 +230,7 @@ impl ShardRouter {
                     self.stats.broadcast_deliveries += self.shards as u64;
                 }
                 ChangeOperation::AddPost { post } => {
-                    let shard = shard_of_user(post.author, self.shards);
+                    let shard = self.partitioner.shard_of(post.author);
                     self.post_shard.insert(post.id, shard);
                     per_shard[shard].push(op.clone());
                     self.stats.routed_operations += 1;
@@ -217,7 +240,7 @@ impl ShardRouter {
                         .post_shard
                         .get(&comment.root_post)
                         .copied()
-                        .unwrap_or_else(|| shard_of_user(comment.author, self.shards));
+                        .unwrap_or_else(|| self.partitioner.shard_of(comment.author));
                     self.comment_shard.insert(comment.id, shard);
                     per_shard[shard].push(op.clone());
                     self.stats.routed_operations += 1;
@@ -291,6 +314,43 @@ impl ShardRouter {
                 self.stats.imported_boundary_edges += 1;
             }
         }
+    }
+
+    /// Re-own a discussion tree during a migration: point the sticky maps of
+    /// `root` and its `comments` at `to`, record `author`'s future assignment in
+    /// the partition policy (a no-op for static policies — see
+    /// [`Partitioner::reassign`]), and mark the tree's `likers` present in the
+    /// recipient shard.
+    ///
+    /// Returns the boundary-replica **import** operations the recipient must
+    /// apply *before* the tree's likes: for every liker newly present in `to`,
+    /// their live friendship edges towards users already present there — the
+    /// exact presence-tracked backfill [`ShardRouter::route`] performs when a
+    /// liker arrives through a routed `AddLike`, so the §5.2 replica invariant
+    /// ("edge in shard iff both endpoints present") is restored by construction.
+    ///
+    /// The donor's bookkeeping is deliberately left untouched: presence is
+    /// monotone (superfluous replicas never change a score), so no donor-side
+    /// replica retraction is needed or emitted.
+    pub fn migrate_tree(
+        &mut self,
+        root: ElementId,
+        author: ElementId,
+        comments: &[ElementId],
+        likers: &[ElementId],
+        to: usize,
+    ) -> Vec<ChangeOperation> {
+        assert!(to < self.shards, "migration target shard out of range");
+        self.post_shard.insert(root, to);
+        for &comment in comments {
+            self.comment_shard.insert(comment, to);
+        }
+        self.partitioner.reassign(author, to);
+        let mut imports = Vec::new();
+        for &liker in likers {
+            self.make_present(liker, to, &mut imports);
+        }
+        imports
     }
 }
 
@@ -573,37 +633,171 @@ pub fn load_shards(
     ShardMerger,
     String,
 ) {
-    let router = ShardRouter::new(network, shards.max(1));
+    load_shards_with(factory, network, Box::new(ModuloPartitioner::new(shards)))
+}
+
+/// [`load_shards`] with an injected partition policy instead of the default
+/// modulo — the entry point both engines use when a `--partitioner` other than
+/// `mod` is selected.
+pub fn load_shards_with(
+    factory: &dyn ShardFactory,
+    network: &SocialNetwork,
+    partitioner: Box<dyn Partitioner>,
+) -> (
+    ShardRouter,
+    Vec<Box<dyn ShardEvaluator>>,
+    ShardMerger,
+    String,
+) {
+    let (router, _parts, evaluators, merger, initial) =
+        load_shards_parts(factory, network, partitioner);
+    (router, evaluators, merger, initial)
+}
+
+/// [`load_shards_with`], additionally returning the per-shard sub-networks the
+/// evaluators were built from — rebalancing-enabled solutions keep them as
+/// their mirrors instead of paying [`ShardRouter::split_initial`] twice.
+fn load_shards_parts(
+    factory: &dyn ShardFactory,
+    network: &SocialNetwork,
+    partitioner: Box<dyn Partitioner>,
+) -> (
+    ShardRouter,
+    Vec<SocialNetwork>,
+    Vec<Box<dyn ShardEvaluator>>,
+    ShardMerger,
+    String,
+) {
+    let router = ShardRouter::with_partitioner(network, partitioner);
     let parts = router.split_initial(network);
-    let evaluators: Vec<Box<dyn ShardEvaluator>> = parts
-        .into_par_iter()
-        .map(|part| factory.build(&part))
-        .collect();
+    let evaluators: Vec<Box<dyn ShardEvaluator>> =
+        parts.par_iter().map(|part| factory.build(part)).collect();
     let mut merger = ShardMerger::new(TOP_K);
     let union: Vec<RankedEntry> = evaluators
         .iter()
         .flat_map(|e| e.candidates().iter().copied())
         .collect();
     let initial = merger.merge(union, true);
-    (router, evaluators, merger, initial)
+    (router, parts, evaluators, merger, initial)
 }
+
+/// Configuration of the skew monitor behind [`ShardedSolution::with_rebalancing`].
+///
+/// The monitor runs between micro-batches, reading the same load signal the
+/// `stream_throughput` report surfaces as `shard_sizes` (owned posts +
+/// comments per shard). When the hottest shard's load exceeds
+/// `skew_threshold ×` the mean, the largest discussion tree that still fits
+/// the donor–recipient gap is migrated to the coldest shard (see
+/// [`ShardedSolution::migrate_tree`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RebalanceConfig {
+    /// Batches between skew checks. `0` disables the automatic monitor while
+    /// still maintaining the per-shard mirrors, so explicit
+    /// [`ShardedSolution::migrate_tree`] calls (tests, operators) keep working.
+    pub check_every: usize,
+    /// Trigger threshold: migrate when `max_load > skew_threshold × mean_load`.
+    /// Must be `> 1.0`; values close to 1 chase noise, large values tolerate
+    /// skew.
+    pub skew_threshold: f64,
+    /// Upper bound on migrations per triggered check (each migration rebuilds
+    /// the donor shard, so this caps the pause a check may introduce).
+    pub max_migrations_per_check: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            check_every: 8,
+            skew_threshold: 1.5,
+            max_migrations_per_check: 1,
+        }
+    }
+}
+
+/// Counters of the skew monitor, surfaced in the `stream_throughput` report's
+/// `rebalance` block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceStats {
+    /// Skew checks performed (every `check_every` batches).
+    pub checks: u64,
+    /// Discussion trees migrated.
+    pub migrations: u64,
+    /// Comments moved across shards by those migrations.
+    pub migrated_comments: u64,
+    /// Likes moved across shards by those migrations.
+    pub migrated_likes: u64,
+}
+
+/// Why an explicit [`ShardedSolution::migrate_tree`] call was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The solution was built without [`ShardedSolution::with_rebalancing`], so
+    /// no per-shard mirrors exist to extract a tree from.
+    RebalancingDisabled,
+    /// The root post id is not owned by any shard (unknown or not a post).
+    UnknownRoot(ElementId),
+    /// The target shard index is `>=` the shard count.
+    ShardOutOfRange(usize),
+    /// The tree already lives on the requested target shard.
+    AlreadyOwned(usize),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::RebalancingDisabled => {
+                write!(f, "rebalancing is not enabled on this solution")
+            }
+            MigrateError::UnknownRoot(root) => write!(f, "unknown root post {root}"),
+            MigrateError::ShardOutOfRange(shard) => {
+                write!(f, "target shard {shard} out of range")
+            }
+            MigrateError::AlreadyOwned(shard) => {
+                write!(f, "tree already lives on shard {shard}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
 
 /// A [`Solution`] that partitions the graph across `N` shards and processes every
 /// micro-batch as a synchronous barrier pipeline: route → per-shard apply +
 /// recompute (rayon-parallel across shards) → cross-shard top-k merge. The
 /// per-shard backend is pluggable via [`ShardFactory`] — [`ShardedSolution::new`]
 /// wires the GraphBLAS backends, `nmf_baseline` supplies the NMF dependency-record
-/// evaluator — and the asynchronous counterpart that overlaps batches across the
-/// same pieces lives in [`crate::pipeline`]. See the [module documentation](self).
+/// evaluator — and so is the partition policy
+/// ([`ShardedSolution::with_factory_and_partitioner`]). The asynchronous
+/// counterpart that overlaps batches across the same pieces lives in
+/// [`crate::pipeline`]. See the [module documentation](self).
+///
+/// With [`ShardedSolution::with_rebalancing`], the solution additionally
+/// maintains one mirror [`SocialNetwork`] per shard (the replayable source of
+/// truth for what each shard holds) and runs the skew monitor between batches;
+/// see [`ShardedSolution::migrate_tree`] for the migration protocol and
+/// `DESIGN.md` §5.6 for the correctness argument.
 pub struct ShardedSolution {
     factory: Box<dyn ShardFactory>,
     shard_count: usize,
+    /// The pristine policy; cloned into the router on every load so repeated
+    /// loads never inherit a previous run's migration overrides.
+    partitioner: Box<dyn Partitioner>,
     router: Option<ShardRouter>,
     shards: Vec<Box<dyn ShardEvaluator>>,
     merger: ShardMerger,
     /// Per-shard per-batch update latencies (seconds), recorded by
     /// [`Solution::update_and_reevaluate`] for the benchmark report.
     per_shard_latencies: Vec<Vec<f64>>,
+    /// Rebalancing: skew-monitor configuration (`None` = disabled, no mirrors).
+    rebalance: Option<RebalanceConfig>,
+    /// One mirror network per shard, maintained only when rebalancing is
+    /// enabled: the routed changesets are replayed onto plain [`SocialNetwork`]s
+    /// so a migration can extract a tree's full payload (timestamps, authors,
+    /// parents) and rebuild the donor — state no [`ShardEvaluator`] is required
+    /// to expose.
+    mirrors: Vec<SocialNetwork>,
+    rebalance_stats: RebalanceStats,
+    batches_since_check: usize,
 }
 
 impl ShardedSolution {
@@ -615,17 +809,39 @@ impl ShardedSolution {
         Self::with_factory(Box::new(GraphBlasShardFactory::new(query, backend)), shards)
     }
 
-    /// Create a sharded solution over an arbitrary per-shard backend.
-    /// `shards == 0` is treated as 1.
+    /// Create a sharded solution over an arbitrary per-shard backend with the
+    /// default modulo partition policy. `shards == 0` is treated as 1.
     pub fn with_factory(factory: Box<dyn ShardFactory>, shards: usize) -> Self {
+        Self::with_factory_and_partitioner(factory, Box::new(ModuloPartitioner::new(shards)))
+    }
+
+    /// Create a sharded solution over an arbitrary per-shard backend and an
+    /// injected partition policy; the shard count is the policy's.
+    pub fn with_factory_and_partitioner(
+        factory: Box<dyn ShardFactory>,
+        partitioner: Box<dyn Partitioner>,
+    ) -> Self {
+        let shard_count = partitioner.shard_count();
         ShardedSolution {
             factory,
-            shard_count: shards.max(1),
+            shard_count,
+            partitioner,
             router: None,
             shards: Vec::new(),
             merger: ShardMerger::new(TOP_K),
             per_shard_latencies: Vec::new(),
+            rebalance: None,
+            mirrors: Vec::new(),
+            rebalance_stats: RebalanceStats::default(),
+            batches_since_check: 0,
         }
+    }
+
+    /// Enable tree-migration rebalancing: maintain per-shard mirrors and run
+    /// the skew monitor of `config` between micro-batches.
+    pub fn with_rebalancing(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = Some(config);
+        self
     }
 
     /// Number of shards.
@@ -633,9 +849,19 @@ impl ShardedSolution {
         self.shard_count
     }
 
+    /// Name of the partition policy in effect (`"mod"`, `"ring"`, `"table"`).
+    pub fn partitioner_name(&self) -> &'static str {
+        self.partitioner.name()
+    }
+
     /// Router statistics (zeroed until [`Solution::load_and_initial`] runs).
     pub fn router_stats(&self) -> ShardRouterStats {
         self.router.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// Skew-monitor statistics (all zero while rebalancing is disabled).
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.rebalance_stats
     }
 
     /// Per-shard per-batch update latencies in seconds, indexed `[shard][batch]`.
@@ -656,11 +882,179 @@ impl ShardedSolution {
             .collect();
         self.merger.merge(union, any_removals)
     }
+
+    /// Migrate the discussion tree rooted at post `root` to shard `to`:
+    ///
+    /// 1. **Extract** the tree's sub-network — the root post, its comments, and
+    ///    the likes on those comments — from the donor shard's mirror.
+    /// 2. **Re-own** it in the router ([`ShardRouter::migrate_tree`]): sticky
+    ///    maps point at the recipient, the partition policy records the
+    ///    author's future assignment, and the presence-tracked backfill yields
+    ///    the friendship **imports** the recipient needs for the tree's likers.
+    /// 3. **Apply** imports + tree to the recipient as an initial-load delta
+    ///    (an ordinary insert-only changeset through [`ShardEvaluator::apply`]).
+    /// 4. **Rebuild** the donor evaluator from its shrunken mirror (the model
+    ///    has no post/comment retractions, so the donor cannot be delta-shrunk).
+    ///
+    /// The migration is invisible to the merged output: every submission keeps
+    /// its exact score, it is merely computed on a different shard from the
+    /// next batch on (`DESIGN.md` §5.6 gives the argument; the rebalancing
+    /// differential tests enforce it byte-for-byte).
+    pub fn migrate_tree(&mut self, root: ElementId, to: usize) -> Result<(), MigrateError> {
+        if self.rebalance.is_none() {
+            return Err(MigrateError::RebalancingDisabled);
+        }
+        if to >= self.shard_count {
+            return Err(MigrateError::ShardOutOfRange(to));
+        }
+        let router = self
+            .router
+            .as_mut()
+            .expect("load_and_initial must run before migrations");
+        let donor = router
+            .shard_of_post(root)
+            .ok_or(MigrateError::UnknownRoot(root))?;
+        if donor == to {
+            return Err(MigrateError::AlreadyOwned(to));
+        }
+
+        // 1. extract the tree from the donor mirror (order-preserving, so the
+        //    recipient replays comments parent-before-child and likes after
+        //    their comments, exactly as the original stream delivered them)
+        let donor_mirror = &self.mirrors[donor];
+        let post = donor_mirror
+            .posts
+            .iter()
+            .find(|p| p.id == root)
+            .cloned()
+            .ok_or(MigrateError::UnknownRoot(root))?;
+        let comments: Vec<Comment> = donor_mirror
+            .comments
+            .iter()
+            .filter(|c| c.root_post == root)
+            .cloned()
+            .collect();
+        let comment_ids: HashSet<ElementId> = comments.iter().map(|c| c.id).collect();
+        let likes: Vec<(ElementId, ElementId)> = donor_mirror
+            .likes
+            .iter()
+            .filter(|&&(_, comment)| comment_ids.contains(&comment))
+            .copied()
+            .collect();
+        let mut likers: Vec<ElementId> = Vec::new();
+        let mut seen = HashSet::new();
+        for &(user, _) in &likes {
+            if seen.insert(user) {
+                likers.push(user); // first-appearance order, as routing would see it
+            }
+        }
+
+        // 2. re-own in the router; collect the recipient's friendship imports
+        let comment_id_list: Vec<ElementId> = comments.iter().map(|c| c.id).collect();
+        let imports = router.migrate_tree(root, post.author, &comment_id_list, &likers, to);
+
+        // 3. the initial-load delta: imports first (friendships only need the
+        //    replicated user registry), then the tree topology, then its likes
+        let mut operations = imports;
+        operations.push(ChangeOperation::AddPost { post: post.clone() });
+        operations.extend(comments.iter().map(|comment| ChangeOperation::AddComment {
+            comment: comment.clone(),
+        }));
+        operations.extend(
+            likes
+                .iter()
+                .map(|&(user, comment)| ChangeOperation::AddLike { user, comment }),
+        );
+        let delta = ChangeSet { operations };
+
+        // 4. shrink the donor mirror, grow the recipient mirror, and swap the
+        //    evaluators' state to match: recipient applies the delta
+        //    incrementally, the donor is rebuilt from its remaining sub-network
+        let donor_mirror = &mut self.mirrors[donor];
+        donor_mirror.posts.retain(|p| p.id != root);
+        donor_mirror.comments.retain(|c| c.root_post != root);
+        donor_mirror
+            .likes
+            .retain(|(_, comment)| !comment_ids.contains(comment));
+        apply_network_changeset(&mut self.mirrors[to], &delta);
+        self.shards[to].apply(&delta);
+        self.shards[donor] = self.factory.build(&self.mirrors[donor]);
+
+        self.rebalance_stats.migrations += 1;
+        self.rebalance_stats.migrated_comments += comments.len() as u64;
+        self.rebalance_stats.migrated_likes += likes.len() as u64;
+        Ok(())
+    }
+
+    /// The skew monitor: every `check_every` batches, compare the per-shard
+    /// loads (posts + comments, the `shard_sizes` signal) and migrate the
+    /// largest donor trees that still fit the donor–recipient gap. A tree of
+    /// load `s` only shrinks the gap when `s < gap` (the move transfers `s`
+    /// from donor to recipient, changing the gap by `−2s`), so larger trees
+    /// are skipped rather than ping-ponged.
+    fn maybe_rebalance(&mut self) {
+        let Some(config) = self.rebalance.clone() else {
+            return;
+        };
+        if config.check_every == 0 {
+            return;
+        }
+        self.batches_since_check += 1;
+        if self.batches_since_check < config.check_every {
+            return;
+        }
+        self.batches_since_check = 0;
+        self.rebalance_stats.checks += 1;
+        for _ in 0..config.max_migrations_per_check.max(1) {
+            let loads: Vec<usize> = self
+                .mirrors
+                .iter()
+                .map(|m| m.posts.len() + m.comments.len())
+                .collect();
+            let donor = (0..loads.len())
+                .max_by_key(|&s| loads[s])
+                .expect("at least one shard");
+            let recipient = (0..loads.len())
+                .min_by_key(|&s| loads[s])
+                .expect("at least one shard");
+            let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+            if donor == recipient || (loads[donor] as f64) <= config.skew_threshold * mean {
+                break;
+            }
+            let gap = loads[donor] - loads[recipient];
+            // largest donor tree with load < gap (ties resolve deterministically
+            // to the last such post in mirror order)
+            let mut comments_per_root: HashMap<ElementId, usize> = HashMap::new();
+            for comment in &self.mirrors[donor].comments {
+                *comments_per_root.entry(comment.root_post).or_insert(0) += 1;
+            }
+            let candidate = self.mirrors[donor]
+                .posts
+                .iter()
+                .map(|p| (p.id, 1 + comments_per_root.get(&p.id).copied().unwrap_or(0)))
+                .filter(|&(_, size)| size < gap)
+                .max_by_key(|&(_, size)| size);
+            let Some((root, _)) = candidate else {
+                break; // every tree is at least as large as the gap: moving any would overshoot
+            };
+            self.migrate_tree(root, recipient)
+                .expect("monitor-selected migration is always valid");
+        }
+    }
 }
 
 impl Solution for ShardedSolution {
     fn name(&self) -> String {
-        format!("{} ({} shards)", self.factory.name(), self.shard_count)
+        if self.partitioner.name() == "mod" {
+            format!("{} ({} shards)", self.factory.name(), self.shard_count)
+        } else {
+            format!(
+                "{} ({} shards, {})",
+                self.factory.name(),
+                self.shard_count,
+                self.partitioner.name()
+            )
+        }
     }
 
     fn query(&self) -> Query {
@@ -668,12 +1062,21 @@ impl Solution for ShardedSolution {
     }
 
     fn load_and_initial(&mut self, network: &SocialNetwork) -> String {
-        let (router, shards, merger, initial) =
-            load_shards(self.factory.as_ref(), network, self.shard_count);
+        let (router, parts, shards, merger, initial) =
+            load_shards_parts(self.factory.as_ref(), network, self.partitioner.clone());
+        // the mirrors start as the very sub-networks the evaluators were built
+        // from — no second split, no chance of divergence
+        self.mirrors = if self.rebalance.is_some() {
+            parts
+        } else {
+            Vec::new()
+        };
         self.router = Some(router);
         self.shards = shards;
         self.merger = merger;
         self.per_shard_latencies = vec![Vec::new(); self.shard_count];
+        self.rebalance_stats = RebalanceStats::default();
+        self.batches_since_check = 0;
         initial
     }
 
@@ -683,6 +1086,13 @@ impl Solution for ShardedSolution {
             .as_mut()
             .expect("load_and_initial must run before updates");
         let routed = router.route(changeset);
+        if self.rebalance.is_some() {
+            // keep the per-shard mirrors replaying exactly what the evaluators
+            // see (imports included), so a migration can extract any tree later
+            for (mirror, ops) in self.mirrors.iter_mut().zip(&routed) {
+                apply_network_changeset(mirror, ops);
+            }
+        }
         let tasks: Vec<(&mut Box<dyn ShardEvaluator>, ChangeSet)> =
             self.shards.iter_mut().zip(routed).collect();
         let outcomes: Vec<(bool, f64)> = tasks
@@ -698,7 +1108,11 @@ impl Solution for ShardedSolution {
             any_removals |= had_removals;
             self.per_shard_latencies[shard].push(secs);
         }
-        self.merge(any_removals)
+        let result = self.merge(any_removals);
+        // rebalancing runs strictly between batches: the result above is already
+        // merged, and the next batch sees the (possibly migrated) new ownership
+        self.maybe_rebalance();
+        result
     }
 }
 
@@ -706,7 +1120,7 @@ impl Solution for ShardedSolution {
 mod tests {
     use super::*;
     use crate::solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc};
-    use datagen::stream::{StreamConfig, UpdateStream};
+    use datagen::stream::{shard_of_user, StreamConfig, UpdateStream};
     use datagen::{generate_workload, GeneratorConfig};
 
     fn network(seed: u64) -> SocialNetwork {
@@ -951,6 +1365,179 @@ mod tests {
         let sizes = sharded.shard_sizes();
         assert_eq!(sizes.len(), 3);
         assert!(sizes.iter().map(|&(p, _)| p).sum::<usize>() >= network.posts.len());
+    }
+
+    #[test]
+    fn ring_partitioned_sharding_agrees_with_unsharded() {
+        use datagen::partition::RingPartitioner;
+        let network = network(41);
+        let batches = retraction_stream(&network, 0x4149, 8);
+        for query in [Query::Q1, Query::Q2] {
+            let mut reference = GraphBlasIncremental::new(query, false);
+            let mut ring = ShardedSolution::with_factory_and_partitioner(
+                Box::new(GraphBlasShardFactory::new(query, ShardBackend::Incremental)),
+                Box::new(RingPartitioner::new(3, 7)),
+            );
+            assert_eq!(ring.shard_count(), 3);
+            assert_eq!(ring.partitioner_name(), "ring");
+            assert_eq!(
+                ring.load_and_initial(&network),
+                reference.load_and_initial(&network)
+            );
+            for batch in &batches {
+                assert_eq!(
+                    ring.update_and_reevaluate(batch),
+                    reference.update_and_reevaluate(batch),
+                    "{query:?} diverged under the ring partitioner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_a_tree_and_preserves_output() {
+        use datagen::partition::{AssignmentTable, ModuloPartitioner};
+        let network = network(43);
+        let batches = retraction_stream(&network, 0x713e, 6);
+        let mut reference = GraphBlasIncremental::new(Query::Q2, false);
+        let mut sharded = ShardedSolution::with_factory_and_partitioner(
+            Box::new(GraphBlasShardFactory::new(
+                Query::Q2,
+                ShardBackend::Incremental,
+            )),
+            Box::new(AssignmentTable::new(Box::new(ModuloPartitioner::new(2)))),
+        )
+        .with_rebalancing(RebalanceConfig {
+            check_every: 0, // manual migrations only
+            ..RebalanceConfig::default()
+        });
+        assert_eq!(
+            sharded.load_and_initial(&network),
+            reference.load_and_initial(&network)
+        );
+        // drive a couple of batches, then forcibly migrate every shard-0 tree
+        // to shard 1 and keep streaming: outputs must never diverge
+        for (batch_no, batch) in batches.iter().enumerate() {
+            assert_eq!(
+                sharded.update_and_reevaluate(batch),
+                reference.update_and_reevaluate(batch),
+                "diverged at batch {batch_no}"
+            );
+            if batch_no == 2 {
+                let roots: Vec<ElementId> = network
+                    .posts
+                    .iter()
+                    .filter(|p| p.author % 2 == 0)
+                    .map(|p| p.id)
+                    .collect();
+                assert!(!roots.is_empty(), "shard 0 owns at least one tree");
+                for root in roots {
+                    sharded.migrate_tree(root, 1).expect("migration succeeds");
+                }
+                let stats = sharded.rebalance_stats();
+                assert!(stats.migrations > 0);
+                // shard 0 is now empty of posts; shard 1 owns everything
+                let sizes = sharded.shard_sizes();
+                assert_eq!(sizes[0].0, 0, "shard 0 still owns posts: {sizes:?}");
+                assert_eq!(
+                    sizes[1].0,
+                    network.posts.len(),
+                    "shard 1 must own every post"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_errors_are_reported() {
+        let network = network(47);
+        let mut plain = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2);
+        plain.load_and_initial(&network);
+        assert_eq!(
+            plain.migrate_tree(network.posts[0].id, 1),
+            Err(MigrateError::RebalancingDisabled)
+        );
+
+        let mut sharded = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2)
+            .with_rebalancing(RebalanceConfig::default());
+        sharded.load_and_initial(&network);
+        assert_eq!(
+            sharded.migrate_tree(0xdead_beef, 1),
+            Err(MigrateError::UnknownRoot(0xdead_beef))
+        );
+        let root = network.posts[0].id;
+        assert_eq!(
+            sharded.migrate_tree(root, 9),
+            Err(MigrateError::ShardOutOfRange(9))
+        );
+        let owner = shard_of_user(network.posts[0].author, 2);
+        assert_eq!(
+            sharded.migrate_tree(root, owner),
+            Err(MigrateError::AlreadyOwned(owner))
+        );
+        assert!(MigrateError::RebalancingDisabled
+            .to_string()
+            .contains("not enabled"));
+    }
+
+    #[test]
+    fn skew_monitor_migrates_hot_trees_automatically() {
+        let network = network(53);
+        // a hot-tree stream: most new comments/likes pile onto one tree
+        let batches: Vec<ChangeSet> = UpdateStream::new(
+            &network,
+            StreamConfig {
+                seed: 0x807,
+                batch_size: 24,
+                deletion_weight: 0.05,
+                hot_tree_bias: 0.85,
+                ..StreamConfig::default()
+            },
+        )
+        .take(24)
+        .collect();
+        let mut reference = GraphBlasIncremental::new(Query::Q1, false);
+        let mut balanced = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2)
+            .with_rebalancing(RebalanceConfig {
+                check_every: 4,
+                skew_threshold: 1.2,
+                max_migrations_per_check: 2,
+            });
+        let mut skewed = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2);
+        assert_eq!(
+            balanced.load_and_initial(&network),
+            reference.load_and_initial(&network)
+        );
+        skewed.load_and_initial(&network);
+        for (batch_no, batch) in batches.iter().enumerate() {
+            let expected = reference.update_and_reevaluate(batch);
+            assert_eq!(
+                balanced.update_and_reevaluate(batch),
+                expected,
+                "rebalanced run diverged at batch {batch_no}"
+            );
+            skewed.update_and_reevaluate(batch);
+        }
+        let stats = balanced.rebalance_stats();
+        assert!(stats.checks > 0, "monitor never checked");
+        assert!(
+            stats.migrations > 0,
+            "hot-tree stream must trigger migration"
+        );
+        // the monitor must leave the shards measurably less skewed than the
+        // static partition: compare max/mean of posts + comments
+        let skew_of = |sizes: &[(usize, usize)]| {
+            let loads: Vec<usize> = sizes.iter().map(|&(p, c)| p + c).collect();
+            let max = *loads.iter().max().expect("non-empty") as f64;
+            let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+            max / mean
+        };
+        let balanced_skew = skew_of(&balanced.shard_sizes());
+        let skewed_skew = skew_of(&skewed.shard_sizes());
+        assert!(
+            balanced_skew < skewed_skew,
+            "rebalancing must reduce skew: {balanced_skew:.3} vs static {skewed_skew:.3}"
+        );
     }
 
     #[test]

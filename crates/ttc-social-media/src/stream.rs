@@ -161,47 +161,69 @@ fn json_string(value: &str) -> String {
     out
 }
 
+/// Render a float as a JSON number at full precision — the same rule
+/// `bench::report` inherits from `serde_json`'s `Number` (Rust's shortest
+/// round-trippable `Display`), with non-finite values as `null`. Fixed-width
+/// `{:.6}` formatting is *not* a substitute: sub-microsecond latencies — the
+/// normal p50 regime of the incremental backends on small batches — all
+/// serialized as `0.000000`, erasing the very signal the latency fields exist
+/// to carry.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string() // JSON has no NaN/Inf
+    }
+}
+
 impl StreamReport {
     /// Render the report as a single JSON object.
     ///
     /// The field order is stable (the declaration order below, never
-    /// alphabetised) and strings are escaped per RFC 8259, so the bench gate can
-    /// parse reports back and diff them across runs byte-reliably.
+    /// alphabetised), strings are escaped per RFC 8259, and floats carry full
+    /// precision, so the bench gate can parse reports back and diff them across
+    /// runs byte-reliably.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"solution\":{},\"batches\":{},\"total_operations\":{},",
-                "\"applied_operations\":{},\"elapsed_secs\":{:.6},",
-                "\"updates_per_sec\":{:.1},\"p50_latency_secs\":{:.6},",
-                "\"p90_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
-                "\"max_latency_secs\":{:.6},\"load_secs\":{:.6},\"final_result\":{}}}"
+                "\"applied_operations\":{},\"elapsed_secs\":{},",
+                "\"updates_per_sec\":{},\"p50_latency_secs\":{},",
+                "\"p90_latency_secs\":{},\"p99_latency_secs\":{},",
+                "\"max_latency_secs\":{},\"load_secs\":{},\"final_result\":{}}}"
             ),
             json_string(&self.solution),
             self.batches,
             self.total_operations,
             self.applied_operations,
-            self.elapsed_secs,
-            self.updates_per_sec,
-            self.p50_latency_secs,
-            self.p90_latency_secs,
-            self.p99_latency_secs,
-            self.max_latency_secs,
-            self.load_secs,
+            json_f64(self.elapsed_secs),
+            json_f64(self.updates_per_sec),
+            json_f64(self.p50_latency_secs),
+            json_f64(self.p90_latency_secs),
+            json_f64(self.p99_latency_secs),
+            json_f64(self.max_latency_secs),
+            json_f64(self.load_secs),
             json_string(&self.final_result),
         )
     }
 }
 
 /// Value at percentile `p` (0–100) of an **ascending-sorted** slice, by
-/// nearest-rank — the one definition every latency figure in this workspace
-/// uses ([`StreamReport`] and the per-shard blocks of `stream_throughput
-/// --shards`), so merged and per-shard percentiles stay comparable.
+/// standard nearest-rank (`rank = ⌈p/100 · len⌉`, 1-based) — the one
+/// definition every latency figure in this workspace uses ([`StreamReport`]
+/// and the per-shard blocks of `stream_throughput --shards`), so merged and
+/// per-shard percentiles stay comparable.
+///
+/// The previous implementation rounded on a `(len − 1)` scale, which is
+/// neither nearest-rank nor linear interpolation: `percentile(&[1,2,3,4],
+/// 50.0)` returned `3.0`, biasing every even-length p50/p90 upward by up to
+/// one rank.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Drives micro-batches from an update stream through a [`Solution`], measuring
@@ -526,6 +548,40 @@ mod tests {
     }
 
     #[test]
+    fn report_json_keeps_sub_microsecond_latencies() {
+        // regression: fixed {:.6} formatting serialized every sub-microsecond
+        // p50 as 0.000000, so the fastest (most interesting) latency figures
+        // vanished from the report
+        let network = network();
+        let mut solution = GraphBlasIncremental::new(Query::Q1, false);
+        let mut report =
+            StreamDriver::default().run(&mut solution, &network, stream(19, &network), 2);
+        report.p50_latency_secs = 2.5e-7;
+        report.p90_latency_secs = 7.5e-7;
+        let parsed = serde_json::from_str(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("p50_latency_secs")
+                .and_then(serde_json::Value::as_f64),
+            Some(2.5e-7),
+            "sub-microsecond p50 must survive serialization at full precision"
+        );
+        assert_eq!(
+            parsed
+                .get("p90_latency_secs")
+                .and_then(serde_json::Value::as_f64),
+            Some(7.5e-7)
+        );
+        // non-finite values render as null rather than poisoning the parser
+        report.p99_latency_secs = f64::NAN;
+        let parsed = serde_json::from_str(&report.to_json()).expect("valid JSON with null");
+        assert!(matches!(
+            parsed.get("p99_latency_secs"),
+            Some(serde_json::Value::Null)
+        ));
+    }
+
+    #[test]
     fn report_json_field_order_is_stable() {
         let network = network();
         let mut solution = GraphBlasIncremental::new(Query::Q1, false);
@@ -562,7 +618,13 @@ mod tests {
         let sorted = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&sorted, 0.0), 1.0);
         assert_eq!(percentile(&sorted, 100.0), 4.0);
-        assert_eq!(percentile(&sorted, 50.0), 3.0); // nearest rank rounds up here
+        // nearest rank: ⌈0.5 · 4⌉ = rank 2 (the old (len−1)-scale rounding
+        // returned 3.0 here — an upward-biased median)
+        assert_eq!(percentile(&sorted, 50.0), 2.0);
+        assert_eq!(percentile(&sorted, 90.0), 4.0); // ⌈3.6⌉ = rank 4
+        assert_eq!(percentile(&sorted, 25.0), 1.0); // ⌈1.0⌉ = rank 1
         assert_eq!(percentile(&[], 50.0), 0.0);
+        // odd lengths: the true median element
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
     }
 }

@@ -36,6 +36,10 @@ cargo run --release -p bench --bin stream_throughput -- --smoke --shards 2 > /de
 echo "==> stream_throughput --smoke --pipeline (staged async pipeline smoke)"
 cargo run --release -p bench --bin stream_throughput -- --smoke --pipeline > /dev/null
 
+echo "==> stream_throughput rebalancing smoke (ring partitioner + skew monitor on a hot-tree stream)"
+cargo run --release -p bench --bin stream_throughput -- --smoke --shards 2 \
+    --partitioner ring --rebalance --hot-tree 0.7 > /dev/null
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

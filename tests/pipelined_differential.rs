@@ -52,7 +52,10 @@ fn run_sync(
 ) -> Vec<String> {
     let mut engine = SyncEngine::new(StreamDriver::default(), Box::new(solution));
     let mut stream = batches.iter().cloned();
-    engine.run(network, &mut stream, batches.len()).results
+    engine
+        .run(network, &mut stream, batches.len())
+        .expect("sync engine never truncates")
+        .results
 }
 
 /// Per-batch results of the pipelined engine.
@@ -72,7 +75,10 @@ fn run_pipelined(
         },
     );
     let mut stream = batches.iter().cloned();
-    engine.run(network, &mut stream, batches.len()).results
+    engine
+        .run(network, &mut stream, batches.len())
+        .expect("pipeline completed")
+        .results
 }
 
 fn graphblas_factory(query: Query, backend: ShardBackend) -> Box<dyn ShardFactory> {
@@ -92,7 +98,10 @@ fn pipelined_outputs_are_byte_identical_to_the_barrier_driver() {
             Box::new(GraphBlasIncremental::new(query, false)),
         );
         let mut stream = batches.iter().cloned();
-        let anchor = unsharded.run(&network, &mut stream, batches.len()).results;
+        let anchor = unsharded
+            .run(&network, &mut stream, batches.len())
+            .expect("sync engine never truncates")
+            .results;
         for &shards in &SHARD_COUNTS {
             let sync = run_sync(
                 ShardedSolution::new(query, ShardBackend::Incremental, shards),
@@ -350,7 +359,10 @@ proptest! {
                 Box::new(GraphBlasIncremental::new(query, false)),
             );
             let mut stream = batches.iter().cloned();
-            let anchor = unsharded.run(&network, &mut stream, batches.len()).results;
+            let anchor = unsharded
+                .run(&network, &mut stream, batches.len())
+                .expect("sync engine never truncates")
+                .results;
             prop_assert_eq!(&sync, &anchor, "sync sharded vs unsharded at {:?}", query);
         }
     }

@@ -1,0 +1,271 @@
+//! Differential tests of skew-aware shard rebalancing (the ISSUE 5 acceptance
+//! gate): for shards ∈ {2, 4}, rebalanced runs — forced mid-stream tree
+//! migrations, automatic skew-monitor migrations, and migrations under the
+//! consistent-hash-ring partition policy — must produce **byte-identical
+//! per-batch** Q1/Q2 top-3 outputs to the unsharded driver on retraction-heavy
+//! sf1 streams, plus a proptest that any sequence of valid migrations is
+//! output-invariant.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::partition::{
+    AssignmentTable, ModuloPartitioner, Partitioner, RingPartitioner,
+};
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{generate_scale_factor, ChangeSet, ElementId, SocialNetwork};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::shard::{
+    GraphBlasShardFactory, MigrateError, RebalanceConfig, ShardBackend, ShardedSolution,
+};
+use ttc2018_graphblas::ttc_social_media::solution::Solution;
+use ttc2018_graphblas::ttc_social_media::GraphBlasIncremental;
+
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+fn sf1_network() -> SocialNetwork {
+    generate_scale_factor(1).initial
+}
+
+/// A retraction-heavy micro-batch stream over the sf1 network (30% deletions),
+/// the regime where a stale candidate surviving a migration would surface as a
+/// wrong rebuild.
+fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 64,
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// A rebalancing-enabled sharded solution over an [`AssignmentTable`]-wrapped
+/// base policy, with the automatic monitor off (tests force migrations
+/// explicitly unless stated otherwise).
+fn rebalanceable(query: Query, base: Box<dyn Partitioner>) -> ShardedSolution {
+    ShardedSolution::with_factory_and_partitioner(
+        Box::new(GraphBlasShardFactory::new(query, ShardBackend::Incremental)),
+        Box::new(AssignmentTable::new(base)),
+    )
+    .with_rebalancing(RebalanceConfig {
+        check_every: 0,
+        ..RebalanceConfig::default()
+    })
+}
+
+/// The acceptance gate: forced mid-stream migrations leave every per-batch
+/// output byte-identical to the unsharded incremental driver, for shards ∈
+/// {2, 4} and both queries, on a retraction-heavy sf1 stream.
+#[test]
+fn forced_mid_stream_migrations_are_byte_invariant() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x5eba, 12);
+    // migrate the three largest initial trees, round-robin over recipients,
+    // at different points of the stream
+    let mut tree_sizes: Vec<(usize, ElementId)> = network
+        .posts
+        .iter()
+        .map(|p| {
+            let comments = network
+                .comments
+                .iter()
+                .filter(|c| c.root_post == p.id)
+                .count();
+            (comments, p.id)
+        })
+        .collect();
+    tree_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let hot_roots: Vec<ElementId> = tree_sizes.iter().take(3).map(|&(_, id)| id).collect();
+
+    for query in [Query::Q1, Query::Q2] {
+        for &shards in &SHARD_COUNTS {
+            let mut reference = GraphBlasIncremental::new(query, false);
+            let mut rebalanced = rebalanceable(query, Box::new(ModuloPartitioner::new(shards)));
+            assert_eq!(
+                rebalanced.load_and_initial(&network),
+                reference.load_and_initial(&network),
+                "{query:?}/{shards} shards diverged at load"
+            );
+            for (batch_no, batch) in batches.iter().enumerate() {
+                assert_eq!(
+                    rebalanced.update_and_reevaluate(batch),
+                    reference.update_and_reevaluate(batch),
+                    "{query:?}/{shards} shards diverged at batch {batch_no}"
+                );
+                // force a migration after batches 2, 5, 8 — mid-stream, with
+                // retractions still arriving for the migrated trees
+                if batch_no % 3 == 2 {
+                    let root = hot_roots[(batch_no / 3) % hot_roots.len()];
+                    let target = (batch_no / 3 + 1) % shards;
+                    match rebalanced.migrate_tree(root, target) {
+                        Ok(()) | Err(MigrateError::AlreadyOwned(_)) => {}
+                        Err(err) => panic!("migration of {root} to {target} failed: {err}"),
+                    }
+                }
+            }
+            assert!(
+                rebalanced.rebalance_stats().migrations > 0,
+                "{query:?}/{shards}: the test never actually migrated"
+            );
+        }
+    }
+}
+
+/// Migrations compose with the consistent-hash-ring base policy the same way
+/// they do with modulo: still byte-identical to the unsharded driver.
+#[test]
+fn migrations_over_the_ring_partitioner_are_byte_invariant() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x417b, 10);
+    let mut reference = GraphBlasIncremental::new(Query::Q2, false);
+    let mut rebalanced = rebalanceable(Query::Q2, Box::new(RingPartitioner::new(4, 42)));
+    assert_eq!(
+        rebalanced.load_and_initial(&network),
+        reference.load_and_initial(&network)
+    );
+    let roots: Vec<ElementId> = network.posts.iter().map(|p| p.id).collect();
+    for (batch_no, batch) in batches.iter().enumerate() {
+        assert_eq!(
+            rebalanced.update_and_reevaluate(batch),
+            reference.update_and_reevaluate(batch),
+            "ring-partitioned rebalanced run diverged at batch {batch_no}"
+        );
+        // bounce a different tree to a different shard after every batch
+        let root = roots[batch_no % roots.len()];
+        let target = batch_no % 4;
+        match rebalanced.migrate_tree(root, target) {
+            Ok(()) | Err(MigrateError::AlreadyOwned(_)) => {}
+            Err(err) => panic!("migration failed: {err}"),
+        }
+    }
+}
+
+/// The automatic skew monitor on a hot-tree sf1 stream: outputs stay
+/// byte-identical while the monitor migrates, and the final max/mean skew of
+/// the `shard_sizes` signal is measurably below the static-partition run's.
+#[test]
+fn skew_monitor_reduces_hot_tree_skew_without_changing_output() {
+    let network = sf1_network();
+    let batches: Vec<ChangeSet> = UpdateStream::new(
+        &network,
+        StreamConfig {
+            seed: 0x807_1e35,
+            batch_size: 64,
+            deletion_weight: 0.1,
+            hot_tree_bias: 0.8,
+            ..StreamConfig::default()
+        },
+    )
+    .take(20)
+    .collect();
+
+    let mut reference = GraphBlasIncremental::new(Query::Q1, false);
+    let mut monitored = ShardedSolution::with_factory_and_partitioner(
+        Box::new(GraphBlasShardFactory::new(
+            Query::Q1,
+            ShardBackend::Incremental,
+        )),
+        Box::new(AssignmentTable::new(Box::new(ModuloPartitioner::new(2)))),
+    )
+    .with_rebalancing(RebalanceConfig {
+        check_every: 4,
+        skew_threshold: 1.2,
+        max_migrations_per_check: 2,
+    });
+    let mut static_partition = ShardedSolution::new(Query::Q1, ShardBackend::Incremental, 2);
+
+    assert_eq!(
+        monitored.load_and_initial(&network),
+        reference.load_and_initial(&network)
+    );
+    static_partition.load_and_initial(&network);
+    for (batch_no, batch) in batches.iter().enumerate() {
+        let expected = reference.update_and_reevaluate(batch);
+        assert_eq!(
+            monitored.update_and_reevaluate(batch),
+            expected,
+            "monitored run diverged at batch {batch_no}"
+        );
+        static_partition.update_and_reevaluate(batch);
+    }
+
+    let stats = monitored.rebalance_stats();
+    assert!(stats.checks > 0 && stats.migrations > 0, "{stats:?}");
+    let skew = |solution: &ShardedSolution| {
+        let loads: Vec<usize> = solution.shard_sizes().iter().map(|&(p, c)| p + c).collect();
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        max / mean
+    };
+    let monitored_skew = skew(&monitored);
+    let static_skew = skew(&static_partition);
+    assert!(
+        monitored_skew < static_skew,
+        "monitor must reduce max/mean skew: {monitored_skew:.3} (rebalanced) vs \
+         {static_skew:.3} (static)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sequence of valid migrations — arbitrary trees to arbitrary shards
+    /// at arbitrary points of the stream — preserves byte-identical per-batch
+    /// output vs. the unsharded driver. The migration machinery (extraction,
+    /// replica backfill, donor rebuild, assignment-table override) must be
+    /// completely invisible to the merged result.
+    #[test]
+    fn migration_sequences_are_output_invariant(
+        seed in 0u64..1000,
+        shards in 2usize..5,
+        schedule in prop::collection::vec((0usize..64, 0usize..8, 0usize..5), 0..12),
+    ) {
+        let network = ttc2018_graphblas::datagen::generate_workload(
+            &ttc2018_graphblas::datagen::GeneratorConfig::tiny(seed),
+        )
+        .initial;
+        let batches: Vec<ChangeSet> = UpdateStream::new(
+            &network,
+            StreamConfig {
+                seed: seed ^ 0xabcd,
+                batch_size: 16,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(8)
+        .collect();
+        let roots: Vec<ElementId> = network.posts.iter().map(|p| p.id).collect();
+        prop_assert!(!roots.is_empty(), "tiny networks always generate posts");
+
+        for query in [Query::Q1, Query::Q2] {
+            let mut reference = GraphBlasIncremental::new(query, false);
+            let mut rebalanced =
+                rebalanceable(query, Box::new(ModuloPartitioner::new(shards)));
+            prop_assert_eq!(
+                rebalanced.load_and_initial(&network),
+                reference.load_and_initial(&network)
+            );
+            for (batch_no, batch) in batches.iter().enumerate() {
+                prop_assert_eq!(
+                    rebalanced.update_and_reevaluate(batch),
+                    reference.update_and_reevaluate(batch),
+                    "{:?} diverged at batch {} (shards {}, seed {})",
+                    query, batch_no, shards, seed
+                );
+                for &(root_idx, target, at_batch) in &schedule {
+                    if at_batch % batches.len() == batch_no {
+                        let root = roots[root_idx % roots.len()];
+                        match rebalanced.migrate_tree(root, target % shards) {
+                            Ok(()) | Err(MigrateError::AlreadyOwned(_)) => {}
+                            Err(err) => prop_assert!(false, "migration failed: {}", err),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
