@@ -1,10 +1,12 @@
 //! The throughput regression gate behind `scripts/bench_gate.sh`.
 //!
 //! Runs a fixed, quick streaming configuration (sf1, seeded stream, smoke-sized
-//! batch counts) for a curated set of (query, variant, shards) combinations,
-//! writes the measurements as `BENCH_stream.json`-shaped JSON, and compares them
-//! against the checked-in baseline: CI fails when any variant's sustained
-//! updates/sec drops more than the tolerance (default 20%) below its baseline.
+//! batch counts) for a curated set of (query, variant, shards) combinations —
+//! including a crash-tolerant pipelined entry (`q1/pipelined/recover`) whose
+//! measurement kills and restores a shard mid-run — writes the measurements as
+//! `BENCH_stream.json`-shaped JSON, and compares them against the checked-in
+//! baseline: CI fails when any variant's sustained updates/sec drops more than
+//! the tolerance (default 20%) below its baseline.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_gate -- \
@@ -36,6 +38,7 @@ use datagen::{generate_scale_factor, SocialNetwork};
 use serde_json::{json, to_string_pretty, Value};
 use ttc_social_media::model::Query;
 use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelinedEngine};
+use ttc_social_media::recovery::RecoveryConfig;
 use ttc_social_media::shard::{GraphBlasShardFactory, ShardBackend, ShardedSolution};
 use ttc_social_media::solution::{GraphBlasIncremental, GraphBlasIncrementalCc, Solution};
 use ttc_social_media::stream::{StreamDriver, StreamDriverConfig, StreamReport};
@@ -61,6 +64,10 @@ struct GateEntry {
     /// Run through the staged asynchronous engine instead of the synchronous
     /// barrier driver (requires `shards > 0`).
     pipelined: bool,
+    /// Run the pipelined engine crash-tolerant (checkpoints + changeset log)
+    /// with one shard killed mid-run, so the gated number includes the
+    /// checkpoint overhead and one restore+replay (requires `pipelined`).
+    recover: bool,
 }
 
 const GRID: &[GateEntry] = &[
@@ -71,6 +78,7 @@ const GRID: &[GateEntry] = &[
         shards: 0,
         partitioner: "mod",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q2/incremental",
@@ -79,6 +87,7 @@ const GRID: &[GateEntry] = &[
         shards: 0,
         partitioner: "mod",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q2/incremental-cc",
@@ -87,6 +96,7 @@ const GRID: &[GateEntry] = &[
         shards: 0,
         partitioner: "mod",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q1/incremental/shards4",
@@ -95,6 +105,7 @@ const GRID: &[GateEntry] = &[
         shards: 4,
         partitioner: "mod",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q2/incremental/shards4",
@@ -103,6 +114,7 @@ const GRID: &[GateEntry] = &[
         shards: 4,
         partitioner: "mod",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q1/incremental/shards4/ring",
@@ -111,6 +123,7 @@ const GRID: &[GateEntry] = &[
         shards: 4,
         partitioner: "ring",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q2/incremental/shards4/ring",
@@ -119,6 +132,7 @@ const GRID: &[GateEntry] = &[
         shards: 4,
         partitioner: "ring",
         pipelined: false,
+        recover: false,
     },
     GateEntry {
         key: "q1/incremental/shards2/pipelined",
@@ -127,6 +141,7 @@ const GRID: &[GateEntry] = &[
         shards: 2,
         partitioner: "mod",
         pipelined: true,
+        recover: false,
     },
     GateEntry {
         key: "q2/incremental/shards2/pipelined",
@@ -135,6 +150,16 @@ const GRID: &[GateEntry] = &[
         shards: 2,
         partitioner: "mod",
         pipelined: true,
+        recover: false,
+    },
+    GateEntry {
+        key: "q1/pipelined/recover",
+        query: Query::Q1,
+        variant: "incremental",
+        shards: 2,
+        partitioner: "mod",
+        pipelined: true,
+        recover: true,
     },
 ];
 
@@ -240,12 +265,23 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
     if entry.pipelined {
         assert!(entry.shards > 0, "pipelined gate entries need shards");
         return run_in_pool(THREADS, || {
+            // recover entries measure the crash-tolerant configuration under
+            // fire: checkpointing on, shard 1 killed halfway, one deterministic
+            // restore+replay included in the gated number
+            let (kill_shards, recovery) = if entry.recover {
+                let kill_seq = ((WARMUP + BATCHES) / 2) as u64;
+                (vec![(1, kill_seq)], Some(RecoveryConfig::default()))
+            } else {
+                (Vec::new(), None)
+            };
             let mut engine = PipelinedEngine::graphblas(
                 entry.query,
                 backend,
                 entry.shards,
                 PipelineConfig {
                     warmup_batches: WARMUP,
+                    kill_shards,
+                    recovery,
                     ..PipelineConfig::default()
                 },
             );
@@ -292,6 +328,7 @@ fn measure_report() -> Value {
                 "shards": entry.shards,
                 "partitioner": entry.partitioner,
                 "pipelined": entry.pipelined,
+                "recover": entry.recover,
                 "updates_per_sec": report.updates_per_sec,
                 "p99_latency_secs": report.p99_latency_secs,
                 "final_result": &report.final_result,

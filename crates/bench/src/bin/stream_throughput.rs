@@ -12,7 +12,8 @@
 //!     [--batch-size 64] [--warmup 10] [--seed 42] [--deletions 0.1] \
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
 //!     [--threads 1] [--shards N] [--partitioner mod|ring] [--rebalance] \
-//!     [--hot-tree P] [--pipeline] [--queue-depth D] [--smoke]
+//!     [--hot-tree P] [--pipeline] [--queue-depth D] [--kill-shard S] [--recover] \
+//!     [--checkpoint-every K] [--smoke]
 //! ```
 //!
 //! `--shards N` (N ≥ 1) runs each variant through the sharded pipeline
@@ -44,6 +45,17 @@
 //! measures queue overhead). Stage threads are spawned by the engine itself;
 //! `--threads` still sizes the rayon pool used during the initial load.
 //!
+//! `--kill-shard S` (repeatable, pipelined runs only) injects a crash: shard
+//! `S`'s apply worker dies halfway through the run (at sequence number
+//! `(warmup + batches) / 2`). On its own that proves the truncation detection
+//! — the run exits non-zero with `EngineError::TruncatedRun`. With `--recover`
+//! the engine checkpoints every `--checkpoint-every K` batches (default
+//! [`RecoveryConfig::default`]), restores the killed shard from its latest
+//! snapshot, replays the changeset log, and completes the run normally; the
+//! `pipeline` block then nests a `recovery` block with the crash/restore
+//! counters and the worst restore latency. This is the CI chaos smoke:
+//! `--smoke --pipeline --kill-shard 1 --recover` under several seeds.
+//!
 //! `--smoke` overrides everything with a small fixed configuration (sf1, every
 //! variant of both queries, 2 worker threads so the parallel kernels run) and is
 //! what `scripts/check.sh` executes: any panic in the kernels or the streaming
@@ -58,6 +70,7 @@ use nmf_baseline::NmfShardFactory;
 use serde_json::{json, Value};
 use ttc_social_media::model::Query;
 use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine};
+use ttc_social_media::recovery::RecoveryConfig;
 use ttc_social_media::shard::{
     GraphBlasShardFactory, RebalanceConfig, RebalanceStats, ShardBackend, ShardFactory,
     ShardRouterStats, ShardedSolution,
@@ -81,6 +94,9 @@ struct Args {
     hot_tree: f64,
     pipeline: bool,
     queue_depth: usize,
+    kill_shards: Vec<usize>,
+    recover: bool,
+    checkpoint_every: u64,
 }
 
 fn parse_args() -> Args {
@@ -100,6 +116,9 @@ fn parse_args() -> Args {
         hot_tree: 0.0,
         pipeline: false,
         queue_depth: 4,
+        kill_shards: Vec::new(),
+        recover: false,
+        checkpoint_every: RecoveryConfig::default().checkpoint_every,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -178,6 +197,20 @@ fn parse_args() -> Args {
             "--queue-depth" => {
                 i += 1;
                 args.queue_depth = argv[i].parse().expect("--queue-depth expects an integer");
+            }
+            "--kill-shard" => {
+                i += 1;
+                args.kill_shards
+                    .push(argv[i].parse().expect("--kill-shard expects a shard index"));
+            }
+            "--recover" => {
+                args.recover = true;
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                args.checkpoint_every = argv[i]
+                    .parse()
+                    .expect("--checkpoint-every expects an integer ≥ 1");
             }
             "--smoke" => {
                 args.scale_factor = 1;
@@ -327,6 +360,14 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if (!args.kill_shards.is_empty() || args.recover) && !args.pipeline {
+        eprintln!("error: --kill-shard/--recover require --pipeline (they exercise its workers)");
+        std::process::exit(2);
+    }
+    if args.checkpoint_every == 0 {
+        eprintln!("error: --checkpoint-every expects an integer ≥ 1");
+        std::process::exit(2);
+    }
     let args = args;
     let network = generate_scale_factor(args.scale_factor).initial;
     eprintln!(
@@ -384,6 +425,9 @@ fn main() {
             // initial load) sees the configured worker count
             let (report, extra) = match factory {
                 Some(factory) if args.pipeline => run_in_pool(args.threads, || {
+                    // chaos injection: each --kill-shard S dies halfway
+                    // through the run, recovery (when enabled) restores it
+                    let kill_seq = ((args.warmup + args.batches) / 2) as u64;
                     let mut engine = PipelinedEngine::with_partitioner(
                         factory,
                         partitioner_for(&args),
@@ -392,7 +436,14 @@ fn main() {
                             warmup_batches: args.warmup,
                             coalesce: true,
                             delays: None,
-                            kill_shard: None,
+                            kill_shards: args
+                                .kill_shards
+                                .iter()
+                                .map(|&shard| (shard, kill_seq))
+                                .collect(),
+                            recovery: args.recover.then_some(RecoveryConfig {
+                                checkpoint_every: args.checkpoint_every,
+                            }),
                         },
                     );
                     let mut stream = stream;

@@ -14,7 +14,7 @@
 use serde_json::{json, Value};
 use ttc_social_media::pipeline::PipelineStats;
 use ttc_social_media::stream::percentile;
-use ttc_social_media::{RebalanceStats, ShardRouterStats};
+use ttc_social_media::{RebalanceStats, RecoveryStats, ShardRouterStats};
 
 /// The per-shard latency block of a sharded row: one object per shard with
 /// p50/p99/max over that shard's per-batch update (or apply) times. The
@@ -84,17 +84,40 @@ pub fn rebalance_stats_json(stats: RebalanceStats) -> Value {
     })
 }
 
+/// The recovery block of a `--recover` row: crash/restore counters, how many
+/// logged batches the restores replayed, checkpoint volume, and the worst
+/// restore latency (snapshot decode + rebuild + replay) observed — the figure
+/// the README's recovery section quotes.
+pub fn recovery_stats_json(stats: RecoveryStats) -> Value {
+    json!({
+        "crashes": stats.crashes,
+        "restores": stats.restores,
+        "replayed_batches": stats.replayed_batches,
+        "checkpoints": stats.checkpoints,
+        "checkpoint_bytes": stats.checkpoint_bytes,
+        "max_restore_secs": stats.max_restore_secs,
+    })
+}
+
 /// The pipeline block of a `--pipeline` row: queue bound, how often each stage
 /// hit backpressure (blocked on a full downstream queue), and how far the
-/// fastest shard ran ahead of the merge watermark.
+/// fastest shard ran ahead of the merge watermark. Recovery-enabled runs nest
+/// their [`recovery_stats_json`] block here.
 pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
-    json!({
+    let mut map = match json!({
         "queue_depth": stats.queue_depth,
         "ingest_backpressure": stats.ingest_backpressure,
         "route_backpressure": stats.route_backpressure,
         "apply_backpressure": stats.apply_backpressure,
         "max_watermark_lag": stats.max_watermark_lag,
-    })
+    }) {
+        Value::Object(map) => map,
+        _ => unreachable!("json! object literal"),
+    };
+    if let Some(recovery) = stats.recovery {
+        map.insert("recovery".to_string(), recovery_stats_json(recovery));
+    }
+    Value::Object(map)
 }
 
 #[cfg(test)]
@@ -233,11 +256,50 @@ mod tests {
                 "route_backpressure",
             ],
         );
+        // no recovery block unless recovery ran
+        assert!(!rendered.contains("recovery"), "{rendered}");
         let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
         assert_eq!(parsed, value);
         assert_eq!(
             parsed.get("max_watermark_lag").and_then(Value::as_u64),
             Some(3)
         );
+    }
+
+    #[test]
+    fn recovery_block_is_stable_and_round_trips() {
+        let stats = RecoveryStats {
+            crashes: 2,
+            restores: 2,
+            replayed_batches: 9,
+            checkpoints: 12,
+            checkpoint_bytes: 4096,
+            max_restore_secs: 0.125,
+        };
+        let value = recovery_stats_json(stats);
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "checkpoint_bytes",
+                "checkpoints",
+                "crashes",
+                "max_restore_secs",
+                "replayed_batches",
+                "restores",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(parsed.get("crashes").and_then(Value::as_u64), Some(2));
+
+        // and nested under the pipeline block when recovery ran
+        let pipeline = PipelineStats {
+            recovery: Some(stats),
+            ..PipelineStats::default()
+        };
+        let rendered = pipeline_stats_json(&pipeline).to_string();
+        assert!(rendered.contains("\"recovery\":{"), "{rendered}");
+        assert!(rendered.contains("\"replayed_batches\":9"), "{rendered}");
     }
 }

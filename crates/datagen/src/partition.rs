@@ -64,6 +64,19 @@ pub trait Partitioner: fmt::Debug + Send + Sync {
         false
     }
 
+    /// Record a **shard-granularity** move: every assignment that would land on
+    /// `from` lands on `to` instead. This is the move a crash restore performs —
+    /// the replacement evaluator re-owns the dead shard's entire slice at once —
+    /// and the move elastic resharding will perform when a restore targets a
+    /// spare shard index instead of restoring in place (`from == to`, which
+    /// clears any previous redirect of `from`). Returns `false` when the policy
+    /// is static and cannot record the move (the default); [`AssignmentTable`]
+    /// returns `true`.
+    fn redirect_shard(&mut self, from: usize, to: usize) -> bool {
+        let _ = (from, to);
+        false
+    }
+
     /// Clone into a fresh boxed policy (trait objects cannot derive `Clone`).
     fn clone_box(&self) -> Box<dyn Partitioner>;
 }
@@ -209,6 +222,12 @@ impl Partitioner for RingPartitioner {
 pub struct AssignmentTable {
     base: Box<dyn Partitioner>,
     overrides: HashMap<ElementId, usize>,
+    /// Shard-granularity redirects recorded by [`Partitioner::redirect_shard`],
+    /// applied *after* the per-user layer: a crash restore (or, later, an
+    /// elastic reshard) moves a whole shard's slice with one entry instead of
+    /// one override per user. One hop only — callers composing moves record the
+    /// pre-resolved target.
+    redirects: HashMap<usize, usize>,
 }
 
 impl AssignmentTable {
@@ -218,6 +237,7 @@ impl AssignmentTable {
         AssignmentTable {
             base,
             overrides: HashMap::new(),
+            redirects: HashMap::new(),
         }
     }
 
@@ -225,14 +245,21 @@ impl AssignmentTable {
     pub fn override_count(&self) -> usize {
         self.overrides.len()
     }
+
+    /// Number of shard-granularity redirects currently recorded.
+    pub fn redirect_count(&self) -> usize {
+        self.redirects.len()
+    }
 }
 
 impl Partitioner for AssignmentTable {
     fn shard_of(&self, user: ElementId) -> usize {
-        self.overrides
+        let shard = self
+            .overrides
             .get(&user)
             .copied()
-            .unwrap_or_else(|| self.base.shard_of(user))
+            .unwrap_or_else(|| self.base.shard_of(user));
+        self.redirects.get(&shard).copied().unwrap_or(shard)
     }
 
     fn shard_count(&self) -> usize {
@@ -250,6 +277,22 @@ impl Partitioner for AssignmentTable {
             self.shard_count()
         );
         self.overrides.insert(user, shard);
+        true
+    }
+
+    fn redirect_shard(&mut self, from: usize, to: usize) -> bool {
+        assert!(
+            from < self.shard_count() && to < self.shard_count(),
+            "redirect {from} -> {to} out of range (shards: {})",
+            self.shard_count()
+        );
+        if from == to {
+            // restoring in place: the shard is live again at its own index, so
+            // any previous redirect away from it no longer applies
+            self.redirects.remove(&from);
+        } else {
+            self.redirects.insert(from, to);
+        }
         true
     }
 
@@ -377,6 +420,48 @@ mod tests {
     fn assignment_table_rejects_out_of_range_shards() {
         let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(2)));
         table.reassign(1, 5);
+    }
+
+    #[test]
+    fn shard_redirects_move_whole_slices_and_compose_with_overrides() {
+        let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(4)));
+        // base: user u lands on u % 4
+        assert!(table.redirect_shard(2, 0), "tables record shard moves");
+        assert_eq!(table.redirect_count(), 1);
+        for user in [2u64, 6, 10, 1 << 20 | 2] {
+            assert_eq!(table.shard_of(user), 0, "all of shard 2's slice moved");
+        }
+        assert_eq!(table.shard_of(3), 3, "other shards untouched");
+        // the per-user layer resolves first, then the shard layer
+        assert!(table.reassign(5, 2));
+        assert_eq!(
+            table.shard_of(5),
+            0,
+            "an override into a redirected shard follows the redirect"
+        );
+        // restoring in place clears the redirect
+        assert!(table.redirect_shard(2, 2));
+        assert_eq!(table.redirect_count(), 0);
+        assert_eq!(table.shard_of(6), 2, "shard 2 owns its slice again");
+        assert_eq!(table.shard_of(5), 2, "the user-level override survives");
+        let cloned = table.clone_box();
+        assert_eq!(cloned.shard_of(6), 2, "redirect state survives clone_box");
+    }
+
+    #[test]
+    fn static_policies_refuse_shard_redirects() {
+        let mut modulo = ModuloPartitioner::new(4);
+        assert!(!modulo.redirect_shard(1, 0));
+        assert_eq!(modulo.shard_of(1), 1, "refused redirects change nothing");
+        let mut ring = RingPartitioner::new(4, 42);
+        assert!(!ring.redirect_shard(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_table_rejects_out_of_range_redirects() {
+        let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(2)));
+        table.redirect_shard(0, 7);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod model;
 pub mod pipeline;
 pub mod q1;
 pub mod q2;
+pub mod recovery;
 pub mod shard;
 pub mod solution;
 pub mod stream;
@@ -56,6 +57,10 @@ pub use model::{IdMap, Query};
 pub use pipeline::{
     DelayInjection, EngineError, EngineReport, IngestEngine, PipelineConfig, PipelineStats,
     PipelinedEngine, SyncEngine,
+};
+pub use recovery::{
+    ChangesetLog, CheckpointError, CheckpointStore, LogEntry, RecoveryConfig, RecoveryStats,
+    ShardCheckpoint,
 };
 pub use shard::{
     GraphBlasShardFactory, MigrateError, RebalanceConfig, RebalanceStats, ShardBackend,

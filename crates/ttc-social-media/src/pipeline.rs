@@ -9,9 +9,10 @@
 //!
 //! ```text
 //!  ingest ──▶ coalesce + route ──▶ shard 0 apply ──▶
-//!  (seq      (owns ShardRouter)    shard 1 apply ──▶  watermark merge ──▶ results
-//!   stamp)                      └▶ shard N−1 apply ─▶  (emits batch t once
-//!        bounded sync_channel queues between stages     every shard passed t)
+//!  (seq      (supervisor: owns     shard 1 apply ──▶  watermark merge ──▶ results
+//!   stamp)    ShardRouter, logs,└▶ shard N−1 apply ─▶  (emits batch t once
+//!             restores workers)                         every shard passed t)
+//!        bounded sync_channel queues between stages
 //! ```
 //!
 //! * Every stage is a long-lived thread; neighbours are connected by bounded
@@ -30,8 +31,20 @@
 //!   batch (`tests/pipelined_differential.rs` enforces this, with injected
 //!   per-stage delays forcing out-of-order shard completion).
 //! * The per-shard evaluators are the same
-//!   [`ShardEvaluator`](crate::shard::ShardEvaluator)s the synchronous driver
+//!   [`ShardEvaluator`]s the synchronous driver
 //!   drives — each is simply *moved into* its worker thread.
+//! * The route stage doubles as the **supervisor**: with
+//!   [`PipelineConfig::recovery`] enabled it keeps a sequenced per-shard
+//!   changeset log, the workers publish periodic checkpoints of their mirror
+//!   sub-networks into a [`CheckpointStore`], and when a worker dies (the
+//!   [`PipelineConfig::kill_shards`] chaos injection, or a panicking
+//!   evaluator) the supervisor restores the latest snapshot through the
+//!   run's [`ShardFactory`], replays the log through the ordinary apply path,
+//!   and the replacement rejoins the watermark merge with no visible gap —
+//!   the merger deduplicates replayed outcomes, which deterministic replay
+//!   makes byte-identical to the lost originals (see [`crate::recovery`] and
+//!   DESIGN.md §5.7). Without recovery a dead worker still tears the run down
+//!   into [`EngineError::TruncatedRun`].
 //!
 //! Both engines implement [`IngestEngine`], so benchmarks and differential
 //! tests swap them freely. Latency semantics differ by design: the synchronous
@@ -44,15 +57,21 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use datagen::partition::{ModuloPartitioner, Partitioner};
 use datagen::stream::sequenced;
-use datagen::{ChangeSet, SocialNetwork};
+use datagen::{apply_changeset, ChangeSet, SocialNetwork};
 
-use crate::shard::{load_shards_with, ShardFactory, ShardMerger, ShardRouterStats};
+use crate::recovery::{
+    ChangesetLog, CheckpointStore, LogEntry, RecoveryConfig, RecoveryStats, ShardCheckpoint,
+};
+use crate::shard::{
+    load_shards_parts, ShardEvaluator, ShardFactory, ShardMerger, ShardRouter, ShardRouterStats,
+};
 use crate::solution::Solution;
 use crate::stream::{coalesce, percentile, StreamDriver, StreamReport};
 use crate::top_k::RankedEntry;
@@ -68,7 +87,9 @@ use crate::top_k::RankedEntry;
 /// worker used to look exactly like a short stream: the merger emitted the
 /// batches that made it through and the report claimed success over fewer
 /// batches than were actually ingested. [`IngestEngine::run`] now returns this
-/// error instead of that silently truncated report.
+/// error instead of that silently truncated report — unless
+/// [`PipelineConfig::recovery`] is enabled, in which case the dead worker is
+/// restored and the run completes normally.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// The merge stage emitted fewer batches than the ingest stage accepted
@@ -240,12 +261,21 @@ pub struct PipelineConfig {
     pub coalesce: bool,
     /// Optional deterministic per-stage delays (tests only).
     pub delays: Option<DelayInjection>,
-    /// Chaos knob (tests only): `Some((shard, seq))` makes the apply worker of
-    /// `shard` exit — without panicking — right before applying the batch with
-    /// that sequence number, simulating a worker dying mid-run. The engine must
-    /// then tear down cleanly and report [`EngineError::TruncatedRun`] instead
-    /// of a silently shortened success.
-    pub kill_shard: Option<(usize, u64)>,
+    /// Chaos injection (tests and the CI chaos smoke): each `(shard, seq)`
+    /// entry makes the apply worker of `shard` exit — without panicking —
+    /// right before applying the batch with that sequence number, simulating a
+    /// worker dying mid-run. Each entry fires at most once, so two entries for
+    /// the same shard kill it twice (the replacement dies too). Without
+    /// [`PipelineConfig::recovery`] the engine must then tear down cleanly and
+    /// report [`EngineError::TruncatedRun`]; with it, every kill is restored
+    /// and the run completes byte-identically to an uncrashed one.
+    pub kill_shards: Vec<(usize, u64)>,
+    /// When `Some`, the engine runs crash-tolerant: workers checkpoint their
+    /// mirror state every [`RecoveryConfig::checkpoint_every`] batches, the
+    /// supervisor keeps a bounded changeset log, and dead workers are restored
+    /// and replayed instead of failing the run (counters in
+    /// [`PipelineStats::recovery`]).
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -255,7 +285,8 @@ impl Default for PipelineConfig {
             warmup_batches: 0,
             coalesce: true,
             delays: None,
-            kill_shard: None,
+            kill_shards: Vec::new(),
+            recovery: None,
         }
     }
 }
@@ -274,7 +305,7 @@ pub struct PipelineStats {
     /// Sends that found a route → shard queue full (routing out-paced at least
     /// one apply worker and blocked).
     pub route_backpressure: u64,
-    /// Sends that found a shard → merge queue full (an apply worker out-paced
+    /// Sends that found the shard → merge queue full (an apply worker out-paced
     /// the merger and blocked).
     pub apply_backpressure: u64,
     /// Maximum, over all merged batches, of how many batches the
@@ -289,6 +320,9 @@ pub struct PipelineStats {
     pub shard_sizes: Vec<(usize, usize)>,
     /// Routing statistics accumulated by the route stage.
     pub router: ShardRouterStats,
+    /// Crash/restore counters — `Some` exactly when
+    /// [`PipelineConfig::recovery`] was enabled.
+    pub recovery: Option<RecoveryStats>,
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +349,29 @@ struct ApplyOutcome {
     candidates: Vec<RankedEntry>,
     had_removals: bool,
     apply_secs: f64,
+}
+
+/// The one terminal status message every worker generation sends before it
+/// goes away — the supervisor's crash detection and end-of-stream sweep both
+/// count on exactly one of these per spawned generation.
+#[derive(Clone, Debug)]
+struct WorkerExit {
+    shard: usize,
+    generation: u64,
+    /// `true` when the generation drained its queue to a clean close; `false`
+    /// when it died (kill injection or a panicking evaluator).
+    completed: bool,
+    /// The kill-injection seq that fired, so the supervisor retires that entry
+    /// (a caught panic reports `None`).
+    kill_seq: Option<u64>,
+    /// Restore latency (snapshot decode + rebuild + log replay) when this
+    /// generation was a replacement that finished catching up.
+    restore_secs: Option<f64>,
+    sizes: (usize, usize),
+    blocked: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    replayed: u64,
 }
 
 /// Send preferring the non-blocking path, counting the times the queue was full
@@ -344,6 +401,291 @@ struct MergeOutput {
     completed: Vec<Instant>,
     max_watermark_lag: u64,
     per_shard_apply: Vec<Vec<f64>>,
+}
+
+/// Everything the supervisor (route stage) accumulates, returned when the
+/// stream ends and every worker generation has reported.
+struct RouteOutcome {
+    router: ShardRouter,
+    applied_operations: usize,
+    route_backpressure: u64,
+    apply_backpressure: u64,
+    shard_sizes: Vec<(usize, usize)>,
+    recovery: Option<RecoveryStats>,
+}
+
+// ---------------------------------------------------------------------------
+// Shard apply workers
+// ---------------------------------------------------------------------------
+
+/// Context a worker generation shares with the supervisor: the factory that
+/// rebuilds evaluators on restore, the checkpoint plumbing, and the channels
+/// every generation reports through.
+#[derive(Clone)]
+struct WorkerShared<'a> {
+    factory: &'a dyn ShardFactory,
+    delays: &'a Option<DelayInjection>,
+    /// `Some` (clamped ≥ 1) exactly when recovery is enabled.
+    checkpoint_every: Option<u64>,
+    store: Option<CheckpointStore>,
+    out_tx: SyncSender<(usize, ApplyOutcome)>,
+    status_tx: Sender<WorkerExit>,
+}
+
+/// How a worker generation starts: generation 0 inherits the evaluator built
+/// at load; replacements restore a checkpoint snapshot and replay a backlog.
+enum WorkerSeed {
+    Fresh {
+        evaluator: Box<dyn ShardEvaluator>,
+        mirror: Option<SocialNetwork>,
+    },
+    Restored {
+        snapshot: Vec<u8>,
+        backlog: Vec<LogEntry>,
+        /// When the supervisor detected the crash — the restore-latency clock.
+        started: Instant,
+    },
+}
+
+enum Step {
+    Delivered,
+    Killed(u64),
+    MergerGone,
+}
+
+struct Worker<'a> {
+    shard: usize,
+    generation: u64,
+    shared: WorkerShared<'a>,
+    /// Kill-injection seqs still pending for this shard when the generation
+    /// was spawned (already-fired entries are retired by the supervisor).
+    kills: Vec<u64>,
+    evaluator: Box<dyn ShardEvaluator>,
+    /// The shard's replayable sub-network — maintained only under recovery,
+    /// where it is what checkpoints serialize.
+    mirror: Option<SocialNetwork>,
+    applied_through: u64,
+    blocked: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    replayed: u64,
+}
+
+impl Worker<'_> {
+    /// Apply one changeset — kill check, evaluate, mirror, checkpoint,
+    /// deliver. The one code path both live batches and log replay go
+    /// through, which is what makes replayed outcomes byte-identical to the
+    /// originals.
+    fn step(&mut self, seq: u64, enqueued: Instant, ops: &ChangeSet, replaying: bool) -> Step {
+        if self.kills.contains(&seq) {
+            return Step::Killed(seq);
+        }
+        if !replaying {
+            if let Some(d) = self.shared.delays {
+                d.sleep_apply(self.shard, seq);
+            }
+        }
+        let start = Instant::now();
+        let had_removals = self.evaluator.apply(ops);
+        let apply_secs = start.elapsed().as_secs_f64();
+        if let Some(mirror) = &mut self.mirror {
+            apply_changeset(mirror, ops);
+        }
+        self.applied_through = seq + 1;
+        if replaying {
+            self.replayed += 1;
+        }
+        if let (Some(every), Some(store)) = (self.shared.checkpoint_every, &self.shared.store) {
+            if self.applied_through.is_multiple_of(every) {
+                let mirror = self.mirror.as_ref().expect("recovery maintains a mirror");
+                let bytes = ShardCheckpoint::encode_parts(
+                    self.applied_through,
+                    mirror,
+                    self.evaluator.candidates(),
+                );
+                self.checkpoints += 1;
+                self.checkpoint_bytes += bytes.len() as u64;
+                store.publish(self.shard, self.applied_through, bytes);
+            }
+        }
+        let delivered = send_counting(
+            &self.shared.out_tx,
+            (
+                self.shard,
+                ApplyOutcome {
+                    seq,
+                    enqueued,
+                    candidates: self.evaluator.candidates().to_vec(),
+                    had_removals,
+                    apply_secs,
+                },
+            ),
+            &mut self.blocked,
+        );
+        if delivered {
+            Step::Delivered
+        } else {
+            Step::MergerGone
+        }
+    }
+
+    /// `(completed, kill_seq, restore_secs)` of one generation's whole life:
+    /// replay the backlog, then drain the route queue to close.
+    fn work(
+        &mut self,
+        backlog: Vec<LogEntry>,
+        rx: Receiver<RoutedItem>,
+        restore_started: Option<Instant>,
+    ) -> (bool, Option<u64>, Option<f64>) {
+        // every restored generation reports a restore duration — even one that
+        // dies again mid-replay — so `restores` deterministically equals
+        // `crashes` no matter where in the replay window the next kill lands
+        let elapsed = |started: Option<Instant>| started.map(|t| t.elapsed().as_secs_f64());
+        for entry in backlog {
+            match self.step(entry.seq, entry.enqueued, &entry.ops, true) {
+                Step::Delivered => {}
+                Step::Killed(k) => return (false, Some(k), elapsed(restore_started)),
+                Step::MergerGone => return (false, None, elapsed(restore_started)),
+            }
+        }
+        let restore_secs = elapsed(restore_started);
+        for RoutedItem { seq, enqueued, ops } in rx {
+            match self.step(seq, enqueued, &ops, false) {
+                Step::Delivered => {}
+                Step::Killed(k) => return (false, Some(k), restore_secs),
+                Step::MergerGone => return (false, None, restore_secs),
+            }
+        }
+        (true, None, restore_secs)
+    }
+
+    fn run(mut self, backlog: Vec<LogEntry>, rx: Receiver<RoutedItem>, started: Option<Instant>) {
+        // A panicking evaluator is a crash like any other: contain it here so
+        // the generation still reports its terminal status, and discard the
+        // (possibly inconsistent) state wholesale — recovery rebuilds from the
+        // checkpoint, never from the wreck.
+        let result = catch_unwind(AssertUnwindSafe(|| self.work(backlog, rx, started)));
+        let (completed, kill_seq, restore_secs, sizes) = match result {
+            Ok((completed, kill_seq, restore_secs)) => (
+                completed,
+                kill_seq,
+                restore_secs,
+                self.evaluator.owned_sizes(),
+            ),
+            Err(_) => (false, None, None, (0, 0)),
+        };
+        let _ = self.shared.status_tx.send(WorkerExit {
+            shard: self.shard,
+            generation: self.generation,
+            completed,
+            kill_seq,
+            restore_secs,
+            sizes,
+            blocked: self.blocked,
+            checkpoints: self.checkpoints,
+            checkpoint_bytes: self.checkpoint_bytes,
+            replayed: self.replayed,
+        });
+    }
+}
+
+/// Spawn one worker generation. A [`WorkerSeed::Restored`] seed decodes and
+/// rebuilds on the worker thread, so the supervisor keeps routing the other
+/// shards while the replacement catches up.
+fn spawn_worker<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    shared: WorkerShared<'env>,
+    shard: usize,
+    generation: u64,
+    kills: Vec<u64>,
+    seed: WorkerSeed,
+    rx: Receiver<RoutedItem>,
+) {
+    scope.spawn(move || {
+        let factory = shared.factory;
+        let (worker, backlog, started) = match seed {
+            WorkerSeed::Fresh { evaluator, mirror } => (
+                Worker {
+                    shard,
+                    generation,
+                    shared,
+                    kills,
+                    evaluator,
+                    mirror,
+                    applied_through: 0,
+                    blocked: 0,
+                    checkpoints: 0,
+                    checkpoint_bytes: 0,
+                    replayed: 0,
+                },
+                Vec::new(),
+                None,
+            ),
+            WorkerSeed::Restored {
+                snapshot,
+                backlog,
+                started,
+            } => {
+                let ckpt = ShardCheckpoint::decode(&snapshot)
+                    .expect("the in-process checkpoint store only holds snapshots it encoded");
+                let evaluator = factory.build(&ckpt.network);
+                debug_assert_eq!(
+                    evaluator.candidates(),
+                    &ckpt.candidates[..],
+                    "a rebuild from the restored mirror must reproduce the checkpointed candidates"
+                );
+                let applied_through = ckpt.applied_through;
+                (
+                    Worker {
+                        shard,
+                        generation,
+                        shared,
+                        kills,
+                        evaluator,
+                        mirror: Some(ckpt.network),
+                        applied_through,
+                        blocked: 0,
+                        checkpoints: 0,
+                        checkpoint_bytes: 0,
+                        replayed: 0,
+                    },
+                    backlog,
+                    Some(started),
+                )
+            }
+        };
+        worker.run(backlog, rx, started);
+    });
+}
+
+/// Fold one terminal worker status into the supervisor's aggregates.
+fn absorb_exit(
+    exit: WorkerExit,
+    agg: &mut RecoveryStats,
+    apply_backpressure: &mut u64,
+    remaining_kills: &mut [Vec<u64>],
+    latest_exit: &mut [Option<WorkerExit>],
+) {
+    *apply_backpressure += exit.blocked;
+    agg.checkpoints += exit.checkpoints;
+    agg.checkpoint_bytes += exit.checkpoint_bytes;
+    agg.replayed_batches += exit.replayed;
+    if let Some(secs) = exit.restore_secs {
+        agg.restores += 1;
+        if secs > agg.max_restore_secs {
+            agg.max_restore_secs = secs;
+        }
+    }
+    if !exit.completed {
+        agg.crashes += 1;
+        if let Some(k) = exit.kill_seq {
+            if let Some(at) = remaining_kills[exit.shard].iter().position(|&x| x == k) {
+                remaining_kills[exit.shard].remove(at);
+            }
+        }
+    }
+    let shard = exit.shard;
+    latest_exit[shard] = Some(exit);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,19 +747,28 @@ impl PipelinedEngine {
         self.shards
     }
 
-    /// The merge stage: consume per-shard [`ApplyOutcome`]s strictly in batch
-    /// order — batch `t` is merged only once **all** shards delivered `t` (their
-    /// watermark passed `t`) — folding each batch's candidate union through
-    /// [`ShardMerger`]. Outcomes arriving early (a shard running ahead) are
-    /// buffered; the distance the furthest shard ran ahead is recorded as
-    /// watermark lag.
+    /// The merge stage: consume `(shard, outcome)` pairs off the one shared
+    /// outcome queue strictly in batch order — batch `t` is merged only once
+    /// **all** shards delivered `t` (their watermark passed `t`) — folding
+    /// each batch's candidate union through [`ShardMerger`]. Outcomes arriving
+    /// early (a shard running ahead) are buffered; the distance the furthest
+    /// shard ran ahead is recorded as watermark lag. Recovery replays
+    /// re-deliver outcomes the dead generation already delivered; within a
+    /// shard, generations deliver in sequence order, so "not the next expected
+    /// seq" identifies a duplicate — and deterministic replay makes the
+    /// duplicate byte-identical to the accepted original, which is why
+    /// dropping it preserves per-batch byte-identity.
     fn merge_stage(
         mut merger: ShardMerger,
-        receivers: Vec<Receiver<ApplyOutcome>>,
+        rx: Receiver<(usize, ApplyOutcome)>,
         shards: usize,
     ) -> (MergeOutput, ShardMerger) {
         let mut buffers: Vec<VecDeque<ApplyOutcome>> =
             (0..shards).map(|_| VecDeque::new()).collect();
+        // Per shard: the next sequence number to accept. Buffers hold exactly
+        // the accepted-but-unmerged range `[t, delivered[s])`.
+        let mut delivered: Vec<u64> = vec![0; shards];
+        let mut t = 0u64;
         let mut out = MergeOutput {
             results: Vec::new(),
             enqueued: Vec::new(),
@@ -425,52 +776,44 @@ impl PipelinedEngine {
             max_watermark_lag: 0,
             per_shard_apply: vec![Vec::new(); shards],
         };
-        'merge: for t in 0u64.. {
-            // Drain whatever every shard has already delivered, without
-            // blocking, so the watermark-lag measurement sees the true
-            // progress spread before we commit to waiting on stragglers.
-            for (buffer, rx) in buffers.iter_mut().zip(&receivers) {
-                while let Ok(outcome) = rx.try_recv() {
-                    buffer.push_back(outcome);
-                }
-            }
-            for (buffer, rx) in buffers.iter_mut().zip(&receivers) {
-                if buffer.is_empty() {
-                    match rx.recv() {
-                        Ok(outcome) => buffer.push_back(outcome),
-                        // Channel closed before batch t: the stream ended.
-                        // Workers emit one outcome per batch in seq order, so
-                        // every other shard's buffer holds at most stale
-                        // pre-close outcomes for batches that no longer exist.
-                        Err(_) => break 'merge,
-                    }
-                }
-            }
-            for (shard, buffer) in buffers.iter().enumerate() {
-                let delivered = buffer.back().expect("buffer non-empty").seq;
-                debug_assert_eq!(
-                    buffer.front().expect("buffer non-empty").seq,
-                    t,
-                    "shard {shard} delivered outcomes out of order"
+        for (shard, outcome) in rx {
+            if outcome.seq != delivered[shard] {
+                debug_assert!(
+                    outcome.seq < delivered[shard],
+                    "shard {shard} delivered seq {} but {} was expected — a gap, not a replay",
+                    outcome.seq,
+                    delivered[shard]
                 );
-                out.max_watermark_lag = out.max_watermark_lag.max(delivered - t);
+                continue; // replayed duplicate of an already-accepted outcome
             }
-            let outcomes: Vec<ApplyOutcome> = buffers
-                .iter_mut()
-                .map(|buffer| buffer.pop_front().expect("buffer non-empty"))
-                .collect();
-            let any_removals = outcomes.iter().any(|o| o.had_removals);
-            let union: Vec<RankedEntry> = outcomes
-                .iter()
-                .flat_map(|o| o.candidates.iter().copied())
-                .collect();
-            let result = merger.merge(union, any_removals);
-            for (shard, outcome) in outcomes.iter().enumerate() {
-                out.per_shard_apply[shard].push(outcome.apply_secs);
+            delivered[shard] += 1;
+            buffers[shard].push_back(outcome);
+            while buffers.iter().all(|buffer| !buffer.is_empty()) {
+                for &d in &delivered {
+                    out.max_watermark_lag = out.max_watermark_lag.max(d - 1 - t);
+                }
+                let outcomes: Vec<ApplyOutcome> = buffers
+                    .iter_mut()
+                    .map(|buffer| buffer.pop_front().expect("buffer non-empty"))
+                    .collect();
+                debug_assert!(
+                    outcomes.iter().all(|o| o.seq == t),
+                    "merge fell out of batch order at {t}"
+                );
+                let any_removals = outcomes.iter().any(|o| o.had_removals);
+                let union: Vec<RankedEntry> = outcomes
+                    .iter()
+                    .flat_map(|o| o.candidates.iter().copied())
+                    .collect();
+                let result = merger.merge(union, any_removals);
+                for (shard, outcome) in outcomes.iter().enumerate() {
+                    out.per_shard_apply[shard].push(outcome.apply_secs);
+                }
+                out.results.push(result);
+                out.enqueued.push(outcomes[0].enqueued);
+                out.completed.push(Instant::now());
+                t += 1;
             }
-            out.results.push(result);
-            out.enqueued.push(outcomes[0].enqueued);
-            out.completed.push(Instant::now());
         }
         (out, merger)
     }
@@ -478,20 +821,15 @@ impl PipelinedEngine {
 
 impl IngestEngine for PipelinedEngine {
     fn name(&self) -> String {
-        if self.partitioner.name() == "mod" {
-            format!(
-                "{} ({} shards, pipelined)",
-                self.factory.name(),
-                self.shards
-            )
-        } else {
-            format!(
-                "{} ({} shards, {}, pipelined)",
-                self.factory.name(),
-                self.shards,
-                self.partitioner.name()
-            )
+        let mut parts = vec![format!("{} shards", self.shards)];
+        if self.partitioner.name() != "mod" {
+            parts.push(self.partitioner.name().to_string());
         }
+        if self.config.recovery.is_some() {
+            parts.push("recover".to_string());
+        }
+        parts.push("pipelined".to_string());
+        format!("{} ({})", self.factory.name(), parts.join(", "))
     }
 
     fn run(
@@ -506,141 +844,361 @@ impl IngestEngine for PipelinedEngine {
         let total = warmup + batches;
         let coalesce_on = self.config.coalesce;
         let delays = &self.config.delays;
-        let kill_shard = self.config.kill_shard;
+        let kill_shards = self.config.kill_shards.clone();
+        let recovery = self.config.recovery.clone();
         let factory = self.factory.as_ref();
 
         // Load phase: the exact function the synchronous driver runs —
         // partition, build the per-shard evaluators (rayon-parallel), seed the
         // merge state — so the two engines cannot drift apart before batch 0.
+        // The per-shard sub-networks become the workers' recovery mirrors.
         let load_start = Instant::now();
-        let (router, evaluators, merger, initial_result) =
-            load_shards_with(factory, initial, self.partitioner.clone());
+        let (router, parts, evaluators, merger, initial_result) =
+            load_shards_parts(factory, initial, self.partitioner.clone());
         let load_secs = load_start.elapsed().as_secs_f64();
 
-        // Stage plumbing. One bounded queue per edge of the stage graph.
-        let (ingest_tx, ingest_rx) = sync_channel::<IngestItem>(depth);
-        let mut route_txs = Vec::with_capacity(shards);
-        let mut route_rxs = Vec::with_capacity(shards);
-        let mut out_txs = Vec::with_capacity(shards);
-        let mut out_rxs = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = sync_channel::<RoutedItem>(depth);
-            route_txs.push(tx);
-            route_rxs.push(rx);
-            let (tx, rx) = sync_channel::<ApplyOutcome>(depth);
-            out_txs.push(tx);
-            out_rxs.push(rx);
+        // Recovery plumbing: the shared snapshot store, seeded with one
+        // initial checkpoint per shard (`applied_through = 0`) so a worker
+        // dying before its first boundary still has something to restore from.
+        let store = recovery.as_ref().map(|_| CheckpointStore::new(shards));
+        let mut agg = RecoveryStats::default();
+        if let Some(store) = &store {
+            for (shard, (part, evaluator)) in parts.iter().zip(&evaluators).enumerate() {
+                let bytes = ShardCheckpoint::encode_parts(0, part, evaluator.candidates());
+                agg.checkpoints += 1;
+                agg.checkpoint_bytes += bytes.len() as u64;
+                store.publish(shard, 0, bytes);
+            }
         }
+        let mirrors: Vec<Option<SocialNetwork>> = if recovery.is_some() {
+            parts.into_iter().map(Some).collect()
+        } else {
+            vec![None; shards]
+        };
+
+        // Stage plumbing. Bounded queues per edge — except the workers → merge
+        // edge, which is one *shared* queue: per-shard outcome queues would
+        // wedge a replaying supervisor against a merger blocked on a shard
+        // that is mid-restore, and a dead worker must not close the merger's
+        // input while a replacement is still coming.
+        let (ingest_tx, ingest_rx) = sync_channel::<IngestItem>(depth);
+        let (out_tx, out_rx) = sync_channel::<(usize, ApplyOutcome)>(depth * shards);
+        let (status_tx, status_rx) = channel::<WorkerExit>();
 
         let mut total_operations = 0usize;
         let mut ingest_backpressure = 0u64;
         let mut ingested = 0usize;
 
-        let (merged, router, applied_operations, route_backpressure, worker_outputs) =
-            thread::scope(|scope| {
-                // Stage 2: coalesce + route. Owns the router (the only stage
-                // that needs its mutable replica/presence bookkeeping).
-                let route_handle = scope.spawn(move || {
-                    let mut router = router;
-                    let mut applied = 0usize;
-                    let mut blocked = 0u64;
-                    'route: for IngestItem {
-                        seq,
-                        enqueued,
-                        batch,
-                    } in ingest_rx
-                    {
-                        if let Some(d) = delays {
-                            d.sleep_route(seq);
-                        }
-                        let batch = if coalesce_on { coalesce(&batch) } else { batch };
-                        if seq >= warmup as u64 {
-                            applied += batch.operations.len();
-                        }
-                        // Every shard receives an item for every seq (possibly
-                        // empty), which is what keeps the merger's watermark a
-                        // plain per-shard counter.
-                        for (tx, ops) in route_txs.iter().zip(router.route(&batch)) {
-                            if !send_counting(tx, RoutedItem { seq, enqueued, ops }, &mut blocked) {
-                                break 'route; // a worker died; stop routing
+        let (merged, route_out) = thread::scope(|scope| {
+            // Stage 4: watermark merge.
+            let merge_handle = scope.spawn(move || Self::merge_stage(merger, out_rx, shards));
+
+            // Stage 2 + supervisor: coalesce + route, spawn (and under
+            // recovery, restore) the apply workers, collect their terminal
+            // statuses.
+            let route_handle = scope.spawn(move || {
+                let mut router = router;
+                let mut applied = 0usize;
+                let mut route_blocked = 0u64;
+                let mut apply_backpressure = 0u64;
+                let mut agg = agg;
+
+                let shared = WorkerShared {
+                    factory,
+                    delays,
+                    checkpoint_every: recovery.as_ref().map(|r| r.checkpoint_every.max(1)),
+                    store: store.clone(),
+                    out_tx: out_tx.clone(),
+                    status_tx: status_tx.clone(),
+                };
+                let mut remaining_kills: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                for &(shard, seq) in &kill_shards {
+                    if shard < shards {
+                        remaining_kills[shard].push(seq);
+                    }
+                }
+                let mut logs: Vec<ChangesetLog> =
+                    (0..shards).map(|_| ChangesetLog::default()).collect();
+                let mut txs: Vec<SyncSender<RoutedItem>> = Vec::with_capacity(shards);
+                let mut current_gen: Vec<u64> = vec![0; shards];
+                let mut generations = 0usize;
+                let mut exits_seen = 0usize;
+                let mut latest_exit: Vec<Option<WorkerExit>> = vec![None; shards];
+                let mut sizes: Vec<(usize, usize)> = vec![(0, 0); shards];
+
+                // Stage 3: one apply worker per shard; the evaluator (and
+                // under recovery, its mirror sub-network) moves in.
+                for (shard, (evaluator, mirror)) in evaluators.into_iter().zip(mirrors).enumerate()
+                {
+                    let (tx, rx) = sync_channel::<RoutedItem>(depth);
+                    txs.push(tx);
+                    spawn_worker(
+                        scope,
+                        shared.clone(),
+                        shard,
+                        0,
+                        remaining_kills[shard].clone(),
+                        WorkerSeed::Fresh { evaluator, mirror },
+                        rx,
+                    );
+                    generations += 1;
+                }
+
+                let mut total_routed = 0u64;
+                'route: for IngestItem {
+                    seq,
+                    enqueued,
+                    batch,
+                } in ingest_rx
+                {
+                    if let Some(d) = delays {
+                        d.sleep_route(seq);
+                    }
+                    let batch = if coalesce_on { coalesce(&batch) } else { batch };
+                    if seq >= warmup as u64 {
+                        applied += batch.operations.len();
+                    }
+                    // Every shard receives an item for every seq (possibly
+                    // empty), which is what keeps the merger's watermark a
+                    // plain per-shard counter.
+                    let routed = router.route(&batch);
+                    if let Some(store) = &store {
+                        // Log before sending, so the entry exists even when
+                        // the send discovers a dead worker; prune below the
+                        // latest published checkpoint to keep the log bounded
+                        // by the checkpoint interval plus queue lag.
+                        for (shard, ops) in routed.iter().enumerate() {
+                            logs[shard].append(LogEntry {
+                                seq,
+                                enqueued,
+                                ops: ops.clone(),
+                            });
+                            if let Some(at) = store.applied_through(shard) {
+                                logs[shard].prune_through(at);
                             }
                         }
                     }
-                    (router, applied, blocked)
-                });
-
-                // Stage 3: one apply worker per shard; the evaluator moves in.
-                let worker_handles: Vec<_> = evaluators
-                    .into_iter()
-                    .zip(route_rxs)
-                    .zip(out_txs)
-                    .enumerate()
-                    .map(|(shard, ((mut evaluator, rx), tx))| {
-                        scope.spawn(move || {
-                            let mut blocked = 0u64;
-                            for RoutedItem { seq, enqueued, ops } in rx {
-                                if kill_shard == Some((shard, seq)) {
-                                    break; // chaos injection: die mid-run
+                    for (shard, ops) in routed.into_iter().enumerate() {
+                        if send_counting(
+                            &txs[shard],
+                            RoutedItem { seq, enqueued, ops },
+                            &mut route_blocked,
+                        ) {
+                            continue;
+                        }
+                        // The send failed: this shard's current generation
+                        // died (its queue disconnected).
+                        if recovery.is_none() {
+                            break 'route; // tear down → TruncatedRun
+                        }
+                        let started = Instant::now();
+                        // Its terminal status is guaranteed (sent before the
+                        // queue closed, or momentarily after — recv blocks);
+                        // absorb any other shard's exits that arrive first.
+                        // When two shards die close together, the detection
+                        // loop of the first may already have absorbed this
+                        // generation's exit — blocking for it again would
+                        // wait forever.
+                        let already_absorbed = latest_exit[shard]
+                            .as_ref()
+                            .is_some_and(|exit| exit.generation == current_gen[shard]);
+                        if !already_absorbed {
+                            loop {
+                                let exit = status_rx
+                                    .recv()
+                                    .expect("every worker generation reports an exit");
+                                exits_seen += 1;
+                                let from = (exit.shard, exit.generation);
+                                absorb_exit(
+                                    exit,
+                                    &mut agg,
+                                    &mut apply_backpressure,
+                                    &mut remaining_kills,
+                                    &mut latest_exit,
+                                );
+                                if from == (shard, current_gen[shard]) {
+                                    break;
                                 }
-                                if let Some(d) = delays {
-                                    d.sleep_apply(shard, seq);
+                            }
+                        }
+                        let store = store.as_ref().expect("recovery implies a store");
+                        let (at, snapshot) = store
+                            .load(shard)
+                            .expect("initial checkpoints are published at load");
+                        // Replay everything since the snapshot through the
+                        // current batch (inclusive — its send just failed, so
+                        // the backlog is the only copy the shard will get).
+                        let backlog: Vec<LogEntry> =
+                            logs[shard].replay_range(at, seq).cloned().collect();
+                        let (tx, rx) = sync_channel::<RoutedItem>(depth);
+                        txs[shard] = tx;
+                        current_gen[shard] += 1;
+                        generations += 1;
+                        router.record_restore(shard, shard);
+                        spawn_worker(
+                            scope,
+                            shared.clone(),
+                            shard,
+                            current_gen[shard],
+                            remaining_kills[shard].clone(),
+                            WorkerSeed::Restored {
+                                snapshot,
+                                backlog,
+                                started,
+                            },
+                            rx,
+                        );
+                    }
+                    total_routed = seq + 1;
+                }
+
+                // End of stream: close every route queue, wait for every
+                // generation's terminal status.
+                drop(txs);
+                while exits_seen < generations {
+                    let exit = status_rx
+                        .recv()
+                        .expect("every worker generation reports an exit");
+                    exits_seen += 1;
+                    absorb_exit(
+                        exit,
+                        &mut agg,
+                        &mut apply_backpressure,
+                        &mut remaining_kills,
+                        &mut latest_exit,
+                    );
+                }
+                // Catch-up recovery: a generation that died with no subsequent
+                // batch to trip a failed send (killed at the final batch, or
+                // while replaying at stream end) is only visible here. Replay
+                // the log on this thread; the merger deduplicates whatever the
+                // dead generation already delivered.
+                for shard in 0..shards {
+                    let exit = latest_exit[shard]
+                        .take()
+                        .expect("every shard spawned at least one generation");
+                    if exit.completed || recovery.is_none() {
+                        sizes[shard] = exit.sizes;
+                        continue;
+                    }
+                    let store = store.as_ref().expect("recovery implies a store");
+                    let every = shared
+                        .checkpoint_every
+                        .expect("recovery implies a checkpoint cadence");
+                    'attempt: loop {
+                        let started = Instant::now();
+                        let (at, snapshot) = store
+                            .load(shard)
+                            .expect("initial checkpoints are published at load");
+                        let ckpt = ShardCheckpoint::decode(&snapshot).expect(
+                            "the in-process checkpoint store only holds snapshots it encoded",
+                        );
+                        let mut evaluator = shared.factory.build(&ckpt.network);
+                        let mut mirror = ckpt.network;
+                        if total_routed > 0 {
+                            let entries: Vec<LogEntry> = logs[shard]
+                                .replay_range(at, total_routed - 1)
+                                .cloned()
+                                .collect();
+                            for entry in entries {
+                                if let Some(pos) =
+                                    remaining_kills[shard].iter().position(|&k| k == entry.seq)
+                                {
+                                    // a still-pending kill fires during the
+                                    // catch-up replay too: another crash,
+                                    // another restore from the checkpoint —
+                                    // and the aborted attempt still counts as
+                                    // a restore, keeping restores == crashes
+                                    remaining_kills[shard].remove(pos);
+                                    agg.crashes += 1;
+                                    agg.restores += 1;
+                                    let secs = started.elapsed().as_secs_f64();
+                                    if secs > agg.max_restore_secs {
+                                        agg.max_restore_secs = secs;
+                                    }
+                                    continue 'attempt;
                                 }
                                 let start = Instant::now();
-                                let had_removals = evaluator.apply(&ops);
+                                let had_removals = evaluator.apply(&entry.ops);
                                 let apply_secs = start.elapsed().as_secs_f64();
+                                apply_changeset(&mut mirror, &entry.ops);
+                                let applied_through = entry.seq + 1;
+                                agg.replayed_batches += 1;
+                                if applied_through % every == 0 {
+                                    let bytes = ShardCheckpoint::encode_parts(
+                                        applied_through,
+                                        &mirror,
+                                        evaluator.candidates(),
+                                    );
+                                    agg.checkpoints += 1;
+                                    agg.checkpoint_bytes += bytes.len() as u64;
+                                    store.publish(shard, applied_through, bytes);
+                                }
                                 let delivered = send_counting(
-                                    &tx,
-                                    ApplyOutcome {
-                                        seq,
-                                        enqueued,
-                                        candidates: evaluator.candidates().to_vec(),
-                                        had_removals,
-                                        apply_secs,
-                                    },
-                                    &mut blocked,
+                                    &out_tx,
+                                    (
+                                        shard,
+                                        ApplyOutcome {
+                                            seq: entry.seq,
+                                            enqueued: entry.enqueued,
+                                            candidates: evaluator.candidates().to_vec(),
+                                            had_removals,
+                                            apply_secs,
+                                        },
+                                    ),
+                                    &mut apply_backpressure,
                                 );
                                 if !delivered {
-                                    break; // the merger died; stop applying
+                                    break; // merger gone — the run fails anyway
                                 }
                             }
-                            (evaluator.owned_sizes(), blocked)
-                        })
-                    })
-                    .collect();
-
-                // Stage 4: watermark merge.
-                let merge_handle = scope.spawn(move || Self::merge_stage(merger, out_rxs, shards));
-
-                // Stage 1 (this thread): ingest — pull, stamp seq, enqueue.
-                for item in sequenced(stream.take(total)) {
-                    if item.seq >= warmup as u64 {
-                        total_operations += item.batch.operations.len();
+                        }
+                        agg.restores += 1;
+                        let secs = started.elapsed().as_secs_f64();
+                        if secs > agg.max_restore_secs {
+                            agg.max_restore_secs = secs;
+                        }
+                        router.record_restore(shard, shard);
+                        sizes[shard] = evaluator.owned_sizes();
+                        break;
                     }
-                    let delivered = send_counting(
-                        &ingest_tx,
-                        IngestItem {
-                            seq: item.seq,
-                            enqueued: Instant::now(),
-                            batch: item.batch,
-                        },
-                        &mut ingest_backpressure,
-                    );
-                    if !delivered {
-                        break; // the route stage died; stop pulling the stream
-                    }
-                    ingested += 1;
                 }
-                drop(ingest_tx); // close the pipe; stages drain and exit in turn
-
-                let (router, applied, route_blocked) =
-                    route_handle.join().expect("route stage panicked");
-                let worker_outputs: Vec<((usize, usize), u64)> = worker_handles
-                    .into_iter()
-                    .map(|h| h.join().expect("apply worker panicked"))
-                    .collect();
-                let (merged, _merger) = merge_handle.join().expect("merge stage panicked");
-                (merged, router, applied, route_blocked, worker_outputs)
+                drop(out_tx); // the merge stage drains its buffers and returns
+                RouteOutcome {
+                    router,
+                    applied_operations: applied,
+                    route_backpressure: route_blocked,
+                    apply_backpressure,
+                    shard_sizes: sizes,
+                    recovery: recovery.map(|_| agg),
+                }
             });
+
+            // Stage 1 (this thread): ingest — pull, stamp seq, enqueue.
+            for item in sequenced(stream.take(total)) {
+                if item.seq >= warmup as u64 {
+                    total_operations += item.batch.operations.len();
+                }
+                let delivered = send_counting(
+                    &ingest_tx,
+                    IngestItem {
+                        seq: item.seq,
+                        enqueued: Instant::now(),
+                        batch: item.batch,
+                    },
+                    &mut ingest_backpressure,
+                );
+                if !delivered {
+                    break; // the route stage died; stop pulling the stream
+                }
+                ingested += 1;
+            }
+            drop(ingest_tx); // close the pipe; stages drain and exit in turn
+
+            let route_out = route_handle.join().expect("route stage panicked");
+            let (merged, _merger) = merge_handle.join().expect("merge stage panicked");
+            (merged, route_out)
+        });
 
         // A merged count short of the ingested count means a stage died mid-run
         // and dropped batches: refuse to report throughput over a truncated
@@ -676,7 +1234,7 @@ impl IngestEngine for PipelinedEngine {
             solution: self.name(),
             batches: measured,
             total_operations,
-            applied_operations,
+            applied_operations: route_out.applied_operations,
             elapsed_secs,
             updates_per_sec: if elapsed_secs > 0.0 {
                 total_operations as f64 / elapsed_secs
@@ -697,12 +1255,13 @@ impl IngestEngine for PipelinedEngine {
             queue_depth: depth,
             shards,
             ingest_backpressure,
-            route_backpressure,
-            apply_backpressure: worker_outputs.iter().map(|&(_, blocked)| blocked).sum(),
+            route_backpressure: route_out.route_backpressure,
+            apply_backpressure: route_out.apply_backpressure,
             max_watermark_lag: merged.max_watermark_lag,
             per_shard_apply_latencies: merged.per_shard_apply,
-            shard_sizes: worker_outputs.iter().map(|&(sizes, _)| sizes).collect(),
-            router: router.stats(),
+            shard_sizes: route_out.shard_sizes,
+            router: route_out.router.stats(),
+            recovery: route_out.recovery,
         };
         Ok(EngineReport {
             stream: stream_report,
@@ -716,9 +1275,11 @@ impl IngestEngine for PipelinedEngine {
 mod tests {
     use super::*;
     use crate::model::Query;
-    use crate::shard::{ShardBackend, ShardedSolution};
+    use crate::shard::{GraphBlasShardFactory, ShardBackend, ShardedSolution};
     use datagen::stream::{StreamConfig, UpdateStream};
     use datagen::{generate_workload, GeneratorConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     fn network(seed: u64) -> SocialNetwork {
         generate_workload(&GeneratorConfig::tiny(seed)).initial
@@ -750,6 +1311,10 @@ mod tests {
         engine
             .run(network, &mut stream, batches.len())
             .expect("pipeline completed")
+    }
+
+    fn recovery_config(checkpoint_every: u64) -> Option<RecoveryConfig> {
+        Some(RecoveryConfig { checkpoint_every })
     }
 
     #[test]
@@ -857,8 +1422,9 @@ mod tests {
         }
         assert_eq!(stats.shard_sizes.len(), 2);
         assert!(stats.router.routed_operations > 0);
-        // a shard can run ahead by at most the items parked in its route queue,
-        // its out queue, the merger's drain buffer (≤ depth), and one in flight
+        assert!(stats.recovery.is_none(), "recovery was not enabled");
+        // a shard can run ahead by at most the items parked in its route queue
+        // (depth), the shared outcome queue (depth × shards), and one in flight
         assert!(
             stats.max_watermark_lag <= 3 * 3 + 1,
             "watermark lag {} not bounded by the queue depths",
@@ -928,7 +1494,7 @@ mod tests {
     #[test]
     fn dead_shard_worker_is_reported_as_a_truncated_run() {
         // regression: a shard worker dying mid-run used to make the merge stage
-        // `break 'merge` and the engine report success over fewer batches than
+        // stop early and the engine report success over fewer batches than
         // ingested, because `send_counting` swallowed the disconnect
         let network = network(67);
         let batches = batches(&network, 0xdead, 8);
@@ -937,7 +1503,7 @@ mod tests {
             ShardBackend::Incremental,
             2,
             PipelineConfig {
-                kill_shard: Some((1, 3)), // shard 1 dies before applying batch 3
+                kill_shards: vec![(1, 3)], // shard 1 dies before applying batch 3
                 ..PipelineConfig::default()
             },
         );
@@ -957,6 +1523,269 @@ mod tests {
         // the error renders the counts for operators
         let rendered = err.to_string();
         assert!(rendered.contains("truncated"), "{rendered}");
+    }
+
+    #[test]
+    fn kill_before_the_first_batch_truncates_to_zero_without_recovery() {
+        // chaos-coverage regression: the earliest possible death — the worker
+        // exits before applying seq 0, so nothing of that shard ever merges
+        let network = network(71);
+        let batches = batches(&network, 0x6b, 6);
+        let mut engine = PipelinedEngine::graphblas(
+            Query::Q2,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(1, 0)],
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = batches.iter().cloned();
+        let err = engine
+            .run(&network, &mut stream, batches.len())
+            .expect_err("a shard dead from batch 0 must not report success");
+        match err {
+            EngineError::TruncatedRun { merged, .. } => {
+                assert_eq!(merged, 0, "nothing can merge without shard 1");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_restores_a_killed_shard_mid_stream() {
+        // the ISSUE 6 acceptance shape: with recovery enabled, the same kill
+        // that truncates the run above completes instead — byte-identical to
+        // an uncrashed run, with the crash visible only in the counters
+        let network = network(67);
+        let batches = batches(&network, 0xdead, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(1, 3)],
+                recovery: recovery_config(2),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let stats = got.pipeline.expect("pipelined engines report stats");
+        let recovery = stats.recovery.expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.restores, 1);
+        assert!(
+            recovery.replayed_batches >= 1,
+            "the kill at seq 3 forces a replay, got {recovery:?}"
+        );
+        assert!(
+            recovery.checkpoints >= 2,
+            "initial checkpoints are always published, got {recovery:?}"
+        );
+        assert!(recovery.checkpoint_bytes > 0);
+        assert!(recovery.max_restore_secs > 0.0);
+    }
+
+    #[test]
+    fn recovery_restores_a_shard_killed_before_the_first_batch() {
+        // kill at seq 0: the restore comes from the *initial* checkpoint
+        // published at load, and the whole stream is replayed
+        let network = network(71);
+        let batches = batches(&network, 0x6b, 6);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(1, 0)],
+                recovery: recovery_config(4),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.restores, 1);
+    }
+
+    #[test]
+    fn a_kill_beyond_the_stream_never_fires() {
+        // chaos-coverage regression: a kill scheduled after the last watermark
+        // is a no-op — the run completes with zero crashes
+        let network = network(73);
+        let batches = batches(&network, 0xee, 5);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(0, 1000)],
+                recovery: recovery_config(2),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 0);
+        assert_eq!(recovery.restores, 0);
+        assert_eq!(recovery.replayed_batches, 0);
+    }
+
+    #[test]
+    fn two_shards_killed_at_the_same_seq_recover_without_deadlock() {
+        // regression: when both shards die at the same seq, the detection loop
+        // for the first dead shard absorbs the second's exit off the shared
+        // status channel — the second detection must notice that instead of
+        // blocking forever on an exit that was already consumed
+        let network = network(81);
+        let batches = batches(&network, 0xdd2, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(0, 3), (1, 3)],
+                recovery: recovery_config(2),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 2, "{recovery:?}");
+        assert_eq!(recovery.restores, 2, "{recovery:?}");
+    }
+
+    #[test]
+    fn recovery_under_delay_injection_stays_byte_identical() {
+        // chaos-coverage regression: a kill with DelayInjection active — the
+        // restore must stay invisible under adversarial stage interleavings
+        let network = network(77);
+        let batches = batches(&network, 0xff, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                queue_depth: 2,
+                delays: Some(DelayInjection {
+                    seed: 11,
+                    max_route_micros: 200,
+                    max_apply_micros: 800,
+                }),
+                kill_shards: vec![(0, 4)],
+                recovery: recovery_config(3),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.restores, 1);
+    }
+
+    /// A [`ShardFactory`] whose evaluators panic exactly once across the whole
+    /// run — at one evaluator's `at_apply`-th apply — to prove the panic
+    /// containment path, not just the quiet kill injection.
+    struct PanicOnceFactory {
+        inner: GraphBlasShardFactory,
+        fuse: Arc<AtomicBool>,
+        at_apply: usize,
+    }
+
+    struct PanicOnceEvaluator {
+        inner: Box<dyn ShardEvaluator>,
+        fuse: Arc<AtomicBool>,
+        at_apply: usize,
+        applies: usize,
+    }
+
+    impl ShardFactory for PanicOnceFactory {
+        fn build(&self, part: &SocialNetwork) -> Box<dyn ShardEvaluator> {
+            Box::new(PanicOnceEvaluator {
+                inner: self.inner.build(part),
+                fuse: Arc::clone(&self.fuse),
+                at_apply: self.at_apply,
+                applies: 0,
+            })
+        }
+
+        fn query(&self) -> Query {
+            self.inner.query()
+        }
+
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+    }
+
+    impl ShardEvaluator for PanicOnceEvaluator {
+        fn apply(&mut self, changeset: &ChangeSet) -> bool {
+            self.applies += 1;
+            if self.applies == self.at_apply && self.fuse.swap(false, Ordering::SeqCst) {
+                panic!("injected evaluator panic");
+            }
+            self.inner.apply(changeset)
+        }
+
+        fn candidates(&self) -> &[RankedEntry] {
+            self.inner.candidates()
+        }
+
+        fn owned_sizes(&self) -> (usize, usize) {
+            self.inner.owned_sizes()
+        }
+    }
+
+    #[test]
+    fn a_panicking_evaluator_is_contained_and_recovered_like_a_kill() {
+        let network = network(79);
+        let batches = batches(&network, 0xabc, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let mut engine = PipelinedEngine::new(
+            Box::new(PanicOnceFactory {
+                inner: GraphBlasShardFactory::new(Query::Q2, ShardBackend::Incremental),
+                fuse: Arc::new(AtomicBool::new(true)),
+                at_apply: 3,
+            }),
+            2,
+            PipelineConfig {
+                recovery: recovery_config(2),
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = batches.iter().cloned();
+        let got = engine
+            .run(&network, &mut stream, batches.len())
+            .expect("the panic is contained and the shard restored");
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1, "{recovery:?}");
+        assert_eq!(recovery.restores, 1, "{recovery:?}");
     }
 
     #[test]
@@ -1006,6 +1835,20 @@ mod tests {
             "GraphBLAS Sharded Incremental (4 shards, pipelined)"
         );
         assert_eq!(engine.shard_count(), 4);
+        // recovery-enabled engines say so
+        let recovering = PipelinedEngine::graphblas(
+            Query::Q1,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                recovery: Some(RecoveryConfig::default()),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(
+            recovering.name(),
+            "GraphBLAS Sharded Incremental (2 shards, recover, pipelined)"
+        );
         // zero shards degrades to one
         assert_eq!(
             PipelinedEngine::graphblas(

@@ -166,6 +166,25 @@ impl ShardRouter {
         self.stats
     }
 
+    /// Record a crash restore with the partition policy: the replacement
+    /// evaluator at `to` re-owns the dead shard `from`'s entire slice (see
+    /// [`Partitioner::redirect_shard`]). Today's recovery path always restores
+    /// in place (`from == to`), which static policies model trivially; an
+    /// [`datagen::partition::AssignmentTable`]-backed policy also
+    /// accepts `from != to`, the move elastic resharding needs. Returns
+    /// whether the policy recorded the move.
+    pub fn record_restore(&mut self, from: usize, to: usize) -> bool {
+        assert!(
+            from < self.shards && to < self.shards,
+            "restore {from} -> {to} out of range (shards: {})",
+            self.shards
+        );
+        // always tell the policy: an in-place restore clears any stale
+        // redirect an [`AssignmentTable`] may hold for this shard
+        let recorded = self.partitioner.redirect_shard(from, to);
+        recorded || from == to
+    }
+
     /// Owning shard of a comment id, if the comment is known.
     pub fn shard_of_comment(&self, comment: ElementId) -> Option<usize> {
         self.comment_shard.get(&comment).copied()
@@ -656,8 +675,10 @@ pub fn load_shards_with(
 
 /// [`load_shards_with`], additionally returning the per-shard sub-networks the
 /// evaluators were built from — rebalancing-enabled solutions keep them as
-/// their mirrors instead of paying [`ShardRouter::split_initial`] twice.
-fn load_shards_parts(
+/// their mirrors instead of paying [`ShardRouter::split_initial`] twice, and
+/// the pipelined engine's recovery path seeds its initial per-shard
+/// checkpoints from them.
+pub(crate) fn load_shards_parts(
     factory: &dyn ShardFactory,
     network: &SocialNetwork,
     partitioner: Box<dyn Partitioner>,

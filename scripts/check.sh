@@ -40,6 +40,12 @@ echo "==> stream_throughput rebalancing smoke (ring partitioner + skew monitor o
 cargo run --release -p bench --bin stream_throughput -- --smoke --shards 2 \
     --partitioner ring --rebalance --hot-tree 0.7 > /dev/null
 
+echo "==> stream_throughput recovery chaos smoke (kill shard 1 mid-run + restore, 3 seeds)"
+for seed in 7 42 1337; do
+    cargo run --release -p bench --bin stream_throughput -- --smoke --pipeline \
+        --kill-shard 1 --recover --seed "$seed" > /dev/null
+done
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

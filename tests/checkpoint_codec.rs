@@ -1,0 +1,155 @@
+//! Checkpoint-codec round trips over every shard backend (ISSUE 6 satellite):
+//! snapshot → restore (rebuild the evaluator from the decoded sub-network) →
+//! snapshot must reproduce **identical bytes** for all four evaluator backends
+//! — GraphBLAS incremental (Q1 and Q2), GraphBLAS incremental-CC, and the NMF
+//! dependency-record baseline — because byte-stable snapshots are what lets
+//! the recovery differential gate demand byte-identical replays. Truncated or
+//! corrupted snapshots must fail with a *named* [`CheckpointError`], never a
+//! panic. (The single-backend unit tests live in `ttc_social_media::recovery`;
+//! this repo-level test exists because the NMF factory lives in a crate that
+//! depends on `ttc-social-media`.)
+
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{generate_workload, GeneratorConfig};
+use ttc2018_graphblas::nmf_baseline::NmfShardFactory;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::recovery::{CheckpointError, ShardCheckpoint};
+use ttc2018_graphblas::ttc_social_media::shard::{
+    GraphBlasShardFactory, ShardBackend, ShardFactory, ShardRouter,
+};
+
+/// The four backends under test, with the query each answers.
+fn backends() -> Vec<(&'static str, Box<dyn ShardFactory>)> {
+    vec![
+        (
+            "graphblas-incremental-q1",
+            Box::new(GraphBlasShardFactory::new(
+                Query::Q1,
+                ShardBackend::Incremental,
+            )) as Box<dyn ShardFactory>,
+        ),
+        (
+            "graphblas-incremental-q2",
+            Box::new(GraphBlasShardFactory::new(
+                Query::Q2,
+                ShardBackend::Incremental,
+            )),
+        ),
+        (
+            "graphblas-incremental-cc",
+            Box::new(GraphBlasShardFactory::new(
+                Query::Q2,
+                ShardBackend::IncrementalCc,
+            )),
+        ),
+        ("nmf-q1", Box::new(NmfShardFactory::new(Query::Q1))),
+    ]
+}
+
+/// One shard's worth of evolved state: partition a generated network two ways,
+/// build shard 0's evaluator, push a few retraction-heavy batches through it
+/// (mirroring into the sub-network exactly as the pipeline's workers do), and
+/// return the (mirror, evaluator) pair a checkpoint would serialize.
+fn evolved_shard_state(
+    factory: &dyn ShardFactory,
+    seed: u64,
+) -> (
+    ttc2018_graphblas::datagen::SocialNetwork,
+    Box<dyn ttc2018_graphblas::ttc_social_media::shard::ShardEvaluator>,
+) {
+    let network = generate_workload(&GeneratorConfig::tiny(seed)).initial;
+    let mut router = ShardRouter::new(&network, 2);
+    let mut mirror = router.split_initial(&network).remove(0);
+    let mut evaluator = factory.build(&mirror);
+    let batches: Vec<_> = UpdateStream::new(
+        &network,
+        StreamConfig {
+            seed: seed ^ 0xcc,
+            batch_size: 16,
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(5)
+    .collect();
+    for batch in &batches {
+        let routed = router.route(batch);
+        let ops = &routed[0];
+        evaluator.apply(ops);
+        ttc2018_graphblas::datagen::apply_changeset(&mut mirror, ops);
+    }
+    (mirror, evaluator)
+}
+
+/// The gate: snapshot → restore → snapshot is the identity on bytes, for every
+/// backend — including after retraction-heavy updates, so the encoder's
+/// canonical ordering is exercised on state that shrank as well as grew.
+#[test]
+fn snapshot_restore_snapshot_round_trips_to_identical_bytes_for_every_backend() {
+    for (name, factory) in backends() {
+        let (mirror, evaluator) = evolved_shard_state(factory.as_ref(), 7);
+        let first = ShardCheckpoint {
+            applied_through: 5,
+            network: mirror,
+            candidates: evaluator.candidates().to_vec(),
+        };
+        let bytes = first.encode();
+        let decoded = ShardCheckpoint::decode(&bytes)
+            .unwrap_or_else(|err| panic!("{name}: decode of a fresh snapshot failed: {err}"));
+        assert_eq!(
+            decoded, first,
+            "{name}: decode is not the inverse of encode"
+        );
+
+        // the restore path: rebuild the evaluator from the decoded sub-network
+        let restored = factory.build(&decoded.network);
+        assert_eq!(
+            restored.candidates(),
+            &first.candidates[..],
+            "{name}: a rebuild from the restored mirror diverged from the checkpointed candidates"
+        );
+        let second = ShardCheckpoint {
+            applied_through: decoded.applied_through,
+            network: decoded.network,
+            candidates: restored.candidates().to_vec(),
+        };
+        assert_eq!(
+            second.encode(),
+            bytes,
+            "{name}: snapshot → restore → snapshot changed bytes"
+        );
+    }
+}
+
+/// Every truncation prefix and a bit flip in every byte fail with a named
+/// error — never a panic, never a silently wrong checkpoint.
+#[test]
+fn truncation_and_corruption_are_named_errors_for_every_backend() {
+    for (name, factory) in backends() {
+        let (mirror, evaluator) = evolved_shard_state(factory.as_ref(), 11);
+        let bytes = ShardCheckpoint {
+            applied_through: 5,
+            network: mirror,
+            candidates: evaluator.candidates().to_vec(),
+        }
+        .encode();
+
+        for len in 0..bytes.len() {
+            match ShardCheckpoint::decode(&bytes[..len]) {
+                Err(CheckpointError::Truncated { .. } | CheckpointError::ChecksumMismatch) => {}
+                Err(other) => panic!("{name}: truncation to {len} gave {other}"),
+                Ok(_) => panic!("{name}: truncation to {len} decoded successfully"),
+            }
+        }
+        // flip one bit in a spread of positions (every byte would be slow on
+        // the larger snapshots; a stride covers header, body and checksum)
+        for at in (0..bytes.len()).step_by(7) {
+            let mut corrupted = bytes.clone();
+            corrupted[at] ^= 0x40;
+            assert!(
+                ShardCheckpoint::decode(&corrupted).is_err(),
+                "{name}: bit flip at {at} went undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Differential chaos tests of crash-tolerant shard recovery (the ISSUE 6
+//! acceptance gate): for shards ∈ {2, 4}, a pipelined run whose shard workers
+//! are killed at arbitrary sequence numbers — before the first batch, at a
+//! checkpoint boundary, at the final batch, twice on the same shard, on two
+//! shards in one run — must, with recovery enabled, produce **byte-identical
+//! per-batch** top-3 outputs to the uncrashed synchronous barrier driver on
+//! retraction-heavy sf1 streams, for the incremental-CC and NMF shard backends
+//! as well as the plain incremental one; plus a proptest killing proptest-chosen
+//! (shard, seq) sets under proptest-chosen checkpoint cadences.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{generate_scale_factor, ChangeSet, SocialNetwork};
+use ttc2018_graphblas::nmf_baseline::NmfShardFactory;
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::pipeline::{
+    IngestEngine, PipelineConfig, PipelinedEngine, SyncEngine,
+};
+use ttc2018_graphblas::ttc_social_media::recovery::{RecoveryConfig, RecoveryStats};
+use ttc2018_graphblas::ttc_social_media::shard::{
+    GraphBlasShardFactory, ShardBackend, ShardFactory, ShardedSolution,
+};
+use ttc2018_graphblas::ttc_social_media::stream::StreamDriver;
+
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+const BATCHES: usize = 10;
+
+fn sf1_network() -> SocialNetwork {
+    generate_scale_factor(1).initial
+}
+
+/// A retraction-heavy micro-batch stream over the sf1 network (30% deletions),
+/// the regime where a restore replaying stale state would surface as a wrong
+/// rebuild decision in the watermark merge.
+fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 64,
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// The shard backends the gate covers, by constructor: the three GraphBLAS
+/// ones and the NMF dependency-record baseline.
+fn factory_for(backend: &str, query: Query) -> Box<dyn ShardFactory> {
+    match backend {
+        "incremental" => Box::new(GraphBlasShardFactory::new(query, ShardBackend::Incremental)),
+        "incremental-cc" => Box::new(GraphBlasShardFactory::new(
+            query,
+            ShardBackend::IncrementalCc,
+        )),
+        "nmf" => Box::new(NmfShardFactory::new(query)),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+/// Per-batch results of the uncrashed synchronous barrier driver — the
+/// reference every recovered run must match byte for byte.
+fn run_uncrashed(
+    backend: &str,
+    query: Query,
+    shards: usize,
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+) -> Vec<String> {
+    let solution = ShardedSolution::with_factory(factory_for(backend, query), shards);
+    let mut engine = SyncEngine::new(StreamDriver::default(), Box::new(solution));
+    let mut stream = batches.iter().cloned();
+    engine
+        .run(network, &mut stream, batches.len())
+        .expect("sync engine never truncates")
+        .results
+}
+
+/// Per-batch results + recovery counters of a pipelined run with the given
+/// kill schedule and checkpoint cadence.
+fn run_recovered(
+    backend: &str,
+    query: Query,
+    shards: usize,
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+    kills: Vec<(usize, u64)>,
+    checkpoint_every: u64,
+) -> (Vec<String>, RecoveryStats) {
+    let mut engine = PipelinedEngine::new(
+        factory_for(backend, query),
+        shards,
+        PipelineConfig {
+            kill_shards: kills,
+            recovery: Some(RecoveryConfig { checkpoint_every }),
+            ..PipelineConfig::default()
+        },
+    );
+    let mut stream = batches.iter().cloned();
+    let report = engine
+        .run(network, &mut stream, batches.len())
+        .expect("recovery-enabled runs complete despite kills");
+    let recovery = report
+        .pipeline
+        .expect("pipelined engines report stats")
+        .recovery
+        .expect("recovery was enabled");
+    (report.results, recovery)
+}
+
+/// The acceptance gate: kill every shard in turn at the chaos-critical
+/// sequence numbers — 0 (before anything applied; the restore comes from the
+/// initial checkpoint), the checkpoint boundary (the replay window is empty or
+/// exactly one interval), mid-stream, and the final batch (no later send
+/// exists to trip detection; the end-of-stream sweep must catch it) — for
+/// shards ∈ {2, 4} and the incremental-CC and NMF backends. Byte-identical to
+/// the uncrashed barrier driver every time.
+#[test]
+fn kills_at_critical_seqs_recover_byte_identically() {
+    let network = sf1_network();
+    let batches = batches(&network, 0xc4a5, BATCHES);
+    let checkpoint_every = 4;
+    // seq 4 == the first checkpoint boundary (applied_through 4), seq 9 == the
+    // final batch of the 10-batch stream
+    let critical_seqs: [u64; 4] = [0, 4, 6, (BATCHES - 1) as u64];
+    for (backend, query) in [("incremental-cc", Query::Q2), ("nmf", Query::Q1)] {
+        for &shards in &SHARD_COUNTS {
+            let expected = run_uncrashed(backend, query, shards, &network, &batches);
+            for (which, &seq) in critical_seqs.iter().enumerate() {
+                let shard = which % shards; // every shard index gets killed
+                let (results, recovery) = run_recovered(
+                    backend,
+                    query,
+                    shards,
+                    &network,
+                    &batches,
+                    vec![(shard, seq)],
+                    checkpoint_every,
+                );
+                assert_eq!(
+                    results, expected,
+                    "{backend}/{query:?}/{shards} shards: kill ({shard}, {seq}) changed output"
+                );
+                assert_eq!(
+                    (recovery.crashes, recovery.restores),
+                    (1, 1),
+                    "{backend}/{query:?}/{shards} shards: kill ({shard}, {seq}): {recovery:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Double-kill, same shard: the replacement worker is killed too (its own
+/// kill may even fire while it is still replaying the log), forcing a second
+/// restore from a later checkpoint. Still byte-identical.
+#[test]
+fn killing_the_same_shard_twice_recovers_byte_identically() {
+    let network = sf1_network();
+    let batches = batches(&network, 0xd0b1, BATCHES);
+    for &shards in &SHARD_COUNTS {
+        let expected = run_uncrashed("incremental", Query::Q2, shards, &network, &batches);
+        let (results, recovery) = run_recovered(
+            "incremental",
+            Query::Q2,
+            shards,
+            &network,
+            &batches,
+            vec![(1, 2), (1, 6)],
+            3,
+        );
+        assert_eq!(
+            results, expected,
+            "{shards} shards: double kill changed output"
+        );
+        assert_eq!(recovery.crashes, 2, "{shards} shards: {recovery:?}");
+        assert_eq!(recovery.restores, 2, "{shards} shards: {recovery:?}");
+    }
+}
+
+/// Two different shards killed in one run — the supervisor must restore both
+/// without wedging the watermark merge (the shared outcome queue exists for
+/// exactly this case). Still byte-identical.
+#[test]
+fn killing_two_shards_in_one_run_recovers_byte_identically() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x2b0b, BATCHES);
+    for &shards in &SHARD_COUNTS {
+        let expected = run_uncrashed("incremental-cc", Query::Q2, shards, &network, &batches);
+        let (results, recovery) = run_recovered(
+            "incremental-cc",
+            Query::Q2,
+            shards,
+            &network,
+            &batches,
+            vec![(0, 3), (1, 5)],
+            4,
+        );
+        assert_eq!(
+            results, expected,
+            "{shards} shards: two-shard kill changed output"
+        );
+        assert_eq!(recovery.crashes, 2, "{shards} shards: {recovery:?}");
+        assert_eq!(recovery.restores, 2, "{shards} shards: {recovery:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kill-at-any-seq: an arbitrary set of (shard, seq) kills under an
+    /// arbitrary checkpoint cadence leaves every per-batch output
+    /// byte-identical to the uncrashed barrier driver. Duplicate kills are
+    /// kept — the same (shard, seq) entry twice kills the replacement during
+    /// its own replay of that seq, the nastiest window there is.
+    #[test]
+    fn kills_at_arbitrary_seqs_are_output_invariant(
+        seed in 0u64..1000,
+        shards_idx in 0usize..SHARD_COUNTS.len(),
+        checkpoint_every in 1u64..6,
+        kills in prop::collection::vec((0usize..4, 0u64..8), 1..4),
+    ) {
+        let shards = SHARD_COUNTS[shards_idx];
+        let network = ttc2018_graphblas::datagen::generate_workload(
+            &ttc2018_graphblas::datagen::GeneratorConfig::tiny(seed),
+        )
+        .initial;
+        let batches: Vec<ChangeSet> = UpdateStream::new(
+            &network,
+            StreamConfig {
+                seed: seed ^ 0xfa11,
+                batch_size: 16,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(8)
+        .collect();
+        let kills: Vec<(usize, u64)> = kills
+            .into_iter()
+            .map(|(shard, seq)| (shard % shards, seq))
+            .collect();
+
+        for query in [Query::Q1, Query::Q2] {
+            let expected = run_uncrashed("incremental", query, shards, &network, &batches);
+            let (results, recovery) = run_recovered(
+                "incremental",
+                query,
+                shards,
+                &network,
+                &batches,
+                kills.clone(),
+                checkpoint_every,
+            );
+            prop_assert_eq!(
+                &results,
+                &expected,
+                "{:?} diverged (shards {}, seed {}, kills {:?}, checkpoint every {})",
+                query, shards, seed, kills, checkpoint_every
+            );
+            prop_assert!(
+                recovery.crashes >= kills.len() as u64,
+                "every scheduled kill fires at least once: {:?} vs {:?}",
+                recovery, kills
+            );
+            prop_assert_eq!(recovery.crashes, recovery.restores, "{:?}", recovery);
+        }
+    }
+}
