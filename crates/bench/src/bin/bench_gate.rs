@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_gate -- \
-//!     [--baseline BENCH_stream.json] [--out BENCH_stream.json.new] \
+//!     [--baseline BENCH_stream.json] [--out target/BENCH_stream.json.new] \
 //!     [--tolerance 0.20] [--write-baseline]
 //! ```
 //!
@@ -193,7 +193,9 @@ fn parse_args() -> Args {
     };
     let mut args = Args {
         baseline: "BENCH_stream.json".to_string(),
-        out: "BENCH_stream.json.new".to_string(),
+        // the scratch report lives under target/ so an interrupted or failed
+        // gate never leaves an untracked stray in the repo root
+        out: "target/BENCH_stream.json.new".to_string(),
         tolerance,
         normalize: std::env::var_os("BENCH_GATE_NORMALIZE").is_some(),
         write_baseline: false,
@@ -472,6 +474,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("failed to create report directory");
+        }
+    }
     std::fs::write(&args.out, rendered + "\n").expect("failed to write report");
     eprintln!("# current report written to {}", args.out);
 

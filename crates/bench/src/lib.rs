@@ -8,6 +8,8 @@
 //! query), repeats each run 5 times and reports the geometric mean. This crate
 //! re-implements that protocol.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod registry;
 pub mod report;

@@ -105,7 +105,7 @@ pub fn run_in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
-        .expect("failed to build rayon pool");
+        .expect("failed to build rayon pool"); // lint: allow(panic) — a pool build failure at startup is unrecoverable configuration error
     pool.install(f)
 }
 

@@ -28,7 +28,7 @@ pub fn per_shard_json(lanes: &[Vec<f64>], warmup: usize) -> Value {
         .enumerate()
         .map(|(shard, lane)| {
             let mut measured = lane[warmup.min(lane.len())..].to_vec();
-            measured.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            measured.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite")); // lint: allow(panic) — latencies are Duration-derived seconds, never NaN
             json!({
                 "shard": shard,
                 "p50_latency_secs": percentile(&measured, 50.0),

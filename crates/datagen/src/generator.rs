@@ -104,7 +104,7 @@ impl Generator {
             } else {
                 *comments_per_post[post_rank]
                     .choose(&mut self.rng)
-                    .expect("non-empty checked above")
+                    .expect("non-empty checked above") // lint: allow(panic) — the candidate list was checked non-empty above
             };
             comments_per_post[post_rank].push(id);
             network.comments.push(Comment {
@@ -206,11 +206,11 @@ impl Generator {
                     let id = self.fresh_id();
                     let timestamp = self.fresh_timestamp();
                     let author = user_ids[user_popularity.sample(&mut self.rng)];
-                    let parent = *comment_ids.choose(&mut self.rng).expect("non-empty");
+                    let parent = *comment_ids.choose(&mut self.rng).expect("non-empty"); // lint: allow(panic) — the branch guard established comment_ids is non-empty
                     let root_post = root_of
                         .get(&parent)
                         .copied()
-                        .unwrap_or_else(|| *post_ids.first().expect("at least one post exists"));
+                        .unwrap_or_else(|| *post_ids.first().expect("at least one post exists")); // lint: allow(panic) — the generator seeds at least one post before any comment
                     let comment = Comment {
                         id,
                         timestamp,
@@ -236,7 +236,7 @@ impl Generator {
                 } else if roll < 0.70 && !comment_ids.is_empty() {
                     // New like on an existing comment.
                     let user = user_ids[user_popularity.sample(&mut self.rng)];
-                    let comment = *comment_ids.choose(&mut self.rng).expect("non-empty");
+                    let comment = *comment_ids.choose(&mut self.rng).expect("non-empty"); // lint: allow(panic) — the branch guard established comment_ids is non-empty
                     if existing_likes.insert((user, comment)) {
                         operations.push(ChangeOperation::AddLike { user, comment });
                         inserted += 1;

@@ -42,11 +42,11 @@ impl ZipfSampler {
 
     /// Draw one rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = *self.cumulative.last().expect("non-empty"); // lint: allow(panic) — the sampler constructor rejects empty weight sets
         let x: f64 = rng.gen_range(0.0..total);
         match self
             .cumulative
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("weights are finite"))
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("weights are finite")) // lint: allow(panic) — weights are validated finite at construction
         {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),

@@ -363,11 +363,11 @@ impl UpdateStream {
         let timestamp = self.fresh_timestamp();
         let author = self.sample_user();
         let (parent, root_post) = if self.roll_hot_tree() {
-            let root = self.hot_root.expect("roll_hot_tree checked hot_root");
+            let root = self.hot_root.expect("roll_hot_tree checked hot_root"); // lint: allow(panic) — roll_hot_tree establishes hot_root before this arm is reachable
             if self.hot_comments.is_empty() || self.rng.gen_bool(0.4) {
                 (root, root)
             } else {
-                let parent = *self.hot_comments.choose(&mut self.rng).expect("non-empty");
+                let parent = *self.hot_comments.choose(&mut self.rng).expect("non-empty"); // lint: allow(panic) — the arm is gated on hot_comments being non-empty
                 (parent, root)
             }
         } else if self.comment_ids.is_empty() || self.rng.gen_bool(0.4) {
@@ -376,7 +376,7 @@ impl UpdateStream {
                 None => return, // no posts at all: nothing to attach a comment to
             }
         } else {
-            let parent = *self.comment_ids.choose(&mut self.rng).expect("non-empty");
+            let parent = *self.comment_ids.choose(&mut self.rng).expect("non-empty"); // lint: allow(panic) — the arm is gated on comment_ids being non-empty
             let root = self.root_of.get(&parent).copied().unwrap_or(parent);
             (parent, root)
         };
@@ -413,9 +413,9 @@ impl UpdateStream {
         }
         let user = self.sample_user();
         let comment = if self.roll_hot_tree() && !self.hot_comments.is_empty() {
-            *self.hot_comments.choose(&mut self.rng).expect("non-empty")
+            *self.hot_comments.choose(&mut self.rng).expect("non-empty") // lint: allow(panic) — the caller checked hot_comments is non-empty
         } else {
-            *self.comment_ids.choose(&mut self.rng).expect("non-empty")
+            *self.comment_ids.choose(&mut self.rng).expect("non-empty") // lint: allow(panic) — the caller checked comment_ids is non-empty
         };
         if self.like_set.insert((user, comment)) {
             self.like_list.push((user, comment));

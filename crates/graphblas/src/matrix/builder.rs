@@ -53,8 +53,9 @@ where
         // filled; a duplicate coordinate means the previous tuple had the same column
         // within this same row.
         let row_start = row_ptr[current_row];
+        // lint: allow(panic) — guarded by the len > row_start check on the same line
         if col_idx.len() > row_start && *col_idx.last().expect("non-empty") == c {
-            let slot = values.last_mut().expect("values parallel to col_idx");
+            let slot = values.last_mut().expect("values parallel to col_idx"); // lint: allow(panic) — values grows in lockstep with col_idx
             *slot = dup.apply(*slot, v);
             continue;
         }

@@ -316,7 +316,7 @@ impl<T: Scalar> Matrix<T> {
             self.values.truncate(keep);
             self.row_ptr.truncate(new_nrows + 1);
         } else if new_nrows > self.nrows {
-            let last = *self.row_ptr.last().expect("row_ptr never empty");
+            let last = *self.row_ptr.last().expect("row_ptr never empty"); // lint: allow(panic) — CSR row_ptr always holds nrows+1 entries
             self.row_ptr.resize(new_nrows + 1, last);
         }
         self.nrows = new_nrows;

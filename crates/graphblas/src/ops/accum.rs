@@ -75,7 +75,7 @@ impl<T: Scalar> SparseAccumulator<T> {
         for &j in &self.touched {
             let slot = self.values[j]
                 .take()
-                .expect("touched position holds a value");
+                .expect("touched position holds a value"); // lint: allow(panic) — the touched set only records positions that hold values
             indices.push(j);
             values.push(slot);
         }

@@ -63,8 +63,8 @@ pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
         col_offsets.push(col_offsets[j] + tiles[0][j].ncols());
     }
 
-    let nrows = *row_offsets.last().expect("offsets never empty");
-    let ncols = *col_offsets.last().expect("offsets never empty");
+    let nrows = *row_offsets.last().expect("offsets never empty"); // lint: allow(panic) — offset vectors start with 0 and are never empty
+    let ncols = *col_offsets.last().expect("offsets never empty"); // lint: allow(panic) — offset vectors start with 0 and are never empty
     let total_nvals: usize = tiles
         .iter()
         .flat_map(|row| row.iter())
@@ -140,7 +140,7 @@ pub fn split<T: Scalar>(
     let mut col_offsets = Vec::with_capacity(col_sizes.len() + 1);
     col_offsets.push(0usize);
     for &w in col_sizes {
-        col_offsets.push(col_offsets.last().unwrap() + w);
+        col_offsets.push(col_offsets.last().unwrap() + w); // lint: allow(panic) — col_offsets starts with 0 pushed above
     }
 
     let mut result = Vec::with_capacity(row_sizes.len());

@@ -23,7 +23,7 @@ pub fn extract_subvector<T: Scalar>(
             let mut out = Vector::with_capacity(list.len(), list.len().min(u.nvals()));
             for (new_pos, &old_pos) in list.iter().enumerate() {
                 if let Some(v) = u.get(old_pos) {
-                    out.set(new_pos, v).expect("in bounds by construction");
+                    out.set(new_pos, v).expect("in bounds by construction"); // lint: allow(panic) — new_pos enumerates the freshly sized output
                 }
             }
             Ok(out)

@@ -117,7 +117,7 @@ where
     let mut values: Vec<T> = Vec::with_capacity(products.len());
     for (i, v) in products {
         if indices.last() == Some(&i) {
-            let slot = values.last_mut().expect("values parallel to indices");
+            let slot = values.last_mut().expect("values parallel to indices"); // lint: allow(panic) — values grows in lockstep with indices
             *slot = add.apply(*slot, v);
         } else {
             indices.push(i);

@@ -60,7 +60,7 @@ impl<T: Scalar> Vector<T> {
         for (i, v) in sorted {
             if let Some(&last) = indices.last() {
                 if last == i {
-                    let slot = values.last_mut().expect("values parallel to indices");
+                    let slot = values.last_mut().expect("values parallel to indices"); // lint: allow(panic) — values grows in lockstep with indices
                     *slot = dup.apply(*slot, v);
                     continue;
                 }
@@ -277,7 +277,7 @@ impl<T: Scalar> FromIterator<(Index, T)> for Vector<T> {
         let size = tuples.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
         let mut v = Vector::new(size);
         for (i, val) in tuples {
-            v.set(i, val).expect("index within computed size");
+            v.set(i, val).expect("index within computed size"); // lint: allow(panic) — i comes from the vector sized on the previous line
         }
         v
     }

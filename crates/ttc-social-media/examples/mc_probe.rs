@@ -1,0 +1,46 @@
+//! Measures the model checker's exploration size and wall time for one
+//! schedule at a given preemption bound — the tool used to size the budgets
+//! in `tests/model_check.rs`. Run with
+//! `cargo run --release --features model-check --example mc_probe -- <bound|none> <max_executions> [kill11|kill2x|replay]`.
+fn main() {
+    #[cfg(feature = "model-check")]
+    probe::run();
+}
+
+#[cfg(feature = "model-check")]
+mod probe {
+    include!("../tests/model_check/harness.rs");
+
+    pub fn run() {
+        let args: Vec<String> = std::env::args().collect();
+        let bound: Option<usize> = args.get(1).and_then(|s| s.parse().ok());
+        let max_exec: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+        let kills: Vec<(usize, u64)> = match args.get(3).map(|s| s.as_str()) {
+            Some("kill11") => vec![(1, 1)],
+            Some("kill2x") => vec![(0, 1), (1, 1)],
+            Some("replay") => vec![(1, 1), (1, 2)],
+            _ => vec![],
+        };
+        let batches = if kills == [(1, 1), (1, 2)] { 4 } else { 3 };
+        let network = toy_network();
+        let batch_list = toy_batches(batches);
+        let expected = reference_results(&network, &batch_list);
+        let config = pipeline_config(kills, 2);
+        let cfg = loomette::Config {
+            max_preemptions: bound,
+            max_executions: max_exec,
+            ..loomette::Config::default()
+        };
+        let start = std::time::Instant::now();
+        let report = loomette::explore(cfg, || {
+            check_pipeline_run(&network, &batch_list, &expected, &config)
+        });
+        println!(
+            "bound={bound:?} max_exec={max_exec}: {report} in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+        if let Some(v) = &report.violation {
+            println!("VIOLATION: {v}");
+        }
+    }
+}

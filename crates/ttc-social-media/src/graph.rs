@@ -87,10 +87,10 @@ impl SocialGraph {
         let mut root_post_tuples: Vec<(Index, Index, u64)> = Vec::with_capacity(nc);
         let mut commented_tuples: Vec<(Index, Index, u64)> = Vec::new();
         for comment in &network.comments {
-            let c = comments.index_of(comment.id).expect("registered above");
+            let c = comments.index_of(comment.id).expect("registered above"); // lint: allow(panic) — the comment was interned in the registration pass above
             let p = posts
                 .index_of(comment.root_post)
-                .expect("rootPost references an existing post");
+                .expect("rootPost references an existing post"); // lint: allow(panic) — the loader validates rootPost references before building the graph
             root_post_tuples.push((p, c, 1));
             if let Some(parent_c) = comments.index_of(comment.parent) {
                 commented_tuples.push((c, parent_c, 1));
@@ -119,13 +119,13 @@ impl SocialGraph {
 
         SocialGraph {
             root_post: Matrix::from_tuples(np, nc, &root_post_tuples, First::new())
-                .expect("indices in range by construction"),
+                .expect("indices in range by construction"), // lint: allow(panic) — all four matrices were built over the interned index spaces
             likes: Matrix::from_tuples(nc, nu, &likes_tuples, First::new())
-                .expect("indices in range by construction"),
+                .expect("indices in range by construction"), // lint: allow(panic) — interned index spaces as above
             friends: Matrix::from_tuples(nu, nu, &friends_tuples, First::new())
-                .expect("indices in range by construction"),
+                .expect("indices in range by construction"), // lint: allow(panic) — interned index spaces as above
             commented: Matrix::from_tuples(nc, nc, &commented_tuples, First::new())
-                .expect("indices in range by construction"),
+                .expect("indices in range by construction"), // lint: allow(panic) — interned index spaces as above
             posts,
             comments,
             users,

@@ -49,6 +49,7 @@ pub mod recovery;
 pub mod shard;
 pub mod solution;
 pub mod stream;
+pub mod sync;
 pub mod top_k;
 pub mod update;
 

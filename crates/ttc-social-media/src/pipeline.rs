@@ -57,10 +57,15 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::thread;
 use std::time::{Duration, Instant};
+
+// Every synchronization primitive comes from the `crate::sync` facade: plain
+// std re-exports in production builds, loomette shadows under `model-check`
+// (which is how tests/model_check.rs exhaustively explores this module's
+// interleavings). Do not import from `std::sync`/`std::thread` here.
+use crate::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use crate::sync::panic::{catch_unwind, AssertUnwindSafe};
+use crate::sync::{thread, Arc};
 
 use datagen::partition::{ModuloPartitioner, Partitioner};
 use datagen::stream::sequenced;
@@ -381,11 +386,12 @@ struct WorkerExit {
 /// turn a dead shard worker into a silently truncated "successful" report.
 #[must_use]
 fn send_counting<T>(tx: &SyncSender<T>, item: T, blocked: &mut u64) -> bool {
+    // lint: allow(raw-send) — this is the counted helper itself
     match tx.try_send(item) {
         Ok(()) => true,
         Err(TrySendError::Full(item)) => {
             *blocked += 1;
-            tx.send(item).is_ok()
+            tx.send(item).is_ok() // lint: allow(raw-send) — counted helper: blocking retry after the Full arm counted the stall
         }
         Err(TrySendError::Disconnected(_)) => false,
     }
@@ -420,11 +426,13 @@ struct RouteOutcome {
 
 /// Context a worker generation shares with the supervisor: the factory that
 /// rebuilds evaluators on restore, the checkpoint plumbing, and the channels
-/// every generation reports through.
+/// every generation reports through. Owned (`Arc`/clones) rather than
+/// borrowed so worker threads are plain `'static` spawns the sync facade can
+/// schedule.
 #[derive(Clone)]
-struct WorkerShared<'a> {
-    factory: &'a dyn ShardFactory,
-    delays: &'a Option<DelayInjection>,
+struct WorkerShared {
+    factory: Arc<dyn ShardFactory>,
+    delays: Option<DelayInjection>,
     /// `Some` (clamped ≥ 1) exactly when recovery is enabled.
     checkpoint_every: Option<u64>,
     store: Option<CheckpointStore>,
@@ -453,10 +461,10 @@ enum Step {
     MergerGone,
 }
 
-struct Worker<'a> {
+struct Worker {
     shard: usize,
     generation: u64,
-    shared: WorkerShared<'a>,
+    shared: WorkerShared,
     /// Kill-injection seqs still pending for this shard when the generation
     /// was spawned (already-fired entries are retired by the supervisor).
     kills: Vec<u64>,
@@ -471,7 +479,7 @@ struct Worker<'a> {
     replayed: u64,
 }
 
-impl Worker<'_> {
+impl Worker {
     /// Apply one changeset — kill check, evaluate, mirror, checkpoint,
     /// deliver. The one code path both live batches and log replay go
     /// through, which is what makes replayed outcomes byte-identical to the
@@ -481,7 +489,7 @@ impl Worker<'_> {
             return Step::Killed(seq);
         }
         if !replaying {
-            if let Some(d) = self.shared.delays {
+            if let Some(d) = &self.shared.delays {
                 d.sleep_apply(self.shard, seq);
             }
         }
@@ -497,7 +505,7 @@ impl Worker<'_> {
         }
         if let (Some(every), Some(store)) = (self.shared.checkpoint_every, &self.shared.store) {
             if self.applied_through.is_multiple_of(every) {
-                let mirror = self.mirror.as_ref().expect("recovery maintains a mirror");
+                let mirror = self.mirror.as_ref().expect("recovery maintains a mirror"); // lint: allow(panic) — checkpoint_every is only Some when recovery built the mirror at spawn
                 let bytes = ShardCheckpoint::encode_parts(
                     self.applied_through,
                     mirror,
@@ -541,11 +549,22 @@ impl Worker<'_> {
         // dies again mid-replay — so `restores` deterministically equals
         // `crashes` no matter where in the replay window the next kill lands
         let elapsed = |started: Option<Instant>| started.map(|t| t.elapsed().as_secs_f64());
+        // `test-bug-midreplay-undercount` reverts the PR 6 fix above: a kill
+        // landing during backlog replay reports no restore duration, so the
+        // model-check regression schedule can prove the checker catches the
+        // resulting `restores < crashes` undercount.
+        let mid_replay_elapsed = |started: Option<Instant>| {
+            if cfg!(feature = "test-bug-midreplay-undercount") {
+                None
+            } else {
+                elapsed(started)
+            }
+        };
         for entry in backlog {
             match self.step(entry.seq, entry.enqueued, &entry.ops, true) {
                 Step::Delivered => {}
-                Step::Killed(k) => return (false, Some(k), elapsed(restore_started)),
-                Step::MergerGone => return (false, None, elapsed(restore_started)),
+                Step::Killed(k) => return (false, Some(k), mid_replay_elapsed(restore_started)),
+                Step::MergerGone => return (false, None, mid_replay_elapsed(restore_started)),
             }
         }
         let restore_secs = elapsed(restore_started);
@@ -574,6 +593,7 @@ impl Worker<'_> {
             ),
             Err(_) => (false, None, None, (0, 0)),
         };
+        // lint: allow(raw-send) — status channel is unbounded; if the supervisor is gone the exit status is moot
         let _ = self.shared.status_tx.send(WorkerExit {
             shard: self.shard,
             generation: self.generation,
@@ -591,18 +611,18 @@ impl Worker<'_> {
 
 /// Spawn one worker generation. A [`WorkerSeed::Restored`] seed decodes and
 /// rebuilds on the worker thread, so the supervisor keeps routing the other
-/// shards while the replacement catches up.
-fn spawn_worker<'scope, 'env>(
-    scope: &'scope thread::Scope<'scope, 'env>,
-    shared: WorkerShared<'env>,
+/// shards while the replacement catches up. Returns the handle; the
+/// supervisor joins every generation after its terminal status arrives.
+fn spawn_worker(
+    shared: WorkerShared,
     shard: usize,
     generation: u64,
     kills: Vec<u64>,
     seed: WorkerSeed,
     rx: Receiver<RoutedItem>,
-) {
-    scope.spawn(move || {
-        let factory = shared.factory;
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let factory = Arc::clone(&shared.factory);
         let (worker, backlog, started) = match seed {
             WorkerSeed::Fresh { evaluator, mirror } => (
                 Worker {
@@ -627,11 +647,11 @@ fn spawn_worker<'scope, 'env>(
                 started,
             } => {
                 let ckpt = ShardCheckpoint::decode(&snapshot)
-                    .expect("the in-process checkpoint store only holds snapshots it encoded");
+                    .expect("the in-process checkpoint store only holds snapshots it encoded"); // lint: allow(panic) — the in-process store only returns snapshots it encoded; corruption is a bug, not input
                 let evaluator = factory.build(&ckpt.network);
                 debug_assert_eq!(
                     evaluator.candidates(),
-                    &ckpt.candidates[..],
+                    &ckpt.candidates[..], // lint: allow(index) — full-range slice, cannot panic
                     "a rebuild from the restored mirror must reproduce the checkpointed candidates"
                 );
                 let applied_through = ckpt.applied_through;
@@ -655,7 +675,7 @@ fn spawn_worker<'scope, 'env>(
             }
         };
         worker.run(backlog, rx, started);
-    });
+    })
 }
 
 /// Fold one terminal worker status into the supervisor's aggregates.
@@ -679,13 +699,14 @@ fn absorb_exit(
     if !exit.completed {
         agg.crashes += 1;
         if let Some(k) = exit.kill_seq {
+            // lint: allow(index) — exit.shard was assigned by spawn_worker from 0..shards
             if let Some(at) = remaining_kills[exit.shard].iter().position(|&x| x == k) {
-                remaining_kills[exit.shard].remove(at);
+                remaining_kills[exit.shard].remove(at); // lint: allow(index) — exit.shard < shards; `at` was just found by position()
             }
         }
     }
     let shard = exit.shard;
-    latest_exit[shard] = Some(exit);
+    latest_exit[shard] = Some(exit); // lint: allow(index) — exit.shard < shards as above
 }
 
 // ---------------------------------------------------------------------------
@@ -698,7 +719,7 @@ fn absorb_exit(
 /// each call to [`IngestEngine::run`] builds a fresh router and fresh per-shard
 /// evaluators, so one engine value can measure many runs.
 pub struct PipelinedEngine {
-    factory: Box<dyn ShardFactory>,
+    factory: Arc<dyn ShardFactory>,
     shards: usize,
     /// The pristine partition policy, cloned into every run's router.
     partitioner: Box<dyn Partitioner>,
@@ -721,7 +742,7 @@ impl PipelinedEngine {
     ) -> Self {
         let shards = partitioner.shard_count();
         PipelinedEngine {
-            factory,
+            factory: Arc::from(factory),
             shards,
             partitioner,
             config,
@@ -777,24 +798,25 @@ impl PipelinedEngine {
             per_shard_apply: vec![Vec::new(); shards],
         };
         for (shard, outcome) in rx {
+            // lint: allow(index) — outcome.shard is validated against shards at the recv site
             if outcome.seq != delivered[shard] {
                 debug_assert!(
-                    outcome.seq < delivered[shard],
+                    outcome.seq < delivered[shard], // lint: allow(index) — outcome.shard < shards as above
                     "shard {shard} delivered seq {} but {} was expected — a gap, not a replay",
                     outcome.seq,
-                    delivered[shard]
+                    delivered[shard] // lint: allow(index) — outcome.shard < shards as above
                 );
                 continue; // replayed duplicate of an already-accepted outcome
             }
-            delivered[shard] += 1;
-            buffers[shard].push_back(outcome);
+            delivered[shard] += 1; // lint: allow(index) — outcome.shard < shards as above
+            buffers[shard].push_back(outcome); // lint: allow(index) — outcome.shard < shards as above
             while buffers.iter().all(|buffer| !buffer.is_empty()) {
                 for &d in &delivered {
                     out.max_watermark_lag = out.max_watermark_lag.max(d - 1 - t);
                 }
                 let outcomes: Vec<ApplyOutcome> = buffers
                     .iter_mut()
-                    .map(|buffer| buffer.pop_front().expect("buffer non-empty"))
+                    .map(|buffer| buffer.pop_front().expect("buffer non-empty")) // lint: allow(panic) — the merge fires only when every per-shard buffer is non-empty (checked above)
                     .collect();
                 debug_assert!(
                     outcomes.iter().all(|o| o.seq == t),
@@ -807,10 +829,10 @@ impl PipelinedEngine {
                     .collect();
                 let result = merger.merge(union, any_removals);
                 for (shard, outcome) in outcomes.iter().enumerate() {
-                    out.per_shard_apply[shard].push(outcome.apply_secs);
+                    out.per_shard_apply[shard].push(outcome.apply_secs); // lint: allow(index) — shard enumerates the per-shard vectors built over 0..shards
                 }
                 out.results.push(result);
-                out.enqueued.push(outcomes[0].enqueued);
+                out.enqueued.push(outcomes[0].enqueued); // lint: allow(index) — outcomes has one entry per shard and shards >= 1
                 out.completed.push(Instant::now());
                 t += 1;
             }
@@ -843,10 +865,10 @@ impl IngestEngine for PipelinedEngine {
         let warmup = self.config.warmup_batches;
         let total = warmup + batches;
         let coalesce_on = self.config.coalesce;
-        let delays = &self.config.delays;
+        let delays = self.config.delays.clone();
         let kill_shards = self.config.kill_shards.clone();
         let recovery = self.config.recovery.clone();
-        let factory = self.factory.as_ref();
+        let factory = Arc::clone(&self.factory);
 
         // Load phase: the exact function the synchronous driver runs —
         // partition, build the per-shard evaluators (rayon-parallel), seed the
@@ -854,7 +876,7 @@ impl IngestEngine for PipelinedEngine {
         // The per-shard sub-networks become the workers' recovery mirrors.
         let load_start = Instant::now();
         let (router, parts, evaluators, merger, initial_result) =
-            load_shards_parts(factory, initial, self.partitioner.clone());
+            load_shards_parts(factory.as_ref(), initial, self.partitioner.clone());
         let load_secs = load_start.elapsed().as_secs_f64();
 
         // Recovery plumbing: the shared snapshot store, seeded with one
@@ -889,14 +911,14 @@ impl IngestEngine for PipelinedEngine {
         let mut ingest_backpressure = 0u64;
         let mut ingested = 0usize;
 
-        let (merged, route_out) = thread::scope(|scope| {
+        let (merged, route_out) = {
             // Stage 4: watermark merge.
-            let merge_handle = scope.spawn(move || Self::merge_stage(merger, out_rx, shards));
+            let merge_handle = thread::spawn(move || Self::merge_stage(merger, out_rx, shards));
 
             // Stage 2 + supervisor: coalesce + route, spawn (and under
             // recovery, restore) the apply workers, collect their terminal
             // statuses.
-            let route_handle = scope.spawn(move || {
+            let route_handle = thread::spawn(move || {
                 let mut router = router;
                 let mut applied = 0usize;
                 let mut route_blocked = 0u64;
@@ -905,7 +927,7 @@ impl IngestEngine for PipelinedEngine {
 
                 let shared = WorkerShared {
                     factory,
-                    delays,
+                    delays: delays.clone(),
                     checkpoint_every: recovery.as_ref().map(|r| r.checkpoint_every.max(1)),
                     store: store.clone(),
                     out_tx: out_tx.clone(),
@@ -914,7 +936,7 @@ impl IngestEngine for PipelinedEngine {
                 let mut remaining_kills: Vec<Vec<u64>> = vec![Vec::new(); shards];
                 for &(shard, seq) in &kill_shards {
                     if shard < shards {
-                        remaining_kills[shard].push(seq);
+                        remaining_kills[shard].push(seq); // lint: allow(index) — kill entries are filtered to shard < shards when the plan is built
                     }
                 }
                 let mut logs: Vec<ChangesetLog> =
@@ -925,6 +947,7 @@ impl IngestEngine for PipelinedEngine {
                 let mut exits_seen = 0usize;
                 let mut latest_exit: Vec<Option<WorkerExit>> = vec![None; shards];
                 let mut sizes: Vec<(usize, usize)> = vec![(0, 0); shards];
+                let mut worker_handles: Vec<thread::JoinHandle<()>> = Vec::new();
 
                 // Stage 3: one apply worker per shard; the evaluator (and
                 // under recovery, its mirror sub-network) moves in.
@@ -932,15 +955,14 @@ impl IngestEngine for PipelinedEngine {
                 {
                     let (tx, rx) = sync_channel::<RoutedItem>(depth);
                     txs.push(tx);
-                    spawn_worker(
-                        scope,
+                    worker_handles.push(spawn_worker(
                         shared.clone(),
                         shard,
                         0,
-                        remaining_kills[shard].clone(),
+                        remaining_kills[shard].clone(), // lint: allow(index) — shard enumerates 0..shards
                         WorkerSeed::Fresh { evaluator, mirror },
                         rx,
-                    );
+                    ));
                     generations += 1;
                 }
 
@@ -951,7 +973,7 @@ impl IngestEngine for PipelinedEngine {
                     batch,
                 } in ingest_rx
                 {
-                    if let Some(d) = delays {
+                    if let Some(d) = &delays {
                         d.sleep_route(seq);
                     }
                     let batch = if coalesce_on { coalesce(&batch) } else { batch };
@@ -968,19 +990,20 @@ impl IngestEngine for PipelinedEngine {
                         // latest published checkpoint to keep the log bounded
                         // by the checkpoint interval plus queue lag.
                         for (shard, ops) in routed.iter().enumerate() {
+                            // lint: allow(index) — exit/outcome shard ids originate from spawn over 0..shards
                             logs[shard].append(LogEntry {
                                 seq,
                                 enqueued,
                                 ops: ops.clone(),
                             });
                             if let Some(at) = store.applied_through(shard) {
-                                logs[shard].prune_through(at);
+                                logs[shard].prune_through(at); // lint: allow(index) — shard < shards as above
                             }
                         }
                     }
                     for (shard, ops) in routed.into_iter().enumerate() {
                         if send_counting(
-                            &txs[shard],
+                            &txs[shard], // lint: allow(index) — shard < shards as above
                             RoutedItem { seq, enqueued, ops },
                             &mut route_blocked,
                         ) {
@@ -999,14 +1022,23 @@ impl IngestEngine for PipelinedEngine {
                         // loop of the first may already have absorbed this
                         // generation's exit — blocking for it again would
                         // wait forever.
-                        let already_absorbed = latest_exit[shard]
-                            .as_ref()
-                            .is_some_and(|exit| exit.generation == current_gen[shard]);
+                        // `test-bug-absorbed-exit` reverts the PR 6 fix: the
+                        // supervisor blocks for an exit that another shard's
+                        // detection loop already absorbed, and the model-check
+                        // regression schedule proves that deadlocks.
+                        let already_absorbed = if cfg!(feature = "test-bug-absorbed-exit") {
+                            false
+                        } else {
+                            latest_exit[shard] // lint: allow(index) — shard < shards as above
+                                .as_ref()
+                                // lint: allow(index) — shard < shards as above
+                                .is_some_and(|exit| exit.generation == current_gen[shard])
+                        };
                         if !already_absorbed {
                             loop {
                                 let exit = status_rx
                                     .recv()
-                                    .expect("every worker generation reports an exit");
+                                    .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
                                 exits_seen += 1;
                                 let from = (exit.shard, exit.generation);
                                 absorb_exit(
@@ -1016,38 +1048,38 @@ impl IngestEngine for PipelinedEngine {
                                     &mut remaining_kills,
                                     &mut latest_exit,
                                 );
+                                // lint: allow(index) — shard < shards as above
                                 if from == (shard, current_gen[shard]) {
                                     break;
                                 }
                             }
                         }
-                        let store = store.as_ref().expect("recovery implies a store");
+                        let store = store.as_ref().expect("recovery implies a store"); // lint: allow(panic) — this branch is only reached when recovery is configured
                         let (at, snapshot) = store
                             .load(shard)
-                            .expect("initial checkpoints are published at load");
-                        // Replay everything since the snapshot through the
-                        // current batch (inclusive — its send just failed, so
-                        // the backlog is the only copy the shard will get).
+                            .expect("initial checkpoints are published at load"); // lint: allow(panic) — load publishes an initial checkpoint for every shard before workers start
+                                                                                  // Replay everything since the snapshot through the
+                                                                                  // current batch (inclusive — its send just failed, so
+                                                                                  // the backlog is the only copy the shard will get).
                         let backlog: Vec<LogEntry> =
-                            logs[shard].replay_range(at, seq).cloned().collect();
+                            logs[shard].replay_range(at, seq).cloned().collect(); // lint: allow(index) — shard < shards as above
                         let (tx, rx) = sync_channel::<RoutedItem>(depth);
-                        txs[shard] = tx;
-                        current_gen[shard] += 1;
+                        txs[shard] = tx; // lint: allow(index) — shard < shards as above
+                        current_gen[shard] += 1; // lint: allow(index) — shard < shards as above
                         generations += 1;
                         router.record_restore(shard, shard);
-                        spawn_worker(
-                            scope,
+                        worker_handles.push(spawn_worker(
                             shared.clone(),
                             shard,
-                            current_gen[shard],
-                            remaining_kills[shard].clone(),
+                            current_gen[shard], // lint: allow(index) — shard < shards as above
+                            remaining_kills[shard].clone(), // lint: allow(index) — shard < shards as above
                             WorkerSeed::Restored {
                                 snapshot,
                                 backlog,
                                 started,
                             },
                             rx,
-                        );
+                        ));
                     }
                     total_routed = seq + 1;
                 }
@@ -1058,7 +1090,7 @@ impl IngestEngine for PipelinedEngine {
                 while exits_seen < generations {
                     let exit = status_rx
                         .recv()
-                        .expect("every worker generation reports an exit");
+                        .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
                     exits_seen += 1;
                     absorb_exit(
                         exit,
@@ -1068,48 +1100,57 @@ impl IngestEngine for PipelinedEngine {
                         &mut latest_exit,
                     );
                 }
+                // Every generation has reported its terminal status, so the
+                // worker threads are draining their last drops; join them
+                // before aggregating (a generation can only panic out of its
+                // thread during a model-check teardown, which aborts this
+                // thread at its next sync op anyway — the result is ignored).
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
                 // Catch-up recovery: a generation that died with no subsequent
                 // batch to trip a failed send (killed at the final batch, or
                 // while replaying at stream end) is only visible here. Replay
                 // the log on this thread; the merger deduplicates whatever the
                 // dead generation already delivered.
                 for shard in 0..shards {
-                    let exit = latest_exit[shard]
+                    let exit = latest_exit[shard] // lint: allow(index) — shard enumerates 0..shards
                         .take()
-                        .expect("every shard spawned at least one generation");
+                        .expect("every shard spawned at least one generation"); // lint: allow(panic) — every shard spawns a generation before this sweep runs
                     if exit.completed || recovery.is_none() {
-                        sizes[shard] = exit.sizes;
+                        sizes[shard] = exit.sizes; // lint: allow(index) — shard enumerates 0..shards
                         continue;
                     }
-                    let store = store.as_ref().expect("recovery implies a store");
+                    let store = store.as_ref().expect("recovery implies a store"); // lint: allow(panic) — this branch is only reached when recovery is configured
                     let every = shared
                         .checkpoint_every
-                        .expect("recovery implies a checkpoint cadence");
+                        .expect("recovery implies a checkpoint cadence"); // lint: allow(panic) — recovery always carries a checkpoint cadence
                     'attempt: loop {
                         let started = Instant::now();
                         let (at, snapshot) = store
                             .load(shard)
-                            .expect("initial checkpoints are published at load");
+                            .expect("initial checkpoints are published at load"); // lint: allow(panic) — load publishes an initial checkpoint for every shard before workers start
+                                                                                  // lint: allow(panic) — the in-process store only returns snapshots it encoded
                         let ckpt = ShardCheckpoint::decode(&snapshot).expect(
                             "the in-process checkpoint store only holds snapshots it encoded",
                         );
                         let mut evaluator = shared.factory.build(&ckpt.network);
                         let mut mirror = ckpt.network;
                         if total_routed > 0 {
-                            let entries: Vec<LogEntry> = logs[shard]
+                            let entries: Vec<LogEntry> = logs[shard] // lint: allow(index) — shard enumerates 0..shards
                                 .replay_range(at, total_routed - 1)
                                 .cloned()
                                 .collect();
                             for entry in entries {
-                                if let Some(pos) =
-                                    remaining_kills[shard].iter().position(|&k| k == entry.seq)
-                                {
+                                // lint: allow(index) — shard enumerates 0..shards
+                                let pending = &remaining_kills[shard];
+                                if let Some(pos) = pending.iter().position(|&k| k == entry.seq) {
                                     // a still-pending kill fires during the
                                     // catch-up replay too: another crash,
                                     // another restore from the checkpoint —
                                     // and the aborted attempt still counts as
                                     // a restore, keeping restores == crashes
-                                    remaining_kills[shard].remove(pos);
+                                    remaining_kills[shard].remove(pos); // lint: allow(index) — shard < shards; pos was just found by position()
                                     agg.crashes += 1;
                                     agg.restores += 1;
                                     let secs = started.elapsed().as_secs_f64();
@@ -1159,7 +1200,7 @@ impl IngestEngine for PipelinedEngine {
                             agg.max_restore_secs = secs;
                         }
                         router.record_restore(shard, shard);
-                        sizes[shard] = evaluator.owned_sizes();
+                        sizes[shard] = evaluator.owned_sizes(); // lint: allow(index) — shard enumerates the parts built over 0..shards
                         break;
                     }
                 }
@@ -1195,10 +1236,10 @@ impl IngestEngine for PipelinedEngine {
             }
             drop(ingest_tx); // close the pipe; stages drain and exit in turn
 
-            let route_out = route_handle.join().expect("route stage panicked");
-            let (merged, _merger) = merge_handle.join().expect("merge stage panicked");
+            let route_out = route_handle.join().expect("route stage panicked"); // lint: allow(panic) — a panicked stage must propagate: the run has no meaningful report
+            let (merged, _merger) = merge_handle.join().expect("merge stage panicked"); // lint: allow(panic) — a panicked stage must propagate: the run has no meaningful report
             (merged, route_out)
-        });
+        };
 
         // A merged count short of the ingested count means a stage died mid-run
         // and dropped batches: refuse to report throughput over a truncated
@@ -1214,22 +1255,22 @@ impl IngestEngine for PipelinedEngine {
         let measured = merged.results.len().saturating_sub(warmup);
         let results: Vec<String> = merged.results.iter().skip(warmup).cloned().collect();
         let mut latencies: Vec<f64> = (warmup..merged.results.len())
-            .map(|i| (merged.completed[i] - merged.enqueued[i]).as_secs_f64())
+            .map(|i| (merged.completed[i] - merged.enqueued[i]).as_secs_f64()) // lint: allow(index) — i ranges over the measured window, bounds-checked when the window was cut
             .collect();
         // Wall-clock of the measured window: from "warm-up results done" (or
         // the first enqueue when there is no warm-up) to the last merge.
         let elapsed_secs = match (merged.completed.last(), measured) {
             (Some(&end), m) if m > 0 => {
                 let start = if warmup > 0 {
-                    merged.completed[warmup - 1]
+                    merged.completed[warmup - 1] // lint: allow(index) — guarded by the warmup > 0 branch and the measured-window check
                 } else {
-                    merged.enqueued[0]
+                    merged.enqueued[0] // lint: allow(index) — the enclosing branch established at least one merged batch
                 };
                 (end - start).as_secs_f64()
             }
             _ => 0.0,
         };
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite")); // lint: allow(panic) — latencies are Duration-derived seconds, never NaN
         let stream_report = StreamReport {
             solution: self.name(),
             batches: measured,
@@ -1786,6 +1827,45 @@ mod tests {
             .expect("recovery was enabled");
         assert_eq!(recovery.crashes, 1, "{recovery:?}");
         assert_eq!(recovery.restores, 1, "{recovery:?}");
+    }
+
+    #[test]
+    fn a_panicking_evaluator_does_not_block_later_restores_of_other_shards() {
+        // regression for the checkpoint-store poisoning policy: an evaluator
+        // panic on one shard must not poison shared recovery state — later
+        // crashes of *other* shards (here: kill injections on both shards,
+        // after the panic) still restore and the run completes byte-identical
+        let network = network(79);
+        let batches = batches(&network, 0xabc, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let mut engine = PipelinedEngine::new(
+            Box::new(PanicOnceFactory {
+                inner: GraphBlasShardFactory::new(Query::Q2, ShardBackend::Incremental),
+                fuse: Arc::new(AtomicBool::new(true)),
+                at_apply: 2,
+            }),
+            2,
+            PipelineConfig {
+                // whichever shard tripped the panic fuse, the other one is
+                // also killed later — its restore exercises the store after
+                // the panic
+                kill_shards: vec![(0, 6), (1, 6)],
+                recovery: recovery_config(2),
+                ..PipelineConfig::default()
+            },
+        );
+        let mut stream = batches.iter().cloned();
+        let got = engine
+            .run(&network, &mut stream, batches.len())
+            .expect("every crash after the panic is still restored");
+        assert_eq!(got.results, expected.results);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 3, "one panic + two kills: {recovery:?}");
+        assert_eq!(recovery.restores, 3, "{recovery:?}");
     }
 
     #[test]

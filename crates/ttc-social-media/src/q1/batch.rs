@@ -47,11 +47,11 @@ pub fn q1_batch_scores(graph: &SocialGraph, parallel: bool) -> Vector<u64> {
             semirings::plus_second::<u64>(),
         )
     }
-    .expect("RootPost columns equal the likesCount dimension");
+    .expect("RootPost columns equal the likesCount dimension"); // lint: allow(panic) — dimension equality is a construction invariant of the graph matrices
 
     // Line 9: total score.
     ewise_add_vector(&replies_scores, &likes_score, Plus::new())
-        .expect("both score vectors live in the post index space")
+        .expect("both score vectors live in the post index space") // lint: allow(panic) — both vectors are sized over the post index space
 }
 
 /// Full Q1 evaluation: scores for every post (implicit zeros included) ranked by the

@@ -95,15 +95,15 @@ impl Q1Incremental {
                 semirings::plus_second::<u64>(),
             )
         }
-        .expect("RootPost columns equal the likesCount⁺ dimension");
+        .expect("RootPost columns equal the likesCount⁺ dimension"); // lint: allow(panic) — dimension equality is a construction invariant of the graph matrices
 
         // Line 12: total increment.
         let scores_plus = ewise_add_vector(&replies_scores_plus, &likes_score_plus, Plus::new())
-            .expect("increment vectors live in the post index space");
+            .expect("increment vectors live in the post index space"); // lint: allow(panic) — increment vectors are sized over the post index space
 
         // Line 13: updated scores.
         let scores_new = ewise_add_vector(&self.scores, &scores_plus, Plus::new())
-            .expect("scores and increment share the post index space");
+            .expect("scores and increment share the post index space"); // lint: allow(panic) — scores and increment are sized over the post index space
 
         // Streaming extension: score decrement from retracted likes, attributed the
         // same way (`RootPost′ ⊕.⊗ likesCount⁻`) and subtracted. Every decremented
@@ -126,9 +126,9 @@ impl Q1Incremental {
                     semirings::plus_second::<u64>(),
                 )
             }
-            .expect("RootPost columns equal the likesCount⁻ dimension");
+            .expect("RootPost columns equal the likesCount⁻ dimension"); // lint: allow(panic) — dimension equality is a construction invariant of the graph matrices
             ewise_union_vector(&scores_new, 0, &likes_score_minus, 0, Minus::new())
-                .expect("scores and decrement share the post index space")
+                .expect("scores and decrement share the post index space") // lint: allow(panic) — scores and decrement are sized over the post index space
         };
 
         self.scores = scores_new;
@@ -155,7 +155,7 @@ impl Q1Incremental {
             &VectorMask::structural(&scores_plus),
             &self.scores,
         )
-        .expect("mask and operands share the post index space");
+        .expect("mask and operands share the post index space"); // lint: allow(panic) — mask and operands are sized over the post index space
 
         // Merge changed scores (and brand-new posts, which may have score 0) into the
         // previous top-k candidates.

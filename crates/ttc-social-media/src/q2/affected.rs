@@ -80,7 +80,7 @@ fn comments_liked_by_both_endpoints(
     } else {
         mxm(&graph.likes, incidence, semirings::plus_times::<u64>())
     }
-    .expect("Likes columns equal the incidence rows (users)");
+    .expect("Likes columns equal the incidence rows (users)"); // lint: allow(panic) — dimension equality is a construction invariant of the graph matrices
 
     // Step 2: keep cells equal to 2 — both endpoints like the comment.
     let both = select_matrix(&ac, ValueEq::new(2u64));

@@ -80,7 +80,7 @@ impl Q2Incremental {
         for (c, score) in new_scores {
             self.scores
                 .set(c, score)
-                .expect("comment index within the grown score vector");
+                .expect("comment index within the grown score vector"); // lint: allow(panic) — the vector was grown to cover the comment index on the previous line
             changes.push(RankedEntry {
                 score,
                 timestamp: graph.comment_timestamp(c),

@@ -34,10 +34,10 @@ pub fn score_of_likers(graph: &SocialGraph, likers: &[Index]) -> u64 {
         &IndexSelection::List(likers),
         &IndexSelection::List(likers),
     )
-    .expect("liker indices are valid user indices");
-    // Step 3: connected components (FastSV).
-    let labels = connected_components(&subgraph).expect("induced subgraph is square");
-    // Step 4: sum of squared component sizes.
+    .expect("liker indices are valid user indices"); // lint: allow(panic) — liker indices come from the interned user index space
+                                                     // Step 3: connected components (FastSV).
+    let labels = connected_components(&subgraph).expect("induced subgraph is square"); // lint: allow(panic) — the induced subgraph is square by construction
+                                                                                       // Step 4: sum of squared component sizes.
     sum_of_squared_component_sizes(&labels)
 }
 

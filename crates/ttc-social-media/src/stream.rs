@@ -300,7 +300,7 @@ impl StreamDriver {
 
         let elapsed_secs: f64 = latencies.iter().sum();
         let mut sorted = latencies;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite")); // lint: allow(panic) — latencies are Duration-derived seconds, never NaN
         let report = StreamReport {
             solution: solution.name(),
             batches: measured,

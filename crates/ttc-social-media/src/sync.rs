@@ -1,0 +1,67 @@
+//! Synchronization facade for the concurrency-critical modules.
+//!
+//! [`crate::pipeline`] and [`crate::recovery`] take every synchronization
+//! primitive — `Mutex`, mpsc channels, `thread::spawn`/`sleep`, panic
+//! containment — from this module instead of `std` directly. In a normal
+//! build the facade is a set of zero-cost `pub use` re-exports of the `std`
+//! items, so production code is byte-for-byte what it was before the facade
+//! existed. With the `model-check` feature the same paths resolve to the
+//! `loomette` shadow primitives, whose deterministic scheduler lets
+//! `tests/model_check.rs` exhaustively explore bounded interleavings of the
+//! whole supervisor → worker-generations → dedup-merge → respawn protocol.
+//!
+//! The facade deliberately exposes only what those modules use; growing it is
+//! a conscious act (the new primitive must behave identically in both modes).
+//!
+//! `Arc` is re-exported from `std` in both modes: reference counting carries
+//! no scheduling decisions, so the model does not need to shadow it.
+
+pub use std::sync::Arc;
+
+#[cfg(not(feature = "model-check"))]
+mod imp {
+    pub use std::sync::{Mutex, MutexGuard};
+
+    /// Multi-producer single-consumer channels (std in this build).
+    pub mod mpsc {
+        pub use std::sync::mpsc::{
+            channel, sync_channel, Receiver, RecvError, SendError, Sender, SyncSender,
+            TryRecvError, TrySendError,
+        };
+    }
+
+    /// Threading primitives (std in this build).
+    pub mod thread {
+        pub use std::thread::{sleep, spawn, yield_now, JoinHandle};
+    }
+
+    /// Panic containment (std in this build).
+    pub mod panic {
+        pub use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    }
+}
+
+#[cfg(feature = "model-check")]
+mod imp {
+    pub use loomette::sync::{Mutex, MutexGuard};
+
+    /// Multi-producer single-consumer channels (loomette shadows in this build).
+    pub mod mpsc {
+        pub use loomette::sync::mpsc::{
+            channel, sync_channel, Receiver, RecvError, SendError, Sender, SyncSender,
+            TryRecvError, TrySendError,
+        };
+    }
+
+    /// Threading primitives (loomette shadows in this build).
+    pub mod thread {
+        pub use loomette::thread::{sleep, spawn, yield_now, JoinHandle};
+    }
+
+    /// Panic containment (loomette's sentinel-aware `catch_unwind` in this build).
+    pub mod panic {
+        pub use loomette::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    }
+}
+
+pub use imp::*;

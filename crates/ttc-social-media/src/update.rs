@@ -76,7 +76,7 @@ impl GraphDelta {
             &tuples,
             First::new(),
         )
-        .expect("delta indices lie within the grown dimensions")
+        .expect("delta indices lie within the grown dimensions") // lint: allow(panic) — the matrices were grown to the delta dimensions above
     }
 
     /// `likesCount⁺`: per-comment count of likes received in this changeset, as a
@@ -88,7 +88,7 @@ impl GraphDelta {
             &tuples,
             graphblas::ops_traits::Plus::new(),
         )
-        .expect("delta indices lie within the grown dimensions")
+        .expect("delta indices lie within the grown dimensions") // lint: allow(panic) — the matrices were grown to the delta dimensions above
     }
 
     /// The `NewFriends` incidence matrix: `users′ × |new friendships|`, with the two
@@ -107,7 +107,7 @@ impl GraphDelta {
             &tuples,
             graphblas::ops_traits::Plus::new(),
         )
-        .expect("delta indices lie within the grown dimensions")
+        .expect("delta indices lie within the grown dimensions") // lint: allow(panic) — the matrices were grown to the delta dimensions above
     }
 
     /// The incidence matrix of the *retracted* friendships, shaped like
@@ -129,7 +129,7 @@ fn friends_incidence(graph: &SocialGraph, pairs: &[(Index, Index)]) -> Matrix<u6
         tuples.push((b, k, 1));
     }
     Matrix::from_tuples(graph.user_count(), pairs.len(), &tuples, First::new())
-        .expect("delta indices lie within the grown dimensions")
+        .expect("delta indices lie within the grown dimensions") // lint: allow(panic) — the matrices were grown to the delta dimensions above
 }
 
 /// Apply a changeset to the graph: register new elements, grow every matrix to the new
@@ -213,7 +213,7 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
                 let c = graph
                     .comments
                     .index_of(comment.id)
-                    .expect("registered in pass 1");
+                    .expect("registered in pass 1"); // lint: allow(panic) — pass 1 registered every id this pass resolves
                 if let Some(p) = graph.posts.index_of(comment.root_post) {
                     root_post_inserts.push((p, c, 1));
                     delta.new_root_post_edges.push((p, c));
@@ -320,19 +320,19 @@ pub fn apply_changeset(graph: &mut SocialGraph, changeset: &ChangeSet) -> GraphD
     graph
         .root_post
         .insert_tuples(&root_post_inserts, First::new())
-        .expect("root_post inserts within bounds");
+        .expect("root_post inserts within bounds"); // lint: allow(panic) — the matrix was grown to cover all inserts above
     graph
         .commented
         .insert_tuples(&commented_inserts, First::new())
-        .expect("commented inserts within bounds");
+        .expect("commented inserts within bounds"); // lint: allow(panic) — the matrix was grown to cover all inserts above
     graph
         .likes
         .insert_tuples(&likes_inserts, First::new())
-        .expect("likes inserts within bounds");
+        .expect("likes inserts within bounds"); // lint: allow(panic) — the matrix was grown to cover all inserts above
     graph
         .friends
         .insert_tuples(&friends_inserts, First::new())
-        .expect("friends inserts within bounds");
+        .expect("friends inserts within bounds"); // lint: allow(panic) — the matrix was grown to cover all inserts above
     for &(c, u) in &likes_removals {
         graph.likes.remove(c, u);
     }

@@ -1,0 +1,229 @@
+//! Deterministic model checking of the crash-recovery pipeline protocol.
+//!
+//! Compiled only with `--features model-check`, where the `crate::sync` facade
+//! resolves to the [`loomette`] shadow primitives. Each test hands the **whole
+//! pipelined engine** — supervisor, router, worker generations, dedup merge,
+//! respawn — to [`loomette::explore`], which enumerates the bounded
+//! interleavings of a small schedule (exhaustively where the space fits the
+//! budget — see [`mc_config`]) and asserts, in *each* of them:
+//!
+//! * the merged per-batch results are byte-identical to a synchronous
+//!   single-threaded reference run,
+//! * `restores == crashes` (every injected kill was recovered exactly once),
+//! * no deadlock (loomette reports a `Deadlock` violation with a replayable
+//!   trace if any interleaving wedges).
+//!
+//! The evaluators under the model are deliberately trivial ([`ToyEvaluator`]):
+//! the point is to explore the *protocol's* interleavings, not GraphBLAS
+//! kernels, so each execution must cost microseconds.
+//!
+//! Two regression schedules reproduce the concurrency bugs fixed in the
+//! crash-recovery revision; they compile only under the `test-bug-*` features
+//! that revert those fixes, and assert the checker finds the violation (see
+//! the `bug_` tests at the bottom).
+
+#![cfg(feature = "model-check")]
+
+include!("model_check/harness.rs");
+
+use loomette::Config;
+
+/// The exploration budget for the suite: preemption bound 0, i.e. context
+/// switches only where a thread *blocks* (channel full/empty, lock contention,
+/// join) or finishes. That is exactly the space of communication orderings of
+/// the supervisor/worker protocol. Measured with `examples/mc_probe.rs`
+/// (release build):
+///
+/// * 3-batch schedules with zero, one, or two same-seq kills — 93k–147k
+///   executions (~30–60s), **exhaust** the space;
+/// * the 4-batch double-kill mid-replay schedule — exceeds the budget (every
+///   respawned worker generation and extra batch multiplies the orderings),
+///   so it runs as a *bounded* sweep under [`explore_no_violation`];
+/// * bound 2 does not exhaust even the one-kill schedule within 500k
+///   executions.
+fn mc_config() -> Config {
+    Config {
+        max_preemptions: Some(0),
+        max_executions: 300_000,
+        ..Config::default()
+    }
+}
+
+/// Explore a schedule whose bounded interleaving space is small enough to
+/// exhaust, and require a clean, *complete* exploration.
+#[cfg(not(any(
+    feature = "test-bug-absorbed-exit",
+    feature = "test-bug-midreplay-undercount"
+)))]
+fn explore_clean(
+    kills: Vec<(usize, u64)>,
+    checkpoint_every: u64,
+    batches: usize,
+) -> loomette::Report {
+    let report = explore_no_violation(kills, checkpoint_every, batches);
+    assert!(
+        report.complete,
+        "exploration must exhaust the bounded interleaving space: {report}"
+    );
+    report
+}
+
+/// Explore a schedule up to the execution budget, requiring every explored
+/// interleaving to be clean. Used for schedules whose full bound-0 space is
+/// too large to exhaust (see [`mc_config`]).
+#[cfg(not(any(
+    feature = "test-bug-absorbed-exit",
+    feature = "test-bug-midreplay-undercount"
+)))]
+fn explore_no_violation(
+    kills: Vec<(usize, u64)>,
+    checkpoint_every: u64,
+    batches: usize,
+) -> loomette::Report {
+    let network = toy_network();
+    let batches = toy_batches(batches);
+    let expected = reference_results(&network, &batches);
+    let config = pipeline_config(kills, checkpoint_every);
+    let report = loomette::explore(mc_config(), || {
+        check_pipeline_run(&network, &batches, &expected, &config)
+    });
+    if let Some(violation) = &report.violation {
+        panic!("{violation}");
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Clean schedules: every interleaving correct, exploration exhaustive
+// ---------------------------------------------------------------------------
+// Gated out under the bug-revert features: with a fix reverted these schedules
+// *should* fail, and the `bug_` tests below assert exactly that.
+
+#[cfg(not(any(
+    feature = "test-bug-absorbed-exit",
+    feature = "test-bug-midreplay-undercount"
+)))]
+mod clean {
+    use super::*;
+
+    /// The headline schedule of the acceptance criteria: 2 shards × 3 batches
+    /// × 1 kill, checkpoint every 2 batches, queue depth 1.
+    #[test]
+    fn exhaustive_two_shard_three_batch_one_kill_recovery() {
+        let report = explore_clean(vec![(1, 1)], 2, 3);
+        // surface the explored-state count in the test output (run with
+        // `--nocapture` or see the CI log)
+        println!("2 shards x 3 batches x kill(1,1): {report}");
+        assert!(
+            report.executions > 100,
+            "suspiciously small space: {report}"
+        );
+    }
+
+    #[test]
+    fn no_kill_schedule_is_clean() {
+        let report = explore_clean(vec![], 2, 3);
+        println!("2 shards x 3 batches, no kills: {report}");
+    }
+
+    /// Both shards die before the same sequence number — restores must not
+    /// interfere with each other (the satellite-2 poisoning fix keeps one
+    /// shard's crash from cascading into the other's restore).
+    #[test]
+    fn both_shards_killed_at_the_same_batch_recover() {
+        let report = explore_clean(vec![(0, 1), (1, 1)], 2, 3);
+        println!("2 shards x 3 batches x kill(0,1)+(1,1): {report}");
+    }
+
+    /// The second kill lands while the replacement worker may still be
+    /// replaying its backlog — the schedule of the mid-replay undercount bug.
+    /// The only bounded (non-exhaustive) sweep in the suite: the fourth batch
+    /// and second respawned generation push the space past the budget.
+    #[test]
+    fn a_second_kill_during_backlog_replay_recovers() {
+        let report = explore_no_violation(vec![(1, 1), (1, 2)], 2, 4);
+        println!("2 shards x 4 batches x kill(1,1)+(1,2): {report}");
+        assert!(
+            report.complete || report.executions >= 100_000,
+            "budget not spent: {report}"
+        );
+    }
+
+    /// The toy evaluator itself, outside the model: pipelined (std threads)
+    /// equals the synchronous reference on the scripted batches.
+    #[test]
+    fn toy_evaluator_matches_reference_outside_the_model() {
+        let network = toy_network();
+        let batches = toy_batches(4);
+        let expected = reference_results(&network, &batches);
+        check_pipeline_run(
+            &network,
+            &batches,
+            &expected,
+            &pipeline_config(vec![(1, 1)], 2),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression schedules: the checker must find the reverted PR 6 bugs
+// ---------------------------------------------------------------------------
+
+/// Explore a schedule expecting a violation; assert the recorded trace replays
+/// to the same violation (the checker's output is a reproducible witness, not
+/// a flake).
+#[cfg(any(
+    feature = "test-bug-absorbed-exit",
+    feature = "test-bug-midreplay-undercount"
+))]
+fn explore_expecting_violation(
+    kills: Vec<(usize, u64)>,
+    checkpoint_every: u64,
+    batches: usize,
+) -> loomette::Violation {
+    let network = toy_network();
+    let batches = toy_batches(batches);
+    let expected = reference_results(&network, &batches);
+    let config = pipeline_config(kills, checkpoint_every);
+    let report = loomette::explore(mc_config(), || {
+        check_pipeline_run(&network, &batches, &expected, &config)
+    });
+    let violation = report
+        .violation
+        .expect("the reverted bug must be caught within the bounded space");
+    let replayed = loomette::replay(mc_config(), &violation.trace, || {
+        check_pipeline_run(&network, &batches, &expected, &config)
+    });
+    let again = replayed
+        .violation
+        .expect("replaying the recorded trace must reproduce the violation");
+    assert_eq!(again.kind, violation.kind, "replay diverged: {again}");
+    violation
+}
+
+/// With the absorbed-exit fix reverted, a crash whose exit notification was
+/// already absorbed by the outcome sweep is counted again, so the supervisor
+/// waits for a worker generation that has already gone — a deadlock on some
+/// interleavings of a double-kill schedule.
+#[cfg(feature = "test-bug-absorbed-exit")]
+#[test]
+fn bug_absorbed_exit_revert_is_caught_as_a_violation() {
+    let violation = explore_expecting_violation(vec![(0, 1), (1, 1)], 2, 3);
+    println!("absorbed-exit revert caught: {violation}");
+}
+
+/// With the mid-replay accounting fix reverted, a worker killed while still
+/// replaying its restore backlog reports no restore latency, so
+/// `restores < crashes` — caught by the invariant assertion in the model body.
+#[cfg(feature = "test-bug-midreplay-undercount")]
+#[test]
+fn bug_midreplay_undercount_revert_is_caught_as_a_violation() {
+    use loomette::ViolationKind;
+    let violation = explore_expecting_violation(vec![(1, 1), (1, 2)], 2, 4);
+    assert_eq!(
+        violation.kind,
+        ViolationKind::Panic,
+        "the undercount surfaces as a failed invariant assertion: {violation}"
+    );
+    println!("mid-replay undercount revert caught: {violation}");
+}

@@ -1,0 +1,263 @@
+// Shared model-check harness: the toy evaluator, the scripted schedule, the
+// synchronous reference oracle, and the per-interleaving invariant body.
+// Pulled in via `include!` by both `tests/model_check.rs` and the
+// `mc_probe` example (files in `tests/` subdirectories are not test targets).
+
+use datagen::model::{
+    ChangeOperation, ChangeSet, Comment, ElementId, Post, SocialNetwork, User,
+};
+use std::collections::HashMap;
+use ttc_social_media::shard::{ShardEvaluator, ShardFactory, ShardedSolution};
+use ttc_social_media::solution::TOP_K;
+use ttc_social_media::stream::StreamDriver;
+use ttc_social_media::{
+    IngestEngine, PipelineConfig, PipelinedEngine, Query, RankedEntry, RecoveryConfig, SyncEngine,
+};
+
+// ---------------------------------------------------------------------------
+// Toy per-shard evaluator: cheap, deterministic, checkpoint/restore-compatible
+// ---------------------------------------------------------------------------
+
+/// Scores each comment as `1 + likes it received`; candidates are the shard's
+/// exact top-[`TOP_K`] by the global `(score, timestamp, id)` ranking. Exact
+/// scores and a total order make the evaluator a faithful stand-in for the
+/// GraphBLAS backends in the merge protocol, at a tiny fraction of the cost.
+struct ToyEvaluator {
+    posts: usize,
+    /// `(id, timestamp)` in insertion order (deterministic across replays).
+    comments: Vec<(ElementId, u64)>,
+    likes: HashMap<ElementId, u64>,
+    candidates: Vec<RankedEntry>,
+}
+
+impl ToyEvaluator {
+    fn from_network(part: &SocialNetwork) -> Self {
+        let mut eval = ToyEvaluator {
+            posts: part.posts.len(),
+            comments: part.comments.iter().map(|c| (c.id, c.timestamp)).collect(),
+            likes: HashMap::new(),
+            candidates: Vec::new(),
+        };
+        for &(_, comment) in &part.likes {
+            *eval.likes.entry(comment).or_insert(0) += 1;
+        }
+        eval.rescore();
+        eval
+    }
+
+    fn rescore(&mut self) {
+        let mut ranked: Vec<RankedEntry> = self
+            .comments
+            .iter()
+            .map(|&(id, timestamp)| RankedEntry {
+                score: 1 + self.likes.get(&id).copied().unwrap_or(0),
+                timestamp,
+                id,
+            })
+            .collect();
+        ranked.sort_by_key(|e| std::cmp::Reverse((e.score, e.timestamp, e.id)));
+        ranked.truncate(TOP_K);
+        self.candidates = ranked;
+    }
+}
+
+impl ShardEvaluator for ToyEvaluator {
+    fn apply(&mut self, changeset: &ChangeSet) -> bool {
+        for op in &changeset.operations {
+            match op {
+                ChangeOperation::AddPost { .. } => self.posts += 1,
+                ChangeOperation::AddComment { comment } => {
+                    self.comments.push((comment.id, comment.timestamp));
+                }
+                ChangeOperation::AddLike { comment, .. } => {
+                    *self.likes.entry(*comment).or_insert(0) += 1;
+                }
+                ChangeOperation::RemoveLike { comment, .. } => {
+                    if let Some(n) = self.likes.get_mut(comment) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+                // users and friendships do not contribute to the toy score
+                _ => {}
+            }
+        }
+        self.rescore();
+        changeset.has_removals()
+    }
+
+    fn candidates(&self) -> &[RankedEntry] {
+        &self.candidates
+    }
+
+    fn owned_sizes(&self) -> (usize, usize) {
+        (self.posts, self.comments.len())
+    }
+}
+
+struct ToyFactory;
+
+impl ShardFactory for ToyFactory {
+    fn build(&self, part: &SocialNetwork) -> Box<dyn ShardEvaluator> {
+        Box::new(ToyEvaluator::from_network(part))
+    }
+
+    fn query(&self) -> Query {
+        Query::Q1
+    }
+
+    fn name(&self) -> String {
+        "Toy".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The model schedule: 2 shards, a handful of hand-built batches
+// ---------------------------------------------------------------------------
+
+fn user(id: ElementId) -> User {
+    User {
+        id,
+        name: format!("u{id}"),
+    }
+}
+
+fn post(id: ElementId, author: ElementId) -> Post {
+    Post {
+        id,
+        timestamp: id,
+        author,
+    }
+}
+
+fn comment(id: ElementId, author: ElementId, root: ElementId) -> Comment {
+    Comment {
+        id,
+        timestamp: id,
+        author,
+        parent: root,
+        root_post: root,
+    }
+}
+
+/// Users 1–4, one post per shard (modulo-2 partitioning shards posts by
+/// author parity), one seed comment each.
+fn toy_network() -> SocialNetwork {
+    SocialNetwork {
+        users: (1..=4).map(user).collect(),
+        posts: vec![post(10, 1), post(11, 2)], // shard 1, shard 0
+        comments: vec![comment(20, 3, 10), comment(21, 4, 11)],
+        friendships: vec![(1, 2)],
+        likes: vec![(1, 20)],
+    }
+}
+
+/// Batches touching both shards each time, with a removal in the last batch so
+/// the merge protocol exercises its rebuild path too.
+fn toy_batches(count: usize) -> Vec<ChangeSet> {
+    let all = vec![
+        ChangeSet {
+            operations: vec![
+                ChangeOperation::AddComment {
+                    comment: comment(22, 2, 10),
+                },
+                ChangeOperation::AddLike {
+                    user: 4,
+                    comment: 21,
+                },
+            ],
+        },
+        ChangeSet {
+            operations: vec![
+                ChangeOperation::AddLike {
+                    user: 2,
+                    comment: 22,
+                },
+                ChangeOperation::AddLike {
+                    user: 3,
+                    comment: 21,
+                },
+                ChangeOperation::AddComment {
+                    comment: comment(23, 1, 11),
+                },
+            ],
+        },
+        ChangeSet {
+            operations: vec![
+                ChangeOperation::RemoveLike {
+                    user: 1,
+                    comment: 20,
+                },
+                ChangeOperation::AddLike {
+                    user: 1,
+                    comment: 23,
+                },
+            ],
+        },
+        ChangeSet {
+            operations: vec![
+                ChangeOperation::AddLike {
+                    user: 2,
+                    comment: 20,
+                },
+                ChangeOperation::AddLike {
+                    user: 3,
+                    comment: 23,
+                },
+            ],
+        },
+    ];
+    assert!(count <= all.len(), "at most {} scripted batches", all.len());
+    all.into_iter().take(count).collect()
+}
+
+/// Per-batch results of a synchronous, single-threaded reference run over the
+/// same factory and partitioning — the byte-identity oracle for every
+/// interleaving. Runs *outside* [`loomette::explore`] (the shadow primitives
+/// pass through to `std` when no model execution is active).
+fn reference_results(network: &SocialNetwork, batches: &[ChangeSet]) -> Vec<String> {
+    let mut sync = SyncEngine::new(
+        StreamDriver::default(),
+        Box::new(ShardedSolution::with_factory(Box::new(ToyFactory), 2)),
+    );
+    let mut stream = batches.iter().cloned();
+    sync.run(network, &mut stream, batches.len())
+        .expect("sync engine never truncates")
+        .results
+}
+
+fn pipeline_config(kills: Vec<(usize, u64)>, checkpoint_every: u64) -> PipelineConfig {
+    PipelineConfig {
+        queue_depth: 1,
+        kill_shards: kills,
+        recovery: Some(RecoveryConfig { checkpoint_every }),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Run the full pipelined engine under the model once, asserting per-batch
+/// byte-identity with the reference and `restores == crashes == kills`.
+/// Panics here surface as [`loomette::ViolationKind::Panic`] with a trace.
+fn check_pipeline_run(
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+    expected: &[String],
+    config: &PipelineConfig,
+) {
+    let kills = config.kill_shards.len() as u64;
+    let mut engine = PipelinedEngine::new(Box::new(ToyFactory), 2, config.clone());
+    let mut stream = batches.iter().cloned();
+    let report = engine
+        .run(network, &mut stream, batches.len())
+        .expect("recovery must complete the run in every interleaving");
+    assert_eq!(report.results, expected, "merged results diverged");
+    let recovery = report
+        .pipeline
+        .expect("pipelined engine reports stats")
+        .recovery
+        .expect("recovery was configured");
+    assert_eq!(recovery.crashes, kills, "every kill is a crash");
+    assert_eq!(
+        recovery.restores, recovery.crashes,
+        "every crash must be restored exactly once"
+    );
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Perf-regression gate: measure streaming throughput and the SpGEMM ablation in
-# quick mode, emit BENCH_stream.json.new, and fail if any variant's updates/sec
+# quick mode, emit target/BENCH_stream.json.new, and fail if any variant's updates/sec
 # dropped more than 20% below the checked-in BENCH_stream.json baseline.
 #
 #   ./scripts/bench_gate.sh                     # compare against the baseline

@@ -18,6 +18,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy --features model-check (shadow-primitive build)"
+cargo clippy -p ttc-social-media --all-targets --features model-check -- -D warnings
+
+echo "==> xtask lint (panic/index/send/lock policy + crate hygiene)"
+cargo run -q -p xtask -- lint
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -26,6 +32,19 @@ cargo build --release --benches
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> model check (exhaustive bounded interleavings of the recovery protocol)"
+# release: each schedule explores ~100k executions of the full pipelined
+# engine; debug is ~5x slower. The suite asserts exploration completeness.
+cargo test --release -q -p ttc-social-media --features model-check --test model_check
+
+echo "==> model check finds the reverted absorbed-exit bug"
+cargo test --release -q -p ttc-social-media \
+    --features model-check,test-bug-absorbed-exit --test model_check
+
+echo "==> model check finds the reverted mid-replay undercount bug"
+cargo test --release -q -p ttc-social-media \
+    --features model-check,test-bug-midreplay-undercount --test model_check
 
 echo "==> stream_throughput --smoke (panics in kernels/drivers fail the gate)"
 cargo run --release -p bench --bin stream_throughput -- --smoke > /dev/null

@@ -1,0 +1,51 @@
+//! # loomette — a minimal loom-style deterministic model checker
+//!
+//! Vendored stand-in for [loom](https://github.com/tokio-rs/loom): shadow
+//! `Mutex` / `mpsc` channel / `thread::spawn` primitives driven by a
+//! depth-first scheduler that exhaustively enumerates bounded thread
+//! interleavings, with CHESS-style preemption bounding and state-hash
+//! subtree pruning. Built for model-checking the `ttc-social-media`
+//! crash-recovery pipeline; deliberately small (no unsafe, no dependencies,
+//! no atomics emulation) rather than general.
+//!
+//! ```
+//! use loomette::{explore, Config};
+//! use loomette::sync::Mutex;
+//! use loomette::thread;
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::default(), || {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             thread::spawn(move || {
+//!                 let mut guard = counter.lock().expect("not poisoned");
+//!                 *guard += 1;
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().expect("no panic");
+//!     }
+//!     assert_eq!(*counter.lock().expect("not poisoned"), 2);
+//! });
+//! assert!(report.complete && report.violation.is_none());
+//! ```
+//!
+//! See [`explore`] for the checking entry point, [`replay`] for deterministic
+//! reproduction of a recorded failing interleaving, and the [`rt`
+//! module](crate::sync) docs for the execution model and its soundness
+//! caveats (interleavings are explored at shadow-op granularity; panic
+//! unwinds execute atomically; pruning is exact up to hash collisions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rt;
+
+pub mod panic;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{explore, replay, Config, Report, Violation, ViolationKind};

@@ -1,0 +1,17 @@
+//! Panic containment that cooperates with the scheduler's teardown sentinel.
+
+pub use std::panic::{resume_unwind, AssertUnwindSafe, UnwindSafe};
+
+use crate::rt::AbortToken;
+
+/// Like [`std::panic::catch_unwind`], but re-raises the scheduler's private
+/// abort sentinel instead of returning it: user-level panic containment (for
+/// example a supervisor catching a crashed worker) must never swallow an
+/// execution teardown, or an aborted interleaving would be misreported as an
+/// ordinary crash.
+pub fn catch_unwind<F: FnOnce() -> R + UnwindSafe, R>(f: F) -> std::thread::Result<R> {
+    match std::panic::catch_unwind(f) {
+        Err(payload) if payload.is::<AbortToken>() => resume_unwind(payload),
+        other => other,
+    }
+}

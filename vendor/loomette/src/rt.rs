@@ -1,0 +1,735 @@
+//! The deterministic scheduler and the DFS interleaving explorer.
+//!
+//! # Execution model
+//!
+//! Every managed thread (the explorer's body thread plus anything spawned via
+//! [`crate::thread::spawn`]) runs on a real OS thread, but only **one** of them
+//! executes at a time: a token (`State::current`) names the running thread and
+//! everyone else parks on a condvar. The token changes hands only at *yield
+//! points* — immediately **before** every shadowed synchronization operation
+//! (lock, send, recv, spawn, join, endpoint drop, …) — so a whole execution is
+//! a sequential interleaving of atomic ops, exactly the granularity loom uses.
+//!
+//! At each yield point the scheduler computes the set of runnable threads. If
+//! more than one could run, that is a *branch*: the decision `(chosen index,
+//! option count)` is recorded in the execution's trace. The explorer then does
+//! an exhaustive depth-first search over these decisions: after each execution
+//! it backtracks the trace to the deepest decision with an untried option and
+//! replays the next execution along that prefix. A trace is therefore a
+//! complete, replayable description of an interleaving (see [`replay`]).
+//!
+//! # Bounding and pruning
+//!
+//! * **Preemption bounding** ([`Config::max_preemptions`]): switching away
+//!   from a thread that could have continued costs one unit of budget;
+//!   once spent, only cooperative switches (at blocking ops) remain. This is
+//!   the classic CHESS-style bound — most real concurrency bugs need very few
+//!   preemptions.
+//! * **State-hash pruning** ([`Config::prune`]): each thread folds every op it
+//!   completes into a rolling hash chain (`op tag` ⊕ the object's post-op
+//!   version); the global fingerprint over `(status, chain)` of all threads —
+//!   plus the preemption budget already spent — identifies a scheduler state.
+//!   Reaching an already-visited fingerprint beyond the replayed prefix aborts
+//!   the execution: depth-first order guarantees the matching state's subtree
+//!   has already been fully explored (a fingerprint can only match an
+//!   *ancestor* of the current path if a state recurs along a path, which the
+//!   strictly-growing hash chains rule out, up to hash collisions).
+//!
+//! # Teardown
+//!
+//! When an execution must die early (deadlock found, state pruned, a thread
+//! panicked, limits hit) the scheduler sets an abort flag and every managed
+//! thread tears itself down by panicking with the private [`AbortToken`]
+//! sentinel the next time it reaches the scheduler. User-level
+//! `catch_unwind` must not swallow that sentinel — use
+//! [`crate::panic::catch_unwind`], which re-raises it.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+// ---------------------------------------------------------------------------
+// Hashing helpers (SplitMix64 finalizer, same idiom as the workspace crates)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Op-kind constants folded into per-thread hash chains.
+pub(crate) const OP_LOCK: u64 = 1;
+pub(crate) const OP_UNLOCK: u64 = 2;
+pub(crate) const OP_SEND: u64 = 3;
+pub(crate) const OP_RECV: u64 = 4;
+pub(crate) const OP_TRY_SEND: u64 = 5;
+pub(crate) const OP_DROP: u64 = 6;
+pub(crate) const OP_SPAWN: u64 = 7;
+pub(crate) const OP_JOIN: u64 = 8;
+pub(crate) const OP_YIELD: u64 = 9;
+
+/// Tag identifying one op on one object, for the rolling hash chains.
+pub(crate) fn op_tag(kind: u64, obj: u64) -> u64 {
+    mix(obj.rotate_left(17) ^ kind)
+}
+
+// ---------------------------------------------------------------------------
+// Public result types
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds and knobs for [`explore`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of preemptive context switches per execution
+    /// (`None` = unbounded, i.e. truly exhaustive but exponential).
+    pub max_preemptions: Option<usize>,
+    /// Stop after this many executions even if the space is not exhausted.
+    pub max_executions: usize,
+    /// Abort any single execution after this many shadowed ops (runaway guard).
+    pub max_ops: u64,
+    /// Enable state-hash subtree pruning.
+    pub prune: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: Some(2),
+            max_executions: 500_000,
+            max_ops: 1_000_000,
+            prune: true,
+        }
+    }
+}
+
+/// What kind of property violation the checker found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No thread was runnable but some were blocked.
+    Deadlock,
+    /// A managed thread (or the body closure) panicked.
+    Panic,
+}
+
+/// A failed interleaving, with the decision trace that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The class of failure.
+    pub kind: ViolationKind,
+    /// Human-readable description (panic payload or blocked-thread set).
+    pub message: String,
+    /// The branch decisions of the failing interleaving; feed to [`replay`].
+    pub trace: Vec<usize>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Panic => "panic",
+        };
+        writeln!(f, "model-check violation: {kind}")?;
+        writeln!(f, "  {}", self.message)?;
+        write!(f, "  replay trace: {:?}", self.trace)
+    }
+}
+
+/// Summary of one [`explore`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of executions performed (including pruned ones).
+    pub executions: usize,
+    /// Number of distinct scheduler-state fingerprints inserted.
+    pub distinct_states: usize,
+    /// Executions cut short because they reached an already-explored state.
+    pub pruned_executions: usize,
+    /// Total shadowed ops across all executions.
+    pub total_ops: u64,
+    /// Whether the bounded schedule space was exhausted.
+    pub complete: bool,
+    /// The first violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executions, {} distinct states, {} pruned, {} ops, complete: {}, violation: {}",
+            self.executions,
+            self.distinct_states,
+            self.pruned_executions,
+            self.total_ops,
+            self.complete,
+            match &self.violation {
+                None => "none".to_string(),
+                Some(v) => format!("{:?}", v.kind),
+            }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler internals
+// ---------------------------------------------------------------------------
+
+/// Sentinel panic payload that tears an execution down. Deliberately private:
+/// user code cannot construct or catch-and-keep it (the [`crate::panic`] shim
+/// re-raises it by type check).
+pub(crate) struct AbortToken;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    /// Rolling fingerprint chain over the ops this thread has completed.
+    chain: u64,
+    /// Threads blocked in `join` on this one.
+    join_waiters: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<ThreadSlot>,
+    /// Thread currently holding the run token.
+    current: usize,
+    /// Index of the next branch decision (into the prefix during replay).
+    branch: usize,
+    /// Branch decisions made so far: `(chosen index, number of options)`.
+    trace: Vec<(usize, usize)>,
+    preemptions: usize,
+    ops: u64,
+    next_obj: u64,
+    abort: bool,
+    violation: Option<Violation>,
+    pruned: bool,
+    limit_hit: bool,
+    /// Fingerprints first seen during this execution.
+    fresh_states: usize,
+}
+
+/// What one attempt of a shadowed op produced. The attempt closure runs with
+/// the scheduler lock held and may lock the op's *object* (lock order:
+/// scheduler state, then object state).
+pub(crate) enum Attempt<R> {
+    /// The op completed: `obs` is the object's post-op version (folded into
+    /// the thread's hash chain) and `wake` lists threads to make runnable.
+    Ready {
+        value: R,
+        obs: u64,
+        wake: Vec<usize>,
+    },
+    /// The op cannot proceed; the closure has registered this thread in the
+    /// object's waiter list and will be retried after a wake-up.
+    Block,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    prefix: Vec<usize>,
+    max_preemptions: Option<usize>,
+    max_ops: u64,
+    prune: bool,
+    visited: Arc<Mutex<HashSet<u64>>>,
+}
+
+struct ExecOutcome {
+    trace: Vec<(usize, usize)>,
+    violation: Option<Violation>,
+    pruned: bool,
+    limit_hit: bool,
+    ops: u64,
+    fresh_states: usize,
+}
+
+impl Scheduler {
+    fn new(cfg: &Config, prefix: Vec<usize>, visited: Arc<Mutex<HashSet<u64>>>) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                current: 0,
+                branch: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                ops: 0,
+                next_obj: 0,
+                abort: false,
+                violation: None,
+                pruned: false,
+                limit_hit: false,
+                fresh_states: 0,
+            }),
+            cv: Condvar::new(),
+            prefix,
+            max_preemptions: cfg.max_preemptions,
+            max_ops: cfg.max_ops,
+            prune: cfg.prune,
+            visited,
+        }
+    }
+
+    /// Poisoning policy: the state mutex is poisoned on purpose whenever an
+    /// abort panics while holding it; every lock site recovers the guard —
+    /// the state is kept consistent before any panic.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a new managed thread and return its tid.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        st.threads.push(ThreadSlot {
+            status: Status::Runnable,
+            chain: mix(0x5eed ^ tid as u64),
+            join_waiters: Vec::new(),
+        });
+        tid
+    }
+
+    /// Fresh object id for a shadowed Mutex or channel.
+    pub(crate) fn new_object(&self) -> u64 {
+        let mut st = self.lock_state();
+        st.next_obj += 1;
+        st.next_obj
+    }
+
+    fn abort_token_panic(&self, st: MutexGuard<'_, State>) -> ! {
+        self.cv.notify_all();
+        drop(st);
+        std::panic::panic_any(AbortToken);
+    }
+
+    fn wake(st: &mut State, tids: &[usize]) {
+        for &t in tids {
+            if st.threads[t].status == Status::Blocked {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    fn fingerprint(st: &State, from: usize) -> u64 {
+        let mut h = mix(st.preemptions as u64 ^ 0xfeed_face);
+        h = mix(h ^ from as u64);
+        for (i, t) in st.threads.iter().enumerate() {
+            let s = match t.status {
+                Status::Runnable => 1u64,
+                Status::Blocked => 2,
+                Status::Finished => 3,
+            };
+            h = mix(h ^ mix(((i as u64) << 32) | s) ^ t.chain);
+        }
+        h
+    }
+
+    /// Pick the next thread to run. Called at every yield point by the thread
+    /// currently holding the token (`from`), or by a finishing thread.
+    ///
+    /// May panic with [`AbortToken`] (deadlock found, or subtree pruned) —
+    /// callers must let that propagate.
+    fn reschedule(&self, st: &mut MutexGuard<'_, State>, from: usize) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked)
+                .map(|(i, _)| i)
+                .collect();
+            if !blocked.is_empty() {
+                if st.violation.is_none() {
+                    let trace: Vec<usize> = st.trace.iter().map(|&(c, _)| c).collect();
+                    st.violation = Some(Violation {
+                        kind: ViolationKind::Deadlock,
+                        message: format!(
+                            "threads {blocked:?} are blocked and no thread is runnable"
+                        ),
+                        trace,
+                    });
+                }
+                st.abort = true;
+                self.cv.notify_all();
+                // Panics with the guard held; lock_state recovers the poison.
+                std::panic::panic_any(AbortToken);
+            }
+            // Everyone finished: nothing to schedule.
+            self.cv.notify_all();
+            return;
+        }
+
+        let from_runnable = st.threads[from].status == Status::Runnable;
+        let mut options = runnable;
+        if let Some(budget) = self.max_preemptions {
+            // Budget spent: the running thread may not be preempted while it
+            // can still make progress.
+            if from_runnable && st.preemptions >= budget && options.contains(&from) {
+                options.retain(|&t| t == from);
+            }
+        }
+
+        let pick = if options.len() == 1 {
+            // Forced move: not a branch, not recorded.
+            options[0]
+        } else {
+            let b = st.branch;
+            let idx = if b < self.prefix.len() {
+                // Replaying a previously recorded decision.
+                let i = self.prefix[b];
+                debug_assert!(i < options.len(), "replay diverged: decision {b}");
+                i.min(options.len() - 1)
+            } else {
+                // Fresh territory: prune if this scheduler state was fully
+                // explored by an earlier execution (see module docs for the
+                // soundness argument).
+                if self.prune {
+                    let h = Self::fingerprint(st, from);
+                    let fresh = {
+                        let mut seen = self.visited.lock().unwrap_or_else(|e| e.into_inner());
+                        seen.insert(h)
+                    };
+                    if fresh {
+                        st.fresh_states += 1;
+                    } else {
+                        st.pruned = true;
+                        st.abort = true;
+                        self.cv.notify_all();
+                        std::panic::panic_any(AbortToken);
+                    }
+                }
+                0
+            };
+            st.trace.push((idx, options.len()));
+            st.branch += 1;
+            options[idx]
+        };
+
+        if from_runnable && pick != from {
+            st.preemptions += 1;
+        }
+        st.current = pick;
+        self.cv.notify_all();
+    }
+
+    fn wait_turn<'a>(&self, mut st: MutexGuard<'a, State>, tid: usize) -> MutexGuard<'a, State> {
+        loop {
+            if st.abort {
+                self.abort_token_panic(st);
+            }
+            if st.current == tid && st.threads[tid].status == Status::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// First action of a spawned thread: wait to be granted the token before
+    /// running any user code, so executions are fully serialized.
+    pub(crate) fn thread_begin(&self, tid: usize) {
+        let st = self.lock_state();
+        let st = self.wait_turn(st, tid);
+        drop(st);
+    }
+
+    /// Perform one shadowed op at a yield point. `attempt` runs under the
+    /// scheduler lock; it is retried after every wake-up until it completes.
+    pub(crate) fn op<R>(&self, tid: usize, tag: u64, mut attempt: impl FnMut() -> Attempt<R>) -> R {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.abort_token_panic(st);
+        }
+        if st.current == tid {
+            // Yield-before-op: let the scheduler branch on who acts next.
+            self.reschedule(&mut st, tid);
+        }
+        st = self.wait_turn(st, tid);
+        loop {
+            match attempt() {
+                Attempt::Ready { value, obs, wake } => {
+                    Self::wake(&mut st, &wake);
+                    let slot = &mut st.threads[tid];
+                    slot.chain = mix(slot.chain ^ tag ^ mix(obs));
+                    st.ops += 1;
+                    if st.ops > self.max_ops {
+                        st.limit_hit = true;
+                        st.abort = true;
+                        self.abort_token_panic(st);
+                    }
+                    return value;
+                }
+                Attempt::Block => {
+                    st.threads[tid].status = Status::Blocked;
+                    self.reschedule(&mut st, tid);
+                    st = self.wait_turn(st, tid);
+                }
+            }
+        }
+    }
+
+    /// Block until `target` has finished (the shadow half of `join`).
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            self.abort_token_panic(st);
+        }
+        if st.current == tid {
+            self.reschedule(&mut st, tid);
+        }
+        st = self.wait_turn(st, tid);
+        loop {
+            if st.threads[target].status == Status::Finished {
+                let slot = &mut st.threads[tid];
+                slot.chain = mix(slot.chain ^ op_tag(OP_JOIN, target as u64) ^ mix(1));
+                st.ops += 1;
+                if st.ops > self.max_ops {
+                    st.limit_hit = true;
+                    st.abort = true;
+                    self.abort_token_panic(st);
+                }
+                return;
+            }
+            if !st.threads[target].join_waiters.contains(&tid) {
+                st.threads[target].join_waiters.push(tid);
+            }
+            st.threads[tid].status = Status::Blocked;
+            self.reschedule(&mut st, tid);
+            st = self.wait_turn(st, tid);
+        }
+    }
+
+    /// Record that a managed thread is done. A genuine (non-abort) panic
+    /// becomes a [`ViolationKind::Panic`] and aborts the whole execution.
+    pub(crate) fn finished(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[tid].status = Status::Finished;
+        let waiters = std::mem::take(&mut st.threads[tid].join_waiters);
+        Self::wake(&mut st, &waiters);
+        if let Some(message) = panic_msg {
+            if st.violation.is_none() {
+                let trace: Vec<usize> = st.trace.iter().map(|&(c, _)| c).collect();
+                st.violation = Some(Violation {
+                    kind: ViolationKind::Panic,
+                    message,
+                    trace,
+                });
+            }
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if st.current == tid {
+            // Hand the token on (may detect a deadlock and panic — the
+            // wrapper lets that tear the real thread down).
+            self.reschedule(&mut st, tid);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wake threads from outside a yield point. Used by endpoint/guard drops
+    /// that run while unwinding, where yielding would be unsound (the
+    /// unwinding region executes atomically as far as the schedule is
+    /// concerned).
+    pub(crate) fn wake_external(&self, tids: &[usize]) {
+        if tids.is_empty() {
+            return;
+        }
+        let mut st = self.lock_state();
+        Self::wake(&mut st, tids);
+        self.cv.notify_all();
+    }
+
+    /// Block the explorer until every managed thread has logically finished.
+    fn wait_quiescent(&self) {
+        let mut st = self.lock_state();
+        loop {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_outcome(&self) -> ExecOutcome {
+        let st = self.lock_state();
+        ExecOutcome {
+            trace: st.trace.clone(),
+            violation: st.violation.clone(),
+            pruned: st.pruned,
+            limit_hit: st.limit_hit,
+            ops: st.ops,
+            fresh_states: st.fresh_states,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local runtime context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CURRENT.try_with(|c| c.borrow().clone()).unwrap_or(None)
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    let _ = CURRENT.try_with(|c| *c.borrow_mut() = ctx);
+}
+
+fn in_model() -> bool {
+    current_ctx().is_some()
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" output for panics raised inside model executions — the
+/// explorer deliberately panics thousands of times (abort sentinels, injected
+/// failures) and the noise would drown real output. Outside a model context
+/// the previous hook runs unchanged.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+fn run_once<F: FnMut()>(
+    cfg: &Config,
+    prefix: Vec<usize>,
+    visited: &Arc<Mutex<HashSet<u64>>>,
+    body: &mut F,
+) -> ExecOutcome {
+    install_panic_hook();
+    let sched = Arc::new(Scheduler::new(cfg, prefix, Arc::clone(visited)));
+    let tid = sched.register();
+    debug_assert_eq!(tid, 0, "body thread must be tid 0");
+    set_ctx(Some(Ctx {
+        sched: Arc::clone(&sched),
+        tid,
+    }));
+    let outcome = catch_unwind(AssertUnwindSafe(&mut *body));
+    let msg = match &outcome {
+        Err(payload) if !payload.is::<AbortToken>() => Some(panic_message(payload.as_ref())),
+        _ => None,
+    };
+    // Recording the body's completion can itself detect a deadlock and raise
+    // the abort sentinel; contain it on the explorer thread.
+    let _ = catch_unwind(AssertUnwindSafe(|| sched.finished(0, msg)));
+    set_ctx(None);
+    sched.wait_quiescent();
+    sched.take_outcome()
+}
+
+/// Exhaustively explore the bounded interleavings of `body`.
+///
+/// `body` is run once per interleaving; it may spawn threads via
+/// [`crate::thread::spawn`] and communicate through the shadow primitives in
+/// [`crate::sync`]. Exploration stops at the first violation (deadlock or
+/// panic — assertion failures inside `body` count), or when the bounded
+/// space is exhausted (`Report::complete`), or at [`Config::max_executions`].
+pub fn explore<F: FnMut()>(config: Config, mut body: F) -> Report {
+    let visited: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut report = Report::default();
+    loop {
+        let out = run_once(&config, prefix.clone(), &visited, &mut body);
+        report.executions += 1;
+        report.total_ops += out.ops;
+        report.distinct_states += out.fresh_states;
+        if out.pruned {
+            report.pruned_executions += 1;
+        }
+        if out.violation.is_some() {
+            report.violation = out.violation;
+            break;
+        }
+        if out.limit_hit {
+            break;
+        }
+        // DFS backtrack: drop exhausted decisions, advance the deepest live one.
+        let mut trace = out.trace;
+        while let Some(&(chosen, options)) = trace.last() {
+            if chosen + 1 < options {
+                break;
+            }
+            trace.pop();
+        }
+        match trace.last_mut() {
+            None => {
+                report.complete = true;
+                break;
+            }
+            Some(last) => last.0 += 1,
+        }
+        prefix = trace.iter().map(|&(c, _)| c).collect();
+        if report.executions >= config.max_executions {
+            break;
+        }
+    }
+    report
+}
+
+/// Re-run `body` once along a recorded decision `trace` (from
+/// [`Violation::trace`]): deterministic reproduction of a failing
+/// interleaving. Decisions beyond the trace fall back to first-option.
+pub fn replay<F: FnMut()>(config: Config, trace: &[usize], mut body: F) -> Report {
+    let visited: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let mut cfg = config;
+    cfg.prune = false;
+    let out = run_once(&cfg, trace.to_vec(), &visited, &mut body);
+    Report {
+        executions: 1,
+        distinct_states: 0,
+        pruned_executions: 0,
+        total_ops: out.ops,
+        complete: false,
+        violation: out.violation,
+    }
+}

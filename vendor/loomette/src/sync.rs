@@ -1,0 +1,604 @@
+//! Shadow synchronization primitives: [`Mutex`] and the [`mpsc`] channels.
+//!
+//! Each primitive is *dual-mode*. Created inside a model execution (i.e. on a
+//! thread managed by [`crate::explore`]) it participates in the deterministic
+//! schedule: every `lock`/`send`/`recv`/endpoint-drop is a yield point and the
+//! blocking semantics are simulated by the scheduler. Created outside, it
+//! delegates directly to the real `std` primitive — passthrough mode — so the
+//! same code runs unmodified in production builds.
+//!
+//! Drops that happen while a panic is unwinding update the shadow state
+//! *silently* (waiters are woken but no yield point is inserted): the unwind
+//! region executes atomically under the model. This matches how the pipeline
+//! uses panics (a crashed worker's endpoint drops are its death notification).
+
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::sync::{LockResult, PoisonError};
+
+use crate::rt::{
+    current_ctx, op_tag, Attempt, Ctx, Scheduler, OP_DROP, OP_LOCK, OP_RECV, OP_SEND, OP_TRY_SEND,
+    OP_UNLOCK,
+};
+
+/// Return the active model context if `sched` belongs to it.
+fn ctx_for(sched: &Arc<Scheduler>) -> Option<Ctx> {
+    current_ctx().filter(|ctx| Arc::ptr_eq(&ctx.sched, sched))
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+struct MutexModel {
+    held: bool,
+    version: u64,
+    waiters: Vec<usize>,
+}
+
+struct MutexCtl {
+    sched: Arc<Scheduler>,
+    id: u64,
+    model: std::sync::Mutex<MutexModel>,
+}
+
+impl MutexCtl {
+    // Poisoning policy: the model mutex only guards bookkeeping that is kept
+    // consistent across panics; recover the guard unconditionally.
+    fn model(&self) -> std::sync::MutexGuard<'_, MutexModel> {
+        self.model.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutual-exclusion lock with the same surface as [`std::sync::Mutex`],
+/// scheduled deterministically inside model executions.
+pub struct Mutex<T: ?Sized> {
+    ctl: Option<Arc<MutexCtl>>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex; it binds to the model execution active at creation
+    /// time (if any).
+    pub fn new(value: T) -> Self {
+        let ctl = current_ctx().map(|ctx| {
+            Arc::new(MutexCtl {
+                id: ctx.sched.new_object(),
+                sched: ctx.sched,
+                model: std::sync::Mutex::new(MutexModel {
+                    held: false,
+                    version: 0,
+                    waiters: Vec::new(),
+                }),
+            })
+        });
+        Mutex {
+            ctl,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the underlying data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking (under the model: yielding) until available.
+    /// Poisoning is propagated exactly like [`std::sync::Mutex::lock`].
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model_held = match &self.ctl {
+            Some(ctl) => match ctx_for(&ctl.sched) {
+                Some(ctx) => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_LOCK, ctl.id), || {
+                        let mut m = ctl.model();
+                        if m.held {
+                            if !m.waiters.contains(&ctx.tid) {
+                                m.waiters.push(ctx.tid);
+                            }
+                            Attempt::Block
+                        } else {
+                            m.held = true;
+                            m.version += 1;
+                            Attempt::Ready {
+                                value: (),
+                                obs: m.version,
+                                wake: Vec::new(),
+                            }
+                        }
+                    });
+                    Some(Arc::clone(ctl))
+                }
+                None => None,
+            },
+            None => None,
+        };
+        // The real lock is uncontended whenever the model schedule is active
+        // (only one thread runs at a time and the shadow state is `held`).
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                inner: Some(inner),
+                model_held,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+                model_held,
+            })),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the shadow lock (and
+/// wakes waiters) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model_held: Option<Arc<MutexCtl>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the shadow one so the next holder the
+        // scheduler picks finds it free.
+        drop(self.inner.take());
+        if let Some(ctl) = self.model_held.take() {
+            match ctx_for(&ctl.sched) {
+                Some(ctx) if !std::thread::panicking() => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_UNLOCK, ctl.id), || {
+                        let mut m = ctl.model();
+                        m.held = false;
+                        m.version += 1;
+                        let wake = std::mem::take(&mut m.waiters);
+                        Attempt::Ready {
+                            value: (),
+                            obs: m.version,
+                            wake,
+                        }
+                    });
+                }
+                _ => {
+                    // Unwinding (or a foreign thread): silent release.
+                    let wake = {
+                        let mut m = ctl.model();
+                        m.held = false;
+                        m.version += 1;
+                        std::mem::take(&mut m.waiters)
+                    };
+                    ctl.sched.wake_external(&wake);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc channels
+// ---------------------------------------------------------------------------
+
+/// Multi-producer single-consumer channels mirroring [`std::sync::mpsc`].
+pub mod mpsc {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+
+    use super::*;
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        /// `None` for the unbounded [`channel`]; rendezvous (`bound == 0`)
+        /// is approximated with capacity 1.
+        cap: Option<usize>,
+        senders: usize,
+        recv_alive: bool,
+        version: u64,
+        send_waiters: Vec<usize>,
+        recv_waiters: Vec<usize>,
+    }
+
+    struct Chan<T> {
+        sched: Arc<Scheduler>,
+        id: u64,
+        state: std::sync::Mutex<ChanState<T>>,
+    }
+
+    impl<T> Chan<T> {
+        // Poisoning policy: channel bookkeeping stays consistent across
+        // panics; recover the guard unconditionally.
+        fn state(&self) -> std::sync::MutexGuard<'_, ChanState<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn new_pair(ctx: Ctx, cap: Option<usize>) -> (Arc<Chan<T>>, Arc<Chan<T>>) {
+            let chan = Arc::new(Chan {
+                id: ctx.sched.new_object(),
+                sched: ctx.sched,
+                state: std::sync::Mutex::new(ChanState {
+                    queue: VecDeque::new(),
+                    cap: cap.map(|c| c.max(1)),
+                    senders: 1,
+                    recv_alive: true,
+                    version: 0,
+                    send_waiters: Vec::new(),
+                    recv_waiters: Vec::new(),
+                }),
+            });
+            (Arc::clone(&chan), chan)
+        }
+
+        fn send_blocking(&self, item: T) -> Result<(), SendError<T>> {
+            match ctx_for(&self.sched) {
+                Some(ctx) => {
+                    let mut slot = Some(item);
+                    ctx.sched.op(ctx.tid, op_tag(OP_SEND, self.id), || {
+                        let mut c = self.state();
+                        if !c.recv_alive {
+                            return Attempt::Ready {
+                                value: Err(SendError(
+                                    slot.take().expect("send payload consumed twice"),
+                                )),
+                                obs: c.version,
+                                wake: Vec::new(),
+                            };
+                        }
+                        if let Some(cap) = c.cap {
+                            if c.queue.len() >= cap {
+                                if !c.send_waiters.contains(&ctx.tid) {
+                                    c.send_waiters.push(ctx.tid);
+                                }
+                                return Attempt::Block;
+                            }
+                        }
+                        c.queue
+                            .push_back(slot.take().expect("send payload consumed twice"));
+                        c.version += 1;
+                        let wake = std::mem::take(&mut c.recv_waiters);
+                        Attempt::Ready {
+                            value: Ok(()),
+                            obs: c.version,
+                            wake,
+                        }
+                    })
+                }
+                // A model endpoint on a foreign thread is outside the checked
+                // schedule; fail fast rather than race the model silently.
+                None => Err(SendError(item)),
+            }
+        }
+
+        fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            match ctx_for(&self.sched) {
+                Some(ctx) => {
+                    let mut slot = Some(item);
+                    ctx.sched.op(ctx.tid, op_tag(OP_TRY_SEND, self.id), || {
+                        let mut c = self.state();
+                        if !c.recv_alive {
+                            return Attempt::Ready {
+                                value: Err(TrySendError::Disconnected(
+                                    slot.take().expect("send payload consumed twice"),
+                                )),
+                                obs: c.version,
+                                wake: Vec::new(),
+                            };
+                        }
+                        if let Some(cap) = c.cap {
+                            if c.queue.len() >= cap {
+                                return Attempt::Ready {
+                                    value: Err(TrySendError::Full(
+                                        slot.take().expect("send payload consumed twice"),
+                                    )),
+                                    obs: c.version,
+                                    wake: Vec::new(),
+                                };
+                            }
+                        }
+                        c.queue
+                            .push_back(slot.take().expect("send payload consumed twice"));
+                        c.version += 1;
+                        let wake = std::mem::take(&mut c.recv_waiters);
+                        Attempt::Ready {
+                            value: Ok(()),
+                            obs: c.version,
+                            wake,
+                        }
+                    })
+                }
+                None => Err(TrySendError::Disconnected(item)),
+            }
+        }
+
+        fn recv(&self) -> Result<T, RecvError> {
+            match ctx_for(&self.sched) {
+                Some(ctx) => ctx.sched.op(ctx.tid, op_tag(OP_RECV, self.id), || {
+                    let mut c = self.state();
+                    if let Some(v) = c.queue.pop_front() {
+                        c.version += 1;
+                        let wake = std::mem::take(&mut c.send_waiters);
+                        Attempt::Ready {
+                            value: Ok(v),
+                            obs: c.version,
+                            wake,
+                        }
+                    } else if c.senders == 0 {
+                        Attempt::Ready {
+                            value: Err(RecvError),
+                            obs: c.version,
+                            wake: Vec::new(),
+                        }
+                    } else {
+                        if !c.recv_waiters.contains(&ctx.tid) {
+                            c.recv_waiters.push(ctx.tid);
+                        }
+                        Attempt::Block
+                    }
+                }),
+                None => Err(RecvError),
+            }
+        }
+
+        fn drop_sender(&self) {
+            let clean_ctx = if std::thread::panicking() {
+                None
+            } else {
+                ctx_for(&self.sched)
+            };
+            match clean_ctx {
+                Some(ctx) => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_DROP, self.id), || {
+                        let mut c = self.state();
+                        c.senders -= 1;
+                        let wake = if c.senders == 0 {
+                            c.version += 1;
+                            std::mem::take(&mut c.recv_waiters)
+                        } else {
+                            Vec::new()
+                        };
+                        Attempt::Ready {
+                            value: (),
+                            obs: c.version,
+                            wake,
+                        }
+                    });
+                }
+                None => {
+                    let wake = {
+                        let mut c = self.state();
+                        c.senders -= 1;
+                        if c.senders == 0 {
+                            c.version += 1;
+                            std::mem::take(&mut c.recv_waiters)
+                        } else {
+                            Vec::new()
+                        }
+                    };
+                    self.sched.wake_external(&wake);
+                }
+            }
+        }
+
+        fn drop_receiver(&self) {
+            let clean_ctx = if std::thread::panicking() {
+                None
+            } else {
+                ctx_for(&self.sched)
+            };
+            match clean_ctx {
+                Some(ctx) => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_DROP, self.id), || {
+                        let mut c = self.state();
+                        c.recv_alive = false;
+                        c.version += 1;
+                        let wake = std::mem::take(&mut c.send_waiters);
+                        Attempt::Ready {
+                            value: (),
+                            obs: c.version,
+                            wake,
+                        }
+                    });
+                }
+                None => {
+                    let wake = {
+                        let mut c = self.state();
+                        c.recv_alive = false;
+                        c.version += 1;
+                        std::mem::take(&mut c.send_waiters)
+                    };
+                    self.sched.wake_external(&wake);
+                }
+            }
+        }
+    }
+
+    enum SenderRepr<T> {
+        Std(std::sync::mpsc::Sender<T>),
+        Model(Arc<Chan<T>>),
+    }
+
+    enum SyncSenderRepr<T> {
+        Std(std::sync::mpsc::SyncSender<T>),
+        Model(Arc<Chan<T>>),
+    }
+
+    enum ReceiverRepr<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model(Arc<Chan<T>>),
+    }
+
+    /// The sending half of an unbounded [`channel`].
+    pub struct Sender<T>(SenderRepr<T>);
+
+    /// The sending half of a bounded [`sync_channel`].
+    pub struct SyncSender<T>(SyncSenderRepr<T>);
+
+    /// The receiving half of either channel flavor.
+    pub struct Receiver<T>(ReceiverRepr<T>);
+
+    /// Create an unbounded channel (see [`std::sync::mpsc::channel`]).
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        match current_ctx() {
+            None => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                (Sender(SenderRepr::Std(tx)), Receiver(ReceiverRepr::Std(rx)))
+            }
+            Some(ctx) => {
+                let (a, b) = Chan::new_pair(ctx, None);
+                (
+                    Sender(SenderRepr::Model(a)),
+                    Receiver(ReceiverRepr::Model(b)),
+                )
+            }
+        }
+    }
+
+    /// Create a bounded channel (see [`std::sync::mpsc::sync_channel`]).
+    /// Under the model, a rendezvous bound of 0 is approximated with 1.
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        match current_ctx() {
+            None => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+                (
+                    SyncSender(SyncSenderRepr::Std(tx)),
+                    Receiver(ReceiverRepr::Std(rx)),
+                )
+            }
+            Some(ctx) => {
+                let (a, b) = Chan::new_pair(ctx, Some(bound));
+                (
+                    SyncSender(SyncSenderRepr::Model(a)),
+                    Receiver(ReceiverRepr::Model(b)),
+                )
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; never blocks. Errors when the receiver is gone.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderRepr::Std(tx) => tx.send(item),
+                SenderRepr::Model(ch) => ch.send_blocking(item),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                SenderRepr::Std(tx) => Sender(SenderRepr::Std(tx.clone())),
+                SenderRepr::Model(ch) => {
+                    ch.state().senders += 1;
+                    Sender(SenderRepr::Model(Arc::clone(ch)))
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if let SenderRepr::Model(ch) = &self.0 {
+                ch.drop_sender();
+            }
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Send a value, blocking while the queue is at capacity. Errors when
+        /// the receiver is gone.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SyncSenderRepr::Std(tx) => tx.send(item),
+                SyncSenderRepr::Model(ch) => ch.send_blocking(item),
+            }
+        }
+
+        /// Non-blocking send attempt.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SyncSenderRepr::Std(tx) => tx.try_send(item),
+                SyncSenderRepr::Model(ch) => ch.try_send(item),
+            }
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                SyncSenderRepr::Std(tx) => SyncSender(SyncSenderRepr::Std(tx.clone())),
+                SyncSenderRepr::Model(ch) => {
+                    ch.state().senders += 1;
+                    SyncSender(SyncSenderRepr::Model(Arc::clone(ch)))
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            if let SyncSenderRepr::Model(ch) = &self.0 {
+                ch.drop_sender();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value, blocking until one arrives or all senders
+        /// are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match &self.0 {
+                ReceiverRepr::Std(rx) => rx.recv(),
+                ReceiverRepr::Model(ch) => ch.recv(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let ReceiverRepr::Model(ch) = &self.0 {
+                ch.drop_receiver();
+            }
+        }
+    }
+
+    /// Owning iterator over received values, ending at disconnect.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Shadow threading: [`spawn`], [`JoinHandle`], [`sleep`], [`yield_now`].
+//!
+//! Inside a model execution, spawned threads are real OS threads registered
+//! with the scheduler: the child waits for the run token before executing any
+//! user code, so the whole execution stays serialized and deterministic.
+//! `join` first waits (as a shadow op) for the target to finish logically,
+//! then joins the real thread. Outside a model execution everything delegates
+//! to [`std::thread`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rt::{
+    current_ctx, op_tag, panic_message, set_ctx, AbortToken, Attempt, Ctx, Scheduler, OP_SPAWN,
+    OP_YIELD,
+};
+
+/// Handle to a spawned thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Under the model
+    /// this is a blocking shadow op (a deadlock involving `join` is detected
+    /// like any other).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.model {
+            if let Some(ctx) = current_ctx().filter(|c| Arc::ptr_eq(&c.sched, sched)) {
+                ctx.sched.join_wait(ctx.tid, *target);
+            }
+        }
+        self.real.join()
+    }
+
+    /// Whether the underlying thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.real.is_finished()
+    }
+}
+
+/// Spawn a thread; mirrors [`std::thread::spawn`]. Registered with the active
+/// model execution if there is one.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle {
+            real: std::thread::spawn(f),
+            model: None,
+        },
+        Some(ctx) => {
+            let tid = ctx.sched.register();
+            let sched = Arc::clone(&ctx.sched);
+            let child_sched = Arc::clone(&sched);
+            let real = std::thread::spawn(move || {
+                let sched = child_sched;
+                set_ctx(Some(Ctx {
+                    sched: Arc::clone(&sched),
+                    tid,
+                }));
+                // Serialize: no user code runs until the scheduler grants the
+                // token (thread_begin panics with the abort sentinel if the
+                // execution is already tearing down).
+                let begun = catch_unwind(AssertUnwindSafe(|| sched.thread_begin(tid)));
+                let out = match begun {
+                    Ok(()) => catch_unwind(AssertUnwindSafe(f)),
+                    Err(payload) => Err(payload),
+                };
+                let msg = match &out {
+                    Err(payload) if !payload.is::<AbortToken>() => {
+                        Some(panic_message(payload.as_ref()))
+                    }
+                    _ => None,
+                };
+                sched.finished(tid, msg);
+                match out {
+                    Ok(value) => {
+                        set_ctx(None);
+                        value
+                    }
+                    // Keep the model context set during the final unwind so
+                    // the panic hook stays suppressed.
+                    Err(payload) => resume_unwind(payload),
+                }
+            });
+            // The spawn itself is a yield point: from here the child competes
+            // for the token like any runnable thread.
+            ctx.sched
+                .op(ctx.tid, op_tag(OP_SPAWN, tid as u64), || Attempt::Ready {
+                    value: (),
+                    obs: tid as u64,
+                    wake: Vec::new(),
+                });
+            JoinHandle {
+                real,
+                model: Some((sched, tid)),
+            }
+        }
+    }
+}
+
+/// Sleep; a pure yield point under the model (no wall-clock wait — the model
+/// checks logical interleavings, not timing).
+pub fn sleep(dur: Duration) {
+    match current_ctx() {
+        None => std::thread::sleep(dur),
+        Some(ctx) => {
+            ctx.sched
+                .op(ctx.tid, op_tag(OP_YIELD, dur.subsec_nanos() as u64), || {
+                    Attempt::Ready {
+                        value: (),
+                        obs: 0,
+                        wake: Vec::new(),
+                    }
+                });
+        }
+    }
+}
+
+/// Cooperatively yield; a scheduling point under the model.
+pub fn yield_now() {
+    match current_ctx() {
+        None => std::thread::yield_now(),
+        Some(ctx) => {
+            ctx.sched
+                .op(ctx.tid, op_tag(OP_YIELD, 0), || Attempt::Ready {
+                    value: (),
+                    obs: 0,
+                    wake: Vec::new(),
+                });
+        }
+    }
+}

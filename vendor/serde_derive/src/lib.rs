@@ -6,6 +6,8 @@
 //! generic parameter list; `where`-clauses and lifetime/const generics beyond plain
 //! idents are not supported (nothing in this workspace uses them on derived types).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The name and generic parameters of the deriving type.
