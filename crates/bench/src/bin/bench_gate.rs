@@ -3,7 +3,9 @@
 //! Runs a fixed, quick streaming configuration (sf1, seeded stream, smoke-sized
 //! batch counts) for a curated set of (query, variant, shards) combinations —
 //! including a crash-tolerant pipelined entry (`q1/pipelined/recover`) whose
-//! measurement kills and restores a shard mid-run — writes the measurements as
+//! measurement kills and restores a shard mid-run, and a serving entry
+//! (`q1/pipelined/serve`) that gates the write path with the epoch-published
+//! read path armed and concurrent readers polling — writes the measurements as
 //! `BENCH_stream.json`-shaped JSON, and compares them against the checked-in
 //! baseline: CI fails when any variant's sustained updates/sec drops more than
 //! the tolerance (default 20%) below its baseline.
@@ -68,6 +70,11 @@ struct GateEntry {
     /// with one shard killed mid-run, so the gated number includes the
     /// checkpoint overhead and one restore+replay (requires `pipelined`).
     recover: bool,
+    /// Arm the epoch-published read path and keep two closed-loop readers
+    /// polling the view chain for the whole run, so the gated number includes
+    /// the view-building and publication overhead under concurrent readers
+    /// (requires `pipelined`).
+    serve: bool,
 }
 
 const GRID: &[GateEntry] = &[
@@ -79,6 +86,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q2/incremental",
@@ -88,6 +96,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q2/incremental-cc",
@@ -97,6 +106,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q1/incremental/shards4",
@@ -106,6 +116,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q2/incremental/shards4",
@@ -115,6 +126,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q1/incremental/shards4/ring",
@@ -124,6 +136,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "ring",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q2/incremental/shards4/ring",
@@ -133,6 +146,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "ring",
         pipelined: false,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q1/incremental/shards2/pipelined",
@@ -142,6 +156,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: true,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q2/incremental/shards2/pipelined",
@@ -151,6 +166,7 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: true,
         recover: false,
+        serve: false,
     },
     GateEntry {
         key: "q1/pipelined/recover",
@@ -160,6 +176,17 @@ const GRID: &[GateEntry] = &[
         partitioner: "mod",
         pipelined: true,
         recover: true,
+        serve: false,
+    },
+    GateEntry {
+        key: "q1/pipelined/serve",
+        query: Query::Q1,
+        variant: "incremental",
+        shards: 2,
+        partitioner: "mod",
+        pipelined: true,
+        recover: false,
+        serve: true,
     },
 ];
 
@@ -287,11 +314,41 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
                     ..PipelineConfig::default()
                 },
             );
+            // serve entries gate the write path *with the read path armed*:
+            // every batch additionally builds and publishes a QueryView while
+            // two closed-loop readers chase the chain for the whole run
+            let serving = entry.serve.then(|| {
+                let reader = engine.serve_views();
+                let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let readers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let mut own = reader.clone();
+                        let stop = std::sync::Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            let mut polls = 0u64;
+                            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                let view = own.latest();
+                                assert!(view.verify_seal(), "torn view under the gate");
+                                polls += 1;
+                            }
+                            polls
+                        })
+                    })
+                    .collect();
+                (stop, readers)
+            });
             let mut stream = stream;
-            engine
+            let report = engine
                 .run(network, &mut stream, BATCHES)
                 .expect("gate measurement must not truncate")
-                .stream
+                .stream;
+            if let Some((stop, readers)) = serving {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                for reader in readers {
+                    reader.join().expect("gate reader panicked");
+                }
+            }
+            report
         });
     }
     let driver = StreamDriver::new(StreamDriverConfig {
@@ -331,6 +388,7 @@ fn measure_report() -> Value {
                 "partitioner": entry.partitioner,
                 "pipelined": entry.pipelined,
                 "recover": entry.recover,
+                "serve": entry.serve,
                 "updates_per_sec": report.updates_per_sec,
                 "p99_latency_secs": report.p99_latency_secs,
                 "final_result": &report.final_result,

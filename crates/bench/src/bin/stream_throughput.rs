@@ -78,6 +78,82 @@ use ttc_social_media::shard::{
 use ttc_social_media::solution::Solution;
 use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
 
+/// Accepted flags with the help line printed for each; `print_help` and the
+/// CLI test in `tests/cli_help.rs` both enumerate this surface.
+const FLAGS: &[(&str, &str)] = &[
+    ("--sf", "scale factor of the generated network (default 1)"),
+    (
+        "--batches",
+        "measured micro-batches to stream (default 200)",
+    ),
+    ("--batch-size", "operations per micro-batch (default 64)"),
+    (
+        "--warmup",
+        "warm-up batches before measurement (default 10)",
+    ),
+    (
+        "--seed",
+        "seed of the generated network and stream (default 42)",
+    ),
+    (
+        "--deletions",
+        "like/friendship retraction weight (default 0.1)",
+    ),
+    ("--query", "q1, q2, or both (default both)"),
+    (
+        "--variant",
+        "batch, incremental, incremental-cc, nmf, or all (default incremental)",
+    ),
+    ("--threads", "rayon worker threads (default 1)"),
+    ("--shards", "run sharded over N shards (default off)"),
+    (
+        "--partitioner",
+        "shard placement policy: mod or ring (default mod)",
+    ),
+    (
+        "--rebalance",
+        "enable the tree-migration skew monitor (synchronous engine only)",
+    ),
+    (
+        "--hot-tree",
+        "bias fraction P of new comments/likes onto one discussion tree",
+    ),
+    (
+        "--pipeline",
+        "use the staged asynchronous engine (default 2 shards)",
+    ),
+    (
+        "--queue-depth",
+        "bounded queue capacity of the pipeline (default 4)",
+    ),
+    (
+        "--kill-shard",
+        "kill shard S's worker mid-run (repeatable; needs --pipeline)",
+    ),
+    (
+        "--recover",
+        "checkpoint + restore killed shards (needs --pipeline)",
+    ),
+    (
+        "--checkpoint-every",
+        "checkpoint cadence in batches for --recover",
+    ),
+    (
+        "--smoke",
+        "small fixed CI configuration (later flags still apply)",
+    ),
+    ("--help", "print this help"),
+];
+
+fn print_help() {
+    println!("stream_throughput — sustained streaming-update throughput of the tool variants");
+    println!();
+    println!("usage: stream_throughput [flags]");
+    for (flag, help) in FLAGS {
+        println!("  {flag:<19} {help}");
+    }
+}
+
 struct Args {
     scale_factor: u64,
     batches: usize,
@@ -227,8 +303,12 @@ fn parse_args() -> Args {
                 ];
                 args.threads = 2;
             }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
             other => {
-                eprintln!("unknown argument {other}");
+                eprintln!("unknown argument {other} (try --help)");
                 std::process::exit(2);
             }
         }

@@ -13,6 +13,8 @@
 pub mod harness;
 pub mod registry;
 pub mod report;
+pub mod workload;
 
 pub use harness::{geometric_mean, measure_workload, PhaseTimings};
 pub use registry::{build_solution, run_in_pool, ToolVariant, ALL_VARIANTS, FIGURE5_VARIANTS};
+pub use workload::{ArrivalPattern, ReadMix, ReadOp, ServeWorkload};

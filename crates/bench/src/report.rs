@@ -120,6 +120,49 @@ pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
     Value::Object(map)
 }
 
+/// One measured read phase of a `serve_throughput` row: the aggregate of a
+/// reader fleet driving one [`crate::ServeWorkload`] either concurrently with
+/// the write stream (`write_active`) or against the frozen final chain.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ServePhase {
+    /// Reader threads in the fleet.
+    pub readers: usize,
+    /// Whether the engine was applying batches while these reads ran.
+    pub write_active: bool,
+    /// Total reads completed across the fleet.
+    pub reads: u64,
+    /// Wall-clock duration of the phase (the slowest reader's window).
+    pub elapsed_secs: f64,
+    /// Highest view epoch any reader observed during the phase.
+    pub max_epoch: u64,
+}
+
+impl ServePhase {
+    /// Aggregate read throughput of the fleet.
+    pub fn reads_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.reads as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The serving block of a `serve_throughput` row. The paired `write_active`
+/// true/false phases of the same workload are what the README's serving table
+/// compares: lock-free readers should sustain comparable throughput whether
+/// or not the apply path is publishing under them.
+pub fn serve_phase_json(phase: &ServePhase) -> Value {
+    json!({
+        "readers": phase.readers,
+        "write_active": phase.write_active,
+        "reads": phase.reads,
+        "elapsed_secs": phase.elapsed_secs,
+        "reads_per_sec": phase.reads_per_sec(),
+        "max_epoch": phase.max_epoch,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +177,52 @@ mod tests {
                 .unwrap_or_else(|| panic!("{field} missing or out of order in {rendered}"));
             last += at + needle.len();
         }
+    }
+
+    #[test]
+    fn serve_phase_block_is_stable_and_round_trips() {
+        // non-integral throughput: the vendored parser reads integral floats
+        // back as integers, which would fail the round-trip comparison
+        let phase = ServePhase {
+            readers: 4,
+            write_active: true,
+            reads: 2_000_001,
+            elapsed_secs: 2.5,
+            max_epoch: 66,
+        };
+        let value = serve_phase_json(&phase);
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "elapsed_secs",
+                "max_epoch",
+                "readers",
+                "reads",
+                "reads_per_sec",
+                "write_active",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(
+            parsed.get("reads_per_sec").and_then(Value::as_f64),
+            Some(800_000.4)
+        );
+        assert_eq!(
+            parsed.get("write_active").and_then(Value::as_bool),
+            Some(true)
+        );
+
+        // a zero-length phase reports zero throughput, not a NaN/inf
+        let empty = ServePhase {
+            readers: 1,
+            write_active: false,
+            reads: 0,
+            elapsed_secs: 0.0,
+            max_epoch: 0,
+        };
+        assert_eq!(empty.reads_per_sec(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Named, seeded, serializable read-workload descriptions for the
+//! `serve_throughput` benchmark.
+//!
+//! A [`ServeWorkload`] fully determines what the reader fleet does: how many
+//! readers run, the weighted mix of read operations each one issues
+//! ([`ReadMix`]), how requests are paced ([`ArrivalPattern`]), and the seed
+//! that makes every reader's operation sequence reproducible. Workloads
+//! round-trip through the same vendored-JSON layer the stream reports use, so
+//! a benchmark row can embed the exact workload it measured and a later run
+//! can re-execute it verbatim.
+
+use serde_json::{json, Value};
+
+/// One read operation against a published
+/// [`QueryView`](ttc_social_media::QueryView).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReadOp {
+    /// Fetch the latest view and scan its top-k entries (the Q1/Q2 answer).
+    TopK,
+    /// Point lookup of one comment's score/rank standing.
+    Standing,
+    /// Point lookup of one user's connected-component id.
+    Component,
+}
+
+/// Weighted mix of read operations. Weights are relative (e.g. `8/1/1` means
+/// 80% top-k scans); a zero weight removes the operation from the mix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReadMix {
+    /// Weight of [`ReadOp::TopK`].
+    pub top_k: u32,
+    /// Weight of [`ReadOp::Standing`].
+    pub standing: u32,
+    /// Weight of [`ReadOp::Component`].
+    pub component: u32,
+}
+
+impl ReadMix {
+    /// Pick one operation for draw `r` (any u64, e.g. a PRNG output).
+    /// Falls back to [`ReadOp::TopK`] when every weight is zero.
+    pub fn pick(&self, r: u64) -> ReadOp {
+        let total = u64::from(self.top_k) + u64::from(self.standing) + u64::from(self.component);
+        if total == 0 {
+            return ReadOp::TopK;
+        }
+        let roll = r % total;
+        if roll < u64::from(self.top_k) {
+            ReadOp::TopK
+        } else if roll < u64::from(self.top_k) + u64::from(self.standing) {
+            ReadOp::Standing
+        } else {
+            ReadOp::Component
+        }
+    }
+}
+
+/// How a reader paces its requests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Closed loop: issue the next read immediately (saturation throughput).
+    Closed,
+    /// Fixed gap between consecutive reads, in microseconds.
+    Uniform {
+        /// Pause after every read.
+        gap_micros: u64,
+    },
+    /// Closed-loop bursts of `size` reads separated by a fixed gap.
+    Burst {
+        /// Reads per burst.
+        size: u32,
+        /// Pause between bursts, in microseconds.
+        gap_micros: u64,
+    },
+}
+
+/// A complete, reproducible description of a read workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeWorkload {
+    /// Stable identifier the benchmark rows are keyed on.
+    pub name: String,
+    /// Number of concurrent reader threads.
+    pub readers: usize,
+    /// Weighted operation mix each reader draws from.
+    pub mix: ReadMix,
+    /// Request pacing.
+    pub arrival: ArrivalPattern,
+    /// Seed of the per-reader operation sequences.
+    pub seed: u64,
+}
+
+/// SplitMix64: the statelessly seedable generator used for operation draws.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ServeWorkload {
+    /// The built-in presets, in the order `serve_throughput` runs them.
+    pub fn presets() -> Vec<ServeWorkload> {
+        vec![
+            // read-mostly scans: the "serve the feed" shape — most requests
+            // want the current top-k answer itself
+            ServeWorkload {
+                name: "scan-heavy".to_string(),
+                readers: 4,
+                mix: ReadMix {
+                    top_k: 8,
+                    standing: 1,
+                    component: 1,
+                },
+                arrival: ArrivalPattern::Closed,
+                seed: 7,
+            },
+            // point lookups: per-entity standings and component queries
+            // dominate, exercising the HashMap side of the view
+            ServeWorkload {
+                name: "point-lookups".to_string(),
+                readers: 4,
+                mix: ReadMix {
+                    top_k: 1,
+                    standing: 5,
+                    component: 4,
+                },
+                arrival: ArrivalPattern::Closed,
+                seed: 11,
+            },
+            // bursty mixed traffic with idle gaps between bursts
+            ServeWorkload {
+                name: "bursty-mixed".to_string(),
+                readers: 2,
+                mix: ReadMix {
+                    top_k: 2,
+                    standing: 1,
+                    component: 1,
+                },
+                arrival: ArrivalPattern::Burst {
+                    size: 256,
+                    gap_micros: 200,
+                },
+                seed: 13,
+            },
+        ]
+    }
+
+    /// Look up a preset by its stable name.
+    pub fn by_name(name: &str) -> Option<ServeWorkload> {
+        Self::presets().into_iter().find(|w| w.name == name)
+    }
+
+    /// The deterministic operation sequence of reader `reader`: `len` draws
+    /// from the mix, seeded by `(workload seed, reader index)`. Two runs of
+    /// the same workload issue byte-identical request sequences.
+    pub fn plan(&self, reader: usize, len: usize) -> Vec<ReadOp> {
+        let mut state = splitmix64(self.seed ^ (reader as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        (0..len)
+            .map(|_| {
+                state = splitmix64(state);
+                self.mix.pick(state)
+            })
+            .collect()
+    }
+
+    /// Serialize to the vendored-JSON value embedded in benchmark rows.
+    pub fn to_json(&self) -> Value {
+        let arrival = match self.arrival {
+            ArrivalPattern::Closed => json!({ "kind": "closed" }),
+            ArrivalPattern::Uniform { gap_micros } => {
+                json!({ "kind": "uniform", "gap_micros": gap_micros })
+            }
+            ArrivalPattern::Burst { size, gap_micros } => {
+                json!({ "kind": "burst", "size": size, "gap_micros": gap_micros })
+            }
+        };
+        json!({
+            "name": &self.name,
+            "readers": self.readers,
+            "mix": json!({
+                "top_k": self.mix.top_k,
+                "standing": self.mix.standing,
+                "component": self.mix.component,
+            }),
+            "arrival": arrival,
+            "seed": self.seed,
+        })
+    }
+
+    /// Parse a value produced by [`ServeWorkload::to_json`]. Returns `None`
+    /// on any missing or ill-typed field — callers treat that as "not a
+    /// workload description", not a panic.
+    pub fn from_json(value: &Value) -> Option<ServeWorkload> {
+        let name = value.get("name")?.as_str()?.to_string();
+        let readers = value.get("readers")?.as_u64()? as usize;
+        let seed = value.get("seed")?.as_u64()?;
+        let mix_value = value.get("mix")?;
+        let weight =
+            |field: &str| -> Option<u32> { mix_value.get(field)?.as_u64().map(|w| w as u32) };
+        let mix = ReadMix {
+            top_k: weight("top_k")?,
+            standing: weight("standing")?,
+            component: weight("component")?,
+        };
+        let arrival_value = value.get("arrival")?;
+        let arrival = match arrival_value.get("kind")?.as_str()? {
+            "closed" => ArrivalPattern::Closed,
+            "uniform" => ArrivalPattern::Uniform {
+                gap_micros: arrival_value.get("gap_micros")?.as_u64()?,
+            },
+            "burst" => ArrivalPattern::Burst {
+                size: arrival_value.get("size")?.as_u64()? as u32,
+                gap_micros: arrival_value.get("gap_micros")?.as_u64()?,
+            },
+            _ => return None,
+        };
+        Some(ServeWorkload {
+            name,
+            readers,
+            mix,
+            arrival,
+            seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_round_trips_through_json() {
+        for workload in ServeWorkload::presets() {
+            let rendered = workload.to_json().to_string();
+            let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+            let back = ServeWorkload::from_json(&parsed).expect("parses back");
+            assert_eq!(back, workload, "lossy serialization of {}", workload.name);
+        }
+    }
+
+    #[test]
+    fn presets_are_resolvable_by_name_and_unique() {
+        let presets = ServeWorkload::presets();
+        for workload in &presets {
+            assert_eq!(
+                ServeWorkload::by_name(&workload.name).as_ref(),
+                Some(workload)
+            );
+        }
+        let mut names: Vec<&str> = presets.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), presets.len(), "duplicate preset names");
+        assert!(ServeWorkload::by_name("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_differ_per_reader() {
+        let workload = ServeWorkload::by_name("scan-heavy").expect("preset");
+        let a = workload.plan(0, 256);
+        let b = workload.plan(0, 256);
+        assert_eq!(a, b, "same seed and reader must replay identically");
+        let other = workload.plan(1, 256);
+        assert_ne!(a, other, "distinct readers draw distinct sequences");
+    }
+
+    #[test]
+    fn the_mix_honours_its_weights() {
+        let workload = ServeWorkload::by_name("scan-heavy").expect("preset");
+        let plan = workload.plan(0, 10_000);
+        let scans = plan.iter().filter(|&&op| op == ReadOp::TopK).count();
+        // weight 8 of 10: allow generous sampling slack
+        assert!(
+            (7_000..9_000).contains(&scans),
+            "expected ~80% scans, got {scans}/10000"
+        );
+        // a zero-weight op never appears, and an all-zero mix degrades to TopK
+        let none = ReadMix {
+            top_k: 0,
+            standing: 0,
+            component: 0,
+        };
+        assert_eq!(none.pick(42), ReadOp::TopK);
+        let only_standing = ReadMix {
+            top_k: 0,
+            standing: 3,
+            component: 0,
+        };
+        for r in 0..100 {
+            assert_eq!(only_standing.pick(r), ReadOp::Standing);
+        }
+    }
+
+    #[test]
+    fn malformed_workload_json_is_rejected_not_panicked_on() {
+        for broken in [
+            json!({}),
+            json!({ "name": "x", "readers": 1, "seed": 0 }),
+            json!({
+                "name": "x", "readers": 1, "seed": 0,
+                "mix": json!({ "top_k": 1, "standing": 0, "component": 0 }),
+                "arrival": json!({ "kind": "lognormal" }),
+            }),
+        ] {
+            assert!(ServeWorkload::from_json(&broken).is_none(), "{broken}");
+        }
+    }
+}

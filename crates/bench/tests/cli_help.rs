@@ -1,0 +1,101 @@
+//! `--help` drift guard for the streaming benchmark binaries.
+//!
+//! Each binary's argument parser and its `--help` output are maintained by
+//! hand; these tests pin them together by running the real binaries (Cargo
+//! exposes their paths via `CARGO_BIN_EXE_*`) and asserting that every flag
+//! the parser accepts is mentioned in the help text. Adding a flag to the
+//! parser without documenting it — the drift this repo shipped before
+//! `--help` existed — fails here, as does documenting the flag list in this
+//! test without teaching the binary about it (the binary rejects unknown
+//! flags with exit code 2, covered below).
+
+use std::process::Command;
+
+/// Every flag `stream_throughput`'s parser accepts.
+const STREAM_THROUGHPUT_FLAGS: &[&str] = &[
+    "--sf",
+    "--batches",
+    "--batch-size",
+    "--warmup",
+    "--seed",
+    "--deletions",
+    "--query",
+    "--variant",
+    "--threads",
+    "--shards",
+    "--partitioner",
+    "--rebalance",
+    "--hot-tree",
+    "--pipeline",
+    "--queue-depth",
+    "--kill-shard",
+    "--recover",
+    "--checkpoint-every",
+    "--smoke",
+    "--help",
+];
+
+/// Every flag `serve_throughput`'s parser accepts.
+const SERVE_THROUGHPUT_FLAGS: &[&str] = &[
+    "--sf",
+    "--batches",
+    "--batch-size",
+    "--warmup",
+    "--seed",
+    "--deletions",
+    "--query",
+    "--shards",
+    "--threads",
+    "--workload",
+    "--readers",
+    "--smoke",
+    "--help",
+];
+
+fn help_text(bin: &str) -> String {
+    let output = Command::new(bin)
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "--help must exit 0, got {:?}",
+        output.status
+    );
+    String::from_utf8(output.stdout).expect("help is UTF-8")
+}
+
+#[test]
+fn stream_throughput_help_mentions_every_accepted_flag() {
+    let help = help_text(env!("CARGO_BIN_EXE_stream_throughput"));
+    for flag in STREAM_THROUGHPUT_FLAGS {
+        assert!(help.contains(flag), "`{flag}` missing from --help:\n{help}");
+    }
+}
+
+#[test]
+fn serve_throughput_help_mentions_every_accepted_flag() {
+    let help = help_text(env!("CARGO_BIN_EXE_serve_throughput"));
+    for flag in SERVE_THROUGHPUT_FLAGS {
+        assert!(help.contains(flag), "`{flag}` missing from --help:\n{help}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_a_help_hint() {
+    for bin in [
+        env!("CARGO_BIN_EXE_stream_throughput"),
+        env!("CARGO_BIN_EXE_serve_throughput"),
+    ] {
+        let output = Command::new(bin)
+            .arg("--no-such-flag")
+            .output()
+            .expect("binary runs");
+        assert_eq!(output.status.code(), Some(2), "unknown flag must exit 2");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            err.contains("--help"),
+            "rejection should point at --help: {err}"
+        );
+    }
+}

@@ -46,6 +46,7 @@ pub mod pipeline;
 pub mod q1;
 pub mod q2;
 pub mod recovery;
+pub mod serve;
 pub mod shard;
 pub mod solution;
 pub mod stream;
@@ -63,11 +64,15 @@ pub use recovery::{
     ChangesetLog, CheckpointError, CheckpointStore, LogEntry, RecoveryConfig, RecoveryStats,
     ShardCheckpoint,
 };
+pub use serve::{
+    view_channel, CandidateSnapshot, QueryView, Standing, UserComponents, ViewBuilder,
+    ViewPublisher, ViewReader,
+};
 pub use shard::{
     GraphBlasShardFactory, MigrateError, RebalanceConfig, RebalanceStats, ShardBackend,
     ShardEvaluator, ShardFactory, ShardMerger, ShardRouter, ShardRouterStats, ShardedSolution,
 };
 pub use solution::{GraphBlasBatch, GraphBlasIncremental, GraphBlasIncrementalCc, Solution, TOP_K};
-pub use stream::{StreamDriver, StreamDriverConfig, StreamReport};
+pub use stream::{RunObserver, StreamDriver, StreamDriverConfig, StreamReport};
 pub use top_k::{format_result, RankedEntry, TopKTracker};
 pub use update::{apply_changeset, GraphDelta};

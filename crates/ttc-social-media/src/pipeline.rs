@@ -74,6 +74,7 @@ use datagen::{apply_changeset, ChangeSet, SocialNetwork};
 use crate::recovery::{
     ChangesetLog, CheckpointStore, LogEntry, RecoveryConfig, RecoveryStats, ShardCheckpoint,
 };
+use crate::serve::{view_channel, CandidateSnapshot, ViewBuilder, ViewPublisher, ViewReader};
 use crate::shard::{
     load_shards_parts, ShardEvaluator, ShardFactory, ShardMerger, ShardRouter, ShardRouterStats,
 };
@@ -168,12 +169,60 @@ pub trait IngestEngine {
 pub struct SyncEngine {
     driver: StreamDriver,
     solution: Box<dyn Solution>,
+    /// Armed by [`SyncEngine::serve_views`]; consumed by the next run.
+    serving: Option<(ViewBuilder, ViewPublisher)>,
 }
 
 impl SyncEngine {
     /// Wrap `solution` behind the engine interface, driven by `driver`.
     pub fn new(driver: StreamDriver, solution: Box<dyn Solution>) -> Self {
-        SyncEngine { driver, solution }
+        SyncEngine {
+            driver,
+            solution,
+            serving: None,
+        }
+    }
+
+    /// Arm view publication for the **next** run and return a reader on the
+    /// publication chain. The run publishes one [`crate::serve::QueryView`]
+    /// per applied batch (epoch 1 = the initial evaluation, +1 per batch,
+    /// warm-up included); the returned reader starts at the epoch-0 genesis
+    /// view and can be cloned into any number of concurrent reader threads.
+    ///
+    /// Consistency: the synchronous engine publishes the view for batch `t`
+    /// before pulling batch `t + 1` from the stream, so a reader that calls
+    /// [`ViewReader::latest`] after the run observed every batch —
+    /// freshness lag 0 and read-your-writes per batch (`DESIGN.md` §8, tested
+    /// by `tests/serve.rs::sync_engine_publishes_every_batch_in_order`).
+    pub fn serve_views(&mut self) -> ViewReader {
+        let builder = ViewBuilder::new(self.solution.query());
+        let (publisher, reader) = view_channel(builder.genesis());
+        self.serving = Some((builder, publisher));
+        reader
+    }
+}
+
+/// [`RunObserver`] adapter: folds each applied batch into a [`ViewBuilder`]
+/// and publishes the frozen view — the synchronous engine's write side of the
+/// serve path.
+struct ServeObserver {
+    builder: ViewBuilder,
+    publisher: ViewPublisher,
+}
+
+impl crate::stream::RunObserver for ServeObserver {
+    fn loaded(&mut self, initial: &SocialNetwork, result: &str, solution: &dyn Solution) {
+        self.builder.observe_initial(initial);
+        let snapshot = solution.candidate_snapshot().unwrap_or_default();
+        self.publisher
+            .publish(self.builder.build(None, &snapshot, result));
+    }
+
+    fn applied(&mut self, seq: u64, changes: &ChangeSet, result: &str, solution: &dyn Solution) {
+        self.builder.observe_batch(changes);
+        let snapshot = solution.candidate_snapshot().unwrap_or_default();
+        self.publisher
+            .publish(self.builder.build(Some(seq), &snapshot, result));
     }
 }
 
@@ -188,9 +237,21 @@ impl IngestEngine for SyncEngine {
         stream: &mut dyn Iterator<Item = ChangeSet>,
         batches: usize,
     ) -> Result<EngineReport, EngineError> {
-        let (report, results) =
-            self.driver
-                .run_with_results(self.solution.as_mut(), initial, stream, batches);
+        let (report, results) = match self.serving.take() {
+            Some((builder, publisher)) => {
+                let mut observer = ServeObserver { builder, publisher };
+                self.driver.run_with_observer(
+                    self.solution.as_mut(),
+                    initial,
+                    stream,
+                    batches,
+                    &mut observer,
+                )
+            }
+            None => self
+                .driver
+                .run_with_results(self.solution.as_mut(), initial, stream, batches),
+        };
         Ok(EngineReport {
             stream: report,
             results,
@@ -394,6 +455,49 @@ fn send_counting<T>(tx: &SyncSender<T>, item: T, blocked: &mut u64) -> bool {
             tx.send(item).is_ok() // lint: allow(raw-send) — counted helper: blocking retry after the Full arm counted the stall
         }
         Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+/// The serve-path state the merge stage owns when view publication is armed:
+/// the view builder, the single publisher, and the side channel the route
+/// stage feeds each coalesced batch through (the builder needs the raw
+/// friendship operations, which apply outcomes do not carry).
+struct ServeMergeState {
+    builder: ViewBuilder,
+    publisher: ViewPublisher,
+    changes_rx: Receiver<(u64, ChangeSet)>,
+}
+
+impl ServeMergeState {
+    /// Publish the view for merged batch `t`.
+    ///
+    /// Availability argument: the route stage sends `(t, batch)` on the side
+    /// channel *before* routing batch `t`'s per-shard ops, and the merge only
+    /// reaches `t` after every shard delivered `t`'s outcome — so the batch
+    /// is already buffered when this runs and the `recv` returns immediately
+    /// (buffered items survive sender disconnect). `Err` means the route
+    /// stage died before sending this batch, which the merge-before-send
+    /// ordering rules out except during teardown; skipping publication there
+    /// (staleness, never corruption) is the intended failure mode.
+    fn publish(
+        &mut self,
+        t: u64,
+        candidates: Vec<RankedEntry>,
+        merger: &ShardMerger,
+        result: &str,
+    ) {
+        if let Ok((seq, batch)) = self.changes_rx.recv() {
+            if seq != t {
+                return; // protocol drift — serve stale rather than wrong
+            }
+            self.builder.observe_batch(&batch);
+            let snapshot = CandidateSnapshot {
+                top: merger.current().to_vec(),
+                candidates,
+            };
+            self.publisher
+                .publish(self.builder.build(Some(t), &snapshot, result));
+        }
     }
 }
 
@@ -724,6 +828,8 @@ pub struct PipelinedEngine {
     /// The pristine partition policy, cloned into every run's router.
     partitioner: Box<dyn Partitioner>,
     config: PipelineConfig,
+    /// Armed by [`PipelinedEngine::serve_views`]; consumed by the next run.
+    serving: Option<(ViewBuilder, ViewPublisher)>,
 }
 
 impl PipelinedEngine {
@@ -746,6 +852,7 @@ impl PipelinedEngine {
             shards,
             partitioner,
             config,
+            serving: None,
         }
     }
 
@@ -768,6 +875,27 @@ impl PipelinedEngine {
         self.shards
     }
 
+    /// Arm view publication for the **next** run and return a reader on the
+    /// publication chain. The merge stage publishes one
+    /// [`crate::serve::QueryView`] right after merging each batch (epoch 1 =
+    /// the initial evaluation, published before the stages spawn; +1 per
+    /// merged batch, warm-up included); the reader starts at the epoch-0
+    /// genesis view and can be cloned into any number of reader threads that
+    /// run concurrently with the pipeline.
+    ///
+    /// Consistency: publication trails the apply path by the queue depths
+    /// (bounded staleness, not read-your-writes mid-run), but epochs observed
+    /// through one reader never decrease, and after the run the latest view
+    /// reflects the final batch — `DESIGN.md` §8, tested by
+    /// `tests/serve.rs::pipelined_engine_final_view_matches_final_result` and
+    /// the `serve` model-check schedules.
+    pub fn serve_views(&mut self) -> ViewReader {
+        let builder = ViewBuilder::new(self.factory.query());
+        let (publisher, reader) = view_channel(builder.genesis());
+        self.serving = Some((builder, publisher));
+        reader
+    }
+
     /// The merge stage: consume `(shard, outcome)` pairs off the one shared
     /// outcome queue strictly in batch order — batch `t` is merged only once
     /// **all** shards delivered `t` (their watermark passed `t`) — folding
@@ -779,10 +907,15 @@ impl PipelinedEngine {
     /// seq" identifies a duplicate — and deterministic replay makes the
     /// duplicate byte-identical to the accepted original, which is why
     /// dropping it preserves per-batch byte-identity.
+    /// When serving is armed, `serve` carries the view builder/publisher plus
+    /// the side channel the route stage feeds each coalesced batch through
+    /// (so the builder can track friendship components); the merge publishes
+    /// one view per merged batch.
     fn merge_stage(
         mut merger: ShardMerger,
         rx: Receiver<(usize, ApplyOutcome)>,
         shards: usize,
+        mut serve: Option<ServeMergeState>,
     ) -> (MergeOutput, ShardMerger) {
         let mut buffers: Vec<VecDeque<ApplyOutcome>> =
             (0..shards).map(|_| VecDeque::new()).collect();
@@ -827,7 +960,13 @@ impl PipelinedEngine {
                     .iter()
                     .flat_map(|o| o.candidates.iter().copied())
                     .collect();
+                // `merge` consumes the union; the serve path needs it again as
+                // the view's candidate pool, so keep a copy only when serving.
+                let candidates = serve.as_ref().map(|_| union.clone());
                 let result = merger.merge(union, any_removals);
+                if let (Some(state), Some(candidates)) = (serve.as_mut(), candidates) {
+                    state.publish(t, candidates, &merger, &result);
+                }
                 for (shard, outcome) in outcomes.iter().enumerate() {
                     out.per_shard_apply[shard].push(outcome.apply_secs); // lint: allow(index) — shard enumerates the per-shard vectors built over 0..shards
                 }
@@ -898,6 +1037,42 @@ impl IngestEngine for PipelinedEngine {
             vec![None; shards]
         };
 
+        // Serving: publish the epoch-1 initial view on this thread (the
+        // evaluators and seeded merger are still here), then hand the
+        // builder/publisher to the merge stage together with the route →
+        // merge batch side channel. Both exist only when serving is armed,
+        // so unarmed runs execute the exact synchronization-op sequence the
+        // model-check schedules were built against.
+        let serve_armed = self.serving.take().map(|(mut builder, mut publisher)| {
+            builder.observe_initial(initial);
+            let snapshot = CandidateSnapshot {
+                top: merger.current().to_vec(),
+                candidates: evaluators
+                    .iter()
+                    .flat_map(|e| e.candidates().iter().copied())
+                    .collect(),
+            };
+            publisher.publish(builder.build(None, &snapshot, &initial_result));
+            (builder, publisher)
+        });
+        let (batch_tx, serve_state) = match serve_armed {
+            Some((builder, publisher)) => {
+                // Unbounded by design: the sender never blocks (no new
+                // deadlock edge in the stage graph), and the buffered depth
+                // is bounded by the pipeline's own queue depths.
+                let (tx, rx) = channel::<(u64, ChangeSet)>();
+                (
+                    Some(tx),
+                    Some(ServeMergeState {
+                        builder,
+                        publisher,
+                        changes_rx: rx,
+                    }),
+                )
+            }
+            None => (None, None),
+        };
+
         // Stage plumbing. Bounded queues per edge — except the workers → merge
         // edge, which is one *shared* queue: per-shard outcome queues would
         // wedge a replaying supervisor against a merger blocked on a shard
@@ -913,7 +1088,8 @@ impl IngestEngine for PipelinedEngine {
 
         let (merged, route_out) = {
             // Stage 4: watermark merge.
-            let merge_handle = thread::spawn(move || Self::merge_stage(merger, out_rx, shards));
+            let merge_handle =
+                thread::spawn(move || Self::merge_stage(merger, out_rx, shards, serve_state));
 
             // Stage 2 + supervisor: coalesce + route, spawn (and under
             // recovery, restore) the apply workers, collect their terminal
@@ -977,6 +1153,12 @@ impl IngestEngine for PipelinedEngine {
                         d.sleep_route(seq);
                     }
                     let batch = if coalesce_on { coalesce(&batch) } else { batch };
+                    if let Some(tx) = &batch_tx {
+                        // Before routing, so the serve side channel is always
+                        // ahead of the merge (see ServeMergeState::publish).
+                        // lint: allow(raw-send) — unbounded serve side channel: never blocks, and a disconnected merge stage just ends publication
+                        let _ = tx.send((seq, batch.clone()));
+                    }
                     if seq >= warmup as u64 {
                         applied += batch.operations.len();
                     }

@@ -1,0 +1,833 @@
+//! Epoch-published lock-free read path: immutable [`QueryView`] snapshots served
+//! to concurrent readers between micro-batches.
+//!
+//! The paper's benchmark only ever *prints* the top-3 after each batch; a
+//! production deployment of the same pipeline needs the opposite shape — many
+//! readers querying the latest result (and per-entity detail: a user's
+//! connected-component id, a comment's score and candidate standing) while the
+//! apply path is busy building the next batch. This module provides that front
+//! end for both engines in [`crate::pipeline`]:
+//!
+//! * The merge stage freezes one immutable [`QueryView`] per merged batch and
+//!   hands it to a [`ViewPublisher`].
+//! * Publication appends the view to a lock-free chain of epoch-tagged nodes.
+//!   Each link is a `OnceLock<Arc<Node>>` taken from the [`crate::sync`]
+//!   facade: writing it is a single release-store, reading it a single
+//!   acquire-load, and under the `model-check` feature the loomette scheduler
+//!   explores every publish/read interleaving.
+//! * A [`ViewReader`] holds an `Arc` cursor into the chain. Reading the
+//!   current view is one atomic load plus an `Arc` clone — no locks, no
+//!   waiting on writers, no coordination between readers. Advancing to a newer
+//!   view walks `next` pointers that are only ever written once.
+//!
+//! Views are tagged with a monotonically increasing **epoch** (0 = genesis,
+//! 1 = the initial evaluation, +1 per merged batch) and the originating batch
+//! sequence number, so read-your-writes and monotonic-reads guarantees are
+//! mechanically checkable — see `DESIGN.md` §8 for the per-engine consistency
+//! table and the memory-reclamation argument (retired views are reclaimed by
+//! `Arc` reference counting once the last reader cursor moves past them; the
+//! chain's iterative `Drop` keeps reclamation of long retired prefixes off the
+//! call stack).
+//!
+//! # Example
+//!
+//! ```
+//! use ttc_social_media::graph::paper_example_network;
+//! use ttc_social_media::model::Query;
+//! use ttc_social_media::serve::{view_channel, CandidateSnapshot, ViewBuilder};
+//!
+//! let mut builder = ViewBuilder::new(Query::Q2);
+//! let (mut publisher, mut reader) = view_channel(builder.genesis());
+//!
+//! // The write side (in production: the engine's merge stage) publishes a
+//! // view after the initial evaluation…
+//! builder.observe_initial(&paper_example_network());
+//! let view = builder.build(None, &CandidateSnapshot::default(), "12|11|13");
+//! publisher.publish(view);
+//!
+//! // …and any number of readers observe it with a single atomic load each.
+//! let snapshot = reader.latest();
+//! assert_eq!(snapshot.epoch(), 1);
+//! assert_eq!(snapshot.result(), "12|11|13");
+//! assert!(snapshot.verify_seal());
+//! // Users 101 and 102 are friends in the paper's example network, so they
+//! // share a component, and the component id is the smallest member id.
+//! assert_eq!(snapshot.component_of(101), Some(101));
+//! assert_eq!(snapshot.component_of(102), Some(101));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
+
+use crate::model::Query;
+use crate::sync::{Arc, OnceLock};
+use crate::top_k::RankedEntry;
+
+// ---------------------------------------------------------------------------
+// View contents
+// ---------------------------------------------------------------------------
+
+/// A comment's (or post's) standing in the current candidate pool: its score,
+/// its timestamp, and — if it is one of the published top-k — its rank.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Standing {
+    /// Query score of the element at this view's epoch.
+    pub score: u64,
+    /// Timestamp of the element (the tie-breaking key).
+    pub timestamp: u64,
+    /// 1-based rank among the published top-k, `None` if the element is a
+    /// tracked candidate but currently outside the top-k.
+    pub rank: Option<usize>,
+}
+
+/// The ranked material a solution can expose for view building: the current
+/// top-k plus the wider candidate pool the merge stage tracks.
+///
+/// Produced by [`crate::solution::Solution::candidate_snapshot`]; solutions
+/// that do not track ranked candidates return `None` there and are served
+/// with result-string-only views (see `DESIGN.md` §8).
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSnapshot {
+    /// The current top-k entries, best first.
+    pub top: Vec<RankedEntry>,
+    /// Every tracked candidate (a superset of `top`), in no particular order.
+    pub candidates: Vec<RankedEntry>,
+}
+
+/// Immutable user → connected-component mapping over the friendship graph,
+/// frozen at one epoch. Component ids are the smallest user id of the
+/// component, so they are stable under insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UserComponents {
+    component: HashMap<ElementId, ElementId>,
+}
+
+impl UserComponents {
+    /// The component id of `user`, or `None` if the user is unknown.
+    pub fn component_of(&self, user: ElementId) -> Option<ElementId> {
+        self.component.get(&user).copied()
+    }
+
+    /// Number of users in the mapping.
+    pub fn user_count(&self) -> usize {
+        self.component.len()
+    }
+
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        self.component.values().collect::<HashSet<_>>().len()
+    }
+
+    /// Whether two users are in the same friendship component.
+    pub fn connected(&self, a: ElementId, b: ElementId) -> bool {
+        match (self.component_of(a), self.component_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// Order-independent content hash, folded into [`QueryView::verify_seal`].
+    fn content_hash(&self) -> u64 {
+        self.component
+            .iter()
+            .map(|(&user, &root)| splitmix64(splitmix64(user) ^ root))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// One frozen, immutable snapshot of query results, published at a single
+/// epoch and safe to read without any synchronization.
+///
+/// A view answers the read-side questions the ROADMAP's serving item asks for:
+/// the top-k ([`QueryView::entries`], [`QueryView::result`]), a comment's
+/// score and candidate standing ([`QueryView::standing`]), and a user's
+/// connected-component id ([`QueryView::component_of`]). Views are
+/// constructed only by [`ViewBuilder`] and carry a content seal so tests and
+/// the model checker can assert that no reader ever observes a torn view.
+#[derive(Clone, Debug)]
+pub struct QueryView {
+    epoch: u64,
+    batch: Option<u64>,
+    query: Query,
+    entries: Vec<RankedEntry>,
+    result: String,
+    standings: HashMap<ElementId, Standing>,
+    components: Arc<UserComponents>,
+    seal: u64,
+}
+
+impl QueryView {
+    /// The view's epoch: 0 for the genesis view, 1 after the initial
+    /// evaluation, +1 per merged batch. Strictly increasing along the
+    /// publication chain.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The batch sequence number this view reflects (`None` for the genesis
+    /// and initial-evaluation views, which precede any batch).
+    pub fn batch(&self) -> Option<u64> {
+        self.batch
+    }
+
+    /// Which query this view answers.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// The top-k entries, best first.
+    pub fn entries(&self) -> &[RankedEntry] {
+        &self.entries
+    }
+
+    /// The result in the benchmark's `id|id|id` format.
+    pub fn result(&self) -> &str {
+        &self.result
+    }
+
+    /// The standing of one candidate element, or `None` if it is not tracked.
+    pub fn standing(&self, id: ElementId) -> Option<Standing> {
+        self.standings.get(&id).copied()
+    }
+
+    /// Number of tracked candidates (the top-k are a subset).
+    pub fn candidate_count(&self) -> usize {
+        self.standings.len()
+    }
+
+    /// The friendship component id of `user`, or `None` if unknown.
+    pub fn component_of(&self, user: ElementId) -> Option<ElementId> {
+        self.components.component_of(user)
+    }
+
+    /// The full user → component mapping frozen in this view.
+    pub fn components(&self) -> &UserComponents {
+        &self.components
+    }
+
+    /// Recompute the content seal and compare it with the sealed value.
+    ///
+    /// The seal is a deterministic hash over every field, computed when the
+    /// builder froze the view. A reader that could ever observe a view
+    /// half-way through construction would fail this check; the model-check
+    /// suite asserts it across every explored publish/read interleaving.
+    pub fn verify_seal(&self) -> bool {
+        self.content_seal() == self.seal
+    }
+
+    /// Deterministic hash of the view contents (order-independent over the
+    /// hash maps, order-sensitive over the ranked entries).
+    fn content_seal(&self) -> u64 {
+        let mut h = splitmix64(self.epoch ^ 0x5eed_0001);
+        h = splitmix64(h ^ self.batch.map_or(u64::MAX, splitmix64));
+        h = splitmix64(
+            h ^ match self.query {
+                Query::Q1 => 1,
+                Query::Q2 => 2,
+            },
+        );
+        for entry in &self.entries {
+            h = splitmix64(h ^ entry.score);
+            h = splitmix64(h ^ entry.timestamp);
+            h = splitmix64(h ^ entry.id);
+        }
+        h = self
+            .result
+            .bytes()
+            .fold(h, |acc, b| splitmix64(acc ^ u64::from(b)));
+        let standings = self
+            .standings
+            .iter()
+            .map(|(&id, s)| {
+                let rank = s.rank.map_or(u64::MAX, |r| r as u64);
+                splitmix64(splitmix64(id) ^ splitmix64(s.score) ^ s.timestamp ^ rank)
+            })
+            .fold(0u64, u64::wrapping_add);
+        h = splitmix64(h ^ standings);
+        splitmix64(h ^ self.components.content_hash())
+    }
+}
+
+/// SplitMix64 finalizer: the same cheap, dependency-free mixer the recovery
+/// checkpoints use for their checksums.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// View builder
+// ---------------------------------------------------------------------------
+
+/// Accumulates the write-side state a [`QueryView`] is frozen from: the
+/// friendship graph's connected components (maintained incrementally with a
+/// union-find, rebuilt on the rare friendship removal) and the epoch counter.
+///
+/// Lives on the write side only — the engine's merge stage owns one and calls
+/// [`ViewBuilder::build`] once per merged batch; readers never touch it.
+pub struct ViewBuilder {
+    query: Query,
+    next_epoch: u64,
+    parent: HashMap<ElementId, ElementId>,
+    adjacency: HashMap<ElementId, HashSet<ElementId>>,
+    cached: Option<Arc<UserComponents>>,
+}
+
+impl ViewBuilder {
+    /// Create a builder for `query`. The first built view has epoch 1;
+    /// [`ViewBuilder::genesis`] provides the epoch-0 placeholder.
+    pub fn new(query: Query) -> Self {
+        ViewBuilder {
+            query,
+            next_epoch: 1,
+            parent: HashMap::new(),
+            adjacency: HashMap::new(),
+            cached: None,
+        }
+    }
+
+    /// The empty epoch-0 view a publication chain starts from, representing
+    /// "nothing evaluated yet".
+    pub fn genesis(&self) -> QueryView {
+        let mut view = QueryView {
+            epoch: 0,
+            batch: None,
+            query: self.query,
+            entries: Vec::new(),
+            result: String::new(),
+            standings: HashMap::new(),
+            components: Arc::new(UserComponents::default()),
+            seal: 0,
+        };
+        view.seal = view.content_seal();
+        view
+    }
+
+    /// Fold the initial network into the component state (users and
+    /// friendships; posts, comments and likes do not affect components).
+    pub fn observe_initial(&mut self, network: &SocialNetwork) {
+        for user in &network.users {
+            self.add_user(user.id);
+        }
+        for &(a, b) in &network.friendships {
+            self.add_friendship(a, b);
+        }
+        self.cached = None;
+    }
+
+    /// Fold one changeset into the component state. Friendship removals
+    /// trigger a rebuild of the union-find from the retained adjacency,
+    /// mirroring how the Q2 evaluators re-derive components after deletions.
+    pub fn observe_batch(&mut self, changes: &ChangeSet) {
+        let mut rebuild = false;
+        for op in &changes.operations {
+            match op {
+                ChangeOperation::AddUser { user } => self.add_user(user.id),
+                ChangeOperation::AddFriendship { a, b } => self.add_friendship(*a, *b),
+                ChangeOperation::RemoveFriendship { a, b } => {
+                    if let Some(peers) = self.adjacency.get_mut(a) {
+                        peers.remove(b);
+                    }
+                    if let Some(peers) = self.adjacency.get_mut(b) {
+                        peers.remove(a);
+                    }
+                    rebuild = true;
+                }
+                _ => {}
+            }
+        }
+        if rebuild {
+            self.rebuild_from_adjacency();
+        }
+        self.cached = None;
+    }
+
+    /// Freeze a view at the next epoch from the solution's ranked snapshot
+    /// and the rendered result string. `batch` is the originating batch
+    /// sequence number (`None` for the initial evaluation).
+    pub fn build(
+        &mut self,
+        batch: Option<u64>,
+        snapshot: &CandidateSnapshot,
+        result: &str,
+    ) -> QueryView {
+        let mut standings: HashMap<ElementId, Standing> =
+            HashMap::with_capacity(snapshot.candidates.len());
+        for candidate in &snapshot.candidates {
+            standings.insert(
+                candidate.id,
+                Standing {
+                    score: candidate.score,
+                    timestamp: candidate.timestamp,
+                    rank: None,
+                },
+            );
+        }
+        for (position, entry) in snapshot.top.iter().enumerate() {
+            standings.insert(
+                entry.id,
+                Standing {
+                    score: entry.score,
+                    timestamp: entry.timestamp,
+                    rank: Some(position + 1),
+                },
+            );
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let mut view = QueryView {
+            epoch,
+            batch,
+            query: self.query,
+            entries: snapshot.top.clone(),
+            result: result.to_string(),
+            standings,
+            components: self.components(),
+            seal: 0,
+        };
+        view.seal = view.content_seal();
+        view
+    }
+
+    /// The frozen component mapping at the current state (cached between
+    /// builds until a component-affecting operation invalidates it).
+    pub fn components(&mut self) -> Arc<UserComponents> {
+        if let Some(cached) = &self.cached {
+            return Arc::clone(cached);
+        }
+        let users: Vec<ElementId> = self.parent.keys().copied().collect();
+        let mut component = HashMap::with_capacity(users.len());
+        for user in users {
+            let root = self.find(user);
+            component.insert(user, root);
+        }
+        let frozen = Arc::new(UserComponents { component });
+        self.cached = Some(Arc::clone(&frozen));
+        frozen
+    }
+
+    fn add_user(&mut self, user: ElementId) {
+        self.parent.entry(user).or_insert(user);
+        self.adjacency.entry(user).or_default();
+    }
+
+    fn add_friendship(&mut self, a: ElementId, b: ElementId) {
+        self.add_user(a);
+        self.add_user(b);
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+        self.union(a, b);
+        self.cached = None;
+    }
+
+    /// Iterative find with path compression. Unknown ids are registered as
+    /// singletons first, so `find` is total.
+    fn find(&mut self, user: ElementId) -> ElementId {
+        self.parent.entry(user).or_insert(user);
+        let mut root = user;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // path compression: point every node on the walk straight at the root
+        let mut cursor = user;
+        while cursor != root {
+            let next = self.parent.insert(cursor, root).unwrap_or(root);
+            cursor = next;
+        }
+        root
+    }
+
+    /// Union by id: the larger root is attached under the smaller, so a
+    /// component's root is always its minimum user id — a deterministic
+    /// component id independent of insertion order.
+    fn union(&mut self, a: ElementId, b: ElementId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(large, small);
+    }
+
+    fn rebuild_from_adjacency(&mut self) {
+        let users: Vec<ElementId> = self.adjacency.keys().copied().collect();
+        self.parent = users.iter().map(|&u| (u, u)).collect();
+        let edges: Vec<(ElementId, ElementId)> = self
+            .adjacency
+            .iter()
+            .flat_map(|(&a, peers)| peers.iter().map(move |&b| (a, b)))
+            .collect();
+        for (a, b) in edges {
+            self.union(a, b);
+        }
+        self.cached = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Publication chain
+// ---------------------------------------------------------------------------
+
+/// One link of the publication chain. `next` is written exactly once (by the
+/// single publisher) and read with a single atomic acquire-load by any number
+/// of readers — the `OnceLock` comes from the [`crate::sync`] facade, so the
+/// model checker can explore the publish/read race.
+struct Node {
+    view: Arc<QueryView>,
+    next: OnceLock<Arc<Node>>,
+}
+
+impl Drop for Node {
+    /// Iterative teardown of the retired suffix this node uniquely owns.
+    ///
+    /// Without this, dropping the last cursor behind a long-retired prefix
+    /// would recurse once per chained node and overflow the stack. The loop
+    /// detaches each `next` link first (`take` needs `&mut`, which
+    /// `Arc::try_unwrap` proves is exclusive), so the node dropped at the end
+    /// of each iteration has no tail to recurse into. The walk stops at the
+    /// first node another reader (or the publisher) still holds.
+    fn drop(&mut self) {
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Arc::try_unwrap(node) {
+                Ok(mut sole) => next = sole.next.take(),
+                Err(_shared) => break,
+            }
+        }
+    }
+}
+
+/// The write-side handle: appends one frozen view per merged batch to the
+/// publication chain.
+///
+/// Not `Clone` — single-publisher is a protocol invariant (each engine run
+/// has exactly one merge stage), and `publish` taking `&mut self` makes the
+/// invariant structural.
+pub struct ViewPublisher {
+    head: Arc<Node>,
+}
+
+impl ViewPublisher {
+    /// Publish `view` as the new latest snapshot. One release-store; readers
+    /// observe either the previous chain head or the fully frozen new view,
+    /// never anything in between.
+    pub fn publish(&mut self, view: QueryView) {
+        let node = Arc::new(Node {
+            view: Arc::new(view),
+            next: OnceLock::new(),
+        });
+        // Infallible under the single-publisher invariant (`&mut self`, not
+        // `Clone`); if it ever failed the chain head simply would not
+        // advance, which is safe — readers keep the previous view.
+        if self.head.next.set(Arc::clone(&node)).is_ok() {
+            self.head = node;
+        }
+    }
+
+    /// The most recently published view.
+    pub fn latest(&self) -> Arc<QueryView> {
+        Arc::clone(&self.head.view)
+    }
+
+    /// Mint a new reader positioned at the current latest view. Readers are
+    /// also `Clone`, so either side can fan out.
+    pub fn subscribe(&self) -> ViewReader {
+        ViewReader {
+            cursor: Arc::clone(&self.head),
+        }
+    }
+}
+
+/// A read-side cursor into the publication chain.
+///
+/// Reading ([`ViewReader::view`]) is wait-free: an `Arc` clone of the frozen
+/// snapshot the cursor points at. Advancing ([`ViewReader::try_advance`],
+/// [`ViewReader::latest`]) is lock-free: each step is one atomic load of a
+/// write-once `next` link. Cloning a reader clones the cursor position.
+/// Epochs observed through one reader never decrease (monotonic reads).
+#[derive(Clone)]
+pub struct ViewReader {
+    cursor: Arc<Node>,
+}
+
+impl ViewReader {
+    /// The view at the cursor, without advancing. Wait-free.
+    pub fn view(&self) -> Arc<QueryView> {
+        Arc::clone(&self.cursor.view)
+    }
+
+    /// Advance one published view if a newer one exists. Returns `true` if
+    /// the cursor moved. Lock-free: a single atomic load.
+    pub fn try_advance(&mut self) -> bool {
+        // borrow-split: `get` borrows the cursor we are about to replace
+        let next = self.cursor.next.get().map(Arc::clone);
+        match next {
+            Some(node) => {
+                self.cursor = node;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advance to the newest published view and return it.
+    pub fn latest(&mut self) -> Arc<QueryView> {
+        while self.try_advance() {}
+        self.view()
+    }
+
+    /// The epoch at the cursor (shorthand for `view().epoch()`).
+    pub fn epoch(&self) -> u64 {
+        self.cursor.view.epoch
+    }
+}
+
+/// Create a publication chain seeded with `genesis` (normally
+/// [`ViewBuilder::genesis`]) and return the single publisher plus an initial
+/// reader positioned at the genesis view.
+pub fn view_channel(genesis: QueryView) -> (ViewPublisher, ViewReader) {
+    let head = Arc::new(Node {
+        view: Arc::new(genesis),
+        next: OnceLock::new(),
+    });
+    let reader = ViewReader {
+        cursor: Arc::clone(&head),
+    };
+    (ViewPublisher { head }, reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{paper_example_changeset, paper_example_network};
+    use crate::top_k::RankedEntry;
+    use std::sync::Weak;
+
+    fn entry(score: u64, timestamp: u64, id: ElementId) -> RankedEntry {
+        RankedEntry {
+            score,
+            timestamp,
+            id,
+        }
+    }
+
+    fn snapshot(top: Vec<RankedEntry>, extra: Vec<RankedEntry>) -> CandidateSnapshot {
+        let mut candidates = top.clone();
+        candidates.extend(extra);
+        CandidateSnapshot { top, candidates }
+    }
+
+    #[test]
+    fn genesis_is_epoch_zero_and_sealed() {
+        let builder = ViewBuilder::new(Query::Q1);
+        let genesis = builder.genesis();
+        assert_eq!(genesis.epoch(), 0);
+        assert_eq!(genesis.batch(), None);
+        assert_eq!(genesis.result(), "");
+        assert!(genesis.entries().is_empty());
+        assert!(genesis.verify_seal());
+    }
+
+    #[test]
+    fn build_assigns_increasing_epochs_and_ranks() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let snap = snapshot(
+            vec![entry(30, 5, 10), entry(20, 4, 11)],
+            vec![entry(5, 1, 12)],
+        );
+        let first = builder.build(None, &snap, "10|11");
+        let second = builder.build(Some(0), &snap, "10|11");
+        assert_eq!(first.epoch(), 1);
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(second.batch(), Some(0));
+
+        assert_eq!(
+            first.standing(10),
+            Some(Standing {
+                score: 30,
+                timestamp: 5,
+                rank: Some(1)
+            })
+        );
+        assert_eq!(first.standing(11).and_then(|s| s.rank), Some(2));
+        // candidate outside the top-k: tracked, unranked
+        assert_eq!(
+            first.standing(12),
+            Some(Standing {
+                score: 5,
+                timestamp: 1,
+                rank: None
+            })
+        );
+        assert_eq!(first.standing(99), None);
+        assert_eq!(first.candidate_count(), 3);
+        assert!(first.verify_seal() && second.verify_seal());
+    }
+
+    #[test]
+    fn seal_detects_tampering() {
+        let mut builder = ViewBuilder::new(Query::Q2);
+        let mut view = builder.build(None, &snapshot(vec![entry(1, 1, 1)], vec![]), "1");
+        assert!(view.verify_seal());
+        view.result = "1|2".to_string();
+        assert!(!view.verify_seal());
+    }
+
+    #[test]
+    fn components_follow_the_paper_example() {
+        let mut builder = ViewBuilder::new(Query::Q2);
+        builder.observe_initial(&paper_example_network());
+        let components = builder.components();
+        // the paper's example network: friendships (101,102), (102,103),
+        // (103,104) chain users 101-104 into one component rooted at 101
+        assert_eq!(components.component_of(101), Some(101));
+        assert_eq!(components.component_of(104), Some(101));
+        assert!(components.connected(103, 104));
+        assert_eq!(components.user_count(), 4);
+        assert_eq!(components.component_count(), 1);
+        assert!(!components.connected(101, 999));
+        assert_eq!(components.component_of(999), None);
+    }
+
+    #[test]
+    fn component_ids_are_minimum_member_ids_regardless_of_order() {
+        for edges in [
+            vec![(7, 3), (3, 9)],
+            vec![(3, 9), (7, 3)],
+            vec![(9, 7), (7, 3)],
+        ] {
+            let mut builder = ViewBuilder::new(Query::Q2);
+            for (a, b) in edges {
+                let changes = ChangeSet {
+                    operations: vec![ChangeOperation::AddFriendship { a, b }],
+                };
+                builder.observe_batch(&changes);
+            }
+            let components = builder.components();
+            for user in [3, 7, 9] {
+                assert_eq!(components.component_of(user), Some(3));
+            }
+        }
+    }
+
+    #[test]
+    fn friendship_removal_rebuilds_components() {
+        let mut builder = ViewBuilder::new(Query::Q2);
+        let add = ChangeSet {
+            operations: vec![
+                ChangeOperation::AddFriendship { a: 1, b: 2 },
+                ChangeOperation::AddFriendship { a: 2, b: 3 },
+            ],
+        };
+        builder.observe_batch(&add);
+        assert!(builder.components().connected(1, 3));
+
+        let remove = ChangeSet {
+            operations: vec![ChangeOperation::RemoveFriendship { a: 2, b: 3 }],
+        };
+        builder.observe_batch(&remove);
+        let components = builder.components();
+        assert!(components.connected(1, 2));
+        assert!(!components.connected(1, 3));
+        assert_eq!(components.component_of(3), Some(3));
+        assert_eq!(components.component_count(), 2);
+    }
+
+    #[test]
+    fn observe_batch_applies_the_paper_changeset() {
+        let mut builder = ViewBuilder::new(Query::Q2);
+        builder.observe_initial(&paper_example_network());
+        builder.observe_batch(&paper_example_changeset());
+        let components = builder.components();
+        assert_eq!(components.user_count(), 4);
+        assert_eq!(components.component_count(), 1);
+    }
+
+    #[test]
+    fn readers_observe_published_views_in_order() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, mut reader) = view_channel(builder.genesis());
+        assert_eq!(reader.epoch(), 0);
+        assert!(!reader.try_advance());
+
+        let snap = snapshot(vec![entry(10, 1, 7)], vec![]);
+        publisher.publish(builder.build(None, &snap, "7"));
+        publisher.publish(builder.build(Some(0), &snap, "7"));
+
+        // a cloned reader advances independently of the original
+        let mut behind = reader.clone();
+        assert_eq!(reader.latest().epoch(), 2);
+        assert_eq!(behind.epoch(), 0);
+        assert!(behind.try_advance());
+        assert_eq!(behind.view().epoch(), 1);
+        assert_eq!(behind.view().batch(), None);
+        assert!(behind.try_advance());
+        assert!(!behind.try_advance());
+        assert_eq!(publisher.latest().epoch(), 2);
+        assert_eq!(publisher.subscribe().epoch(), 2);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_through_one_reader() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, mut reader) = view_channel(builder.genesis());
+        let snap = snapshot(vec![entry(1, 1, 1)], vec![]);
+        let mut seen = vec![reader.view().epoch()];
+        for batch in 0..5 {
+            publisher.publish(builder.build(Some(batch), &snap, "1"));
+            reader.try_advance();
+            seen.push(reader.view().epoch());
+        }
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "{seen:?}");
+        assert_eq!(reader.latest().epoch(), 5);
+    }
+
+    #[test]
+    fn retired_views_are_reclaimed_once_readers_move_past_them() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, mut reader) = view_channel(builder.genesis());
+        let snap = snapshot(vec![entry(1, 1, 1)], vec![]);
+
+        publisher.publish(builder.build(Some(0), &snap, "1"));
+        let retired: Weak<QueryView> = Arc::downgrade(&reader.latest());
+        assert!(retired.upgrade().is_some());
+
+        publisher.publish(builder.build(Some(1), &snap, "1"));
+        reader.latest();
+        // no cursor points at epoch 1 anymore; the Arc chain frees it
+        assert!(retired.upgrade().is_none());
+    }
+
+    #[test]
+    fn dropping_a_reader_far_behind_a_long_chain_does_not_overflow() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, reader) = view_channel(builder.genesis());
+        let snap = CandidateSnapshot::default();
+        for batch in 0..100_000 {
+            publisher.publish(builder.build(Some(batch), &snap, ""));
+        }
+        // the publisher holds only the head; this reader uniquely owns the
+        // 100k-node retired prefix, whose teardown must be iterative
+        drop(publisher);
+        drop(reader);
+    }
+
+    #[test]
+    fn late_subscribers_start_at_the_latest_view() {
+        let mut builder = ViewBuilder::new(Query::Q2);
+        let (mut publisher, _genesis_reader) = view_channel(builder.genesis());
+        let snap = CandidateSnapshot::default();
+        publisher.publish(builder.build(None, &snap, ""));
+        publisher.publish(builder.build(Some(0), &snap, ""));
+        let mut late = publisher.subscribe();
+        assert_eq!(late.epoch(), 2);
+        assert!(!late.try_advance());
+    }
+}

@@ -625,6 +625,12 @@ impl ShardMerger {
         }
         self.tracker.format()
     }
+
+    /// The global top-k after the most recent merge, best first — the ranked
+    /// material [`crate::serve::QueryView`]s are frozen from.
+    pub fn current(&self) -> &[RankedEntry] {
+        self.tracker.current()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1134,6 +1140,18 @@ impl Solution for ShardedSolution {
         // merged, and the next batch sees the (possibly migrated) new ownership
         self.maybe_rebalance();
         result
+    }
+
+    fn candidate_snapshot(&self) -> Option<crate::serve::CandidateSnapshot> {
+        let candidates: Vec<RankedEntry> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.candidates().iter().copied())
+            .collect();
+        Some(crate::serve::CandidateSnapshot {
+            top: self.merger.current().to_vec(),
+            candidates,
+        })
     }
 }
 

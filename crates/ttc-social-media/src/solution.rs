@@ -40,6 +40,19 @@ pub trait Solution {
 
     /// Apply one changeset and return the re-evaluated query result (`id|id|id`).
     fn update_and_reevaluate(&mut self, changeset: &ChangeSet) -> String;
+
+    /// The ranked material the read path freezes into a
+    /// [`crate::serve::QueryView`]: the current top-k plus the tracked
+    /// candidate pool.
+    ///
+    /// The default is `None` — solutions without an inspectable candidate
+    /// tracker are still servable, but their views carry only the rendered
+    /// result string (see `DESIGN.md` §8). [`crate::shard::ShardedSolution`]
+    /// overrides this with its merger's global top-k and the union of the
+    /// per-shard candidate lists.
+    fn candidate_snapshot(&self) -> Option<crate::serve::CandidateSnapshot> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------

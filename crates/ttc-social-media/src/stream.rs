@@ -226,6 +226,41 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Write-side callbacks fired as a [`StreamDriver`] run advances, after the
+/// load phase and after every applied batch (warm-up included).
+///
+/// This is the hook the serving layer uses to publish one
+/// [`crate::serve::QueryView`] per batch from the synchronous engine without
+/// the driver knowing anything about publication: the observer sees the
+/// coalesced changeset that was applied, the rendered result, and the
+/// solution (for [`Solution::candidate_snapshot`]). Timing is captured
+/// *before* the observer runs, so observation cost never pollutes the
+/// latency percentiles.
+pub trait RunObserver {
+    /// The initial network was loaded and evaluated to `result`.
+    fn loaded(&mut self, initial: &SocialNetwork, result: &str, solution: &dyn Solution);
+
+    /// Batch `seq` (0-based, counting warm-up batches too) was applied and
+    /// re-evaluated to `result`. `changes` is the changeset exactly as the
+    /// solution saw it (coalesced if the driver coalesces).
+    fn applied(&mut self, seq: u64, changes: &ChangeSet, result: &str, solution: &dyn Solution);
+}
+
+/// Observer that ignores every event — the default for unobserved runs.
+struct NoopObserver;
+
+impl RunObserver for NoopObserver {
+    fn loaded(&mut self, _initial: &SocialNetwork, _result: &str, _solution: &dyn Solution) {}
+    fn applied(
+        &mut self,
+        _seq: u64,
+        _changes: &ChangeSet,
+        _result: &str,
+        _solution: &dyn Solution,
+    ) {
+    }
+}
+
 /// Drives micro-batches from an update stream through a [`Solution`], measuring
 /// per-batch latency. See the [module documentation](self).
 #[derive(Clone, Debug, Default)]
@@ -260,13 +295,29 @@ impl StreamDriver {
         &self,
         solution: &mut dyn Solution,
         initial: &SocialNetwork,
+        stream: impl Iterator<Item = ChangeSet>,
+        batches: usize,
+    ) -> (StreamReport, Vec<String>) {
+        self.run_with_observer(solution, initial, stream, batches, &mut NoopObserver)
+    }
+
+    /// Like [`StreamDriver::run_with_results`], with a [`RunObserver`]
+    /// notified after the load and after every applied batch (warm-up
+    /// included) — the synchronous engine's entry point for view publication.
+    pub fn run_with_observer(
+        &self,
+        solution: &mut dyn Solution,
+        initial: &SocialNetwork,
         mut stream: impl Iterator<Item = ChangeSet>,
         batches: usize,
+        observer: &mut dyn RunObserver,
     ) -> (StreamReport, Vec<String>) {
         let load_start = Instant::now();
         let mut result = solution.load_and_initial(initial);
         let load_secs = load_start.elapsed().as_secs_f64();
+        observer.loaded(initial, &result, solution);
 
+        let mut seq = 0u64;
         for _ in 0..self.config.warmup_batches {
             if let Some(batch) = stream.next() {
                 let batch = if self.config.coalesce {
@@ -274,7 +325,9 @@ impl StreamDriver {
                 } else {
                     batch
                 };
-                solution.update_and_reevaluate(&batch);
+                let warm_result = solution.update_and_reevaluate(&batch);
+                observer.applied(seq, &batch, &warm_result, solution);
+                seq += 1;
             }
         }
 
@@ -294,6 +347,8 @@ impl StreamDriver {
             let start = Instant::now();
             result = solution.update_and_reevaluate(&batch);
             latencies.push(start.elapsed().as_secs_f64());
+            observer.applied(seq, &batch, &result, solution);
+            seq += 1;
             results.push(result.clone());
             measured += 1;
         }

@@ -1,8 +1,9 @@
 //! Synchronization facade for the concurrency-critical modules.
 //!
-//! [`crate::pipeline`] and [`crate::recovery`] take every synchronization
-//! primitive — `Mutex`, mpsc channels, `thread::spawn`/`sleep`, panic
-//! containment — from this module instead of `std` directly. In a normal
+//! [`crate::pipeline`], [`crate::recovery`] and [`crate::serve`] take every
+//! synchronization primitive — `Mutex`, `OnceLock`, mpsc channels,
+//! `thread::spawn`/`sleep`, panic containment — from this module instead of
+//! `std` directly. In a normal
 //! build the facade is a set of zero-cost `pub use` re-exports of the `std`
 //! items, so production code is byte-for-byte what it was before the facade
 //! existed. With the `model-check` feature the same paths resolve to the
@@ -20,7 +21,7 @@ pub use std::sync::Arc;
 
 #[cfg(not(feature = "model-check"))]
 mod imp {
-    pub use std::sync::{Mutex, MutexGuard};
+    pub use std::sync::{Mutex, MutexGuard, OnceLock};
 
     /// Multi-producer single-consumer channels (std in this build).
     pub mod mpsc {
@@ -43,7 +44,7 @@ mod imp {
 
 #[cfg(feature = "model-check")]
 mod imp {
-    pub use loomette::sync::{Mutex, MutexGuard};
+    pub use loomette::sync::{Mutex, MutexGuard, OnceLock};
 
     /// Multi-producer single-consumer channels (loomette shadows in this build).
     pub mod mpsc {

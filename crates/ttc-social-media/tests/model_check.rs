@@ -149,6 +149,48 @@ mod clean {
         );
     }
 
+    /// Explore a serve-armed schedule: the pipelined engine with the
+    /// epoch-published read path on and a bounded reader thread interleaved
+    /// with publish/kill/respawn (see `check_pipeline_run_with_reader`).
+    /// The 2-batch schedules below exhaust their bound-0 spaces in ~10–18k
+    /// executions (the fixed-poll reader adds a thread but no blocking ops),
+    /// so a clean, complete exploration is required.
+    fn explore_serve(kills: Vec<(usize, u64)>, batches: usize) -> loomette::Report {
+        let network = toy_network();
+        let batches = toy_batches(batches);
+        let expected = reference_results(&network, &batches);
+        let config = pipeline_config(kills, 2);
+        let report = loomette::explore(mc_config(), || {
+            check_pipeline_run_with_reader(&network, &batches, &expected, &config)
+        });
+        if let Some(violation) = &report.violation {
+            panic!("{violation}");
+        }
+        assert!(
+            report.complete,
+            "exploration must exhaust the bounded interleaving space: {report}"
+        );
+        report
+    }
+
+    /// Serve satellite, clean half: a concurrent reader over a 2-batch
+    /// schedule without kills — no torn view, monotonic epochs, contiguous
+    /// publication chain in every explored interleaving.
+    #[test]
+    fn serve_reader_interleaved_with_publishes_is_clean() {
+        let report = explore_serve(vec![], 2);
+        println!("serve reader, 2 batches, no kills: {report}");
+    }
+
+    /// Serve satellite, crash half: the reader keeps observing sealed,
+    /// monotonic views while shard 1 is killed and respawned mid-stream, and
+    /// the chain still ends contiguous — publication survives recovery.
+    #[test]
+    fn serve_reader_survives_a_kill_and_respawn() {
+        let report = explore_serve(vec![(1, 1)], 2);
+        println!("serve reader, 2 batches x kill(1,1): {report}");
+    }
+
     /// The toy evaluator itself, outside the model: pipelined (std threads)
     /// equals the synchronous reference on the scripted batches.
     #[test]

@@ -261,3 +261,72 @@ fn check_pipeline_run(
         "every crash must be restored exactly once"
     );
 }
+
+/// Like [`check_pipeline_run`], but with the epoch-published read path armed
+/// and a concurrent reader interleaved with publish, kill, and respawn.
+///
+/// The reader performs a *fixed* number of non-blocking polls (a spinning
+/// reader would multiply the per-execution op count and blow the exploration
+/// budget), asserting on every observed view that the seal verifies (no torn
+/// view) and that epochs never decrease (monotonic reads). After the run the
+/// full chain is drained from genesis: epochs must be contiguous — every
+/// batch published exactly once, even across worker crashes — and the tail
+/// view must carry the final merged result (read-your-writes at the tail).
+#[allow(dead_code)] // used by tests/model_check.rs; `mc_probe` shares this file via include!
+fn check_pipeline_run_with_reader(
+    network: &SocialNetwork,
+    batches: &[ChangeSet],
+    expected: &[String],
+    config: &PipelineConfig,
+) {
+    let kills = config.kill_shards.len() as u64;
+    let mut engine = PipelinedEngine::new(Box::new(ToyFactory), 2, config.clone());
+    let mut reader = engine.serve_views();
+    let mut probe = reader.clone();
+    let poller = ttc_social_media::sync::thread::spawn(move || {
+        let mut last = probe.view().epoch();
+        for _ in 0..4 {
+            let view = probe.latest();
+            assert!(view.verify_seal(), "torn view at epoch {}", view.epoch());
+            assert!(view.epoch() >= last, "monotonic reads violated");
+            last = view.epoch();
+        }
+        last
+    });
+
+    let mut stream = batches.iter().cloned();
+    let report = engine
+        .run(network, &mut stream, batches.len())
+        .expect("recovery must complete the run in every interleaving");
+    assert_eq!(report.results, expected, "merged results diverged");
+    let recovery = report
+        .pipeline
+        .expect("pipelined engine reports stats")
+        .recovery
+        .expect("recovery was configured");
+    assert_eq!(recovery.crashes, kills, "every kill is a crash");
+    assert_eq!(
+        recovery.restores, recovery.crashes,
+        "every crash must be restored exactly once"
+    );
+
+    let final_epoch = 1 + batches.len() as u64;
+    let seen = poller.join().expect("the reader must not observe a violation");
+    assert!(seen <= final_epoch, "reader ran ahead of the publications");
+
+    // Drain the whole chain from genesis: exactly one sealed view per epoch.
+    let mut epoch = reader.view().epoch();
+    assert_eq!(epoch, 0, "the pre-run subscriber starts at genesis");
+    while reader.try_advance() {
+        let view = reader.view();
+        assert!(view.verify_seal(), "torn view at epoch {}", view.epoch());
+        assert_eq!(view.epoch(), epoch + 1, "publication gap");
+        epoch = view.epoch();
+    }
+    assert_eq!(epoch, final_epoch, "every batch published exactly once");
+    assert_eq!(
+        reader.view().result(),
+        expected.last().map(String::as_str).unwrap_or_default(),
+        "the final view must serve the final merged result"
+    );
+}

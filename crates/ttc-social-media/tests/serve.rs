@@ -1,0 +1,346 @@
+//! Integration tests of the epoch-published read path (`ttc_social_media::serve`)
+//! through both engines.
+//!
+//! Every consistency claim in `DESIGN.md` §8's per-engine table is backed by a
+//! named test here (or a model-check schedule in `tests/model_check.rs`):
+//!
+//! * Sync engine, freshness lag 0 / read-your-writes —
+//!   [`sync_engine_publishes_every_batch_in_order`]
+//! * Sync engine, per-entity lookups —
+//!   [`sync_engine_views_carry_standings_and_components`]
+//! * Pipelined engine, final-view freshness —
+//!   [`pipelined_engine_final_view_matches_final_result`]
+//! * Monotonic reads under concurrent readers —
+//!   [`concurrent_readers_observe_monotonic_sealed_views`]
+//! * Engine equivalence of served results —
+//!   [`pipelined_serve_matches_sync_serve_results`]
+//! * Publication under crash recovery —
+//!   [`views_under_recovery_stay_contiguous_and_sealed`]
+//! * Result-only fallback for snapshot-less solutions —
+//!   [`unranked_solutions_serve_result_only_views`]
+//! * Reclamation / chain survival past engine teardown —
+//!   [`views_outlive_the_engine_that_published_them`]
+
+use datagen::stream::{StreamConfig, UpdateStream};
+use datagen::{generate_workload, ChangeSet, GeneratorConfig, SocialNetwork};
+use ttc_social_media::model::Query;
+use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelinedEngine, SyncEngine};
+use ttc_social_media::recovery::RecoveryConfig;
+use ttc_social_media::serve::QueryView;
+use ttc_social_media::shard::{ShardBackend, ShardedSolution};
+use ttc_social_media::solution::GraphBlasIncremental;
+use ttc_social_media::stream::{StreamDriver, StreamDriverConfig};
+use ttc_social_media::ViewReader;
+
+fn network(seed: u64) -> SocialNetwork {
+    generate_workload(&GeneratorConfig::tiny(seed)).initial
+}
+
+fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 12,
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+fn sync_engine(warmup: usize) -> SyncEngine {
+    SyncEngine::new(
+        StreamDriver::new(StreamDriverConfig {
+            warmup_batches: warmup,
+            coalesce: true,
+        }),
+        Box::new(ShardedSolution::new(
+            Query::Q1,
+            ShardBackend::Incremental,
+            2,
+        )),
+    )
+}
+
+/// Drain the full publication chain through `reader`, verifying every view's
+/// seal along the way.
+fn drain(reader: &mut ViewReader) -> Vec<std::sync::Arc<QueryView>> {
+    let mut views = vec![reader.view()];
+    while reader.try_advance() {
+        views.push(reader.view());
+    }
+    for view in &views {
+        assert!(view.verify_seal(), "torn view at epoch {}", view.epoch());
+    }
+    views
+}
+
+#[test]
+fn sync_engine_publishes_every_batch_in_order() {
+    let initial = network(11);
+    let stream = batches(&initial, 12, 8);
+    let mut engine = sync_engine(2);
+    let mut reader = engine.serve_views();
+
+    let report = engine
+        .run(&initial, &mut stream.clone().into_iter(), 6)
+        .expect("sync engine cannot truncate");
+
+    let views = drain(&mut reader);
+    // genesis + initial + 8 applied batches (2 warm-up + 6 measured)
+    assert_eq!(views.len(), 10);
+    for (i, view) in views.iter().enumerate() {
+        assert_eq!(view.epoch(), i as u64, "contiguous epochs");
+    }
+    assert_eq!(views[0].batch(), None);
+    assert_eq!(views[1].batch(), None); // initial evaluation
+    for (seq, view) in views[2..].iter().enumerate() {
+        assert_eq!(view.batch(), Some(seq as u64), "batch tags follow seq");
+    }
+
+    // read-your-writes per batch: the view published for measured batch t
+    // carries exactly the result the engine reported for t (warm-up offset 2)
+    for (t, result) in report.results.iter().enumerate() {
+        assert_eq!(views[2 + 2 + t].result(), result);
+    }
+    assert_eq!(
+        views.last().expect("non-empty").result(),
+        report.stream.final_result,
+        "freshness: the last view is the final result"
+    );
+}
+
+#[test]
+fn sync_engine_views_carry_standings_and_components() {
+    let initial = network(21);
+    let stream = batches(&initial, 22, 5);
+    let mut engine = sync_engine(0);
+    let mut reader = engine.serve_views();
+    engine
+        .run(&initial, &mut stream.into_iter(), 5)
+        .expect("sync engine cannot truncate");
+
+    let view = reader.latest();
+    assert!(view.verify_seal());
+    assert_eq!(view.query(), Query::Q1);
+
+    // the top-k entries re-render to the published result, and each has a
+    // standing with its 1-based rank
+    let rendered: Vec<String> = view.entries().iter().map(|e| e.id.to_string()).collect();
+    assert_eq!(rendered.join("|"), view.result());
+    for (i, entry) in view.entries().iter().enumerate() {
+        let standing = view.standing(entry.id).expect("top entries have standings");
+        assert_eq!(standing.rank, Some(i + 1));
+        assert_eq!(standing.score, entry.score);
+    }
+    assert!(view.candidate_count() >= view.entries().len());
+
+    // every user of the initial network has a component id, and component ids
+    // are themselves user ids (the minimum member)
+    let components = view.components();
+    assert!(components.user_count() >= initial.users.len());
+    for user in &initial.users {
+        let root = components.component_of(user.id).expect("known user");
+        assert!(components.component_of(root).is_some());
+        assert!(root <= user.id);
+    }
+}
+
+#[test]
+fn pipelined_engine_final_view_matches_final_result() {
+    let initial = network(31);
+    let stream = batches(&initial, 32, 10);
+    let mut engine = PipelinedEngine::graphblas(
+        Query::Q1,
+        ShardBackend::Incremental,
+        2,
+        PipelineConfig {
+            warmup_batches: 3,
+            ..PipelineConfig::default()
+        },
+    );
+    let mut reader = engine.serve_views();
+    let report = engine
+        .run(&initial, &mut stream.into_iter(), 7)
+        .expect("no chaos injected");
+
+    let views = drain(&mut reader);
+    // genesis + initial + 10 merged batches (3 warm-up + 7 measured)
+    assert_eq!(views.len(), 12);
+    let last = views.last().expect("non-empty");
+    assert_eq!(last.result(), report.stream.final_result);
+    assert_eq!(last.batch(), Some(9));
+    // measured results are served verbatim (warm-up offset 3 after the two
+    // pre-batch views)
+    for (t, result) in report.results.iter().enumerate() {
+        assert_eq!(views[2 + 3 + t].result(), result);
+    }
+}
+
+#[test]
+fn concurrent_readers_observe_monotonic_sealed_views() {
+    let initial = network(41);
+    let stream = batches(&initial, 42, 12);
+    let mut engine = PipelinedEngine::graphblas(
+        Query::Q2,
+        ShardBackend::Incremental,
+        2,
+        PipelineConfig::default(),
+    );
+    let reader = engine.serve_views();
+
+    // readers poll the chain concurrently with the whole pipelined run
+    let mut polls = Vec::new();
+    for _ in 0..2 {
+        let mut own = reader.clone();
+        polls.push(std::thread::spawn(move || {
+            let mut last = own.view().epoch();
+            let mut observed = 1usize;
+            loop {
+                let view = own.latest();
+                assert!(view.verify_seal(), "torn view at epoch {}", view.epoch());
+                assert!(view.epoch() >= last, "monotonic reads violated");
+                last = view.epoch();
+                observed += 1;
+                // 13 = initial view + 12 batches: the run is over
+                if view.epoch() == 13 {
+                    return (last, observed);
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    engine
+        .run(&initial, &mut stream.into_iter(), 12)
+        .expect("no chaos injected");
+    for poll in polls {
+        let (last, observed) = poll.join().expect("reader thread");
+        assert_eq!(last, 13);
+        assert!(observed >= 2);
+    }
+}
+
+#[test]
+fn pipelined_serve_matches_sync_serve_results() {
+    let initial = network(51);
+    let stream = batches(&initial, 52, 9);
+
+    let mut sync = sync_engine(0);
+    let mut sync_reader = sync.serve_views();
+    sync.run(&initial, &mut stream.clone().into_iter(), 9)
+        .expect("sync engine cannot truncate");
+
+    let mut pipelined = PipelinedEngine::graphblas(
+        Query::Q1,
+        ShardBackend::Incremental,
+        2,
+        PipelineConfig::default(),
+    );
+    let mut pipe_reader = pipelined.serve_views();
+    pipelined
+        .run(&initial, &mut stream.into_iter(), 9)
+        .expect("no chaos injected");
+
+    let sync_views = drain(&mut sync_reader);
+    let pipe_views = drain(&mut pipe_reader);
+    assert_eq!(sync_views.len(), pipe_views.len());
+    for (s, p) in sync_views.iter().zip(&pipe_views) {
+        assert_eq!(s.epoch(), p.epoch());
+        assert_eq!(s.batch(), p.batch());
+        assert_eq!(s.result(), p.result(), "served results diverged");
+        assert_eq!(
+            s.components().component_count(),
+            p.components().component_count()
+        );
+    }
+}
+
+#[test]
+fn views_under_recovery_stay_contiguous_and_sealed() {
+    let initial = network(61);
+    let stream = batches(&initial, 62, 10);
+    let mut engine = PipelinedEngine::graphblas(
+        Query::Q1,
+        ShardBackend::Incremental,
+        2,
+        PipelineConfig {
+            kill_shards: vec![(0, 4), (1, 7)],
+            recovery: Some(RecoveryConfig {
+                checkpoint_every: 3,
+            }),
+            ..PipelineConfig::default()
+        },
+    );
+    let mut reader = engine.serve_views();
+    let report = engine
+        .run(&initial, &mut stream.into_iter(), 10)
+        .expect("recovery restores killed workers");
+    let recovery = report
+        .pipeline
+        .as_ref()
+        .and_then(|p| p.recovery.as_ref())
+        .expect("recovery stats present");
+    assert_eq!(recovery.crashes, 2);
+
+    let views = drain(&mut reader);
+    assert_eq!(views.len(), 12, "every batch served exactly once");
+    for (i, view) in views.iter().enumerate() {
+        assert_eq!(view.epoch(), i as u64);
+    }
+    assert_eq!(
+        views.last().expect("non-empty").result(),
+        report.stream.final_result
+    );
+}
+
+#[test]
+fn unranked_solutions_serve_result_only_views() {
+    let initial = network(71);
+    let stream = batches(&initial, 72, 4);
+    // GraphBlasIncremental has no candidate_snapshot: views fall back to the
+    // rendered result, with empty entries/standings but live components
+    let mut engine = SyncEngine::new(
+        StreamDriver::new(StreamDriverConfig::default()),
+        Box::new(GraphBlasIncremental::new(Query::Q1, false)),
+    );
+    let mut reader = engine.serve_views();
+    let report = engine
+        .run(&initial, &mut stream.into_iter(), 4)
+        .expect("sync engine cannot truncate");
+
+    let view = reader.latest();
+    assert!(view.verify_seal());
+    assert_eq!(view.result(), report.stream.final_result);
+    assert!(view.entries().is_empty());
+    assert_eq!(view.candidate_count(), 0);
+    assert!(view.components().user_count() >= initial.users.len());
+}
+
+#[test]
+fn views_outlive_the_engine_that_published_them() {
+    let initial = network(81);
+    let stream = batches(&initial, 82, 3);
+    let mut engine = sync_engine(0);
+    let mut reader = engine.serve_views();
+    let report = engine
+        .run(&initial, &mut stream.into_iter(), 3)
+        .expect("sync engine cannot truncate");
+    drop(engine);
+
+    // the chain is kept alive by the reader alone; reads still work and the
+    // content is intact
+    let views = drain(&mut reader);
+    assert_eq!(views.len(), 5);
+    assert_eq!(
+        views.last().expect("non-empty").result(),
+        report.stream.final_result
+    );
+
+    // a second run of a fresh engine starts a fresh chain at epoch 0
+    let mut engine = sync_engine(0);
+    let fresh = engine.serve_views();
+    assert_eq!(fresh.view().epoch(), 0);
+}

@@ -12,7 +12,7 @@
 //!   reason is mandatory, so `cargo run -p xtask -- lint` passing means every
 //!   remaining panic site in library code is individually documented.
 //! * **index** — in the concurrency-critical modules (`pipeline.rs`,
-//!   `recovery.rs`, `sync.rs` of `ttc-social-media`), direct index
+//!   `recovery.rs`, `serve.rs`, `sync.rs` of `ttc-social-media`), direct index
 //!   expressions `x[i]` are panic sites too; use `.get()` or annotate with
 //!   `// lint: allow(index) — <reason>`.
 //! * **raw-send** — in the same strict modules, every channel `.send(…)` /
@@ -22,6 +22,10 @@
 //! * **lock-policy** — in the strict modules, every `.lock()` must state its
 //!   poisoning policy: the word "poison" must appear on the same line or in
 //!   the three lines above (a doc comment on a wrapper method counts).
+//! * **pub-doc** — the serving surface (`serve.rs`) is consumed by readers
+//!   outside the engine, so every public item in it must carry a `///` doc
+//!   comment. `#![warn(missing_docs)]` already nags; this rule makes the
+//!   contract a hard failure even when warnings are tolerated.
 //! * **crate-hygiene** — every crate in the workspace, vendored stand-ins
 //!   included, carries `#![forbid(unsafe_code)]` and crate-level `//!` docs
 //!   in its root module.
@@ -92,12 +96,17 @@ impl fmt::Display for Finding {
 }
 
 /// Modules under the full panic/index/send/lock regime: the crash-recovery
-/// protocol and its synchronization facade.
-const STRICT_MODULES: [&str; 3] = [
+/// protocol, the epoch-published read path, and their synchronization facade.
+const STRICT_MODULES: [&str; 4] = [
     "crates/ttc-social-media/src/pipeline.rs",
     "crates/ttc-social-media/src/recovery.rs",
+    "crates/ttc-social-media/src/serve.rs",
     "crates/ttc-social-media/src/sync.rs",
 ];
+
+/// Modules whose public API is read outside the engine and therefore must be
+/// documented item by item (the `pub-doc` rule).
+const DOC_MODULES: [&str; 1] = ["crates/ttc-social-media/src/serve.rs"];
 
 fn run_lint(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
@@ -150,6 +159,8 @@ struct FileScope {
     lib_code: bool,
     /// One of [`STRICT_MODULES`].
     strict: bool,
+    /// One of [`DOC_MODULES`]: public items must carry doc comments.
+    doc_strict: bool,
 }
 
 fn classify(rel: &str) -> FileScope {
@@ -161,6 +172,7 @@ fn classify(rel: &str) -> FileScope {
         first_party,
         lib_code,
         strict: STRICT_MODULES.contains(&rel),
+        doc_strict: DOC_MODULES.contains(&rel),
     }
 }
 
@@ -191,6 +203,21 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
                     ),
                 });
             }
+        }
+
+        if scope.doc_strict
+            && is_public_item(&line.code)
+            && !has_doc_above(&lines, idx)
+            && !allow("pub-doc")
+        {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: number,
+                rule: "pub-doc",
+                message: "public item without a `///` doc comment in a documented \
+                          module — document it or annotate `// lint: allow(pub-doc) — <reason>`"
+                    .to_string(),
+            });
         }
 
         if !scope.strict {
@@ -258,6 +285,47 @@ fn allows(lines: &[SplitLine], idx: usize, rule: &str) -> bool {
                 }
             }
         }
+    }
+    false
+}
+
+/// A line declaring a public item that needs its own doc comment: `pub fn`,
+/// `pub struct`, … Re-exports (`pub use`) and visibility-restricted items
+/// (`pub(crate)`, `pub(super)`) are documented at their definition site and
+/// are exempt, as are public struct fields (covered by the item's doc).
+fn is_public_item(code: &str) -> bool {
+    let trimmed = code.trim_start();
+    [
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub mod ",
+    ]
+    .iter()
+    .any(|p| trimmed.starts_with(p))
+}
+
+/// Whether the nearest content above `idx` — walking over attribute lines and
+/// plain `//` comments, which do not detach docs — is a `///` doc comment.
+/// A fully blank line breaks the attachment, mirroring rustdoc.
+fn has_doc_above(lines: &[SplitLine], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let comment = line.comment.trim_start();
+        if comment.starts_with("///") {
+            return true;
+        }
+        let code = line.code.trim();
+        if code.starts_with("#[") || (code.is_empty() && !comment.is_empty()) {
+            continue;
+        }
+        return false;
     }
     false
 }
@@ -565,6 +633,35 @@ mod tests {
         assert!(hits.iter().any(|h| h.contains("[lock-policy]")), "{hits:?}");
         let documented = "// on poison: recover via into_inner\nfn f() { let _ = m.lock(); }\n";
         assert!(lint_str(STRICT, documented).is_empty());
+    }
+
+    const DOC: &str = "crates/ttc-social-media/src/serve.rs";
+
+    #[test]
+    fn undocumented_public_items_in_the_serving_module_are_flagged() {
+        let hits = lint_str(DOC, "pub fn latest() {}\n");
+        assert!(hits.iter().any(|h| h.contains("[pub-doc]")), "{hits:?}");
+        // the same item outside a DOC_MODULES file passes
+        assert!(lint_str(LIB, "pub fn latest() {}\n").is_empty());
+    }
+
+    #[test]
+    fn documented_attributed_and_private_items_pass_pub_doc() {
+        assert!(lint_str(DOC, "/// Returns the view.\npub fn latest() {}\n").is_empty());
+        let attributed = "/// A sealed view.\n#[derive(Clone)]\npub struct QueryView;\n";
+        assert!(lint_str(DOC, attributed).is_empty());
+        assert!(lint_str(DOC, "fn private() {}\n").is_empty());
+        assert!(lint_str(DOC, "pub(crate) fn internal() {}\n").is_empty());
+    }
+
+    #[test]
+    fn a_blank_line_detaches_the_doc_comment() {
+        let detached = "/// Orphaned doc.\n\npub fn latest() {}\n";
+        let hits = lint_str(DOC, detached);
+        assert!(hits.iter().any(|h| h.contains("[pub-doc]")), "{hits:?}");
+        // a plain comment between doc and item does not detach it
+        let bridged = "/// Returns the view.\n// implementation note\npub fn latest() {}\n";
+        assert!(lint_str(DOC, bridged).is_empty());
     }
 
     #[test]

@@ -65,6 +65,9 @@ for seed in 7 42 1337; do
         --kill-shard 1 --recover --seed "$seed" > /dev/null
 done
 
+echo "==> serve_throughput --smoke (epoch-published read path under concurrent readers)"
+cargo run --release -p bench --bin serve_throughput -- --smoke > /dev/null
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

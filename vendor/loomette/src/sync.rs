@@ -18,8 +18,8 @@ use std::sync::Arc;
 use std::sync::{LockResult, PoisonError};
 
 use crate::rt::{
-    current_ctx, op_tag, Attempt, Ctx, Scheduler, OP_DROP, OP_LOCK, OP_RECV, OP_SEND, OP_TRY_SEND,
-    OP_UNLOCK,
+    current_ctx, op_tag, Attempt, Ctx, Scheduler, OP_DROP, OP_LOCK, OP_ONCE, OP_RECV, OP_SEND,
+    OP_TRY_SEND, OP_UNLOCK,
 };
 
 /// Return the active model context if `sched` belongs to it.
@@ -194,6 +194,134 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+struct OnceModel {
+    set: bool,
+    version: u64,
+}
+
+struct OnceCtl {
+    sched: Arc<Scheduler>,
+    id: u64,
+    model: std::sync::Mutex<OnceModel>,
+}
+
+impl OnceCtl {
+    // Poisoning policy: the model mutex only guards two plain integers that
+    // are kept consistent across panics; recover the guard unconditionally.
+    fn model(&self) -> std::sync::MutexGuard<'_, OnceModel> {
+        self.model.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A write-once cell with the same surface as [`std::sync::OnceLock`] (the
+/// subset the workspace uses: `get` / `set` / `take`), scheduled
+/// deterministically inside model executions.
+///
+/// `get` and `set` are yield points — the shadow half of the "one atomic
+/// store publishes, one atomic load observes" pattern the serve module's
+/// view chain is built on — so the explorer enumerates every ordering of a
+/// publisher's `set` against concurrent readers' `get`s. Neither operation
+/// ever blocks, exactly like the real primitive.
+pub struct OnceLock<T> {
+    ctl: Option<Arc<OnceCtl>>,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Create an empty cell; it binds to the model execution active at
+    /// creation time (if any).
+    pub fn new() -> Self {
+        let ctl = current_ctx().map(|ctx| {
+            Arc::new(OnceCtl {
+                id: ctx.sched.new_object(),
+                sched: ctx.sched,
+                model: std::sync::Mutex::new(OnceModel {
+                    set: false,
+                    version: 0,
+                }),
+            })
+        });
+        OnceLock {
+            ctl,
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Read the value if one has been published. Never blocks; under the model
+    /// the read is a yield point so the scheduler can order it against a
+    /// concurrent `set`.
+    pub fn get(&self) -> Option<&T> {
+        if let Some(ctl) = &self.ctl {
+            if let Some(ctx) = ctx_for(&ctl.sched) {
+                ctx.sched.op(ctx.tid, op_tag(OP_ONCE, ctl.id), || {
+                    let m = ctl.model();
+                    Attempt::Ready {
+                        value: (),
+                        obs: m.version,
+                        wake: Vec::new(),
+                    }
+                });
+            }
+        }
+        self.inner.get()
+    }
+
+    /// Publish a value; fails with `Err(value)` when one was already
+    /// published. Under the model the store is a yield point.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        if let Some(ctl) = &self.ctl {
+            if let Some(ctx) = ctx_for(&ctl.sched) {
+                ctx.sched.op(ctx.tid, op_tag(OP_ONCE, ctl.id), || {
+                    let mut m = ctl.model();
+                    if !m.set {
+                        m.set = true;
+                        m.version += 1;
+                    }
+                    Attempt::Ready {
+                        value: (),
+                        obs: m.version,
+                        wake: Vec::new(),
+                    }
+                });
+            }
+            // A model cell touched from a foreign thread falls through to the
+            // real store: there is no blocking semantics to simulate and no
+            // scheduling decision to record.
+        }
+        self.inner.set(value)
+    }
+
+    /// Remove and return the value, emptying the cell. Requires `&mut self`,
+    /// so no other thread can observe the cell concurrently — there is no
+    /// interleaving to explore and the shadow state is updated silently (the
+    /// drop-during-unwind path of view-chain reclamation relies on this
+    /// staying panic-safe).
+    pub fn take(&mut self) -> Option<T> {
+        if let Some(ctl) = &self.ctl {
+            let mut m = ctl.model();
+            m.set = false;
+            m.version += 1;
+        }
+        self.inner.take()
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
     }
 }
 

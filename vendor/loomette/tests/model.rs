@@ -187,3 +187,55 @@ fn primitives_pass_through_outside_a_model_execution() {
     assert_eq!(got, vec![0, 1, 2, 3]);
     worker.join().expect("no panic");
 }
+
+#[test]
+fn once_lock_publication_is_ordered_against_concurrent_reads() {
+    use loomette::sync::OnceLock;
+    // A publisher stores once; a reader polls twice. In every interleaving a
+    // read either misses (None) or sees the full published value — and once a
+    // read hits, later reads on the same cell hit too (the cell is monotone).
+    let report = explore(Config::default(), || {
+        let cell: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+        let writer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.set(0xfeed)
+                    .expect("single publisher never loses the set race");
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let first = cell.get().copied();
+                let second = cell.get().copied();
+                for v in [first, second] {
+                    assert!(v.is_none() || v == Some(0xfeed), "torn read: {v:?}");
+                }
+                assert!(
+                    !(first.is_some() && second.is_none()),
+                    "a published value must stay visible"
+                );
+            })
+        };
+        writer.join().expect("no panic");
+        reader.join().expect("no panic");
+        assert_eq!(cell.get().copied(), Some(0xfeed));
+    });
+    assert!(report.complete, "bounded space must exhaust: {report}");
+    assert!(report.violation.is_none(), "{report}");
+    // the reader really interleaves with the writer: both orders of the first
+    // read against the set are explored
+    assert!(report.executions > 1, "{report}");
+}
+
+#[test]
+fn once_lock_passes_through_outside_a_model_execution() {
+    use loomette::sync::OnceLock;
+    let mut cell: OnceLock<String> = OnceLock::new();
+    assert!(cell.get().is_none());
+    cell.set("v".to_string()).expect("first set wins");
+    assert!(cell.set("w".to_string()).is_err());
+    assert_eq!(cell.get().map(String::as_str), Some("v"));
+    assert_eq!(cell.take(), Some("v".to_string()));
+    assert!(cell.get().is_none());
+}
