@@ -1,16 +1,23 @@
 //! Ablation C (the paper's future-work item 1): how the matrix storage format affects
-//! update ingestion. Compares three ways of applying a stream of single-edge inserts:
+//! update ingestion. Compares four ways of applying a stream of single-edge inserts:
 //!
 //! * `csr_insert_tuples` — batch-merging each changeset into the CSR structure (what
 //!   the solution's `apply_changeset` does),
 //! * `csr_set_element` — naive per-element CSR insertion (shifts the tail arrays),
-//! * `dynamic_matrix` — the updatable [`graphblas::DynamicMatrix`] format with
-//!   per-row delta buffers and periodic compaction (a CPU-side stand-in for
-//!   faimGraph / Hornet).
+//! * `dynamic_matrix_sorted` — the updatable [`graphblas::DynamicMatrix`] with the
+//!   original dense sorted delta rows (every insert shifts the row tail),
+//! * `dynamic_matrix_gapped` — the same format with gap-slot delta rows
+//!   ([`graphblas::GappedList`]): inserts shift only to the nearest slack slot, wide
+//!   rows carry a learned position model (a CPU-side stand-in for faimGraph /
+//!   Hornet's per-block slack).
+//!
+//! Set `ABLATION_DYNMAT_QUICK` to bench the small size only (the bench-gate / CI
+//! smoke configuration). The gapped variant also prints its delta occupancy once per
+//! size, so the slack overhead behind the speedup is visible in the report.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphblas::ops_traits::First;
-use graphblas::{DynamicMatrix, Matrix};
+use graphblas::{DeltaLayout, DynamicMatrix, Matrix};
 
 /// Deterministic pseudo-random edge stream.
 fn edge_stream(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
@@ -32,10 +39,47 @@ fn base_matrix(n: usize) -> Matrix<u64> {
     Matrix::from_tuples(n, n, &tuples, First::new()).expect("indices in range")
 }
 
+/// Replay the update stream through a [`DynamicMatrix`] with the given delta layout.
+fn ingest_dynamic(base: &Matrix<u64>, updates: &[(usize, usize)], layout: DeltaLayout) -> usize {
+    let mut m = DynamicMatrix::with_layout(base.clone(), layout);
+    for &(r, c) in updates {
+        m.set(r, c, 1).unwrap();
+        m.maybe_compact();
+    }
+    m.nvals()
+}
+
 fn bench_update_ingestion(c: &mut Criterion) {
-    for &n in &[2_000usize, 10_000] {
+    let sizes: &[usize] = if std::env::var_os("ABLATION_DYNMAT_QUICK").is_some() {
+        &[2_000]
+    } else {
+        &[2_000, 10_000]
+    };
+    for &n in sizes {
         let base = base_matrix(n);
         let updates = edge_stream(n, 2_000, 17);
+
+        // report the gapped layout's delta occupancy (live / physical slots) right
+        // before the compaction threshold, so the slack cost is on record
+        {
+            let mut probe = DynamicMatrix::with_layout(base.clone(), DeltaLayout::Gapped);
+            for &(r, c) in &updates {
+                probe.set(r, c, 1).unwrap();
+                if probe.maybe_compact() {
+                    break;
+                }
+            }
+            let stats = probe.stats();
+            eprintln!(
+                "ablation_dynamic_matrix/n{n}: gapped delta occupancy {:.2} \
+                 ({} live / {} slots), {} compaction(s)",
+                stats.delta_occupancy(),
+                stats.delta_live,
+                stats.delta_slots,
+                stats.compactions
+            );
+        }
+
         let mut group = c.benchmark_group(format!("ablation_dynamic_matrix/n{n}"));
         group.sample_size(10);
 
@@ -62,15 +106,12 @@ fn bench_update_ingestion(c: &mut Criterion) {
             })
         });
 
-        group.bench_with_input(BenchmarkId::new("dynamic_matrix", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = DynamicMatrix::from_matrix(base.clone());
-                for &(r, c) in &updates {
-                    m.set(r, c, 1).unwrap();
-                    m.maybe_compact();
-                }
-                m.nvals()
-            })
+        group.bench_with_input(BenchmarkId::new("dynamic_matrix_sorted", n), &n, |b, _| {
+            b.iter(|| ingest_dynamic(&base, &updates, DeltaLayout::Sorted))
+        });
+
+        group.bench_with_input(BenchmarkId::new("dynamic_matrix_gapped", n), &n, |b, _| {
+            b.iter(|| ingest_dynamic(&base, &updates, DeltaLayout::Gapped))
         });
 
         group.finish();

@@ -2,7 +2,7 @@
 //! affected-set workload (`AC = Likes′ ⊕.⊗ NewFriendsIncidence`, Steps 1–4 of the
 //! paper's Fig. 4b) at sf1.
 //!
-//! Two axes, four measurements per changeset replay:
+//! Three axes, five measurements per changeset replay:
 //! * **accumulation** — the retained gather–sort–combine reference kernel
 //!   (`mxm_reference`) vs. the SPA/merge Gustavson kernel (`mxm`) on the full
 //!   product;
@@ -11,45 +11,19 @@
 //!   mask fixed to the cells the detection actually consumes (the `AC = 2` cells
 //!   whose row reduction yields the affected comments). The masked kernels compute
 //!   the same answer; push-down skips the partial products for every other cell
-//!   before the multiplication happens.
+//!   before the multiplication happens;
+//! * **accumulator layout** — the pre-stamp AoS accumulators
+//!   (`mxm_masked_reference_spa`: `Option`-slot SPA + `bool`-flag mask filter with a
+//!   reset walk) vs. the generation-stamped SoA accumulators the push-down kernel
+//!   uses today. Same kernel control flow, only the workspace layout differs.
 
+use bench::record_spgemm_steps;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use datagen::generate_scale_factor;
-use graphblas::ops::{mxm, mxm_masked, mxm_masked_postfilter, mxm_reference, select_matrix};
-use graphblas::ops_traits::ValueEq;
+use graphblas::ops::{
+    mxm, mxm_masked, mxm_masked_postfilter, mxm_masked_reference_spa, mxm_reference,
+};
 use graphblas::semiring::stock as semirings;
-use graphblas::{Matrix, MatrixMask};
-use ttc_social_media::{apply_changeset, SocialGraph};
-
-/// One replayed detection step: the graph's `Likes` matrix and the friendship
-/// incidence matrix of the changeset, plus the mask of consumed (`AC = 2`) cells.
-struct Step {
-    likes: Matrix<u64>,
-    incidence: Matrix<u64>,
-    consumed: Matrix<u64>,
-}
-
-fn record_steps(sf: u64) -> Vec<Step> {
-    let workload = generate_scale_factor(sf);
-    let mut graph = SocialGraph::from_network(&workload.initial);
-    let mut steps = Vec::new();
-    for changeset in &workload.changesets {
-        let delta = apply_changeset(&mut graph, changeset);
-        if delta.new_friendships.is_empty() {
-            continue;
-        }
-        let incidence = delta.new_friends_incidence(&graph);
-        let ac = mxm(&graph.likes, &incidence, semirings::plus_times::<u64>())
-            .expect("likes columns equal incidence rows");
-        let consumed = select_matrix(&ac, ValueEq::new(2u64));
-        steps.push(Step {
-            likes: graph.likes.clone(),
-            incidence,
-            consumed,
-        });
-    }
-    steps
-}
+use graphblas::MatrixMask;
 
 fn bench_spgemm(c: &mut Criterion) {
     // quick mode for the bench gate: sf1 only (sf4's replay recording dominates
@@ -65,7 +39,7 @@ fn bench_spgemm(c: &mut Criterion) {
 }
 
 fn bench_spgemm_at(c: &mut Criterion, sf: u64) {
-    let steps = record_steps(sf);
+    let steps = record_spgemm_steps(sf);
     assert!(
         !steps.is_empty(),
         "sf{sf} replay produced no friendship changesets"
@@ -124,6 +98,28 @@ fn bench_spgemm_at(c: &mut Criterion, sf: u64) {
             total
         })
     });
+
+    group.bench_with_input(
+        BenchmarkId::new("masked_pushdown_reference_spa", sf),
+        &sf,
+        |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for step in &steps {
+                    let mask = MatrixMask::structural(&step.consumed);
+                    total += mxm_masked_reference_spa(
+                        &mask,
+                        &step.likes,
+                        &step.incidence,
+                        semirings::plus_times::<u64>(),
+                    )
+                    .unwrap()
+                    .nvals();
+                }
+                total
+            })
+        },
+    );
 
     group.bench_with_input(BenchmarkId::new("masked_pushdown", sf), &sf, |b, _| {
         b.iter(|| {

@@ -32,11 +32,16 @@
 //! baseline to catch across-the-board slowdowns.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use bench::run_in_pool;
+use bench::{record_spgemm_steps, run_in_pool};
 use datagen::partition::partitioner_from_name;
 use datagen::stream::{StreamConfig, UpdateStream};
 use datagen::{generate_scale_factor, SocialNetwork};
+use graphblas::ops::{mxm_masked, mxm_masked_reference_spa};
+use graphblas::ops_traits::First;
+use graphblas::semiring::stock as semirings;
+use graphblas::{DeltaLayout, DynamicMatrix, Matrix, MatrixMask};
 use serde_json::{json, to_string_pretty, Value};
 use ttc_social_media::model::Query;
 use ttc_social_media::pipeline::{IngestEngine, PipelineConfig, PipelinedEngine};
@@ -373,9 +378,100 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
     })
 }
 
+/// Best-of-N wall-clock throughput of a closure processing `work_items` items:
+/// the kernel-level analogue of [`measure_best`].
+fn kernel_throughput<F: FnMut() -> usize>(work_items: usize, mut run: F) -> f64 {
+    (0..MEASUREMENT_RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            let checksum = run();
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            assert!(checksum > 0, "kernel measurement did no work");
+            work_items as f64 / elapsed
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Kernel-level gate entries: the SpGEMM hot path (masked push-down over the
+/// recorded Q2 replay, stamped SoA vs. the frozen AoS reference accumulators)
+/// and `DynamicMatrix` update ingestion (gapped vs. sorted delta rows). These
+/// gate the kernels the stream numbers are built from, so an accumulator- or
+/// layout-level regression is named directly instead of surfacing as a diffuse
+/// stream slowdown.
+fn measure_kernel_entries() -> Vec<Value> {
+    let mut entries = Vec::new();
+
+    eprintln!("# measuring kernel/spgemm entries (best of {MEASUREMENT_RUNS})");
+    let steps = record_spgemm_steps(SCALE_FACTOR);
+    let spgemm = |reference: bool| {
+        kernel_throughput(steps.len(), || {
+            let mut total = 0usize;
+            for step in &steps {
+                let mask = MatrixMask::structural(&step.consumed);
+                let product = if reference {
+                    mxm_masked_reference_spa(
+                        &mask,
+                        &step.likes,
+                        &step.incidence,
+                        semirings::plus_times::<u64>(),
+                    )
+                } else {
+                    mxm_masked(
+                        &mask,
+                        &step.likes,
+                        &step.incidence,
+                        semirings::plus_times::<u64>(),
+                    )
+                };
+                total += product.expect("recorded step dimensions conform").nvals();
+            }
+            total.max(1)
+        })
+    };
+    entries.push(json!({
+        "key": "kernel/spgemm/masked_pushdown",
+        "updates_per_sec": spgemm(false),
+    }));
+    entries.push(json!({
+        "key": "kernel/spgemm/masked_pushdown_reference_spa",
+        "updates_per_sec": spgemm(true),
+    }));
+
+    eprintln!("# measuring kernel/dynamic_matrix entries (best of {MEASUREMENT_RUNS})");
+    let n = 2_000usize;
+    let mut state = 3u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % n
+    };
+    let base_tuples: Vec<(usize, usize, u64)> = (0..4 * n).map(|_| (next(), next(), 1)).collect();
+    let base = Matrix::from_tuples(n, n, &base_tuples, First::new()).expect("indices in range");
+    let updates: Vec<(usize, usize)> = (0..2_000).map(|_| (next(), next())).collect();
+    for (name, layout) in [
+        ("kernel/dynamic_matrix/gapped", DeltaLayout::Gapped),
+        ("kernel/dynamic_matrix/sorted", DeltaLayout::Sorted),
+    ] {
+        let throughput = kernel_throughput(updates.len(), || {
+            let mut m = DynamicMatrix::with_layout(base.clone(), layout);
+            for &(r, c) in &updates {
+                m.set(r, c, 1).expect("update indices in range");
+                m.maybe_compact();
+            }
+            m.nvals()
+        });
+        entries.push(json!({
+            "key": name,
+            "updates_per_sec": throughput,
+        }));
+    }
+    entries
+}
+
 fn measure_report() -> Value {
     let network = generate_scale_factor(SCALE_FACTOR).initial;
-    let entries: Vec<Value> = GRID
+    let mut entries: Vec<Value> = GRID
         .iter()
         .map(|entry| {
             eprintln!("# measuring {} (best of {MEASUREMENT_RUNS})", entry.key);
@@ -395,6 +491,7 @@ fn measure_report() -> Value {
             })
         })
         .collect();
+    entries.extend(measure_kernel_entries());
     json!({
         "schema_version": 1u64,
         "config": json!({

@@ -26,6 +26,29 @@ struct Args {
     json_path: Option<String>,
 }
 
+/// Accepted flags with the help line printed for each; `print_help` and the
+/// CLI test in `tests/cli_help.rs` both enumerate this surface.
+const FLAGS: &[(&str, &str)] = &[
+    ("--query", "q1, q2 or both (default both)"),
+    ("--phase", "initial, update or both (default both)"),
+    ("--max-sf", "largest scale factor of the sweep (default 64)"),
+    (
+        "--runs",
+        "repetitions per measurement, geometric mean (default 3)",
+    ),
+    ("--json", "also write the measurements to this JSON file"),
+    ("--help", "print this help"),
+];
+
+fn print_help() {
+    println!("figure5 — phase execution times per tool variant and scale factor (paper Fig. 5)");
+    println!();
+    println!("usage: figure5 [flags]");
+    for (flag, help) in FLAGS {
+        println!("  {flag:<19} {help}");
+    }
+}
+
 fn parse_args() -> Args {
     let mut queries = vec![Query::Q1, Query::Q2];
     let mut phases = vec!["initial".to_string(), "update".to_string()];
@@ -65,8 +88,12 @@ fn parse_args() -> Args {
                 i += 1;
                 json_path = Some(argv[i].clone());
             }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
             other => {
-                eprintln!("unknown argument {other}");
+                eprintln!("unknown argument {other} (try --help)");
                 std::process::exit(2);
             }
         }

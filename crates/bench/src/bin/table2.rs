@@ -8,20 +8,51 @@
 
 use datagen::{generate_scale_factor, PAPER_TABLE2};
 
-fn main() {
-    let max_sf: u64 = {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut max = 64;
-        let mut i = 0;
-        while i < argv.len() {
-            if argv[i] == "--max-sf" {
+/// Accepted flags with the help line printed for each; `print_help` and the
+/// CLI test in `tests/cli_help.rs` both enumerate this surface.
+const FLAGS: &[(&str, &str)] = &[
+    ("--max-sf", "largest scale factor to generate (default 64)"),
+    ("--help", "print this help"),
+];
+
+fn print_help() {
+    println!("table2 — benchmark graph sizes per scale factor vs. the paper (Table II)");
+    println!();
+    println!("usage: table2 [flags]");
+    for (flag, help) in FLAGS {
+        println!("  {flag:<19} {help}");
+    }
+}
+
+fn parse_max_sf() -> u64 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut max = 64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-sf" => {
                 i += 1;
-                max = argv[i].parse().expect("--max-sf expects an integer");
+                max = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-sf expects an integer (try --help)");
+                    std::process::exit(2);
+                });
             }
-            i += 1;
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
         }
-        max
-    };
+        i += 1;
+    }
+    max
+}
+
+fn main() {
+    let max_sf: u64 = parse_max_sf();
 
     println!("Table II reproduction — graph sizes w.r.t. the scale factor");
     println!(

@@ -29,6 +29,28 @@ struct Args {
     tools: Vec<ToolVariant>,
 }
 
+/// Accepted flags with the help line printed for each; `print_help` and the
+/// CLI test in `tests/cli_help.rs` both enumerate this surface.
+const FLAGS: &[(&str, &str)] = &[
+    ("--sf", "scale factor of the generated network (default 4)"),
+    ("--runs", "repetitions per (tool, query) pair (default 3)"),
+    ("--query", "q1, q2 or both (default both)"),
+    (
+        "--tools",
+        "figure5 (paper's tools) or all (default figure5)",
+    ),
+    ("--help", "print this help"),
+];
+
+fn print_help() {
+    println!("ttc_benchmark — raw per-iteration protocol of the TTC 2018 benchmark framework");
+    println!();
+    println!("usage: ttc_benchmark [flags]");
+    for (flag, help) in FLAGS {
+        println!("  {flag:<19} {help}");
+    }
+}
+
 fn parse_args() -> Args {
     let mut scale_factor = 4;
     let mut runs = 3;
@@ -62,8 +84,12 @@ fn parse_args() -> Args {
                     _ => FIGURE5_VARIANTS.to_vec(),
                 };
             }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
             other => {
-                eprintln!("unknown argument {other}");
+                eprintln!("unknown argument {other} (try --help)");
                 std::process::exit(2);
             }
         }

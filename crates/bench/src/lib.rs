@@ -13,8 +13,10 @@
 pub mod harness;
 pub mod registry;
 pub mod report;
+pub mod spgemm_steps;
 pub mod workload;
 
 pub use harness::{geometric_mean, measure_workload, PhaseTimings};
 pub use registry::{build_solution, run_in_pool, ToolVariant, ALL_VARIANTS, FIGURE5_VARIANTS};
+pub use spgemm_steps::{record_spgemm_steps, SpgemmStep};
 pub use workload::{ArrivalPattern, ReadMix, ReadOp, ServeWorkload};

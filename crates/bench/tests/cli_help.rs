@@ -52,6 +52,17 @@ const SERVE_THROUGHPUT_FLAGS: &[&str] = &[
     "--help",
 ];
 
+/// Every flag `figure5`'s parser accepts.
+const FIGURE5_FLAGS: &[&str] = &[
+    "--query", "--phase", "--max-sf", "--runs", "--json", "--help",
+];
+
+/// Every flag `table2`'s parser accepts.
+const TABLE2_FLAGS: &[&str] = &["--max-sf", "--help"];
+
+/// Every flag `ttc_benchmark`'s parser accepts.
+const TTC_BENCHMARK_FLAGS: &[&str] = &["--sf", "--runs", "--query", "--tools", "--help"];
+
 fn help_text(bin: &str) -> String {
     let output = Command::new(bin)
         .arg("--help")
@@ -82,10 +93,37 @@ fn serve_throughput_help_mentions_every_accepted_flag() {
 }
 
 #[test]
+fn figure5_help_mentions_every_accepted_flag() {
+    let help = help_text(env!("CARGO_BIN_EXE_figure5"));
+    for flag in FIGURE5_FLAGS {
+        assert!(help.contains(flag), "`{flag}` missing from --help:\n{help}");
+    }
+}
+
+#[test]
+fn table2_help_mentions_every_accepted_flag() {
+    let help = help_text(env!("CARGO_BIN_EXE_table2"));
+    for flag in TABLE2_FLAGS {
+        assert!(help.contains(flag), "`{flag}` missing from --help:\n{help}");
+    }
+}
+
+#[test]
+fn ttc_benchmark_help_mentions_every_accepted_flag() {
+    let help = help_text(env!("CARGO_BIN_EXE_ttc_benchmark"));
+    for flag in TTC_BENCHMARK_FLAGS {
+        assert!(help.contains(flag), "`{flag}` missing from --help:\n{help}");
+    }
+}
+
+#[test]
 fn unknown_flags_are_rejected_with_a_help_hint() {
     for bin in [
         env!("CARGO_BIN_EXE_stream_throughput"),
         env!("CARGO_BIN_EXE_serve_throughput"),
+        env!("CARGO_BIN_EXE_figure5"),
+        env!("CARGO_BIN_EXE_table2"),
+        env!("CARGO_BIN_EXE_ttc_benchmark"),
     ] {
         let output = Command::new(bin)
             .arg("--no-such-flag")

@@ -1,0 +1,647 @@
+//! Learned and gapped indexes over sorted integer key slices.
+//!
+//! The hot lookup sites of this crate — wide-row column probes in [`crate::Matrix::get`],
+//! the asymmetric `mxv` dot product, and mask-row probes in the post-filter kernels —
+//! all reduce to "find `key` in a sorted slice of monotone integers". The user / post /
+//! comment id spaces of the case study are dense and monotone, which is the ideal key
+//! distribution for a *learned* index: fit a piecewise-linear model position ≈ f(key)
+//! once, then answer lookups by predicting a position and scanning a tiny bounded
+//! window, instead of cache-missing through `log₂ n` pivots of a binary search.
+//!
+//! Two building blocks live here, modelled on the PGM index family:
+//!
+//! * [`LearnedSegments`] — an epsilon-bounded piecewise-linear regression over one
+//!   sorted key slice, built in a single `O(n)` pass with the shrinking-cone
+//!   algorithm. [`LearnedSegments::locate`] predicts and finishes with a branch-light
+//!   scan of at most `2·epsilon + O(1)` slots.
+//! * [`GappedList`] — an insert-friendly sorted association list that keeps *slack
+//!   slots* (gaps) interspersed with the live entries, à la the gapped PGM layouts:
+//!   a point insert shifts elements only up to the nearest gap instead of the whole
+//!   tail, and the structure regrows with fresh gaps when occupancy passes 7/8.
+//!   Wide lists carry their own [`LearnedSegments`] model, rebuilt at regrow time and
+//!   consulted through a robust exponential search (correct even after the gaps have
+//!   drifted positions away from the model's training snapshot).
+//!
+//! Index construction is deliberately explicit: [`crate::Matrix::freeze_index`] builds
+//! the per-row models at CSR freeze time (initial load, [`crate::DynamicMatrix`]
+//! compaction), every CSR mutation invalidates them, and rows narrower than
+//! [`LEARNED_ROW_CUTOFF`] never get a model — for them the binary search is already
+//! cache-resident, the same shape of per-row cutover the SPA kernels use via
+//! `spa_is_profitable`.
+
+use crate::types::Index;
+
+/// Default corridor half-width for [`LearnedSegments::build`]: predictions are wrong
+/// by at most this many positions, so lookups scan at most `2 · 16 + O(1)` slots —
+/// one or two cache lines of `u64` keys, cheaper than the pointer-chasing pivots of a
+/// binary search over a wide row.
+pub const DEFAULT_EPSILON: usize = 16;
+
+/// Rows narrower than this never get a learned model: a binary search over ≤ 64 keys
+/// touches at most a couple of cache lines anyway, so the model would add prediction
+/// work without saving memory traffic (the same per-row cutover idea as the SPA /
+/// merge kernel selection).
+pub const LEARNED_ROW_CUTOFF: usize = 64;
+
+/// An epsilon-bounded piecewise-linear learned index over one sorted key slice.
+///
+/// `build` fits maximal segments with the shrinking-cone construction: within a
+/// segment starting at `(key₀, pos₀)`, every covered point satisfies
+/// `|pos₀ + slope · (key − key₀) − pos| ≤ epsilon`. `locate` finds the covering
+/// segment (binary search over the few segment boundaries), predicts, and scans the
+/// `± (epsilon + 2)` window (+2 absorbs `f64` rounding at segment edges; a bracket
+/// check falls back to binary search if rounding ever exceeds even that).
+///
+/// The index stores no copy of the keys: callers pass the same slice to `locate`
+/// that they passed to `build`.
+#[derive(Clone, Debug, Default)]
+pub struct LearnedSegments {
+    /// First key of each segment (sorted).
+    first_keys: Vec<Index>,
+    /// Predicted positions-per-key-unit of each segment.
+    slopes: Vec<f64>,
+    /// Position of each segment's first key in the indexed slice.
+    offsets: Vec<usize>,
+    epsilon: usize,
+    /// Length of the slice the model was built over.
+    len: usize,
+}
+
+impl LearnedSegments {
+    /// Fit epsilon-bounded linear segments over `keys` in one pass.
+    ///
+    /// `keys` must be sorted (non-decreasing). With *strictly* increasing keys the
+    /// `± epsilon` error bound holds for every key; duplicate keys (as produced by
+    /// [`GappedList`] gap slots) are tolerated but void the bound for their run, which
+    /// is why [`GappedList`] consults the model through an exponential search.
+    pub fn build(keys: &[Index], epsilon: usize) -> Self {
+        let epsilon = epsilon.max(1);
+        let mut index = LearnedSegments {
+            first_keys: Vec::new(),
+            slopes: Vec::new(),
+            offsets: Vec::new(),
+            epsilon,
+            len: keys.len(),
+        };
+        let Some(&first) = keys.first() else {
+            return index;
+        };
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+        let eps = epsilon as f64;
+        let mut start = 0usize;
+        let mut origin_key = first;
+        let (mut slope_lo, mut slope_hi) = (0.0f64, f64::INFINITY);
+        for (i, &key) in keys.iter().enumerate().skip(1) {
+            let dx = (key - origin_key) as f64;
+            if dx == 0.0 {
+                // duplicate of the origin key: no constraint to add
+                continue;
+            }
+            let dy = (i - start) as f64;
+            let lo = (dy - eps) / dx;
+            let hi = (dy + eps) / dx;
+            let new_lo = slope_lo.max(lo);
+            let new_hi = slope_hi.min(hi);
+            if new_lo > new_hi {
+                // the corridor collapsed: close the segment and start a new one here
+                index.push_segment(origin_key, start, slope_lo, slope_hi);
+                start = i;
+                origin_key = key;
+                slope_lo = 0.0;
+                slope_hi = f64::INFINITY;
+            } else {
+                slope_lo = new_lo;
+                slope_hi = new_hi;
+            }
+        }
+        index.push_segment(origin_key, start, slope_lo, slope_hi);
+        index
+    }
+
+    fn push_segment(&mut self, first_key: Index, offset: usize, slope_lo: f64, slope_hi: f64) {
+        let slope = if slope_hi.is_finite() {
+            (slope_lo + slope_hi) / 2.0
+        } else {
+            // a single-point segment: any slope is exact at the origin
+            0.0
+        };
+        self.first_keys.push(first_key);
+        self.slopes.push(slope);
+        self.offsets.push(offset);
+    }
+
+    /// The corridor half-width the model was built with.
+    #[inline]
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// Number of fitted linear segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.first_keys.len()
+    }
+
+    /// Length of the key slice the model was built over.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the model was built over an empty slice.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Predicted position of `key` in the indexed slice, clamped to `0..len`.
+    ///
+    /// The prediction is within `epsilon` of the true position for every key the
+    /// model was built over (strictly increasing keys); for absent keys it lands
+    /// within `epsilon` of the insertion point of the covering segment.
+    #[inline]
+    pub fn predict(&self, key: Index) -> usize {
+        // index of the last segment whose first key is <= key
+        let seg = self.first_keys.partition_point(|&fk| fk <= key);
+        if seg == 0 {
+            return 0;
+        }
+        let seg = seg - 1;
+        let dx = (key - self.first_keys[seg]) as f64;
+        let predicted = self.offsets[seg] as f64 + self.slopes[seg] * dx;
+        // clamp through f64 to avoid negative-rounding UB-adjacent casts
+        let max = self.len.saturating_sub(1);
+        (predicted.max(0.0).round() as usize).min(max)
+    }
+
+    /// The `[lo, hi)` scan window around the prediction for `key`.
+    #[inline]
+    fn window(&self, key: Index, n: usize) -> (usize, usize) {
+        let p = self.predict(key);
+        let slack = self.epsilon + 2;
+        (p.saturating_sub(slack), (p + slack + 1).min(n))
+    }
+
+    /// Find the position of `key` in `keys` — the same slice the model was built
+    /// over. Returns `None` when the key is not stored.
+    ///
+    /// Cost: one small binary search over the segment boundaries, then a branch-light
+    /// linear scan of at most `2·(epsilon + 2) + 1` slots. If `f64` rounding ever
+    /// pushes the true position outside the window (the bracket check below), the
+    /// lookup falls back to a plain binary search rather than miss.
+    #[inline]
+    pub fn locate(&self, keys: &[Index], key: Index) -> Option<usize> {
+        debug_assert_eq!(keys.len(), self.len, "locate over a different slice");
+        let (lo, hi) = self.window(key, keys.len());
+        // branch-light scan: position arithmetic only, no early bisection
+        for (i, &k) in keys.iter().enumerate().take(hi).skip(lo) {
+            if k == key {
+                return Some(i);
+            }
+        }
+        // bracket check: if the window provably covers key's sorted position, the
+        // key is absent; otherwise rounding moved the window and we re-search.
+        let left_ok = lo == 0 || keys.get(lo).is_none_or(|&k| k <= key);
+        let right_ok = hi >= keys.len() || keys.get(hi.wrapping_sub(1)).is_none_or(|&k| k >= key);
+        if left_ok && right_ok {
+            None
+        } else {
+            keys.binary_search(&key).ok()
+        }
+    }
+
+    /// First position `i` in `keys` with `keys[i] >= key` (the insertion point),
+    /// found by exponential search around the model's prediction.
+    ///
+    /// Unlike [`LearnedSegments::locate`], this stays correct even when `keys` has
+    /// drifted away from the slice the model was built over (same sort order, shifted
+    /// positions, duplicates) — the prediction is only a starting guess, so
+    /// [`GappedList`] can keep using a stale model between regrows.
+    #[inline]
+    pub fn lower_bound(&self, keys: &[Index], key: Index) -> usize {
+        let n = keys.len();
+        if n == 0 {
+            return 0;
+        }
+        let guess = self.predict(key).min(n - 1);
+        if keys[guess] < key {
+            // gallop right: bracket (lo, hi] with keys[lo] < key
+            let mut lo = guess;
+            let mut step = 1usize;
+            let mut hi = (guess + step).min(n);
+            while hi < n && keys[hi] < key {
+                lo = hi;
+                step *= 2;
+                hi = (hi + step).min(n);
+            }
+            lo + keys[lo + 1..hi.max(lo + 1)].partition_point(|&k| k < key) + 1
+        } else {
+            // gallop left: bracket [lo, hi) with keys[hi] >= key
+            let mut hi = guess;
+            let mut step = 1usize;
+            while hi > 0 {
+                let probe = hi.saturating_sub(step);
+                if keys[probe] < key {
+                    break;
+                }
+                hi = probe;
+                step *= 2;
+            }
+            let lo = hi.saturating_sub(step);
+            lo + keys[lo..hi].partition_point(|&k| k < key)
+        }
+    }
+}
+
+/// Per-row learned indexes over the wide rows of a frozen CSR matrix.
+///
+/// Built by [`crate::Matrix::freeze_index`]; only rows with at least
+/// [`LEARNED_ROW_CUTOFF`] stored elements get a model, so the memory cost scales
+/// with the number of *wide* rows, not `nrows`.
+#[derive(Clone, Debug, Default)]
+pub struct RowIndex {
+    /// `(row, model)` pairs sorted by row id.
+    rows: Vec<(Index, LearnedSegments)>,
+}
+
+impl RowIndex {
+    pub(crate) fn from_rows(rows: Vec<(Index, LearnedSegments)>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows not sorted");
+        RowIndex { rows }
+    }
+
+    /// The learned model for `row`, if the row was wide enough to get one.
+    #[inline]
+    pub fn row(&self, row: Index) -> Option<&LearnedSegments> {
+        self.rows
+            .binary_search_by_key(&row, |&(r, _)| r)
+            .ok()
+            .map(|pos| &self.rows[pos].1)
+    }
+
+    /// Number of rows carrying a model.
+    #[inline]
+    pub fn indexed_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total fitted segments across all indexed rows (build-cost / footprint metric).
+    pub fn total_segments(&self) -> usize {
+        self.rows.iter().map(|(_, s)| s.segment_count()).sum()
+    }
+}
+
+/// How many live entries sit between consecutive slack slots after a
+/// [`GappedList`] regrow: 4 live + 1 gap ⇒ 80% occupancy with fresh gaps.
+const GAP_EVERY: usize = 4;
+
+/// Occupancy numerator/denominator that triggers a regrow (7/8 = 87.5%): checked
+/// before each insert so shifts stay short.
+const REGROW_NUM: usize = 7;
+const REGROW_DEN: usize = 8;
+
+/// Lists smaller than this never regrow — a `Vec::insert` shifting a handful of
+/// elements is cheaper than maintaining gap bookkeeping.
+const MIN_SLOTS_FOR_GAPS: usize = 8;
+
+/// A sorted `(key, value)` association list with interspersed slack slots, the
+/// insert-friendly "gapped" layout of the gapped-PGM family.
+///
+/// Live entries keep strictly increasing keys; empty (slack) slots duplicate a
+/// neighbouring key so the whole `keys` array stays sorted and `partition_point`
+/// / model-guided search work unchanged. A point insert shifts entries only up to
+/// the nearest gap to the right (or falls back to `Vec::insert` when none is left),
+/// and the list regrows with fresh gaps — and a rebuilt [`LearnedSegments`] model for
+/// wide lists — when occupancy passes 7/8. [`crate::DynamicMatrix`] uses one per
+/// delta row so hot-row point inserts stop shifting the whole tail.
+#[derive(Clone, Debug)]
+pub struct GappedList<T> {
+    /// Sorted; empty slots hold a copy of a neighbouring live key.
+    keys: Vec<Index>,
+    /// Parallel to `keys`; empty slots hold a stale copied value, never observed.
+    vals: Vec<T>,
+    /// Which slots are live.
+    live: Vec<bool>,
+    /// Number of live entries.
+    len: usize,
+    /// Learned position model over `keys`, rebuilt at regrow time for wide lists.
+    model: Option<LearnedSegments>,
+}
+
+impl<T: Copy> Default for GappedList<T> {
+    fn default() -> Self {
+        GappedList::new()
+    }
+}
+
+impl<T: Copy> GappedList<T> {
+    /// An empty list.
+    pub fn new() -> Self {
+        GappedList {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            live: Vec::new(),
+            len: 0,
+            model: None,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list holds no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of physical slots (live + slack); `len() / slots()` is the occupancy
+    /// the ablation bench reports.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// First slot `i` with `keys[i] >= key`, via the learned model when present.
+    #[inline]
+    fn lower_bound(&self, key: Index) -> usize {
+        match &self.model {
+            Some(model) => model.lower_bound(&self.keys, key),
+            None => self.keys.partition_point(|&k| k < key),
+        }
+    }
+
+    /// Look up the value stored under `key`.
+    #[inline]
+    pub fn get(&self, key: Index) -> Option<T> {
+        let mut i = self.lower_bound(key);
+        // all slots holding exactly `key` are contiguous; at most one is live
+        while i < self.keys.len() && self.keys[i] == key {
+            if self.live[i] {
+                return Some(self.vals[i]);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Insert `key → value`, overwriting any existing entry. Returns `true` when the
+    /// key was newly inserted.
+    pub fn insert(&mut self, key: Index, value: T) -> bool {
+        self.maybe_regrow();
+        let p = self.lower_bound(key);
+        // scan the (possibly empty) run of slots already holding `key`
+        let mut i = p;
+        let mut free_in_run = None;
+        while i < self.keys.len() && self.keys[i] == key {
+            if self.live[i] {
+                self.vals[i] = value;
+                return false;
+            }
+            if free_in_run.is_none() {
+                free_in_run = Some(i);
+            }
+            i += 1;
+        }
+        if let Some(f) = free_in_run {
+            // a slack slot already carries this key: claim it in place
+            self.live[f] = true;
+            self.vals[f] = value;
+            self.len += 1;
+            return true;
+        }
+        // shift right only as far as the nearest gap
+        let mut gap = p;
+        while gap < self.keys.len() && self.live[gap] {
+            gap += 1;
+        }
+        if gap < self.keys.len() {
+            for q in (p..gap).rev() {
+                self.keys[q + 1] = self.keys[q];
+                self.vals[q + 1] = self.vals[q];
+                self.live[q + 1] = self.live[q];
+            }
+            self.keys[p] = key;
+            self.vals[p] = value;
+            self.live[p] = true;
+        } else {
+            // no gap to the right: plain insert (regrow keeps this rare)
+            self.keys.insert(p, key);
+            self.vals.insert(p, value);
+            self.live.insert(p, true);
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Rebuild with fresh gaps (and a fresh model for wide lists) when occupancy
+    /// passes [`REGROW_NUM`]/[`REGROW_DEN`].
+    fn maybe_regrow(&mut self) {
+        if self.keys.len() < MIN_SLOTS_FOR_GAPS
+            || self.len * REGROW_DEN < self.keys.len() * REGROW_NUM
+        {
+            return;
+        }
+        let slots = self.len + self.len / GAP_EVERY + 1;
+        let mut keys = Vec::with_capacity(slots);
+        let mut vals = Vec::with_capacity(slots);
+        let mut live = Vec::with_capacity(slots);
+        let mut since_gap = 0usize;
+        for i in 0..self.keys.len() {
+            if !self.live[i] {
+                continue;
+            }
+            keys.push(self.keys[i]);
+            vals.push(self.vals[i]);
+            live.push(true);
+            since_gap += 1;
+            if since_gap == GAP_EVERY {
+                // slack slot: duplicate the left neighbour so `keys` stays sorted
+                keys.push(self.keys[i]);
+                vals.push(self.vals[i]);
+                live.push(false);
+                since_gap = 0;
+            }
+        }
+        self.keys = keys;
+        self.vals = vals;
+        self.live = live;
+        self.model = (self.len >= LEARNED_ROW_CUTOFF)
+            .then(|| LearnedSegments::build(&self.keys, DEFAULT_EPSILON));
+    }
+
+    /// Iterate the live `(key, value)` entries in key order.
+    pub fn iter(&self) -> GappedIter<'_, T> {
+        GappedIter { list: self, pos: 0 }
+    }
+
+    /// Drop every entry (slots and model included).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+        self.live.clear();
+        self.len = 0;
+        self.model = None;
+    }
+}
+
+/// Iterator over the live entries of a [`GappedList`] in key order.
+pub struct GappedIter<'a, T> {
+    list: &'a GappedList<T>,
+    pos: usize,
+}
+
+impl<T: Copy> Iterator for GappedIter<'_, T> {
+    type Item = (Index, T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < self.list.keys.len() {
+            let i = self.pos;
+            self.pos += 1;
+            if self.list.live[i] {
+                return Some((self.list.keys[i], self.list.vals[i]));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let upper = self.list.keys.len() - self.pos.min(self.list.keys.len());
+        (0, Some(upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(keys: &[Index], epsilon: usize) {
+        let index = LearnedSegments::build(keys, epsilon);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(index.locate(keys, k), Some(i), "key {k} at {i}");
+            let p = index.predict(k);
+            assert!(
+                p.abs_diff(i) <= epsilon.max(1) + 2,
+                "prediction {p} for key {k} misses {i} by more than {epsilon} + rounding"
+            );
+        }
+        // absent keys between / outside the stored ones
+        assert_eq!(index.locate(keys, keys[keys.len() - 1] + 1), None);
+        for w in keys.windows(2) {
+            if w[1] - w[0] > 1 {
+                assert_eq!(index.locate(keys, w[0] + 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_keys_fit_one_segment() {
+        let keys: Vec<Index> = (100..600).collect();
+        let index = LearnedSegments::build(&keys, 16);
+        assert_eq!(index.segment_count(), 1);
+        check_all(&keys, 16);
+    }
+
+    #[test]
+    fn clustered_and_exponential_keys() {
+        let mut clustered: Vec<Index> = (0..200).collect();
+        clustered.extend(10_000..10_300);
+        clustered.extend(90_000..90_050);
+        check_all(&clustered, 8);
+
+        let exponential: Vec<Index> = (0..40).map(|i| 1usize << i).collect();
+        check_all(&exponential, 4);
+    }
+
+    #[test]
+    fn single_key_and_empty() {
+        check_all(&[42], 16);
+        let empty = LearnedSegments::build(&[], 16);
+        assert!(empty.is_empty());
+        assert_eq!(empty.locate(&[], 7), None);
+        assert_eq!(empty.lower_bound(&[], 7), 0);
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        let keys: Vec<Index> = (0..500).map(|i| i * 3).collect();
+        let index = LearnedSegments::build(&keys, 8);
+        for probe in 0..1_600 {
+            assert_eq!(
+                index.lower_bound(&keys, probe),
+                keys.partition_point(|&k| k < probe),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_survives_model_drift() {
+        // model built over one slice, queried over a longer shifted one — the
+        // exponential search must still return exact lower bounds
+        let built: Vec<Index> = (0..200).map(|i| i * 2).collect();
+        let index = LearnedSegments::build(&built, 8);
+        let drifted: Vec<Index> = (0..300).map(|i| i * 2 + 40).collect();
+        for probe in 0..700 {
+            assert_eq!(
+                index.lower_bound(&drifted, probe),
+                drifted.partition_point(|&k| k < probe),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn gapped_list_insert_get_iter() {
+        let mut list: GappedList<u64> = GappedList::new();
+        assert!(list.is_empty());
+        for k in (0..100).rev() {
+            assert!(list.insert(k * 2, k as u64));
+        }
+        assert_eq!(list.len(), 100);
+        for k in 0..100 {
+            assert_eq!(list.get(k * 2), Some(k as u64));
+            assert_eq!(list.get(k * 2 + 1), None);
+        }
+        // overwrite does not grow
+        assert!(!list.insert(10, 999));
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.get(10), Some(999));
+        let collected: Vec<Index> = list.iter().map(|(k, _)| k).collect();
+        let expected: Vec<Index> = (0..100).map(|k| k * 2).collect();
+        assert_eq!(collected, expected);
+        assert!(list.slots() >= list.len());
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.get(10), None);
+    }
+
+    #[test]
+    fn gapped_list_matches_btreemap_on_mixed_workload() {
+        use std::collections::BTreeMap;
+        let mut list: GappedList<u64> = GappedList::new();
+        let mut reference: BTreeMap<Index, u64> = BTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for step in 0..5_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = ((state >> 33) % 700) as Index;
+            let inserted = list.insert(key, step);
+            assert_eq!(inserted, reference.insert(key, step).is_none());
+        }
+        assert_eq!(list.len(), reference.len());
+        let entries: Vec<(Index, u64)> = list.iter().collect();
+        let expected: Vec<(Index, u64)> = reference.into_iter().collect();
+        assert_eq!(entries, expected);
+        for probe in 0..700 {
+            assert_eq!(
+                list.get(probe),
+                entries.iter().find(|&&(k, _)| k == probe).map(|&(_, v)| v)
+            );
+        }
+    }
+}

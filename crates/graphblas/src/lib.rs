@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod index;
 pub mod mask;
 pub mod matrix;
 pub mod monoid;
@@ -65,8 +66,9 @@ pub mod types;
 pub mod vector;
 
 pub use error::{Error, Result};
+pub use index::{GappedList, LearnedSegments, RowIndex};
 pub use mask::{MaskKind, MatrixMask, VectorMask};
-pub use matrix::{DynamicMatrix, Matrix, MatrixBuilder};
+pub use matrix::{DeltaLayout, DynamicMatrix, DynamicMatrixStats, Matrix, MatrixBuilder};
 pub use monoid::Monoid;
 pub use ops_traits::{BinaryOp, IndexUnaryOp, UnaryOp};
 pub use scalar::{MaskValue, Ring, Scalar};

@@ -4,47 +4,260 @@
 //! formats such as faimGraph or Hornet, which keep per-row slack so that edge
 //! insertions do not require rebuilding the whole CSR structure. [`DynamicMatrix`] is
 //! a CPU-side equivalent of that idea: a frozen CSR *base* plus a per-row *delta*
-//! buffer of recent insertions. Point insertions are `O(log d)` in the row's delta
-//! size, reads merge base and delta on the fly, and [`DynamicMatrix::compact`] folds
-//! the deltas back into a fresh CSR when they grow past a threshold (amortising the
-//! rebuild the way Hornet's block reallocation does).
+//! buffer of recent insertions. Point insertions touch only the row's delta, reads
+//! merge base and delta on the fly, and [`DynamicMatrix::compact`] folds the deltas
+//! back into a fresh CSR when they grow past a threshold (amortising the rebuild the
+//! way Hornet's block reallocation does) — and freezes the new base's learned row
+//! index while it is at it, since compaction is exactly the "CSR freeze" moment.
+//!
+//! Delta rows come in two layouts, selectable per matrix via [`DeltaLayout`]:
+//!
+//! * [`DeltaLayout::Gapped`] (the default) — each row is a [`crate::GappedList`]:
+//!   a sorted array with interspersed slack slots, so a point insert shifts entries
+//!   only up to the nearest gap instead of the whole tail, and wide delta rows carry
+//!   a learned position model;
+//! * [`DeltaLayout::Sorted`] — the original dense sorted `Vec<(col, value)>` rows
+//!   (every insert shifts the tail), kept as the reference the differential tests
+//!   and the `ablation_dynamic_matrix` bench compare against.
 //!
 //! The `ablation_dynamic_matrix` bench compares changeset application through this
 //! format against the plain CSR [`Matrix::insert_tuples`] path used by the solution.
 
 use crate::error::Result;
+use crate::index::GappedList;
 use crate::ops_traits::BinaryOp;
 use crate::scalar::Scalar;
 use crate::types::Index;
 
 use super::Matrix;
 
+/// Physical layout of the per-row delta buffers of a [`DynamicMatrix`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaLayout {
+    /// Dense sorted rows: `O(log d)` lookup, but every insert shifts the row tail.
+    Sorted,
+    /// Gap-slot rows ([`crate::GappedList`]): inserts shift only to the nearest
+    /// slack slot; wide rows are probed through a learned model.
+    Gapped,
+}
+
+/// Counters and occupancy numbers of a [`DynamicMatrix`], for the ablation bench and
+/// for tuning [`DynamicMatrix::set_compaction_ratio`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynamicMatrixStats {
+    /// Stored elements in the CSR base.
+    pub base_nvals: usize,
+    /// Elements currently waiting in the delta buffers (excluding overwrites of
+    /// base entries).
+    pub delta_nvals: usize,
+    /// Live entries across all delta rows (including overwrites of base entries).
+    pub delta_live: usize,
+    /// Physical delta slots (live + slack). Equal to `delta_live` for the sorted
+    /// layout; larger for the gapped layout.
+    pub delta_slots: usize,
+    /// Compactions performed since construction.
+    pub compactions: usize,
+}
+
+impl DynamicMatrixStats {
+    /// Fraction of delta slots holding live entries (1.0 for an empty delta).
+    pub fn delta_occupancy(&self) -> f64 {
+        if self.delta_slots == 0 {
+            1.0
+        } else {
+            self.delta_live as f64 / self.delta_slots as f64
+        }
+    }
+}
+
+/// Per-row delta storage in one of the two layouts.
+#[derive(Clone, Debug)]
+enum DeltaRows<T> {
+    Sorted(Vec<Vec<(Index, T)>>),
+    Gapped(Vec<GappedList<T>>),
+}
+
+/// Iterator over one delta row's `(col, value)` entries in column order.
+enum DeltaRowIter<'a, T> {
+    Sorted(std::slice::Iter<'a, (Index, T)>),
+    Gapped(crate::index::GappedIter<'a, T>),
+}
+
+impl<T: Copy> Iterator for DeltaRowIter<'_, T> {
+    type Item = (Index, T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            DeltaRowIter::Sorted(iter) => iter.next().copied(),
+            DeltaRowIter::Gapped(iter) => iter.next(),
+        }
+    }
+}
+
+impl<T: Scalar> DeltaRows<T> {
+    fn new(layout: DeltaLayout, nrows: Index) -> Self {
+        match layout {
+            DeltaLayout::Sorted => DeltaRows::Sorted(vec![Vec::new(); nrows]),
+            DeltaLayout::Gapped => DeltaRows::Gapped(vec![GappedList::new(); nrows]),
+        }
+    }
+
+    fn layout(&self) -> DeltaLayout {
+        match self {
+            DeltaRows::Sorted(_) => DeltaLayout::Sorted,
+            DeltaRows::Gapped(_) => DeltaLayout::Gapped,
+        }
+    }
+
+    fn get(&self, row: Index, col: Index) -> Option<T> {
+        match self {
+            DeltaRows::Sorted(rows) => rows[row]
+                .binary_search_by_key(&col, |&(c, _)| c)
+                .ok()
+                .map(|pos| rows[row][pos].1),
+            DeltaRows::Gapped(rows) => rows[row].get(col),
+        }
+    }
+
+    /// Insert or overwrite; returns `true` when the column was newly inserted.
+    fn set(&mut self, row: Index, col: Index, value: T) -> bool {
+        match self {
+            DeltaRows::Sorted(rows) => match rows[row].binary_search_by_key(&col, |&(c, _)| c) {
+                Ok(pos) => {
+                    rows[row][pos].1 = value;
+                    false
+                }
+                Err(pos) => {
+                    rows[row].insert(pos, (col, value));
+                    true
+                }
+            },
+            DeltaRows::Gapped(rows) => rows[row].insert(col, value),
+        }
+    }
+
+    fn row_iter(&self, row: Index) -> DeltaRowIter<'_, T> {
+        match self {
+            DeltaRows::Sorted(rows) => DeltaRowIter::Sorted(rows[row].iter()),
+            DeltaRows::Gapped(rows) => DeltaRowIter::Gapped(rows[row].iter()),
+        }
+    }
+
+    fn row_len(&self, row: Index) -> usize {
+        match self {
+            DeltaRows::Sorted(rows) => rows[row].len(),
+            DeltaRows::Gapped(rows) => rows[row].len(),
+        }
+    }
+
+    fn live(&self) -> usize {
+        match self {
+            DeltaRows::Sorted(rows) => rows.iter().map(Vec::len).sum(),
+            DeltaRows::Gapped(rows) => rows.iter().map(GappedList::len).sum(),
+        }
+    }
+
+    fn slots(&self) -> usize {
+        match self {
+            DeltaRows::Sorted(rows) => rows.iter().map(Vec::len).sum(),
+            DeltaRows::Gapped(rows) => rows.iter().map(GappedList::slots).sum(),
+        }
+    }
+
+    fn is_all_empty(&self) -> bool {
+        match self {
+            DeltaRows::Sorted(rows) => rows.iter().all(Vec::is_empty),
+            DeltaRows::Gapped(rows) => rows.iter().all(GappedList::is_empty),
+        }
+    }
+
+    fn clear_all(&mut self) {
+        match self {
+            DeltaRows::Sorted(rows) => rows.iter_mut().for_each(Vec::clear),
+            DeltaRows::Gapped(rows) => rows.iter_mut().for_each(GappedList::clear),
+        }
+    }
+
+    fn resize(&mut self, nrows: Index) {
+        match self {
+            DeltaRows::Sorted(rows) => rows.resize(nrows, Vec::new()),
+            DeltaRows::Gapped(rows) => rows.resize(nrows, GappedList::new()),
+        }
+    }
+}
+
 /// A sparse matrix optimised for interleaved reads and single-element insertions.
 #[derive(Clone, Debug)]
 pub struct DynamicMatrix<T> {
     base: Matrix<T>,
-    /// Per-row sorted `(col, value)` buffers holding insertions newer than `base`.
-    delta: Vec<Vec<(Index, T)>>,
+    /// Per-row buffers holding insertions newer than `base`.
+    delta: DeltaRows<T>,
     delta_nvals: usize,
     /// When the delta holds more than this fraction of the base entries, `compact`
     /// rebuilds the base (checked by [`DynamicMatrix::maybe_compact`]).
     compaction_ratio: f64,
+    compactions: usize,
 }
 
 impl<T: Scalar> DynamicMatrix<T> {
-    /// Create an empty dynamic matrix.
+    /// Create an empty dynamic matrix (gapped delta layout).
     pub fn new(nrows: Index, ncols: Index) -> Self {
         DynamicMatrix::from_matrix(Matrix::new(nrows, ncols))
     }
 
-    /// Wrap an existing CSR matrix as the frozen base.
+    /// Wrap an existing CSR matrix as the frozen base (gapped delta layout).
     pub fn from_matrix(base: Matrix<T>) -> Self {
+        DynamicMatrix::with_layout(base, DeltaLayout::Gapped)
+    }
+
+    /// Wrap an existing CSR matrix with an explicit delta-row layout.
+    pub fn with_layout(base: Matrix<T>, layout: DeltaLayout) -> Self {
         let nrows = base.nrows();
         DynamicMatrix {
             base,
-            delta: vec![Vec::new(); nrows],
+            delta: DeltaRows::new(layout, nrows),
             delta_nvals: 0,
             compaction_ratio: 0.25,
+            compactions: 0,
+        }
+    }
+
+    /// The delta-row layout this matrix was built with.
+    pub fn layout(&self) -> DeltaLayout {
+        self.delta.layout()
+    }
+
+    /// Set the delta-to-base fraction past which [`DynamicMatrix::maybe_compact`]
+    /// folds the delta into a fresh CSR base. Clamped below at a small positive
+    /// value: a zero or negative ratio would compact on (almost) every insert.
+    pub fn set_compaction_ratio(&mut self, ratio: f64) {
+        self.compaction_ratio = if ratio.is_finite() {
+            ratio.max(1e-6)
+        } else {
+            0.25
+        };
+    }
+
+    /// Builder-style [`DynamicMatrix::set_compaction_ratio`].
+    #[must_use]
+    pub fn with_compaction_ratio(mut self, ratio: f64) -> Self {
+        self.set_compaction_ratio(ratio);
+        self
+    }
+
+    /// The current compaction threshold fraction.
+    pub fn compaction_ratio(&self) -> f64 {
+        self.compaction_ratio
+    }
+
+    /// Counters and delta occupancy (see [`DynamicMatrixStats`]).
+    pub fn stats(&self) -> DynamicMatrixStats {
+        DynamicMatrixStats {
+            base_nvals: self.base.nvals(),
+            delta_nvals: self.delta_nvals,
+            delta_live: self.delta.live(),
+            delta_slots: self.delta.slots(),
+            compactions: self.compactions,
         }
     }
 
@@ -73,8 +286,8 @@ impl<T: Scalar> DynamicMatrix<T> {
         if row >= self.nrows() {
             return None;
         }
-        if let Ok(pos) = self.delta[row].binary_search_by_key(&col, |&(c, _)| c) {
-            return Some(self.delta[row][pos].1);
+        if let Some(value) = self.delta.get(row, col) {
+            return Some(value);
         }
         self.base.get(row, col)
     }
@@ -92,14 +305,8 @@ impl<T: Scalar> DynamicMatrix<T> {
                 context: "DynamicMatrix::set",
             });
         }
-        match self.delta[row].binary_search_by_key(&col, |&(c, _)| c) {
-            Ok(pos) => self.delta[row][pos].1 = value,
-            Err(pos) => {
-                self.delta[row].insert(pos, (col, value));
-                if self.base.get(row, col).is_none() {
-                    self.delta_nvals += 1;
-                }
-            }
+        if self.delta.set(row, col, value) && self.base.get(row, col).is_none() {
+            self.delta_nvals += 1;
         }
         Ok(())
     }
@@ -119,7 +326,7 @@ impl<T: Scalar> DynamicMatrix<T> {
     /// Grow the dimensions (the case-study workload only ever grows).
     pub fn resize(&mut self, nrows: Index, ncols: Index) {
         self.base.resize(nrows, ncols);
-        self.delta.resize(nrows, Vec::new());
+        self.delta.resize(nrows);
     }
 
     /// Iterate all `(row, col, value)` tuples, delta entries overriding base entries.
@@ -131,29 +338,32 @@ impl<T: Scalar> DynamicMatrix<T> {
     /// Merged (base + delta) contents of one row, sorted by column.
     pub fn row_merged(&self, row: Index) -> Vec<(Index, T)> {
         let (base_cols, base_vals) = self.base.row(row);
-        let delta = &self.delta[row];
-        let mut out = Vec::with_capacity(base_cols.len() + delta.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < base_cols.len() || j < delta.len() {
-            if j >= delta.len() || (i < base_cols.len() && base_cols[i] < delta[j].0) {
+        let mut out = Vec::with_capacity(base_cols.len() + self.delta.row_len(row));
+        let mut delta = self.delta.row_iter(row).peekable();
+        let mut i = 0usize;
+        while let Some(&(dc, dv)) = delta.peek() {
+            // emit base entries strictly before the next delta column
+            while i < base_cols.len() && base_cols[i] < dc {
                 out.push((base_cols[i], base_vals[i]));
                 i += 1;
-            } else if i >= base_cols.len() || delta[j].0 < base_cols[i] {
-                out.push(delta[j]);
-                j += 1;
-            } else {
-                // same column: the delta value is newer
-                out.push(delta[j]);
-                i += 1;
-                j += 1;
             }
+            if i < base_cols.len() && base_cols[i] == dc {
+                i += 1; // same column: the delta value is newer
+            }
+            out.push((dc, dv));
+            delta.next();
+        }
+        while i < base_cols.len() {
+            out.push((base_cols[i], base_vals[i]));
+            i += 1;
         }
         out
     }
 
-    /// Fold the delta buffers into a fresh CSR base.
+    /// Fold the delta buffers into a fresh CSR base and freeze the new base's
+    /// learned row index (compaction *is* the CSR freeze moment).
     pub fn compact(&mut self) {
-        if self.delta_nvals == 0 && self.delta.iter().all(Vec::is_empty) {
+        if self.delta_nvals == 0 && self.delta.is_all_empty() {
             return;
         }
         let nrows = self.nrows();
@@ -170,10 +380,10 @@ impl<T: Scalar> DynamicMatrix<T> {
             row_ptr.push(col_idx.len());
         }
         self.base = Matrix::from_csr_parts(nrows, ncols, row_ptr, col_idx, values);
-        for row in &mut self.delta {
-            row.clear();
-        }
+        self.base.freeze_index();
+        self.delta.clear_all();
         self.delta_nvals = 0;
+        self.compactions += 1;
     }
 
     /// Compact only if the delta has grown past the configured fraction of the base.
@@ -210,6 +420,7 @@ mod tests {
         assert_eq!(dynamic.get(0, 1), Some(5));
         assert_eq!(dynamic.get(1, 1), None);
         assert_eq!(dynamic.to_matrix(), base);
+        assert_eq!(dynamic.layout(), DeltaLayout::Gapped);
     }
 
     #[test]
@@ -250,9 +461,11 @@ mod tests {
         assert_eq!(dynamic.pending_delta(), 0);
         assert_eq!(dynamic.nvals(), 3);
         assert_eq!(dynamic.get(1, 1), Some(2));
+        assert_eq!(dynamic.stats().compactions, 1);
         // compacting twice is a no-op
         dynamic.compact();
         assert_eq!(dynamic.nvals(), 3);
+        assert_eq!(dynamic.stats().compactions, 1);
     }
 
     #[test]
@@ -273,6 +486,61 @@ mod tests {
     }
 
     #[test]
+    fn compaction_ratio_is_configurable() {
+        let base_tuples: Vec<(usize, usize, u64)> = (0..1000).map(|c| (0, c, 1)).collect();
+        let base = Matrix::from_tuples(1, 2000, &base_tuples, Plus::new()).unwrap();
+        // ratio 0.1 over 1000 base entries -> threshold max(100, 64) = 100
+        let mut eager = DynamicMatrix::from_matrix(base.clone()).with_compaction_ratio(0.1);
+        let mut lazy = DynamicMatrix::from_matrix(base);
+        assert_eq!(eager.compaction_ratio(), 0.1);
+        for c in 1000..1101 {
+            eager.set(0, c, 1).unwrap();
+            lazy.set(0, c, 1).unwrap();
+        }
+        assert!(eager.maybe_compact(), "101 pending > 100 threshold");
+        assert!(!lazy.maybe_compact(), "101 pending < 250 default threshold");
+        // degenerate ratios are clamped, not honoured
+        let mut clamped: DynamicMatrix<u64> = DynamicMatrix::new(1, 10).with_compaction_ratio(-3.0);
+        assert!(clamped.compaction_ratio() > 0.0);
+        clamped.set_compaction_ratio(f64::NAN);
+        assert_eq!(clamped.compaction_ratio(), 0.25);
+    }
+
+    #[test]
+    fn stats_report_occupancy_and_compactions() {
+        let mut dynamic: DynamicMatrix<u64> = DynamicMatrix::new(4, 4000);
+        let empty = dynamic.stats();
+        assert_eq!(empty.delta_nvals, 0);
+        assert_eq!(empty.delta_occupancy(), 1.0);
+        for c in 0..200 {
+            dynamic.set(1, c * 7 % 4000, 1).unwrap();
+        }
+        let stats = dynamic.stats();
+        assert_eq!(stats.delta_nvals, 200);
+        assert_eq!(stats.delta_live, 200);
+        assert!(stats.delta_slots >= stats.delta_live, "gapped keeps slack");
+        let occ = stats.delta_occupancy();
+        assert!(occ > 0.5 && occ <= 1.0, "occupancy {occ} out of range");
+        dynamic.compact();
+        let after = dynamic.stats();
+        assert_eq!(after.compactions, 1);
+        assert_eq!(after.base_nvals, 200);
+        assert_eq!(after.delta_live, 0);
+    }
+
+    #[test]
+    fn compact_freezes_the_base_index() {
+        let mut dynamic: DynamicMatrix<u64> = DynamicMatrix::new(1, 4000);
+        for c in 0..300 {
+            dynamic.set(0, c * 13 % 4000, c as u64).unwrap();
+        }
+        dynamic.compact();
+        let m = dynamic.to_matrix();
+        assert!(m.has_frozen_index(), "compaction freezes the learned index");
+        assert!(m.frozen_index_stats().0 >= 1);
+    }
+
+    #[test]
     fn equivalent_to_csr_insert_tuples() {
         // the dynamic path and the CSR merge path must produce the same matrix
         let base_tuples: Vec<(usize, usize, u64)> =
@@ -282,13 +550,53 @@ mod tests {
         let mut csr = Matrix::from_tuples(4, 4, &base_tuples, Plus::new()).unwrap();
         csr.insert_tuples(&extra, Plus::new()).unwrap();
 
-        let mut dynamic = DynamicMatrix::from_matrix(
-            Matrix::from_tuples(4, 4, &base_tuples, Plus::new()).unwrap(),
-        );
-        for &(r, c, v) in &extra {
-            dynamic.accumulate(r, c, v, Plus::new()).unwrap();
+        for layout in [DeltaLayout::Sorted, DeltaLayout::Gapped] {
+            let mut dynamic = DynamicMatrix::with_layout(
+                Matrix::from_tuples(4, 4, &base_tuples, Plus::new()).unwrap(),
+                layout,
+            );
+            for &(r, c, v) in &extra {
+                dynamic.accumulate(r, c, v, Plus::new()).unwrap();
+            }
+            assert_eq!(dynamic.to_matrix(), csr, "{layout:?}");
         }
-        assert_eq!(dynamic.to_matrix(), csr);
+    }
+
+    #[test]
+    fn layouts_stay_byte_identical_under_mixed_schedules() {
+        // deterministic interleaved insert/read/compact schedule over both layouts
+        let mut sorted: DynamicMatrix<u64> =
+            DynamicMatrix::with_layout(Matrix::new(8, 512), DeltaLayout::Sorted);
+        let mut gapped: DynamicMatrix<u64> =
+            DynamicMatrix::with_layout(Matrix::new(8, 512), DeltaLayout::Gapped);
+        let mut state = 0xC0FFEEu64;
+        for step in 0..3_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = ((state >> 33) % 8) as usize;
+            let c = ((state >> 13) % 512) as usize;
+            match state % 5 {
+                0..=2 => {
+                    sorted.set(r, c, step).unwrap();
+                    gapped.set(r, c, step).unwrap();
+                }
+                3 => {
+                    assert_eq!(sorted.get(r, c), gapped.get(r, c));
+                    sorted.accumulate(r, c, 1, Plus::new()).unwrap();
+                    gapped.accumulate(r, c, 1, Plus::new()).unwrap();
+                }
+                _ => {
+                    if state.is_multiple_of(97) {
+                        sorted.compact();
+                        gapped.compact();
+                    }
+                    assert_eq!(sorted.row_merged(r), gapped.row_merged(r));
+                }
+            }
+            assert_eq!(sorted.nvals(), gapped.nvals(), "step {step}");
+        }
+        assert_eq!(sorted.to_matrix(), gapped.to_matrix());
     }
 
     #[test]

@@ -10,15 +10,16 @@ mod dynamic;
 mod transpose;
 
 pub use builder::MatrixBuilder;
-pub use dynamic::DynamicMatrix;
+pub use dynamic::{DeltaLayout, DynamicMatrix, DynamicMatrixStats};
 
 use crate::error::{Error, Result};
+use crate::index::{LearnedSegments, RowIndex, DEFAULT_EPSILON, LEARNED_ROW_CUTOFF};
 use crate::ops_traits::BinaryOp;
 use crate::scalar::Scalar;
 use crate::types::Index;
 
 /// A sparse `nrows × ncols` matrix with elements of type `T`, stored in CSR form.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Matrix<T> {
     nrows: Index,
     ncols: Index,
@@ -26,6 +27,24 @@ pub struct Matrix<T> {
     row_ptr: Vec<usize>,
     col_idx: Vec<Index>,
     values: Vec<T>,
+    /// Learned per-row column indexes over the wide rows, built by
+    /// [`Matrix::freeze_index`] and dropped by every structural mutation. Purely an
+    /// acceleration cache: never part of the matrix's logical value (see the manual
+    /// [`PartialEq`] below).
+    row_index: Option<RowIndex>,
+}
+
+/// Equality is over the logical CSR content only — a frozen learned index is an
+/// acceleration cache and must not distinguish otherwise-identical matrices (the
+/// differential tests compare indexed against unindexed results).
+impl<T: PartialEq> PartialEq for Matrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl<T: Scalar> Matrix<T> {
@@ -37,6 +56,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr: vec![0; nrows + 1],
             col_idx: Vec::new(),
             values: Vec::new(),
+            row_index: None,
         }
     }
 
@@ -82,6 +102,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr,
             col_idx,
             values,
+            row_index: None,
         }
     }
 
@@ -148,12 +169,70 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// Look up the element at `(row, col)` (`GrB_Matrix_extractElement`).
+    ///
+    /// Wide rows of a frozen matrix (see [`Matrix::freeze_index`]) are probed through
+    /// their learned segment model — predict + bounded scan — instead of a binary
+    /// search; narrow rows always take the binary search.
     pub fn get(&self, row: Index, col: Index) -> Option<T> {
         if row >= self.nrows {
             return None;
         }
         let (cols, vals) = self.row(row);
+        if let Some(segments) = self.row_segments(row) {
+            return segments.locate(cols, col).map(|pos| vals[pos]);
+        }
         cols.binary_search(&col).ok().map(|pos| vals[pos])
+    }
+
+    /// The learned column model of `row`, when the matrix is frozen and the row is
+    /// wide enough to carry one.
+    #[inline]
+    pub fn row_segments(&self, row: Index) -> Option<&LearnedSegments> {
+        self.row_index.as_ref()?.row(row)
+    }
+
+    /// Build learned column indexes over the wide rows (those with at least
+    /// [`LEARNED_ROW_CUTOFF`] stored elements) with the default epsilon.
+    ///
+    /// Freezing is an explicit, amortised step: call it when the matrix will be read
+    /// heavily without structural changes — after the initial bulk load, or inside
+    /// [`DynamicMatrix::compact`], which does it automatically. Any subsequent
+    /// mutation ([`Matrix::set`], [`Matrix::insert_tuples`], …) drops the index; the
+    /// matrix then behaves exactly as before freezing.
+    pub fn freeze_index(&mut self) {
+        self.freeze_index_with_epsilon(DEFAULT_EPSILON);
+    }
+
+    /// [`Matrix::freeze_index`] with an explicit corridor half-width `epsilon`.
+    pub fn freeze_index_with_epsilon(&mut self, epsilon: usize) {
+        let mut rows = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, _) = self.row(r);
+            if cols.len() >= LEARNED_ROW_CUTOFF {
+                rows.push((r, LearnedSegments::build(cols, epsilon)));
+            }
+        }
+        self.row_index = if rows.is_empty() {
+            None
+        } else {
+            Some(RowIndex::from_rows(rows))
+        };
+    }
+
+    /// Whether a frozen learned index is currently attached (it may cover zero rows
+    /// if none is wide enough; this reports the attachment, not the coverage).
+    #[inline]
+    pub fn has_frozen_index(&self) -> bool {
+        self.row_index.is_some()
+    }
+
+    /// Per-row learned-index statistics of a frozen matrix: `(indexed rows, total
+    /// fitted segments)`. `(0, 0)` when no index is attached.
+    pub fn frozen_index_stats(&self) -> (usize, usize) {
+        match &self.row_index {
+            Some(index) => (index.indexed_rows(), index.total_segments()),
+            None => (0, 0),
+        }
     }
 
     /// Whether an element is stored at `(row, col)`.
@@ -168,6 +247,7 @@ impl<T: Scalar> Matrix<T> {
     /// [`Matrix::insert_tuples`] for bulk updates.
     pub fn set(&mut self, row: Index, col: Index, value: T) -> Result<()> {
         self.check_bounds(row, col, "Matrix::set")?;
+        self.row_index = None;
         let start = self.row_ptr[row];
         let end = self.row_ptr[row + 1];
         match self.col_idx[start..end].binary_search(&col) {
@@ -191,6 +271,7 @@ impl<T: Scalar> Matrix<T> {
         Op: BinaryOp<T, T, Output = T>,
     {
         self.check_bounds(row, col, "Matrix::accumulate")?;
+        self.row_index = None;
         let start = self.row_ptr[row];
         let end = self.row_ptr[row + 1];
         match self.col_idx[start..end].binary_search(&col) {
@@ -219,6 +300,7 @@ impl<T: Scalar> Matrix<T> {
         let end = self.row_ptr[row + 1];
         match self.col_idx[start..end].binary_search(&col) {
             Ok(pos) => {
+                self.row_index = None;
                 self.col_idx.remove(start + pos);
                 let value = self.values.remove(start + pos);
                 for p in &mut self.row_ptr[row + 1..] {
@@ -232,6 +314,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Remove every stored element (`GrB_Matrix_clear`). Dimensions are unchanged.
     pub fn clear(&mut self) {
+        self.row_index = None;
         self.row_ptr.iter_mut().for_each(|p| *p = 0);
         self.col_idx.clear();
         self.values.clear();
@@ -252,6 +335,7 @@ impl<T: Scalar> Matrix<T> {
         for &(r, c, _) in tuples {
             self.check_bounds(r, c, "Matrix::insert_tuples")?;
         }
+        self.row_index = None;
         let mut sorted: Vec<(Index, Index, T)> = tuples.to_vec();
         sorted.sort_by_key(|&(r, c, _)| (r, c));
 
@@ -309,6 +393,7 @@ impl<T: Scalar> Matrix<T> {
     /// Growing keeps all elements. Shrinking drops elements that fall outside the new
     /// dimensions, matching the C API semantics.
     pub fn resize(&mut self, new_nrows: Index, new_ncols: Index) {
+        self.row_index = None;
         // Rows: truncate or extend the row pointer array.
         if new_nrows < self.nrows {
             let keep = self.row_ptr[new_nrows];
@@ -624,6 +709,47 @@ mod tests {
         assert_eq!(m.get(0, 1), Some(1));
         assert_eq!(m.get(1, 2), Some(1));
         assert_eq!(m.nvals(), 2);
+    }
+
+    #[test]
+    fn frozen_index_accelerates_and_invalidates() {
+        // one wide row (>= LEARNED_ROW_CUTOFF) plus a narrow one
+        let mut tuples: Vec<(usize, usize, u64)> = (0..200).map(|c| (0, c * 3, c as u64)).collect();
+        tuples.push((1, 5, 99));
+        let mut m = Matrix::from_tuples(3, 600, &tuples, Plus::new()).unwrap();
+        assert!(!m.has_frozen_index());
+        m.freeze_index();
+        assert!(m.has_frozen_index());
+        let (rows, segments) = m.frozen_index_stats();
+        assert_eq!(rows, 1);
+        assert!(segments >= 1);
+        assert!(m.row_segments(0).is_some());
+        assert!(m.row_segments(1).is_none(), "narrow rows carry no model");
+        for c in 0..200 {
+            assert_eq!(m.get(0, c * 3), Some(c as u64));
+        }
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(1, 5), Some(99));
+        // every structural mutation drops the cache
+        m.set(2, 0, 1).unwrap();
+        assert!(!m.has_frozen_index());
+        m.freeze_index();
+        m.insert_tuples(&[(2, 1, 1)], Plus::new()).unwrap();
+        assert!(!m.has_frozen_index());
+        m.freeze_index();
+        m.remove(2, 0);
+        assert!(!m.has_frozen_index());
+        m.freeze_index();
+        m.resize(4, 700);
+        assert!(!m.has_frozen_index());
+        m.freeze_index();
+        m.clear();
+        assert!(!m.has_frozen_index());
+        // equality ignores the cache
+        let mut a = sample();
+        let b = sample();
+        a.freeze_index();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //!   [`super`]) — for rows whose flop count is tiny relative to `ncols`, where even
 //!   walking a touched-list is dominated by cache-missing into a cold dense array.
 //!
+//! Both the SPA and [`MaskFilter`] are laid out **SoA with generation stamps**: the
+//! liveness of slot `j` is `stamp[j] == epoch`, not an `Option` discriminant or a
+//! `bool` that has to be reset. The inner scatter loop reads/writes plain `T` values
+//! (half the bytes of `Option<u64>` slots, no branch on a discriminant), extraction
+//! copies values out instead of `take()`-ing each slot back to `None`, and resetting
+//! for the next row is a single epoch bump instead of a walk over the touched set.
+//! The pre-stamp AoS implementations are kept in [`reference`] so the `_reference`
+//! kernels and the `ablation_spgemm` bench can measure exactly what changed.
+//!
 //! [`spa_is_profitable`] is the per-row selection heuristic, and [`MaskFilter`] turns
 //! one mask row into an `O(1)`-per-product allowed-position test so masks can be
 //! pushed *into* the kernels (products for disallowed output positions are never
@@ -36,51 +45,77 @@ pub(crate) fn spa_is_profitable(flops: usize, ncols: Index) -> bool {
 }
 
 /// A dense sparse accumulator (SPA): `values[j]` holds the running `⊕`-sum of the
-/// products landing on output position `j`, `touched` remembers which positions are
-/// live. Extraction resets exactly the touched positions, so a single accumulator is
-/// reused across all rows of a kernel invocation without `O(ncols)` clearing.
+/// products landing on output position `j`, and `j` is live iff `stamp[j]` equals the
+/// current epoch. Extraction bumps the epoch, which retires every slot at once, so a
+/// single accumulator is reused across all rows of a kernel invocation without
+/// `O(ncols)` clearing *and* without revisiting the touched set to reset it.
 #[derive(Debug)]
 pub(crate) struct SparseAccumulator<T> {
-    values: Vec<Option<T>>,
+    /// Slot values; only meaningful where `stamp[j] == epoch`. Allocated lazily on
+    /// the first scatter because `T: Scalar` has no zero/default to prefill with.
+    values: Vec<T>,
+    /// Generation tag per slot: `stamp[j] == epoch` ⇔ slot `j` is live.
+    stamp: Vec<u32>,
+    /// Current generation; starts at 1 so a zeroed `stamp` array means "all dead".
+    epoch: u32,
     touched: Vec<Index>,
+    ncols: usize,
 }
 
 impl<T: Scalar> SparseAccumulator<T> {
     /// An accumulator for output rows of width `ncols`.
     pub(crate) fn new(ncols: Index) -> Self {
         SparseAccumulator {
-            values: vec![None; ncols],
+            values: Vec::new(),
+            stamp: vec![0; ncols],
+            epoch: 1,
             touched: Vec::new(),
+            ncols,
         }
     }
 
     /// Accumulate `value` into position `j` with the monoid `add`.
     #[inline]
     pub(crate) fn scatter<M: Monoid<T>>(&mut self, j: Index, value: T, add: &M) {
-        match &mut self.values[j] {
-            Some(slot) => *slot = add.apply(*slot, value),
-            slot @ None => {
-                *slot = Some(value);
-                self.touched.push(j);
+        if self.stamp[j] == self.epoch {
+            self.values[j] = add.apply(self.values[j], value);
+        } else {
+            if self.values.is_empty() {
+                // first scatter ever: fill with the first value (any T works — the
+                // stamps gate every read, so prefill junk is never observed)
+                self.values.resize(self.ncols, value);
             }
+            self.stamp[j] = self.epoch;
+            self.values[j] = value;
+            self.touched.push(j);
         }
     }
 
     /// Drain the accumulated row as sorted `(indices, values)` and reset the
-    /// accumulator for the next row.
+    /// accumulator for the next row (one epoch bump — no per-slot writes).
     pub(crate) fn extract_sorted(&mut self) -> (Vec<Index>, Vec<T>) {
         self.touched.sort_unstable();
         let mut indices = Vec::with_capacity(self.touched.len());
         let mut values = Vec::with_capacity(self.touched.len());
         for &j in &self.touched {
-            let slot = self.values[j]
-                .take()
-                .expect("touched position holds a value"); // lint: allow(panic) — the touched set only records positions that hold values
             indices.push(j);
-            values.push(slot);
+            values.push(self.values[j]);
         }
         self.touched.clear();
+        self.advance_epoch();
         (indices, values)
+    }
+
+    /// Retire all live slots. On `u32` wrap the stamps are rewritten once — a
+    /// once-per-4-billion-rows `O(ncols)` pass.
+    #[inline]
+    fn advance_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 }
 
@@ -88,15 +123,17 @@ impl<T: Scalar> SparseAccumulator<T> {
 /// masks down into the multiplication kernels.
 ///
 /// The *present* positions of the mask (stored positions for a structural mask,
-/// stored-truthy positions for a value mask) are marked in a dense flag array;
-/// [`MaskFilter::allows`] then answers in constant time for plain and complemented
-/// masks alike — `allowed = marked ≠ complemented`. Like the SPA, the flag array is
-/// reused across rows: [`MaskFilter::load`] resets only the previously marked
-/// positions.
+/// stored-truthy positions for a value mask) are stamped with the current epoch in a
+/// dense generation array; [`MaskFilter::allows`] then answers in constant time for
+/// plain and complemented masks alike — `allowed = (stamp[j] == epoch) ≠ complemented`.
+/// Unlike a `bool` flag array, [`MaskFilter::load`] needs no reset walk over the
+/// previous row's marks: bumping the epoch retires them all at once.
 #[derive(Debug)]
 pub(crate) struct MaskFilter {
-    marked: Vec<bool>,
-    touched: Vec<Index>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Number of positions marked in the current epoch.
+    present: usize,
     complemented: bool,
 }
 
@@ -104,22 +141,25 @@ impl MaskFilter {
     /// A filter over output positions `0..ncols`.
     pub(crate) fn new(ncols: Index, complemented: bool) -> Self {
         MaskFilter {
-            marked: vec![false; ncols],
-            touched: Vec::new(),
+            stamp: vec![0; ncols],
+            epoch: 0,
+            present: 0,
             complemented,
         }
     }
 
     /// Replace the marked set with the mask's present positions for the current row.
     pub(crate) fn load(&mut self, present: impl IntoIterator<Item = Index>) {
-        for &j in &self.touched {
-            self.marked[j] = false;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
         }
-        self.touched.clear();
+        self.epoch += 1;
+        self.present = 0;
         for j in present {
-            if !self.marked[j] {
-                self.marked[j] = true;
-                self.touched.push(j);
+            if self.stamp[j] != self.epoch {
+                self.stamp[j] = self.epoch;
+                self.present += 1;
             }
         }
     }
@@ -127,14 +167,108 @@ impl MaskFilter {
     /// Whether the mask allows writing to output position `j`.
     #[inline]
     pub(crate) fn allows(&self, j: Index) -> bool {
-        self.marked[j] != self.complemented
+        (self.stamp[j] == self.epoch) != self.complemented
     }
 
-    /// The number of positions a non-complemented filter allows (used to skip rows
+    /// Whether a non-complemented filter allows no position at all (used to skip rows
     /// whose mask is empty before any product is formed).
     #[inline]
     pub(crate) fn allowed_is_empty(&self) -> bool {
-        !self.complemented && self.touched.is_empty()
+        !self.complemented && self.present == 0
+    }
+}
+
+/// The pre-PR-9 AoS accumulator and mask filter, frozen as references.
+///
+/// [`super::mxm_masked_reference_spa`] runs the exact old masked push-down kernel on
+/// top of these, so differential tests can prove the stamped SoA rewrite byte-identical
+/// and `ablation_spgemm` can measure the layouts against each other.
+pub(crate) mod reference {
+    use super::{Index, Monoid, Scalar};
+
+    /// `Option`-slot SPA: liveness is the `Option` discriminant, extraction
+    /// `take()`s every touched slot back to `None`.
+    #[derive(Debug)]
+    pub(crate) struct OptionSlotAccumulator<T> {
+        values: Vec<Option<T>>,
+        touched: Vec<Index>,
+    }
+
+    impl<T: Scalar> OptionSlotAccumulator<T> {
+        pub(crate) fn new(ncols: Index) -> Self {
+            OptionSlotAccumulator {
+                values: vec![None; ncols],
+                touched: Vec::new(),
+            }
+        }
+
+        #[inline]
+        pub(crate) fn scatter<M: Monoid<T>>(&mut self, j: Index, value: T, add: &M) {
+            match &mut self.values[j] {
+                Some(slot) => *slot = add.apply(*slot, value),
+                slot @ None => {
+                    *slot = Some(value);
+                    self.touched.push(j);
+                }
+            }
+        }
+
+        pub(crate) fn extract_sorted(&mut self) -> (Vec<Index>, Vec<T>) {
+            self.touched.sort_unstable();
+            let mut indices = Vec::with_capacity(self.touched.len());
+            let mut values = Vec::with_capacity(self.touched.len());
+            for &j in &self.touched {
+                let slot = self.values[j]
+                    .take()
+                    .expect("touched position holds a value"); // lint: allow(panic) — the touched set only records positions that hold values
+                indices.push(j);
+                values.push(slot);
+            }
+            self.touched.clear();
+            (indices, values)
+        }
+    }
+
+    /// `bool`-flag mask filter: loading a row walks the previous row's marks to
+    /// reset them.
+    #[derive(Debug)]
+    pub(crate) struct BoolMaskFilter {
+        marked: Vec<bool>,
+        touched: Vec<Index>,
+        complemented: bool,
+    }
+
+    impl BoolMaskFilter {
+        pub(crate) fn new(ncols: Index, complemented: bool) -> Self {
+            BoolMaskFilter {
+                marked: vec![false; ncols],
+                touched: Vec::new(),
+                complemented,
+            }
+        }
+
+        pub(crate) fn load(&mut self, present: impl IntoIterator<Item = Index>) {
+            for &j in &self.touched {
+                self.marked[j] = false;
+            }
+            self.touched.clear();
+            for j in present {
+                if !self.marked[j] {
+                    self.marked[j] = true;
+                    self.touched.push(j);
+                }
+            }
+        }
+
+        #[inline]
+        pub(crate) fn allows(&self, j: Index) -> bool {
+            self.marked[j] != self.complemented
+        }
+
+        #[inline]
+        pub(crate) fn allowed_is_empty(&self) -> bool {
+            !self.complemented && self.touched.is_empty()
+        }
     }
 }
 
@@ -153,11 +287,29 @@ mod tests {
         let (idx, vals) = spa.extract_sorted();
         assert_eq!(idx, vec![2, 7]);
         assert_eq!(vals, vec![2, 4]);
-        // reusable after extraction
+        // reusable after extraction: the epoch bump must retire the old slots
         spa.scatter(7, 5, &add);
         let (idx, vals) = spa.extract_sorted();
         assert_eq!(idx, vec![7]);
         assert_eq!(vals, vec![5]);
+    }
+
+    #[test]
+    fn spa_epoch_wrap_resets_stamps() {
+        let mut spa = SparseAccumulator::new(4);
+        let add = Plus::<u64>::new();
+        spa.scatter(1, 7, &add);
+        let _ = spa.extract_sorted();
+        // force the wrap path: a stale stamp equal to the post-wrap epoch must not
+        // resurrect the old value
+        spa.epoch = u32::MAX;
+        spa.scatter(1, 9, &add);
+        let (idx, vals) = spa.extract_sorted();
+        assert_eq!((idx, vals), (vec![1], vec![9]));
+        spa.scatter(1, 3, &add);
+        spa.scatter(2, 4, &add);
+        let (idx, vals) = spa.extract_sorted();
+        assert_eq!((idx, vals), (vec![1, 2], vec![3, 4]));
     }
 
     #[test]
@@ -175,12 +327,43 @@ mod tests {
         assert!(comp.allows(0));
         assert!(!comp.allowed_is_empty());
 
-        // reloading clears previous marks
+        // reloading retires previous marks without a reset walk
         plain.load([0]);
         assert!(plain.allows(0));
         assert!(!plain.allows(1));
         plain.load([]);
         assert!(plain.allowed_is_empty());
+    }
+
+    #[test]
+    fn mask_filter_epoch_wrap() {
+        let mut filter = MaskFilter::new(3, false);
+        filter.load([2]);
+        filter.epoch = u32::MAX;
+        filter.load([0]);
+        assert!(filter.allows(0));
+        assert!(!filter.allows(2), "stale mark must not survive the wrap");
+    }
+
+    #[test]
+    fn reference_accumulators_match_stamped() {
+        let add = Plus::<u64>::new();
+        let mut spa = SparseAccumulator::new(16);
+        let mut old = reference::OptionSlotAccumulator::new(16);
+        for &(j, v) in &[(3usize, 5u64), (9, 1), (3, 2), (15, 7), (0, 4)] {
+            spa.scatter(j, v, &add);
+            old.scatter(j, v, &add);
+        }
+        assert_eq!(spa.extract_sorted(), old.extract_sorted());
+
+        let mut new_filter = MaskFilter::new(8, true);
+        let mut old_filter = reference::BoolMaskFilter::new(8, true);
+        new_filter.load([1, 5, 1]);
+        old_filter.load([1, 5, 1]);
+        for j in 0..8 {
+            assert_eq!(new_filter.allows(j), old_filter.allows(j));
+        }
+        assert_eq!(new_filter.allowed_is_empty(), old_filter.allowed_is_empty());
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub use ewise_mult::{ewise_mult_matrix, ewise_mult_vector};
 pub use ewise_union::{ewise_union_matrix, ewise_union_vector};
 pub use extract::{extract_col, extract_row, extract_submatrix, extract_subvector};
 pub use kronecker::{kronecker, kronecker_power};
-pub use mxm::{mxm, mxm_masked, mxm_masked_postfilter, mxm_par, mxm_reference};
+pub use mxm::{
+    mxm, mxm_masked, mxm_masked_postfilter, mxm_masked_reference_spa, mxm_par, mxm_reference,
+};
 pub use mxv::{mxv, mxv_masked, mxv_par};
 pub use par::{
     apply_matrix_par, ewise_add_matrix_par, ewise_mult_matrix_par, mxm_masked_par, mxv_masked_par,

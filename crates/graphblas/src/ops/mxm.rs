@@ -27,7 +27,7 @@ use crate::scalar::{MaskValue, Scalar};
 use crate::semiring::Semiring;
 use crate::types::Index;
 
-use super::accum::{spa_is_profitable, MaskFilter, SparseAccumulator};
+use super::accum::{reference, spa_is_profitable, MaskFilter, SparseAccumulator};
 use super::combine_products;
 
 /// Row results of the parallel kernels: per contiguous row chunk, one
@@ -352,6 +352,82 @@ where
     Ok(assemble(full.nrows(), full.ncols(), rows))
 }
 
+/// The pre-stamp masked push-down kernel: identical control flow to [`mxm_masked`],
+/// but accumulating through the frozen AoS `accum::reference` structures
+/// (`Option`-slot SPA, `bool`-flag mask filter). Same result as [`mxm_masked`]; kept
+/// so differential tests can prove the stamped SoA rewrite byte-identical and the
+/// `ablation_spgemm` bench can measure the two accumulator layouts against each other.
+pub fn mxm_masked_reference_spa<A, B, S, M>(
+    mask: &MatrixMask<'_, M>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    semiring: S,
+) -> Result<Matrix<S::Output>>
+where
+    A: Scalar,
+    B: Scalar,
+    M: MaskValue,
+    S: Semiring<A, B>,
+{
+    check_dims(a, b)?;
+    check_mask_dims(mask, a, b)?;
+    let add = semiring.add();
+    let mul = semiring.mul();
+    let mut spa = reference::OptionSlotAccumulator::new(b.ncols());
+    let mut filter = reference::BoolMaskFilter::new(b.ncols(), mask.is_complemented());
+    let mut rows = Vec::with_capacity(a.nrows());
+    for r in 0..a.nrows() {
+        filter.load(mask.row_present_positions(r));
+        if filter.allowed_is_empty() {
+            rows.push((Vec::new(), Vec::new()));
+            continue;
+        }
+        let (a_cols, a_vals) = a.row(r);
+        let flops = row_flops(a, b, r);
+        if flops == 0 {
+            rows.push((Vec::new(), Vec::new()));
+            continue;
+        }
+        if a_cols.len() == 1 {
+            let aik = a_vals[0];
+            let (b_cols, b_vals) = b.row(a_cols[0]);
+            let mut cols = Vec::with_capacity(b_cols.len());
+            let mut vals = Vec::with_capacity(b_cols.len());
+            for (pos, &j) in b_cols.iter().enumerate() {
+                if filter.allows(j) {
+                    cols.push(j);
+                    vals.push(mul.apply(aik, b_vals[pos]));
+                }
+            }
+            rows.push((cols, vals));
+        } else if spa_is_profitable(flops, b.ncols()) {
+            for (pos, &k) in a_cols.iter().enumerate() {
+                let aik = a_vals[pos];
+                let (b_cols, b_vals) = b.row(k);
+                for (bpos, &j) in b_cols.iter().enumerate() {
+                    if filter.allows(j) {
+                        spa.scatter(j, mul.apply(aik, b_vals[bpos]), &add);
+                    }
+                }
+            }
+            rows.push(spa.extract_sorted());
+        } else {
+            let mut products: Vec<(Index, S::Output)> = Vec::with_capacity(flops);
+            for (pos, &k) in a_cols.iter().enumerate() {
+                let aik = a_vals[pos];
+                let (b_cols, b_vals) = b.row(k);
+                for (bpos, &j) in b_cols.iter().enumerate() {
+                    if filter.allows(j) {
+                        products.push((j, mul.apply(aik, b_vals[bpos])));
+                    }
+                }
+            }
+            rows.push(combine_products(products, semiring.add()));
+        }
+    }
+    Ok(assemble(a.nrows(), b.ncols(), rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,5 +586,11 @@ mod tests {
         let m = mxm_masked(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
         let p = mxm_masked_postfilter(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
         assert_eq!(m, p);
+        let s = mxm_masked_reference_spa(&mask, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(m, s);
+        let comp = MatrixMask::structural(&mask_matrix).complement();
+        let mc = mxm_masked(&comp, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        let sc = mxm_masked_reference_spa(&comp, &a(), &b(), stock::plus_times::<u64>()).unwrap();
+        assert_eq!(mc, sc);
     }
 }

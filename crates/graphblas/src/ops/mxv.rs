@@ -8,6 +8,7 @@
 use rayon::prelude::*;
 
 use crate::error::{Error, Result};
+use crate::index::LearnedSegments;
 use crate::mask::VectorMask;
 use crate::matrix::Matrix;
 use crate::ops_traits::BinaryOp;
@@ -16,10 +17,26 @@ use crate::semiring::Semiring;
 use crate::types::Index;
 use crate::vector::Vector;
 
-/// Compute one output element: the semiring "dot product" of a CSR row with a sparse
-/// vector, merging the two sorted index lists.
+/// A learned-probe dot product pays one `locate` per `u` entry; the merge walks the
+/// whole row. Probe only when the row is this many times wider than `u`.
+const PROBE_WIDTH_RATIO: usize = 8;
+
+/// Compute one output element: the semiring "dot product" of one row of `A` with `u`.
+///
+/// Default is a sorted merge of the two index lists. When the matrix carries a frozen
+/// learned index for this row ([`Matrix::row_segments`]) and the row is far wider
+/// than `u`, the kernel instead probes each `u` entry through
+/// [`LearnedSegments::locate`] — `O(|u|)` bounded-window probes instead of an
+/// `O(|row| + |u|)` walk. `u` is sorted, so products still accumulate in increasing
+/// column order and the result is bit-identical to the merge.
 #[inline]
-fn row_dot<A, B, S>(cols: &[Index], vals: &[A], u: &Vector<B>, semiring: &S) -> Option<S::Output>
+fn row_dot<A, B, S>(
+    cols: &[Index],
+    vals: &[A],
+    segments: Option<&LearnedSegments>,
+    u: &Vector<B>,
+    semiring: &S,
+) -> Option<S::Output>
 where
     A: Scalar,
     B: Scalar,
@@ -31,6 +48,20 @@ where
     let u_val = u.values();
 
     let mut acc: Option<S::Output> = None;
+    if let Some(model) = segments {
+        if !u_idx.is_empty() && cols.len() >= PROBE_WIDTH_RATIO * u_idx.len() {
+            for (j, &col) in u_idx.iter().enumerate() {
+                if let Some(pos) = model.locate(cols, col) {
+                    let product = mul.apply(vals[pos], u_val[j]);
+                    acc = Some(match acc {
+                        None => product,
+                        Some(a) => add.apply(a, product),
+                    });
+                }
+            }
+            return acc;
+        }
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < cols.len() && j < u_idx.len() {
         match cols[i].cmp(&u_idx[j]) {
@@ -83,7 +114,7 @@ where
         if cols.is_empty() {
             continue;
         }
-        if let Some(v) = row_dot(cols, vals, u, &semiring) {
+        if let Some(v) = row_dot(cols, vals, a.row_segments(r), u, &semiring) {
             indices.push(r);
             values.push(v);
         }
@@ -131,7 +162,7 @@ where
             continue;
         }
         let (cols, vals) = a.row(r);
-        if let Some(v) = row_dot(cols, vals, u, &semiring) {
+        if let Some(v) = row_dot(cols, vals, a.row_segments(r), u, &semiring) {
             indices.push(r);
             values.push(v);
         }
@@ -162,7 +193,7 @@ where
                 return None;
             }
             let (cols, vals) = a.row(r);
-            row_dot(cols, vals, u, &semiring).map(|v| (r, v))
+            row_dot(cols, vals, a.row_segments(r), u, &semiring).map(|v| (r, v))
         })
         .collect();
     let mut indices = Vec::with_capacity(results.len());
@@ -190,7 +221,7 @@ where
             if cols.is_empty() {
                 return None;
             }
-            row_dot(cols, vals, u, &semiring).map(|v| (r, v))
+            row_dot(cols, vals, a.row_segments(r), u, &semiring).map(|v| (r, v))
         })
         .collect();
     let mut indices = Vec::with_capacity(results.len());
@@ -276,5 +307,23 @@ mod tests {
         let u = Vector::<u64>::new(4);
         let w = mxv(&matrix(), &u, stock::plus_times::<u64>()).unwrap();
         assert_eq!(w.nvals(), 0);
+    }
+
+    #[test]
+    fn mxv_learned_probe_matches_merge() {
+        // one wide row (past the learned-index cutoff) and a narrow u: the frozen
+        // matrix takes the probe path, the unfrozen copy takes the merge path
+        let tuples: Vec<(usize, usize, u64)> = (0..500).map(|c| (0, c * 3, c as u64 + 1)).collect();
+        let mut frozen = Matrix::from_tuples(2, 1500, &tuples, Plus::new()).unwrap();
+        let plain = frozen.clone();
+        frozen.freeze_index();
+        assert!(frozen.has_frozen_index());
+        // hits (multiples of 3) and misses interleaved, well under width/8 entries
+        let u_tuples: Vec<(usize, u64)> = (0..20).map(|i| (i * 71, i as u64 + 2)).collect();
+        let u = Vector::from_tuples(1500, &u_tuples, Plus::new()).unwrap();
+        let probed = mxv(&frozen, &u, stock::plus_times::<u64>()).unwrap();
+        let merged = mxv(&plain, &u, stock::plus_times::<u64>()).unwrap();
+        assert_eq!(probed, merged);
+        assert!(probed.nvals() > 0);
     }
 }

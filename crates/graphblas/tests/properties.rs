@@ -571,3 +571,158 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a sorted, deduplicated key slice drawn from one of the distributions the
+/// learned index has to cope with — uniform, clustered runs, exponential gaps, or a
+/// single key. (The vendored proptest has no `prop_oneof!`, so the distribution is
+/// picked by a generated mode selector.)
+fn sorted_keys_strategy() -> impl Strategy<Value = Vec<usize>> {
+    (
+        0u8..4,
+        prop::collection::vec((0usize..5_000, 1usize..40), 1..60),
+        0usize..1_000,
+    )
+        .prop_map(|(mode, raw, start)| {
+            let mut keys: Vec<usize> = match mode {
+                // uniform: the raw draws themselves
+                0 => raw.iter().map(|&(k, _)| k).collect(),
+                // clustered: short dense runs separated by irregular gaps
+                1 => {
+                    let mut keys = Vec::new();
+                    let mut base = start;
+                    for &(gap, run) in raw.iter().take(12) {
+                        base += 100 + gap % 50 * 37;
+                        for i in 0..run {
+                            keys.push(base + i);
+                        }
+                    }
+                    keys
+                }
+                // exponential gaps: doubling distance between keys
+                2 => {
+                    let mut keys = Vec::new();
+                    let mut k = start;
+                    let mut gap = 1usize;
+                    for _ in 0..raw.len().min(30) {
+                        keys.push(k);
+                        k += gap;
+                        gap = gap.saturating_mul(2).min(1 << 20);
+                    }
+                    keys
+                }
+                // single key
+                _ => vec![start],
+            };
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn learned_locate_agrees_with_binary_search(
+        keys in sorted_keys_strategy(),
+        probes in prop::collection::vec(0usize..6_000, 1..40),
+        epsilon in 1usize..64,
+    ) {
+        let segments = graphblas::LearnedSegments::build(&keys, epsilon);
+        // every stored key is found at its exact position
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(segments.locate(&keys, k), Some(i));
+        }
+        // arbitrary probes agree with binary_search, hit or miss
+        for &p in &probes {
+            prop_assert_eq!(segments.locate(&keys, p), keys.binary_search(&p).ok());
+        }
+    }
+
+    #[test]
+    fn gapped_dynamic_matrix_matches_csr_schedule(
+        base_tuples in tuples_strategy(NR, NC, 30),
+        ops_list in prop::collection::vec(
+            (0..NR, 0..NC, 1u64..50, 0u8..4), 0..120),
+    ) {
+        // the same interleaved insert/read/compact schedule applied to a plain CSR
+        // matrix and to DynamicMatrix in both delta layouts must stay byte-identical
+        let base = Matrix::from_tuples(NR, NC, &base_tuples, Plus::new()).unwrap();
+        let mut csr = base.clone();
+        let mut sorted = graphblas::DynamicMatrix::with_layout(
+            base.clone(), graphblas::DeltaLayout::Sorted);
+        let mut gapped = graphblas::DynamicMatrix::with_layout(
+            base, graphblas::DeltaLayout::Gapped);
+        for &(r, c, v, action) in &ops_list {
+            match action {
+                0 | 1 => {
+                    csr.set(r, c, v).unwrap();
+                    sorted.set(r, c, v).unwrap();
+                    gapped.set(r, c, v).unwrap();
+                }
+                2 => {
+                    csr.accumulate(r, c, v, Plus::new()).unwrap();
+                    sorted.accumulate(r, c, v, Plus::new()).unwrap();
+                    gapped.accumulate(r, c, v, Plus::new()).unwrap();
+                }
+                _ => {
+                    prop_assert_eq!(csr.get(r, c), gapped.get(r, c));
+                    if v % 7 == 0 {
+                        sorted.compact();
+                        gapped.compact();
+                    }
+                }
+            }
+            prop_assert_eq!(csr.nvals(), gapped.nvals());
+        }
+        prop_assert_eq!(&sorted.to_matrix(), &csr);
+        prop_assert_eq!(&gapped.to_matrix(), &csr);
+    }
+
+    #[test]
+    fn mxm_masked_matches_reference_spa(
+        a_tuples in tuples_strategy(NR, NK, 30),
+        b_tuples in tuples_strategy(NK, NC, 30),
+        m_tuples in tuples_strategy(NR, NC, 40),
+    ) {
+        // the stamped SoA accumulators must be byte-identical to the frozen AoS
+        // reference kernel, for plain and complemented masks
+        let a = Matrix::from_tuples(NR, NK, &a_tuples, Plus::new()).unwrap();
+        let b = Matrix::from_tuples(NK, NC, &b_tuples, Plus::new()).unwrap();
+        let mask_matrix = Matrix::from_tuples(NR, NC, &m_tuples, Plus::new()).unwrap();
+        for complemented in [false, true] {
+            let mask = if complemented {
+                graphblas::MatrixMask::structural(&mask_matrix).complement()
+            } else {
+                graphblas::MatrixMask::structural(&mask_matrix)
+            };
+            prop_assert_eq!(
+                ops::mxm_masked(&mask, &a, &b, stock::plus_times::<u64>()).unwrap(),
+                ops::mxm_masked_reference_spa(&mask, &a, &b, stock::plus_times::<u64>())
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_index_never_changes_results(
+        tuples in tuples_strategy(4, 600, 250),
+        v_tuples in vector_tuples_strategy(600, 12),
+        probes in prop::collection::vec((0usize..4, 0usize..600), 1..30),
+    ) {
+        // freezing the learned row index is a pure cache: get() and the mxv probe
+        // path must answer exactly as the unfrozen matrix does
+        let plain = Matrix::from_tuples(4, 600, &tuples, Plus::new()).unwrap();
+        let mut frozen = plain.clone();
+        frozen.freeze_index();
+        for &(r, c) in &probes {
+            prop_assert_eq!(frozen.get(r, c), plain.get(r, c));
+        }
+        let u = Vector::from_tuples(600, &v_tuples, Plus::new()).unwrap();
+        prop_assert_eq!(
+            ops::mxv(&frozen, &u, stock::plus_times::<u64>()).unwrap(),
+            ops::mxv(&plain, &u, stock::plus_times::<u64>()).unwrap()
+        );
+        prop_assert_eq!(&frozen, &plain);
+    }
+}

@@ -117,7 +117,7 @@ impl SocialGraph {
             }
         }
 
-        SocialGraph {
+        let mut graph = SocialGraph {
             root_post: Matrix::from_tuples(np, nc, &root_post_tuples, First::new())
                 .expect("indices in range by construction"), // lint: allow(panic) — all four matrices were built over the interned index spaces
             likes: Matrix::from_tuples(nc, nu, &likes_tuples, First::new())
@@ -131,7 +131,15 @@ impl SocialGraph {
             users,
             post_timestamps,
             comment_timestamps,
-        }
+        };
+        // the initial load is the CSR "freeze" moment: build the learned row indexes
+        // once here; later changeset mutations simply invalidate them (rebuilding per
+        // batch would cost more than the point lookups it saves)
+        graph.root_post.freeze_index();
+        graph.likes.freeze_index();
+        graph.friends.freeze_index();
+        graph.commented.freeze_index();
+        graph
     }
 
     /// Number of posts.

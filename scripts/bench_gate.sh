@@ -21,5 +21,8 @@ cargo build --release -p bench --bins --benches
 echo "==> ablation_spgemm (quick mode: sf1 only)"
 ABLATION_SPGEMM_QUICK=1 cargo bench -p bench --bench ablation_spgemm
 
+echo "==> ablation_dynamic_matrix (quick mode: n=2000 only)"
+ABLATION_DYNMAT_QUICK=1 cargo bench -p bench --bench ablation_dynamic_matrix
+
 echo "==> bench_gate (throughput vs BENCH_stream.json)"
 cargo run --release -p bench --bin bench_gate -- "$@"

@@ -68,6 +68,10 @@ done
 echo "==> serve_throughput --smoke (epoch-published read path under concurrent readers)"
 cargo run --release -p bench --bin serve_throughput -- --smoke > /dev/null
 
+echo "==> ablation benches, quick mode (kernel variants must run, differential panics fail)"
+ABLATION_SPGEMM_QUICK=1 cargo bench -p bench --bench ablation_spgemm -- --quick > /dev/null
+ABLATION_DYNMAT_QUICK=1 cargo bench -p bench --bench ablation_dynamic_matrix -- --quick > /dev/null
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
