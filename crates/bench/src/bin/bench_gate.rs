@@ -3,9 +3,11 @@
 //! Runs a fixed, quick streaming configuration (sf1, seeded stream, smoke-sized
 //! batch counts) for a curated set of (query, variant, shards) combinations —
 //! including a crash-tolerant pipelined entry (`q1/pipelined/recover`) whose
-//! measurement kills and restores a shard mid-run, and a serving entry
+//! measurement kills and restores a shard mid-run, a serving entry
 //! (`q1/pipelined/serve`) that gates the write path with the epoch-published
-//! read path armed and concurrent readers polling — writes the measurements as
+//! read path armed and concurrent readers polling, and an elastic-resharding
+//! entry (`q1/pipelined/reshard`) that doubles the shard count at the halfway
+//! barrier — writes the measurements as
 //! `BENCH_stream.json`-shaped JSON, and compares them against the checked-in
 //! baseline: CI fails when any variant's sustained updates/sec drops more than
 //! the tolerance (default 20%) below its baseline.
@@ -80,6 +82,10 @@ struct GateEntry {
     /// the view-building and publication overhead under concurrent readers
     /// (requires `pipelined`).
     serve: bool,
+    /// Reshard the pipeline from `shards` to twice that halfway through the
+    /// run, so the gated number includes one full elastic-reshard barrier —
+    /// drain, checkpoint split, fleet respawn (requires `pipelined`).
+    reshard: bool,
 }
 
 const GRID: &[GateEntry] = &[
@@ -92,6 +98,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q2/incremental",
@@ -102,6 +109,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q2/incremental-cc",
@@ -112,6 +120,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q1/incremental/shards4",
@@ -122,6 +131,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q2/incremental/shards4",
@@ -132,6 +142,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q1/incremental/shards4/ring",
@@ -142,6 +153,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q2/incremental/shards4/ring",
@@ -152,6 +164,7 @@ const GRID: &[GateEntry] = &[
         pipelined: false,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q1/incremental/shards2/pipelined",
@@ -162,6 +175,7 @@ const GRID: &[GateEntry] = &[
         pipelined: true,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q2/incremental/shards2/pipelined",
@@ -172,6 +186,7 @@ const GRID: &[GateEntry] = &[
         pipelined: true,
         recover: false,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q1/pipelined/recover",
@@ -182,6 +197,7 @@ const GRID: &[GateEntry] = &[
         pipelined: true,
         recover: true,
         serve: false,
+        reshard: false,
     },
     GateEntry {
         key: "q1/pipelined/serve",
@@ -192,6 +208,18 @@ const GRID: &[GateEntry] = &[
         pipelined: true,
         recover: false,
         serve: true,
+        reshard: false,
+    },
+    GateEntry {
+        key: "q1/pipelined/reshard",
+        query: Query::Q1,
+        variant: "incremental",
+        shards: 2,
+        partitioner: "mod",
+        pipelined: true,
+        recover: false,
+        serve: false,
+        reshard: true,
     },
 ];
 
@@ -308,6 +336,13 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
             } else {
                 (Vec::new(), None)
             };
+            // reshard entries double the shard count at the halfway barrier,
+            // so the gated number pays one drain + split + respawn cycle
+            let reshards = if entry.reshard {
+                vec![(((WARMUP + BATCHES) / 2) as u64, entry.shards * 2)]
+            } else {
+                Vec::new()
+            };
             let mut engine = PipelinedEngine::graphblas(
                 entry.query,
                 backend,
@@ -316,6 +351,7 @@ fn measure_one(network: &SocialNetwork, entry: &GateEntry) -> StreamReport {
                     warmup_batches: WARMUP,
                     kill_shards,
                     recovery,
+                    reshards,
                     ..PipelineConfig::default()
                 },
             );
@@ -485,6 +521,7 @@ fn measure_report() -> Value {
                 "pipelined": entry.pipelined,
                 "recover": entry.recover,
                 "serve": entry.serve,
+                "reshard": entry.reshard,
                 "updates_per_sec": report.updates_per_sec,
                 "p99_latency_secs": report.p99_latency_secs,
                 "final_result": &report.final_result,

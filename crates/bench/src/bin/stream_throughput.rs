@@ -13,7 +13,7 @@
 //!     [--query q1|q2|both] [--variant batch|incremental|incremental-cc|nmf|all] \
 //!     [--threads 1] [--shards N] [--partitioner mod|ring] [--rebalance] \
 //!     [--hot-tree P] [--pipeline] [--queue-depth D] [--kill-shard S] [--recover] \
-//!     [--checkpoint-every K] [--smoke]
+//!     [--checkpoint-every K] [--reshard AT:N] [--checkpoint-dir PATH] [--smoke]
 //! ```
 //!
 //! `--shards N` (N ≥ 1) runs each variant through the sharded pipeline
@@ -55,6 +55,17 @@
 //! `pipeline` block then nests a `recovery` block with the crash/restore
 //! counters and the worst restore latency. This is the CI chaos smoke:
 //! `--smoke --pipeline --kill-shard 1 --recover` under several seeds.
+//!
+//! `--reshard AT:N` (repeatable, pipelined runs only) schedules an elastic
+//! reshard: right before batch `AT` is routed the engine drains every worker
+//! to a barrier checkpoint, splits/merges the checkpoints into `N` shards, and
+//! respawns the fleet under the new topology — results stay byte-identical to
+//! an unsharded run. Resharding runs on the recovery machinery, so it arms
+//! checkpointing with defaults even without `--recover`; the row's `pipeline`
+//! block gains a `reshards` array with per-barrier drain/split/respawn timings
+//! and the number of comments whose owning shard moved. `--checkpoint-dir
+//! PATH` makes the checkpoint store file-backed (snapshots land under `PATH`,
+//! cleared at run start) instead of in-process.
 //!
 //! `--smoke` overrides everything with a small fixed configuration (sf1, every
 //! variant of both queries, 2 worker threads so the parallel kernels run) and is
@@ -139,6 +150,14 @@ const FLAGS: &[(&str, &str)] = &[
         "checkpoint cadence in batches for --recover",
     ),
     (
+        "--reshard",
+        "reshard to N shards before batch AT, as AT:N (repeatable; needs --pipeline)",
+    ),
+    (
+        "--checkpoint-dir",
+        "file-backed checkpoint store rooted at PATH (needs --pipeline)",
+    ),
+    (
         "--smoke",
         "small fixed CI configuration (later flags still apply)",
     ),
@@ -173,6 +192,8 @@ struct Args {
     kill_shards: Vec<usize>,
     recover: bool,
     checkpoint_every: u64,
+    reshards: Vec<(u64, usize)>,
+    checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -195,6 +216,8 @@ fn parse_args() -> Args {
         kill_shards: Vec::new(),
         recover: false,
         checkpoint_every: RecoveryConfig::default().checkpoint_every,
+        reshards: Vec::new(),
+        checkpoint_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -287,6 +310,21 @@ fn parse_args() -> Args {
                 args.checkpoint_every = argv[i]
                     .parse()
                     .expect("--checkpoint-every expects an integer ≥ 1");
+            }
+            "--reshard" => {
+                i += 1;
+                let spec = &argv[i];
+                let (at, n) = spec
+                    .split_once(':')
+                    .expect("--reshard expects AT:N (batch sequence, new shard count)");
+                args.reshards.push((
+                    at.parse().expect("--reshard AT expects an integer"),
+                    n.parse().expect("--reshard N expects an integer ≥ 1"),
+                ));
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                args.checkpoint_dir = Some(std::path::PathBuf::from(&argv[i]));
             }
             "--smoke" => {
                 args.scale_factor = 1;
@@ -444,6 +482,16 @@ fn main() {
         eprintln!("error: --kill-shard/--recover require --pipeline (they exercise its workers)");
         std::process::exit(2);
     }
+    if (!args.reshards.is_empty() || args.checkpoint_dir.is_some()) && !args.pipeline {
+        eprintln!(
+            "error: --reshard/--checkpoint-dir require --pipeline (they exercise its workers)"
+        );
+        std::process::exit(2);
+    }
+    if args.reshards.iter().any(|&(_, n)| n == 0) {
+        eprintln!("error: --reshard expects a new shard count ≥ 1");
+        std::process::exit(2);
+    }
     if args.checkpoint_every == 0 {
         eprintln!("error: --checkpoint-every expects an integer ≥ 1");
         std::process::exit(2);
@@ -524,6 +572,8 @@ fn main() {
                             recovery: args.recover.then_some(RecoveryConfig {
                                 checkpoint_every: args.checkpoint_every,
                             }),
+                            reshards: args.reshards.clone(),
+                            checkpoint_dir: args.checkpoint_dir.clone(),
                         },
                     );
                     let mut stream = stream;

@@ -12,7 +12,7 @@
 //! map representation cannot silently reshuffle checked-in baselines.
 
 use serde_json::{json, Value};
-use ttc_social_media::pipeline::PipelineStats;
+use ttc_social_media::pipeline::{PipelineStats, ReshardStats};
 use ttc_social_media::stream::percentile;
 use ttc_social_media::{RebalanceStats, RecoveryStats, ShardRouterStats};
 
@@ -99,10 +99,27 @@ pub fn recovery_stats_json(stats: RecoveryStats) -> Value {
     })
 }
 
+/// One reshard barrier of a `--reshard` row: where it fired, the topology
+/// change, the cost of the three barrier phases (drain to the checkpoint,
+/// split/merge + evaluator rebuild, fleet respawn) in milliseconds, and how
+/// many comments changed owning shard — the payload the barrier "moved".
+pub fn reshard_stats_json(stats: &ReshardStats) -> Value {
+    json!({
+        "at_seq": stats.at_seq,
+        "from_shards": stats.from_shards,
+        "to_shards": stats.to_shards,
+        "drain_ms": stats.drain_secs * 1e3,
+        "split_ms": stats.split_secs * 1e3,
+        "respawn_ms": stats.respawn_secs * 1e3,
+        "moved_comments": stats.moved_comments,
+    })
+}
+
 /// The pipeline block of a `--pipeline` row: queue bound, how often each stage
 /// hit backpressure (blocked on a full downstream queue), and how far the
 /// fastest shard ran ahead of the merge watermark. Recovery-enabled runs nest
-/// their [`recovery_stats_json`] block here.
+/// their [`recovery_stats_json`] block here; `--reshard` runs additionally
+/// carry one [`reshard_stats_json`] entry per barrier, in firing order.
 pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
     let mut map = match json!({
         "queue_depth": stats.queue_depth,
@@ -116,6 +133,12 @@ pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
     };
     if let Some(recovery) = stats.recovery {
         map.insert("recovery".to_string(), recovery_stats_json(recovery));
+    }
+    if !stats.reshards.is_empty() {
+        map.insert(
+            "reshards".to_string(),
+            Value::Array(stats.reshards.iter().map(reshard_stats_json).collect()),
+        );
     }
     Value::Object(map)
 }
@@ -390,5 +413,59 @@ mod tests {
         let rendered = pipeline_stats_json(&pipeline).to_string();
         assert!(rendered.contains("\"recovery\":{"), "{rendered}");
         assert!(rendered.contains("\"replayed_batches\":9"), "{rendered}");
+    }
+
+    #[test]
+    fn reshard_block_is_stable_and_round_trips() {
+        let stats = ReshardStats {
+            at_seq: 6,
+            from_shards: 2,
+            to_shards: 4,
+            drain_secs: 0.0105,
+            split_secs: 0.0255,
+            respawn_secs: 0.0015,
+            moved_comments: 123,
+        };
+        let value = reshard_stats_json(&stats);
+        let rendered = value.to_string();
+        assert_field_order(
+            &rendered,
+            &[
+                "at_seq",
+                "drain_ms",
+                "from_shards",
+                "moved_comments",
+                "respawn_ms",
+                "split_ms",
+                "to_shards",
+            ],
+        );
+        let parsed: Value = serde_json::from_str(&rendered).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(
+            parsed.get("moved_comments").and_then(Value::as_u64),
+            Some(123)
+        );
+
+        // nested as an array under the pipeline block, in firing order
+        let pipeline = PipelineStats {
+            reshards: vec![
+                stats.clone(),
+                ReshardStats {
+                    at_seq: 9,
+                    from_shards: 4,
+                    to_shards: 3,
+                    ..ReshardStats::default()
+                },
+            ],
+            ..PipelineStats::default()
+        };
+        let rendered = pipeline_stats_json(&pipeline).to_string();
+        assert!(rendered.contains("\"reshards\":[{"), "{rendered}");
+        assert!(rendered.contains("\"at_seq\":6"), "{rendered}");
+        assert!(rendered.contains("\"at_seq\":9"), "{rendered}");
+        // and absent entirely when no barrier fired
+        let no_reshard = pipeline_stats_json(&PipelineStats::default()).to_string();
+        assert!(!no_reshard.contains("reshards"), "{no_reshard}");
     }
 }

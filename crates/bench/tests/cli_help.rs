@@ -31,6 +31,8 @@ const STREAM_THROUGHPUT_FLAGS: &[&str] = &[
     "--kill-shard",
     "--recover",
     "--checkpoint-every",
+    "--reshard",
+    "--checkpoint-dir",
     "--smoke",
     "--help",
 ];

@@ -77,6 +77,22 @@ pub trait Partitioner: fmt::Debug + Send + Sync {
         false
     }
 
+    /// Re-instantiate this policy over `new_count` shards (`0` is treated
+    /// as 1) — the partitioner half of an elastic reshard. The returned
+    /// policy must keep every property the original had *except* the count:
+    ///
+    /// * [`ModuloPartitioner`] becomes `user % new_count` (almost every key
+    ///   moves — the price of the zero-state policy);
+    /// * [`RingPartitioner`] re-places virtual nodes over the new count under
+    ///   the **same seed**. Point placement hashes `(seed, shard, replica)`
+    ///   and never the count, so a resize only adds or removes the points of
+    ///   the shards that appeared or disappeared: ≈ `1/N` of keys move.
+    /// * [`AssignmentTable`] resizes its base and re-files the overlays:
+    ///   per-user overrides and shard redirects whose target still exists are
+    ///   kept, ones pointing at a removed shard are dropped (the slice they
+    ///   redirected is re-owned by the new topology's own assignment).
+    fn resize(&self, new_count: usize) -> Box<dyn Partitioner>;
+
     /// Clone into a fresh boxed policy (trait objects cannot derive `Clone`).
     fn clone_box(&self) -> Box<dyn Partitioner>;
 }
@@ -114,6 +130,10 @@ impl Partitioner for ModuloPartitioner {
 
     fn name(&self) -> &'static str {
         "mod"
+    }
+
+    fn resize(&self, new_count: usize) -> Box<dyn Partitioner> {
+        Box::new(ModuloPartitioner::new(new_count))
     }
 
     fn clone_box(&self) -> Box<dyn Partitioner> {
@@ -201,6 +221,13 @@ impl Partitioner for RingPartitioner {
 
     fn name(&self) -> &'static str {
         "ring"
+    }
+
+    fn resize(&self, new_count: usize) -> Box<dyn Partitioner> {
+        // point placement hashes (seed, shard, replica), never the count, so
+        // rebuilding under the same seed re-places only the points of shards
+        // that appeared or disappeared — the ≈1/N movement guarantee
+        Box::new(RingPartitioner::new(new_count, self.seed))
     }
 
     fn clone_box(&self) -> Box<dyn Partitioner> {
@@ -294,6 +321,27 @@ impl Partitioner for AssignmentTable {
             self.redirects.insert(from, to);
         }
         true
+    }
+
+    fn resize(&self, new_count: usize) -> Box<dyn Partitioner> {
+        let new_count = new_count.max(1);
+        let overrides = self
+            .overrides
+            .iter()
+            .filter(|&(_, &shard)| shard < new_count)
+            .map(|(&user, &shard)| (user, shard))
+            .collect();
+        let redirects = self
+            .redirects
+            .iter()
+            .filter(|&(&from, &to)| from < new_count && to < new_count)
+            .map(|(&from, &to)| (from, to))
+            .collect();
+        Box::new(AssignmentTable {
+            base: self.base.resize(new_count),
+            overrides,
+            redirects,
+        })
     }
 
     fn clone_box(&self) -> Box<dyn Partitioner> {
@@ -462,6 +510,65 @@ mod tests {
     fn assignment_table_rejects_out_of_range_redirects() {
         let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(2)));
         table.redirect_shard(0, 7);
+    }
+
+    #[test]
+    fn resize_rebuilds_each_policy_over_the_new_count() {
+        // modulo: a fresh modulo over the new count
+        let resized = ModuloPartitioner::new(2).resize(4);
+        assert_eq!(resized.shard_count(), 4);
+        assert_eq!(resized.name(), "mod");
+        assert_eq!(resized.shard_of(6), shard_of_user(6, 4));
+        // zero degrades to one, mirroring the constructors
+        assert_eq!(ModuloPartitioner::new(2).resize(0).shard_count(), 1);
+
+        // ring: seed preserved, so resize equals a fresh ring at the new count
+        let ring = RingPartitioner::new(4, 11);
+        let resized = ring.resize(5);
+        assert_eq!(resized.shard_count(), 5);
+        let fresh = RingPartitioner::new(5, 11);
+        for user in 0..500u64 {
+            assert_eq!(
+                resized.shard_of(user),
+                fresh.shard_of(user),
+                "resize must equal a fresh ring under the same seed"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_resize_through_the_trait_moves_a_minority_of_keys() {
+        let before: Box<dyn Partitioner> = Box::new(RingPartitioner::new(4, 11));
+        let after = before.resize(5);
+        let users = 2000u64;
+        let moved = (0..users)
+            .filter(|&u| before.shard_of(u) != after.shard_of(u))
+            .count();
+        assert!(
+            moved < users as usize / 2,
+            "resizing moved {moved} of {users} keys — not consistent"
+        );
+    }
+
+    #[test]
+    fn assignment_table_resize_keeps_valid_overlays_and_drops_stale_ones() {
+        let mut table = AssignmentTable::new(Box::new(ModuloPartitioner::new(4)));
+        assert!(table.reassign(5, 2)); // survives a shrink to 3
+        assert!(table.reassign(6, 3)); // points at a removed shard
+        assert!(table.redirect_shard(1, 2)); // survives
+        assert!(table.redirect_shard(2, 3)); // target removed
+        let resized = table.resize(3);
+        assert_eq!(resized.shard_count(), 3);
+        assert_eq!(resized.name(), "table");
+        // kept override: user 5 still pinned to shard 2
+        assert_eq!(resized.shard_of(5), 2);
+        // dropped override: user 6 falls back to the resized base (6 % 3)
+        assert_eq!(resized.shard_of(6), 0);
+        // kept redirect: shard 1's slice still lands on shard 2
+        assert_eq!(resized.shard_of(4), 2);
+        // dropped redirect: shard 2's slice is its own again (5 % 3 == 2 via
+        // the override above; use user 8 ≡ 2 (mod 3) for the base path)
+        assert_eq!(resized.shard_of(8), 2);
     }
 
     #[test]

@@ -72,7 +72,8 @@ use datagen::stream::sequenced;
 use datagen::{apply_changeset, ChangeSet, SocialNetwork};
 
 use crate::recovery::{
-    ChangesetLog, CheckpointStore, LogEntry, RecoveryConfig, RecoveryStats, ShardCheckpoint,
+    ChangesetLog, CheckpointStorage, CheckpointStore, FileCheckpointStore, LogEntry,
+    RecoveryConfig, RecoveryStats, ShardCheckpoint,
 };
 use crate::serve::{view_channel, CandidateSnapshot, ViewBuilder, ViewPublisher, ViewReader};
 use crate::shard::{
@@ -342,6 +343,28 @@ pub struct PipelineConfig {
     /// and replayed instead of failing the run (counters in
     /// [`PipelineStats::recovery`]).
     pub recovery: Option<RecoveryConfig>,
+    /// Elastic reshard schedule: each `(at_seq, new_count)` entry drains the
+    /// whole worker fleet to a checkpoint right **before** routing batch
+    /// `at_seq`, merges the drained per-shard state, re-partitions it over
+    /// `new_count` shards ([`Partitioner::resize`]), and resumes the stream
+    /// with one fresh worker generation per new shard — with no gap or
+    /// duplicate in the merged output (DESIGN.md §5.8). Entries fire in
+    /// `at_seq` order; an entry beyond the stream's end never fires.
+    /// Resharding runs on the recovery machinery (checkpoints, changeset
+    /// logs, catch-up replay), so a non-empty schedule arms
+    /// [`PipelineConfig::recovery`] with defaults when the caller left it off.
+    ///
+    /// [`Partitioner::resize`]: datagen::partition::Partitioner::resize
+    pub reshards: Vec<(u64, usize)>,
+    /// When `Some`, checkpoints are published through a
+    /// [`FileCheckpointStore`] rooted at this directory instead of the
+    /// in-process store: snapshots survive the process at the cost of file
+    /// I/O on the checkpoint cadence. The directory is created as needed;
+    /// snapshot files a previous run left behind are cleared at start (a run
+    /// recovers only from its own checkpoints). An unusable directory
+    /// degrades to the in-process store with a warning rather than failing
+    /// the run.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -353,6 +376,8 @@ impl Default for PipelineConfig {
             delays: None,
             kill_shards: Vec::new(),
             recovery: None,
+            reshards: Vec::new(),
+            checkpoint_dir: None,
         }
     }
 }
@@ -363,7 +388,8 @@ impl Default for PipelineConfig {
 pub struct PipelineStats {
     /// Configured capacity of every inter-stage queue.
     pub queue_depth: usize,
-    /// Number of shard apply workers.
+    /// Number of shard apply workers at the **end** of the run (an elastic
+    /// reshard changes the count mid-stream; see [`PipelineStats::reshards`]).
     pub shards: usize,
     /// Sends that found the ingest → route queue full (the stream out-paced
     /// routing and blocked).
@@ -380,15 +406,47 @@ pub struct PipelineStats {
     pub max_watermark_lag: u64,
     /// Per-shard apply time in seconds, indexed `[shard][batch]` over **all**
     /// batches including warm-up (mirrors
-    /// [`crate::shard::ShardedSolution::per_shard_latencies`]).
+    /// [`crate::shard::ShardedSolution::per_shard_latencies`]). Under an
+    /// elastic reshard the lanes are ragged: a shard id that stops existing
+    /// keeps its (frozen) history, one that starts existing mid-stream has a
+    /// shorter lane.
     pub per_shard_apply_latencies: Vec<Vec<f64>>,
     /// `(posts, comments)` owned by each shard at the end of the run.
     pub shard_sizes: Vec<(usize, usize)>,
     /// Routing statistics accumulated by the route stage.
     pub router: ShardRouterStats,
-    /// Crash/restore counters — `Some` exactly when
-    /// [`PipelineConfig::recovery`] was enabled.
+    /// Crash/restore counters — `Some` exactly when the recovery machinery
+    /// ran ([`PipelineConfig::recovery`] set, or armed implicitly by a
+    /// [`PipelineConfig::reshards`] schedule).
     pub recovery: Option<RecoveryStats>,
+    /// One entry per executed elastic reshard, in stream order.
+    pub reshards: Vec<ReshardStats>,
+}
+
+/// One elastic reshard executed by [`PipelinedEngine::run`] (see
+/// [`PipelineConfig::reshards`]): the cost of the three barrier phases plus
+/// how much ownership actually moved.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReshardStats {
+    /// The barrier sequence number: batches `< at_seq` ran under the old
+    /// topology, batches `>= at_seq` under the new one.
+    pub at_seq: u64,
+    /// Shard count before the barrier.
+    pub from_shards: usize,
+    /// Shard count after the barrier.
+    pub to_shards: usize,
+    /// Draining every worker generation to a checkpoint at exactly `at_seq`
+    /// (queue close + final checkpoints + catch-up replay of crashed
+    /// generations), in seconds.
+    pub drain_secs: f64,
+    /// Merging the drained checkpoints, re-partitioning under the resized
+    /// policy, rebuilding the per-shard evaluators, and publishing the new
+    /// topology's checkpoints, in seconds.
+    pub split_secs: f64,
+    /// Spawning the new worker generations, in seconds.
+    pub respawn_secs: f64,
+    /// Comments whose owning shard changed across the barrier.
+    pub moved_comments: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -401,10 +459,20 @@ struct IngestItem {
     batch: ChangeSet,
 }
 
-struct RoutedItem {
-    seq: u64,
-    enqueued: Instant,
-    ops: ChangeSet,
+enum RoutedItem {
+    /// One shard's slice of a coalesced micro-batch.
+    Batch {
+        seq: u64,
+        enqueued: Instant,
+        ops: ChangeSet,
+    },
+    /// Reshard drain barrier: publish a checkpoint at the current
+    /// `applied_through` (unless the cadence just did), then keep draining to
+    /// the close. Sent right before the supervisor drops the route queues, so
+    /// a cleanly-draining generation lands its state at exactly the barrier
+    /// sequence; a generation that dies first is caught up by the supervisor
+    /// instead.
+    Checkpoint,
 }
 
 struct ApplyOutcome {
@@ -415,6 +483,23 @@ struct ApplyOutcome {
     candidates: Vec<RankedEntry>,
     had_removals: bool,
     apply_secs: f64,
+}
+
+/// What flows into the watermark merge: per-shard apply outcomes, plus the
+/// sequenced topology-control item an elastic reshard injects. Topology is a
+/// *sequenced* property of the outcome stream — the supervisor sends
+/// [`MergeItem::Reshard`] only after every old-generation outcome is already
+/// in this queue, so the merge never sees an outcome under the wrong lane
+/// count.
+enum MergeItem {
+    Outcome(usize, ApplyOutcome),
+    Reshard {
+        /// Every batch `< at` was merged under the old topology when this
+        /// item is processed (the barrier drained the fleet through `at`).
+        at: u64,
+        /// The new lane count.
+        shards: usize,
+    },
 }
 
 /// The one terminal status message every worker generation sends before it
@@ -516,12 +601,27 @@ struct MergeOutput {
 /// Everything the supervisor (route stage) accumulates, returned when the
 /// stream ends and every worker generation has reported.
 struct RouteOutcome {
-    router: ShardRouter,
+    /// Router counters summed across every topology the run went through (an
+    /// elastic reshard replaces the router; its counters are folded in here
+    /// before the replacement).
+    router_stats: ShardRouterStats,
     applied_operations: usize,
     route_backpressure: u64,
     apply_backpressure: u64,
     shard_sizes: Vec<(usize, usize)>,
+    /// Shard count at the end of the run.
+    final_shards: usize,
     recovery: Option<RecoveryStats>,
+    reshards: Vec<ReshardStats>,
+}
+
+/// Fold `from` into `into` — how router counters survive the router being
+/// replaced at a reshard barrier.
+fn accumulate_router_stats(into: &mut ShardRouterStats, from: ShardRouterStats) {
+    into.routed_operations += from.routed_operations;
+    into.broadcast_deliveries += from.broadcast_deliveries;
+    into.friendship_deliveries += from.friendship_deliveries;
+    into.imported_boundary_edges += from.imported_boundary_edges;
 }
 
 // ---------------------------------------------------------------------------
@@ -539,8 +639,10 @@ struct WorkerShared {
     delays: Option<DelayInjection>,
     /// `Some` (clamped ≥ 1) exactly when recovery is enabled.
     checkpoint_every: Option<u64>,
-    store: Option<CheckpointStore>,
-    out_tx: SyncSender<(usize, ApplyOutcome)>,
+    /// The checkpoint backend — in-process by default,
+    /// [`FileCheckpointStore`] under [`PipelineConfig::checkpoint_dir`].
+    store: Option<Arc<dyn CheckpointStorage>>,
+    out_tx: SyncSender<MergeItem>,
     status_tx: Sender<WorkerExit>,
 }
 
@@ -550,6 +652,10 @@ enum WorkerSeed {
     Fresh {
         evaluator: Box<dyn ShardEvaluator>,
         mirror: Option<SocialNetwork>,
+        /// The sequence number this generation starts at: 0 for the load-time
+        /// fleet, the barrier sequence for a post-reshard fleet (the
+        /// checkpoint cadence is absolute, so any start works).
+        applied_through: u64,
     },
     Restored {
         snapshot: Vec<u8>,
@@ -607,22 +713,14 @@ impl Worker {
         if replaying {
             self.replayed += 1;
         }
-        if let (Some(every), Some(store)) = (self.shared.checkpoint_every, &self.shared.store) {
+        if let Some(every) = self.shared.checkpoint_every {
             if self.applied_through.is_multiple_of(every) {
-                let mirror = self.mirror.as_ref().expect("recovery maintains a mirror"); // lint: allow(panic) — checkpoint_every is only Some when recovery built the mirror at spawn
-                let bytes = ShardCheckpoint::encode_parts(
-                    self.applied_through,
-                    mirror,
-                    self.evaluator.candidates(),
-                );
-                self.checkpoints += 1;
-                self.checkpoint_bytes += bytes.len() as u64;
-                store.publish(self.shard, self.applied_through, bytes);
+                self.publish_checkpoint();
             }
         }
         let delivered = send_counting(
             &self.shared.out_tx,
-            (
+            MergeItem::Outcome(
                 self.shard,
                 ApplyOutcome {
                     seq,
@@ -639,6 +737,24 @@ impl Worker {
         } else {
             Step::MergerGone
         }
+    }
+
+    /// Publish a checkpoint of the mirror at the current `applied_through` —
+    /// the cadence boundary in [`Worker::step`], the drain barrier on a
+    /// [`RoutedItem::Checkpoint`] sentinel.
+    fn publish_checkpoint(&mut self) {
+        let Some(store) = &self.shared.store else {
+            return;
+        };
+        let mirror = self.mirror.as_ref().expect("recovery maintains a mirror"); // lint: allow(panic) — the store is only Some when recovery built the mirror at spawn
+        let bytes = ShardCheckpoint::encode_parts(
+            self.applied_through,
+            mirror,
+            self.evaluator.candidates(),
+        );
+        self.checkpoints += 1;
+        self.checkpoint_bytes += bytes.len() as u64;
+        store.publish(self.shard, self.applied_through, bytes);
     }
 
     /// `(completed, kill_seq, restore_secs)` of one generation's whole life:
@@ -672,11 +788,26 @@ impl Worker {
             }
         }
         let restore_secs = elapsed(restore_started);
-        for RoutedItem { seq, enqueued, ops } in rx {
-            match self.step(seq, enqueued, &ops, false) {
-                Step::Delivered => {}
-                Step::Killed(k) => return (false, Some(k), restore_secs),
-                Step::MergerGone => return (false, None, restore_secs),
+        for item in rx {
+            match item {
+                RoutedItem::Batch { seq, enqueued, ops } => {
+                    match self.step(seq, enqueued, &ops, false) {
+                        Step::Delivered => {}
+                        Step::Killed(k) => return (false, Some(k), restore_secs),
+                        Step::MergerGone => return (false, None, restore_secs),
+                    }
+                }
+                RoutedItem::Checkpoint => {
+                    // Drain barrier: land the state at exactly the barrier
+                    // sequence. A cadence boundary already published it.
+                    let on_boundary = self
+                        .shared
+                        .checkpoint_every
+                        .is_some_and(|every| self.applied_through.is_multiple_of(every));
+                    if !on_boundary {
+                        self.publish_checkpoint();
+                    }
+                }
             }
         }
         (true, None, restore_secs)
@@ -728,7 +859,11 @@ fn spawn_worker(
     thread::spawn(move || {
         let factory = Arc::clone(&shared.factory);
         let (worker, backlog, started) = match seed {
-            WorkerSeed::Fresh { evaluator, mirror } => (
+            WorkerSeed::Fresh {
+                evaluator,
+                mirror,
+                applied_through,
+            } => (
                 Worker {
                     shard,
                     generation,
@@ -736,7 +871,7 @@ fn spawn_worker(
                     kills,
                     evaluator,
                     mirror,
-                    applied_through: 0,
+                    applied_through,
                     blocked: 0,
                     checkpoints: 0,
                     checkpoint_bytes: 0,
@@ -811,6 +946,444 @@ fn absorb_exit(
     }
     let shard = exit.shard;
     latest_exit[shard] = Some(exit); // lint: allow(index) — exit.shard < shards as above
+}
+
+// ---------------------------------------------------------------------------
+// Worker fleet supervision
+// ---------------------------------------------------------------------------
+
+/// The supervisor's view of the live worker fleet: one route queue and one
+/// current generation per shard, plus the exit/restore accounting that spans
+/// generations. Crash recovery (kill → respawn in place) and elastic
+/// resharding (drain the whole fleet → merge/split the checkpointed state →
+/// respawn under a new topology) are both *generation transitions* over this
+/// one structure, which is what keeps their checkpoint, replay, and
+/// merge-dedup behavior identical.
+struct WorkerFleet {
+    shared: WorkerShared,
+    depth: usize,
+    /// Current shard count — changes only at a reshard barrier.
+    shards: usize,
+    txs: Vec<SyncSender<RoutedItem>>,
+    /// Generation currently owning each shard. Generation numbers are global
+    /// and never reused across topology changes ([`WorkerFleet::next_gen`]),
+    /// so a stale exit can never be mistaken for the current generation of a
+    /// recycled shard id.
+    current_gen: Vec<u64>,
+    next_gen: u64,
+    /// Generations ever spawned / terminal statuses absorbed.
+    generations: usize,
+    exits_seen: usize,
+    latest_exit: Vec<Option<WorkerExit>>,
+    remaining_kills: Vec<Vec<u64>>,
+    /// Kill injections scheduled on shard ids outside the current topology;
+    /// they re-arm if a later reshard brings the id back.
+    parked_kills: Vec<(usize, u64)>,
+    logs: Vec<ChangesetLog>,
+    sizes: Vec<(usize, usize)>,
+    handles: Vec<thread::JoinHandle<()>>,
+    agg: RecoveryStats,
+    apply_backpressure: u64,
+}
+
+impl WorkerFleet {
+    fn new(
+        shared: WorkerShared,
+        depth: usize,
+        shards: usize,
+        kill_shards: &[(usize, u64)],
+        agg: RecoveryStats,
+    ) -> Self {
+        let mut remaining_kills: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        let mut parked_kills = Vec::new();
+        for &(shard, seq) in kill_shards {
+            if shard < shards {
+                remaining_kills[shard].push(seq); // lint: allow(index) — guarded by shard < shards
+            } else {
+                parked_kills.push((shard, seq));
+            }
+        }
+        WorkerFleet {
+            shared,
+            depth,
+            shards,
+            txs: Vec::with_capacity(shards),
+            current_gen: vec![0; shards],
+            next_gen: 0,
+            generations: 0,
+            exits_seen: 0,
+            latest_exit: vec![None; shards],
+            remaining_kills,
+            parked_kills,
+            logs: (0..shards).map(|_| ChangesetLog::default()).collect(),
+            sizes: vec![(0, 0); shards],
+            handles: Vec::new(),
+            agg,
+            apply_backpressure: 0,
+        }
+    }
+
+    /// Spawn the next generation for `shard`: create its route queue, assign
+    /// the globally-unique generation number, and move the seed in.
+    fn spawn(&mut self, shard: usize, seed: WorkerSeed) {
+        let (tx, rx) = sync_channel::<RoutedItem>(self.depth);
+        if shard == self.txs.len() {
+            self.txs.push(tx);
+        } else {
+            self.txs[shard] = tx; // lint: allow(index) — callers spawn over 0..shards in order or replace a live shard
+        }
+        let generation = self.next_gen;
+        self.next_gen += 1;
+        self.current_gen[shard] = generation; // lint: allow(index) — shard < shards as above
+        self.generations += 1;
+        self.handles.push(spawn_worker(
+            self.shared.clone(),
+            shard,
+            generation,
+            self.remaining_kills[shard].clone(), // lint: allow(index) — shard < shards as above
+            seed,
+            rx,
+        ));
+    }
+
+    /// Fold one terminal worker status into the fleet's accounting.
+    fn absorb(&mut self, exit: WorkerExit) {
+        self.exits_seen += 1;
+        absorb_exit(
+            exit,
+            &mut self.agg,
+            &mut self.apply_backpressure,
+            &mut self.remaining_kills,
+            &mut self.latest_exit,
+        );
+    }
+
+    /// Block until the current generation of `shard` has reported its
+    /// terminal status, absorbing any other shards' exits that arrive first.
+    /// When two shards die close together, the detection loop of the first
+    /// may already have absorbed this generation's exit — blocking for it
+    /// again would wait forever.
+    /// `test-bug-absorbed-exit` reverts that PR 6 fix: the supervisor blocks
+    /// for an exit another detection loop already absorbed, and the
+    /// model-check regression schedule proves that deadlocks.
+    fn await_generation(&mut self, shard: usize, status_rx: &Receiver<WorkerExit>) {
+        let already_absorbed = if cfg!(feature = "test-bug-absorbed-exit") {
+            false
+        } else {
+            self.latest_exit[shard] // lint: allow(index) — shard < shards: callers pass a live shard id
+                .as_ref()
+                // lint: allow(index) — shard < shards as above
+                .is_some_and(|exit| exit.generation == self.current_gen[shard])
+        };
+        if already_absorbed {
+            return;
+        }
+        loop {
+            let exit = status_rx
+                .recv()
+                .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
+            let from = (exit.shard, exit.generation);
+            self.absorb(exit);
+            // lint: allow(index) — shard < shards as above
+            if from == (shard, self.current_gen[shard]) {
+                break;
+            }
+        }
+    }
+
+    /// Close every route queue, absorb every outstanding terminal status, and
+    /// join the worker threads. After this the fleet is empty; the caller
+    /// respawns (reshard barrier) or aggregates (end of stream).
+    fn drain(&mut self, status_rx: &Receiver<WorkerExit>) {
+        self.txs.clear(); // dropping the senders closes the queues
+        while self.exits_seen < self.generations {
+            let exit = status_rx
+                .recv()
+                .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
+            self.absorb(exit);
+        }
+        // Every generation has reported, so the worker threads are draining
+        // their last drops; join them before the caller moves on (a
+        // generation can only panic out of its thread during a model-check
+        // teardown, which aborts the supervisor at its next sync op anyway).
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Replay `shard` forward from its latest checkpoint **on the supervisor
+    /// thread**: rebuild the evaluator, re-apply the logged entries below
+    /// `through` (re-delivering their outcomes — the merger deduplicates
+    /// whatever the dead generation already delivered), and count the
+    /// restore. A still-pending kill inside the replay window fires here too:
+    /// another crash, another restore, and the attempt starts over from the
+    /// checkpoint — which keeps `restores == crashes` no matter where the
+    /// kill lands. With `final_at` set (a reshard barrier), a closing
+    /// checkpoint is published at exactly that sequence.
+    fn catch_up(
+        &mut self,
+        shard: usize,
+        through: u64,
+        final_at: Option<u64>,
+        router: &mut ShardRouter,
+    ) {
+        let store = self.shared.store.clone().expect("recovery implies a store"); // lint: allow(panic) — callers reach catch-up only when recovery is configured
+        let every = self
+            .shared
+            .checkpoint_every
+            .expect("recovery implies a checkpoint cadence"); // lint: allow(panic) — recovery always carries a checkpoint cadence
+        'attempt: loop {
+            let started = Instant::now();
+            let (at, snapshot) = store
+                .load(shard)
+                .expect("initial checkpoints are published at load"); // lint: allow(panic) — load publishes an initial checkpoint for every shard before workers start
+            let ckpt = ShardCheckpoint::decode(&snapshot)
+                .expect("the checkpoint store only serves snapshots it encoded"); // lint: allow(panic) — the store only serves snapshots that passed verification
+            let mut evaluator = self.shared.factory.build(&ckpt.network);
+            let mut mirror = ckpt.network;
+            let mut applied_through = ckpt.applied_through;
+            if through > 0 {
+                let entries: Vec<LogEntry> = self.logs[shard] // lint: allow(index) — shard < shards: callers pass a live shard id
+                    .replay_range(at, through - 1)
+                    .cloned()
+                    .collect();
+                for entry in entries {
+                    // lint: allow(index) — shard < shards as above
+                    let pending = &self.remaining_kills[shard];
+                    if let Some(pos) = pending.iter().position(|&k| k == entry.seq) {
+                        self.remaining_kills[shard].remove(pos); // lint: allow(index) — shard < shards; pos was just found by position()
+                        self.agg.crashes += 1;
+                        self.agg.restores += 1;
+                        let secs = started.elapsed().as_secs_f64();
+                        if secs > self.agg.max_restore_secs {
+                            self.agg.max_restore_secs = secs;
+                        }
+                        continue 'attempt;
+                    }
+                    let start = Instant::now();
+                    let had_removals = evaluator.apply(&entry.ops);
+                    let apply_secs = start.elapsed().as_secs_f64();
+                    apply_changeset(&mut mirror, &entry.ops);
+                    applied_through = entry.seq + 1;
+                    self.agg.replayed_batches += 1;
+                    if applied_through.is_multiple_of(every) {
+                        let bytes = ShardCheckpoint::encode_parts(
+                            applied_through,
+                            &mirror,
+                            evaluator.candidates(),
+                        );
+                        self.agg.checkpoints += 1;
+                        self.agg.checkpoint_bytes += bytes.len() as u64;
+                        store.publish(shard, applied_through, bytes);
+                    }
+                    let delivered = send_counting(
+                        &self.shared.out_tx,
+                        MergeItem::Outcome(
+                            shard,
+                            ApplyOutcome {
+                                seq: entry.seq,
+                                enqueued: entry.enqueued,
+                                candidates: evaluator.candidates().to_vec(),
+                                had_removals,
+                                apply_secs,
+                            },
+                        ),
+                        &mut self.apply_backpressure,
+                    );
+                    if !delivered {
+                        break; // merger gone — the run fails anyway
+                    }
+                }
+            }
+            if let Some(final_at) = final_at {
+                debug_assert_eq!(
+                    applied_through, final_at,
+                    "a reshard catch-up must land exactly on the barrier"
+                );
+                if !applied_through.is_multiple_of(every) {
+                    let bytes = ShardCheckpoint::encode_parts(
+                        applied_through,
+                        &mirror,
+                        evaluator.candidates(),
+                    );
+                    self.agg.checkpoints += 1;
+                    self.agg.checkpoint_bytes += bytes.len() as u64;
+                    store.publish(shard, applied_through, bytes);
+                }
+            }
+            self.agg.restores += 1;
+            let secs = started.elapsed().as_secs_f64();
+            if secs > self.agg.max_restore_secs {
+                self.agg.max_restore_secs = secs;
+            }
+            router.record_restore(shard, shard);
+            self.sizes[shard] = evaluator.owned_sizes(); // lint: allow(index) — shard < shards as above
+            break;
+        }
+    }
+
+    /// Reset the per-shard state for a new topology of `new_count` shards.
+    /// The route queues must already be drained. Changeset logs start fresh
+    /// (the new topology's checkpoints sit at the barrier, so nothing older
+    /// is replayable), and kill injections are re-filed against the new
+    /// shard-id range.
+    fn adopt_topology(&mut self, new_count: usize) {
+        debug_assert!(self.txs.is_empty(), "adopting a topology over a live fleet");
+        let mut parked = std::mem::take(&mut self.parked_kills);
+        for (shard, kills) in self.remaining_kills.iter_mut().enumerate() {
+            if shard >= new_count {
+                parked.extend(kills.drain(..).map(|seq| (shard, seq)));
+            }
+        }
+        self.remaining_kills.resize_with(new_count, Vec::new);
+        for (shard, seq) in parked {
+            if shard < new_count {
+                self.remaining_kills[shard].push(seq); // lint: allow(index) — guarded by shard < new_count
+            } else {
+                self.parked_kills.push((shard, seq));
+            }
+        }
+        self.shards = new_count;
+        self.txs = Vec::with_capacity(new_count);
+        self.current_gen = vec![0; new_count];
+        self.latest_exit = vec![None; new_count];
+        self.logs = (0..new_count).map(|_| ChangesetLog::default()).collect();
+        self.sizes = vec![(0, 0); new_count];
+    }
+
+    /// Execute one reshard barrier right before routing batch `at`: drain the
+    /// fleet to a checkpoint at exactly `at`, merge and re-partition the
+    /// checkpointed state over `new_count` shards, publish the new topology's
+    /// checkpoints, tell the merge stage to resize its lanes, and respawn one
+    /// fresh generation per new shard. Returns the replacement router and the
+    /// barrier's cost accounting. The whole protocol and its correctness
+    /// argument live in DESIGN.md §5.8.
+    fn reshard(
+        &mut self,
+        at: u64,
+        new_count: usize,
+        router: ShardRouter,
+        status_rx: &Receiver<WorkerExit>,
+    ) -> (ShardRouter, ReshardStats) {
+        let mut router = router;
+        let from_shards = self.shards;
+        // Phase 1 — drain. The checkpoint sentinel makes every cleanly
+        // draining generation land its state at exactly `at`; a generation
+        // that dies inside the drain window is caught up on this thread.
+        let drain_start = Instant::now();
+        let mut drain_blocked = 0u64;
+        for tx in &self.txs {
+            // a dead worker just means the sentinel is undeliverable — the
+            // catch-up below brings that shard to the barrier instead
+            let _ = send_counting(tx, RoutedItem::Checkpoint, &mut drain_blocked);
+        }
+        self.drain(status_rx);
+        for shard in 0..from_shards {
+            let crashed = self.latest_exit[shard] // lint: allow(index) — shard enumerates 0..from_shards
+                .take()
+                .map(|exit| !exit.completed)
+                .expect("every shard spawned at least one generation"); // lint: allow(panic) — every shard spawns a generation before a barrier can fire
+            if crashed {
+                self.catch_up(shard, at, Some(at), &mut router);
+            }
+        }
+        let drain_secs = drain_start.elapsed().as_secs_f64();
+
+        // Phase 2 — merge, re-partition, rebuild. The per-shard mirrors
+        // under-approximate the friendship graph (an edge whose endpoints
+        // were never co-present on any shard lives only in the router's
+        // global adjacency), so the union is re-stamped with the live edge
+        // set before splitting (see ShardCheckpoint::merge).
+        let split_start = Instant::now();
+        let store = self
+            .shared
+            .store
+            .clone()
+            .expect("resharding implies a store"); // lint: allow(panic) — a reshard schedule arms recovery, which builds the store
+        let drained: Vec<ShardCheckpoint> = (0..from_shards)
+            .map(|shard| {
+                let (ckpt_at, snapshot) = store
+                    .load(shard)
+                    .expect("the drain published a checkpoint for every shard"); // lint: allow(panic) — the drain above landed every shard at the barrier
+                debug_assert_eq!(
+                    ckpt_at, at,
+                    "shard {shard} drained to {ckpt_at}, barrier is {at}"
+                );
+                let decoded = ShardCheckpoint::decode(&snapshot)
+                    .expect("the store only serves snapshots it encoded"); // lint: allow(panic) — the store verifies checksums before serving
+                decoded
+            })
+            .collect();
+        let mut union = ShardCheckpoint::merge(drained);
+        union.network.friendships = router.live_friendships();
+        let partitioner = router.partitioner().resize(new_count);
+        let parts = union.split(partitioner.as_ref(), new_count);
+        let new_router = ShardRouter::with_partitioner(&union.network, partitioner);
+        let moved_comments = union
+            .network
+            .comments
+            .iter()
+            .filter(|c| router.shard_of_comment(c.id) != new_router.shard_of_comment(c.id))
+            .count() as u64;
+        // Rebuild the evaluators and re-stamp the candidate lists before
+        // publishing: split routes candidates to their new owners but cannot
+        // widen a list the donor had cut at k — the rebuilt evaluator's own
+        // list is the exact one (see ShardCheckpoint::split).
+        let seeds: Vec<(Box<dyn ShardEvaluator>, SocialNetwork)> = parts
+            .into_iter()
+            .map(|part| {
+                let evaluator = self.shared.factory.build(&part.network);
+                (evaluator, part.network)
+            })
+            .collect();
+        store.resize(new_count);
+        for (shard, (evaluator, mirror)) in seeds.iter().enumerate() {
+            let bytes = ShardCheckpoint::encode_parts(at, mirror, evaluator.candidates());
+            self.agg.checkpoints += 1;
+            self.agg.checkpoint_bytes += bytes.len() as u64;
+            store.publish(shard, at, bytes);
+        }
+        let split_secs = split_start.elapsed().as_secs_f64();
+
+        // Phase 3 — adopt the topology and respawn. The control item is
+        // sequenced: every pre-barrier outcome is already in the merge queue
+        // (all old generations exited before this send), and the new
+        // generations cannot produce an outcome until the supervisor routes
+        // batch `at` after this returns.
+        let respawn_start = Instant::now();
+        self.adopt_topology(new_count);
+        let _ = send_counting(
+            &self.shared.out_tx,
+            MergeItem::Reshard {
+                at,
+                shards: new_count,
+            },
+            &mut self.apply_backpressure,
+        );
+        for (shard, (evaluator, mirror)) in seeds.into_iter().enumerate() {
+            self.spawn(
+                shard,
+                WorkerSeed::Fresh {
+                    evaluator,
+                    mirror: Some(mirror),
+                    applied_through: at,
+                },
+            );
+        }
+        let respawn_secs = respawn_start.elapsed().as_secs_f64();
+        (
+            new_router,
+            ReshardStats {
+                at_seq: at,
+                from_shards,
+                to_shards: new_count,
+                drain_secs,
+                split_secs,
+                respawn_secs,
+                moved_comments,
+            },
+        )
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -890,7 +1463,10 @@ impl PipelinedEngine {
     /// `tests/serve.rs::pipelined_engine_final_view_matches_final_result` and
     /// the `serve` model-check schedules.
     pub fn serve_views(&mut self) -> ViewReader {
-        let builder = ViewBuilder::new(self.factory.query());
+        let mut builder = ViewBuilder::new(self.factory.query());
+        // Views advertise the topology they were built under; the merge stage
+        // re-stamps the builder when a reshard barrier changes it mid-stream.
+        builder.set_shards(self.shards);
         let (publisher, reader) = view_channel(builder.genesis());
         self.serving = Some((builder, publisher));
         reader
@@ -913,7 +1489,7 @@ impl PipelinedEngine {
     /// one view per merged batch.
     fn merge_stage(
         mut merger: ShardMerger,
-        rx: Receiver<(usize, ApplyOutcome)>,
+        rx: Receiver<MergeItem>,
         shards: usize,
         mut serve: Option<ServeMergeState>,
     ) -> (MergeOutput, ShardMerger) {
@@ -930,7 +1506,36 @@ impl PipelinedEngine {
             max_watermark_lag: 0,
             per_shard_apply: vec![Vec::new(); shards],
         };
-        for (shard, outcome) in rx {
+        for item in rx {
+            let (shard, outcome) = match item {
+                MergeItem::Outcome(shard, outcome) => (shard, outcome),
+                MergeItem::Reshard {
+                    at,
+                    shards: new_shards,
+                } => {
+                    // The control item is sequenced behind every old-topology
+                    // outcome, so the merge has caught up to the barrier: all
+                    // lanes are drained and the next batch to merge is `at`.
+                    debug_assert!(
+                        buffers.iter().all(VecDeque::is_empty),
+                        "reshard control arrived with buffered outcomes"
+                    );
+                    debug_assert_eq!(t, at, "merge reached {t} but the barrier is {at}");
+                    buffers = (0..new_shards).map(|_| VecDeque::new()).collect();
+                    delivered = vec![at; new_shards];
+                    // Latency lanes: a grown topology appends fresh (shorter)
+                    // lanes; a shrunk one freezes the removed shards' history.
+                    if new_shards > out.per_shard_apply.len() {
+                        out.per_shard_apply.resize_with(new_shards, Vec::new);
+                    }
+                    if let Some(state) = serve.as_mut() {
+                        // Views published from here on note the new topology
+                        // (the epoch chain itself continues uninterrupted).
+                        state.builder.set_shards(new_shards);
+                    }
+                    continue;
+                }
+            };
             // lint: allow(index) — outcome.shard is validated against shards at the recv site
             if outcome.seq != delivered[shard] {
                 debug_assert!(
@@ -989,6 +1594,9 @@ impl IngestEngine for PipelinedEngine {
         if self.config.recovery.is_some() {
             parts.push("recover".to_string());
         }
+        if !self.config.reshards.is_empty() {
+            parts.push("reshard".to_string());
+        }
         parts.push("pipelined".to_string());
         format!("{} ({})", self.factory.name(), parts.join(", "))
     }
@@ -1006,7 +1614,29 @@ impl IngestEngine for PipelinedEngine {
         let coalesce_on = self.config.coalesce;
         let delays = self.config.delays.clone();
         let kill_shards = self.config.kill_shards.clone();
-        let recovery = self.config.recovery.clone();
+        // The reshard plan fires in at_seq order; a zero target count is
+        // clamped like a zero shard count at construction.
+        let reshards: Vec<(u64, usize)> = {
+            let mut plan: Vec<(u64, usize)> = self
+                .config
+                .reshards
+                .iter()
+                .map(|&(at, n)| (at, n.max(1)))
+                .collect();
+            plan.sort_by_key(|&(at, _)| at);
+            plan
+        };
+        // Resharding runs on the recovery machinery (checkpoints, changeset
+        // logs, catch-up replay), so a reshard schedule arms it with defaults
+        // when the caller left it off.
+        let recovery = if reshards.is_empty() {
+            self.config.recovery.clone()
+        } else {
+            self.config
+                .recovery
+                .clone()
+                .or_else(|| Some(RecoveryConfig::default()))
+        };
         let factory = Arc::clone(&self.factory);
 
         // Load phase: the exact function the synchronous driver runs —
@@ -1021,7 +1651,31 @@ impl IngestEngine for PipelinedEngine {
         // Recovery plumbing: the shared snapshot store, seeded with one
         // initial checkpoint per shard (`applied_through = 0`) so a worker
         // dying before its first boundary still has something to restore from.
-        let store = recovery.as_ref().map(|_| CheckpointStore::new(shards));
+        // With a checkpoint directory configured the store is file-backed;
+        // the run clears snapshots a previous run left behind (it recovers
+        // only from its own checkpoints, and the old files may describe a
+        // different topology).
+        let store: Option<Arc<dyn CheckpointStorage>> =
+            recovery
+                .as_ref()
+                .map(|_| match &self.config.checkpoint_dir {
+                    Some(dir) => match FileCheckpointStore::open(dir) {
+                        Ok(files) => {
+                            let files: Arc<dyn CheckpointStorage> = Arc::new(files);
+                            files.resize(0);
+                            files.resize(shards);
+                            files
+                        }
+                        Err(err) => {
+                            eprintln!(
+                                "checkpoint dir {} unusable ({err}); using the in-process store",
+                                dir.display()
+                            );
+                            Arc::new(CheckpointStore::new(shards))
+                        }
+                    },
+                    None => Arc::new(CheckpointStore::new(shards)),
+                });
         let mut agg = RecoveryStats::default();
         if let Some(store) = &store {
             for (shard, (part, evaluator)) in parts.iter().zip(&evaluators).enumerate() {
@@ -1079,7 +1733,7 @@ impl IngestEngine for PipelinedEngine {
         // that is mid-restore, and a dead worker must not close the merger's
         // input while a replacement is still coming.
         let (ingest_tx, ingest_rx) = sync_channel::<IngestItem>(depth);
-        let (out_tx, out_rx) = sync_channel::<(usize, ApplyOutcome)>(depth * shards);
+        let (out_tx, out_rx) = sync_channel::<MergeItem>(depth * shards);
         let (status_tx, status_rx) = channel::<WorkerExit>();
 
         let mut total_operations = 0usize;
@@ -1098,8 +1752,9 @@ impl IngestEngine for PipelinedEngine {
                 let mut router = router;
                 let mut applied = 0usize;
                 let mut route_blocked = 0u64;
-                let mut apply_backpressure = 0u64;
-                let mut agg = agg;
+                let mut router_stats = ShardRouterStats::default();
+                let mut reshard_events: Vec<ReshardStats> = Vec::new();
+                let mut reshard_plan: VecDeque<(u64, usize)> = reshards.into();
 
                 let shared = WorkerShared {
                     factory,
@@ -1109,37 +1764,20 @@ impl IngestEngine for PipelinedEngine {
                     out_tx: out_tx.clone(),
                     status_tx: status_tx.clone(),
                 };
-                let mut remaining_kills: Vec<Vec<u64>> = vec![Vec::new(); shards];
-                for &(shard, seq) in &kill_shards {
-                    if shard < shards {
-                        remaining_kills[shard].push(seq); // lint: allow(index) — kill entries are filtered to shard < shards when the plan is built
-                    }
-                }
-                let mut logs: Vec<ChangesetLog> =
-                    (0..shards).map(|_| ChangesetLog::default()).collect();
-                let mut txs: Vec<SyncSender<RoutedItem>> = Vec::with_capacity(shards);
-                let mut current_gen: Vec<u64> = vec![0; shards];
-                let mut generations = 0usize;
-                let mut exits_seen = 0usize;
-                let mut latest_exit: Vec<Option<WorkerExit>> = vec![None; shards];
-                let mut sizes: Vec<(usize, usize)> = vec![(0, 0); shards];
-                let mut worker_handles: Vec<thread::JoinHandle<()>> = Vec::new();
+                let mut fleet = WorkerFleet::new(shared, depth, shards, &kill_shards, agg);
 
                 // Stage 3: one apply worker per shard; the evaluator (and
                 // under recovery, its mirror sub-network) moves in.
                 for (shard, (evaluator, mirror)) in evaluators.into_iter().zip(mirrors).enumerate()
                 {
-                    let (tx, rx) = sync_channel::<RoutedItem>(depth);
-                    txs.push(tx);
-                    worker_handles.push(spawn_worker(
-                        shared.clone(),
+                    fleet.spawn(
                         shard,
-                        0,
-                        remaining_kills[shard].clone(), // lint: allow(index) — shard enumerates 0..shards
-                        WorkerSeed::Fresh { evaluator, mirror },
-                        rx,
-                    ));
-                    generations += 1;
+                        WorkerSeed::Fresh {
+                            evaluator,
+                            mirror,
+                            applied_through: 0,
+                        },
+                    );
                 }
 
                 let mut total_routed = 0u64;
@@ -1149,6 +1787,18 @@ impl IngestEngine for PipelinedEngine {
                     batch,
                 } in ingest_rx
                 {
+                    // Reshard barriers fire right before their batch is
+                    // routed: batches < at ran under the old topology,
+                    // batches >= at run under the new one. Back-to-back
+                    // entries at the same seq each drain the fleet they find.
+                    while reshard_plan.front().is_some_and(|&(at, _)| at == seq) {
+                        let (at, new_count) =
+                            reshard_plan.pop_front().expect("front() was just Some"); // lint: allow(panic) — guarded by the loop condition
+                        accumulate_router_stats(&mut router_stats, router.stats());
+                        let (new_router, event) = fleet.reshard(at, new_count, router, &status_rx);
+                        router = new_router;
+                        reshard_events.push(event);
+                    }
                     if let Some(d) = &delays {
                         d.sleep_route(seq);
                     }
@@ -1166,27 +1816,32 @@ impl IngestEngine for PipelinedEngine {
                     // empty), which is what keeps the merger's watermark a
                     // plain per-shard counter.
                     let routed = router.route(&batch);
-                    if let Some(store) = &store {
+                    if fleet.shared.store.is_some() {
                         // Log before sending, so the entry exists even when
                         // the send discovers a dead worker; prune below the
                         // latest published checkpoint to keep the log bounded
                         // by the checkpoint interval plus queue lag.
                         for (shard, ops) in routed.iter().enumerate() {
-                            // lint: allow(index) — exit/outcome shard ids originate from spawn over 0..shards
-                            logs[shard].append(LogEntry {
+                            // lint: allow(index) — shard enumerates the routed slices over 0..shards
+                            fleet.logs[shard].append(LogEntry {
                                 seq,
                                 enqueued,
                                 ops: ops.clone(),
                             });
-                            if let Some(at) = store.applied_through(shard) {
-                                logs[shard].prune_through(at); // lint: allow(index) — shard < shards as above
+                            let published = fleet
+                                .shared
+                                .store
+                                .as_ref()
+                                .and_then(|store| store.applied_through(shard));
+                            if let Some(at) = published {
+                                fleet.logs[shard].prune_through(at); // lint: allow(index) — shard < shards as above
                             }
                         }
                     }
                     for (shard, ops) in routed.into_iter().enumerate() {
                         if send_counting(
-                            &txs[shard], // lint: allow(index) — shard < shards as above
-                            RoutedItem { seq, enqueued, ops },
+                            &fleet.txs[shard], // lint: allow(index) — shard < shards as above
+                            RoutedItem::Batch { seq, enqueued, ops },
                             &mut route_blocked,
                         ) {
                             continue;
@@ -1199,201 +1854,68 @@ impl IngestEngine for PipelinedEngine {
                         let started = Instant::now();
                         // Its terminal status is guaranteed (sent before the
                         // queue closed, or momentarily after — recv blocks);
-                        // absorb any other shard's exits that arrive first.
-                        // When two shards die close together, the detection
-                        // loop of the first may already have absorbed this
-                        // generation's exit — blocking for it again would
-                        // wait forever.
-                        // `test-bug-absorbed-exit` reverts the PR 6 fix: the
-                        // supervisor blocks for an exit that another shard's
-                        // detection loop already absorbed, and the model-check
-                        // regression schedule proves that deadlocks.
-                        let already_absorbed = if cfg!(feature = "test-bug-absorbed-exit") {
-                            false
-                        } else {
-                            latest_exit[shard] // lint: allow(index) — shard < shards as above
-                                .as_ref()
-                                // lint: allow(index) — shard < shards as above
-                                .is_some_and(|exit| exit.generation == current_gen[shard])
-                        };
-                        if !already_absorbed {
-                            loop {
-                                let exit = status_rx
-                                    .recv()
-                                    .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
-                                exits_seen += 1;
-                                let from = (exit.shard, exit.generation);
-                                absorb_exit(
-                                    exit,
-                                    &mut agg,
-                                    &mut apply_backpressure,
-                                    &mut remaining_kills,
-                                    &mut latest_exit,
-                                );
-                                // lint: allow(index) — shard < shards as above
-                                if from == (shard, current_gen[shard]) {
-                                    break;
-                                }
-                            }
-                        }
-                        let store = store.as_ref().expect("recovery implies a store"); // lint: allow(panic) — this branch is only reached when recovery is configured
-                        let (at, snapshot) = store
+                        // the fleet absorbs any other shard's exits that
+                        // arrive first.
+                        fleet.await_generation(shard, &status_rx);
+                        let (at, snapshot) = fleet
+                            .shared
+                            .store
+                            .as_ref()
+                            .expect("recovery implies a store") // lint: allow(panic) — this branch is only reached when recovery is configured
                             .load(shard)
                             .expect("initial checkpoints are published at load"); // lint: allow(panic) — load publishes an initial checkpoint for every shard before workers start
                                                                                   // Replay everything since the snapshot through the
                                                                                   // current batch (inclusive — its send just failed, so
                                                                                   // the backlog is the only copy the shard will get).
                         let backlog: Vec<LogEntry> =
-                            logs[shard].replay_range(at, seq).cloned().collect(); // lint: allow(index) — shard < shards as above
-                        let (tx, rx) = sync_channel::<RoutedItem>(depth);
-                        txs[shard] = tx; // lint: allow(index) — shard < shards as above
-                        current_gen[shard] += 1; // lint: allow(index) — shard < shards as above
-                        generations += 1;
+                            fleet.logs[shard].replay_range(at, seq).cloned().collect(); // lint: allow(index) — shard < shards as above
                         router.record_restore(shard, shard);
-                        worker_handles.push(spawn_worker(
-                            shared.clone(),
+                        fleet.spawn(
                             shard,
-                            current_gen[shard], // lint: allow(index) — shard < shards as above
-                            remaining_kills[shard].clone(), // lint: allow(index) — shard < shards as above
                             WorkerSeed::Restored {
                                 snapshot,
                                 backlog,
                                 started,
                             },
-                            rx,
-                        ));
+                        );
                     }
                     total_routed = seq + 1;
                 }
 
-                // End of stream: close every route queue, wait for every
-                // generation's terminal status.
-                drop(txs);
-                while exits_seen < generations {
-                    let exit = status_rx
-                        .recv()
-                        .expect("every worker generation reports an exit"); // lint: allow(panic) — workers send their exit on every path, panic included (catch_unwind)
-                    exits_seen += 1;
-                    absorb_exit(
-                        exit,
-                        &mut agg,
-                        &mut apply_backpressure,
-                        &mut remaining_kills,
-                        &mut latest_exit,
-                    );
-                }
-                // Every generation has reported its terminal status, so the
-                // worker threads are draining their last drops; join them
-                // before aggregating (a generation can only panic out of its
-                // thread during a model-check teardown, which aborts this
-                // thread at its next sync op anyway — the result is ignored).
-                for handle in worker_handles {
-                    let _ = handle.join();
-                }
+                // End of stream: close every route queue, absorb every
+                // generation's terminal status, join the workers.
+                fleet.drain(&status_rx);
                 // Catch-up recovery: a generation that died with no subsequent
                 // batch to trip a failed send (killed at the final batch, or
                 // while replaying at stream end) is only visible here. Replay
                 // the log on this thread; the merger deduplicates whatever the
                 // dead generation already delivered.
-                for shard in 0..shards {
-                    let exit = latest_exit[shard] // lint: allow(index) — shard enumerates 0..shards
+                for shard in 0..fleet.shards {
+                    let exit = fleet.latest_exit[shard] // lint: allow(index) — shard enumerates 0..shards
                         .take()
                         .expect("every shard spawned at least one generation"); // lint: allow(panic) — every shard spawns a generation before this sweep runs
                     if exit.completed || recovery.is_none() {
-                        sizes[shard] = exit.sizes; // lint: allow(index) — shard enumerates 0..shards
+                        fleet.sizes[shard] = exit.sizes; // lint: allow(index) — shard enumerates 0..shards
                         continue;
                     }
-                    let store = store.as_ref().expect("recovery implies a store"); // lint: allow(panic) — this branch is only reached when recovery is configured
-                    let every = shared
-                        .checkpoint_every
-                        .expect("recovery implies a checkpoint cadence"); // lint: allow(panic) — recovery always carries a checkpoint cadence
-                    'attempt: loop {
-                        let started = Instant::now();
-                        let (at, snapshot) = store
-                            .load(shard)
-                            .expect("initial checkpoints are published at load"); // lint: allow(panic) — load publishes an initial checkpoint for every shard before workers start
-                                                                                  // lint: allow(panic) — the in-process store only returns snapshots it encoded
-                        let ckpt = ShardCheckpoint::decode(&snapshot).expect(
-                            "the in-process checkpoint store only holds snapshots it encoded",
-                        );
-                        let mut evaluator = shared.factory.build(&ckpt.network);
-                        let mut mirror = ckpt.network;
-                        if total_routed > 0 {
-                            let entries: Vec<LogEntry> = logs[shard] // lint: allow(index) — shard enumerates 0..shards
-                                .replay_range(at, total_routed - 1)
-                                .cloned()
-                                .collect();
-                            for entry in entries {
-                                // lint: allow(index) — shard enumerates 0..shards
-                                let pending = &remaining_kills[shard];
-                                if let Some(pos) = pending.iter().position(|&k| k == entry.seq) {
-                                    // a still-pending kill fires during the
-                                    // catch-up replay too: another crash,
-                                    // another restore from the checkpoint —
-                                    // and the aborted attempt still counts as
-                                    // a restore, keeping restores == crashes
-                                    remaining_kills[shard].remove(pos); // lint: allow(index) — shard < shards; pos was just found by position()
-                                    agg.crashes += 1;
-                                    agg.restores += 1;
-                                    let secs = started.elapsed().as_secs_f64();
-                                    if secs > agg.max_restore_secs {
-                                        agg.max_restore_secs = secs;
-                                    }
-                                    continue 'attempt;
-                                }
-                                let start = Instant::now();
-                                let had_removals = evaluator.apply(&entry.ops);
-                                let apply_secs = start.elapsed().as_secs_f64();
-                                apply_changeset(&mut mirror, &entry.ops);
-                                let applied_through = entry.seq + 1;
-                                agg.replayed_batches += 1;
-                                if applied_through % every == 0 {
-                                    let bytes = ShardCheckpoint::encode_parts(
-                                        applied_through,
-                                        &mirror,
-                                        evaluator.candidates(),
-                                    );
-                                    agg.checkpoints += 1;
-                                    agg.checkpoint_bytes += bytes.len() as u64;
-                                    store.publish(shard, applied_through, bytes);
-                                }
-                                let delivered = send_counting(
-                                    &out_tx,
-                                    (
-                                        shard,
-                                        ApplyOutcome {
-                                            seq: entry.seq,
-                                            enqueued: entry.enqueued,
-                                            candidates: evaluator.candidates().to_vec(),
-                                            had_removals,
-                                            apply_secs,
-                                        },
-                                    ),
-                                    &mut apply_backpressure,
-                                );
-                                if !delivered {
-                                    break; // merger gone — the run fails anyway
-                                }
-                            }
-                        }
-                        agg.restores += 1;
-                        let secs = started.elapsed().as_secs_f64();
-                        if secs > agg.max_restore_secs {
-                            agg.max_restore_secs = secs;
-                        }
-                        router.record_restore(shard, shard);
-                        sizes[shard] = evaluator.owned_sizes(); // lint: allow(index) — shard enumerates the parts built over 0..shards
-                        break;
-                    }
+                    fleet.catch_up(shard, total_routed, None, &mut router);
                 }
-                drop(out_tx); // the merge stage drains its buffers and returns
+                accumulate_router_stats(&mut router_stats, router.stats());
+                let final_shards = fleet.shards;
+                let shard_sizes = std::mem::take(&mut fleet.sizes);
+                let apply_backpressure = fleet.apply_backpressure;
+                let agg = fleet.agg;
+                drop(fleet); // with it the last out_tx clone — the merge stage drains and returns
+                drop(out_tx);
                 RouteOutcome {
-                    router,
+                    router_stats,
                     applied_operations: applied,
                     route_backpressure: route_blocked,
                     apply_backpressure,
-                    shard_sizes: sizes,
+                    shard_sizes,
+                    final_shards,
                     recovery: recovery.map(|_| agg),
+                    reshards: reshard_events,
                 }
             });
 
@@ -1476,15 +1998,16 @@ impl IngestEngine for PipelinedEngine {
         };
         let stats = PipelineStats {
             queue_depth: depth,
-            shards,
+            shards: route_out.final_shards,
             ingest_backpressure,
             route_backpressure: route_out.route_backpressure,
             apply_backpressure: route_out.apply_backpressure,
             max_watermark_lag: merged.max_watermark_lag,
             per_shard_apply_latencies: merged.per_shard_apply,
             shard_sizes: route_out.shard_sizes,
-            router: route_out.router.stats(),
+            router: route_out.router_stats,
             recovery: route_out.recovery,
+            reshards: route_out.reshards,
         };
         Ok(EngineReport {
             stream: stream_report,
@@ -2122,5 +2645,204 @@ mod tests {
             .shard_count(),
             1
         );
+        // resharding engines say so too
+        let resharding = PipelinedEngine::graphblas(
+            Query::Q1,
+            ShardBackend::Incremental,
+            2,
+            PipelineConfig {
+                reshards: vec![(4, 4)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(
+            resharding.name(),
+            "GraphBLAS Sharded Incremental (2 shards, reshard, pipelined)"
+        );
+    }
+
+    #[test]
+    fn reshard_grow_mid_stream_stays_byte_identical() {
+        // the ISSUE 10 tentpole shape: a live 2 → 4 reshard halfway through
+        // the stream changes nothing the caller can observe except the stats
+        let network = network(91);
+        let batches = batches(&network, 0x2e5a, 10);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                reshards: vec![(5, 4)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let stats = got.pipeline.expect("pipelined engines report stats");
+        assert_eq!(stats.shards, 4, "the run ends under the new topology");
+        assert_eq!(stats.shard_sizes.len(), 4);
+        assert_eq!(stats.reshards.len(), 1);
+        let event = &stats.reshards[0];
+        assert_eq!(event.at_seq, 5);
+        assert_eq!(event.from_shards, 2);
+        assert_eq!(event.to_shards, 4);
+        assert!(event.drain_secs >= 0.0 && event.split_secs > 0.0);
+        // resharding armed the recovery machinery implicitly
+        let recovery = stats.recovery.expect("reshard arms recovery");
+        assert_eq!(recovery.crashes, 0);
+        assert!(recovery.checkpoints >= 2, "{recovery:?}");
+    }
+
+    #[test]
+    fn reshard_shrink_and_regrow_stays_byte_identical() {
+        // consecutive topology changes: 4 → 2 → 3, each barrier draining the
+        // fleet the previous one spawned (generation numbers never reused)
+        let network = network(93);
+        let batches = batches(&network, 0x5412, 12);
+        let expected = run_pipelined(&network, &batches, 4, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            4,
+            PipelineConfig {
+                reshards: vec![(4, 2), (8, 3)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let stats = got.pipeline.expect("pipelined engines report stats");
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.reshards.len(), 2);
+        assert_eq!(stats.reshards[0].to_shards, 2);
+        assert_eq!(stats.reshards[1].from_shards, 2);
+        assert_eq!(stats.reshards[1].to_shards, 3);
+    }
+
+    #[test]
+    fn kill_during_reshard_drain_recovers_and_stays_byte_identical() {
+        // a worker killed at the same seq the barrier drains to: the drain
+        // absorbs the crash, catch-up replays the shard to the barrier on the
+        // supervisor, and the reshard proceeds — restores == crashes holds
+        let network = network(95);
+        let batches = batches(&network, 0x6b11, 10);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(1, 4)],
+                recovery: recovery_config(2),
+                reshards: vec![(4, 3)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let stats = got.pipeline.expect("pipelined engines report stats");
+        let recovery = stats.recovery.expect("recovery was enabled");
+        assert_eq!(
+            recovery.restores, recovery.crashes,
+            "every crash recovered exactly once: {recovery:?}"
+        );
+        assert_eq!(recovery.crashes, 1, "{recovery:?}");
+        assert_eq!(stats.reshards.len(), 1);
+    }
+
+    #[test]
+    fn kill_after_reshard_lands_on_the_new_topology() {
+        // a kill scheduled on shard 2 of a 2-shard run only becomes live once
+        // the 2 → 4 reshard brings shard 2 into existence (parked kills)
+        let network = network(97);
+        let batches = batches(&network, 0xa44e, 10);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(2, 6)],
+                recovery: recovery_config(2),
+                reshards: vec![(3, 4)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1, "{recovery:?}");
+        assert_eq!(recovery.restores, 1, "{recovery:?}");
+    }
+
+    #[test]
+    fn reshard_at_seq_zero_and_past_the_stream() {
+        // boundary barriers: at seq 0 the reshard fires before any batch is
+        // routed (a plain re-partition of the initial load); one scheduled
+        // past the stream never fires and reports nothing
+        let network = network(99);
+        let batches = batches(&network, 0x0e0e, 6);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                reshards: vec![(0, 3), (1000, 2)],
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let stats = got.pipeline.expect("pipelined engines report stats");
+        assert_eq!(stats.shards, 3, "only the seq-0 barrier fired");
+        assert_eq!(stats.reshards.len(), 1);
+        assert_eq!(stats.reshards[0].at_seq, 0);
+    }
+
+    #[test]
+    fn file_backed_checkpoints_restore_a_killed_shard() {
+        // the durable-store satellite: the same kill/recover shape as
+        // recovery_restores_a_killed_shard_mid_stream, but snapshots round-trip
+        // through FileCheckpointStore instead of the in-process map
+        let network = network(67);
+        let batches = batches(&network, 0xdead, 8);
+        let expected = run_pipelined(&network, &batches, 2, PipelineConfig::default());
+        let dir = std::env::temp_dir().join(format!(
+            "ttc-ckpt-test-{}-{}",
+            std::process::id(),
+            0x10usize
+        ));
+        let got = run_pipelined(
+            &network,
+            &batches,
+            2,
+            PipelineConfig {
+                kill_shards: vec![(1, 3)],
+                recovery: recovery_config(2),
+                checkpoint_dir: Some(dir.clone()),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(got.results, expected.results);
+        assert_eq!(got.stream.final_result, expected.stream.final_result);
+        let recovery = got
+            .pipeline
+            .expect("stats")
+            .recovery
+            .expect("recovery was enabled");
+        assert_eq!(recovery.crashes, 1);
+        assert_eq!(recovery.restores, 1);
+        // the directory holds the run's published snapshots
+        let snapshots = std::fs::read_dir(&dir)
+            .expect("checkpoint dir exists")
+            .count();
+        assert!(snapshots >= 2, "expected per-shard snapshot files");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

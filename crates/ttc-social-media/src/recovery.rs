@@ -35,16 +35,19 @@
 //! storage: checkpoints cross it only as encoded bytes, so the codec is on the
 //! real recovery path, not just under test.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
 
 // Sync primitives come from the `crate::sync` facade so the store can be
 // model-checked together with the pipeline (std re-exports in normal builds).
 use crate::sync::{Arc, Mutex, MutexGuard};
 
+use datagen::partition::Partitioner;
 use datagen::{ChangeSet, Comment, Post, SocialNetwork, User};
 
+use crate::shard::ShardRouter;
 use crate::top_k::RankedEntry;
 
 // ---------------------------------------------------------------------------
@@ -394,6 +397,103 @@ impl ShardCheckpoint {
             candidates,
         })
     }
+
+    /// Re-partition this checkpoint over a new topology: one checkpoint per
+    /// shard of `partitioner` (whose count must be `new_count`).
+    ///
+    /// This is the §5.6 donor-rebuild path applied wholesale — a fresh
+    /// [`ShardRouter`] over the mirror network re-derives sticky ownership and
+    /// the presence-tracked friendship replicas ("edge in shard iff both
+    /// endpoints present"), so an evaluator built from each part is exact by
+    /// the same argument as the initial load. The candidate lists are routed
+    /// to their new owners, which keeps every entry exact but may leave a
+    /// part's list short of its true top-k (a submission ranked below the
+    /// donor's k can enter a narrower shard's top-k): callers that publish
+    /// these checkpoints re-stamp the lists from the rebuilt evaluators.
+    pub fn split(&self, partitioner: &dyn Partitioner, new_count: usize) -> Vec<ShardCheckpoint> {
+        debug_assert_eq!(
+            partitioner.shard_count(),
+            new_count,
+            "split must be driven by an already-resized policy"
+        );
+        let router = ShardRouter::with_partitioner(&self.network, partitioner.clone_box());
+        let parts = router.split_initial(&self.network);
+        let mut candidates: Vec<Vec<RankedEntry>> = vec![Vec::new(); new_count];
+        for entry in &self.candidates {
+            // Q2 ranks comments, Q1 ranks posts; either way the owner is the
+            // shard of the submission's discussion tree.
+            let owner = router
+                .shard_of_comment(entry.id)
+                .or_else(|| router.shard_of_post(entry.id));
+            if let Some(list) = owner.and_then(|shard| candidates.get_mut(shard)) {
+                list.push(*entry);
+            }
+        }
+        parts
+            .into_iter()
+            .zip(candidates)
+            .map(|(network, candidates)| ShardCheckpoint {
+                applied_through: self.applied_through,
+                network,
+                candidates,
+            })
+            .collect()
+    }
+
+    /// Union the per-shard checkpoints of one drained topology back into a
+    /// single checkpoint (the first half of a reshard: merge, then
+    /// [`ShardCheckpoint::split`] under the new policy).
+    ///
+    /// Ownership is a partition, so posts, comments, and likes concatenate
+    /// disjointly in shard order; the broadcast-replicated user registries and
+    /// the friendship replicas are deduplicated (first occurrence wins, which
+    /// keeps the merge deterministic). The checkpoints must all be drained to
+    /// the same `applied_through`.
+    ///
+    /// **The merged friendship set under-approximates the live graph**: an
+    /// edge whose endpoints were never co-present on any shard exists in no
+    /// mirror, only in the live router's global adjacency. A caller resharding
+    /// a live stream must overwrite `network.friendships` with
+    /// [`ShardRouter::live_friendships`] before splitting, or later presence
+    /// backfills would miss those edges (DESIGN.md §5.8).
+    pub fn merge(checkpoints: Vec<Self>) -> Self {
+        let applied_through = checkpoints
+            .iter()
+            .map(|c| c.applied_through)
+            .max()
+            .unwrap_or(0);
+        debug_assert!(
+            checkpoints
+                .iter()
+                .all(|c| c.applied_through == applied_through),
+            "merged checkpoints must be drained to one applied_through"
+        );
+        let mut network = SocialNetwork::default();
+        let mut candidates = Vec::new();
+        let mut seen_users = HashSet::new();
+        let mut seen_edges = HashSet::new();
+        for checkpoint in checkpoints {
+            for user in checkpoint.network.users {
+                if seen_users.insert(user.id) {
+                    network.users.push(user);
+                }
+            }
+            network.posts.extend(checkpoint.network.posts);
+            network.comments.extend(checkpoint.network.comments);
+            for (a, b) in checkpoint.network.friendships {
+                if seen_edges.insert((a.min(b), a.max(b))) {
+                    network.friendships.push((a, b));
+                }
+            }
+            network.likes.extend(checkpoint.network.likes);
+            candidates.extend(checkpoint.candidates);
+        }
+        ShardCheckpoint {
+            applied_through,
+            network,
+            candidates,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -472,6 +572,162 @@ impl CheckpointStore {
         slots[shard] // lint: allow(index) — shard < shards as above
             .as_ref()
             .map(|stored| (stored.applied_through, stored.bytes.clone()))
+    }
+
+    /// Adjust the slot count to a new topology (elastic reshard): slots for
+    /// shards that disappeared are dropped, new shards start empty. Surviving
+    /// slots keep their snapshots, which the monotone publish rule supersedes
+    /// as the post-reshard checkpoints land.
+    pub fn resize(&self, shards: usize) {
+        let mut slots = self.slots();
+        slots.resize_with(shards, || None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store trait and the file-backed store
+// ---------------------------------------------------------------------------
+
+/// What the pipeline requires of a checkpoint store. [`CheckpointStore`] is
+/// the in-process implementation every test and default run uses;
+/// [`FileCheckpointStore`] persists the same encoded snapshots to a directory
+/// (`stream_throughput --checkpoint-dir`). Snapshots cross every
+/// implementation as encoded bytes only, so the codec — checksum included —
+/// is always on the restore path.
+pub trait CheckpointStorage: Send + Sync + fmt::Debug {
+    /// Publish `bytes` as `shard`'s snapshot covering `applied_through`
+    /// batches. Implementations must be monotone per shard: a stale publish
+    /// (older than what is already stored) is ignored.
+    fn publish(&self, shard: usize, applied_through: u64, bytes: Vec<u8>);
+
+    /// `applied_through` of `shard`'s latest verifiable snapshot, if any.
+    fn applied_through(&self, shard: usize) -> Option<u64>;
+
+    /// Load `shard`'s latest snapshot as `(applied_through, bytes)`. A
+    /// snapshot that fails verification must not be served (`None`, never a
+    /// panic): the caller treats a missing snapshot as "rebuild from the
+    /// initial partition and replay".
+    fn load(&self, shard: usize) -> Option<(u64, Vec<u8>)>;
+
+    /// Adjust to a new shard count during an elastic reshard. Shards `>=
+    /// shards` will never be addressed again.
+    fn resize(&self, shards: usize);
+}
+
+impl CheckpointStorage for CheckpointStore {
+    fn publish(&self, shard: usize, applied_through: u64, bytes: Vec<u8>) {
+        CheckpointStore::publish(self, shard, applied_through, bytes);
+    }
+
+    fn applied_through(&self, shard: usize) -> Option<u64> {
+        CheckpointStore::applied_through(self, shard)
+    }
+
+    fn load(&self, shard: usize) -> Option<(u64, Vec<u8>)> {
+        CheckpointStore::load(self, shard)
+    }
+
+    fn resize(&self, shards: usize) {
+        CheckpointStore::resize(self, shards);
+    }
+}
+
+/// Durable checkpoints: one `shard-N.ttck` file per shard under a directory,
+/// written via a temp-file rename so a crash mid-write never clobbers the
+/// previous good snapshot, and **verified before parse** on every read — the
+/// trailing FNV-1a checksum and the TTCK header are checked before any length
+/// field is trusted, so a corrupted or truncated file degrades to "no
+/// checkpoint" instead of a panic or a garbage restore.
+#[derive(Clone, Debug)]
+pub struct FileCheckpointStore {
+    dir: PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// Open (creating if needed) a store rooted at `dir`. Snapshots already
+    /// present — a previous run's — are served as-is, which is what makes the
+    /// store durable across processes.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileCheckpointStore { dir })
+    }
+
+    fn path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.ttck"))
+    }
+
+    /// Checksum + header verification without decoding the body: returns the
+    /// snapshot's `applied_through` iff the bytes are a well-sealed TTCK
+    /// snapshot of a version this build understands.
+    fn verify(bytes: &[u8]) -> Option<u64> {
+        let body_len = bytes.len().checked_sub(8)?;
+        let (body, tail) = bytes.split_at(body_len);
+        let stored = u64::from_le_bytes(tail.try_into().ok()?);
+        if fnv1a(body) != stored {
+            return None;
+        }
+        if body.get(..MAGIC.len())? != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(body.get(4..8)?.try_into().ok()?);
+        if version != VERSION {
+            return None;
+        }
+        Some(u64::from_le_bytes(body.get(8..16)?.try_into().ok()?))
+    }
+
+    fn read_verified(&self, shard: usize) -> Option<(u64, Vec<u8>)> {
+        let bytes = std::fs::read(self.path(shard)).ok()?;
+        let applied_through = Self::verify(&bytes)?;
+        Some((applied_through, bytes))
+    }
+}
+
+impl CheckpointStorage for FileCheckpointStore {
+    fn publish(&self, shard: usize, applied_through: u64, bytes: Vec<u8>) {
+        if CheckpointStorage::applied_through(self, shard)
+            .is_some_and(|have| have > applied_through)
+        {
+            return; // monotone per shard, like the in-process store
+        }
+        let tmp = self.dir.join(format!("shard-{shard}.ttck.tmp"));
+        if let Err(err) = std::fs::write(&tmp, &bytes) {
+            eprintln!("checkpoint publish failed for shard {shard}: {err}");
+            return;
+        }
+        if let Err(err) = std::fs::rename(&tmp, self.path(shard)) {
+            eprintln!("checkpoint publish failed for shard {shard}: {err}");
+        }
+    }
+
+    fn applied_through(&self, shard: usize) -> Option<u64> {
+        self.read_verified(shard)
+            .map(|(applied_through, _)| applied_through)
+    }
+
+    fn load(&self, shard: usize) -> Option<(u64, Vec<u8>)> {
+        self.read_verified(shard)
+    }
+
+    fn resize(&self, shards: usize) {
+        // drop the files of shards that no longer exist so a later process
+        // restart cannot resurrect a pre-reshard topology
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let stale = name
+                .to_str()
+                .and_then(|name| name.strip_prefix("shard-"))
+                .and_then(|rest| rest.strip_suffix(".ttck"))
+                .and_then(|index| index.parse::<usize>().ok())
+                .is_some_and(|index| index >= shards);
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 }
 
@@ -777,5 +1033,164 @@ mod tests {
         assert_eq!(store.load(0), Some((8, vec![1, 2, 3])));
         store.publish(0, 16, vec![4]);
         assert_eq!(store.applied_through(0), Some(16));
+    }
+
+    #[test]
+    fn store_resize_drops_vanished_shards_and_opens_new_slots() {
+        let store = CheckpointStore::new(4);
+        store.publish(0, 8, vec![1]);
+        store.publish(3, 8, vec![3]);
+        store.resize(2);
+        assert_eq!(store.load(0), Some((8, vec![1])), "surviving slot kept");
+        store.resize(4);
+        assert_eq!(store.load(3), None, "re-grown slot starts empty");
+        store.publish(3, 2, vec![9]);
+        assert_eq!(store.load(3), Some((2, vec![9])));
+    }
+
+    fn edge_set(network: &SocialNetwork) -> HashSet<(u64, u64)> {
+        network
+            .friendships
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect()
+    }
+
+    #[test]
+    fn split_re_partitions_and_merge_reassembles() {
+        use datagen::{generate_workload, GeneratorConfig};
+        let network = generate_workload(&GeneratorConfig::tiny(19)).initial;
+        let candidates: Vec<RankedEntry> = network
+            .comments
+            .iter()
+            .take(4)
+            .map(|c| RankedEntry {
+                score: 5,
+                timestamp: c.timestamp,
+                id: c.id,
+            })
+            .collect();
+        let whole = ShardCheckpoint {
+            applied_through: 12,
+            network: network.clone(),
+            candidates: candidates.clone(),
+        };
+
+        use datagen::partition::ModuloPartitioner;
+        let policy = ModuloPartitioner::new(3);
+        let parts = whole.split(&policy, 3);
+        assert_eq!(parts.len(), 3);
+        // the split is the initial-load partition: payload partitioned,
+        // registries replicated, every part at the same applied_through
+        assert_eq!(
+            parts.iter().map(|p| p.network.posts.len()).sum::<usize>(),
+            network.posts.len()
+        );
+        assert_eq!(
+            parts.iter().map(|p| p.network.likes.len()).sum::<usize>(),
+            network.likes.len()
+        );
+        for part in &parts {
+            assert_eq!(part.applied_through, 12);
+            assert_eq!(part.network.users.len(), network.users.len());
+            assert!(edge_set(&part.network).is_subset(&edge_set(&network)));
+        }
+        // every candidate landed on exactly one part
+        let routed: usize = parts.iter().map(|p| p.candidates.len()).sum();
+        assert_eq!(routed, candidates.len());
+
+        // merge(split(x)) holds the same payload as x, up to concatenation
+        // order and the replica under-approximation of friendships
+        let merged = ShardCheckpoint::merge(parts);
+        assert_eq!(merged.applied_through, 12);
+        assert_eq!(merged.network.posts.len(), network.posts.len());
+        assert_eq!(merged.network.comments.len(), network.comments.len());
+        assert_eq!(merged.network.likes.len(), network.likes.len());
+        assert_eq!(merged.network.users.len(), network.users.len());
+        assert!(edge_set(&merged.network).is_subset(&edge_set(&network)));
+        let merged_candidates: HashSet<u64> = merged.candidates.iter().map(|c| c.id).collect();
+        let original: HashSet<u64> = candidates.iter().map(|c| c.id).collect();
+        assert_eq!(merged_candidates, original);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_the_empty_checkpoint() {
+        let merged = ShardCheckpoint::merge(Vec::new());
+        assert_eq!(merged.applied_through, 0);
+        assert_eq!(merged.network, SocialNetwork::default());
+        assert!(merged.candidates.is_empty());
+    }
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ttck-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_store_round_trips_through_a_directory() {
+        let dir = temp_store_dir("roundtrip");
+        let store = FileCheckpointStore::open(&dir).expect("temp dir is writable");
+        let checkpoint = sample_checkpoint();
+        let bytes = checkpoint.encode();
+        CheckpointStorage::publish(&store, 0, checkpoint.applied_through, bytes.clone());
+        assert_eq!(
+            CheckpointStorage::applied_through(&store, 0),
+            Some(checkpoint.applied_through)
+        );
+        let (applied_through, loaded) =
+            CheckpointStorage::load(&store, 0).expect("published snapshot loads");
+        assert_eq!(applied_through, checkpoint.applied_through);
+        assert_eq!(
+            ShardCheckpoint::decode(&loaded).expect("loaded bytes decode"),
+            checkpoint
+        );
+        // stale publishes are ignored, like the in-process store
+        CheckpointStorage::publish(&store, 0, 1, vec![0; 16]);
+        assert_eq!(CheckpointStorage::load(&store, 0), Some((7, bytes.clone())));
+        // durability: a second store over the same directory serves the snapshot
+        let reopened = FileCheckpointStore::open(&dir).expect("reopen");
+        assert_eq!(CheckpointStorage::load(&reopened, 0), Some((7, bytes)));
+        assert_eq!(CheckpointStorage::load(&reopened, 1), None, "per shard");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_refuses_corrupted_and_truncated_snapshots() {
+        let dir = temp_store_dir("corruption");
+        let store = FileCheckpointStore::open(&dir).expect("temp dir is writable");
+        let bytes = sample_checkpoint().encode();
+        CheckpointStorage::publish(&store, 0, 7, bytes.clone());
+        let path = dir.join("shard-0.ttck");
+
+        // flip one byte mid-file: verify-before-parse must reject it
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() / 2] ^= 0x40;
+        std::fs::write(&path, &corrupt).expect("rewrite");
+        assert_eq!(CheckpointStorage::load(&store, 0), None);
+        assert_eq!(CheckpointStorage::applied_through(&store, 0), None);
+
+        // truncate: same refusal, and a later good publish recovers the slot
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("rewrite");
+        assert_eq!(CheckpointStorage::load(&store, 0), None);
+        CheckpointStorage::publish(&store, 0, 7, bytes.clone());
+        assert_eq!(CheckpointStorage::load(&store, 0), Some((7, bytes)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_resize_drops_stale_shard_files() {
+        let dir = temp_store_dir("resize");
+        let store = FileCheckpointStore::open(&dir).expect("temp dir is writable");
+        let bytes = sample_checkpoint().encode();
+        for shard in 0..4 {
+            CheckpointStorage::publish(&store, shard, 7, bytes.clone());
+        }
+        CheckpointStorage::resize(&store, 2);
+        assert!(CheckpointStorage::load(&store, 0).is_some());
+        assert!(CheckpointStorage::load(&store, 1).is_some());
+        assert_eq!(CheckpointStorage::load(&store, 2), None);
+        assert_eq!(CheckpointStorage::load(&store, 3), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

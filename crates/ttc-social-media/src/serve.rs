@@ -61,7 +61,7 @@ use std::collections::{HashMap, HashSet};
 use datagen::{ChangeOperation, ChangeSet, ElementId, SocialNetwork};
 
 use crate::model::Query;
-use crate::sync::{Arc, OnceLock};
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use crate::top_k::RankedEntry;
 
 // ---------------------------------------------------------------------------
@@ -150,6 +150,7 @@ pub struct QueryView {
     epoch: u64,
     batch: Option<u64>,
     query: Query,
+    shards: usize,
     entries: Vec<RankedEntry>,
     result: String,
     standings: HashMap<ElementId, Standing>,
@@ -174,6 +175,13 @@ impl QueryView {
     /// Which query this view answers.
     pub fn query(&self) -> Query {
         self.query
+    }
+
+    /// The shard count of the topology this view was computed under. Views
+    /// published while an elastic reshard drains carry the pre-drain
+    /// topology; the first post-reshard view notes the new count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The top-k entries, best first.
@@ -221,6 +229,7 @@ impl QueryView {
     fn content_seal(&self) -> u64 {
         let mut h = splitmix64(self.epoch ^ 0x5eed_0001);
         h = splitmix64(h ^ self.batch.map_or(u64::MAX, splitmix64));
+        h = splitmix64(h ^ self.shards as u64);
         h = splitmix64(
             h ^ match self.query {
                 Query::Q1 => 1,
@@ -271,6 +280,7 @@ fn splitmix64(mut x: u64) -> u64 {
 pub struct ViewBuilder {
     query: Query,
     next_epoch: u64,
+    shards: usize,
     parent: HashMap<ElementId, ElementId>,
     adjacency: HashMap<ElementId, HashSet<ElementId>>,
     cached: Option<Arc<UserComponents>>,
@@ -283,10 +293,19 @@ impl ViewBuilder {
         ViewBuilder {
             query,
             next_epoch: 1,
+            shards: 1,
             parent: HashMap::new(),
             adjacency: HashMap::new(),
             cached: None,
         }
+    }
+
+    /// Record the shard count stamped into subsequently built views. The
+    /// engine's merge stage calls this at startup and again when an elastic
+    /// reshard commits, so the epoch chain notes the topology change without
+    /// breaking monotonicity.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// The empty epoch-0 view a publication chain starts from, representing
@@ -296,6 +315,7 @@ impl ViewBuilder {
             epoch: 0,
             batch: None,
             query: self.query,
+            shards: self.shards,
             entries: Vec::new(),
             result: String::new(),
             standings: HashMap::new(),
@@ -382,6 +402,7 @@ impl ViewBuilder {
             epoch,
             batch,
             query: self.query,
+            shards: self.shards,
             entries: snapshot.top.clone(),
             result: result.to_string(),
             standings,
@@ -504,6 +525,28 @@ impl Drop for Node {
     }
 }
 
+/// The blocking half of the read path: a mutex-guarded copy of the latest
+/// published epoch plus a condvar, shared by the publisher and every reader.
+///
+/// The lock-free chain stays the fast path; the gate exists only so
+/// [`ViewReader::wait_for_epoch`] can sleep instead of spinning. Both
+/// primitives come from the [`crate::sync`] facade, so the model checker
+/// explores the publish/wait race and proves the no-lost-wakeup argument
+/// (the reader re-checks the chain *after* locking the gate; the publisher
+/// stores the epoch under the same lock *after* linking the node).
+struct EpochGate {
+    published: Mutex<u64>,
+    newer: Condvar,
+}
+
+impl EpochGate {
+    // Poisoning policy: the gate guards a single epoch counter that is
+    // updated atomically under the lock; recover the guard unconditionally.
+    fn published(&self) -> MutexGuard<'_, u64> {
+        self.published.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// The write-side handle: appends one frozen view per merged batch to the
 /// publication chain.
 ///
@@ -512,13 +555,16 @@ impl Drop for Node {
 /// invariant structural.
 pub struct ViewPublisher {
     head: Arc<Node>,
+    gate: Arc<EpochGate>,
 }
 
 impl ViewPublisher {
     /// Publish `view` as the new latest snapshot. One release-store; readers
     /// observe either the previous chain head or the fully frozen new view,
-    /// never anything in between.
+    /// never anything in between. Waiters blocked in
+    /// [`ViewReader::wait_for_epoch`] are woken after the view is reachable.
     pub fn publish(&mut self, view: QueryView) {
+        let epoch = view.epoch();
         let node = Arc::new(Node {
             view: Arc::new(view),
             next: OnceLock::new(),
@@ -528,6 +574,12 @@ impl ViewPublisher {
         // advance, which is safe — readers keep the previous view.
         if self.head.next.set(Arc::clone(&node)).is_ok() {
             self.head = node;
+            // Advance the gate only after the node is reachable, so a woken
+            // waiter always finds the view it was promised on the chain.
+            let mut published = self.gate.published();
+            *published = epoch;
+            drop(published);
+            self.gate.newer.notify_all();
         }
     }
 
@@ -541,6 +593,7 @@ impl ViewPublisher {
     pub fn subscribe(&self) -> ViewReader {
         ViewReader {
             cursor: Arc::clone(&self.head),
+            gate: Arc::clone(&self.gate),
         }
     }
 }
@@ -555,6 +608,7 @@ impl ViewPublisher {
 #[derive(Clone)]
 pub struct ViewReader {
     cursor: Arc<Node>,
+    gate: Arc<EpochGate>,
 }
 
 impl ViewReader {
@@ -587,20 +641,55 @@ impl ViewReader {
     pub fn epoch(&self) -> u64 {
         self.cursor.view.epoch
     }
+
+    /// Block until a view with epoch `>= epoch` is published, then return the
+    /// newest view (bounded-staleness read: "at least as fresh as `epoch`").
+    ///
+    /// The fast path is the usual lock-free chain walk; only a reader that is
+    /// genuinely ahead of the publisher parks on the epoch gate's condvar.
+    /// The wait is race-free against a concurrent publisher: the publisher
+    /// links the node *before* storing the epoch under the gate lock, and the
+    /// reader re-checks the gate's counter under that same lock before
+    /// sleeping, so a publish between the chain walk and the park is never
+    /// missed. Spurious wake-ups re-check the predicate. The model-check
+    /// suite explores every interleaving of this handshake.
+    pub fn wait_for_epoch(&mut self, epoch: u64) -> Arc<QueryView> {
+        loop {
+            let view = self.latest();
+            if view.epoch() >= epoch {
+                return view;
+            }
+            let mut published = self.gate.published();
+            while *published < epoch {
+                published = self
+                    .gate
+                    .newer
+                    .wait(published)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // The gate says the epoch is reachable; loop back to advance the
+            // cursor along the chain and return the view.
+        }
+    }
 }
 
 /// Create a publication chain seeded with `genesis` (normally
 /// [`ViewBuilder::genesis`]) and return the single publisher plus an initial
 /// reader positioned at the genesis view.
 pub fn view_channel(genesis: QueryView) -> (ViewPublisher, ViewReader) {
+    let gate = Arc::new(EpochGate {
+        published: Mutex::new(genesis.epoch()),
+        newer: Condvar::new(),
+    });
     let head = Arc::new(Node {
         view: Arc::new(genesis),
         next: OnceLock::new(),
     });
     let reader = ViewReader {
         cursor: Arc::clone(&head),
+        gate: Arc::clone(&gate),
     };
-    (ViewPublisher { head }, reader)
+    (ViewPublisher { head, gate }, reader)
 }
 
 #[cfg(test)]
@@ -817,6 +906,51 @@ mod tests {
         // 100k-node retired prefix, whose teardown must be iterative
         drop(publisher);
         drop(reader);
+    }
+
+    #[test]
+    fn views_note_the_shard_count_across_a_topology_change() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        builder.set_shards(2);
+        assert_eq!(builder.genesis().shards(), 2);
+        let snap = CandidateSnapshot::default();
+        let before = builder.build(Some(0), &snap, "");
+        builder.set_shards(4);
+        let after = builder.build(Some(1), &snap, "");
+        assert_eq!(before.shards(), 2);
+        assert_eq!(after.shards(), 4);
+        // the epoch chain stays monotone across the change
+        assert!(before.epoch() < after.epoch());
+        assert!(before.verify_seal() && after.verify_seal());
+    }
+
+    #[test]
+    fn wait_for_epoch_returns_immediately_when_already_published() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, mut reader) = view_channel(builder.genesis());
+        let snap = snapshot(vec![entry(10, 1, 7)], vec![]);
+        publisher.publish(builder.build(None, &snap, "7"));
+        publisher.publish(builder.build(Some(0), &snap, "7"));
+        let view = reader.wait_for_epoch(1);
+        assert!(view.epoch() >= 1);
+        assert_eq!(reader.wait_for_epoch(2).epoch(), 2);
+        // waiting for the past is a no-op
+        assert_eq!(reader.wait_for_epoch(0).epoch(), 2);
+    }
+
+    #[test]
+    fn wait_for_epoch_blocks_until_a_concurrent_publisher_catches_up() {
+        let mut builder = ViewBuilder::new(Query::Q1);
+        let (mut publisher, mut reader) = view_channel(builder.genesis());
+        let writer = std::thread::spawn(move || {
+            let snap = snapshot(vec![entry(1, 1, 1)], vec![]);
+            for batch in 0..3 {
+                publisher.publish(builder.build(Some(batch), &snap, "1"));
+            }
+        });
+        let view = reader.wait_for_epoch(3);
+        assert!(view.epoch() >= 3);
+        writer.join().expect("publisher thread exits cleanly");
     }
 
     #[test]

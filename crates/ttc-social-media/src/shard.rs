@@ -190,6 +190,24 @@ impl ShardRouter {
         self.comment_shard.get(&comment).copied()
     }
 
+    /// Every live friendship edge as one canonical sorted `(min, max)` pair
+    /// per edge. This global adjacency exists **only** here: a pair of friends
+    /// never co-present on any shard appears in no per-shard mirror, so an
+    /// elastic reshard must re-inject this set into the merged union network
+    /// before re-partitioning it, or later presence backfills would miss those
+    /// edges (see [`crate::recovery::ShardCheckpoint::merge`] and DESIGN.md
+    /// §5.8).
+    pub fn live_friendships(&self) -> Vec<(ElementId, ElementId)> {
+        let mut edges: Vec<(ElementId, ElementId)> = self
+            .friend_adj
+            .iter()
+            .flat_map(|(&a, friends)| friends.iter().map(move |&b| (a.min(b), a.max(b))))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
     /// Owning shard of a post id, if the post is known.
     pub fn shard_of_post(&self, post: ElementId) -> Option<usize> {
         self.post_shard.get(&post).copied()

@@ -21,7 +21,7 @@ pub use std::sync::Arc;
 
 #[cfg(not(feature = "model-check"))]
 mod imp {
-    pub use std::sync::{Mutex, MutexGuard, OnceLock};
+    pub use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
     /// Multi-producer single-consumer channels (std in this build).
     pub mod mpsc {
@@ -44,7 +44,7 @@ mod imp {
 
 #[cfg(feature = "model-check")]
 mod imp {
-    pub use loomette::sync::{Mutex, MutexGuard, OnceLock};
+    pub use loomette::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
     /// Multi-producer single-consumer channels (loomette shadows in this build).
     pub mod mpsc {

@@ -191,6 +191,42 @@ mod clean {
         println!("serve reader, 2 batches x kill(1,1): {report}");
     }
 
+    /// Bounded-staleness satellite: a reader blocked in
+    /// `ViewReader::wait_for_epoch` against a concurrent publisher. The
+    /// classic lost-wakeup bug (publisher signals between the reader's
+    /// predicate check and its park) would surface here as a deadlock
+    /// violation; the shadow condvar registers the waiter before releasing
+    /// the gate lock, so every explored interleaving must terminate with the
+    /// reader holding the promised epoch.
+    #[test]
+    fn wait_for_epoch_never_loses_a_wakeup() {
+        use ttc_social_media::serve::{view_channel, CandidateSnapshot, ViewBuilder};
+        use ttc_social_media::sync::thread;
+        use ttc_social_media::Query;
+
+        let report = loomette::explore(mc_config(), || {
+            let mut builder = ViewBuilder::new(Query::Q1);
+            let (mut publisher, mut reader) = view_channel(builder.genesis());
+            let writer = thread::spawn(move || {
+                let snap = CandidateSnapshot::default();
+                publisher.publish(builder.build(None, &snap, "7"));
+                publisher.publish(builder.build(Some(0), &snap, "7"));
+            });
+            let view = reader.wait_for_epoch(2);
+            assert!(view.epoch() >= 2, "stale view: epoch {}", view.epoch());
+            assert!(view.verify_seal(), "torn view observed");
+            writer.join().expect("publisher thread exits cleanly");
+        });
+        if let Some(violation) = &report.violation {
+            panic!("{violation}");
+        }
+        assert!(
+            report.complete,
+            "exploration must exhaust the bounded interleaving space: {report}"
+        );
+        println!("wait_for_epoch vs concurrent publisher: {report}");
+    }
+
     /// The toy evaluator itself, outside the model: pipelined (std threads)
     /// equals the synchronous reference on the scripted batches.
     #[test]

@@ -65,6 +65,10 @@ for seed in 7 42 1337; do
         --kill-shard 1 --recover --seed "$seed" > /dev/null
 done
 
+echo "==> stream_throughput reshard smoke (live 2 -> 4 reshard at the halfway barrier)"
+cargo run --release -p bench --bin stream_throughput -- --smoke --pipeline \
+    --reshard 6:4 > /dev/null
+
 echo "==> serve_throughput --smoke (epoch-published read path under concurrent readers)"
 cargo run --release -p bench --bin serve_throughput -- --smoke > /dev/null
 

@@ -1,0 +1,240 @@
+//! Differential tests of elastic resharding (the ISSUE 10 acceptance gate):
+//! a pipelined run whose shard count changes mid-stream — grown 2 → 4, shrunk
+//! 4 → 2, or rescheduled twice as 2 → 4 → 3 — must produce **byte-identical
+//! per-batch** top-3 outputs to the *unsharded* synchronous driver on
+//! retraction-heavy sf1 streams, for the incremental-CC and NMF shard backends
+//! as well as the plain incremental one; plus a proptest over
+//! proptest-chosen `(at_seq, new_count)` schedules and a chaos test killing a
+//! worker at the exact sequence number a reshard barrier drains to.
+
+use proptest::prelude::*;
+use ttc2018_graphblas::datagen::stream::{StreamConfig, UpdateStream};
+use ttc2018_graphblas::datagen::{generate_scale_factor, ChangeSet, SocialNetwork};
+use ttc2018_graphblas::nmf_baseline::{NmfIncremental, NmfShardFactory};
+use ttc2018_graphblas::ttc_social_media::model::Query;
+use ttc2018_graphblas::ttc_social_media::pipeline::{
+    IngestEngine, PipelineConfig, PipelineStats, PipelinedEngine, SyncEngine,
+};
+use ttc2018_graphblas::ttc_social_media::recovery::RecoveryConfig;
+use ttc2018_graphblas::ttc_social_media::shard::{
+    GraphBlasShardFactory, ShardBackend, ShardFactory,
+};
+use ttc2018_graphblas::ttc_social_media::solution::Solution;
+use ttc2018_graphblas::ttc_social_media::stream::StreamDriver;
+use ttc2018_graphblas::ttc_social_media::{GraphBlasIncremental, GraphBlasIncrementalCc};
+
+const BATCHES: usize = 12;
+
+fn sf1_network() -> SocialNetwork {
+    generate_scale_factor(1).initial
+}
+
+/// A retraction-heavy micro-batch stream over the sf1 network (30% deletions),
+/// the regime where a reshard rebuilding shard state from checkpoints would
+/// surface a lost retraction as a wrong rebuild decision downstream.
+fn batches(network: &SocialNetwork, seed: u64, count: usize) -> Vec<ChangeSet> {
+    UpdateStream::new(
+        network,
+        StreamConfig {
+            seed,
+            batch_size: 64,
+            deletion_weight: 0.3,
+            ..StreamConfig::default()
+        },
+    )
+    .take(count)
+    .collect()
+}
+
+/// The shard backends the gate covers, with their unsharded counterpart used
+/// as the reference driver.
+fn backend_pair(backend: &str, query: Query) -> (Box<dyn ShardFactory>, Box<dyn Solution>) {
+    match backend {
+        "incremental" => (
+            Box::new(GraphBlasShardFactory::new(query, ShardBackend::Incremental)),
+            Box::new(GraphBlasIncremental::new(query, false)),
+        ),
+        "incremental-cc" => (
+            Box::new(GraphBlasShardFactory::new(
+                query,
+                ShardBackend::IncrementalCc,
+            )),
+            Box::new(GraphBlasIncrementalCc::new()),
+        ),
+        "nmf" => (
+            Box::new(NmfShardFactory::new(query)),
+            Box::new(NmfIncremental::new(query)),
+        ),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+/// Per-batch results of the unsharded synchronous driver — the reference every
+/// resharded run must match byte for byte.
+fn run_unsharded(
+    solution: Box<dyn Solution>,
+    network: &SocialNetwork,
+    b: &[ChangeSet],
+) -> Vec<String> {
+    let mut engine = SyncEngine::new(StreamDriver::default(), solution);
+    let mut stream = b.iter().cloned();
+    engine
+        .run(network, &mut stream, b.len())
+        .expect("sync engine never truncates")
+        .results
+}
+
+/// Per-batch results + pipeline stats of a pipelined run with the given
+/// reshard schedule (and optionally a kill schedule riding along).
+fn run_resharded(
+    factory: Box<dyn ShardFactory>,
+    shards: usize,
+    network: &SocialNetwork,
+    b: &[ChangeSet],
+    reshards: Vec<(u64, usize)>,
+    kills: Vec<(usize, u64)>,
+) -> (Vec<String>, PipelineStats) {
+    let recovery = (!kills.is_empty()).then_some(RecoveryConfig {
+        checkpoint_every: 3,
+    });
+    let mut engine = PipelinedEngine::new(
+        factory,
+        shards,
+        PipelineConfig {
+            reshards,
+            kill_shards: kills,
+            recovery,
+            ..PipelineConfig::default()
+        },
+    );
+    let mut stream = b.iter().cloned();
+    let report = engine
+        .run(network, &mut stream, b.len())
+        .expect("resharding runs complete");
+    let stats = report.pipeline.expect("pipelined engines report stats");
+    (report.results, stats)
+}
+
+/// The acceptance gate: the three headline schedules — grow 2 → 4, shrink
+/// 4 → 2, and the double barrier 2 → 4 → 3 — for the incremental-CC and NMF
+/// backends (and the plain incremental one), each byte-identical to the
+/// unsharded synchronous driver on the same stream.
+#[test]
+fn reshard_schedules_are_byte_identical_to_the_unsharded_driver() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x4e5a, BATCHES);
+    let schedules: [(usize, Vec<(u64, usize)>); 3] = [
+        (2, vec![(6, 4)]),
+        (4, vec![(6, 2)]),
+        (2, vec![(4, 4), (8, 3)]),
+    ];
+    for (backend, query) in [
+        ("incremental", Query::Q1),
+        ("incremental-cc", Query::Q2),
+        ("nmf", Query::Q1),
+    ] {
+        let (_, reference) = backend_pair(backend, query);
+        let expected = run_unsharded(reference, &network, &batches);
+        for (initial, schedule) in &schedules {
+            let (factory, _) = backend_pair(backend, query);
+            let (results, stats) = run_resharded(
+                factory,
+                *initial,
+                &network,
+                &batches,
+                schedule.clone(),
+                vec![],
+            );
+            assert_eq!(
+                results, expected,
+                "{backend}/{query:?}: reshard {initial} shards via {schedule:?} changed output"
+            );
+            assert_eq!(stats.reshards.len(), schedule.len(), "every barrier fired");
+            let last = stats.reshards.last().expect("non-empty schedule");
+            assert_eq!(stats.shards, last.to_shards, "end-of-run topology");
+            assert_eq!(stats.shard_sizes.len(), last.to_shards);
+        }
+    }
+}
+
+/// Kill-during-reshard chaos: a worker killed at the exact sequence number the
+/// barrier drains to (the drain absorbs the crash and the supervisor replays
+/// that shard to the barrier), plus one killed after the topology change on a
+/// shard id that only exists post-reshard. Byte-identical both times, and
+/// every crash restored exactly once.
+#[test]
+fn kills_during_and_after_a_reshard_recover_byte_identically() {
+    let network = sf1_network();
+    let batches = batches(&network, 0x6b11, BATCHES);
+    let (_, reference) = backend_pair("incremental-cc", Query::Q2);
+    let expected = run_unsharded(reference, &network, &batches);
+    for kills in [vec![(1usize, 6u64)], vec![(3usize, 8u64)]] {
+        let (factory, _) = backend_pair("incremental-cc", Query::Q2);
+        let (results, stats) =
+            run_resharded(factory, 2, &network, &batches, vec![(6, 4)], kills.clone());
+        assert_eq!(results, expected, "kills {kills:?} changed output");
+        let recovery = stats.recovery.expect("recovery was enabled");
+        assert_eq!(
+            recovery.restores, recovery.crashes,
+            "kills {kills:?}: {recovery:?}"
+        );
+        assert_eq!(recovery.crashes, 1, "kills {kills:?}: {recovery:?}");
+        assert_eq!(stats.reshards.len(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Reshard-at-any-seq: an arbitrary schedule of `(at_seq, new_count)`
+    /// barriers — including duplicate sequence numbers (both fire
+    /// back-to-back) and barriers past the stream end (never fire) — leaves
+    /// every per-batch output byte-identical to the unsharded driver.
+    #[test]
+    fn reshard_schedules_are_output_invariant(
+        seed in 0u64..1000,
+        initial in 1usize..5,
+        schedule in prop::collection::vec((0u64..10, 1usize..5), 1..4),
+    ) {
+        let network = ttc2018_graphblas::datagen::generate_workload(
+            &ttc2018_graphblas::datagen::GeneratorConfig::tiny(seed),
+        )
+        .initial;
+        let b: Vec<ChangeSet> = UpdateStream::new(
+            &network,
+            StreamConfig {
+                seed: seed ^ 0x4e5a,
+                batch_size: 16,
+                deletion_weight: 0.3,
+                ..StreamConfig::default()
+            },
+        )
+        .take(8)
+        .collect();
+
+        for query in [Query::Q1, Query::Q2] {
+            let (_, reference) = backend_pair("incremental", query);
+            let expected = run_unsharded(reference, &network, &b);
+            let (factory, _) = backend_pair("incremental", query);
+            let (results, stats) = run_resharded(
+                factory,
+                initial,
+                &network,
+                &b,
+                schedule.clone(),
+                vec![],
+            );
+            prop_assert_eq!(
+                &results,
+                &expected,
+                "{:?} diverged (initial {}, seed {}, schedule {:?})",
+                query, initial, seed, schedule
+            );
+            let fired = schedule.iter().filter(|&&(at, _)| at < b.len() as u64).count();
+            prop_assert_eq!(
+                stats.reshards.len(), fired,
+                "barriers inside the stream fire exactly once: {:?}", stats.reshards
+            );
+        }
+    }
+}

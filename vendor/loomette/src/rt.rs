@@ -72,6 +72,7 @@ pub(crate) const OP_SPAWN: u64 = 7;
 pub(crate) const OP_JOIN: u64 = 8;
 pub(crate) const OP_YIELD: u64 = 9;
 pub(crate) const OP_ONCE: u64 = 10;
+pub(crate) const OP_CV: u64 = 11;
 
 /// Tag identifying one op on one object, for the rolling hash chains.
 pub(crate) fn op_tag(kind: u64, obj: u64) -> u64 {

@@ -18,8 +18,8 @@ use std::sync::Arc;
 use std::sync::{LockResult, PoisonError};
 
 use crate::rt::{
-    current_ctx, op_tag, Attempt, Ctx, Scheduler, OP_DROP, OP_LOCK, OP_ONCE, OP_RECV, OP_SEND,
-    OP_TRY_SEND, OP_UNLOCK,
+    current_ctx, op_tag, Attempt, Ctx, Scheduler, OP_CV, OP_DROP, OP_LOCK, OP_ONCE, OP_RECV,
+    OP_SEND, OP_TRY_SEND, OP_UNLOCK,
 };
 
 /// Return the active model context if `sched` belongs to it.
@@ -121,10 +121,12 @@ impl<T: ?Sized> Mutex<T> {
             Ok(inner) => Ok(MutexGuard {
                 inner: Some(inner),
                 model_held,
+                lock: self,
             }),
             Err(poisoned) => Err(PoisonError::new(MutexGuard {
                 inner: Some(poisoned.into_inner()),
                 model_held,
+                lock: self,
             })),
         }
     }
@@ -143,10 +145,12 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`]; releases the shadow lock (and
-/// wakes waiters) on drop.
+/// wakes waiters) on drop. Carries a back-reference to its mutex so
+/// [`Condvar::wait`] can release and reacquire the same lock.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
     model_held: Option<Arc<MutexCtl>>,
+    lock: &'a Mutex<T>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -194,6 +198,217 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+struct CvModel {
+    /// Threads parked in `wait`, not yet notified.
+    waiting: Vec<usize>,
+    /// Threads a notify has released; each consumes its own entry on wake-up.
+    notified: Vec<usize>,
+    version: u64,
+}
+
+struct CvCtl {
+    sched: Arc<Scheduler>,
+    id: u64,
+    model: std::sync::Mutex<CvModel>,
+}
+
+impl CvCtl {
+    // Poisoning policy: the model mutex only guards waiter bookkeeping that is
+    // kept consistent across panics; recover the guard unconditionally.
+    fn model(&self) -> std::sync::MutexGuard<'_, CvModel> {
+        self.model.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A condition variable with the same surface as [`std::sync::Condvar`] (the
+/// subset the workspace uses: `wait` / `notify_one` / `notify_all`), scheduled
+/// deterministically inside model executions.
+///
+/// The shadow `wait` registers the thread in the waiter list *before*
+/// releasing the guard — the atomic release-and-sleep a real condvar
+/// guarantees — so the explorer can prove the classic lost-wakeup race absent:
+/// a notify between the predicate check and the park always finds the waiter.
+/// Spurious wake-ups are possible in both modes; callers loop on a predicate.
+pub struct Condvar {
+    ctl: Option<Arc<CvCtl>>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable; it binds to the model execution active at
+    /// creation time (if any).
+    pub fn new() -> Self {
+        let ctl = current_ctx().map(|ctx| {
+            Arc::new(CvCtl {
+                id: ctx.sched.new_object(),
+                sched: ctx.sched,
+                model: std::sync::Mutex::new(CvModel {
+                    waiting: Vec::new(),
+                    notified: Vec::new(),
+                    version: 0,
+                }),
+            })
+        });
+        Condvar {
+            ctl,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Release `guard`, sleep until notified, and reacquire the lock.
+    /// Poisoning is propagated exactly like [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some(ctl) = &self.ctl {
+            if let Some(ctx) = ctx_for(&ctl.sched) {
+                // 1. Register as a waiter while still holding the lock, so a
+                //    notify that races the release cannot be lost.
+                ctx.sched.op(ctx.tid, op_tag(OP_CV, ctl.id), || {
+                    let mut m = ctl.model();
+                    if !m.waiting.contains(&ctx.tid) {
+                        m.waiting.push(ctx.tid);
+                    }
+                    m.version += 1;
+                    Attempt::Ready {
+                        value: (),
+                        obs: m.version,
+                        wake: Vec::new(),
+                    }
+                });
+                // 2. Release the lock (wakes lock waiters as usual).
+                let lock = guard.lock;
+                drop(guard);
+                // 3. Park until a notify moves this thread to `notified`;
+                //    consume the token on wake-up.
+                ctx.sched.op(ctx.tid, op_tag(OP_CV, ctl.id), || {
+                    let mut m = ctl.model();
+                    match m.notified.iter().position(|&t| t == ctx.tid) {
+                        Some(at) => {
+                            m.notified.remove(at);
+                            m.version += 1;
+                            Attempt::Ready {
+                                value: (),
+                                obs: m.version,
+                                wake: Vec::new(),
+                            }
+                        }
+                        None => Attempt::Block,
+                    }
+                });
+                // 4. Reacquire the lock through the normal modeled path.
+                return lock.lock();
+            }
+        }
+        // Passthrough: delegate to the real condvar, keeping the guard shell
+        // (and any shadow lock state) intact across the wait.
+        let mut guard = guard;
+        let std_guard = guard.inner.take().expect("guard accessed after release");
+        match self.inner.wait(std_guard) {
+            Ok(reacquired) => {
+                guard.inner = Some(reacquired);
+                Ok(guard)
+            }
+            Err(poisoned) => {
+                guard.inner = Some(poisoned.into_inner());
+                Err(PoisonError::new(guard))
+            }
+        }
+    }
+
+    /// Wake one waiter (the longest-waiting one under the model, for
+    /// determinism).
+    pub fn notify_one(&self) {
+        if let Some(ctl) = &self.ctl {
+            match ctx_for(&ctl.sched) {
+                Some(ctx) => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_CV, ctl.id), || {
+                        let mut m = ctl.model();
+                        let wake = if m.waiting.is_empty() {
+                            Vec::new()
+                        } else {
+                            let tid = m.waiting.remove(0);
+                            m.notified.push(tid);
+                            vec![tid]
+                        };
+                        m.version += 1;
+                        Attempt::Ready {
+                            value: (),
+                            obs: m.version,
+                            wake,
+                        }
+                    });
+                }
+                None => {
+                    // Foreign thread (or unwinding): silent shadow update.
+                    let wake = {
+                        let mut m = ctl.model();
+                        let wake = if m.waiting.is_empty() {
+                            Vec::new()
+                        } else {
+                            let tid = m.waiting.remove(0);
+                            m.notified.push(tid);
+                            vec![tid]
+                        };
+                        m.version += 1;
+                        wake
+                    };
+                    ctl.sched.wake_external(&wake);
+                }
+            }
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        if let Some(ctl) = &self.ctl {
+            match ctx_for(&ctl.sched) {
+                Some(ctx) => {
+                    ctx.sched.op(ctx.tid, op_tag(OP_CV, ctl.id), || {
+                        let mut m = ctl.model();
+                        let wake = std::mem::take(&mut m.waiting);
+                        m.notified.extend(wake.iter().copied());
+                        m.version += 1;
+                        Attempt::Ready {
+                            value: (),
+                            obs: m.version,
+                            wake,
+                        }
+                    });
+                }
+                None => {
+                    let wake = {
+                        let mut m = ctl.model();
+                        let wake = std::mem::take(&mut m.waiting);
+                        m.notified.extend(wake.iter().copied());
+                        m.version += 1;
+                        wake
+                    };
+                    ctl.sched.wake_external(&wake);
+                }
+            }
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
